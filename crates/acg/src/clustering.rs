@@ -1,0 +1,235 @@
+//! Component clustering: from ACG components to index partitions.
+//!
+//! Propeller "clusters small connected components of the ACG from the same
+//! application into a single partition to prevent the fragmentation of
+//! indices", and splits any component that exceeds the partition threshold
+//! (paper §III). [`cluster_components`] implements both halves:
+//!
+//! * components are packed into partitions with first-fit-decreasing bin
+//!   packing, never exceeding `max_files` per partition;
+//! * oversized components are recursively bisected with [`crate::bisect`]
+//!   until every piece fits.
+
+use propeller_types::FileId;
+
+use crate::{bisect, AcgGraph, PartitionConfig};
+
+/// Configuration for [`cluster_components`].
+///
+/// # Examples
+///
+/// ```
+/// use propeller_acg::ClusteringConfig;
+///
+/// let cfg = ClusteringConfig::with_max_files(1000);
+/// assert_eq!(cfg.max_files, 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusteringConfig {
+    /// Maximum number of files per partition (paper default: 50 000).
+    pub max_files: usize,
+    /// Partitioner settings used when a component must be split.
+    pub partition: PartitionConfig,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        ClusteringConfig { max_files: 50_000, partition: PartitionConfig::default() }
+    }
+}
+
+impl ClusteringConfig {
+    /// A config with the given partition size cap and default partitioner
+    /// settings.
+    pub fn with_max_files(max_files: usize) -> Self {
+        ClusteringConfig { max_files, ..ClusteringConfig::default() }
+    }
+}
+
+/// Partitions the files of `graph` into groups of at most
+/// `config.max_files`, preserving access locality:
+///
+/// * every connected component that fits lands in exactly one group,
+/// * oversized components are bisected (recursively) with minimal cut,
+/// * small components are packed together (first-fit decreasing) to avoid
+///   fragmentation.
+///
+/// Every vertex of the graph appears in exactly one returned group.
+///
+/// # Panics
+///
+/// Panics if `config.max_files` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_acg::{cluster_components, AcgGraph, ClusteringConfig};
+/// use propeller_types::FileId;
+///
+/// let mut g = AcgGraph::new();
+/// for i in 0..4 {
+///     g.add_edge(FileId::new(i * 10), FileId::new(i * 10 + 1), 1);
+/// }
+/// // Four 2-file components packed into partitions of at most 4 files.
+/// let groups = cluster_components(&g, &ClusteringConfig::with_max_files(4));
+/// assert_eq!(groups.len(), 2);
+/// assert!(groups.iter().all(|p| p.len() == 4));
+/// ```
+pub fn cluster_components(graph: &AcgGraph, config: &ClusteringConfig) -> Vec<Vec<FileId>> {
+    assert!(config.max_files > 0, "max_files must be positive");
+
+    // 1. Split oversized components until every piece fits.
+    let mut pieces: Vec<Vec<FileId>> = Vec::new();
+    let mut work: Vec<Vec<FileId>> = graph.components().into_vec();
+    let mut split_round = 0u64;
+    while let Some(comp) = work.pop() {
+        if comp.len() <= config.max_files {
+            pieces.push(comp);
+            continue;
+        }
+        split_round += 1;
+        let sub = graph.subgraph(&comp);
+        let mut cfg = config.partition.clone();
+        // Vary the seed per split so repeated recursion does not reuse one
+        // unlucky matching order.
+        cfg.seed = cfg.seed.wrapping_add(split_round);
+        let bisection = bisect(&sub, &cfg);
+        if bisection.left.is_empty() || bisection.right.is_empty() {
+            // Degenerate split (should not happen for len >= 2); fall back
+            // to an arbitrary halving to guarantee termination.
+            let mut comp = comp;
+            let half = comp.len() / 2;
+            let rest = comp.split_off(half);
+            work.push(comp);
+            work.push(rest);
+        } else {
+            work.push(bisection.left);
+            work.push(bisection.right);
+        }
+    }
+
+    // 2. First-fit-decreasing packing of the pieces.
+    pieces.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.first().cmp(&b.first())));
+    let mut bins: Vec<Vec<FileId>> = Vec::new();
+    for piece in pieces {
+        match bins
+            .iter_mut()
+            .find(|bin| bin.len() + piece.len() <= config.max_files)
+        {
+            Some(bin) => bin.extend(piece),
+            None => bins.push(piece),
+        }
+    }
+    for bin in &mut bins {
+        bin.sort_unstable();
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u64) -> FileId {
+        FileId::new(i)
+    }
+
+    /// A chain component with ids `[base, base + len)`.
+    fn chain(g: &mut AcgGraph, base: u64, len: u64) {
+        for i in 0..len.saturating_sub(1) {
+            g.add_edge(f(base + i), f(base + i + 1), 1);
+        }
+        if len == 1 {
+            g.add_vertex(f(base));
+        }
+    }
+
+    #[test]
+    fn small_components_are_packed_together() {
+        let mut g = AcgGraph::new();
+        for k in 0..10 {
+            chain(&mut g, k * 100, 3); // ten 3-file components
+        }
+        let groups = cluster_components(&g, &ClusteringConfig::with_max_files(9));
+        // 30 files into bins of <= 9 in multiples of 3: expect ceil(30/9)=4 bins.
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().all(|p| p.len() <= 9));
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn every_file_appears_exactly_once() {
+        let mut g = AcgGraph::new();
+        chain(&mut g, 0, 12);
+        chain(&mut g, 100, 5);
+        chain(&mut g, 200, 1);
+        let groups = cluster_components(&g, &ClusteringConfig::with_max_files(6));
+        let mut all: Vec<FileId> = groups.iter().flatten().copied().collect();
+        all.sort();
+        let mut expected: Vec<FileId> = g.vertices().collect();
+        expected.sort();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn oversized_component_is_split() {
+        let mut g = AcgGraph::new();
+        chain(&mut g, 0, 100);
+        let groups = cluster_components(&g, &ClusteringConfig::with_max_files(30));
+        assert!(groups.len() >= 4, "100-file chain into <=30-file groups");
+        assert!(groups.iter().all(|p| p.len() <= 30));
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn fitting_component_stays_whole() {
+        let mut g = AcgGraph::new();
+        chain(&mut g, 0, 10);
+        chain(&mut g, 100, 10);
+        let groups = cluster_components(&g, &ClusteringConfig::with_max_files(10));
+        assert_eq!(groups.len(), 2);
+        // Each component intact in its own partition.
+        for group in &groups {
+            let bases: std::collections::HashSet<u64> =
+                group.iter().map(|x| x.raw() / 100).collect();
+            assert_eq!(bases.len(), 1, "components were mixed: {group:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_no_groups() {
+        let g = AcgGraph::new();
+        assert!(cluster_components(&g, &ClusteringConfig::with_max_files(10)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_files must be positive")]
+    fn zero_max_files_rejected() {
+        let g = AcgGraph::new();
+        let _ = cluster_components(&g, &ClusteringConfig::with_max_files(0));
+    }
+
+    #[test]
+    fn split_preserves_locality_for_two_communities() {
+        // One component = two dense communities bridged by a light edge;
+        // splitting at max_files=10 should cut the bridge.
+        let mut g = AcgGraph::new();
+        for base in [0u64, 500] {
+            for a in 0..10 {
+                for b in (a + 1)..10 {
+                    g.add_edge(f(base + a), f(base + b), 10);
+                }
+            }
+        }
+        g.add_edge(f(9), f(500), 1);
+        let groups = cluster_components(&g, &ClusteringConfig::with_max_files(10));
+        assert_eq!(groups.len(), 2);
+        for group in &groups {
+            let communities: std::collections::HashSet<u64> =
+                group.iter().map(|x| x.raw() / 500).collect();
+            assert_eq!(communities.len(), 1, "communities were mixed");
+        }
+    }
+}

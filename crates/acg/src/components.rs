@@ -1,0 +1,212 @@
+//! Connected components via union–find.
+
+use propeller_types::FileId;
+
+use crate::AcgGraph;
+
+/// The weakly-connected components of an [`AcgGraph`].
+///
+/// Propeller partitions file indices by component (paper §III property 3:
+/// even a single application's ACG has several disconnected components).
+///
+/// # Examples
+///
+/// ```
+/// use propeller_acg::AcgGraph;
+/// use propeller_types::FileId;
+///
+/// let mut g = AcgGraph::new();
+/// g.add_edge(FileId::new(1), FileId::new(2), 1);
+/// g.add_edge(FileId::new(2), FileId::new(3), 1);
+/// g.add_vertex(FileId::new(9)); // isolated
+///
+/// let comps = g.components();
+/// assert_eq!(comps.len(), 2);
+/// assert_eq!(comps.largest().unwrap().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComponentSet {
+    components: Vec<Vec<FileId>>,
+}
+
+impl ComponentSet {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` when the graph had no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Iterates over components (largest first).
+    pub fn iter(&self) -> impl Iterator<Item = &[FileId]> {
+        self.components.iter().map(Vec::as_slice)
+    }
+
+    /// The largest component, if any.
+    pub fn largest(&self) -> Option<&[FileId]> {
+        self.components.first().map(Vec::as_slice)
+    }
+
+    /// Consumes the set, yielding the component file lists (largest first).
+    pub fn into_vec(self) -> Vec<Vec<FileId>> {
+        self.components
+    }
+}
+
+/// A classic union–find (disjoint-set) structure over dense indices.
+#[derive(Debug, Clone)]
+pub(crate) struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    pub(crate) fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    pub(crate) fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+        true
+    }
+}
+
+impl AcgGraph {
+    /// Computes the weakly-connected components, largest first.
+    pub fn components(&self) -> ComponentSet {
+        let n = self.vertex_count();
+        let mut uf = UnionFind::new(n);
+        for (s, d, _) in self.edges() {
+            let si = self.local_index(s).expect("edge endpoint must be a vertex");
+            let di = self.local_index(d).expect("edge endpoint must be a vertex");
+            uf.union(si, di);
+        }
+        let mut groups: std::collections::HashMap<u32, Vec<FileId>> =
+            std::collections::HashMap::new();
+        for ix in 0..n as u32 {
+            let root = uf.find(ix);
+            groups.entry(root).or_default().push(self.file_at(ix));
+        }
+        let mut components: Vec<Vec<FileId>> = groups.into_values().collect();
+        for c in &mut components {
+            c.sort_unstable();
+        }
+        // Largest first; tie-break on first file id for determinism.
+        components.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a[0].cmp(&b[0])));
+        ComponentSet { components }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u64) -> FileId {
+        FileId::new(i)
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = AcgGraph::new();
+        assert!(g.components().is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        let mut g = AcgGraph::new();
+        g.add_vertex(f(1));
+        g.add_vertex(f(2));
+        let c = g.components();
+        assert_eq!(c.len(), 2);
+        assert!(c.iter().all(|comp| comp.len() == 1));
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        let mut g = AcgGraph::new();
+        for i in 0..10 {
+            g.add_edge(f(i), f(i + 1), 1);
+        }
+        let c = g.components();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.largest().unwrap().len(), 11);
+    }
+
+    #[test]
+    fn direction_does_not_split_components() {
+        // a -> b and c -> b: weakly connected even though not strongly.
+        let mut g = AcgGraph::new();
+        g.add_edge(f(1), f(2), 1);
+        g.add_edge(f(3), f(2), 1);
+        assert_eq!(g.components().len(), 1);
+    }
+
+    #[test]
+    fn components_sorted_largest_first() {
+        let mut g = AcgGraph::new();
+        g.add_edge(f(1), f(2), 1);
+        for i in 10..15 {
+            g.add_edge(f(i), f(i + 1), 1);
+        }
+        let c = g.components();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.largest().unwrap().len(), 6);
+        let sizes: Vec<usize> = c.iter().map(|x| x.len()).collect();
+        assert_eq!(sizes, vec![6, 2]);
+    }
+
+    #[test]
+    fn components_partition_the_vertex_set() {
+        let mut g = AcgGraph::new();
+        g.add_edge(f(1), f(2), 1);
+        g.add_edge(f(4), f(5), 1);
+        g.add_vertex(f(9));
+        let c = g.components();
+        let total: usize = c.iter().map(|x| x.len()).sum();
+        assert_eq!(total, g.vertex_count());
+        let mut all: Vec<FileId> = c.iter().flatten().copied().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), g.vertex_count());
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_ne!(uf.find(0), uf.find(2));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.find(1), uf.find(2));
+    }
+}

@@ -1,0 +1,406 @@
+//! The weighted directed access-causality graph.
+
+use std::collections::HashMap;
+
+use propeller_trace::EdgeUpdate;
+use propeller_types::FileId;
+use serde::{Deserialize, Serialize};
+
+/// A weighted directed graph of access causalities.
+///
+/// Vertices are [`FileId`]s; the weight of edge `a → b` counts how many
+/// times a process accessed `a` before writing `b`. The graph supports the
+/// incremental updates flushed by clients ([`AcgGraph::apply_update`]),
+/// undirected views for partitioning, component extraction and subgraph
+/// slicing for ACG splits and migrations.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_acg::AcgGraph;
+/// use propeller_types::FileId;
+///
+/// let mut g = AcgGraph::new();
+/// g.add_edge(FileId::new(1), FileId::new(2), 3);
+/// g.add_edge(FileId::new(1), FileId::new(2), 2);
+/// assert_eq!(g.edge_weight(FileId::new(1), FileId::new(2)), Some(5));
+/// assert_eq!(g.total_weight(), 5);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AcgGraph {
+    /// FileId -> dense local index.
+    ids: HashMap<FileId, u32>,
+    /// Dense local index -> FileId.
+    files: Vec<FileId>,
+    /// Out-adjacency: local -> (local -> weight).
+    out: Vec<HashMap<u32, u64>>,
+    /// In-adjacency (weights mirrored) so undirected traversal is O(degree).
+    inc: Vec<HashMap<u32, u64>>,
+    /// Number of distinct directed edges.
+    edge_count: usize,
+    /// Sum of all directed edge weights.
+    total_weight: u64,
+}
+
+impl AcgGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        AcgGraph::default()
+    }
+
+    /// Ensures `file` is a vertex and returns its dense local index.
+    pub fn add_vertex(&mut self, file: FileId) -> u32 {
+        if let Some(&ix) = self.ids.get(&file) {
+            return ix;
+        }
+        let ix = self.files.len() as u32;
+        self.ids.insert(file, ix);
+        self.files.push(file);
+        self.out.push(HashMap::new());
+        self.inc.push(HashMap::new());
+        ix
+    }
+
+    /// Adds `weight` to the directed edge `src → dst`, creating vertices and
+    /// the edge as needed. Self-loops are ignored (the causality rule never
+    /// produces them, and they carry no partitioning signal).
+    pub fn add_edge(&mut self, src: FileId, dst: FileId, weight: u64) {
+        if src == dst || weight == 0 {
+            return;
+        }
+        let s = self.add_vertex(src);
+        let d = self.add_vertex(dst);
+        let entry = self.out[s as usize].entry(d).or_insert(0);
+        if *entry == 0 {
+            self.edge_count += 1;
+        }
+        *entry += weight;
+        *self.inc[d as usize].entry(s).or_insert(0) += weight;
+        self.total_weight += weight;
+    }
+
+    /// Applies one client-flushed edge update.
+    pub fn apply_update(&mut self, update: EdgeUpdate) {
+        self.add_edge(update.src, update.dst, update.weight);
+    }
+
+    /// Applies a batch of client-flushed edge updates.
+    pub fn apply_updates<I: IntoIterator<Item = EdgeUpdate>>(&mut self, updates: I) {
+        for u in updates {
+            self.apply_update(u);
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Number of distinct directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sum of all directed edge weights.
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+
+    /// Returns `true` when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Whether `file` is a vertex of this graph.
+    pub fn contains(&self, file: FileId) -> bool {
+        self.ids.contains_key(&file)
+    }
+
+    /// The weight of directed edge `src → dst`, if present.
+    pub fn edge_weight(&self, src: FileId, dst: FileId) -> Option<u64> {
+        let s = *self.ids.get(&src)?;
+        let d = *self.ids.get(&dst)?;
+        self.out[s as usize].get(&d).copied()
+    }
+
+    /// Iterates over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.files.iter().copied()
+    }
+
+    /// Iterates over the out-edges of `file` as `(dst, weight)`.
+    pub fn out_edges(&self, file: FileId) -> impl Iterator<Item = (FileId, u64)> + '_ {
+        let ix = self.ids.get(&file).copied();
+        ix.into_iter().flat_map(move |ix| {
+            self.out[ix as usize]
+                .iter()
+                .map(move |(&d, &w)| (self.files[d as usize], w))
+        })
+    }
+
+    /// Iterates over all directed edges as `(src, dst, weight)`.
+    pub fn edges(&self) -> impl Iterator<Item = (FileId, FileId, u64)> + '_ {
+        self.out.iter().enumerate().flat_map(move |(s, adj)| {
+            adj.iter()
+                .map(move |(&d, &w)| (self.files[s], self.files[d as usize], w))
+        })
+    }
+
+    /// The undirected weight between `a` and `b`: `w(a→b) + w(b→a)`.
+    pub fn undirected_weight(&self, a: FileId, b: FileId) -> u64 {
+        self.edge_weight(a, b).unwrap_or(0) + self.edge_weight(b, a).unwrap_or(0)
+    }
+
+    /// Builds the undirected adjacency view used by the partitioner:
+    /// `adj[i]` lists `(neighbor, combined weight)` with local indices.
+    pub(crate) fn undirected_adjacency(&self) -> Vec<Vec<(u32, u64)>> {
+        let n = self.files.len();
+        let mut adj: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+        for (s, out) in self.out.iter().enumerate() {
+            for (&d, &w) in out {
+                *adj[s].entry(d).or_insert(0) += w;
+                *adj[d as usize].entry(s as u32).or_insert(0) += w;
+            }
+        }
+        adj.into_iter()
+            .map(|m| {
+                let mut v: Vec<(u32, u64)> = m.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    /// The dense local index of `file`, if it is a vertex.
+    pub(crate) fn local_index(&self, file: FileId) -> Option<u32> {
+        self.ids.get(&file).copied()
+    }
+
+    /// The file at dense local index `ix`.
+    pub(crate) fn file_at(&self, ix: u32) -> FileId {
+        self.files[ix as usize]
+    }
+
+    /// Extracts the induced subgraph on `files` (vertices absent from this
+    /// graph are added as isolated vertices of the subgraph).
+    ///
+    /// Used when an ACG split migrates one half to a different Index Node.
+    pub fn subgraph<'a, I: IntoIterator<Item = &'a FileId>>(&self, files: I) -> AcgGraph {
+        let mut sub = AcgGraph::new();
+        let wanted: Vec<FileId> = files.into_iter().copied().collect();
+        let member: std::collections::HashSet<FileId> = wanted.iter().copied().collect();
+        for &f in &wanted {
+            sub.add_vertex(f);
+        }
+        for &f in &wanted {
+            if let Some(ix) = self.ids.get(&f) {
+                for (&d, &w) in &self.out[*ix as usize] {
+                    let dst = self.files[d as usize];
+                    if member.contains(&dst) {
+                        sub.add_edge(f, dst, w);
+                    }
+                }
+            }
+        }
+        sub
+    }
+
+    /// Merges another graph into this one (used when two ACGs are merged
+    /// back onto one Index Node).
+    pub fn merge(&mut self, other: &AcgGraph) {
+        for f in other.vertices() {
+            self.add_vertex(f);
+        }
+        for (s, d, w) in other.edges() {
+            self.add_edge(s, d, w);
+        }
+    }
+
+    /// Removes a vertex and all its incident edges (file deletion).
+    ///
+    /// Returns `true` if the vertex existed. This is O(degree) plus one
+    /// swap-remove relabel.
+    pub fn remove_vertex(&mut self, file: FileId) -> bool {
+        let Some(ix) = self.ids.remove(&file) else {
+            return false;
+        };
+        let ix = ix as usize;
+        // Detach incident edges.
+        let out = std::mem::take(&mut self.out[ix]);
+        for (d, w) in out {
+            self.inc[d as usize].remove(&(ix as u32));
+            self.edge_count -= 1;
+            self.total_weight -= w;
+        }
+        let inc = std::mem::take(&mut self.inc[ix]);
+        for (s, w) in inc {
+            self.out[s as usize].remove(&(ix as u32));
+            self.edge_count -= 1;
+            self.total_weight -= w;
+        }
+        // Swap-remove the vertex, relabelling the moved last vertex.
+        let last = self.files.len() - 1;
+        self.files.swap_remove(ix);
+        self.out.swap_remove(ix);
+        self.inc.swap_remove(ix);
+        if ix != last {
+            let moved = self.files[ix];
+            self.ids.insert(moved, ix as u32);
+            // Rewrite references to `last` as `ix`.
+            let out_keys: Vec<u32> = self.out[ix].keys().copied().collect();
+            for d in out_keys {
+                let w = self.out[ix][&d];
+                let peer = &mut self.inc[d as usize];
+                peer.remove(&(last as u32));
+                peer.insert(ix as u32, w);
+            }
+            let inc_keys: Vec<u32> = self.inc[ix].keys().copied().collect();
+            for s in inc_keys {
+                let w = self.inc[ix][&s];
+                let peer = &mut self.out[s as usize];
+                peer.remove(&(last as u32));
+                peer.insert(ix as u32, w);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u64) -> FileId {
+        FileId::new(i)
+    }
+
+    #[test]
+    fn add_edge_accumulates_weight() {
+        let mut g = AcgGraph::new();
+        g.add_edge(f(1), f(2), 2);
+        g.add_edge(f(1), f(2), 3);
+        assert_eq!(g.edge_weight(f(1), f(2)), Some(5));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.total_weight(), 5);
+    }
+
+    #[test]
+    fn self_loops_and_zero_weights_ignored() {
+        let mut g = AcgGraph::new();
+        g.add_edge(f(1), f(1), 9);
+        g.add_edge(f(1), f(2), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.total_weight(), 0);
+    }
+
+    #[test]
+    fn directed_edges_are_directed() {
+        let mut g = AcgGraph::new();
+        g.add_edge(f(1), f(2), 4);
+        assert_eq!(g.edge_weight(f(2), f(1)), None);
+        assert_eq!(g.undirected_weight(f(1), f(2)), 4);
+        g.add_edge(f(2), f(1), 6);
+        assert_eq!(g.undirected_weight(f(1), f(2)), 10);
+    }
+
+    #[test]
+    fn vertices_without_edges() {
+        let mut g = AcgGraph::new();
+        g.add_vertex(f(7));
+        assert_eq!(g.vertex_count(), 1);
+        assert!(g.contains(f(7)));
+        assert_eq!(g.out_edges(f(7)).count(), 0);
+    }
+
+    #[test]
+    fn apply_updates_batch() {
+        let mut g = AcgGraph::new();
+        g.apply_updates(vec![
+            EdgeUpdate { src: f(1), dst: f(2), weight: 1 },
+            EdgeUpdate { src: f(2), dst: f(3), weight: 2 },
+        ]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.total_weight(), 3);
+    }
+
+    #[test]
+    fn subgraph_keeps_internal_edges_only() {
+        let mut g = AcgGraph::new();
+        g.add_edge(f(1), f(2), 1);
+        g.add_edge(f(2), f(3), 1);
+        g.add_edge(f(3), f(4), 1);
+        let sub = g.subgraph(&[f(1), f(2), f(3)]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(sub.edge_weight(f(1), f(2)), Some(1));
+        assert_eq!(sub.edge_weight(f(3), f(4)), None);
+    }
+
+    #[test]
+    fn merge_unions_graphs() {
+        let mut a = AcgGraph::new();
+        a.add_edge(f(1), f(2), 1);
+        let mut b = AcgGraph::new();
+        b.add_edge(f(1), f(2), 2);
+        b.add_edge(f(3), f(4), 1);
+        a.merge(&b);
+        assert_eq!(a.edge_weight(f(1), f(2)), Some(3));
+        assert_eq!(a.vertex_count(), 4);
+    }
+
+    #[test]
+    fn remove_vertex_detaches_edges() {
+        let mut g = AcgGraph::new();
+        g.add_edge(f(1), f(2), 1);
+        g.add_edge(f(2), f(3), 2);
+        g.add_edge(f(3), f(1), 3);
+        assert!(g.remove_vertex(f(2)));
+        assert!(!g.contains(f(2)));
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.total_weight(), 3);
+        assert_eq!(g.edge_weight(f(3), f(1)), Some(3));
+        assert!(!g.remove_vertex(f(2)));
+    }
+
+    #[test]
+    fn remove_vertex_relabels_swapped_vertex() {
+        let mut g = AcgGraph::new();
+        // Create several vertices so swap_remove actually relabels.
+        for i in 1..=5 {
+            g.add_vertex(f(i));
+        }
+        g.add_edge(f(4), f(5), 7);
+        g.add_edge(f(5), f(3), 2);
+        assert!(g.remove_vertex(f(1)));
+        // Edges among surviving vertices must be intact.
+        assert_eq!(g.edge_weight(f(4), f(5)), Some(7));
+        assert_eq!(g.edge_weight(f(5), f(3)), Some(2));
+        assert_eq!(g.undirected_weight(f(4), f(5)), 7);
+    }
+
+    #[test]
+    fn undirected_adjacency_symmetric() {
+        let mut g = AcgGraph::new();
+        g.add_edge(f(1), f(2), 4);
+        g.add_edge(f(2), f(1), 1);
+        g.add_edge(f(2), f(3), 2);
+        let adj = g.undirected_adjacency();
+        let ix1 = g.local_index(f(1)).unwrap() as usize;
+        let ix2 = g.local_index(f(2)).unwrap() as usize;
+        let w12 = adj[ix1].iter().find(|(d, _)| *d == ix2 as u32).unwrap().1;
+        let w21 = adj[ix2].iter().find(|(d, _)| *d == ix1 as u32).unwrap().1;
+        assert_eq!(w12, 5);
+        assert_eq!(w21, 5);
+    }
+
+    #[test]
+    fn edges_iterator_covers_everything() {
+        let mut g = AcgGraph::new();
+        g.add_edge(f(1), f(2), 1);
+        g.add_edge(f(2), f(3), 2);
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort();
+        assert_eq!(edges, vec![(f(1), f(2), 1), (f(2), f(3), 2)]);
+    }
+}

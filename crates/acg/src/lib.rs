@@ -1,0 +1,46 @@
+//! Access-Causality Graph (ACG) substrate.
+//!
+//! The ACG is the paper's central data structure (§III): a weighted directed
+//! graph whose vertices are files and whose edge `fA → fB` carries the
+//! number of times a process accessed `fA` before writing `fB`. Propeller
+//! partitions its file index along this graph:
+//!
+//! 1. **Connected components** of the ACG are natural partitions — the paper
+//!    observes that different applications (and even sub-projects of one
+//!    application) produce disconnected components, so grouping by component
+//!    eliminates inter-partition index traffic ([`AcgGraph::components`]).
+//! 2. Small components are **clustered** into one partition to avoid index
+//!    fragmentation ([`cluster_components`]).
+//! 3. A component that outgrows the partition threshold (paper: 50 000
+//!    files) is **bisected** into two balanced halves with minimal cut
+//!    weight by a from-scratch multilevel partitioner in the METIS family
+//!    ([`bisect`]): heavy-edge-matching coarsening, greedy-growing initial
+//!    partition, Fiduccia–Mattheyses boundary refinement during
+//!    uncoarsening.
+//!
+//! # Examples
+//!
+//! ```
+//! use propeller_acg::AcgGraph;
+//! use propeller_types::FileId;
+//!
+//! let mut g = AcgGraph::new();
+//! g.add_edge(FileId::new(1), FileId::new(2), 5); // f1 -> f2, weight 5
+//! g.add_edge(FileId::new(3), FileId::new(4), 1); // separate component
+//!
+//! assert_eq!(g.vertex_count(), 4);
+//! assert_eq!(g.components().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clustering;
+mod components;
+mod graph;
+mod partition;
+
+pub use clustering::{cluster_components, ClusteringConfig};
+pub use components::ComponentSet;
+pub use graph::AcgGraph;
+pub use partition::{bisect, Bisection, PartitionConfig};

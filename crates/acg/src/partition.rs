@@ -1,0 +1,660 @@
+//! Balanced 2-way min-cut graph partitioning.
+//!
+//! The paper splits oversized ACG components with METIS (§III). This module
+//! is a from-scratch partitioner in the same algorithm family:
+//!
+//! 1. **Coarsening** — repeated heavy-edge matching collapses matched vertex
+//!    pairs, preserving cut structure while shrinking the graph
+//!    geometrically.
+//! 2. **Initial partition** — greedy graph growing on the coarsest graph
+//!    (several randomized restarts, best cut kept).
+//! 3. **Uncoarsening + refinement** — the partition is projected back level
+//!    by level and improved with Fiduccia–Mattheyses passes (gain-directed
+//!    boundary moves with hill-climbing and rollback to the best prefix),
+//!    under a vertex-balance constraint.
+//!
+//! The balance constraint matches the paper's requirement that splits be
+//! "approximately equal-sized": each side must weigh at most
+//! `(1 + epsilon) / 2` of the total vertex weight.
+
+use std::collections::BinaryHeap;
+
+use propeller_types::FileId;
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::AcgGraph;
+
+/// Tuning knobs for [`bisect`].
+///
+/// # Examples
+///
+/// ```
+/// use propeller_acg::PartitionConfig;
+///
+/// let cfg = PartitionConfig { seed: 7, ..PartitionConfig::default() };
+/// assert!(cfg.epsilon > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// Allowed imbalance: each side may weigh up to `(1 + epsilon) * W / 2`.
+    pub epsilon: f64,
+    /// Seed for matching order and initial-partition restarts.
+    pub seed: u64,
+    /// Stop coarsening once the graph is at most this many vertices.
+    pub coarsen_target: usize,
+    /// Number of greedy-growing restarts for the initial partition.
+    pub init_tries: usize,
+    /// Maximum Fiduccia–Mattheyses passes per level.
+    pub max_fm_passes: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            epsilon: 0.1,
+            seed: 0x9e3779b9,
+            coarsen_target: 64,
+            init_tries: 8,
+            max_fm_passes: 4,
+        }
+    }
+}
+
+/// The result of a 2-way partition.
+#[derive(Debug, Clone)]
+pub struct Bisection {
+    /// Files assigned to the first half.
+    pub left: Vec<FileId>,
+    /// Files assigned to the second half.
+    pub right: Vec<FileId>,
+    /// Total undirected weight of edges crossing the cut.
+    pub cut_weight: u64,
+    /// Total undirected edge weight of the graph (for cut percentage).
+    pub total_weight: u64,
+}
+
+impl Bisection {
+    /// Cut weight as a fraction of total edge weight (Table II's
+    /// "percentage of cut"). Zero for edgeless graphs.
+    pub fn cut_fraction(&self) -> f64 {
+        if self.total_weight == 0 {
+            0.0
+        } else {
+            self.cut_weight as f64 / self.total_weight as f64
+        }
+    }
+
+    /// Size of the larger side divided by the ideal half, e.g. `1.08` means
+    /// the larger side is 8% over a perfect split.
+    pub fn imbalance(&self) -> f64 {
+        let (l, r) = (self.left.len(), self.right.len());
+        let total = l + r;
+        if total == 0 {
+            return 1.0;
+        }
+        l.max(r) as f64 / (total as f64 / 2.0)
+    }
+}
+
+/// A graph level in the multilevel hierarchy: undirected, with weighted
+/// vertices (number of underlying files) and weighted edges.
+struct Level {
+    vwgt: Vec<u64>,
+    adj: Vec<Vec<(u32, u64)>>,
+    total_vwgt: u64,
+}
+
+impl Level {
+    fn n(&self) -> usize {
+        self.vwgt.len()
+    }
+}
+
+/// Bisects `graph` into two balanced halves with small cut weight.
+///
+/// Works on the *undirected* view of the ACG (causality direction does not
+/// matter for co-location; only co-access weight does). Handles empty,
+/// singleton and disconnected graphs.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_acg::{bisect, AcgGraph, PartitionConfig};
+/// use propeller_types::FileId;
+///
+/// // Two 3-cliques joined by one light edge: the light edge is the cut.
+/// let mut g = AcgGraph::new();
+/// let f = FileId::new;
+/// for &(a, b) in &[(0, 1), (1, 2), (0, 2)] {
+///     g.add_edge(f(a), f(b), 10);
+///     g.add_edge(f(a + 10), f(b + 10), 10);
+/// }
+/// g.add_edge(f(2), f(10), 1);
+///
+/// let bisection = bisect(&g, &PartitionConfig::default());
+/// assert_eq!(bisection.cut_weight, 1);
+/// assert_eq!(bisection.left.len(), 3);
+/// assert_eq!(bisection.right.len(), 3);
+/// ```
+pub fn bisect(graph: &AcgGraph, cfg: &PartitionConfig) -> Bisection {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Bisection { left: vec![], right: vec![], cut_weight: 0, total_weight: 0 };
+    }
+    if n == 1 {
+        return Bisection {
+            left: vec![graph.vertices().next().expect("one vertex")],
+            right: vec![],
+            cut_weight: 0,
+            total_weight: 0,
+        };
+    }
+
+    let adj = graph.undirected_adjacency();
+    let total_weight: u64 = adj
+        .iter()
+        .enumerate()
+        .map(|(i, nbrs)| {
+            nbrs.iter()
+                .filter(|&&(d, _)| (d as usize) > i)
+                .map(|&(_, w)| w)
+                .sum::<u64>()
+        })
+        .sum();
+    let finest = Level { vwgt: vec![1; n], adj, total_vwgt: n as u64 };
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // --- Coarsening phase ---------------------------------------------
+    let mut levels: Vec<Level> = vec![finest];
+    let mut maps: Vec<Vec<u32>> = Vec::new(); // maps[i]: level i vertex -> level i+1 vertex
+    while levels.last().expect("non-empty").n() > cfg.coarsen_target {
+        let cur = levels.last().expect("non-empty");
+        let (coarse, map) = coarsen_once(cur, &mut rng);
+        // Stop when matching no longer shrinks the graph meaningfully.
+        if coarse.n() as f64 > cur.n() as f64 * 0.95 {
+            break;
+        }
+        levels.push(coarse);
+        maps.push(map);
+    }
+
+    // --- Initial partition on the coarsest level -----------------------
+    let coarsest = levels.last().expect("non-empty");
+    let mut side = initial_partition(coarsest, cfg, &mut rng);
+    fm_refine(coarsest, &mut side, cfg);
+
+    // --- Uncoarsening + refinement -------------------------------------
+    for li in (0..maps.len()).rev() {
+        let fine = &levels[li];
+        let map = &maps[li];
+        let mut fine_side = vec![false; fine.n()];
+        for v in 0..fine.n() {
+            fine_side[v] = side[map[v] as usize];
+        }
+        side = fine_side;
+        fm_refine(fine, &mut side, cfg);
+    }
+
+    // --- Project back to file ids ---------------------------------------
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (ix, &s) in side.iter().enumerate() {
+        let file = graph.file_at(ix as u32);
+        if s {
+            right.push(file);
+        } else {
+            left.push(file);
+        }
+    }
+    left.sort_unstable();
+    right.sort_unstable();
+    let cut_weight = cut_of(&levels[0], &side);
+    Bisection { left, right, cut_weight, total_weight }
+}
+
+/// One round of heavy-edge matching. Returns the coarse graph and the
+/// fine→coarse vertex map.
+fn coarsen_once(level: &Level, rng: &mut StdRng) -> (Level, Vec<u32>) {
+    let n = level.n();
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        // Heaviest unmatched neighbor.
+        let mut best: Option<(u32, u64)> = None;
+        for &(u, w) in &level.adj[v as usize] {
+            if mate[u as usize] == UNMATCHED && u != v {
+                match best {
+                    Some((_, bw)) if bw >= w => {}
+                    _ => best = Some((u, w)),
+                }
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v,
+        }
+    }
+
+    // Assign coarse indices (pair gets one index; singletons keep one).
+    let mut map = vec![UNMATCHED; n];
+    let mut next: u32 = 0;
+    for v in 0..n as u32 {
+        if map[v as usize] != UNMATCHED {
+            continue;
+        }
+        let m = mate[v as usize];
+        map[v as usize] = next;
+        if m != v && m != UNMATCHED {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+
+    // Build the coarse level.
+    let cn = next as usize;
+    let mut vwgt = vec![0u64; cn];
+    for v in 0..n {
+        vwgt[map[v] as usize] += level.vwgt[v];
+    }
+    let mut adj_maps: Vec<std::collections::HashMap<u32, u64>> =
+        vec![std::collections::HashMap::new(); cn];
+    for v in 0..n {
+        let cv = map[v];
+        for &(u, w) in &level.adj[v] {
+            let cu = map[u as usize];
+            if cu != cv {
+                *adj_maps[cv as usize].entry(cu).or_insert(0) += w;
+            }
+        }
+    }
+    let adj: Vec<Vec<(u32, u64)>> = adj_maps
+        .into_iter()
+        .map(|m| {
+            let mut v: Vec<(u32, u64)> = m.into_iter().collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    (Level { vwgt, adj, total_vwgt: level.total_vwgt }, map)
+}
+
+/// Greedy graph growing with restarts: grow a region from a random seed,
+/// always absorbing the frontier vertex with the strongest connection to
+/// the region, until the region holds half the vertex weight.
+fn initial_partition(level: &Level, cfg: &PartitionConfig, rng: &mut StdRng) -> Vec<bool> {
+    let n = level.n();
+    let half = level.total_vwgt / 2;
+    let mut best: Option<(u64, Vec<bool>)> = None;
+
+    for _ in 0..cfg.init_tries.max(1) {
+        let mut side = vec![true; n]; // true = right; we grow the left region
+        let mut region_weight = 0u64;
+        let mut conn: Vec<u64> = vec![0; n]; // connectivity to region
+        let mut in_frontier = vec![false; n];
+        let mut frontier: BinaryHeap<(u64, u32)> = BinaryHeap::new();
+
+        let start = rng.gen_range(0..n) as u32;
+        frontier.push((0, start));
+        in_frontier[start as usize] = true;
+
+        while region_weight < half {
+            let v = match frontier.pop() {
+                Some((c, v)) => {
+                    if c != conn[v as usize] || !side[v as usize] {
+                        continue; // stale heap entry
+                    }
+                    v
+                }
+                None => {
+                    // Disconnected: jump to any vertex still on the right.
+                    match (0..n as u32).find(|&v| side[v as usize] && !in_frontier[v as usize]) {
+                        Some(v) => v,
+                        None => break,
+                    }
+                }
+            };
+            side[v as usize] = false;
+            region_weight += level.vwgt[v as usize];
+            for &(u, w) in &level.adj[v as usize] {
+                if side[u as usize] {
+                    conn[u as usize] += w;
+                    in_frontier[u as usize] = true;
+                    frontier.push((conn[u as usize], u));
+                }
+            }
+        }
+
+        let cut = cut_of(level, &side);
+        if best.as_ref().map(|(bc, _)| cut < *bc).unwrap_or(true) {
+            best = Some((cut, side));
+        }
+    }
+    best.expect("at least one try").1
+}
+
+/// Total weight of edges crossing the cut.
+fn cut_of(level: &Level, side: &[bool]) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..level.n() {
+        for &(u, w) in &level.adj[v] {
+            if (u as usize) > v && side[v] != side[u as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// Moves vertices off an over-ceiling side (best cut-gain first) until both
+/// sides respect the balance ceiling. Runs unconditionally — the greedy
+/// initial partition can overshoot when coarse vertices are heavy, and
+/// plain FM would refuse the restoring moves as "worsening".
+fn balance_repair(level: &Level, side: &mut [bool], ceiling: u64) {
+    let n = level.n();
+    let mut weight = [0u64; 2];
+    for v in 0..n {
+        weight[side[v] as usize] += level.vwgt[v];
+    }
+    let mut moved = vec![false; n];
+    while weight[0].max(weight[1]) > ceiling {
+        let heavy = weight[1] > weight[0];
+        // Best cut-gain among movable heavy-side vertices; ties prefer the
+        // lighter vertex so the repair does not overshoot the other way.
+        let mut best: Option<(i64, std::cmp::Reverse<u64>, usize)> = None;
+        for v in 0..n {
+            if moved[v] || side[v] != heavy {
+                continue;
+            }
+            let mut g = 0i64;
+            for &(u, w) in &level.adj[v] {
+                if side[v] != side[u as usize] {
+                    g += w as i64;
+                } else {
+                    g -= w as i64;
+                }
+            }
+            let key = (g, std::cmp::Reverse(level.vwgt[v]), v);
+            if best.map(|b| key > b).unwrap_or(true) {
+                best = Some(key);
+            }
+        }
+        let Some((_, _, v)) = best else { break };
+        let w = level.vwgt[v];
+        moved[v] = true;
+        side[v] = !side[v];
+        weight[heavy as usize] -= w;
+        weight[!heavy as usize] += w;
+    }
+}
+
+/// Fiduccia–Mattheyses refinement: gain-directed single-vertex moves with
+/// hill-climbing and rollback to the best prefix, respecting the balance
+/// ceiling `(1 + epsilon) * W / 2` per side.
+fn fm_refine(level: &Level, side: &mut [bool], cfg: &PartitionConfig) {
+    let n = level.n();
+    if n < 2 {
+        return;
+    }
+    let ceiling = ((1.0 + cfg.epsilon) * level.total_vwgt as f64 / 2.0).ceil() as u64;
+    balance_repair(level, side, ceiling);
+
+    for _pass in 0..cfg.max_fm_passes {
+        let mut weight = [0u64; 2];
+        for v in 0..n {
+            weight[side[v] as usize] += level.vwgt[v];
+        }
+
+        // gain[v] = (external weight) - (internal weight)
+        let mut gain: Vec<i64> = vec![0; n];
+        for v in 0..n {
+            let mut g = 0i64;
+            for &(u, w) in &level.adj[v] {
+                if side[v] != side[u as usize] {
+                    g += w as i64;
+                } else {
+                    g -= w as i64;
+                }
+            }
+            gain[v] = g;
+        }
+
+        let mut heap: BinaryHeap<(i64, u32)> = (0..n as u32).map(|v| (gain[v as usize], v)).collect();
+        let mut locked = vec![false; n];
+        let mut moves: Vec<u32> = Vec::new();
+        let mut cum: i64 = 0;
+        let mut best_cum: i64 = 0;
+        let mut best_len: usize = 0;
+
+        while let Some((g, v)) = heap.pop() {
+            let v = v as usize;
+            if locked[v] || g != gain[v] {
+                continue; // stale entry
+            }
+            let from = side[v] as usize;
+            let to = 1 - from;
+            // Balance: the destination side must stay under the ceiling and
+            // the source side must not be emptied.
+            if weight[to] + level.vwgt[v] > ceiling || weight[from] == level.vwgt[v] {
+                locked[v] = true;
+                continue;
+            }
+            // Move v.
+            locked[v] = true;
+            side[v] = !side[v];
+            weight[from] -= level.vwgt[v];
+            weight[to] += level.vwgt[v];
+            cum += g;
+            moves.push(v as u32);
+            if cum > best_cum {
+                best_cum = cum;
+                best_len = moves.len();
+            }
+            // Update neighbor gains.
+            for &(u, w) in &level.adj[v] {
+                let u = u as usize;
+                if locked[u] {
+                    continue;
+                }
+                // v switched sides: if u is now on v's side, the edge became
+                // internal (gain decreases by 2w); otherwise external
+                // (gain increases by 2w).
+                if side[u] == side[v] {
+                    gain[u] -= 2 * w as i64;
+                } else {
+                    gain[u] += 2 * w as i64;
+                }
+                heap.push((gain[u], u as u32));
+            }
+        }
+
+        // Roll back moves beyond the best prefix.
+        for &v in moves.iter().skip(best_len).rev() {
+            side[v as usize] = !side[v as usize];
+        }
+        if best_cum <= 0 {
+            break; // no improvement this pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u64) -> FileId {
+        FileId::new(i)
+    }
+
+    fn cfg(seed: u64) -> PartitionConfig {
+        PartitionConfig { seed, ..PartitionConfig::default() }
+    }
+
+    /// Two cliques of size `k` with internal weight `heavy`, joined by a
+    /// single `light` bridge.
+    fn two_cliques(k: u64, heavy: u64, light: u64) -> AcgGraph {
+        let mut g = AcgGraph::new();
+        for base in [0, 100] {
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    g.add_edge(f(base + a), f(base + b), heavy);
+                }
+            }
+        }
+        g.add_edge(f(k - 1), f(100), light);
+        g
+    }
+
+    #[test]
+    fn empty_graph() {
+        let b = bisect(&AcgGraph::new(), &cfg(1));
+        assert!(b.left.is_empty() && b.right.is_empty());
+        assert_eq!(b.cut_weight, 0);
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let mut g = AcgGraph::new();
+        g.add_vertex(f(1));
+        let b = bisect(&g, &cfg(1));
+        assert_eq!(b.left, vec![f(1)]);
+        assert!(b.right.is_empty());
+    }
+
+    #[test]
+    fn two_vertices_split_evenly() {
+        let mut g = AcgGraph::new();
+        g.add_edge(f(1), f(2), 5);
+        let b = bisect(&g, &cfg(1));
+        assert_eq!(b.left.len(), 1);
+        assert_eq!(b.right.len(), 1);
+        assert_eq!(b.cut_weight, 5);
+    }
+
+    #[test]
+    fn finds_the_obvious_min_cut() {
+        let g = two_cliques(5, 10, 1);
+        let b = bisect(&g, &cfg(42));
+        assert_eq!(b.cut_weight, 1, "should cut only the bridge");
+        assert_eq!(b.left.len(), 5);
+        assert_eq!(b.right.len(), 5);
+        // The cliques must not be mixed.
+        let left_set: std::collections::HashSet<u64> =
+            b.left.iter().map(|x| x.raw()).collect();
+        assert!(
+            left_set.iter().all(|&x| x < 100) || left_set.iter().all(|&x| x >= 100),
+            "clique split across sides: {left_set:?}"
+        );
+    }
+
+    #[test]
+    fn respects_balance_on_a_path() {
+        // A path graph: best balanced cut is one edge in the middle.
+        let mut g = AcgGraph::new();
+        for i in 0..20 {
+            g.add_edge(f(i), f(i + 1), 1);
+        }
+        let b = bisect(&g, &cfg(3));
+        assert_eq!(b.cut_weight, 1);
+        assert!(b.imbalance() <= 1.15, "imbalance {}", b.imbalance());
+    }
+
+    #[test]
+    fn disconnected_graph_splits_by_component() {
+        let mut g = AcgGraph::new();
+        for i in 0..10 {
+            g.add_edge(f(i), f((i + 1) % 10), 5); // ring A
+            g.add_edge(f(100 + i), f(100 + (i + 1) % 10), 5); // ring B
+        }
+        let b = bisect(&g, &cfg(7));
+        assert_eq!(b.cut_weight, 0, "disconnected halves need no cut");
+        assert_eq!(b.left.len(), 10);
+        assert_eq!(b.right.len(), 10);
+    }
+
+    #[test]
+    fn partition_covers_all_vertices_exactly_once() {
+        let g = two_cliques(8, 3, 2);
+        let b = bisect(&g, &cfg(9));
+        let mut all: Vec<FileId> = b.left.iter().chain(&b.right).copied().collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), g.vertex_count());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = two_cliques(6, 4, 1);
+        let b1 = bisect(&g, &cfg(5));
+        let b2 = bisect(&g, &cfg(5));
+        assert_eq!(b1.left, b2.left);
+        assert_eq!(b1.cut_weight, b2.cut_weight);
+    }
+
+    #[test]
+    fn larger_random_graph_is_balanced_with_modest_cut() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut g = AcgGraph::new();
+        // Two noisy communities of 200 vertices each.
+        for c in 0..2u64 {
+            let base = c * 1000;
+            for _ in 0..2000 {
+                let a = rng.gen_range(0..200);
+                let b = rng.gen_range(0..200);
+                if a != b {
+                    g.add_edge(f(base + a), f(base + b), rng.gen_range(1..5));
+                }
+            }
+        }
+        // Sparse cross-community noise.
+        for _ in 0..40 {
+            let a = rng.gen_range(0..200);
+            let b = rng.gen_range(0..200);
+            g.add_edge(f(a), f(1000 + b), 1);
+        }
+        let b = bisect(&g, &cfg(13));
+        assert!(b.imbalance() <= 1.11, "imbalance {}", b.imbalance());
+        assert!(
+            b.cut_fraction() < 0.1,
+            "cut fraction too high: {}",
+            b.cut_fraction()
+        );
+    }
+
+    #[test]
+    fn cut_weight_matches_manual_recount() {
+        let g = two_cliques(4, 2, 3);
+        let b = bisect(&g, &cfg(17));
+        let left: std::collections::HashSet<FileId> = b.left.iter().copied().collect();
+        let mut manual = 0u64;
+        for (s, d, w) in g.edges() {
+            if left.contains(&s) != left.contains(&d) {
+                manual += w;
+            }
+        }
+        assert_eq!(b.cut_weight, manual);
+    }
+
+    #[test]
+    fn star_graph_does_not_empty_a_side() {
+        let mut g = AcgGraph::new();
+        for i in 1..=12 {
+            g.add_edge(f(0), f(i), 100);
+        }
+        let b = bisect(&g, &cfg(23));
+        assert!(!b.left.is_empty() && !b.right.is_empty());
+        // 13 vertices: the balance ceiling is ceil(1.1 * 13 / 2) = 8 per side.
+        assert!(b.left.len().max(b.right.len()) <= 8, "{b:?}");
+    }
+}

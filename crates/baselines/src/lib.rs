@@ -1,0 +1,34 @@
+//! Evaluation baselines (paper §V).
+//!
+//! Propeller is evaluated against two real systems plus a brute-force
+//! floor; each is rebuilt here with the structural properties the paper's
+//! comparison rests on:
+//!
+//! * [`CentralDb`] — the MySQL stand-in: a *centralized* relational-style
+//!   store with the paper's two-table schema (file attributes + keyword →
+//!   file), global B+-tree indexes and a synchronous per-update commit
+//!   path. No access locality, no lazy cache: every update pays the global
+//!   index, which is exactly why it loses Figures 8/10 and Table III.
+//! * [`SpotlightEngine`] — the crawling desktop-search stand-in: an
+//!   asynchronous crawl queue (staleness grows with background I/O
+//!   intensity), a limited file-type plugin set (hard recall ceiling) and
+//!   full re-index windows during which queries return nothing — the three
+//!   behaviours measured in Figures 1 and 11 and Table V.
+//! * [`BruteForce`] — full-scan ground truth (always 100% recall, always
+//!   slowest warm path).
+//! * [`ShardedDb`] — the paper's future-work comparison class: a
+//!   hash-sharded (key-partitioned, access-pattern-blind) store whose
+//!   working sets scatter across all shards.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod brute;
+mod centraldb;
+mod sharded;
+mod spotlight;
+
+pub use brute::BruteForce;
+pub use centraldb::CentralDb;
+pub use sharded::ShardedDb;
+pub use spotlight::{recall, SpotlightConfig, SpotlightEngine};

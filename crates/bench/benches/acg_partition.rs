@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the ACG substrate: edge ingestion, connected
+//! components and the multilevel bisector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use propeller_acg::{bisect, AcgGraph, PartitionConfig};
+use propeller_types::FileId;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Two noisy communities, `n` vertices each, sparse cross edges.
+fn community_graph(n: u64, seed: u64) -> AcgGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = AcgGraph::new();
+    for c in 0..2u64 {
+        let base = c * 10 * n;
+        for _ in 0..n * 8 {
+            let a = base + rng.gen_range(0..n);
+            let b = base + rng.gen_range(0..n);
+            if a != b {
+                g.add_edge(FileId::new(a), FileId::new(b), rng.gen_range(1..4));
+            }
+        }
+    }
+    for _ in 0..n / 20 {
+        let a = rng.gen_range(0..n);
+        let b = 10 * n + rng.gen_range(0..n);
+        g.add_edge(FileId::new(a), FileId::new(b), 1);
+    }
+    g
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    c.bench_function("acg/ingest_10k_edges", |b| {
+        b.iter(|| {
+            let mut g = AcgGraph::new();
+            for i in 0..10_000u64 {
+                g.add_edge(FileId::new(i % 997), FileId::new((i * 7) % 997), 1);
+            }
+            g
+        })
+    });
+}
+
+fn bench_components(c: &mut Criterion) {
+    let g = community_graph(2_000, 5);
+    c.bench_function("acg/components_4k_vertices", |b| b.iter(|| g.components()));
+}
+
+fn bench_bisect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acg/bisect");
+    group.sample_size(10);
+    for &n in &[500u64, 2_000, 8_000] {
+        let g = community_graph(n, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n * 2), &n, |b, _| {
+            b.iter(|| bisect(&g, &PartitionConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_components, bench_bisect);
+criterion_main!(benches);

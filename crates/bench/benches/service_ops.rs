@@ -1,0 +1,73 @@
+//! Criterion benchmarks for end-to-end service operations: inline index
+//! updates, commit-then-search, and the centralized baseline's same ops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use propeller_baselines::CentralDb;
+use propeller_core::{FileRecord, Propeller, PropellerConfig};
+use propeller_query::Query;
+use propeller_types::{FileId, InodeAttrs, Timestamp};
+
+fn record(file: u64, size: u64) -> FileRecord {
+    FileRecord::new(FileId::new(file), InodeAttrs::builder().size(size).build())
+}
+
+fn seeded_service(files: u64) -> Propeller {
+    let mut p = Propeller::new(PropellerConfig::default());
+    p.index_batch((0..files).map(|i| record(i, i)).collect()).unwrap();
+    p
+}
+
+fn bench_propeller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service/propeller");
+    group.bench_function("index_file", |b| {
+        let mut p = seeded_service(10_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            p.index_file(record(i % 10_000, i)).unwrap();
+        })
+    });
+    group.bench_function("search_size_range", |b| {
+        let mut p = seeded_service(10_000);
+        let q = Query::parse("size>5000", Timestamp::EPOCH).unwrap();
+        b.iter(|| p.search(&q.predicate).unwrap())
+    });
+    group.bench_function("update_then_search", |b| {
+        let mut p = seeded_service(10_000);
+        let q = Query::parse("size>5000", Timestamp::EPOCH).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            p.index_file(record(i % 10_000, i)).unwrap();
+            p.search(&q.predicate).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_centraldb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service/centraldb");
+    group.bench_function("upsert", |b| {
+        let mut db = CentralDb::new();
+        for i in 0..10_000u64 {
+            db.upsert(record(i, i));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            db.upsert(record(i % 10_000, i));
+        })
+    });
+    group.bench_function("query_size_range", |b| {
+        let mut db = CentralDb::new();
+        for i in 0..10_000u64 {
+            db.upsert(record(i, i));
+        }
+        let q = Query::parse("size>5000", Timestamp::EPOCH).unwrap();
+        b.iter(|| db.query(&q.predicate))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_propeller, bench_centraldb);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Ablation: access-causality partitioning vs namespace-based vs random
+//! partitioning at equal partition sizes.
+//!
+//! The paper's §III argument is that static partitioning (by directory or
+//! by hash) cannot confine an application's updates to few partitions.
+//! We build the ACGs of two build workloads plus an interactive session,
+//! partition the files three ways, and measure (a) the total causality
+//! weight crossing partition boundaries and (b) how many distinct
+//! partitions an average process execution touches.
+
+use std::collections::{HashMap, HashSet};
+
+use propeller_acg::{cluster_components, AcgGraph, ClusteringConfig};
+use propeller_bench::table;
+use propeller_trace::profiles::{BuildProfile, InteractiveProfile};
+use propeller_trace::{CausalityTracker, FileCatalog};
+use propeller_types::{FileId, FileOp, ProcessId};
+
+const PARTITION_SIZE: usize = 2_500;
+
+/// Remaps a profile-relative path onto a realistic system layout: the
+/// paper's Figure 3 point is that one application's files are scattered
+/// across `/usr`, `/var` and `/home`, so namespace partitioning separates
+/// what the application accesses together.
+fn system_path(path: &str) -> String {
+    let app = path.split('/').nth(1).unwrap_or("app").to_owned();
+    let leaf = path.rsplit('/').next().unwrap_or("f");
+    if path.contains("/ro/") || path.contains("/include/") {
+        format!("/usr/lib/{app}/{leaf}")
+    } else if path.contains("/rw/") {
+        format!("/home/user/.{app}/{leaf}")
+    } else if path.contains("/obj/") || path.contains("/bin/") {
+        format!("/var/build/{app}/{leaf}")
+    } else {
+        format!("/home/user/src/{app}/{leaf}")
+    }
+}
+
+fn main() {
+    table::banner("Ablation: partitioning scheme quality");
+    let mut catalog = FileCatalog::new();
+    let mut events = Vec::new();
+    let mut files = Vec::new();
+    for trace in [
+        BuildProfile::thrift().generate(&mut catalog, 1),
+        BuildProfile::git().generate(&mut catalog, 2),
+        InteractiveProfile::firefox().generate(&mut catalog, 3),
+    ] {
+        events.extend(trace.events);
+        files.extend(trace.files);
+    }
+    files.sort_unstable();
+    files.dedup();
+
+    let mut tracker = CausalityTracker::new();
+    let mut per_process: HashMap<ProcessId, HashSet<FileId>> = HashMap::new();
+    for ev in &events {
+        tracker.observe(*ev);
+        if matches!(ev.op, FileOp::Open(_)) {
+            per_process.entry(ev.pid).or_default().insert(ev.file);
+        }
+    }
+    let mut graph = AcgGraph::new();
+    for (s, d, w) in tracker.drain_edges() {
+        graph.add_edge(s, d, w);
+    }
+    for &f in &files {
+        graph.add_vertex(f);
+    }
+
+    // --- three partitioning schemes -------------------------------------
+    let acg_parts = cluster_components(&graph, &ClusteringConfig::with_max_files(PARTITION_SIZE));
+
+    let mut by_dir: HashMap<String, Vec<FileId>> = HashMap::new();
+    for &f in &files {
+        let path = system_path(catalog.path(f).unwrap_or("/unknown"));
+        let dir = path.rsplit_once('/').map(|(d, _)| d.to_owned()).unwrap_or_default();
+        by_dir.entry(dir).or_default().push(f);
+    }
+    let mut namespace_parts: Vec<Vec<FileId>> = Vec::new();
+    let mut dirs: Vec<_> = by_dir.into_iter().collect();
+    dirs.sort_by(|a, b| a.0.cmp(&b.0));
+    // Pack whole directories into fixed-size partitions, namespace order.
+    let mut current: Vec<FileId> = Vec::new();
+    for (_, mut dir_files) in dirs {
+        current.append(&mut dir_files);
+        while current.len() >= PARTITION_SIZE {
+            let rest = current.split_off(PARTITION_SIZE);
+            namespace_parts.push(std::mem::replace(&mut current, rest));
+        }
+    }
+    if !current.is_empty() {
+        namespace_parts.push(current);
+    }
+
+    let random_parts: Vec<Vec<FileId>> = {
+        use rand::seq::SliceRandom;
+        let mut shuffled = files.clone();
+        shuffled.shuffle(&mut propeller_sim::seeded_rng(9));
+        shuffled.chunks(PARTITION_SIZE).map(<[FileId]>::to_vec).collect()
+    };
+
+    table::header(&[
+        "scheme",
+        "partitions",
+        "cut weight",
+        "cut %",
+        "parts/process",
+    ]);
+    for (name, parts) in [
+        ("access-causality", &acg_parts),
+        ("namespace", &namespace_parts),
+        ("random", &random_parts),
+    ] {
+        let assignment: HashMap<FileId, usize> = parts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| p.iter().map(move |&f| (f, i)))
+            .collect();
+        let mut cut = 0u64;
+        for (s, d, w) in graph.edges() {
+            if assignment.get(&s) != assignment.get(&d) {
+                cut += w;
+            }
+        }
+        let touched: f64 = per_process
+            .values()
+            .map(|fs| {
+                fs.iter()
+                    .filter_map(|f| assignment.get(f))
+                    .collect::<HashSet<_>>()
+                    .len() as f64
+            })
+            .sum::<f64>()
+            / per_process.len().max(1) as f64;
+        table::row(&[
+            name.to_string(),
+            format!("{}", parts.len()),
+            format!("{cut}"),
+            format!("{:.2}%", 100.0 * cut as f64 / graph.total_weight().max(1) as f64),
+            format!("{touched:.2}"),
+        ]);
+    }
+    println!(
+        "\nexpected: access-causality partitioning cuts far less weight and \
+         confines each process to fewer partitions than namespace or random \
+         placement — the structural reason behind Figures 2 and 8"
+    );
+}

@@ -1,0 +1,72 @@
+//! Figure 8: file-indexing time of Propeller vs the centralized MySQL-like
+//! baseline on 50M- and 100M-file datasets, with 1–16 concurrent processes
+//! each issuing 10 000 updates.
+//!
+//! Modeled mode: Propeller processes each update within one resident
+//! 1000-file group (WAL append is the only disk work); the centralized
+//! store pays global-B+-tree page misses per update. The single shared
+//! HDD serializes disk work across processes.
+
+use propeller_bench::{scales, table};
+use propeller_storage::{Disk, DiskProfile, PageIoModel};
+use propeller_types::Duration;
+
+/// Propeller: per-process group stays resident; each update appends a WAL
+/// record to the shared disk (sequential) and does in-RAM index work.
+fn propeller_run(processes: u64, updates_per_proc: u64) -> Duration {
+    let mut disk = Disk::new(DiskProfile::hdd_7200());
+    let mut rng = propeller_sim::seeded_rng(8);
+    let mut disk_time = Duration::ZERO;
+    for _ in 0..processes * updates_per_proc {
+        disk_time += disk.sequential_write(256, &mut rng);
+    }
+    // One initial group load per process.
+    for _ in 0..processes {
+        disk_time += disk.sequential_read(scales::GROUP_FILES * 400, &mut rng);
+    }
+    // In-RAM update work parallelises across cores (4-core Xeon).
+    let ram = Duration::from_micros(12) * (processes * updates_per_proc)
+        / processes.min(4).max(1);
+    disk_time + ram
+}
+
+/// Centralized baseline: every update descends the global index.
+fn centraldb_run(total_files: u64, processes: u64, updates_per_proc: u64) -> Duration {
+    let model = PageIoModel::default();
+    let mut disk = Disk::new(DiskProfile::hdd_7200());
+    model.update_run_cost(total_files, processes * updates_per_proc, &mut disk)
+}
+
+fn main() {
+    table::banner("Figure 8: indexing time, Propeller vs centralized (log scale)");
+    let updates = 10_000u64;
+    table::header(&[
+        "processes",
+        "PP 50M (s)",
+        "DB 50M (s)",
+        "speedup",
+        "PP 100M (s)",
+        "DB 100M (s)",
+        "speedup",
+    ]);
+    for processes in [1u64, 2, 4, 8, 16] {
+        let pp50 = propeller_run(processes, updates).as_secs_f64();
+        let db50 = centraldb_run(scales::M50, processes, updates).as_secs_f64();
+        let pp100 = propeller_run(processes, updates).as_secs_f64();
+        let db100 = centraldb_run(scales::M100, processes, updates).as_secs_f64();
+        table::row(&[
+            format!("{processes}"),
+            table::secs(pp50),
+            table::secs(db50),
+            table::ratio(db50 / pp50),
+            table::secs(pp100),
+            table::secs(db100),
+            table::ratio(db100 / pp100),
+        ]);
+    }
+    println!(
+        "\npaper shape: Propeller is 30-60x faster; Propeller's cost is set by the \
+         group size (identical across datasets) while the centralized store \
+         degrades ~2x from 50M to 100M files"
+    );
+}

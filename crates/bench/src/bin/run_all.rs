@@ -1,0 +1,52 @@
+//! Runs every experiment binary in sequence (quick variants where they
+//! exist). Build first: `cargo build --release -p propeller-bench`, then
+//! `cargo run --release -p propeller-bench --bin run_all`.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[(&str, &[&str])] = &[
+    ("table1_app_overlap", &[]),
+    ("fig2a_partition_size", &[]),
+    ("fig2b_inter_partition", &[]),
+    ("fig7_thrift_acg", &[]),
+    ("table2_partitioning", &["--quick"]),
+    ("fig1_spotlight_recall", &[]),
+    ("fig8_indexing_scale", &[]),
+    ("table3_global_search", &[]),
+    ("table4_cluster_scaling", &[]),
+    ("fig10_mixed_workload", &[]),
+    ("table5_spotlight_static", &["--quick"]),
+    ("fig11_dynamic_namespace", &["--quick"]),
+    ("table6_postmark", &[]),
+    ("ablation_partitioning", &[]),
+    ("ablation_cache", &[]),
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir").to_path_buf();
+    let mut failures = Vec::new();
+    for (name, args) in EXPERIMENTS {
+        let path = bin_dir.join(name);
+        if !path.exists() {
+            eprintln!("[skip] {name}: binary not built ({})", path.display());
+            failures.push(*name);
+            continue;
+        }
+        let status = Command::new(&path).args(*args).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("[fail] {name}: {other:?}");
+                failures.push(*name);
+            }
+        }
+    }
+    println!();
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        println!("{} experiment(s) failed: {failures:?}", failures.len());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Table II: evaluation of the access-causality partitioning algorithm on
+//! the Thrift, Git and Linux-kernel build ACGs — graph scale, partitioning
+//! time, resulting partition sizes and cut weight.
+//!
+//! Pass `--quick` to skip the (large) Linux profile.
+
+use std::time::Instant;
+
+use propeller_acg::{bisect, AcgGraph, PartitionConfig};
+use propeller_bench::table;
+use propeller_trace::profiles::BuildProfile;
+use propeller_trace::{CausalityTracker, FileCatalog};
+
+fn build_acg(profile: &BuildProfile, seed: u64) -> AcgGraph {
+    let mut catalog = FileCatalog::new();
+    let trace = profile.generate(&mut catalog, seed);
+    let mut tracker = CausalityTracker::new();
+    for ev in &trace.events {
+        tracker.observe(*ev);
+    }
+    let mut graph = AcgGraph::new();
+    for (src, dst, w) in tracker.drain_edges() {
+        graph.add_edge(src, dst, w);
+    }
+    for &f in &trace.files {
+        graph.add_vertex(f);
+    }
+    graph
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    table::banner("Table II: ACG partitioning with the multilevel bisector");
+    let mut profiles = vec![BuildProfile::thrift(), BuildProfile::git()];
+    if !quick {
+        profiles.insert(0, BuildProfile::linux_kernel());
+    }
+
+    table::header(&[
+        "application",
+        "vertices",
+        "edges",
+        "total weight",
+        "part time",
+        "partition sizes",
+        "cut (weight)",
+        "cut %",
+    ]);
+    for profile in profiles {
+        let graph = build_acg(&profile, 42);
+        // Partition the largest connected component, as the paper does.
+        let comps = graph.components();
+        let largest = comps.largest().expect("non-empty graph").to_vec();
+        let sub = graph.subgraph(&largest);
+        let start = Instant::now();
+        let bisection = bisect(&sub, &PartitionConfig::default());
+        let elapsed = start.elapsed();
+        table::row(&[
+            profile.name.clone(),
+            format!("{}", graph.vertex_count()),
+            format!("{}", graph.edge_count()),
+            format!("{}", graph.total_weight()),
+            format!("{:.3}s", elapsed.as_secs_f64()),
+            format!("{}/{}", bisection.left.len(), bisection.right.len()),
+            format!("{}", bisection.cut_weight),
+            format!("{:.2}%", bisection.cut_fraction() * 100.0),
+        ]);
+    }
+    println!(
+        "\npaper reference: Linux 62331 v / 5.94M e / cut 1.33%; Thrift 775 v / \
+         8698 e / cut 0.58%; Git 1018 v / 2925 e / cut 29.4% — balanced halves, \
+         small cuts on locality-structured graphs"
+    );
+}

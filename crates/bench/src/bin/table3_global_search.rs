@@ -1,0 +1,63 @@
+//! Table III: global file-search latency on synthetically scaled
+//! namespaces (10–50 M files), Propeller vs the centralized baseline.
+//! Query #1: `size > 1g & mtime < 1day`; query #2: `keyword:firefox &
+//! mtime < 1week`.
+
+use propeller_bench::{table, ClusterSearchModel};
+use propeller_storage::{Disk, DiskProfile, PageIoModel};
+use propeller_types::Duration;
+
+/// Propeller global search: one in-RAM probe per group plus minor faults
+/// once the index working set exceeds RAM (single node).
+fn propeller_query(total_files: u64, probe: Duration) -> Duration {
+    let model = ClusterSearchModel {
+        warm_probe_per_group: probe,
+        ..ClusterSearchModel::default()
+    };
+    model.warm(total_files, 1)
+}
+
+/// Centralized baseline: secondary-index descent + scan, then one
+/// clustered-row fetch per matched row (the classic secondary-index
+/// penalty). Matched rows scale with the dataset.
+fn centraldb_query(total_files: u64, selectivity: f64, per_row: Duration) -> Duration {
+    let model = PageIoModel::default();
+    let mut disk = Disk::new(DiskProfile::hdd_7200());
+    let matched = (total_files as f64 * selectivity) as u64;
+    let scan = model.scan_cost(total_files, matched, &mut disk);
+    scan + per_row * matched
+}
+
+fn main() {
+    table::banner("Table III: global file search (seconds)");
+    table::header(&[
+        "files (M)",
+        "PP #1",
+        "PP #2",
+        "DB #1",
+        "DB #2",
+        "speedup #1",
+        "speedup #2",
+    ]);
+    for millions in [10u64, 20, 30, 40, 50] {
+        let n = millions * 1_000_000;
+        let pp1 = propeller_query(n, Duration::from_micros(10)).as_secs_f64();
+        let pp2 = propeller_query(n, Duration::from_micros(40)).as_secs_f64();
+        let db1 = centraldb_query(n, 2e-4, Duration::from_micros(2_500)).as_secs_f64();
+        let db2 = centraldb_query(n, 2.1e-4, Duration::from_micros(2_500)).as_secs_f64();
+        table::row(&[
+            format!("{millions}"),
+            table::secs(pp1),
+            table::secs(pp2),
+            table::secs(db1),
+            table::secs(db2),
+            table::ratio(db1 / pp1),
+            table::ratio(db2 / pp2),
+        ]);
+    }
+    println!(
+        "\npaper reference at 50M: PP 1.64 s / 4.00 s vs MySQL 32.5 s / 34.2 s \
+         (9.0x and 26.3x average speedups); both grow with dataset size, \
+         Propeller much more slowly"
+    );
+}

@@ -1,0 +1,129 @@
+//! Analytic models calibrated to the paper's testbed, used by the
+//! modeled-mode experiment binaries.
+
+use propeller_types::Duration;
+
+/// Cost model for cluster-wide searches (Table IV / Figure 9).
+///
+/// Each Index Node hosts `total_files / group_files / nodes` index groups.
+/// A **cold** search loads each group's serialized indices from its HDD
+/// (sequential read + initial seek), with an eviction-thrash multiplier
+/// when the node's share of index bytes exceeds its RAM — this is the
+/// paper's explanation for the super-linear speed-up from 1 to 4 nodes.
+/// A **warm** search touches each group in RAM, paying a minor-fault
+/// penalty for the fraction of groups that cannot stay resident.
+#[derive(Debug, Clone)]
+pub struct ClusterSearchModel {
+    /// RAM available for index caching per node (paper nodes: 4–16 GB).
+    pub ram_bytes: u64,
+    /// Serialized index bytes per file entry.
+    pub bytes_per_entry: u64,
+    /// Files per index group.
+    pub group_files: u64,
+    /// Cold load of one group: seek + sequential transfer.
+    pub cold_load_per_group: Duration,
+    /// Warm in-RAM probe of one group.
+    pub warm_probe_per_group: Duration,
+    /// Minor-fault penalty per non-resident group on the warm path.
+    pub warm_fault_per_group: Duration,
+}
+
+impl Default for ClusterSearchModel {
+    fn default() -> Self {
+        ClusterSearchModel {
+            ram_bytes: 16 << 30,
+            bytes_per_entry: 400,
+            group_files: 1_000,
+            cold_load_per_group: Duration::from_micros(14_000),
+            warm_probe_per_group: Duration::from_micros(3),
+            warm_fault_per_group: Duration::from_micros(20),
+        }
+    }
+}
+
+impl ClusterSearchModel {
+    fn groups(&self, total_files: u64) -> u64 {
+        total_files / self.group_files.max(1)
+    }
+
+    /// Fraction of a node's group share that exceeds its RAM.
+    fn overflow_fraction(&self, total_files: u64, nodes: u64) -> f64 {
+        let share_bytes = total_files / nodes.max(1) * self.bytes_per_entry;
+        if share_bytes <= self.ram_bytes {
+            0.0
+        } else {
+            (share_bytes - self.ram_bytes) as f64 / share_bytes as f64
+        }
+    }
+
+    /// Cold (first-query) latency with `nodes` Index Nodes.
+    pub fn cold(&self, total_files: u64, nodes: u64) -> Duration {
+        let per_node_groups = self.groups(total_files) / nodes.max(1);
+        let thrash = 1.0 + self.overflow_fraction(total_files, nodes);
+        self.cold_load_per_group * per_node_groups * thrash
+    }
+
+    /// Warm (steady-state) latency with `nodes` Index Nodes.
+    pub fn warm(&self, total_files: u64, nodes: u64) -> Duration {
+        let per_node_groups = self.groups(total_files) / nodes.max(1);
+        let overflow = self.overflow_fraction(total_files, nodes);
+        let faulting = (per_node_groups as f64 * overflow) as u64;
+        self.warm_probe_per_group * per_node_groups + self.warm_fault_per_group * faulting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scales::{M100, M50};
+
+    #[test]
+    fn cold_latency_drops_with_nodes() {
+        let m = ClusterSearchModel::default();
+        let mut last = Duration::from_secs(1_000_000);
+        for nodes in [1, 2, 4, 6, 8] {
+            let c = m.cold(M50, nodes);
+            assert!(c < last, "cold({nodes}) = {c} should fall");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn cold_matches_paper_order_of_magnitude() {
+        let m = ClusterSearchModel::default();
+        // Paper Table IV 50M cold: 698 s at 1 node, 55.8 s at 8.
+        let one = m.cold(M50, 1).as_secs_f64();
+        let eight = m.cold(M50, 8).as_secs_f64();
+        assert!((300.0..1500.0).contains(&one), "1 node: {one}");
+        assert!((30.0..150.0).contains(&eight), "8 nodes: {eight}");
+    }
+
+    #[test]
+    fn warm_superlinear_when_ram_binds() {
+        let m = ClusterSearchModel::default();
+        // Paper: 100M warm improves super-linearly from 1 to 4 nodes
+        // (1.61 s -> 0.056 s ≈ 29x for 4x nodes).
+        let one = m.warm(M100, 1);
+        let four = m.warm(M100, 4);
+        let speedup = one.as_secs_f64() / four.as_secs_f64();
+        assert!(speedup > 4.0, "speedup {speedup} must exceed node ratio");
+    }
+
+    #[test]
+    fn warm_matches_paper_order_of_magnitude() {
+        let m = ClusterSearchModel::default();
+        let w = m.warm(M100, 1).as_secs_f64();
+        assert!((0.5..5.0).contains(&w), "100M warm 1 node: {w} (paper 1.61)");
+        let w8 = m.warm(M50, 8).as_secs_f64();
+        assert!(w8 < 0.1, "50M warm 8 nodes: {w8} (paper 0.016)");
+    }
+
+    #[test]
+    fn bigger_dataset_never_faster() {
+        let m = ClusterSearchModel::default();
+        for nodes in [1, 2, 4, 8] {
+            assert!(m.cold(M100, nodes) > m.cold(M50, nodes));
+            assert!(m.warm(M100, nodes) >= m.warm(M50, nodes));
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The client-side File Query Engine (paper §IV "Client").
+//!
+//! The engine (1) captures file accesses and accumulates access-causality
+//! edges in RAM, flushing ACG deltas to Index Nodes after I/O completes,
+//! (2) batches file-indexing requests, asking the Master for ACG routes
+//! and sending per-ACG batches to Index Nodes **in parallel**, and (3)
+//! serves searches by fanning the query out to every Index Node holding a
+//! relevant ACG and aggregating the returned file sets.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use propeller_index::{FileRecord, IndexOp, IndexSpec};
+use propeller_query::{Predicate, Query};
+use propeller_sim::Clock;
+use propeller_trace::CausalityTracker;
+use propeller_types::{
+    AcgId, Error, FileId, NodeId, OpenMode, ProcessId, Result, TraceEvent,
+};
+
+use crate::messages::{Request, Response};
+use crate::rpc::Rpc;
+
+/// A client handle to a Propeller cluster.
+///
+/// Cheap to create; each client keeps its own causality tracker and route
+/// cache. See [`crate::Cluster::client`].
+pub struct FileQueryEngine {
+    rpc: Rpc,
+    master: NodeId,
+    index_nodes: Vec<NodeId>,
+    clock: Arc<dyn Clock>,
+    tracker: CausalityTracker,
+    route_cache: HashMap<FileId, (AcgId, NodeId)>,
+}
+
+impl std::fmt::Debug for FileQueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileQueryEngine")
+            .field("master", &self.master)
+            .field("cached_routes", &self.route_cache.len())
+            .finish()
+    }
+}
+
+impl FileQueryEngine {
+    pub(crate) fn new(
+        rpc: Rpc,
+        master: NodeId,
+        index_nodes: Vec<NodeId>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        FileQueryEngine {
+            rpc,
+            master,
+            index_nodes,
+            clock,
+            tracker: CausalityTracker::new(),
+            route_cache: HashMap::new(),
+        }
+    }
+
+    /// Resolves routes for `files`, consulting the cache first and the
+    /// Master for the rest (in one batch).
+    fn resolve(&mut self, files: &[FileId]) -> Result<Vec<(FileId, AcgId, NodeId)>> {
+        let missing: Vec<FileId> = files
+            .iter()
+            .copied()
+            .filter(|f| !self.route_cache.contains_key(f))
+            .collect();
+        if !missing.is_empty() {
+            match self.rpc.call(self.master, Request::ResolveFiles { files: missing })? {
+                Response::Resolved(rows) => {
+                    for (file, acg, node) in rows {
+                        self.route_cache.insert(file, (acg, node));
+                    }
+                }
+                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+            }
+        }
+        files
+            .iter()
+            .map(|f| {
+                self.route_cache
+                    .get(f)
+                    .map(|&(a, n)| (*f, a, n))
+                    .ok_or(Error::FileNotFound(*f))
+            })
+            .collect()
+    }
+
+    /// Indexes a batch of file records: routes are resolved through the
+    /// Master, then per-(ACG, node) batches go to the Index Nodes in
+    /// parallel — the paper's parallel file-indexing path.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the Master or any involved Index Node is unreachable or
+    /// rejects its batch.
+    pub fn index_files(&mut self, records: Vec<FileRecord>) -> Result<()> {
+        let files: Vec<FileId> = records.iter().map(|r| r.file).collect();
+        let routes = self.resolve(&files)?;
+        let mut by_target: HashMap<(NodeId, AcgId), Vec<IndexOp>> = HashMap::new();
+        for (record, (_, acg, node)) in records.into_iter().zip(routes) {
+            by_target.entry((node, acg)).or_default().push(IndexOp::Upsert(record));
+        }
+        self.send_batches(by_target)
+    }
+
+    /// Removes files from the index (file-deletion path).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`FileQueryEngine::index_files`].
+    pub fn remove_files(&mut self, files: Vec<FileId>) -> Result<()> {
+        let routes = self.resolve(&files)?;
+        let mut by_target: HashMap<(NodeId, AcgId), Vec<IndexOp>> = HashMap::new();
+        for (file, acg, node) in routes {
+            by_target.entry((node, acg)).or_default().push(IndexOp::Remove(file));
+        }
+        self.send_batches(by_target)
+    }
+
+    fn send_batches(&self, by_target: HashMap<(NodeId, AcgId), Vec<IndexOp>>) -> Result<()> {
+        let now = self.clock.now();
+        let results: Vec<Result<()>> = std::thread::scope(|s| {
+            let handles: Vec<_> = by_target
+                .into_iter()
+                .map(|((node, acg), ops)| {
+                    let rpc = self.rpc.clone();
+                    s.spawn(move || {
+                        rpc.call(node, Request::IndexBatch { acg, ops, now }).map(|_| ())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("batch thread")).collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Searches the whole cluster: asks the Master for every ACG location,
+    /// fans the query out to the owning Index Nodes in parallel, and
+    /// aggregates the hits (paper §IV "Parallel File-Indexing and
+    /// File-Search Operations").
+    ///
+    /// # Errors
+    ///
+    /// Fails if the Master or any involved Index Node is unreachable.
+    pub fn search(&self, predicate: &Predicate) -> Result<Vec<FileId>> {
+        let located = match self.rpc.call(self.master, Request::LocateAcgs)? {
+            Response::Located(rows) => rows,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        let mut by_node: HashMap<NodeId, Vec<AcgId>> = HashMap::new();
+        for (acg, node) in located {
+            by_node.entry(node).or_default().push(acg);
+        }
+        let now = self.clock.now();
+        let results: Vec<Result<Vec<FileId>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = by_node
+                .into_iter()
+                .map(|(node, acgs)| {
+                    let rpc = self.rpc.clone();
+                    let predicate = predicate.clone();
+                    s.spawn(move || {
+                        match rpc.call(node, Request::Search { acgs, predicate, now })? {
+                            Response::SearchHits(hits) => Ok(hits),
+                            other => Err(Error::Rpc(format!("unexpected response {other:?}"))),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("search thread")).collect()
+        });
+        let mut merged = Vec::new();
+        for r in results {
+            merged.extend(r?);
+        }
+        merged.sort_unstable();
+        merged.dedup();
+        Ok(merged)
+    }
+
+    /// Parses and runs a textual query (`"size>16m & mtime<1day"`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on parse errors or any [`FileQueryEngine::search`] failure.
+    pub fn search_text(&self, text: &str) -> Result<Vec<FileId>> {
+        let query = Query::parse(text, self.clock.now())?;
+        self.search(&query.predicate)
+    }
+
+    /// Creates a user-defined index cluster-wide: registered at the Master
+    /// (name uniqueness), then broadcast to every Index Node.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names or unreachable nodes.
+    pub fn create_index(&self, spec: IndexSpec) -> Result<()> {
+        self.rpc.call(self.master, Request::CreateIndex { spec: spec.clone() })?;
+        for &node in &self.index_nodes {
+            self.rpc.call(node, Request::CreateIndex { spec: spec.clone() })?;
+        }
+        Ok(())
+    }
+
+    // ---- access capture ---------------------------------------------------
+
+    /// Observes a raw trace event (the FUSE interposer feed).
+    pub fn observe(&mut self, event: TraceEvent) {
+        self.tracker.observe(event);
+    }
+
+    /// Convenience: observes an open at the current time.
+    pub fn observe_open(&mut self, pid: ProcessId, file: FileId, mode: OpenMode) {
+        let now = self.clock.now();
+        self.tracker.open(pid, file, mode, now);
+    }
+
+    /// Marks a traced process as exited.
+    pub fn end_process(&mut self, pid: ProcessId) {
+        self.tracker.end_process(pid);
+    }
+
+    /// Flushes accumulated causality edges to the Index Nodes hosting the
+    /// destination files' ACGs ("flushed to the Index Nodes after the I/O
+    /// process finishes"). Returns the number of edges flushed.
+    ///
+    /// ACG flushes are *weakly consistent* by design: a failed flush drops
+    /// the delta (it can only cost partitioning quality, never search
+    /// correctness), so per-node errors are swallowed.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the Master cannot resolve routes.
+    pub fn flush_acg(&mut self) -> Result<usize> {
+        let updates = self.tracker.drain_updates();
+        if updates.is_empty() {
+            return Ok(0);
+        }
+        let dst_files: Vec<FileId> = updates.iter().map(|u| u.dst).collect();
+        let routes = self.resolve(&dst_files)?;
+        let route_of: HashMap<FileId, (AcgId, NodeId)> =
+            routes.into_iter().map(|(f, a, n)| (f, (a, n))).collect();
+        let mut by_target: HashMap<(NodeId, AcgId), Vec<propeller_trace::EdgeUpdate>> =
+            HashMap::new();
+        let total = updates.len();
+        for update in updates {
+            let (acg, node) = route_of[&update.dst];
+            by_target.entry((node, acg)).or_default().push(update);
+        }
+        for ((node, acg), edges) in by_target {
+            // Weak consistency: ignore delivery failures.
+            let _ = self.rpc.call(node, Request::FlushAcgDelta { acg, edges });
+        }
+        Ok(total)
+    }
+
+    /// Number of causality edges currently buffered client-side.
+    pub fn buffered_edges(&self) -> usize {
+        self.tracker.edge_count()
+    }
+}

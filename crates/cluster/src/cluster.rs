@@ -1,0 +1,382 @@
+//! Cluster assembly: spawning node actors and running maintenance.
+
+use std::sync::Arc;
+
+use propeller_acg::PartitionConfig;
+use propeller_sim::{Clock, SimClock, WallClock};
+use propeller_storage::{Network, SharedStorage};
+use propeller_types::{Duration, Error, NodeId, Result};
+
+use crate::client::FileQueryEngine;
+use crate::index_node::{IndexNode, IndexNodeConfig};
+use crate::master::{MasterConfig, MasterNode};
+use crate::messages::{Request, Response};
+use crate::rpc::{run_actor, Rpc};
+
+/// Configuration for [`Cluster::start`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of Index Nodes (the paper evaluates 1–8).
+    pub index_nodes: usize,
+    /// Lazy-commit timeout on every Index Node (paper default 5 s).
+    pub commit_timeout: Duration,
+    /// ACG file count that triggers a background split.
+    pub split_threshold: usize,
+    /// Files per default-allocated ACG.
+    pub group_capacity: usize,
+    /// Seed for partitioning and network jitter.
+    pub seed: u64,
+    /// Virtual clock: `Some` runs the cluster in modeled mode (network
+    /// costs charged to this clock); `None` uses the wall clock.
+    pub sim_clock: Option<SimClock>,
+    /// Charge GbE message costs (modeled mode only).
+    pub charge_network: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            index_nodes: 4,
+            commit_timeout: Duration::from_secs(5),
+            split_threshold: 50_000,
+            group_capacity: 1000,
+            seed: 42,
+            sim_clock: None,
+            charge_network: false,
+        }
+    }
+}
+
+/// A running Propeller cluster: one Master actor, N Index Node actors and
+/// the shared storage beneath them.
+///
+/// See the crate-level example for a full index-then-search round trip.
+pub struct Cluster {
+    rpc: Rpc,
+    master: NodeId,
+    index_nodes: Vec<NodeId>,
+    clock: Arc<dyn Clock>,
+    shared: Arc<SharedStorage>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("master", &self.master)
+            .field("index_nodes", &self.index_nodes)
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Boots a cluster: spawns the Master and Index Node actor threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.index_nodes` is zero.
+    pub fn start(config: ClusterConfig) -> Cluster {
+        assert!(config.index_nodes > 0, "a cluster needs at least one index node");
+        let clock: Arc<dyn Clock> = match &config.sim_clock {
+            Some(sim) => Arc::new(sim.clone()),
+            None => Arc::new(WallClock::new()),
+        };
+        let rpc = match (&config.sim_clock, config.charge_network) {
+            (Some(sim), true) => {
+                Rpc::with_network(Network::gigabit_ethernet(), sim.clone(), config.seed)
+            }
+            _ => Rpc::new(),
+        };
+        let shared = Arc::new(SharedStorage::new());
+
+        let master_id = NodeId::new(0);
+        let index_ids: Vec<NodeId> = (1..=config.index_nodes as u32).map(NodeId::new).collect();
+
+        let mut handles = Vec::new();
+        // Master actor.
+        {
+            let rx = rpc.register(master_id);
+            let mut master = MasterNode::new(
+                index_ids.clone(),
+                MasterConfig {
+                    group_capacity: config.group_capacity,
+                    split_threshold: config.split_threshold,
+                    ..MasterConfig::default()
+                },
+            )
+            .with_shared_storage(shared.clone());
+            handles.push(
+                std::thread::Builder::new()
+                    .name("propeller-master".into())
+                    .spawn(move || run_actor(rx, move |req| master.handle(req)))
+                    .expect("spawn master"),
+            );
+        }
+        // Index Node actors.
+        for (i, &id) in index_ids.iter().enumerate() {
+            let rx = rpc.register(id);
+            let mut node = IndexNode::new(
+                id,
+                IndexNodeConfig {
+                    commit_timeout: config.commit_timeout,
+                    partition: PartitionConfig {
+                        seed: config.seed.wrapping_add(i as u64),
+                        ..PartitionConfig::default()
+                    },
+                },
+            );
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("propeller-in-{}", id.raw()))
+                    .spawn(move || run_actor(rx, move |req| node.handle(req)))
+                    .expect("spawn index node"),
+            );
+        }
+
+        Cluster { rpc, master: master_id, index_nodes: index_ids, clock, shared, handles }
+    }
+
+    /// A new client handle.
+    pub fn client(&self) -> FileQueryEngine {
+        FileQueryEngine::new(
+            self.rpc.clone(),
+            self.master,
+            self.index_nodes.clone(),
+            self.clock.clone(),
+        )
+    }
+
+    /// The fabric handle (tests and benches).
+    pub fn rpc(&self) -> &Rpc {
+        &self.rpc
+    }
+
+    /// The Master's node id.
+    pub fn master_id(&self) -> NodeId {
+        self.master
+    }
+
+    /// The Index Nodes' ids.
+    pub fn index_node_ids(&self) -> &[NodeId] {
+        &self.index_nodes
+    }
+
+    /// The shared storage beneath the cluster.
+    pub fn shared_storage(&self) -> &Arc<SharedStorage> {
+        &self.shared
+    }
+
+    /// One maintenance round, played by the external coordinator (the
+    /// paper's "background" tasks):
+    ///
+    /// 1. `Tick` every Index Node — commits timed-out caches and collects
+    ///    ACG summaries,
+    /// 2. forward each summary to the Master as that node's heartbeat,
+    /// 3. drain the Master's split queue and orchestrate each split:
+    ///    bisect on the owner, allocate the new ACG, migrate the moved
+    ///    half, commit the remap at the Master.
+    ///
+    /// Returns the number of splits completed.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any node is unreachable mid-round.
+    pub fn run_maintenance(&self) -> Result<usize> {
+        let now = self.clock.now();
+        // 1 + 2: tick, gather, heartbeat.
+        for &node in &self.index_nodes {
+            let status = self.rpc.call(node, Request::Tick { now })?;
+            if let Response::Status(acgs) = status {
+                self.rpc.call(self.master, Request::Heartbeat { node, acgs, now })?;
+            }
+        }
+        // 3: splits.
+        let work = match self.rpc.call(self.master, Request::TakeSplitWork)? {
+            Response::SplitWork(work) => work,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        let mut done = 0;
+        for (acg, owner) in work {
+            let (left, right) = match self.rpc.call(owner, Request::SplitAcg { acg })? {
+                Response::SplitHalves { left, right } => (left, right),
+                Response::Err(e) => return Err(e),
+                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+            };
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let (new_acg, target) = match self.rpc.call(self.master, Request::AllocateAcg)? {
+                Response::AcgAllocated(a, n) => (a, n),
+                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+            };
+            let (records, edges) = match self
+                .rpc
+                .call(owner, Request::ExtractAcgPart { acg, files: right.clone() })?
+            {
+                Response::AcgPart { records, edges } => (records, edges),
+                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+            };
+            self.rpc.call(target, Request::InstallAcg { acg: new_acg, records, edges })?;
+            self.rpc.call(
+                self.master,
+                Request::CommitSplit { acg, kept: left, new_acg, moved: right, target },
+            )?;
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    /// Stops every node thread and waits for them.
+    pub fn shutdown(mut self) {
+        for &node in std::iter::once(&self.master).chain(&self.index_nodes) {
+            let _ = self.rpc.call(node, Request::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_index::{FileRecord, IndexSpec};
+    use propeller_types::{AttrName, FileId, InodeAttrs};
+
+    fn record(file: u64, size_mib: u64) -> FileRecord {
+        FileRecord::new(
+            FileId::new(file),
+            InodeAttrs::builder().size(size_mib << 20).build(),
+        )
+    }
+
+    #[test]
+    fn end_to_end_index_and_search() {
+        let cluster = Cluster::start(ClusterConfig { index_nodes: 4, ..Default::default() });
+        let mut client = cluster.client();
+        client
+            .index_files((0..100).map(|i| record(i, i)).collect())
+            .unwrap();
+        let hits = client.search_text("size>16m").unwrap();
+        assert_eq!(hits.len(), 83, "sizes 17..99 MiB");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn files_spread_across_nodes() {
+        let cluster = Cluster::start(ClusterConfig {
+            index_nodes: 4,
+            group_capacity: 10,
+            ..Default::default()
+        });
+        let mut client = cluster.client();
+        client
+            .index_files((0..100).map(|i| record(i, 1)).collect())
+            .unwrap();
+        // 100 files / 10 per ACG = 10 ACGs over 4 nodes.
+        let located = match cluster.rpc().call(cluster.master_id(), Request::LocateAcgs) {
+            Ok(Response::Located(rows)) => rows,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(located.len(), 10);
+        let nodes: std::collections::HashSet<NodeId> =
+            located.iter().map(|(_, n)| *n).collect();
+        assert!(nodes.len() >= 3, "load should spread: {nodes:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn removal_is_visible_to_search() {
+        let cluster = Cluster::start(ClusterConfig::default());
+        let mut client = cluster.client();
+        client.index_files((0..10).map(|i| record(i, 100)).collect()).unwrap();
+        assert_eq!(client.search_text("size>1m").unwrap().len(), 10);
+        client.remove_files(vec![FileId::new(3), FileId::new(4)]).unwrap();
+        let hits = client.search_text("size>1m").unwrap();
+        assert_eq!(hits.len(), 8);
+        assert!(!hits.contains(&FileId::new(3)));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn maintenance_splits_oversized_acgs() {
+        let cluster = Cluster::start(ClusterConfig {
+            index_nodes: 2,
+            group_capacity: 1000,
+            split_threshold: 50,
+            ..Default::default()
+        });
+        let mut client = cluster.client();
+        client.index_files((0..120).map(|i| record(i, 1)).collect()).unwrap();
+        // First round: heartbeats reveal the oversized ACG; splits run.
+        let splits = cluster.run_maintenance().unwrap();
+        assert!(splits >= 1, "expected at least one split, got {splits}");
+        // All files still searchable afterwards.
+        let hits = client.search_text("size>0").unwrap();
+        assert_eq!(hits.len(), 120);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn custom_index_cluster_wide() {
+        let cluster = Cluster::start(ClusterConfig::default());
+        let mut client = cluster.client();
+        client.create_index(IndexSpec::btree("uid_idx", AttrName::Uid)).unwrap();
+        // Duplicate rejected by the master.
+        assert!(client.create_index(IndexSpec::btree("uid_idx", AttrName::Uid)).is_err());
+        client.index_files((0..10).map(|i| record(i, 10)).collect()).unwrap();
+        assert_eq!(client.search_text("uid=0").unwrap().len(), 10);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn acg_flush_reaches_index_nodes() {
+        let cluster = Cluster::start(ClusterConfig::default());
+        let mut client = cluster.client();
+        client.index_files((0..4).map(|i| record(i, 1)).collect()).unwrap();
+        let pid = propeller_types::ProcessId::new(1);
+        client.observe_open(pid, FileId::new(0), propeller_types::OpenMode::Read);
+        client.observe_open(pid, FileId::new(1), propeller_types::OpenMode::Write);
+        client.end_process(pid);
+        assert_eq!(client.buffered_edges(), 1);
+        let flushed = client.flush_acg().unwrap();
+        assert_eq!(flushed, 1);
+        assert_eq!(client.buffered_edges(), 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn parallel_clients() {
+        let cluster = Cluster::start(ClusterConfig { index_nodes: 4, ..Default::default() });
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let mut client = cluster.client();
+                s.spawn(move || {
+                    let base = t * 1000;
+                    client
+                        .index_files((base..base + 100).map(|i| record(i, 20)).collect())
+                        .unwrap();
+                });
+            }
+        });
+        let client = cluster.client();
+        assert_eq!(client.search_text("size>16m").unwrap().len(), 400);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn modeled_mode_charges_network_time() {
+        let sim = SimClock::new();
+        let cluster = Cluster::start(ClusterConfig {
+            index_nodes: 2,
+            sim_clock: Some(sim.clone()),
+            charge_network: true,
+            ..Default::default()
+        });
+        let mut client = cluster.client();
+        let before = sim.now();
+        client.index_files((0..10).map(|i| record(i, 1)).collect()).unwrap();
+        assert!(sim.now() > before, "network costs must accrue on the sim clock");
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,474 @@
+//! The Index Node (paper §IV).
+//!
+//! Hosts the partitioned file indices: one [`AcgIndexGroup`] plus one
+//! [`AcgGraph`] per ACG assigned to it. Handles file-indexing batches
+//! (WAL + lazy cache), search requests (commit-then-search), ACG delta
+//! flushes from clients, split computation (balanced bisection of its own
+//! ACG) and migration (extract/install of ACG parts).
+
+use std::collections::HashMap;
+
+use propeller_acg::{bisect, AcgGraph, PartitionConfig};
+use propeller_index::{AcgIndexGroup, FileRecord, GroupConfig, IndexSpec};
+use propeller_trace::EdgeUpdate;
+use propeller_types::{AcgId, Duration, Error, FileId, NodeId, Timestamp};
+
+use crate::messages::{AcgSummary, Request, Response};
+
+/// Index Node configuration.
+#[derive(Debug, Clone)]
+pub struct IndexNodeConfig {
+    /// Lazy-commit timeout for every hosted group (paper default 5 s).
+    pub commit_timeout: Duration,
+    /// Partitioner settings for splits.
+    pub partition: PartitionConfig,
+}
+
+impl Default for IndexNodeConfig {
+    fn default() -> Self {
+        IndexNodeConfig {
+            commit_timeout: Duration::from_secs(5),
+            partition: PartitionConfig::default(),
+        }
+    }
+}
+
+/// One Index Node's state machine. Driven as an actor by the cluster
+/// runtime; unit tests can drive [`IndexNode::handle`] directly.
+#[derive(Debug)]
+pub struct IndexNode {
+    id: NodeId,
+    config: IndexNodeConfig,
+    groups: HashMap<AcgId, AcgIndexGroup>,
+    graphs: HashMap<AcgId, AcgGraph>,
+    /// Indices to create on every (current and future) group.
+    extra_specs: Vec<IndexSpec>,
+    searches_served: u64,
+    ops_received: u64,
+}
+
+impl IndexNode {
+    /// Creates an empty Index Node.
+    pub fn new(id: NodeId, config: IndexNodeConfig) -> Self {
+        IndexNode {
+            id,
+            config,
+            groups: HashMap::new(),
+            graphs: HashMap::new(),
+            extra_specs: Vec::new(),
+            searches_served: 0,
+            ops_received: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of hosted ACGs.
+    pub fn acg_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `(searches served, ops received)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.searches_served, self.ops_received)
+    }
+
+    fn group_mut(&mut self, acg: AcgId) -> &mut AcgIndexGroup {
+        let config = &self.config;
+        let extra = &self.extra_specs;
+        self.groups.entry(acg).or_insert_with(|| {
+            let mut group = AcgIndexGroup::new(
+                acg,
+                GroupConfig {
+                    commit_timeout: config.commit_timeout,
+                    ..GroupConfig::default()
+                },
+            );
+            for spec in extra {
+                // Name collisions with defaults are rejected upstream.
+                let _ = group.create_index(spec.clone());
+            }
+            group
+        })
+    }
+
+    fn summaries(&self) -> Vec<AcgSummary> {
+        let mut v: Vec<AcgSummary> = self
+            .groups
+            .iter()
+            .map(|(&acg, g)| AcgSummary {
+                // Scale includes buffered upserts: the Master must see an
+                // ACG outgrowing its threshold even between commits.
+                acg,
+                files: g.len() + g.pending_ops(),
+                pending_ops: g.pending_ops(),
+            })
+            .collect();
+        v.sort_by_key(|s| s.acg);
+        v
+    }
+
+    /// Handles one request (the actor body).
+    pub fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::IndexBatch { acg, ops, now } => {
+                self.ops_received += ops.len() as u64;
+                let group = self.group_mut(acg);
+                for op in ops {
+                    if let Err(e) = group.enqueue(op, now) {
+                        return Response::Err(e);
+                    }
+                }
+                Response::Ok
+            }
+            Request::Search { acgs, predicate, now } => {
+                self.searches_served += 1;
+                let mut hits = Vec::new();
+                for acg in acgs {
+                    if let Some(group) = self.groups.get_mut(&acg) {
+                        // The paper's consistency rule: commit before search.
+                        match propeller_query::search(group, &predicate, now) {
+                            Ok(mut h) => hits.append(&mut h),
+                            Err(e) => return Response::Err(e),
+                        }
+                    }
+                }
+                hits.sort_unstable();
+                hits.dedup();
+                Response::SearchHits(hits)
+            }
+            Request::FlushAcgDelta { acg, edges } => {
+                let graph = self.graphs.entry(acg).or_default();
+                graph.apply_updates(edges);
+                Response::Ok
+            }
+            Request::CreateIndex { spec } => {
+                for group in self.groups.values_mut() {
+                    if let Err(e) = group.create_index(spec.clone()) {
+                        return Response::Err(e);
+                    }
+                }
+                self.extra_specs.push(spec);
+                Response::Ok
+            }
+            Request::SplitAcg { acg } => {
+                let Some(group) = self.groups.get_mut(&acg) else {
+                    return Response::Err(Error::AcgNotFound(acg));
+                };
+                // Commit so the split sees every acknowledged file.
+                if let Err(e) = group.commit(Timestamp::EPOCH) {
+                    return Response::Err(e);
+                }
+                let files = group.files();
+                // Bisect the causality subgraph over the group's files;
+                // files without causality data become isolated vertices and
+                // get balanced across halves by the partitioner.
+                let mut graph = self
+                    .graphs
+                    .get(&acg)
+                    .map(|g| g.subgraph(&files))
+                    .unwrap_or_default();
+                for &f in &files {
+                    graph.add_vertex(f);
+                }
+                let bisection = bisect(&graph, &self.config.partition);
+                Response::SplitHalves { left: bisection.left, right: bisection.right }
+            }
+            Request::ExtractAcgPart { acg, files } => {
+                let Some(group) = self.groups.get_mut(&acg) else {
+                    return Response::Err(Error::AcgNotFound(acg));
+                };
+                // Commit so extracted records reflect every acknowledged op.
+                if let Err(e) = group.commit(Timestamp::EPOCH) {
+                    return Response::Err(e);
+                }
+                let wanted: std::collections::HashSet<FileId> = files.iter().copied().collect();
+                let records: Vec<FileRecord> = group
+                    .records()
+                    .filter(|r| wanted.contains(&r.file))
+                    .cloned()
+                    .collect();
+                // Remove the moved records from this group.
+                for r in &records {
+                    let _ = group.enqueue(
+                        propeller_index::IndexOp::Remove(r.file),
+                        Timestamp::EPOCH,
+                    );
+                }
+                let _ = group.commit(Timestamp::EPOCH);
+                // Carve the matching subgraph out of the ACG graph.
+                let edges: Vec<EdgeUpdate> = match self.graphs.get_mut(&acg) {
+                    Some(graph) => {
+                        let sub = graph.subgraph(&files);
+                        for &f in &files {
+                            graph.remove_vertex(f);
+                        }
+                        sub.edges()
+                            .map(|(src, dst, weight)| EdgeUpdate { src, dst, weight })
+                            .collect()
+                    }
+                    None => Vec::new(),
+                };
+                Response::AcgPart { records, edges }
+            }
+            Request::InstallAcg { acg, records, edges } => {
+                let group = self.group_mut(acg);
+                for record in records {
+                    if let Err(e) = group.enqueue(
+                        propeller_index::IndexOp::Upsert(record),
+                        Timestamp::EPOCH,
+                    ) {
+                        return Response::Err(e);
+                    }
+                }
+                if let Err(e) = group.commit(Timestamp::EPOCH) {
+                    return Response::Err(e);
+                }
+                self.graphs.entry(acg).or_default().apply_updates(edges);
+                Response::Ok
+            }
+            Request::Tick { now } => {
+                for group in self.groups.values_mut() {
+                    if group.commit_due(now) {
+                        if let Err(e) = group.commit(now) {
+                            return Response::Err(e);
+                        }
+                    }
+                }
+                Response::Status(self.summaries())
+            }
+            Request::Heartbeat { .. } => {
+                // The runtime turns our summaries into the heartbeat; an
+                // inbound Heartbeat is a protocol error.
+                Response::Err(Error::Rpc("index node does not accept heartbeats".into()))
+            }
+            other => Response::Err(Error::Rpc(format!("index node cannot handle {other:?}"))),
+        }
+    }
+
+    /// Produces this node's heartbeat payload.
+    pub fn heartbeat(&self, now: Timestamp) -> Request {
+        Request::Heartbeat { node: self.id, acgs: self.summaries(), now }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_index::IndexOp;
+    use propeller_query::Query;
+    use propeller_types::InodeAttrs;
+
+    fn node() -> IndexNode {
+        IndexNode::new(NodeId::new(1), IndexNodeConfig::default())
+    }
+
+    fn rec(file: u64, size: u64) -> FileRecord {
+        FileRecord::new(FileId::new(file), InodeAttrs::builder().size(size).build())
+    }
+
+    fn t(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn search(n: &mut IndexNode, acgs: Vec<AcgId>, text: &str) -> Vec<FileId> {
+        let q = Query::parse(text, t(0)).unwrap();
+        match n.handle(Request::Search { acgs, predicate: q.predicate, now: t(100) }) {
+            Response::SearchHits(h) => h,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_then_search_one_acg() {
+        let mut n = node();
+        let acg = AcgId::new(1);
+        n.handle(Request::IndexBatch {
+            acg,
+            ops: (0..50).map(|i| IndexOp::Upsert(rec(i, i << 20))).collect(),
+            now: t(0),
+        });
+        let hits = search(&mut n, vec![acg], "size>16m");
+        assert_eq!(hits.len(), 33, "sizes 17..49 MiB");
+    }
+
+    #[test]
+    fn search_commits_pending_ops() {
+        let mut n = node();
+        let acg = AcgId::new(1);
+        n.handle(Request::IndexBatch {
+            acg,
+            ops: vec![IndexOp::Upsert(rec(1, 1 << 30))],
+            now: t(0),
+        });
+        // No tick, no timeout elapsed — search must still see the file.
+        let hits = search(&mut n, vec![acg], "size>512m");
+        assert_eq!(hits, vec![FileId::new(1)]);
+    }
+
+    #[test]
+    fn search_multiple_acgs_merges() {
+        let mut n = node();
+        for acg in 1..=3u64 {
+            n.handle(Request::IndexBatch {
+                acg: AcgId::new(acg),
+                ops: vec![IndexOp::Upsert(rec(acg * 10, 1 << 25))],
+                now: t(0),
+            });
+        }
+        let hits = search(&mut n, (1..=3).map(AcgId::new).collect(), "size>16m");
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn unknown_acg_in_search_is_skipped() {
+        let mut n = node();
+        assert!(search(&mut n, vec![AcgId::new(9)], "size>0").is_empty());
+    }
+
+    #[test]
+    fn tick_commits_timed_out_caches() {
+        let mut n = node();
+        let acg = AcgId::new(1);
+        n.handle(Request::IndexBatch {
+            acg,
+            ops: vec![IndexOp::Upsert(rec(1, 100))],
+            now: t(0),
+        });
+        assert_eq!(n.groups[&acg].pending_ops(), 1);
+        n.handle(Request::Tick { now: t(1) }); // before timeout
+        assert_eq!(n.groups[&acg].pending_ops(), 1);
+        n.handle(Request::Tick { now: t(6) }); // past the 5s timeout
+        assert_eq!(n.groups[&acg].pending_ops(), 0);
+    }
+
+    #[test]
+    fn split_produces_balanced_halves() {
+        let mut n = node();
+        let acg = AcgId::new(1);
+        // Two clear communities in the causality graph.
+        let mut edges = Vec::new();
+        for base in [0u64, 100] {
+            for i in 0..10 {
+                for j in (i + 1)..10 {
+                    edges.push(EdgeUpdate {
+                        src: FileId::new(base + i),
+                        dst: FileId::new(base + j),
+                        weight: 5,
+                    });
+                }
+            }
+        }
+        edges.push(EdgeUpdate { src: FileId::new(9), dst: FileId::new(100), weight: 1 });
+        n.handle(Request::FlushAcgDelta { acg, edges });
+        n.handle(Request::IndexBatch {
+            acg,
+            ops: (0..10)
+                .chain(100..110)
+                .map(|i| IndexOp::Upsert(rec(i, i)))
+                .collect(),
+            now: t(0),
+        });
+        match n.handle(Request::SplitAcg { acg }) {
+            Response::SplitHalves { left, right } => {
+                assert_eq!(left.len() + right.len(), 20);
+                assert_eq!(left.len(), 10);
+                // Communities must not be mixed.
+                let c: std::collections::HashSet<u64> =
+                    left.iter().map(|f| f.raw() / 100).collect();
+                assert_eq!(c.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn extract_install_migration_round_trip() {
+        let mut src = node();
+        let mut dst = IndexNode::new(NodeId::new(2), IndexNodeConfig::default());
+        let acg = AcgId::new(1);
+        let new_acg = AcgId::new(2);
+        src.handle(Request::IndexBatch {
+            acg,
+            ops: (0..20).map(|i| IndexOp::Upsert(rec(i, i << 20))).collect(),
+            now: t(0),
+        });
+        src.handle(Request::FlushAcgDelta {
+            acg,
+            edges: vec![EdgeUpdate { src: FileId::new(15), dst: FileId::new(16), weight: 3 }],
+        });
+        let moved: Vec<FileId> = (10..20).map(FileId::new).collect();
+        let (records, edges) =
+            match src.handle(Request::ExtractAcgPart { acg, files: moved.clone() }) {
+                Response::AcgPart { records, edges } => (records, edges),
+                other => panic!("{other:?}"),
+            };
+        assert_eq!(records.len(), 10);
+        assert_eq!(edges.len(), 1, "the 15->16 edge moves with its files");
+        dst.handle(Request::InstallAcg { acg: new_acg, records, edges });
+
+        // Source no longer finds the moved files; target does.
+        let src_hits = search(&mut src, vec![acg], "size>=10m");
+        assert!(src_hits.is_empty(), "{src_hits:?}");
+        let dst_hits = search(&mut dst, vec![new_acg], "size>=10m");
+        assert_eq!(dst_hits.len(), 10);
+    }
+
+    #[test]
+    fn create_index_applies_to_existing_and_future_groups() {
+        let mut n = node();
+        n.handle(Request::IndexBatch {
+            acg: AcgId::new(1),
+            ops: vec![IndexOp::Upsert(rec(1, 5))],
+            now: t(0),
+        });
+        let spec = IndexSpec::btree("uid_idx", propeller_types::AttrName::Uid);
+        assert!(matches!(n.handle(Request::CreateIndex { spec }), Response::Ok));
+        assert!(n.groups[&AcgId::new(1)]
+            .index_specs()
+            .iter()
+            .any(|s| s.name == "uid_idx"));
+        // A group created later also carries the index.
+        n.handle(Request::IndexBatch {
+            acg: AcgId::new(2),
+            ops: vec![IndexOp::Upsert(rec(2, 5))],
+            now: t(0),
+        });
+        assert!(n.groups[&AcgId::new(2)]
+            .index_specs()
+            .iter()
+            .any(|s| s.name == "uid_idx"));
+    }
+
+    #[test]
+    fn heartbeat_reports_summaries() {
+        let mut n = node();
+        n.handle(Request::IndexBatch {
+            acg: AcgId::new(3),
+            ops: vec![IndexOp::Upsert(rec(1, 5)), IndexOp::Upsert(rec(2, 6))],
+            now: t(0),
+        });
+        match n.heartbeat(t(1)) {
+            Request::Heartbeat { node, acgs, .. } => {
+                assert_eq!(node, NodeId::new(1));
+                assert_eq!(acgs.len(), 1);
+                // Ops are still pending (not committed), so files=0 but
+                // pending_ops=2 — the heartbeat exposes both.
+                assert_eq!(acgs[0].pending_ops, 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_of_unknown_acg_fails() {
+        let mut n = node();
+        assert!(matches!(
+            n.handle(Request::SplitAcg { acg: AcgId::new(42) }),
+            Response::Err(Error::AcgNotFound(_))
+        ));
+    }
+}

@@ -1,0 +1,59 @@
+//! The distributed Propeller cluster (paper §IV).
+//!
+//! A Propeller cluster is one **Master Node** plus N **Index Nodes**,
+//! driven by client-side **File Query Engines**:
+//!
+//! * the Master owns index metadata — the `file → ACG` map, ACG placement
+//!   (`ACG → Index Node`), node liveness via heartbeats — and *routes*
+//!   requests; it never serves data,
+//! * Index Nodes own the per-ACG index groups (WAL + lazy cache + B+-tree /
+//!   hash / K-D indices) and the per-ACG causality graphs, execute searches
+//!   and perform splits/migrations under Master instruction,
+//! * clients resolve target ACGs through the Master, then talk to Index
+//!   Nodes **directly and in parallel** — both for batched index updates
+//!   and for fan-out searches. No cross-ACG transaction exists anywhere
+//!   (paper: "there is no cross-ACG or cross-IN transaction").
+//!
+//! The wire is an in-process RPC fabric ([`rpc::Rpc`]): every node runs a
+//! real thread with a mailbox; an optional GbE cost model charges virtual
+//! time per message so modeled-mode experiments account network costs.
+//!
+//! # Examples
+//!
+//! ```
+//! use propeller_cluster::{Cluster, ClusterConfig};
+//! use propeller_index::{FileRecord, IndexOp};
+//! use propeller_query::Query;
+//! use propeller_types::{FileId, InodeAttrs, Timestamp};
+//!
+//! let cluster = Cluster::start(ClusterConfig { index_nodes: 4, ..Default::default() });
+//! let mut client = cluster.client();
+//!
+//! let record = FileRecord::new(
+//!     FileId::new(1),
+//!     InodeAttrs::builder().size(32 << 20).build(),
+//! );
+//! client.index_files(vec![record]).unwrap();
+//!
+//! let q = Query::parse("size>16m", Timestamp::from_secs(0)).unwrap();
+//! let hits = client.search(&q.predicate).unwrap();
+//! assert_eq!(hits, vec![FileId::new(1)]);
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod cluster;
+mod index_node;
+mod master;
+mod messages;
+mod rpc;
+
+pub use client::FileQueryEngine;
+pub use cluster::{Cluster, ClusterConfig};
+pub use index_node::{IndexNode, IndexNodeConfig};
+pub use master::{MasterConfig, MasterNode, NodeStatus};
+pub use messages::{AcgSummary, Request, Response};
+pub use rpc::Rpc;

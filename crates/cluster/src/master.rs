@@ -1,0 +1,489 @@
+//! The Master Node (paper §IV).
+//!
+//! "The central index metadata and coordination server": it owns the
+//! `file → ACG` mapping and ACG placement, routes client requests, tracks
+//! Index Node liveness through heartbeats, decides when an ACG must be
+//! split, and periodically flushes its metadata to shared storage so a
+//! crash loses at most one flush interval of mappings. It never touches
+//! file data or indices itself, which is why a single Master scales to
+//! hundreds of Index Nodes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, BytesMut};
+use propeller_index::IndexSpec;
+use propeller_storage::SharedStorage;
+use propeller_types::{AcgId, Duration, Error, FileId, NodeId, Timestamp};
+
+use crate::messages::{AcgSummary, Request, Response};
+
+/// Liveness/load record for one Index Node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStatus {
+    /// Last heartbeat receipt time.
+    pub last_heartbeat: Timestamp,
+    /// Total files across the node's ACGs.
+    pub files: usize,
+    /// Number of hosted ACGs.
+    pub acgs: usize,
+}
+
+impl NodeStatus {
+    /// Whether the node has heartbeated within `timeout` of `now`.
+    pub fn alive(&self, now: Timestamp, timeout: Duration) -> bool {
+        now.since(self.last_heartbeat) <= timeout
+    }
+}
+
+/// Master Node configuration.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// Files per default-allocated ACG (new files without causality
+    /// context fill the open ACG up to this size).
+    pub group_capacity: usize,
+    /// File count above which an ACG is scheduled for a split (paper
+    /// example: 50 000).
+    pub split_threshold: usize,
+    /// Flush metadata to shared storage every this many heartbeats.
+    pub flush_every_heartbeats: u64,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            group_capacity: 1000,
+            split_threshold: 50_000,
+            flush_every_heartbeats: 16,
+        }
+    }
+}
+
+/// The Master Node state machine. Driven as an actor by the cluster
+/// runtime; unit tests can drive [`MasterNode::handle`] directly.
+#[derive(Debug)]
+pub struct MasterNode {
+    config: MasterConfig,
+    index_nodes: Vec<NodeId>,
+    file_to_acg: HashMap<FileId, AcgId>,
+    acg_to_node: HashMap<AcgId, NodeId>,
+    acg_files: HashMap<AcgId, usize>,
+    node_status: HashMap<NodeId, NodeStatus>,
+    next_acg: u64,
+    open_acg: Option<AcgId>,
+    pending_splits: Vec<(AcgId, NodeId)>,
+    splitting: std::collections::HashSet<AcgId>,
+    index_specs: Vec<IndexSpec>,
+    shared: Option<Arc<SharedStorage>>,
+    heartbeats_seen: u64,
+}
+
+impl MasterNode {
+    /// Creates a Master managing the given Index Nodes.
+    pub fn new(index_nodes: Vec<NodeId>, config: MasterConfig) -> Self {
+        MasterNode {
+            config,
+            index_nodes,
+            file_to_acg: HashMap::new(),
+            acg_to_node: HashMap::new(),
+            acg_files: HashMap::new(),
+            node_status: HashMap::new(),
+            next_acg: 1,
+            open_acg: None,
+            pending_splits: Vec::new(),
+            splitting: std::collections::HashSet::new(),
+            index_specs: Vec::new(),
+            shared: None,
+            heartbeats_seen: 0,
+        }
+    }
+
+    /// Attaches shared storage for periodic metadata flushes.
+    pub fn with_shared_storage(mut self, shared: Arc<SharedStorage>) -> Self {
+        self.shared = Some(shared);
+        self
+    }
+
+    /// The node with the fewest assigned files (placement target).
+    fn least_loaded(&self) -> Option<NodeId> {
+        let mut load: HashMap<NodeId, usize> =
+            self.index_nodes.iter().map(|&n| (n, 0)).collect();
+        for (acg, files) in &self.acg_files {
+            if let Some(node) = self.acg_to_node.get(acg) {
+                *load.entry(*node).or_insert(0) += files;
+            }
+        }
+        self.index_nodes
+            .iter()
+            .copied()
+            .min_by_key(|n| (load.get(n).copied().unwrap_or(0), n.raw()))
+    }
+
+    fn allocate_acg(&mut self) -> Result<(AcgId, NodeId), Error> {
+        let node = self
+            .least_loaded()
+            .ok_or_else(|| Error::Config("cluster has no index nodes".into()))?;
+        let acg = AcgId::new(self.next_acg);
+        self.next_acg += 1;
+        self.acg_to_node.insert(acg, node);
+        self.acg_files.insert(acg, 0);
+        Ok((acg, node))
+    }
+
+    fn resolve(&mut self, files: Vec<FileId>) -> Result<Vec<(FileId, AcgId, NodeId)>, Error> {
+        let mut out = Vec::with_capacity(files.len());
+        for file in files {
+            let acg = match self.file_to_acg.get(&file) {
+                Some(&acg) => acg,
+                None => {
+                    // Fill the open ACG; roll over at capacity.
+                    let need_new = match self.open_acg {
+                        Some(acg) => {
+                            self.acg_files.get(&acg).copied().unwrap_or(0)
+                                >= self.config.group_capacity
+                        }
+                        None => true,
+                    };
+                    if need_new {
+                        let (acg, _) = self.allocate_acg()?;
+                        self.open_acg = Some(acg);
+                    }
+                    let acg = self.open_acg.expect("just ensured");
+                    self.file_to_acg.insert(file, acg);
+                    *self.acg_files.entry(acg).or_insert(0) += 1;
+                    acg
+                }
+            };
+            let node = *self
+                .acg_to_node
+                .get(&acg)
+                .ok_or(Error::AcgNotFound(acg))?;
+            out.push((file, acg, node));
+        }
+        Ok(out)
+    }
+
+    fn on_heartbeat(&mut self, node: NodeId, acgs: Vec<AcgSummary>, now: Timestamp) {
+        self.heartbeats_seen += 1;
+        let (files, count) = (acgs.iter().map(|a| a.files).sum(), acgs.len());
+        self.node_status
+            .insert(node, NodeStatus { last_heartbeat: now, files, acgs: count });
+        for summary in acgs {
+            self.acg_files.insert(summary.acg, summary.files);
+            if summary.files > self.config.split_threshold
+                && !self.splitting.contains(&summary.acg)
+            {
+                self.splitting.insert(summary.acg);
+                self.pending_splits.push((summary.acg, node));
+            }
+        }
+        if self.heartbeats_seen % self.config.flush_every_heartbeats == 0 {
+            self.flush_metadata();
+        }
+    }
+
+    /// Serialises the file→ACG map to shared storage (crash protection for
+    /// index metadata, paper §IV "Master Node").
+    fn flush_metadata(&self) {
+        let Some(shared) = &self.shared else { return };
+        let mut buf = BytesMut::with_capacity(8 + self.file_to_acg.len() * 16);
+        buf.put_u64_le(self.file_to_acg.len() as u64);
+        let mut rows: Vec<(&FileId, &AcgId)> = self.file_to_acg.iter().collect();
+        rows.sort();
+        for (file, acg) in rows {
+            buf.put_u64_le(file.raw());
+            buf.put_u64_le(acg.raw());
+        }
+        shared.put_blob("master/file_to_acg", buf.to_vec());
+    }
+
+    /// Reloads the file→ACG map from a metadata blob (recovery path).
+    pub fn load_metadata(&mut self, blob: &[u8]) -> Result<usize, Error> {
+        let mut cursor = blob;
+        if cursor.len() < 8 {
+            return Err(Error::Corrupt("metadata blob too short".into()));
+        }
+        let n = cursor.get_u64_le() as usize;
+        if cursor.len() < n * 16 {
+            return Err(Error::Corrupt("metadata blob truncated".into()));
+        }
+        for _ in 0..n {
+            let file = FileId::new(cursor.get_u64_le());
+            let acg = AcgId::new(cursor.get_u64_le());
+            self.file_to_acg.insert(file, acg);
+            self.next_acg = self.next_acg.max(acg.raw() + 1);
+        }
+        Ok(n)
+    }
+
+    /// Status table of the nodes (for tests and operators).
+    pub fn node_status(&self) -> &HashMap<NodeId, NodeStatus> {
+        &self.node_status
+    }
+
+    /// Number of distinct ACGs allocated.
+    pub fn acg_count(&self) -> usize {
+        self.acg_to_node.len()
+    }
+
+    /// Handles one request (the actor body).
+    pub fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::ResolveFiles { files } => match self.resolve(files) {
+                Ok(rows) => Response::Resolved(rows),
+                Err(e) => Response::Err(e),
+            },
+            Request::LocateAcgs => {
+                let mut rows: Vec<(AcgId, NodeId)> =
+                    self.acg_to_node.iter().map(|(&a, &n)| (a, n)).collect();
+                rows.sort();
+                Response::Located(rows)
+            }
+            Request::CreateIndex { spec } => {
+                if self.index_specs.iter().any(|s| s.name == spec.name) {
+                    return Response::Err(Error::IndexExists(spec.name));
+                }
+                self.index_specs.push(spec);
+                Response::Ok
+            }
+            Request::Heartbeat { node, acgs, now } => {
+                self.on_heartbeat(node, acgs, now);
+                Response::Ok
+            }
+            Request::TakeSplitWork => {
+                let work = std::mem::take(&mut self.pending_splits);
+                Response::SplitWork(work)
+            }
+            Request::AllocateAcg => match self.allocate_acg() {
+                Ok((acg, node)) => Response::AcgAllocated(acg, node),
+                Err(e) => Response::Err(e),
+            },
+            Request::BindFiles { acg, files } => {
+                if !self.acg_to_node.contains_key(&acg) {
+                    return Response::Err(Error::AcgNotFound(acg));
+                }
+                let mut added = 0;
+                for file in files {
+                    let old = self.file_to_acg.insert(file, acg);
+                    if old != Some(acg) {
+                        added += 1;
+                        if let Some(old_acg) = old {
+                            if let Some(c) = self.acg_files.get_mut(&old_acg) {
+                                *c = c.saturating_sub(1);
+                            }
+                        }
+                    }
+                }
+                *self.acg_files.entry(acg).or_insert(0) += added;
+                Response::Ok
+            }
+            Request::CommitSplit { acg, kept, new_acg, moved, target } => {
+                for file in &moved {
+                    self.file_to_acg.insert(*file, new_acg);
+                }
+                self.acg_to_node.insert(new_acg, target);
+                self.acg_files.insert(new_acg, moved.len());
+                self.acg_files.insert(acg, kept.len());
+                self.splitting.remove(&acg);
+                self.flush_metadata();
+                Response::Ok
+            }
+            other => Response::Err(Error::Rpc(format!(
+                "master cannot handle {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (1..=n).map(NodeId::new).collect()
+    }
+
+    fn master(n: u32, capacity: usize) -> MasterNode {
+        MasterNode::new(
+            nodes(n),
+            MasterConfig { group_capacity: capacity, ..MasterConfig::default() },
+        )
+    }
+
+    fn resolve(m: &mut MasterNode, ids: impl IntoIterator<Item = u64>) -> Vec<(FileId, AcgId, NodeId)> {
+        match m.handle(Request::ResolveFiles {
+            files: ids.into_iter().map(FileId::new).collect(),
+        }) {
+            Response::Resolved(rows) => rows,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolution_is_stable() {
+        let mut m = master(4, 100);
+        let first = resolve(&mut m, [1, 2, 3]);
+        let second = resolve(&mut m, [1, 2, 3]);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn open_acg_rolls_over_at_capacity() {
+        let mut m = master(2, 10);
+        let rows = resolve(&mut m, 0..25);
+        let acgs: std::collections::HashSet<AcgId> =
+            rows.iter().map(|(_, a, _)| *a).collect();
+        assert_eq!(acgs.len(), 3, "25 files / 10 capacity = 3 ACGs");
+    }
+
+    #[test]
+    fn allocation_prefers_least_loaded_node() {
+        let mut m = master(2, 5);
+        // Fill several ACGs; placements should alternate as load grows.
+        resolve(&mut m, 0..20);
+        let located = match m.handle(Request::LocateAcgs) {
+            Response::Located(rows) => rows,
+            other => panic!("{other:?}"),
+        };
+        let on_n1 = located.iter().filter(|(_, n)| n.raw() == 1).count();
+        let on_n2 = located.iter().filter(|(_, n)| n.raw() == 2).count();
+        assert_eq!(on_n1 + on_n2, 4);
+        assert!(on_n1 >= 1 && on_n2 >= 1, "both nodes get ACGs");
+    }
+
+    #[test]
+    fn heartbeat_marks_oversized_acgs_for_split() {
+        let mut m = master(2, 1000);
+        m.config.split_threshold = 50;
+        resolve(&mut m, 0..10);
+        let acg = *m.file_to_acg.get(&FileId::new(0)).unwrap();
+        let node = *m.acg_to_node.get(&acg).unwrap();
+        m.handle(Request::Heartbeat {
+            node,
+            acgs: vec![AcgSummary { acg, files: 60, pending_ops: 0 }],
+            now: Timestamp::from_secs(1),
+        });
+        match m.handle(Request::TakeSplitWork) {
+            Response::SplitWork(work) => assert_eq!(work, vec![(acg, node)]),
+            other => panic!("{other:?}"),
+        }
+        // Re-heartbeating while the split is in flight must not re-queue.
+        m.handle(Request::Heartbeat {
+            node,
+            acgs: vec![AcgSummary { acg, files: 60, pending_ops: 0 }],
+            now: Timestamp::from_secs(2),
+        });
+        match m.handle(Request::TakeSplitWork) {
+            Response::SplitWork(work) => assert!(work.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn commit_split_remaps_files() {
+        let mut m = master(2, 1000);
+        let rows = resolve(&mut m, 0..10);
+        let acg = rows[0].1;
+        let (new_acg, target) = match m.handle(Request::AllocateAcg) {
+            Response::AcgAllocated(a, n) => (a, n),
+            other => panic!("{other:?}"),
+        };
+        let moved: Vec<FileId> = (5..10).map(FileId::new).collect();
+        let kept: Vec<FileId> = (0..5).map(FileId::new).collect();
+        m.handle(Request::CommitSplit {
+            acg,
+            kept: kept.clone(),
+            new_acg,
+            moved: moved.clone(),
+            target,
+        });
+        let after = resolve(&mut m, 0..10);
+        for (file, a, n) in after {
+            if file.raw() < 5 {
+                assert_eq!(a, acg);
+            } else {
+                assert_eq!(a, new_acg);
+                assert_eq!(n, target);
+            }
+        }
+    }
+
+    #[test]
+    fn bind_files_moves_mappings() {
+        let mut m = master(1, 1000);
+        resolve(&mut m, 0..4);
+        let (acg, _) = match m.handle(Request::AllocateAcg) {
+            Response::AcgAllocated(a, n) => (a, n),
+            other => panic!("{other:?}"),
+        };
+        m.handle(Request::BindFiles { acg, files: vec![FileId::new(2), FileId::new(3)] });
+        let rows = resolve(&mut m, [2, 3]);
+        assert!(rows.iter().all(|(_, a, _)| *a == acg));
+    }
+
+    #[test]
+    fn no_index_nodes_is_a_config_error() {
+        let mut m = MasterNode::new(vec![], MasterConfig::default());
+        match m.handle(Request::ResolveFiles { files: vec![FileId::new(1)] }) {
+            Response::Err(Error::Config(_)) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn metadata_flush_and_reload() {
+        let shared = Arc::new(SharedStorage::new());
+        let mut m = MasterNode::new(
+            nodes(2),
+            MasterConfig { flush_every_heartbeats: 1, ..MasterConfig::default() },
+        )
+        .with_shared_storage(shared.clone());
+        resolve(&mut m, 0..50);
+        m.handle(Request::Heartbeat {
+            node: NodeId::new(1),
+            acgs: vec![],
+            now: Timestamp::from_secs(1),
+        });
+        let blob = shared.get_blob("master/file_to_acg").expect("flushed");
+        let mut fresh = MasterNode::new(nodes(2), MasterConfig::default());
+        let loaded = fresh.load_metadata(&blob).unwrap();
+        assert_eq!(loaded, 50);
+        assert_eq!(
+            fresh.file_to_acg.get(&FileId::new(7)),
+            m.file_to_acg.get(&FileId::new(7))
+        );
+    }
+
+    #[test]
+    fn corrupt_metadata_rejected() {
+        let mut m = master(1, 10);
+        assert!(m.load_metadata(&[1, 2, 3]).is_err());
+        let mut blob = vec![0u8; 8];
+        blob[0] = 200; // claims 200 rows, provides none
+        assert!(m.load_metadata(&blob).is_err());
+    }
+
+    #[test]
+    fn node_status_alive_tracking() {
+        let mut m = master(2, 10);
+        m.handle(Request::Heartbeat {
+            node: NodeId::new(1),
+            acgs: vec![],
+            now: Timestamp::from_secs(10),
+        });
+        let status = m.node_status().get(&NodeId::new(1)).unwrap();
+        assert!(status.alive(Timestamp::from_secs(12), Duration::from_secs(5)));
+        assert!(!status.alive(Timestamp::from_secs(30), Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected_at_master() {
+        let mut m = master(1, 10);
+        let spec = IndexSpec::btree("uid_idx", propeller_types::AttrName::Uid);
+        assert!(matches!(m.handle(Request::CreateIndex { spec: spec.clone() }), Response::Ok));
+        assert!(matches!(
+            m.handle(Request::CreateIndex { spec }),
+            Response::Err(Error::IndexExists(_))
+        ));
+    }
+}

@@ -1,0 +1,195 @@
+//! Cluster message types.
+
+use propeller_index::{FileRecord, IndexOp, IndexSpec};
+use propeller_query::Predicate;
+use propeller_trace::EdgeUpdate;
+use propeller_types::{AcgId, Error, FileId, NodeId, Timestamp};
+
+/// Per-ACG status carried in heartbeats (file count drives the Master's
+/// split decisions; paper: the IN reports scale, the MN instructs splits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcgSummary {
+    /// The ACG.
+    pub acg: AcgId,
+    /// Files currently indexed in the ACG's group.
+    pub files: usize,
+    /// Buffered (uncommitted) ops.
+    pub pending_ops: usize,
+}
+
+/// A request flowing through the cluster fabric.
+#[derive(Debug, Clone)]
+pub enum Request {
+    // ---- client → master -------------------------------------------------
+    /// Resolve (allocating as needed) the ACG and Index Node for each file.
+    ResolveFiles {
+        /// Files about to be indexed.
+        files: Vec<FileId>,
+    },
+    /// List every ACG and its owning Index Node (search fan-out set).
+    LocateAcgs,
+    /// Register a user-defined index cluster-wide.
+    CreateIndex {
+        /// The index definition.
+        spec: IndexSpec,
+    },
+    /// Index Node liveness + load report.
+    Heartbeat {
+        /// Reporting node.
+        node: NodeId,
+        /// Status of each hosted ACG.
+        acgs: Vec<AcgSummary>,
+        /// Report time.
+        now: Timestamp,
+    },
+    /// Ask the Master for split work discovered via heartbeats (driven by
+    /// the external coordinator, keeping node threads call-free).
+    TakeSplitWork,
+    /// Record the outcome of a completed split/migration.
+    CommitSplit {
+        /// The ACG that was split.
+        acg: AcgId,
+        /// Files that remained.
+        kept: Vec<FileId>,
+        /// The new ACG created from the moved half.
+        new_acg: AcgId,
+        /// Files that moved.
+        moved: Vec<FileId>,
+        /// The node now hosting `new_acg`.
+        target: NodeId,
+    },
+    /// Allocate a fresh ACG id on the least-loaded node (coordinator use).
+    AllocateAcg,
+    /// Explicitly bind files to an ACG (used when ACG clustering has
+    /// computed partitions out-of-band).
+    BindFiles {
+        /// The ACG to bind to.
+        acg: AcgId,
+        /// Files to bind.
+        files: Vec<FileId>,
+    },
+
+    // ---- client → index node ---------------------------------------------
+    /// A batch of index operations for one ACG.
+    IndexBatch {
+        /// Target ACG.
+        acg: AcgId,
+        /// The operations.
+        ops: Vec<IndexOp>,
+        /// Client-side send time.
+        now: Timestamp,
+    },
+    /// Execute a search against the given ACGs (commit-then-search).
+    Search {
+        /// ACGs hosted on this node to search.
+        acgs: Vec<AcgId>,
+        /// The predicate.
+        predicate: Predicate,
+        /// Client-side send time.
+        now: Timestamp,
+    },
+    /// Flush captured access-causality edges into an ACG's graph.
+    FlushAcgDelta {
+        /// Target ACG.
+        acg: AcgId,
+        /// The weighted edges.
+        edges: Vec<EdgeUpdate>,
+    },
+
+    // ---- master/coordinator → index node -----------------------------------
+    /// Compute a balanced bisection of an oversized ACG.
+    SplitAcg {
+        /// The ACG to split.
+        acg: AcgId,
+    },
+    /// Extract the records and subgraph of `files` from `acg` (migration
+    /// source side).
+    ExtractAcgPart {
+        /// Source ACG.
+        acg: AcgId,
+        /// Files to extract.
+        files: Vec<FileId>,
+    },
+    /// Install a migrated ACG part (migration target side).
+    InstallAcg {
+        /// New ACG id.
+        acg: AcgId,
+        /// Its records.
+        records: Vec<FileRecord>,
+        /// Its causality edges.
+        edges: Vec<EdgeUpdate>,
+    },
+    /// Advance background work: commit timed-out caches, emit a heartbeat.
+    Tick {
+        /// Current time.
+        now: Timestamp,
+    },
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+/// A response to a [`Request`].
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Generic success.
+    Ok,
+    /// Resolution result, parallel to the request's file list.
+    Resolved(Vec<(FileId, AcgId, NodeId)>),
+    /// ACG placement listing.
+    Located(Vec<(AcgId, NodeId)>),
+    /// Search hits (sorted, deduplicated per node).
+    SearchHits(Vec<FileId>),
+    /// A split computed by an Index Node: the two halves.
+    SplitHalves {
+        /// Files for the left (kept) half.
+        left: Vec<FileId>,
+        /// Files for the right (moved) half.
+        right: Vec<FileId>,
+    },
+    /// Pending split work from the Master: `(acg, owner)` pairs.
+    SplitWork(Vec<(AcgId, NodeId)>),
+    /// A freshly allocated ACG and its assigned node.
+    AcgAllocated(AcgId, NodeId),
+    /// Extracted migration payload.
+    AcgPart {
+        /// Extracted records.
+        records: Vec<FileRecord>,
+        /// Extracted causality edges.
+        edges: Vec<EdgeUpdate>,
+    },
+    /// An Index Node's per-ACG status (returned by `Tick`; the coordinator
+    /// forwards it to the Master as a heartbeat).
+    Status(Vec<AcgSummary>),
+    /// Failure.
+    Err(Error),
+}
+
+impl Response {
+    /// Unwraps `Ok`-like responses into `Result`.
+    pub fn into_result(self) -> Result<Response, Error> {
+        match self {
+            Response::Err(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn into_result_propagates_errors() {
+        let err = Response::Err(Error::Shutdown);
+        assert!(err.into_result().is_err());
+        assert!(Response::Ok.into_result().is_ok());
+    }
+
+    #[test]
+    fn messages_are_cloneable_and_debuggable() {
+        let req = Request::LocateAcgs;
+        let _ = format!("{:?}", req.clone());
+        let resp = Response::Located(vec![(AcgId::new(1), NodeId::new(2))]);
+        let _ = format!("{:?}", resp.clone());
+    }
+}

@@ -1,0 +1,247 @@
+//! The in-process RPC fabric.
+//!
+//! Every node (Master or Index Node) owns a mailbox drained by its own
+//! thread, so node state needs no locking — the actor pattern. Callers do
+//! synchronous request/response through [`Rpc::call`]; an optional GbE
+//! cost model charges virtual time per message for modeled-mode runs.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use propeller_sim::SimClock;
+use propeller_storage::Network;
+use propeller_types::{Error, NodeId, Result};
+
+use crate::messages::{Request, Response};
+
+/// A message in flight: the request plus its reply channel.
+pub(crate) type Envelope = (Request, Sender<Response>);
+
+#[derive(Default)]
+struct Registry {
+    mailboxes: HashMap<NodeId, Sender<Envelope>>,
+}
+
+/// Handle to the cluster fabric. Cloning shares the same fabric.
+#[derive(Clone)]
+pub struct Rpc {
+    registry: Arc<RwLock<Registry>>,
+    /// Virtual network accounting: (model, clock, rng-state).
+    charge: Option<Arc<(Network, SimClock, Mutex<rand::rngs::StdRng>)>>,
+}
+
+impl std::fmt::Debug for Rpc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rpc")
+            .field("nodes", &self.registry.read().mailboxes.len())
+            .field("charging", &self.charge.is_some())
+            .finish()
+    }
+}
+
+impl Rpc {
+    /// A fabric with free (uncharged) message delivery — the right choice
+    /// for wall-clock measured runs.
+    pub fn new() -> Self {
+        Rpc { registry: Arc::new(RwLock::new(Registry::default())), charge: None }
+    }
+
+    /// A fabric that charges each message's cost to a virtual clock.
+    pub fn with_network(network: Network, clock: SimClock, seed: u64) -> Self {
+        Rpc {
+            registry: Arc::new(RwLock::new(Registry::default())),
+            charge: Some(Arc::new((
+                network,
+                clock,
+                Mutex::new(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed)),
+            ))),
+        }
+    }
+
+    /// Registers a node, returning the receiver its thread should drain.
+    pub(crate) fn register(&self, node: NodeId) -> Receiver<Envelope> {
+        let (tx, rx) = unbounded();
+        self.registry.write().mailboxes.insert(node, tx);
+        rx
+    }
+
+    /// Removes a node from the fabric (failure injection in tests).
+    pub fn deregister(&self, node: NodeId) {
+        self.registry.write().mailboxes.remove(&node);
+    }
+
+    /// Rough wire size of a request, for the network cost model.
+    fn wire_size(req: &Request) -> u64 {
+        match req {
+            Request::IndexBatch { ops, .. } => 64 + 128 * ops.len() as u64,
+            Request::ResolveFiles { files } => 64 + 12 * files.len() as u64,
+            Request::FlushAcgDelta { edges, .. } => 64 + 20 * edges.len() as u64,
+            Request::InstallAcg { records, edges, .. } => {
+                64 + 160 * records.len() as u64 + 20 * edges.len() as u64
+            }
+            Request::ExtractAcgPart { files, .. } => 64 + 12 * files.len() as u64,
+            Request::BindFiles { files, .. } => 64 + 12 * files.len() as u64,
+            _ => 128,
+        }
+    }
+
+    fn charge_message(&self, bytes: u64) {
+        if let Some(charge) = &self.charge {
+            let (network, clock, rng) = (&charge.0, &charge.1, &charge.2);
+            let cost = network.message_cost(bytes, &mut *rng.lock());
+            clock.advance(cost);
+        }
+    }
+
+    /// Sends `req` to `node` and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeUnavailable`] for unknown nodes and
+    /// [`Error::Rpc`] when the node died mid-call, plus any [`Error`] the
+    /// handler itself reports via [`Response::Err`].
+    pub fn call(&self, node: NodeId, req: Request) -> Result<Response> {
+        let mailbox = self
+            .registry
+            .read()
+            .mailboxes
+            .get(&node)
+            .cloned()
+            .ok_or(Error::NodeUnavailable(node))?;
+        self.charge_message(Self::wire_size(&req));
+        let (reply_tx, reply_rx) = bounded(1);
+        mailbox
+            .send((req, reply_tx))
+            .map_err(|_| Error::NodeUnavailable(node))?;
+        let resp = reply_rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .map_err(|_| Error::Rpc(format!("timeout waiting for {node}")))?;
+        self.charge_message(128);
+        resp.into_result()
+    }
+
+    /// Sends `req` without waiting for the reply (fire-and-forget).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeUnavailable`] for unknown nodes.
+    pub fn cast(&self, node: NodeId, req: Request) -> Result<()> {
+        let mailbox = self
+            .registry
+            .read()
+            .mailboxes
+            .get(&node)
+            .cloned()
+            .ok_or(Error::NodeUnavailable(node))?;
+        self.charge_message(Self::wire_size(&req));
+        let (reply_tx, _reply_rx) = bounded(1);
+        mailbox
+            .send((req, reply_tx))
+            .map_err(|_| Error::NodeUnavailable(node))?;
+        Ok(())
+    }
+
+    /// The registered node ids.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.registry.read().mailboxes.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+impl Default for Rpc {
+    fn default() -> Self {
+        Rpc::new()
+    }
+}
+
+/// Runs a node actor: drains the mailbox, feeding each request to the
+/// handler, until a `Shutdown` request arrives (which is acknowledged
+/// before the loop exits).
+pub(crate) fn run_actor<H>(rx: Receiver<Envelope>, mut handler: H)
+where
+    H: FnMut(Request) -> Response,
+{
+    while let Ok((req, reply)) = rx.recv() {
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let resp = if is_shutdown { Response::Ok } else { handler(req) };
+        let _ = reply.send(resp);
+        if is_shutdown {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_node(rpc: &Rpc, id: NodeId) -> std::thread::JoinHandle<()> {
+        let rx = rpc.register(id);
+        std::thread::spawn(move || {
+            run_actor(rx, |req| match req {
+                Request::LocateAcgs => Response::Located(vec![]),
+                _ => Response::Ok,
+            })
+        })
+    }
+
+    #[test]
+    fn call_round_trip() {
+        let rpc = Rpc::new();
+        let h = echo_node(&rpc, NodeId::new(1));
+        let resp = rpc.call(NodeId::new(1), Request::LocateAcgs).unwrap();
+        assert!(matches!(resp, Response::Located(_)));
+        rpc.call(NodeId::new(1), Request::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_node_is_an_error() {
+        let rpc = Rpc::new();
+        let err = rpc.call(NodeId::new(99), Request::LocateAcgs);
+        assert!(matches!(err, Err(Error::NodeUnavailable(_))));
+    }
+
+    #[test]
+    fn concurrent_callers_are_serialized_by_the_actor() {
+        let rpc = Rpc::new();
+        let h = echo_node(&rpc, NodeId::new(1));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let rpc = rpc.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        rpc.call(NodeId::new(1), Request::LocateAcgs).unwrap();
+                    }
+                });
+            }
+        });
+        rpc.call(NodeId::new(1), Request::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn network_charging_advances_virtual_clock() {
+        let clock = SimClock::new();
+        let rpc = Rpc::with_network(Network::gigabit_ethernet(), clock.clone(), 7);
+        let h = echo_node(&rpc, NodeId::new(1));
+        let before = clock.now();
+        rpc.call(NodeId::new(1), Request::LocateAcgs).unwrap();
+        assert!(clock.now() > before, "message cost must be charged");
+        rpc.call(NodeId::new(1), Request::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn deregistered_node_unreachable() {
+        let rpc = Rpc::new();
+        let h = echo_node(&rpc, NodeId::new(1));
+        rpc.call(NodeId::new(1), Request::Shutdown).unwrap();
+        h.join().unwrap();
+        rpc.deregister(NodeId::new(1));
+        assert!(rpc.call(NodeId::new(1), Request::LocateAcgs).is_err());
+    }
+}

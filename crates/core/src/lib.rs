@@ -1,0 +1,41 @@
+//! Propeller service facade.
+//!
+//! Two deployment shapes, matching the paper's evaluation setups:
+//!
+//! * [`Propeller`] — **single-node mode** (§V-B): the Master Node and one
+//!   Index Node run in the same process with no RPC layer. This is the
+//!   configuration the paper benchmarks against MySQL and Spotlight.
+//! * [`propeller_cluster::Cluster`] — the full distributed service (§V-C):
+//!   one Master, N Index Nodes, parallel client fan-out.
+//!
+//! Both expose the same conceptual API: create named indices, feed file
+//! records (inline indexing), feed access traces (ACG capture), search with
+//! always-consistent results.
+//!
+//! # Examples
+//!
+//! ```
+//! use propeller_core::{Propeller, PropellerConfig};
+//! use propeller_index::FileRecord;
+//! use propeller_types::{FileId, InodeAttrs};
+//!
+//! let mut service = Propeller::new(PropellerConfig::default());
+//! service.index_file(FileRecord::new(
+//!     FileId::new(1),
+//!     InodeAttrs::builder().size(20 << 20).build(),
+//! )).unwrap();
+//!
+//! let hits = service.search_text("size>16m").unwrap();
+//! assert_eq!(hits, vec![FileId::new(1)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod service;
+
+pub use service::{Propeller, PropellerConfig, ServiceStats};
+
+pub use propeller_cluster as cluster;
+pub use propeller_index::{FileRecord, IndexKind, IndexOp, IndexSpec};
+pub use propeller_query::{Predicate, Query};

@@ -1,0 +1,483 @@
+//! The single-node Propeller service.
+
+use std::sync::Arc;
+
+use propeller_cluster::{IndexNode, MasterNode, Request, Response};
+use propeller_index::{FileRecord, IndexOp, IndexSpec};
+use propeller_query::{Predicate, Query};
+use propeller_sim::{Clock, SimClock, WallClock};
+use propeller_trace::CausalityTracker;
+use propeller_types::{
+    AcgId, Duration, Error, FileId, NodeId, OpenMode, ProcessId, Result, TraceEvent,
+};
+
+// The cluster crate's node state machines are reused verbatim; single-node
+// mode simply calls their handlers in-process instead of over the fabric,
+// which is exactly the paper's "Master Node and a single instance of Index
+// Node run on the same Linux machine" setup.
+
+/// Configuration for the single-node service.
+#[derive(Debug, Clone)]
+pub struct PropellerConfig {
+    /// Lazy-commit timeout (paper default 5 s).
+    pub commit_timeout: Duration,
+    /// Files per default-allocated ACG (the paper's single-node experiments
+    /// use 1000-file groups).
+    pub group_capacity: usize,
+    /// ACG scale that triggers a background split.
+    pub split_threshold: usize,
+    /// Virtual clock for modeled experiments; `None` = wall clock.
+    pub sim_clock: Option<SimClock>,
+    /// Seed for the split partitioner.
+    pub seed: u64,
+}
+
+impl Default for PropellerConfig {
+    fn default() -> Self {
+        PropellerConfig {
+            commit_timeout: Duration::from_secs(5),
+            group_capacity: 1000,
+            split_threshold: 50_000,
+            sim_clock: None,
+            seed: 42,
+        }
+    }
+}
+
+/// Cumulative service statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Index operations accepted.
+    pub ops: u64,
+    /// Searches served.
+    pub searches: u64,
+    /// ACG splits performed by maintenance.
+    pub splits: u64,
+    /// Causality edges flushed into ACGs.
+    pub edges_flushed: u64,
+}
+
+/// The single-node Propeller file-search service.
+///
+/// See the crate-level docs for an example.
+pub struct Propeller {
+    master: MasterNode,
+    node: IndexNode,
+    node_id: NodeId,
+    clock: Arc<dyn Clock>,
+    tracker: CausalityTracker,
+    stats: ServiceStats,
+}
+
+impl std::fmt::Debug for Propeller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Propeller").field("stats", &self.stats).finish()
+    }
+}
+
+impl Propeller {
+    /// Creates a single-node service.
+    pub fn new(config: PropellerConfig) -> Self {
+        let clock: Arc<dyn Clock> = match &config.sim_clock {
+            Some(sim) => Arc::new(sim.clone()),
+            None => Arc::new(WallClock::new()),
+        };
+        let node_id = NodeId::new(1);
+        let master = MasterNode::new(
+            vec![node_id],
+            propeller_cluster::MasterConfig {
+                group_capacity: config.group_capacity,
+                split_threshold: config.split_threshold,
+                ..Default::default()
+            },
+        );
+        let node = IndexNode::new(
+            node_id,
+            propeller_cluster::IndexNodeConfig {
+                commit_timeout: config.commit_timeout,
+                partition: propeller_acg::PartitionConfig {
+                    seed: config.seed,
+                    ..Default::default()
+                },
+            },
+        );
+        Propeller {
+            master,
+            node,
+            node_id,
+            clock,
+            tracker: CausalityTracker::new(),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The current service time.
+    pub fn now(&self) -> propeller_types::Timestamp {
+        self.clock.now()
+    }
+
+    /// Service statistics so far.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    fn master_call(&mut self, req: Request) -> Result<Response> {
+        self.master.handle(req).into_result()
+    }
+
+    fn node_call(&mut self, req: Request) -> Result<Response> {
+        self.node.handle(req).into_result()
+    }
+
+    /// Creates a user-defined named index (B+-tree, hash or K-D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexExists`] for duplicate names.
+    pub fn create_index(&mut self, spec: IndexSpec) -> Result<()> {
+        self.master_call(Request::CreateIndex { spec: spec.clone() })?;
+        self.node_call(Request::CreateIndex { spec })?;
+        Ok(())
+    }
+
+    /// Indexes (or re-indexes) one file record inline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL failures.
+    pub fn index_file(&mut self, record: FileRecord) -> Result<()> {
+        self.index_batch(vec![record])
+    }
+
+    /// Indexes a batch of file records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing and WAL failures.
+    pub fn index_batch(&mut self, records: Vec<FileRecord>) -> Result<()> {
+        let files: Vec<FileId> = records.iter().map(|r| r.file).collect();
+        let routes = match self.master_call(Request::ResolveFiles { files })? {
+            Response::Resolved(rows) => rows,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        let now = self.clock.now();
+        let mut by_acg: std::collections::HashMap<AcgId, Vec<IndexOp>> =
+            std::collections::HashMap::new();
+        for (record, (_, acg, _)) in records.into_iter().zip(routes) {
+            by_acg.entry(acg).or_default().push(IndexOp::Upsert(record));
+        }
+        for (acg, ops) in by_acg {
+            self.stats.ops += ops.len() as u64;
+            self.node_call(Request::IndexBatch { acg, ops, now })?;
+        }
+        Ok(())
+    }
+
+    /// Removes a file from the index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing and WAL failures.
+    pub fn remove_file(&mut self, file: FileId) -> Result<()> {
+        let routes = match self.master_call(Request::ResolveFiles { files: vec![file] })? {
+            Response::Resolved(rows) => rows,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        let now = self.clock.now();
+        let (_, acg, _) = routes[0];
+        self.stats.ops += 1;
+        self.node_call(Request::IndexBatch { acg, ops: vec![IndexOp::Remove(file)], now })?;
+        Ok(())
+    }
+
+    /// Searches with a parsed predicate. Results always reflect every
+    /// acknowledged index operation (commit-then-search).
+    ///
+    /// # Errors
+    ///
+    /// Propagates commit failures.
+    pub fn search(&mut self, predicate: &Predicate) -> Result<Vec<FileId>> {
+        self.stats.searches += 1;
+        let located = match self.master_call(Request::LocateAcgs)? {
+            Response::Located(rows) => rows,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        let acgs: Vec<AcgId> = located.into_iter().map(|(a, _)| a).collect();
+        let now = self.clock.now();
+        match self.node_call(Request::Search { acgs, predicate: predicate.clone(), now })? {
+            Response::SearchHits(hits) => Ok(hits),
+            other => Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Parses and runs a textual query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidQuery`] on parse errors.
+    pub fn search_text(&mut self, text: &str) -> Result<Vec<FileId>> {
+        let q = Query::parse(text, self.clock.now())?;
+        self.search(&q.predicate)
+    }
+
+    /// Runs a query-directory request (`/foo/bar/?size>1m`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidQuery`] on parse errors.
+    pub fn search_dir(&mut self, path: &str) -> Result<Vec<FileId>> {
+        let q = Query::parse_dir(path, self.clock.now())?;
+        self.search(&q.predicate)
+    }
+
+    // ---- access capture & ACG management -------------------------------
+
+    /// Observes one trace event (the FUSE interposer feed).
+    pub fn observe(&mut self, event: TraceEvent) {
+        self.tracker.observe(event);
+    }
+
+    /// Convenience: observes an open at the current service time.
+    pub fn observe_open(&mut self, pid: ProcessId, file: FileId, mode: OpenMode) {
+        let now = self.clock.now();
+        self.tracker.open(pid, file, mode, now);
+    }
+
+    /// Marks a traced process as exited.
+    pub fn end_process(&mut self, pid: ProcessId) {
+        self.tracker.end_process(pid);
+    }
+
+    /// Flushes captured causality edges into the owning ACG graphs.
+    /// Returns the number of edges flushed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures (delivery itself is weakly consistent).
+    pub fn flush_acg(&mut self) -> Result<usize> {
+        let updates = self.tracker.drain_updates();
+        if updates.is_empty() {
+            return Ok(0);
+        }
+        let dst: Vec<FileId> = updates.iter().map(|u| u.dst).collect();
+        let routes = match self.master_call(Request::ResolveFiles { files: dst })? {
+            Response::Resolved(rows) => rows,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        let mut by_acg: std::collections::HashMap<AcgId, Vec<propeller_trace::EdgeUpdate>> =
+            std::collections::HashMap::new();
+        for (update, (_, acg, _)) in updates.into_iter().zip(routes) {
+            by_acg.entry(acg).or_default().push(update);
+        }
+        let mut total = 0;
+        for (acg, edges) in by_acg {
+            total += edges.len();
+            let _ = self.node_call(Request::FlushAcgDelta { acg, edges });
+        }
+        self.stats.edges_flushed += total as u64;
+        Ok(total)
+    }
+
+    /// Explicitly binds a file group to a fresh ACG — used when partitions
+    /// are computed out-of-band (e.g. by offline ACG clustering) or when an
+    /// experiment wants one-application-per-group placement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures.
+    pub fn bind_group(&mut self, files: &[FileId]) -> Result<AcgId> {
+        let (acg, _) = match self.master_call(Request::AllocateAcg)? {
+            Response::AcgAllocated(a, n) => (a, n),
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        self.master_call(Request::BindFiles { acg, files: files.to_vec() })?;
+        Ok(acg)
+    }
+
+    /// One maintenance round: commits timed-out caches, processes
+    /// heartbeats and performs due ACG splits. Returns the number of
+    /// splits performed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates split-orchestration failures.
+    pub fn maintenance(&mut self) -> Result<usize> {
+        let now = self.clock.now();
+        let status = self.node_call(Request::Tick { now })?;
+        if let Response::Status(acgs) = status {
+            self.master_call(Request::Heartbeat { node: self.node_id, acgs, now })?;
+        }
+        let work = match self.master_call(Request::TakeSplitWork)? {
+            Response::SplitWork(w) => w,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        let mut done = 0;
+        for (acg, _) in work {
+            let (left, right) = match self.node_call(Request::SplitAcg { acg })? {
+                Response::SplitHalves { left, right } => (left, right),
+                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+            };
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            let (new_acg, target) = match self.master_call(Request::AllocateAcg)? {
+                Response::AcgAllocated(a, n) => (a, n),
+                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+            };
+            let (records, edges) = match self
+                .node_call(Request::ExtractAcgPart { acg, files: right.clone() })?
+            {
+                Response::AcgPart { records, edges } => (records, edges),
+                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+            };
+            self.node_call(Request::InstallAcg { acg: new_acg, records, edges })?;
+            self.master_call(Request::CommitSplit {
+                acg,
+                kept: left,
+                new_acg,
+                moved: right,
+                target,
+            })?;
+            done += 1;
+        }
+        self.stats.splits += done as u64;
+        Ok(done)
+    }
+
+    /// Number of ACGs currently allocated.
+    pub fn acg_count(&self) -> usize {
+        self.master.acg_count()
+    }
+
+    /// Total index operations buffered (acknowledged but not yet committed)
+    /// across all groups.
+    pub fn pending_ops(&self) -> usize {
+        match self.node.heartbeat(self.clock.now()) {
+            Request::Heartbeat { acgs, .. } => acgs.iter().map(|a| a.pending_ops).sum(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_types::{InodeAttrs, Timestamp, Value};
+
+    fn record(file: u64, size: u64) -> FileRecord {
+        FileRecord::new(FileId::new(file), InodeAttrs::builder().size(size).build())
+    }
+
+    #[test]
+    fn index_then_search() {
+        let mut p = Propeller::new(PropellerConfig::default());
+        p.index_batch((0..100).map(|i| record(i, i << 20)).collect()).unwrap();
+        let hits = p.search_text("size>16m").unwrap();
+        assert_eq!(hits.len(), 83);
+        assert_eq!(p.stats().ops, 100);
+        assert_eq!(p.stats().searches, 1);
+    }
+
+    #[test]
+    fn search_sees_every_acknowledged_update_immediately() {
+        // The paper's real-time guarantee: no crawling delay, recall = 100%.
+        let mut p = Propeller::new(PropellerConfig::default());
+        for i in 0..50 {
+            p.index_file(record(i, 1 << 30)).unwrap();
+            let hits = p.search_text("size>512m").unwrap();
+            assert_eq!(hits.len() as u64, i + 1, "update {i} must be visible");
+        }
+    }
+
+    #[test]
+    fn update_then_search_reflects_new_attributes() {
+        let mut p = Propeller::new(PropellerConfig::default());
+        p.index_file(record(1, 1 << 10)).unwrap();
+        assert!(p.search_text("size>1m").unwrap().is_empty());
+        p.index_file(record(1, 1 << 30)).unwrap(); // file grew
+        assert_eq!(p.search_text("size>1m").unwrap(), vec![FileId::new(1)]);
+    }
+
+    #[test]
+    fn remove_file_disappears_from_results() {
+        let mut p = Propeller::new(PropellerConfig::default());
+        p.index_batch((0..10).map(|i| record(i, 1 << 20)).collect()).unwrap();
+        p.remove_file(FileId::new(4)).unwrap();
+        let hits = p.search_text("size>0").unwrap();
+        assert_eq!(hits.len(), 9);
+        assert!(!hits.contains(&FileId::new(4)));
+    }
+
+    #[test]
+    fn custom_index_and_query() {
+        let mut p = Propeller::new(PropellerConfig::default());
+        p.create_index(IndexSpec::btree("energy", propeller_types::AttrName::custom("energy")))
+            .unwrap();
+        for i in 0..10 {
+            let rec = record(i, 1).with_custom("energy", Value::F64(-(i as f64)));
+            p.index_file(rec).unwrap();
+        }
+        let hits = p.search_text("energy<-7").unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn trace_capture_and_flush() {
+        let mut p = Propeller::new(PropellerConfig::default());
+        p.index_batch((0..3).map(|i| record(i, 1)).collect()).unwrap();
+        let pid = ProcessId::new(7);
+        p.observe_open(pid, FileId::new(0), OpenMode::Read);
+        p.observe_open(pid, FileId::new(1), OpenMode::Read);
+        p.observe_open(pid, FileId::new(2), OpenMode::Write);
+        p.end_process(pid);
+        assert_eq!(p.flush_acg().unwrap(), 2);
+        assert_eq!(p.stats().edges_flushed, 2);
+        assert_eq!(p.flush_acg().unwrap(), 0, "tracker drained");
+    }
+
+    #[test]
+    fn bind_group_controls_placement() {
+        let mut p = Propeller::new(PropellerConfig::default());
+        let files: Vec<FileId> = (100..110).map(FileId::new).collect();
+        let acg = p.bind_group(&files).unwrap();
+        assert!(acg.raw() > 0);
+        // Indexing those files lands in the bound group, not the open one.
+        p.index_batch(files.iter().map(|f| record(f.raw(), 5)).collect()).unwrap();
+        assert_eq!(p.acg_count(), 1);
+    }
+
+    #[test]
+    fn maintenance_splits_oversized_groups() {
+        let mut p = Propeller::new(PropellerConfig {
+            split_threshold: 40,
+            group_capacity: 1000,
+            ..PropellerConfig::default()
+        });
+        p.index_batch((0..100).map(|i| record(i, 1)).collect()).unwrap();
+        let splits = p.maintenance().unwrap();
+        assert!(splits >= 1);
+        assert!(p.acg_count() >= 2);
+        assert_eq!(p.search_text("size>0").unwrap().len(), 100);
+    }
+
+    #[test]
+    fn modeled_mode_uses_virtual_time() {
+        let sim = SimClock::new();
+        let p = Propeller::new(PropellerConfig {
+            sim_clock: Some(sim.clone()),
+            ..PropellerConfig::default()
+        });
+        assert_eq!(p.now(), Timestamp::EPOCH);
+        sim.advance(Duration::from_secs(100));
+        assert_eq!(p.now(), Timestamp::from_secs(100));
+    }
+
+    #[test]
+    fn query_directory_interface() {
+        let mut p = Propeller::new(PropellerConfig::default());
+        p.index_file(record(1, 2 << 20)).unwrap();
+        let hits = p.search_dir("/data/?size>1m").unwrap();
+        assert_eq!(hits, vec![FileId::new(1)]);
+        assert!(p.search_dir("/no-question-mark").is_err());
+    }
+}

@@ -1,0 +1,547 @@
+//! A from-scratch B+-tree.
+//!
+//! This is the ordered index Propeller offers per ACG (paper §IV supports
+//! "b-tree, hash table or K-D-tree" per user-defined index). Keys live in
+//! the leaves; internal nodes hold separator keys only, as in a classical
+//! B+-tree. Inserts use preemptive (top-down) node splitting; deletes are
+//! lazy (entries are removed from leaves, underfull leaves are tolerated),
+//! which preserves search correctness while keeping the code free of
+//! rebalancing corner cases — the paper's workload is overwhelmingly
+//! insert/update heavy.
+
+use std::fmt;
+use std::ops::Bound;
+
+const ORDER: usize = 32; // max keys per leaf; max children per internal node
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Leaf { keys: Vec<K>, vals: Vec<V> },
+    Internal { seps: Vec<K>, children: Vec<Node<K, V>> },
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    fn new_leaf() -> Self {
+        Node::Leaf { keys: Vec::new(), vals: Vec::new() }
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            Node::Leaf { keys, .. } => keys.len() >= ORDER,
+            Node::Internal { children, .. } => children.len() >= ORDER,
+        }
+    }
+}
+
+/// An ordered map backed by a from-scratch B+-tree.
+///
+/// Supports point lookups, ordered range scans over arbitrary
+/// [`Bound`]s, replacement inserts and lazy removal.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_index::BPlusTree;
+///
+/// let mut tree = BPlusTree::new();
+/// for i in 0..100u64 {
+///     tree.insert(i, i * 2);
+/// }
+/// assert_eq!(tree.get(&40), Some(&80));
+/// let in_range: Vec<u64> = tree.range(10..13).map(|(k, _)| *k).collect();
+/// assert_eq!(in_range, vec![10, 11, 12]);
+/// ```
+#[derive(Clone)]
+pub struct BPlusTree<K, V> {
+    root: Node<K, V>,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        BPlusTree::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        BPlusTree { root: Node::new_leaf(), len: 0 }
+    }
+
+    /// Number of key–value entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 for a lone leaf). The paper's analytic disk
+    /// cost model charges one page read per level.
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            node = &children[0];
+            d += 1;
+        }
+        d
+    }
+
+    /// Inserts `key → value`, returning the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if self.root.is_full() {
+            // Split the root: lift a new internal node above it.
+            let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
+            let mut children = vec![old_root];
+            let mut seps = Vec::new();
+            Self::split_child(&mut seps, &mut children, 0);
+            self.root = Node::Internal { seps, children };
+        }
+        let replaced = Self::insert_nonfull(&mut self.root, key, value);
+        if replaced.is_none() {
+            self.len += 1;
+        }
+        replaced
+    }
+
+    fn split_child(seps: &mut Vec<K>, children: &mut Vec<Node<K, V>>, i: usize) {
+        let mid = ORDER / 2;
+        let (sep, right) = match &mut children[i] {
+            Node::Leaf { keys, vals } => {
+                let rk = keys.split_off(mid);
+                let rv = vals.split_off(mid);
+                let sep = rk[0].clone();
+                (sep, Node::Leaf { keys: rk, vals: rv })
+            }
+            Node::Internal { seps: ck, children: cc } => {
+                // Promote the middle separator; it no longer lives below.
+                let rk = ck.split_off(mid + 1);
+                let sep = ck.pop().expect("internal node has separators");
+                let rc = cc.split_off(mid + 1);
+                (sep, Node::Internal { seps: rk, children: rc })
+            }
+        };
+        seps.insert(i, sep);
+        children.insert(i + 1, right);
+    }
+
+    fn insert_nonfull(node: &mut Node<K, V>, key: K, value: V) -> Option<V> {
+        match node {
+            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                Ok(i) => Some(std::mem::replace(&mut vals[i], value)),
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, value);
+                    None
+                }
+            },
+            Node::Internal { seps, children } => {
+                let mut i = seps.partition_point(|sep| *sep <= key);
+                if children[i].is_full() {
+                    Self::split_child(seps, children, i);
+                    if seps[i] <= key {
+                        i += 1;
+                    }
+                }
+                Self::insert_nonfull(&mut children[i], key, value)
+            }
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(key).ok().map(|i| &vals[i]);
+                }
+                Node::Internal { seps, children } => {
+                    let i = seps.partition_point(|sep| sep <= key);
+                    node = &children[i];
+                }
+            }
+        }
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys.binary_search(key).ok().map(|i| &mut vals[i]);
+                }
+                Node::Internal { seps, children } => {
+                    let i = seps.partition_point(|sep| sep <= key);
+                    node = &mut children[i];
+                }
+            }
+        }
+    }
+
+    /// Returns `true` when `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes `key`, returning its value. Lazy: leaves may become
+    /// underfull, but lookups and scans stay correct.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        fn rec<K: Ord + Clone, V>(node: &mut Node<K, V>, key: &K) -> Option<V> {
+            match node {
+                Node::Leaf { keys, vals } => match keys.binary_search(key) {
+                    Ok(i) => {
+                        keys.remove(i);
+                        Some(vals.remove(i))
+                    }
+                    Err(_) => None,
+                },
+                Node::Internal { seps, children } => {
+                    let i = seps.partition_point(|sep| sep <= key);
+                    rec(&mut children[i], key)
+                }
+            }
+        }
+        let removed = rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Iterates over entries with keys in `range`, in ascending key order.
+    pub fn range<R>(&self, range: R) -> Range<'_, K, V>
+    where
+        R: std::ops::RangeBounds<K>,
+    {
+        let lo = clone_bound(range.start_bound());
+        let hi = clone_bound(range.end_bound());
+        let mut iter = Range { stack: Vec::new(), lo, hi };
+        iter.push_node(&self.root);
+        iter
+    }
+
+    /// Iterates over all entries in ascending key order.
+    pub fn iter(&self) -> Range<'_, K, V> {
+        self.range(..)
+    }
+
+    /// First (smallest) key, if any. Robust to leaves emptied by lazy
+    /// deletion.
+    pub fn first_key(&self) -> Option<&K> {
+        self.iter().next().map(|(k, _)| k)
+    }
+}
+
+fn clone_bound<K: Clone>(b: Bound<&K>) -> Bound<K> {
+    match b {
+        Bound::Included(k) => Bound::Included(k.clone()),
+        Bound::Excluded(k) => Bound::Excluded(k.clone()),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}
+
+/// Ascending iterator over a key range of a [`BPlusTree`].
+pub struct Range<'a, K, V> {
+    /// Explicit DFS stack: (node, child/entry position).
+    stack: Vec<(&'a Node<K, V>, usize)>,
+    lo: Bound<K>,
+    hi: Bound<K>,
+}
+
+impl<'a, K: Ord + Clone, V> Range<'a, K, V> {
+    fn push_node(&mut self, node: &'a Node<K, V>) {
+        match node {
+            Node::Leaf { keys, .. } => {
+                let start = match &self.lo {
+                    Bound::Included(k) => keys.partition_point(|x| x < k),
+                    Bound::Excluded(k) => keys.partition_point(|x| x <= k),
+                    Bound::Unbounded => 0,
+                };
+                self.stack.push((node, start));
+            }
+            Node::Internal { seps, .. } => {
+                let start = match &self.lo {
+                    Bound::Included(k) | Bound::Excluded(k) => {
+                        seps.partition_point(|sep| sep <= k)
+                    }
+                    Bound::Unbounded => 0,
+                };
+                self.stack.push((node, start));
+            }
+        }
+    }
+
+    fn above_hi(&self, key: &K) -> bool {
+        match &self.hi {
+            Bound::Included(k) => key > k,
+            Bound::Excluded(k) => key >= k,
+            Bound::Unbounded => false,
+        }
+    }
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for Range<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            // Copy the node reference out of the stack frame so it carries
+            // the full 'a lifetime, then advance the frame's cursor.
+            let (node, i) = {
+                let (node, pos) = self.stack.last_mut()?;
+                let node: &'a Node<K, V> = node;
+                let i = *pos;
+                *pos += 1;
+                (node, i)
+            };
+            match node {
+                Node::Leaf { keys, vals } => {
+                    if i < keys.len() {
+                        let key = &keys[i];
+                        if self.above_hi(key) {
+                            self.stack.clear();
+                            return None;
+                        }
+                        return Some((key, &vals[i]));
+                    }
+                    self.stack.pop();
+                }
+                Node::Internal { seps, children } => {
+                    if i < children.len() {
+                        // Prune subtrees entirely above the upper bound: the
+                        // separator left of child i is a lower bound for it.
+                        if i > 0 && self.above_hi(&seps[i - 1]) {
+                            self.stack.clear();
+                            return None;
+                        }
+                        self.push_node(&children[i]);
+                    } else {
+                        self.stack.pop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<K: Ord + Clone + fmt::Debug, V: fmt::Debug> fmt::Debug for BPlusTree<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BPlusTree")
+            .field("len", &self.len)
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+impl<K: Ord + Clone, V> FromIterator<(K, V)> for BPlusTree<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut tree = BPlusTree::new();
+        for (k, v) in iter {
+            tree.insert(k, v);
+        }
+        tree
+    }
+}
+
+impl<K: Ord + Clone, V> Extend<(K, V)> for BPlusTree<K, V> {
+    fn extend<T: IntoIterator<Item = (K, V)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = BPlusTree::new();
+        for i in 0..1000u32 {
+            assert_eq!(t.insert(i, i + 1), None);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(t.get(&i), Some(&(i + 1)));
+        }
+        assert_eq!(t.get(&1000), None);
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(5, "a"), None);
+        assert_eq!(t.insert(5, "b"), Some("a"));
+        assert_eq!(t.get(&5), Some(&"b"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn reverse_and_shuffled_inserts() {
+        let mut t = BPlusTree::new();
+        for i in (0..500u32).rev() {
+            t.insert(i, i);
+        }
+        let collected: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(collected, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn depth_grows_logarithmically() {
+        let mut t = BPlusTree::new();
+        for i in 0..10_000u32 {
+            t.insert(i, ());
+        }
+        let d = t.depth();
+        assert!(d >= 3 && d <= 5, "depth {d}");
+    }
+
+    #[test]
+    fn range_inclusive_exclusive_bounds() {
+        let mut t = BPlusTree::new();
+        for i in 0..100u32 {
+            t.insert(i, ());
+        }
+        let v: Vec<u32> = t.range(10..20).map(|(k, _)| *k).collect();
+        assert_eq!(v, (10..20).collect::<Vec<_>>());
+        let v: Vec<u32> = t.range(10..=20).map(|(k, _)| *k).collect();
+        assert_eq!(v, (10..=20).collect::<Vec<_>>());
+        let v: Vec<u32> = t
+            .range((Bound::Excluded(10), Bound::Unbounded))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(v, (11..100).collect::<Vec<_>>());
+        let v: Vec<u32> = t.range(..5).map(|(k, _)| *k).collect();
+        assert_eq!(v, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_empty_and_out_of_bounds() {
+        let mut t = BPlusTree::new();
+        for i in 10..20u32 {
+            t.insert(i, ());
+        }
+        assert_eq!(t.range(0..5).count(), 0);
+        assert_eq!(t.range(25..30).count(), 0);
+        assert_eq!(t.range(15..15).count(), 0);
+    }
+
+    #[test]
+    fn remove_then_get() {
+        let mut t = BPlusTree::new();
+        for i in 0..2000u32 {
+            t.insert(i, i);
+        }
+        for i in (0..2000).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..2000u32 {
+            if i % 2 == 0 {
+                assert_eq!(t.get(&i), None);
+            } else {
+                assert_eq!(t.get(&i), Some(&i));
+            }
+        }
+        assert_eq!(t.remove(&0), None);
+    }
+
+    #[test]
+    fn scan_after_heavy_removal() {
+        let mut t = BPlusTree::new();
+        for i in 0..1000u32 {
+            t.insert(i, ());
+        }
+        for i in 100..900 {
+            t.remove(&i);
+        }
+        let keys: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+        let expected: Vec<u32> = (0..100).chain(900..1000).collect();
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn get_mut_modifies() {
+        let mut t = BPlusTree::new();
+        t.insert("k", 1);
+        *t.get_mut(&"k").unwrap() += 10;
+        assert_eq!(t.get(&"k"), Some(&11));
+        assert!(t.get_mut(&"missing").is_none());
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut t: BPlusTree<u32, u32> = (0..10).map(|i| (i, i)).collect();
+        t.extend((10..20).map(|i| (i, i)));
+        assert_eq!(t.len(), 20);
+        assert!(t.contains_key(&15));
+    }
+
+    #[test]
+    fn matches_btreemap_on_random_ops() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut ours = BPlusTree::new();
+        let mut reference = BTreeMap::new();
+        for _ in 0..20_000 {
+            let k: u16 = rng.gen_range(0..2000);
+            match rng.gen_range(0..10) {
+                0..=5 => {
+                    let v: u32 = rng.gen();
+                    assert_eq!(ours.insert(k, v), reference.insert(k, v));
+                }
+                6..=7 => {
+                    assert_eq!(ours.remove(&k), reference.remove(&k));
+                }
+                8 => {
+                    assert_eq!(ours.get(&k), reference.get(&k));
+                }
+                _ => {
+                    let hi = k.saturating_add(rng.gen_range(0..200));
+                    let ours_range: Vec<(u16, u32)> =
+                        ours.range(k..hi).map(|(a, b)| (*a, *b)).collect();
+                    let ref_range: Vec<(u16, u32)> =
+                        reference.range(k..hi).map(|(a, b)| (*a, *b)).collect();
+                    assert_eq!(ours_range, ref_range);
+                }
+            }
+        }
+        assert_eq!(ours.len(), reference.len());
+        let all: Vec<(u16, u32)> = ours.iter().map(|(a, b)| (*a, *b)).collect();
+        let expected: Vec<(u16, u32)> = reference.iter().map(|(a, b)| (*a, *b)).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn first_key_nonempty() {
+        let mut t = BPlusTree::new();
+        for i in (5..100u32).rev() {
+            t.insert(i, ());
+        }
+        assert_eq!(t.first_key(), Some(&5));
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut t = BPlusTree::new();
+        for w in ["pear", "apple", "fig", "plum", "kiwi"] {
+            t.insert(w.to_owned(), w.len());
+        }
+        let keys: Vec<String> = t.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec!["apple", "fig", "kiwi", "pear", "plum"]);
+        let mid: Vec<String> = t
+            .range("b".to_owned().."l".to_owned())
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(mid, vec!["fig", "kiwi"]);
+    }
+}

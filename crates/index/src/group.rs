@@ -1,0 +1,774 @@
+//! The per-ACG index group.
+//!
+//! Every ACG owns one [`AcgIndexGroup`] on its Index Node (paper §IV): a
+//! record store plus a *named index table* mapping user-chosen index names
+//! to concrete structures (B+-tree, hash table or K-D tree — "each ACG can
+//! have all three types"). Updates flow through the WAL and the lazy
+//! [`IndexCache`]; a commit applies buffered ops to every index and
+//! truncates the WAL. Searches must observe all acknowledged updates, so
+//! the owning node commits before serving a search (the paper's
+//! consistency rule).
+
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use propeller_types::{
+    AcgId, AttrName, Duration, Error, FileId, Result, Timestamp, Value,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::btree::BPlusTree;
+use crate::cache::IndexCache;
+use crate::hash::HashIndex;
+use crate::kdtree::KdTree;
+use crate::ops::{FileRecord, IndexOp};
+use crate::wal::Wal;
+
+/// The concrete structure behind a named index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndexKind {
+    /// Ordered B+-tree (range and point queries).
+    BTree,
+    /// Hash table (point queries).
+    Hash,
+    /// K-D tree (multi-attribute range queries).
+    Kd,
+}
+
+/// A user-defined index: a globally unique name, a structure kind, and the
+/// attribute(s) it covers (one for `BTree`/`Hash`, one or more for `Kd`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexSpec {
+    /// Globally unique index name (paper §IV "Workflow").
+    pub name: String,
+    /// Backing structure.
+    pub kind: IndexKind,
+    /// Covered attributes.
+    pub attrs: Vec<AttrName>,
+}
+
+impl IndexSpec {
+    /// A B+-tree index over one attribute.
+    pub fn btree(name: impl Into<String>, attr: AttrName) -> Self {
+        IndexSpec { name: name.into(), kind: IndexKind::BTree, attrs: vec![attr] }
+    }
+
+    /// A hash index over one attribute.
+    pub fn hash(name: impl Into<String>, attr: AttrName) -> Self {
+        IndexSpec { name: name.into(), kind: IndexKind::Hash, attrs: vec![attr] }
+    }
+
+    /// A K-D-tree index over several attributes.
+    pub fn kd(name: impl Into<String>, attrs: Vec<AttrName>) -> Self {
+        IndexSpec { name: name.into(), kind: IndexKind::Kd, attrs }
+    }
+}
+
+/// Configuration for an [`AcgIndexGroup`].
+#[derive(Debug)]
+pub struct GroupConfig {
+    /// Lazy-commit timeout (paper default: 5 seconds).
+    pub commit_timeout: Duration,
+    /// Write-ahead log backing this group.
+    pub wal: Wal,
+    /// Create the paper's default indices (B+-tree on size and mtime, hash
+    /// on keyword, K-D tree on (size, mtime)).
+    pub default_indices: bool,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            commit_timeout: Duration::from_secs(5),
+            wal: Wal::in_memory(),
+            default_indices: true,
+        }
+    }
+}
+
+/// A sorted posting list of files holding a given attribute value.
+type PostingList = Vec<FileId>;
+
+fn posting_insert(list: &mut PostingList, file: FileId) {
+    if let Err(pos) = list.binary_search(&file) {
+        list.insert(pos, file);
+    }
+}
+
+fn posting_remove(list: &mut PostingList, file: FileId) {
+    if let Ok(pos) = list.binary_search(&file) {
+        list.remove(pos);
+    }
+}
+
+/// The index group of one ACG: record store + named indices + WAL + lazy
+/// cache.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_index::{AcgIndexGroup, FileRecord, GroupConfig, IndexOp};
+/// use propeller_types::{AcgId, AttrName, FileId, InodeAttrs, Timestamp, Value};
+///
+/// let mut group = AcgIndexGroup::new(AcgId::new(1), GroupConfig::default());
+/// let t = Timestamp::from_secs(1);
+/// let record = FileRecord::new(
+///     FileId::new(7),
+///     InodeAttrs::builder().size(32 << 20).build(),
+/// );
+/// group.enqueue(IndexOp::Upsert(record), t).unwrap();
+/// group.commit(t).unwrap();
+///
+/// let hits = group.lookup_range(
+///     &AttrName::Size,
+///     std::ops::Bound::Included(Value::U64(16 << 20)),
+///     std::ops::Bound::Unbounded,
+/// );
+/// assert_eq!(hits, vec![FileId::new(7)]);
+/// ```
+#[derive(Debug)]
+pub struct AcgIndexGroup {
+    id: AcgId,
+    records: HashMap<FileId, FileRecord>,
+    specs: Vec<IndexSpec>,
+    btrees: HashMap<AttrName, BPlusTree<Value, PostingList>>,
+    hashes: HashMap<AttrName, HashIndex<Value, PostingList>>,
+    kds: HashMap<String, (Vec<AttrName>, KdTree)>,
+    wal: Wal,
+    cache: IndexCache,
+    ops_applied: u64,
+}
+
+impl AcgIndexGroup {
+    /// Creates an empty group.
+    pub fn new(id: AcgId, config: GroupConfig) -> Self {
+        let mut group = AcgIndexGroup {
+            id,
+            records: HashMap::new(),
+            specs: Vec::new(),
+            btrees: HashMap::new(),
+            hashes: HashMap::new(),
+            kds: HashMap::new(),
+            wal: config.wal,
+            cache: IndexCache::new(config.commit_timeout),
+            ops_applied: 0,
+        };
+        if config.default_indices {
+            for spec in [
+                IndexSpec::btree("size_btree", AttrName::Size),
+                IndexSpec::btree("mtime_btree", AttrName::Mtime),
+                IndexSpec::hash("keyword_hash", AttrName::Keyword),
+                IndexSpec::kd("inode_kd", vec![AttrName::Size, AttrName::Mtime]),
+            ] {
+                group.create_index(spec).expect("default index names are unique");
+            }
+        }
+        group
+    }
+
+    /// Recovers a group from its WAL: every acknowledged (logged) op is
+    /// re-applied, then the WAL is truncated. Returns the group and the
+    /// number of recovered ops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if a logged op fails to decode (frames
+    /// with bad CRCs were already dropped by WAL replay), or [`Error::Io`]
+    /// on WAL I/O failures.
+    pub fn recover(id: AcgId, mut config: GroupConfig) -> Result<(Self, usize)> {
+        let frames = config.wal.replay()?;
+        let mut group = AcgIndexGroup::new(id, config);
+        let mut count = 0;
+        for frame in frames {
+            let op = IndexOp::decode(&frame)?;
+            group.apply(op);
+            count += 1;
+        }
+        group.wal.truncate()?;
+        Ok((group, count))
+    }
+
+    /// This group's ACG id.
+    pub fn id(&self) -> AcgId {
+        self.id
+    }
+
+    /// Number of indexed files.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when no file is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of operations applied to the indices over this group's life.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// Number of currently buffered (uncommitted) operations.
+    pub fn pending_ops(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Commit statistics: `(commits, drained_ops)`.
+    pub fn commit_stats(&self) -> (u64, u64) {
+        (self.cache.commit_count(), self.cache.drained_ops())
+    }
+
+    /// The named index table (paper: each ACG has a table mapping index
+    /// names to structures).
+    pub fn index_specs(&self) -> &[IndexSpec] {
+        &self.specs
+    }
+
+    /// Creates a user-defined index and backfills it from existing records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexExists`] for duplicate names and
+    /// [`Error::Config`] for invalid attribute arity.
+    pub fn create_index(&mut self, spec: IndexSpec) -> Result<()> {
+        if self.specs.iter().any(|s| s.name == spec.name) {
+            return Err(Error::IndexExists(spec.name));
+        }
+        match spec.kind {
+            IndexKind::BTree | IndexKind::Hash => {
+                if spec.attrs.len() != 1 {
+                    return Err(Error::Config(format!(
+                        "index {:?} needs exactly one attribute",
+                        spec.name
+                    )));
+                }
+            }
+            IndexKind::Kd => {
+                if spec.attrs.is_empty() {
+                    return Err(Error::Config(format!(
+                        "k-d index {:?} needs at least one attribute",
+                        spec.name
+                    )));
+                }
+            }
+        }
+        match spec.kind {
+            IndexKind::BTree => {
+                let attr = spec.attrs[0].clone();
+                let mut tree = BPlusTree::new();
+                for record in self.records.values() {
+                    for value in Self::record_values(record, &attr) {
+                        let list = tree.get_mut(&value);
+                        match list {
+                            Some(list) => posting_insert(list, record.file),
+                            None => {
+                                tree.insert(value, vec![record.file]);
+                            }
+                        }
+                    }
+                }
+                self.btrees.insert(attr, tree);
+            }
+            IndexKind::Hash => {
+                let attr = spec.attrs[0].clone();
+                let mut table = HashIndex::new();
+                for record in self.records.values() {
+                    for value in Self::record_values(record, &attr) {
+                        posting_insert(table.get_or_insert_with(value, Vec::new), record.file);
+                    }
+                }
+                self.hashes.insert(attr, table);
+            }
+            IndexKind::Kd => {
+                let attrs = spec.attrs.clone();
+                let points: Vec<(Vec<f64>, FileId)> = self
+                    .records
+                    .values()
+                    .filter_map(|r| Self::kd_point(r, &attrs).map(|p| (p, r.file)))
+                    .collect();
+                let tree = KdTree::bulk_load(attrs.len(), points);
+                self.kds.insert(spec.name.clone(), (attrs, tree));
+            }
+        }
+        self.specs.push(spec);
+        Ok(())
+    }
+
+    /// Appends an op to the WAL and buffers it in the cache; commits
+    /// automatically if the cache has timed out. Returns `true` if a
+    /// commit happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the WAL append fails; the op is *not*
+    /// buffered in that case (no acknowledged-but-unlogged state).
+    pub fn enqueue(&mut self, op: IndexOp, now: Timestamp) -> Result<bool> {
+        self.wal.append(&op.encode())?;
+        self.cache.push(op, now);
+        if self.cache.timed_out(now) {
+            self.commit(now)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Commits all buffered ops to the indices and truncates the WAL.
+    /// Returns the number of ops applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the WAL truncate fails.
+    pub fn commit(&mut self, now: Timestamp) -> Result<usize> {
+        let batch = self.cache.drain(now);
+        let n = batch.len();
+        for op in batch {
+            self.apply(op);
+        }
+        if n > 0 {
+            self.wal.truncate()?;
+        }
+        Ok(n)
+    }
+
+    /// Whether the cache is due for a background commit.
+    pub fn commit_due(&self, now: Timestamp) -> bool {
+        self.cache.timed_out(now)
+    }
+
+    fn apply(&mut self, op: IndexOp) {
+        self.ops_applied += 1;
+        match op {
+            IndexOp::Upsert(record) => {
+                if let Some(old) = self.records.remove(&record.file) {
+                    self.unindex(&old);
+                }
+                self.index(&record);
+                self.records.insert(record.file, record);
+            }
+            IndexOp::Remove(file) => {
+                if let Some(old) = self.records.remove(&file) {
+                    self.unindex(&old);
+                }
+            }
+        }
+    }
+
+    fn index(&mut self, record: &FileRecord) {
+        for (attr, tree) in self.btrees.iter_mut() {
+            for value in Self::record_values(record, attr) {
+                match tree.get_mut(&value) {
+                    Some(list) => posting_insert(list, record.file),
+                    None => {
+                        tree.insert(value, vec![record.file]);
+                    }
+                }
+            }
+        }
+        for (attr, table) in self.hashes.iter_mut() {
+            for value in Self::record_values(record, attr) {
+                posting_insert(table.get_or_insert_with(value, Vec::new), record.file);
+            }
+        }
+        for (attrs, tree) in self.kds.values_mut() {
+            if let Some(point) = Self::kd_point(record, attrs) {
+                tree.insert(&point, record.file);
+            }
+        }
+    }
+
+    fn unindex(&mut self, record: &FileRecord) {
+        for (attr, tree) in self.btrees.iter_mut() {
+            for value in Self::record_values(record, attr) {
+                if let Some(list) = tree.get_mut(&value) {
+                    posting_remove(list, record.file);
+                }
+            }
+        }
+        for (attr, table) in self.hashes.iter_mut() {
+            for value in Self::record_values(record, attr) {
+                if let Some(list) = table.get_mut(&value) {
+                    posting_remove(list, record.file);
+                }
+            }
+        }
+        for (attrs, tree) in self.kds.values_mut() {
+            if let Some(point) = Self::kd_point(record, attrs) {
+                tree.remove(&point, record.file);
+            }
+        }
+    }
+
+    /// The values a record contributes to an attribute's index.
+    fn record_values(record: &FileRecord, attr: &AttrName) -> Vec<Value> {
+        match attr {
+            AttrName::Keyword => record.keywords.iter().map(|k| Value::from(k.as_str())).collect(),
+            AttrName::Custom(name) => record
+                .custom
+                .iter()
+                .filter(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .collect(),
+            builtin => record.attrs.get(builtin).into_iter().collect(),
+        }
+    }
+
+    /// The K-D point of a record over `attrs`, or `None` when any attribute
+    /// is missing or multi-valued.
+    fn kd_point(record: &FileRecord, attrs: &[AttrName]) -> Option<Vec<f64>> {
+        let mut point = Vec::with_capacity(attrs.len());
+        for attr in attrs {
+            let values = Self::record_values(record, attr);
+            if values.len() != 1 {
+                return None;
+            }
+            point.push(values[0].axis_projection());
+        }
+        Some(point)
+    }
+
+    // --- Search-side accessors (call `commit` first; the Index Node does
+    // this on every search request) ------------------------------------
+
+    /// Files with `attr == value`, using a hash index when available, a
+    /// B+-tree otherwise, and a full record scan as last resort.
+    pub fn lookup_eq(&self, attr: &AttrName, value: &Value) -> Vec<FileId> {
+        if let Some(table) = self.hashes.get(attr) {
+            return table.get(value).cloned().unwrap_or_default();
+        }
+        if let Some(tree) = self.btrees.get(attr) {
+            return tree.get(value).cloned().unwrap_or_default();
+        }
+        self.scan(|record| Self::record_values(record, attr).iter().any(|v| v == value))
+    }
+
+    /// Files with `attr` in the given bounds, using a B+-tree when
+    /// available, a full scan otherwise.
+    pub fn lookup_range(
+        &self,
+        attr: &AttrName,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+    ) -> Vec<FileId> {
+        if let Some(tree) = self.btrees.get(attr) {
+            let mut out: Vec<FileId> = tree
+                .range((lo, hi))
+                .flat_map(|(_, list)| list.iter().copied())
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        }
+        let in_lo = |v: &Value| match &lo {
+            Bound::Included(b) => v >= b,
+            Bound::Excluded(b) => v > b,
+            Bound::Unbounded => true,
+        };
+        let in_hi = |v: &Value| match &hi {
+            Bound::Included(b) => v <= b,
+            Bound::Excluded(b) => v < b,
+            Bound::Unbounded => true,
+        };
+        self.scan(|record| {
+            Self::record_values(record, attr)
+                .iter()
+                .any(|v| in_lo(v) && in_hi(v))
+        })
+    }
+
+    /// Multi-attribute inclusive box query via a covering K-D index.
+    /// Returns `None` when no K-D index covers exactly these attributes
+    /// (the planner then falls back to per-attribute lookups).
+    pub fn lookup_kd(&self, attrs: &[AttrName], lo: &[f64], hi: &[f64]) -> Option<Vec<FileId>> {
+        self.kds.values().find_map(|(kd_attrs, tree)| {
+            if kd_attrs == attrs {
+                Some(tree.range(lo, hi))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Full scan with a predicate (the executor's fallback path).
+    pub fn scan<F: Fn(&FileRecord) -> bool>(&self, pred: F) -> Vec<FileId> {
+        let mut out: Vec<FileId> = self
+            .records
+            .values()
+            .filter(|r| pred(r))
+            .map(|r| r.file)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The indexed record for `file`, if any.
+    pub fn record(&self, file: FileId) -> Option<&FileRecord> {
+        self.records.get(&file)
+    }
+
+    /// Iterates over all indexed records.
+    pub fn records(&self) -> impl Iterator<Item = &FileRecord> {
+        self.records.values()
+    }
+
+    /// Files currently indexed (sorted).
+    pub fn files(&self) -> Vec<FileId> {
+        let mut v: Vec<FileId> = self.records.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Depth of the B+-tree over `attr` (for analytic disk-cost models).
+    pub fn btree_depth(&self, attr: &AttrName) -> Option<usize> {
+        self.btrees.get(attr).map(|t| t.depth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_types::InodeAttrs;
+
+    fn group() -> AcgIndexGroup {
+        AcgIndexGroup::new(AcgId::new(1), GroupConfig::default())
+    }
+
+    fn record(file: u64, size: u64, mtime_s: u64) -> FileRecord {
+        FileRecord::new(
+            FileId::new(file),
+            InodeAttrs::builder()
+                .size(size)
+                .mtime(Timestamp::from_secs(mtime_s))
+                .build(),
+        )
+    }
+
+    fn t(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn upsert_then_range_lookup() {
+        let mut g = group();
+        for i in 0..100 {
+            g.enqueue(IndexOp::Upsert(record(i, i * 1024, i)), t(0)).unwrap();
+        }
+        g.commit(t(0)).unwrap();
+        let hits = g.lookup_range(
+            &AttrName::Size,
+            Bound::Included(Value::U64(50 * 1024)),
+            Bound::Unbounded,
+        );
+        assert_eq!(hits.len(), 50);
+        assert!(hits.contains(&FileId::new(99)));
+    }
+
+    #[test]
+    fn uncommitted_ops_are_invisible_until_commit() {
+        let mut g = group();
+        g.enqueue(IndexOp::Upsert(record(1, 100, 0)), t(0)).unwrap();
+        assert!(g
+            .lookup_eq(&AttrName::Size, &Value::U64(100))
+            .is_empty());
+        g.commit(t(1)).unwrap();
+        assert_eq!(
+            g.lookup_eq(&AttrName::Size, &Value::U64(100)),
+            vec![FileId::new(1)]
+        );
+    }
+
+    #[test]
+    fn timeout_triggers_auto_commit() {
+        let mut g = group();
+        g.enqueue(IndexOp::Upsert(record(1, 1, 0)), t(0)).unwrap();
+        // 6 seconds later (past the 5s default), the next enqueue commits.
+        let committed = g.enqueue(IndexOp::Upsert(record(2, 2, 0)), t(6)).unwrap();
+        assert!(committed);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.pending_ops(), 0);
+    }
+
+    #[test]
+    fn upsert_replaces_old_attribute_values() {
+        let mut g = group();
+        g.enqueue(IndexOp::Upsert(record(1, 100, 0)), t(0)).unwrap();
+        g.enqueue(IndexOp::Upsert(record(1, 999, 0)), t(0)).unwrap();
+        g.commit(t(0)).unwrap();
+        assert!(g.lookup_eq(&AttrName::Size, &Value::U64(100)).is_empty());
+        assert_eq!(
+            g.lookup_eq(&AttrName::Size, &Value::U64(999)),
+            vec![FileId::new(1)]
+        );
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn remove_clears_all_indices() {
+        let mut g = group();
+        let rec = record(5, 4096, 10);
+        g.enqueue(IndexOp::Upsert(rec), t(0)).unwrap();
+        g.enqueue(IndexOp::Remove(FileId::new(5)), t(0)).unwrap();
+        g.commit(t(0)).unwrap();
+        assert!(g.lookup_eq(&AttrName::Size, &Value::U64(4096)).is_empty());
+        assert!(g
+            .lookup_kd(
+                &[AttrName::Size, AttrName::Mtime],
+                &[0.0, 0.0],
+                &[1e18, 1e18]
+            )
+            .unwrap()
+            .is_empty());
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn keyword_hash_lookup() {
+        let mut g = group();
+        let rec = record(1, 10, 0).with_keyword("firefox").with_keyword("cache");
+        g.enqueue(IndexOp::Upsert(rec), t(0)).unwrap();
+        g.commit(t(0)).unwrap();
+        assert_eq!(
+            g.lookup_eq(&AttrName::Keyword, &Value::from("firefox")),
+            vec![FileId::new(1)]
+        );
+        assert_eq!(
+            g.lookup_eq(&AttrName::Keyword, &Value::from("cache")),
+            vec![FileId::new(1)]
+        );
+        assert!(g
+            .lookup_eq(&AttrName::Keyword, &Value::from("chrome"))
+            .is_empty());
+    }
+
+    #[test]
+    fn kd_box_query_matches_scan() {
+        let mut g = group();
+        for i in 0..200 {
+            g.enqueue(IndexOp::Upsert(record(i, (i * 13) % 997, (i * 7) % 91)), t(0))
+                .unwrap();
+        }
+        g.commit(t(0)).unwrap();
+        let kd = g
+            .lookup_kd(
+                &[AttrName::Size, AttrName::Mtime],
+                &[100.0, 10.0 * 1e6],
+                &[500.0, 60.0 * 1e6],
+            )
+            .unwrap();
+        let scan = g.scan(|r| {
+            (100..=500).contains(&r.attrs.size)
+                && (Timestamp::from_secs(10)..=Timestamp::from_secs(60)).contains(&r.attrs.mtime)
+        });
+        assert_eq!(kd, scan);
+        assert!(!kd.is_empty());
+    }
+
+    #[test]
+    fn custom_attribute_index() {
+        let mut g = group();
+        g.create_index(IndexSpec::btree("energy_idx", AttrName::custom("energy")))
+            .unwrap();
+        for i in 0..10 {
+            let rec = record(i, 1, 0).with_custom("energy", Value::F64(i as f64 * -1.5));
+            g.enqueue(IndexOp::Upsert(rec), t(0)).unwrap();
+        }
+        g.commit(t(0)).unwrap();
+        let hits = g.lookup_range(
+            &AttrName::custom("energy"),
+            Bound::Included(Value::F64(-5.0)),
+            Bound::Included(Value::F64(-2.0)),
+        );
+        assert_eq!(hits.len(), 2); // -3.0 and -4.5
+    }
+
+    #[test]
+    fn create_index_backfills_existing_records() {
+        let mut g = group();
+        g.enqueue(IndexOp::Upsert(record(1, 77, 0)), t(0)).unwrap();
+        g.commit(t(0)).unwrap();
+        g.create_index(IndexSpec::hash("size_hash", AttrName::Size)).unwrap();
+        assert_eq!(
+            g.lookup_eq(&AttrName::Size, &Value::U64(77)),
+            vec![FileId::new(1)]
+        );
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let mut g = group();
+        let err = g.create_index(IndexSpec::btree("size_btree", AttrName::Size));
+        assert!(matches!(err, Err(Error::IndexExists(_))));
+    }
+
+    #[test]
+    fn invalid_index_arity_rejected() {
+        let mut g = group();
+        let bad = IndexSpec {
+            name: "bad".into(),
+            kind: IndexKind::BTree,
+            attrs: vec![AttrName::Size, AttrName::Uid],
+        };
+        assert!(matches!(g.create_index(bad), Err(Error::Config(_))));
+        let empty_kd = IndexSpec { name: "kd0".into(), kind: IndexKind::Kd, attrs: vec![] };
+        assert!(matches!(g.create_index(empty_kd), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn recovery_replays_acknowledged_ops() {
+        let mut wal = Wal::in_memory();
+        for i in 0..5 {
+            wal.append(&IndexOp::Upsert(record(i, i * 10, 0)).encode()).unwrap();
+        }
+        wal.append(&IndexOp::Remove(FileId::new(0)).encode()).unwrap();
+        let config = GroupConfig { wal, ..GroupConfig::default() };
+        let (g, recovered) = AcgIndexGroup::recover(AcgId::new(9), config).unwrap();
+        assert_eq!(recovered, 6);
+        assert_eq!(g.len(), 4);
+        assert!(g.lookup_eq(&AttrName::Size, &Value::U64(0)).is_empty());
+        assert_eq!(
+            g.lookup_eq(&AttrName::Size, &Value::U64(40)),
+            vec![FileId::new(4)]
+        );
+    }
+
+    #[test]
+    fn ops_counters_track_work() {
+        let mut g = group();
+        for i in 0..10 {
+            g.enqueue(IndexOp::Upsert(record(i, i, 0)), t(0)).unwrap();
+        }
+        g.commit(t(0)).unwrap();
+        assert_eq!(g.ops_applied(), 10);
+        let (commits, drained) = g.commit_stats();
+        assert_eq!(commits, 1);
+        assert_eq!(drained, 10);
+    }
+
+    #[test]
+    fn scan_fallback_for_unindexed_attr() {
+        let mut g = group();
+        g.enqueue(
+            IndexOp::Upsert(record(1, 1, 0).with_custom("owner_tag", Value::from("alice"))),
+            t(0),
+        )
+        .unwrap();
+        g.commit(t(0)).unwrap();
+        // No index over "owner_tag": lookup_eq must still find it via scan.
+        assert_eq!(
+            g.lookup_eq(&AttrName::custom("owner_tag"), &Value::from("alice")),
+            vec![FileId::new(1)]
+        );
+    }
+
+    #[test]
+    fn files_and_records_accessors() {
+        let mut g = group();
+        g.enqueue(IndexOp::Upsert(record(3, 1, 0)), t(0)).unwrap();
+        g.enqueue(IndexOp::Upsert(record(1, 1, 0)), t(0)).unwrap();
+        g.commit(t(0)).unwrap();
+        assert_eq!(g.files(), vec![FileId::new(1), FileId::new(3)]);
+        assert!(g.record(FileId::new(3)).is_some());
+        assert!(g.record(FileId::new(9)).is_none());
+        assert_eq!(g.records().count(), 2);
+        assert!(g.btree_depth(&AttrName::Size).unwrap() >= 1);
+    }
+}

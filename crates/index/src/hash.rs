@@ -1,0 +1,340 @@
+//! A from-scratch hash index (separate chaining, power-of-two buckets).
+//!
+//! This is the exact-match index kind Propeller offers per ACG (paper §IV).
+//! The implementation is a classic separate-chaining table with a SipHash-
+//! free FNV-1a hasher (deterministic across runs, which keeps modeled-mode
+//! experiments reproducible) and amortised O(1) operations via load-factor
+//! driven doubling.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+const INITIAL_BUCKETS: usize = 16;
+const MAX_LOAD_NUM: usize = 3; // resize when len > buckets * 3/4
+const MAX_LOAD_DEN: usize = 4;
+
+/// Deterministic FNV-1a, so bucket layouts are stable across runs and
+/// processes (important for reproducible experiment traces).
+#[derive(Debug, Clone)]
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// A hash map built on separate chaining.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_index::HashIndex;
+///
+/// let mut idx = HashIndex::new();
+/// idx.insert("alpha", 1);
+/// idx.insert("beta", 2);
+/// assert_eq!(idx.get(&"alpha"), Some(&1));
+/// assert_eq!(idx.remove(&"beta"), Some(2));
+/// assert_eq!(idx.len(), 1);
+/// ```
+#[derive(Clone)]
+pub struct HashIndex<K, V> {
+    buckets: Vec<Vec<(K, V)>>,
+    len: usize,
+}
+
+impl<K: Hash + Eq, V> Default for HashIndex<K, V> {
+    fn default() -> Self {
+        HashIndex::new()
+    }
+}
+
+impl<K: Hash + Eq, V> HashIndex<K, V> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        HashIndex { buckets: Vec::new(), len: 0 }
+    }
+
+    /// Creates an empty index pre-sized for roughly `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let buckets = (capacity * MAX_LOAD_DEN / MAX_LOAD_NUM + 1)
+            .next_power_of_two()
+            .max(INITIAL_BUCKETS);
+        HashIndex { buckets: (0..buckets).map(|_| Vec::new()).collect(), len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the index has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of buckets currently allocated (for cost models).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn hash_of<Q: Hash + ?Sized>(key: &Q) -> u64 {
+        let mut h = Fnv1a::default();
+        key.hash(&mut h);
+        h.finish()
+    }
+
+    fn bucket_of<Q: Hash + ?Sized>(&self, key: &Q) -> usize {
+        (Self::hash_of(key) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn maybe_grow(&mut self) {
+        if self.buckets.is_empty() {
+            self.buckets = (0..INITIAL_BUCKETS).map(|_| Vec::new()).collect();
+            return;
+        }
+        if self.len * MAX_LOAD_DEN > self.buckets.len() * MAX_LOAD_NUM {
+            let new_size = self.buckets.len() * 2;
+            let old = std::mem::replace(
+                &mut self.buckets,
+                (0..new_size).map(|_| Vec::new()).collect(),
+            );
+            for bucket in old {
+                for (k, v) in bucket {
+                    let b = (Self::hash_of(&k) as usize) & (new_size - 1);
+                    self.buckets[b].push((k, v));
+                }
+            }
+        }
+    }
+
+    /// Inserts `key → value`, returning the previous value if present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.maybe_grow();
+        let b = self.bucket_of(&key);
+        for slot in &mut self.buckets[b] {
+            if slot.0 == key {
+                return Some(std::mem::replace(&mut slot.1, value));
+            }
+        }
+        self.buckets[b].push((key, value));
+        self.len += 1;
+        None
+    }
+
+    /// Looks up `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let b = self.bucket_of(key);
+        self.buckets[b]
+            .iter()
+            .find(|(k, _)| k.borrow() == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let b = self.bucket_of(key);
+        self.buckets[b]
+            .iter_mut()
+            .find(|(k, _)| k.borrow() == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Returns the value for `key`, inserting `default()` first if absent.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&mut self, key: K, default: F) -> &mut V {
+        self.maybe_grow();
+        let b = self.bucket_of(&key);
+        // Two-phase to satisfy the borrow checker.
+        if let Some(pos) = self.buckets[b].iter().position(|(k, _)| *k == key) {
+            return &mut self.buckets[b][pos].1;
+        }
+        self.buckets[b].push((key, default()));
+        self.len += 1;
+        let last = self.buckets[b].len() - 1;
+        &mut self.buckets[b][last].1
+    }
+
+    /// Returns `true` when `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let b = self.bucket_of(key);
+        let pos = self.buckets[b].iter().position(|(k, _)| k.borrow() == key)?;
+        let (_, v) = self.buckets[b].swap_remove(pos);
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Iterates over all entries in unspecified (but deterministic) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.buckets.iter().flatten().map(|(k, v)| (k, v))
+    }
+}
+
+impl<K: Hash + Eq + fmt::Debug, V: fmt::Debug> fmt::Debug for HashIndex<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HashIndex")
+            .field("len", &self.len)
+            .field("buckets", &self.buckets.len())
+            .finish()
+    }
+}
+
+impl<K: Hash + Eq, V> FromIterator<(K, V)> for HashIndex<K, V> {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        let mut idx = HashIndex::new();
+        for (k, v) in iter {
+            idx.insert(k, v);
+        }
+        idx
+    }
+}
+
+impl<K: Hash + Eq, V> Extend<(K, V)> for HashIndex<K, V> {
+    fn extend<T: IntoIterator<Item = (K, V)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut h = HashIndex::new();
+        assert_eq!(h.insert(1u32, "one"), None);
+        assert_eq!(h.insert(2, "two"), None);
+        assert_eq!(h.get(&1), Some(&"one"));
+        assert_eq!(h.insert(1, "uno"), Some("one"));
+        assert_eq!(h.remove(&1), Some("uno"));
+        assert_eq!(h.get(&1), None);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_load_factor() {
+        let mut h = HashIndex::new();
+        for i in 0..10_000u32 {
+            h.insert(i, i);
+        }
+        assert_eq!(h.len(), 10_000);
+        assert!(h.bucket_count() >= 10_000 * MAX_LOAD_DEN / MAX_LOAD_NUM / 2);
+        for i in 0..10_000u32 {
+            assert_eq!(h.get(&i), Some(&i));
+        }
+    }
+
+    #[test]
+    fn with_capacity_avoids_early_growth() {
+        let h: HashIndex<u32, ()> = HashIndex::with_capacity(1000);
+        assert!(h.bucket_count() >= 1024);
+    }
+
+    #[test]
+    fn borrowed_key_lookup() {
+        let mut h: HashIndex<String, u32> = HashIndex::new();
+        h.insert("hello".to_owned(), 5);
+        assert_eq!(h.get("hello"), Some(&5));
+        assert!(h.contains_key("hello"));
+        assert_eq!(h.remove("hello"), Some(5));
+    }
+
+    #[test]
+    fn get_or_insert_with() {
+        let mut h: HashIndex<u32, Vec<u32>> = HashIndex::new();
+        h.get_or_insert_with(1, Vec::new).push(10);
+        h.get_or_insert_with(1, Vec::new).push(11);
+        assert_eq!(h.get(&1), Some(&vec![10, 11]));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn empty_index_lookups() {
+        let h: HashIndex<u32, u32> = HashIndex::new();
+        assert_eq!(h.get(&1), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn matches_std_hashmap_on_random_ops() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ours = HashIndex::new();
+        let mut reference = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let k: u16 = rng.gen_range(0..1500);
+            match rng.gen_range(0..4) {
+                0..=1 => {
+                    let v: u32 = rng.gen();
+                    assert_eq!(ours.insert(k, v), reference.insert(k, v));
+                }
+                2 => assert_eq!(ours.remove(&k), reference.remove(&k)),
+                _ => assert_eq!(ours.get(&k), reference.get(&k)),
+            }
+        }
+        assert_eq!(ours.len(), reference.len());
+        let mut all: Vec<(u16, u32)> = ours.iter().map(|(k, v)| (*k, *v)).collect();
+        all.sort();
+        let mut expected: Vec<(u16, u32)> = reference.into_iter().collect();
+        expected.sort();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn deterministic_iteration_for_same_inserts() {
+        let build = || {
+            let mut h = HashIndex::new();
+            for i in 0..100u32 {
+                h.insert(i, i);
+            }
+            h.iter().map(|(k, _)| *k).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

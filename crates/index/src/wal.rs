@@ -1,0 +1,312 @@
+//! Write-ahead log with CRC-protected framing.
+//!
+//! Index Nodes append every file-indexing request to a WAL before caching
+//! it in memory (paper §IV "Index Node"), so acknowledged updates survive a
+//! crash. Frames are `[len: u32 LE][crc32: u32 LE][payload]`; replay stops
+//! at the first torn or corrupt frame, which models the standard
+//! "valid prefix" recovery contract.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Buf, BufMut, BytesMut};
+use propeller_types::{Error, Result};
+
+/// CRC-32 (IEEE 802.3, reflected) computed bytewise with a generated table.
+pub fn crc32(data: &[u8]) -> u32 {
+    const fn make_table() -> [u32; 256] {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    }
+    const TABLE: [u32; 256] = make_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[derive(Debug)]
+enum Backend {
+    Memory(BytesMut),
+    File { file: File, path: PathBuf },
+}
+
+/// An append-only write-ahead log.
+///
+/// Two backends: in-memory (for modeled-mode experiments and tests) and a
+/// real file (for durability tests and measured mode). Both share the frame
+/// format, so recovery code is backend-agnostic.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_index::Wal;
+///
+/// let mut wal = Wal::in_memory();
+/// wal.append(b"op-1").unwrap();
+/// wal.append(b"op-2").unwrap();
+/// let frames = wal.replay().unwrap();
+/// assert_eq!(frames, vec![b"op-1".to_vec(), b"op-2".to_vec()]);
+/// ```
+#[derive(Debug)]
+pub struct Wal {
+    backend: Backend,
+    entries: u64,
+    bytes: u64,
+}
+
+impl Wal {
+    /// Creates an in-memory WAL.
+    pub fn in_memory() -> Self {
+        Wal { backend: Backend::Memory(BytesMut::new()), entries: 0, bytes: 0 }
+    }
+
+    /// Opens (or creates) a file-backed WAL, counting any existing valid
+    /// frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file cannot be opened.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        let mut wal = Wal { backend: Backend::File { file, path }, entries: 0, bytes: 0 };
+        let frames = wal.replay()?;
+        wal.entries = frames.len() as u64;
+        wal.bytes = frames.iter().map(|f| f.len() as u64 + 8).sum();
+        Ok(wal)
+    }
+
+    /// Appends one payload as a framed record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on file-backend write failures.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let mut frame = BytesMut::with_capacity(payload.len() + 8);
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u32_le(crc32(payload));
+        frame.put_slice(payload);
+        match &mut self.backend {
+            Backend::Memory(buf) => buf.extend_from_slice(&frame),
+            Backend::File { file, .. } => {
+                file.write_all(&frame)?;
+            }
+        }
+        self.entries += 1;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Forces buffered data to stable storage (no-op for the memory
+    /// backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if `fsync` fails.
+    pub fn sync(&mut self) -> Result<()> {
+        if let Backend::File { file, .. } = &mut self.backend {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Reads back all valid frames from the start of the log. Stops at the
+    /// first torn or corrupt frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file backend cannot be read.
+    pub fn replay(&mut self) -> Result<Vec<Vec<u8>>> {
+        let raw: Vec<u8> = match &mut self.backend {
+            Backend::Memory(buf) => buf.to_vec(),
+            Backend::File { file, .. } => {
+                let mut v = Vec::new();
+                file.seek(SeekFrom::Start(0))?;
+                file.read_to_end(&mut v)?;
+                file.seek(SeekFrom::End(0))?;
+                v
+            }
+        };
+        let mut frames = Vec::new();
+        let mut cursor = &raw[..];
+        while cursor.len() >= 8 {
+            let len = (&cursor[0..4]).get_u32_le() as usize;
+            let crc = (&cursor[4..8]).get_u32_le();
+            if cursor.len() < 8 + len {
+                break; // torn tail
+            }
+            let payload = &cursor[8..8 + len];
+            if crc32(payload) != crc {
+                break; // corrupt tail
+            }
+            frames.push(payload.to_vec());
+            cursor = &cursor[8 + len..];
+        }
+        Ok(frames)
+    }
+
+    /// Discards all log content (called after a successful index commit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file backend cannot be truncated.
+    pub fn truncate(&mut self) -> Result<()> {
+        match &mut self.backend {
+            Backend::Memory(buf) => buf.clear(),
+            Backend::File { file, .. } => {
+                file.set_len(0)?;
+                file.seek(SeekFrom::Start(0))?;
+            }
+        }
+        self.entries = 0;
+        self.bytes = 0;
+        Ok(())
+    }
+
+    /// Number of frames appended since the last truncate.
+    pub fn entry_count(&self) -> u64 {
+        self.entries
+    }
+
+    /// The backing file path, or `None` for the in-memory backend.
+    pub fn path(&self) -> Option<&Path> {
+        match &self.backend {
+            Backend::Memory(_) => None,
+            Backend::File { path, .. } => Some(path),
+        }
+    }
+
+    /// Bytes appended since the last truncate (including frame headers).
+    pub fn byte_size(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Injects raw bytes at the tail (test hook for corruption scenarios).
+    #[doc(hidden)]
+    pub fn append_raw_for_test(&mut self, raw: &[u8]) -> Result<()> {
+        match &mut self.backend {
+            Backend::Memory(buf) => buf.extend_from_slice(raw),
+            Backend::File { file, .. } => file.write_all(raw).map_err(Error::from)?,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: "123456789" -> 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn memory_append_replay() {
+        let mut wal = Wal::in_memory();
+        for i in 0..10u32 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        let frames = wal.replay().unwrap();
+        assert_eq!(frames.len(), 10);
+        assert_eq!(frames[3], 3u32.to_le_bytes());
+        assert_eq!(wal.entry_count(), 10);
+    }
+
+    #[test]
+    fn empty_payloads_are_legal() {
+        let mut wal = Wal::in_memory();
+        wal.append(b"").unwrap();
+        wal.append(b"x").unwrap();
+        assert_eq!(wal.replay().unwrap(), vec![b"".to_vec(), b"x".to_vec()]);
+    }
+
+    #[test]
+    fn truncate_clears() {
+        let mut wal = Wal::in_memory();
+        wal.append(b"abc").unwrap();
+        wal.truncate().unwrap();
+        assert!(wal.replay().unwrap().is_empty());
+        assert_eq!(wal.entry_count(), 0);
+        assert_eq!(wal.byte_size(), 0);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let mut wal = Wal::in_memory();
+        wal.append(b"good").unwrap();
+        // A frame header promising 100 bytes with only 3 present.
+        let mut torn = Vec::new();
+        torn.extend_from_slice(&100u32.to_le_bytes());
+        torn.extend_from_slice(&0u32.to_le_bytes());
+        torn.extend_from_slice(b"abc");
+        wal.append_raw_for_test(&torn).unwrap();
+        assert_eq!(wal.replay().unwrap(), vec![b"good".to_vec()]);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let mut wal = Wal::in_memory();
+        wal.append(b"first").unwrap();
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&5u32.to_le_bytes());
+        bad.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes()); // wrong crc
+        bad.extend_from_slice(b"wrong");
+        wal.append_raw_for_test(&bad).unwrap();
+        wal.append(b"after").unwrap(); // unreachable past corruption
+        assert_eq!(wal.replay().unwrap(), vec![b"first".to_vec()]);
+    }
+
+    #[test]
+    fn file_backend_round_trip() {
+        let dir = std::env::temp_dir().join(format!("propeller-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"persisted-1").unwrap();
+            wal.append(b"persisted-2").unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            assert_eq!(wal.entry_count(), 2);
+            let frames = wal.replay().unwrap();
+            assert_eq!(frames, vec![b"persisted-1".to_vec(), b"persisted-2".to_vec()]);
+            wal.truncate().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            assert!(wal.replay().unwrap().is_empty());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_is_idempotent() {
+        let mut wal = Wal::in_memory();
+        wal.append(b"one").unwrap();
+        assert_eq!(wal.replay().unwrap(), wal.replay().unwrap());
+    }
+}

@@ -1,0 +1,230 @@
+//! The query AST.
+
+use propeller_types::{AttrName, Result, Timestamp, Value};
+use serde::{Deserialize, Serialize};
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompareOp {
+    /// Evaluates `lhs OP rhs`.
+    pub fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        match self {
+            CompareOp::Eq => lhs == rhs,
+            CompareOp::Ne => lhs != rhs,
+            CompareOp::Lt => lhs < rhs,
+            CompareOp::Le => lhs <= rhs,
+            CompareOp::Gt => lhs > rhs,
+            CompareOp::Ge => lhs >= rhs,
+        }
+    }
+
+    /// The operator with sides swapped (`a < b` ⇔ `b > a`), used when the
+    /// parser rewrites relative-age comparisons onto absolute timestamps.
+    pub fn flipped(self) -> CompareOp {
+        match self {
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::Ge => CompareOp::Le,
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A search predicate over file records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `attr OP value` — any of the record's values for `attr` may match.
+    Compare {
+        /// The attribute compared.
+        attr: AttrName,
+        /// The operator.
+        op: CompareOp,
+        /// The literal operand.
+        value: Value,
+    },
+    /// `keyword:word` — the record carries this keyword.
+    Keyword(String),
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Matches every record (`*`).
+    True,
+}
+
+impl Predicate {
+    /// Convenience constructor for a comparison.
+    pub fn cmp(attr: AttrName, op: CompareOp, value: impl Into<Value>) -> Self {
+        Predicate::Compare { attr, op, value: value.into() }
+    }
+
+    /// Convenience constructor for `a & b`.
+    pub fn and(preds: Vec<Predicate>) -> Self {
+        match preds.len() {
+            0 => Predicate::True,
+            1 => preds.into_iter().next().expect("len checked"),
+            _ => Predicate::And(preds),
+        }
+    }
+
+    /// Flattens nested conjunctions into a conjunct list; any non-`And`
+    /// predicate is a single conjunct.
+    pub fn conjuncts(&self) -> Vec<&Predicate> {
+        match self {
+            Predicate::And(ps) => ps.iter().flat_map(|p| p.conjuncts()).collect(),
+            other => vec![other],
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::Compare { attr, op, value } => write!(f, "{attr}{op}{value}"),
+            Predicate::Keyword(w) => write!(f, "keyword:{w}"),
+            Predicate::And(ps) => {
+                let parts: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", parts.join(" & "))
+            }
+            Predicate::Or(ps) => {
+                let parts: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
+                write!(f, "({})", parts.join(" | "))
+            }
+            Predicate::Not(p) => write!(f, "!{p}"),
+            Predicate::True => f.write_str("*"),
+        }
+    }
+}
+
+/// A parsed query: a predicate plus an optional namespace scope from the
+/// query-directory syntax (`/foo/bar/?size>1m`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// The predicate to evaluate.
+    pub predicate: Predicate,
+    /// Path-prefix scope, when the query came through the namespace.
+    pub scope: Option<String>,
+}
+
+impl Query {
+    /// Parses query text (see the `parser` module source for the grammar). Relative
+    /// time literals are resolved against `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`propeller_types::Error::InvalidQuery`] on syntax errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use propeller_query::Query;
+    /// use propeller_types::Timestamp;
+    ///
+    /// let q = Query::parse("size>1g & keyword:firefox", Timestamp::from_secs(0)).unwrap();
+    /// assert_eq!(q.predicate.conjuncts().len(), 2);
+    /// ```
+    pub fn parse(text: &str, now: Timestamp) -> Result<Query> {
+        crate::parser::parse_query(text, now)
+    }
+
+    /// Parses the dynamic query-directory form `/path/?predicate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`propeller_types::Error::InvalidQuery`] on syntax errors.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use propeller_query::Query;
+    /// use propeller_types::Timestamp;
+    ///
+    /// let q = Query::parse_dir("/data/proteins/?size>1m", Timestamp::from_secs(0)).unwrap();
+    /// assert_eq!(q.scope.as_deref(), Some("/data/proteins/"));
+    /// ```
+    pub fn parse_dir(path: &str, now: Timestamp) -> Result<Query> {
+        crate::parser::parse_query_dir(path, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_op_eval() {
+        let a = Value::U64(5);
+        let b = Value::U64(9);
+        assert!(CompareOp::Lt.eval(&a, &b));
+        assert!(CompareOp::Le.eval(&a, &a));
+        assert!(CompareOp::Gt.eval(&b, &a));
+        assert!(CompareOp::Ge.eval(&b, &b));
+        assert!(CompareOp::Eq.eval(&a, &a));
+        assert!(CompareOp::Ne.eval(&a, &b));
+    }
+
+    #[test]
+    fn flipped_is_involution_for_inequalities() {
+        for op in [CompareOp::Lt, CompareOp::Le, CompareOp::Gt, CompareOp::Ge] {
+            assert_eq!(op.flipped().flipped(), op);
+        }
+        assert_eq!(CompareOp::Eq.flipped(), CompareOp::Eq);
+    }
+
+    #[test]
+    fn and_constructor_simplifies() {
+        assert_eq!(Predicate::and(vec![]), Predicate::True);
+        let single = Predicate::Keyword("x".into());
+        assert_eq!(Predicate::and(vec![single.clone()]), single);
+    }
+
+    #[test]
+    fn conjuncts_flatten_nesting() {
+        let p = Predicate::And(vec![
+            Predicate::Keyword("a".into()),
+            Predicate::And(vec![
+                Predicate::Keyword("b".into()),
+                Predicate::Keyword("c".into()),
+            ]),
+        ]);
+        assert_eq!(p.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let p = Predicate::cmp(AttrName::Size, CompareOp::Gt, 16u64 << 20);
+        assert_eq!(p.to_string(), "size>16777216");
+    }
+}

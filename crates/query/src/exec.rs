@@ -1,0 +1,245 @@
+//! Plan execution with full-predicate post-filtering.
+
+use propeller_index::{AcgIndexGroup, FileRecord};
+use propeller_types::{AttrName, FileId, Result, Timestamp, Value};
+
+use crate::ast::Predicate;
+use crate::plan::{plan, AccessPath};
+
+/// Evaluates the predicate against one record (exact semantics; the access
+/// path only pre-filters). Multi-valued attributes (keywords, repeated
+/// custom attributes) match when *any* value satisfies the comparison.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_index::FileRecord;
+/// use propeller_query::{matches_record, Query};
+/// use propeller_types::{FileId, InodeAttrs, Timestamp};
+///
+/// let rec = FileRecord::new(
+///     FileId::new(1),
+///     InodeAttrs::builder().size(32 << 20).build(),
+/// );
+/// let q = Query::parse("size>16m", Timestamp::from_secs(0)).unwrap();
+/// assert!(matches_record(&rec, &q.predicate));
+/// ```
+pub fn matches_record(record: &FileRecord, pred: &Predicate) -> bool {
+    match pred {
+        Predicate::True => true,
+        Predicate::Keyword(w) => record.keywords.iter().any(|k| k == w),
+        Predicate::Compare { attr, op, value } => {
+            attr_values(record, attr).iter().any(|v| op.eval(v, value))
+        }
+        Predicate::And(ps) => ps.iter().all(|p| matches_record(record, p)),
+        Predicate::Or(ps) => ps.iter().any(|p| matches_record(record, p)),
+        Predicate::Not(p) => !matches_record(record, p),
+    }
+}
+
+fn attr_values(record: &FileRecord, attr: &AttrName) -> Vec<Value> {
+    match attr {
+        AttrName::Keyword => record.keywords.iter().map(|k| Value::from(k.as_str())).collect(),
+        AttrName::Custom(name) => record
+            .custom
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .collect(),
+        builtin => record.attrs.get(builtin).into_iter().collect(),
+    }
+}
+
+/// Executes `pred` against a (committed) group: plans an access path,
+/// fetches the candidate superset, post-filters with the exact predicate.
+/// Results are sorted by file id.
+///
+/// Callers are responsible for committing the group first; use [`search`]
+/// for the paper-faithful commit-then-search entry point.
+pub fn execute(group: &AcgIndexGroup, pred: &Predicate) -> Vec<FileId> {
+    let plan = plan(group, pred);
+    let candidates: Vec<FileId> = match plan.path {
+        AccessPath::HashEq { attr, value } => group.lookup_eq(&attr, &value),
+        AccessPath::BTreeRange { attr, lo, hi } => group.lookup_range(&attr, lo, hi),
+        AccessPath::KdBox { attrs, lo, hi } => group
+            .lookup_kd(&attrs, &lo, &hi)
+            .unwrap_or_else(|| group.scan(|_| true)),
+        AccessPath::FullScan => {
+            // Scan evaluates the predicate directly; no second pass needed.
+            return group.scan(|r| matches_record(r, pred));
+        }
+    };
+    let mut out: Vec<FileId> = candidates
+        .into_iter()
+        .filter(|f| group.record(*f).is_some_and(|r| matches_record(r, pred)))
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The paper-faithful search entry point: **commit buffered index updates
+/// first** ("it must commit all modifications into the file indices before
+/// performing a file-search request in order to guarantee the consistency
+/// of results", §V-D), then execute.
+///
+/// # Errors
+///
+/// Returns an error if the commit's WAL truncation fails.
+pub fn search(
+    group: &mut AcgIndexGroup,
+    pred: &Predicate,
+    now: Timestamp,
+) -> Result<Vec<FileId>> {
+    group.commit(now)?;
+    Ok(execute(group, pred))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Query;
+    use propeller_index::{GroupConfig, IndexOp};
+    use propeller_types::{AcgId, InodeAttrs};
+
+    fn now() -> Timestamp {
+        Timestamp::from_secs(100 * 86_400)
+    }
+
+    fn seeded_group() -> AcgIndexGroup {
+        let mut g = AcgIndexGroup::new(AcgId::new(1), GroupConfig::default());
+        for i in 0..500u64 {
+            let rec = FileRecord::new(
+                FileId::new(i),
+                InodeAttrs::builder()
+                    .size(i * 1024 * 1024) // i MiB
+                    .mtime(now() - propeller_types::Duration::from_secs(i * 3600)) // i hours old
+                    .uid((i % 4) as u32)
+                    .build(),
+            )
+            .with_keyword(if i % 10 == 0 { "firefox" } else { "other" });
+            g.enqueue(IndexOp::Upsert(rec), now()).unwrap();
+        }
+        g.commit(now()).unwrap();
+        g
+    }
+
+    fn run(g: &AcgIndexGroup, text: &str) -> Vec<FileId> {
+        let q = Query::parse(text, now()).unwrap();
+        execute(g, &q.predicate)
+    }
+
+    fn brute(g: &AcgIndexGroup, text: &str) -> Vec<FileId> {
+        let q = Query::parse(text, now()).unwrap();
+        g.scan(|r| matches_record(r, &q.predicate))
+    }
+
+    #[test]
+    fn size_range_matches_brute_force() {
+        let g = seeded_group();
+        for q in ["size>16m", "size>=100m", "size<1m", "size>100m & size<200m"] {
+            assert_eq!(run(&g, q), brute(&g, q), "query {q}");
+        }
+        assert_eq!(run(&g, "size>16m").len(), 500 - 17);
+    }
+
+    #[test]
+    fn paper_query_1_size_and_mtime() {
+        let g = seeded_group();
+        let q = "size>100m & mtime<24h";
+        let got = run(&g, q);
+        assert_eq!(got, brute(&g, q));
+        // i > 100 (size) and i < 24 (age in hours): empty intersection.
+        assert!(got.is_empty());
+        let q2 = "size>10m & mtime<24h";
+        let got2 = run(&g, q2);
+        assert_eq!(got2, brute(&g, q2));
+        // 10 < i < 24.
+        assert_eq!(got2.len(), 13);
+    }
+
+    #[test]
+    fn paper_query_2_keyword_and_mtime() {
+        let g = seeded_group();
+        let q = "keyword:firefox & mtime<1week";
+        let got = run(&g, q);
+        assert_eq!(got, brute(&g, q));
+        // Multiples of 10 younger than 168 hours: 0,10,...,160 => 17.
+        assert_eq!(got.len(), 17);
+    }
+
+    #[test]
+    fn disjunction_and_negation() {
+        let g = seeded_group();
+        for q in [
+            "size<1m | size>490m",
+            "!(keyword:firefox)",
+            "keyword:firefox | keyword:other",
+            "!(size>10m) & uid=1",
+        ] {
+            assert_eq!(run(&g, q), brute(&g, q), "query {q}");
+        }
+    }
+
+    #[test]
+    fn match_all() {
+        let g = seeded_group();
+        assert_eq!(run(&g, "*").len(), 500);
+    }
+
+    #[test]
+    fn results_are_sorted_and_unique() {
+        let g = seeded_group();
+        let r = run(&g, "size>=0");
+        let mut sorted = r.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(r, sorted);
+    }
+
+    #[test]
+    fn search_commits_pending_updates_first() {
+        let mut g = seeded_group();
+        let rec = FileRecord::new(
+            FileId::new(9999),
+            InodeAttrs::builder().size(1 << 40).build(),
+        );
+        g.enqueue(IndexOp::Upsert(rec), now()).unwrap();
+        // Plain execute (no commit) must not see it...
+        assert!(!run(&g, "size>1t").contains(&FileId::new(9999)));
+        // ...but search (commit-then-execute) must.
+        let q = Query::parse("size>=1t", now()).unwrap();
+        let got = search(&mut g, &q.predicate, now()).unwrap();
+        assert_eq!(got, vec![FileId::new(9999)]);
+    }
+
+    #[test]
+    fn empty_group_returns_empty() {
+        let g = AcgIndexGroup::new(AcgId::new(2), GroupConfig::default());
+        assert!(run(&g, "size>0").is_empty());
+        assert!(run(&g, "*").is_empty());
+    }
+
+    #[test]
+    fn custom_attr_queries() {
+        let mut g = AcgIndexGroup::new(AcgId::new(3), GroupConfig::default());
+        for i in 0..20u64 {
+            let rec = FileRecord::new(FileId::new(i), InodeAttrs::default())
+                .with_custom("energy", Value::F64(-(i as f64)));
+            g.enqueue(IndexOp::Upsert(rec), now()).unwrap();
+        }
+        g.commit(now()).unwrap();
+        let q = Query::parse("energy<-15", now()).unwrap();
+        let got = execute(&g, &q.predicate);
+        assert_eq!(got.len(), 4); // -16..-19
+    }
+
+    #[test]
+    fn matches_record_multivalued_any_semantics() {
+        let rec = FileRecord::new(FileId::new(1), InodeAttrs::default())
+            .with_keyword("alpha")
+            .with_keyword("beta");
+        assert!(matches_record(&rec, &Predicate::Keyword("beta".into())));
+        assert!(!matches_record(&rec, &Predicate::Keyword("gamma".into())));
+    }
+}

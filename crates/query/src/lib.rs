@@ -1,0 +1,42 @@
+//! Query substrate: AST, parser, planner and executor for Propeller
+//! file-search requests.
+//!
+//! The paper's File Query Engine interprets requests "from either the file
+//! system namespace (e.g., a dynamic query-directory `/foo/bar/?size>1m`)
+//! or a file-search API" (§IV). This crate implements that engine's
+//! language side:
+//!
+//! * [`Predicate`] / [`Query`] — the AST (comparisons, keyword match,
+//!   `&`/`|`/`!` combinators),
+//! * [`Query::parse`] — the text syntax, including size suffixes (`1m`,
+//!   `16mb`, `1g`) and relative-time literals (`mtime < 1day`),
+//! * [`plan`] — index selection against any [`IndexCatalog`] (hash for
+//!   equality, B+-tree for ranges, K-D tree for multi-attribute boxes,
+//!   full scan as fallback),
+//! * [`execute`] / [`search`] — plan execution with full-predicate
+//!   post-filtering; [`search`] commits the group first, enforcing the
+//!   paper's search-sees-every-acknowledged-update rule.
+//!
+//! # Examples
+//!
+//! ```
+//! use propeller_query::Query;
+//! use propeller_types::Timestamp;
+//!
+//! let now = Timestamp::from_secs(1_000_000);
+//! let q = Query::parse("size>16m & mtime<1day", now).unwrap();
+//! assert!(q.scope.is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod exec;
+mod parser;
+mod plan;
+
+pub use ast::{CompareOp, Predicate, Query};
+pub use exec::{execute, matches_record, search};
+pub use parser::parse_size;
+pub use plan::{plan, AccessPath, IndexCatalog, Plan};

@@ -1,0 +1,485 @@
+//! Recursive-descent parser for the query syntax.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query    := or
+//! or       := and ('|' and)*
+//! and      := unary ('&' unary)*
+//! unary    := '!' unary | '(' or ')' | '*' | term
+//! term     := 'keyword' ':' word | attr OP operand
+//! OP       := '=' | '!=' | '<' | '<=' | '>' | '>='
+//! operand  := number unit? | quoted | word
+//! unit     := size (k|kb|m|mb|g|gb|t|tb) or time (s|sec|min|h|hour|day|week)
+//! ```
+//!
+//! `size>1m` means one mebibyte; `mtime<1day` means "modified within the
+//! last day" — the parser rewrites the age comparison onto the absolute
+//! `mtime` axis using the supplied `now` (`age < 1day` ⇔ `mtime > now−1day`).
+
+use propeller_types::{AttrName, Duration, Error, Result, Timestamp, Value};
+
+use crate::ast::{CompareOp, Predicate, Query};
+
+/// Parses a size literal with optional binary-unit suffix (`16m`, `1gb`,
+/// `512`), returning bytes.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidQuery`] for malformed numbers or unknown units.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_query::parse_size;
+/// assert_eq!(parse_size("16m").unwrap(), 16 << 20);
+/// assert_eq!(parse_size("1gb").unwrap(), 1 << 30);
+/// assert_eq!(parse_size("512").unwrap(), 512);
+/// ```
+pub fn parse_size(text: &str) -> Result<u64> {
+    let (num, unit) = split_number(text)?;
+    let mult: u64 = match unit.to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "k" | "kb" => 1 << 10,
+        "m" | "mb" => 1 << 20,
+        "g" | "gb" => 1 << 30,
+        "t" | "tb" => 1 << 40,
+        other => {
+            return Err(Error::InvalidQuery(format!("unknown size unit {other:?}")));
+        }
+    };
+    Ok((num * mult as f64).round() as u64)
+}
+
+fn parse_duration(text: &str) -> Result<Option<Duration>> {
+    let Ok((num, unit)) = split_number(text) else {
+        return Ok(None);
+    };
+    let secs: f64 = match unit.to_ascii_lowercase().as_str() {
+        "s" | "sec" | "second" | "seconds" => 1.0,
+        "min" | "minute" | "minutes" => 60.0,
+        "h" | "hour" | "hours" => 3600.0,
+        "day" | "days" | "d" => 86_400.0,
+        "week" | "weeks" | "w" => 7.0 * 86_400.0,
+        _ => return Ok(None),
+    };
+    Ok(Some(Duration::from_secs_f64(num * secs)))
+}
+
+fn split_number(text: &str) -> Result<(f64, &str)> {
+    let split = text
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_digit() && *c != '.')
+        .map(|(i, _)| i)
+        .unwrap_or(text.len());
+    if split == 0 {
+        return Err(Error::InvalidQuery(format!("expected a number in {text:?}")));
+    }
+    let num: f64 = text[..split]
+        .parse()
+        .map_err(|e| Error::InvalidQuery(format!("bad number {text:?}: {e}")))?;
+    Ok((num, &text[split..]))
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Word(String),
+    Op(CompareOp),
+    Amp,
+    Pipe,
+    Bang,
+    LParen,
+    RParen,
+    Colon,
+    Star,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' => i += 1,
+            '&' => {
+                tokens.push(Token::Amp);
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token::Pipe);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Op(CompareOp::Eq));
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Op(CompareOp::Ne));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Op(CompareOp::Le));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(CompareOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Op(CompareOp::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(CompareOp::Gt));
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut word = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '"' {
+                    word.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(Error::InvalidQuery("unterminated string literal".into()));
+                }
+                i += 1; // closing quote
+                tokens.push(Token::Word(word));
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '/' || c == '-' => {
+                let mut word = String::new();
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric()
+                        || chars[i] == '_'
+                        || chars[i] == '.'
+                        || chars[i] == '/'
+                        || chars[i] == '-')
+                {
+                    word.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::Word(word));
+            }
+            other => {
+                return Err(Error::InvalidQuery(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    now: Timestamp,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_word(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w),
+            other => Err(Error::InvalidQuery(format!("expected a word, found {other:?}"))),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Predicate> {
+        let mut parts = vec![self.parse_and()?];
+        while self.peek() == Some(&Token::Pipe) {
+            self.next();
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Predicate::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Predicate> {
+        let mut parts = vec![self.parse_unary()?];
+        while self.peek() == Some(&Token::Amp) {
+            self.next();
+            parts.push(self.parse_unary()?);
+        }
+        Ok(Predicate::and(parts))
+    }
+
+    fn parse_unary(&mut self) -> Result<Predicate> {
+        match self.peek() {
+            Some(Token::Bang) => {
+                self.next();
+                Ok(Predicate::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(Token::LParen) => {
+                self.next();
+                let inner = self.parse_or()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(inner),
+                    other => Err(Error::InvalidQuery(format!(
+                        "expected ')', found {other:?}"
+                    ))),
+                }
+            }
+            Some(Token::Star) => {
+                self.next();
+                Ok(Predicate::True)
+            }
+            _ => self.parse_term(),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Predicate> {
+        let word = self.expect_word()?;
+        if word.eq_ignore_ascii_case("keyword") && self.peek() == Some(&Token::Colon) {
+            self.next();
+            let kw = self.expect_word()?;
+            return Ok(Predicate::Keyword(kw));
+        }
+        let attr = AttrName::parse(&word);
+        let op = match self.next() {
+            Some(Token::Op(op)) => op,
+            Some(Token::Colon) => CompareOp::Eq, // attr:value sugar
+            other => {
+                return Err(Error::InvalidQuery(format!(
+                    "expected a comparison after {word:?}, found {other:?}"
+                )));
+            }
+        };
+        let operand = self.expect_word()?;
+        self.build_compare(attr, op, &operand)
+    }
+
+    fn build_compare(&self, attr: AttrName, op: CompareOp, operand: &str) -> Result<Predicate> {
+        // Relative time on time attributes: `mtime < 1day` means age < 1day.
+        if matches!(attr, AttrName::Mtime | AttrName::Ctime) {
+            if let Some(age) = parse_duration(operand)? {
+                let cutoff = Timestamp::from_micros(
+                    self.now.as_micros().saturating_sub(age.as_micros()),
+                );
+                return Ok(Predicate::Compare {
+                    attr,
+                    op: op.flipped(),
+                    value: Value::U64(cutoff.as_micros()),
+                });
+            }
+        }
+        if matches!(attr, AttrName::Size) {
+            return Ok(Predicate::Compare { attr, op, value: Value::U64(parse_size(operand)?) });
+        }
+        // Generic operand: number when it parses as one, string otherwise.
+        let value = match operand.parse::<u64>() {
+            Ok(n) => Value::U64(n),
+            Err(_) => match operand.parse::<f64>() {
+                Ok(x) => Value::F64(x),
+                Err(_) => Value::Str(operand.to_owned()),
+            },
+        };
+        Ok(Predicate::Compare { attr, op, value })
+    }
+}
+
+/// Parses query text into a [`Query`] (no scope).
+pub(crate) fn parse_query(text: &str, now: Timestamp) -> Result<Query> {
+    let tokens = tokenize(text)?;
+    if tokens.is_empty() {
+        return Err(Error::InvalidQuery("empty query".into()));
+    }
+    let mut parser = Parser { tokens, pos: 0, now };
+    let predicate = parser.parse_or()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(Error::InvalidQuery(format!(
+            "trailing tokens after position {}",
+            parser.pos
+        )));
+    }
+    Ok(Query { predicate, scope: None })
+}
+
+/// Parses the dynamic query-directory form `/path/?predicate`.
+pub(crate) fn parse_query_dir(path: &str, now: Timestamp) -> Result<Query> {
+    let Some((scope, query)) = path.split_once('?') else {
+        return Err(Error::InvalidQuery(format!(
+            "query directory {path:?} is missing a '?' segment"
+        )));
+    };
+    let mut q = parse_query(query, now)?;
+    q.scope = Some(scope.to_owned());
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn now() -> Timestamp {
+        Timestamp::from_secs(10 * 86_400) // day 10
+    }
+
+    #[test]
+    fn parse_simple_size_query() {
+        let q = Query::parse("size>16m", now()).unwrap();
+        assert_eq!(
+            q.predicate,
+            Predicate::cmp(AttrName::Size, CompareOp::Gt, 16u64 << 20)
+        );
+    }
+
+    #[test]
+    fn parse_conjunction_table3_query1() {
+        // Paper Table III query #1: size > 1 GB & mtime < 1 day.
+        let q = Query::parse("size>1g & mtime<1day", now()).unwrap();
+        let conj = q.predicate.conjuncts();
+        assert_eq!(conj.len(), 2);
+        assert_eq!(
+            *conj[0],
+            Predicate::cmp(AttrName::Size, CompareOp::Gt, 1u64 << 30)
+        );
+        // mtime<1day rewrites to mtime > now - 1day.
+        let expected_cutoff = now().as_micros() - 86_400_000_000;
+        assert_eq!(
+            *conj[1],
+            Predicate::cmp(AttrName::Mtime, CompareOp::Gt, expected_cutoff)
+        );
+    }
+
+    #[test]
+    fn parse_keyword_query_table3_query2() {
+        let q = Query::parse("keyword:firefox & mtime<1week", now()).unwrap();
+        let conj = q.predicate.conjuncts();
+        assert_eq!(*conj[0], Predicate::Keyword("firefox".into()));
+    }
+
+    #[test]
+    fn parse_or_and_not_with_parens() {
+        let q = Query::parse("!(size>1m | keyword:tmp) & uid=0", now()).unwrap();
+        match &q.predicate {
+            Predicate::And(parts) => {
+                assert!(matches!(parts[0], Predicate::Not(_)));
+                assert_eq!(parts[1], Predicate::cmp(AttrName::Uid, CompareOp::Eq, 0u64));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_query_directory() {
+        let q = Query::parse_dir("/foo/bar/?size>1m", now()).unwrap();
+        assert_eq!(q.scope.as_deref(), Some("/foo/bar/"));
+        assert_eq!(
+            q.predicate,
+            Predicate::cmp(AttrName::Size, CompareOp::Gt, 1u64 << 20)
+        );
+    }
+
+    #[test]
+    fn parse_star_matches_all() {
+        assert_eq!(Query::parse("*", now()).unwrap().predicate, Predicate::True);
+    }
+
+    #[test]
+    fn parse_quoted_strings() {
+        let q = Query::parse("keyword:\"hello world\"", now()).unwrap();
+        assert_eq!(q.predicate, Predicate::Keyword("hello world".into()));
+    }
+
+    #[test]
+    fn parse_custom_attribute() {
+        let q = Query::parse("energy<-1.5", now());
+        // Negative literals come through the word tokenizer as "-1.5".
+        let q = q.unwrap();
+        assert_eq!(
+            q.predicate,
+            Predicate::cmp(AttrName::custom("energy"), CompareOp::Lt, -1.5)
+        );
+    }
+
+    #[test]
+    fn size_units() {
+        assert_eq!(parse_size("1k").unwrap(), 1024);
+        assert_eq!(parse_size("2mb").unwrap(), 2 << 20);
+        assert_eq!(parse_size("1t").unwrap(), 1 << 40);
+        assert_eq!(parse_size("1.5k").unwrap(), 1536);
+        assert!(parse_size("abc").is_err());
+        assert!(parse_size("5parsecs").is_err());
+    }
+
+    #[test]
+    fn ge_le_operators() {
+        let q = Query::parse("size>=4k & size<=8k", now()).unwrap();
+        let conj = q.predicate.conjuncts();
+        assert_eq!(*conj[0], Predicate::cmp(AttrName::Size, CompareOp::Ge, 4096u64));
+        assert_eq!(*conj[1], Predicate::cmp(AttrName::Size, CompareOp::Le, 8192u64));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Query::parse("", now()).is_err());
+        assert!(Query::parse("size>", now()).is_err());
+        assert!(Query::parse("size 5", now()).is_err());
+        assert!(Query::parse("(size>1", now()).is_err());
+        assert!(Query::parse("size>1 size>2", now()).is_err());
+        assert!(Query::parse("\"unterminated", now()).is_err());
+        assert!(Query::parse_dir("/no/query/here", now()).is_err());
+    }
+
+    #[test]
+    fn mtime_relative_week() {
+        let q = Query::parse("mtime<1week", now()).unwrap();
+        let cutoff = now().as_micros() - 7 * 86_400_000_000;
+        assert_eq!(
+            q.predicate,
+            Predicate::cmp(AttrName::Mtime, CompareOp::Gt, cutoff)
+        );
+    }
+
+    #[test]
+    fn mtime_absolute_number_stays_absolute() {
+        let q = Query::parse("mtime>123456", now()).unwrap();
+        assert_eq!(
+            q.predicate,
+            Predicate::cmp(AttrName::Mtime, CompareOp::Gt, 123_456u64)
+        );
+    }
+
+    #[test]
+    fn colon_sugar_for_equality() {
+        let q = Query::parse("uid:1000", now()).unwrap();
+        assert_eq!(q.predicate, Predicate::cmp(AttrName::Uid, CompareOp::Eq, 1000u64));
+    }
+}

@@ -1,0 +1,419 @@
+//! The query planner: choosing an access path.
+//!
+//! The executor always post-filters candidates with the full predicate, so
+//! a plan's only obligation is to produce a *superset* of the matching
+//! files as cheaply as possible. The planner inspects the conjuncts of the
+//! predicate and the indices available in the target group:
+//!
+//! 1. equality on a hash-indexed attribute → hash probe,
+//! 2. two or more range-constrained attributes covered by one K-D index →
+//!    K-D box query,
+//! 3. a range-constrained attribute with a B+-tree → B+-tree range scan
+//!    (two-sided ranges preferred over one-sided),
+//! 4. otherwise → full scan.
+
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use propeller_index::{AcgIndexGroup, IndexKind};
+use propeller_types::{AttrName, Value};
+
+use crate::ast::{CompareOp, Predicate};
+
+/// What the planner needs to know about a group's indices.
+///
+/// Implemented for [`AcgIndexGroup`]; test doubles can implement it to
+/// exercise planning without a real group.
+pub trait IndexCatalog {
+    /// Whether a hash index covers `attr`.
+    fn has_hash(&self, attr: &AttrName) -> bool;
+    /// Whether a B+-tree index covers `attr`.
+    fn has_btree(&self, attr: &AttrName) -> bool;
+    /// Attribute sets of the available K-D indices.
+    fn kd_attr_sets(&self) -> Vec<Vec<AttrName>>;
+}
+
+impl IndexCatalog for AcgIndexGroup {
+    fn has_hash(&self, attr: &AttrName) -> bool {
+        self.index_specs()
+            .iter()
+            .any(|s| s.kind == IndexKind::Hash && s.attrs.first() == Some(attr))
+    }
+
+    fn has_btree(&self, attr: &AttrName) -> bool {
+        self.index_specs()
+            .iter()
+            .any(|s| s.kind == IndexKind::BTree && s.attrs.first() == Some(attr))
+    }
+
+    fn kd_attr_sets(&self) -> Vec<Vec<AttrName>> {
+        self.index_specs()
+            .iter()
+            .filter(|s| s.kind == IndexKind::Kd)
+            .map(|s| s.attrs.clone())
+            .collect()
+    }
+}
+
+/// The access path selected by the planner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Probe a hash index for an exact value.
+    HashEq {
+        /// Probed attribute.
+        attr: AttrName,
+        /// Probed value.
+        value: Value,
+    },
+    /// Scan a B+-tree over a value range.
+    BTreeRange {
+        /// Scanned attribute.
+        attr: AttrName,
+        /// Lower bound.
+        lo: Bound<Value>,
+        /// Upper bound.
+        hi: Bound<Value>,
+    },
+    /// Axis-aligned box query against a K-D index (bounds are inclusive
+    /// supersets of the true predicate; the post-filter trims).
+    KdBox {
+        /// The K-D index's attribute set, in index order.
+        attrs: Vec<AttrName>,
+        /// Inclusive lower corner.
+        lo: Vec<f64>,
+        /// Inclusive upper corner.
+        hi: Vec<f64>,
+    },
+    /// Fall back to scanning every record.
+    FullScan,
+}
+
+/// A completed plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The access path producing the candidate superset.
+    pub path: AccessPath,
+}
+
+/// Per-attribute bound accumulator.
+#[derive(Debug, Clone)]
+struct Interval {
+    lo: Bound<Value>,
+    hi: Bound<Value>,
+    eq: Option<Value>,
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval { lo: Bound::Unbounded, hi: Bound::Unbounded, eq: None }
+    }
+}
+
+impl Interval {
+    fn tighten(&mut self, op: CompareOp, value: &Value) {
+        match op {
+            CompareOp::Eq => self.eq = Some(value.clone()),
+            CompareOp::Gt => self.raise_lo(Bound::Excluded(value.clone())),
+            CompareOp::Ge => self.raise_lo(Bound::Included(value.clone())),
+            CompareOp::Lt => self.lower_hi(Bound::Excluded(value.clone())),
+            CompareOp::Le => self.lower_hi(Bound::Included(value.clone())),
+            CompareOp::Ne => {}
+        }
+    }
+
+    fn raise_lo(&mut self, new: Bound<Value>) {
+        let existing = bound_value(&self.lo);
+        let candidate = bound_value(&new);
+        match (existing, candidate) {
+            (None, _) => self.lo = new,
+            (Some(e), Some(c)) if c > e => self.lo = new,
+            _ => {}
+        }
+    }
+
+    fn lower_hi(&mut self, new: Bound<Value>) {
+        let existing = bound_value(&self.hi);
+        let candidate = bound_value(&new);
+        match (existing, candidate) {
+            (None, _) => self.hi = new,
+            (Some(e), Some(c)) if c < e => self.hi = new,
+            _ => {}
+        }
+    }
+
+    fn is_constrained(&self) -> bool {
+        self.eq.is_some()
+            || !matches!(self.lo, Bound::Unbounded)
+            || !matches!(self.hi, Bound::Unbounded)
+    }
+
+    fn two_sided(&self) -> bool {
+        self.eq.is_some()
+            || (!matches!(self.lo, Bound::Unbounded) && !matches!(self.hi, Bound::Unbounded))
+    }
+
+    /// Inclusive f64 projection of this interval for a K-D box (a superset:
+    /// exclusive bounds are widened to inclusive).
+    fn to_box(&self) -> (f64, f64) {
+        if let Some(eq) = &self.eq {
+            let p = eq.axis_projection();
+            return (p, p);
+        }
+        let lo = match &self.lo {
+            Bound::Included(v) | Bound::Excluded(v) => v.axis_projection(),
+            Bound::Unbounded => f64::NEG_INFINITY,
+        };
+        let hi = match &self.hi {
+            Bound::Included(v) | Bound::Excluded(v) => v.axis_projection(),
+            Bound::Unbounded => f64::INFINITY,
+        };
+        (lo, hi)
+    }
+}
+
+fn bound_value(b: &Bound<Value>) -> Option<&Value> {
+    match b {
+        Bound::Included(v) | Bound::Excluded(v) => Some(v),
+        Bound::Unbounded => None,
+    }
+}
+
+/// Default interval map extraction from the predicate's conjuncts.
+fn intervals(pred: &Predicate) -> HashMap<AttrName, Interval> {
+    let mut map: HashMap<AttrName, Interval> = HashMap::new();
+    for conjunct in pred.conjuncts() {
+        match conjunct {
+            Predicate::Compare { attr, op, value } => {
+                map.entry(attr.clone()).or_default().tighten(*op, value);
+            }
+            Predicate::Keyword(w) => {
+                map.entry(AttrName::Keyword)
+                    .or_default()
+                    .tighten(CompareOp::Eq, &Value::from(w.as_str()));
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Chooses an access path for `pred` against `catalog`.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_index::{AcgIndexGroup, GroupConfig};
+/// use propeller_query::{plan, AccessPath, Query};
+/// use propeller_types::{AcgId, Timestamp};
+///
+/// let group = AcgIndexGroup::new(AcgId::new(1), GroupConfig::default());
+/// let q = Query::parse("keyword:firefox", Timestamp::from_secs(0)).unwrap();
+/// let plan = plan(&group, &q.predicate);
+/// assert!(matches!(plan.path, AccessPath::HashEq { .. }));
+/// ```
+pub fn plan<C: IndexCatalog + ?Sized>(catalog: &C, pred: &Predicate) -> Plan {
+    let map = intervals(pred);
+
+    // 1. Equality probe on a hash index.
+    for (attr, iv) in &map {
+        if let Some(eq) = &iv.eq {
+            if catalog.has_hash(attr) {
+                return Plan {
+                    path: AccessPath::HashEq { attr: attr.clone(), value: eq.clone() },
+                };
+            }
+        }
+    }
+
+    // 2. K-D box over >= 2 constrained attributes.
+    let constrained: Vec<&AttrName> =
+        map.iter().filter(|(_, iv)| iv.is_constrained()).map(|(a, _)| a).collect();
+    if constrained.len() >= 2 {
+        for kd_attrs in catalog.kd_attr_sets() {
+            let covered = kd_attrs.iter().filter(|a| map.get(a).is_some_and(Interval::is_constrained)).count();
+            if covered >= 2 {
+                let mut lo = Vec::with_capacity(kd_attrs.len());
+                let mut hi = Vec::with_capacity(kd_attrs.len());
+                for attr in &kd_attrs {
+                    let (l, h) = map.get(attr).cloned().unwrap_or_default().to_box();
+                    lo.push(l);
+                    hi.push(h);
+                }
+                return Plan { path: AccessPath::KdBox { attrs: kd_attrs, lo, hi } };
+            }
+        }
+    }
+
+    // 3. B+-tree range: prefer two-sided intervals, then any constrained.
+    let mut best: Option<(&AttrName, &Interval, u8)> = None;
+    for (attr, iv) in &map {
+        if !iv.is_constrained() || !catalog.has_btree(attr) {
+            continue;
+        }
+        let score = if iv.two_sided() { 2 } else { 1 };
+        if best.map(|(_, _, s)| score > s).unwrap_or(true) {
+            best = Some((attr, iv, score));
+        }
+    }
+    if let Some((attr, iv, _)) = best {
+        let (lo, hi) = match &iv.eq {
+            Some(eq) => (Bound::Included(eq.clone()), Bound::Included(eq.clone())),
+            None => (iv.lo.clone(), iv.hi.clone()),
+        };
+        return Plan { path: AccessPath::BTreeRange { attr: attr.clone(), lo, hi } };
+    }
+
+    // 4. Equality via B+-tree (no hash available).
+    for (attr, iv) in &map {
+        if let Some(eq) = &iv.eq {
+            if catalog.has_btree(attr) {
+                return Plan {
+                    path: AccessPath::BTreeRange {
+                        attr: attr.clone(),
+                        lo: Bound::Included(eq.clone()),
+                        hi: Bound::Included(eq.clone()),
+                    },
+                };
+            }
+        }
+    }
+
+    Plan { path: AccessPath::FullScan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_types::Timestamp;
+
+    struct FakeCatalog {
+        hash: Vec<AttrName>,
+        btree: Vec<AttrName>,
+        kd: Vec<Vec<AttrName>>,
+    }
+
+    impl IndexCatalog for FakeCatalog {
+        fn has_hash(&self, attr: &AttrName) -> bool {
+            self.hash.contains(attr)
+        }
+        fn has_btree(&self, attr: &AttrName) -> bool {
+            self.btree.contains(attr)
+        }
+        fn kd_attr_sets(&self) -> Vec<Vec<AttrName>> {
+            self.kd.clone()
+        }
+    }
+
+    fn default_catalog() -> FakeCatalog {
+        FakeCatalog {
+            hash: vec![AttrName::Keyword],
+            btree: vec![AttrName::Size, AttrName::Mtime],
+            kd: vec![vec![AttrName::Size, AttrName::Mtime]],
+        }
+    }
+
+    fn parse(s: &str) -> Predicate {
+        crate::Query::parse(s, Timestamp::from_secs(100 * 86_400)).unwrap().predicate
+    }
+
+    #[test]
+    fn keyword_goes_to_hash() {
+        let p = plan(&default_catalog(), &parse("keyword:firefox & size>1m"));
+        assert!(matches!(
+            p.path,
+            AccessPath::HashEq { attr: AttrName::Keyword, .. }
+        ));
+    }
+
+    #[test]
+    fn two_constrained_attrs_go_to_kd() {
+        let p = plan(&default_catalog(), &parse("size>1g & mtime<1day"));
+        match p.path {
+            AccessPath::KdBox { attrs, lo, hi } => {
+                assert_eq!(attrs, vec![AttrName::Size, AttrName::Mtime]);
+                assert_eq!(lo.len(), 2);
+                assert!(hi[0].is_infinite());
+                assert!(lo[0] > 0.0);
+            }
+            other => panic!("expected KdBox, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_range_goes_to_btree() {
+        let p = plan(&default_catalog(), &parse("size>16m"));
+        match p.path {
+            AccessPath::BTreeRange { attr, lo, hi } => {
+                assert_eq!(attr, AttrName::Size);
+                assert_eq!(lo, Bound::Excluded(Value::U64(16 << 20)));
+                assert_eq!(hi, Bound::Unbounded);
+            }
+            other => panic!("expected BTreeRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_sided_range_preferred() {
+        let mut cat = default_catalog();
+        cat.kd.clear();
+        let p = plan(&cat, &parse("size>1m & size<1g & mtime<1day"));
+        match p.path {
+            AccessPath::BTreeRange { attr, lo, hi } => {
+                assert_eq!(attr, AttrName::Size);
+                assert!(!matches!(lo, Bound::Unbounded));
+                assert!(!matches!(hi, Bound::Unbounded));
+            }
+            other => panic!("expected two-sided BTreeRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_uses_btree_when_no_hash() {
+        let cat = FakeCatalog { hash: vec![], btree: vec![AttrName::Uid], kd: vec![] };
+        let p = plan(&cat, &parse("uid=1000"));
+        match p.path {
+            AccessPath::BTreeRange { attr, lo, hi } => {
+                assert_eq!(attr, AttrName::Uid);
+                assert_eq!(lo, Bound::Included(Value::U64(1000)));
+                assert_eq!(hi, Bound::Included(Value::U64(1000)));
+            }
+            other => panic!("expected point BTreeRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unindexed_predicate_scans() {
+        let cat = FakeCatalog { hash: vec![], btree: vec![], kd: vec![] };
+        assert_eq!(plan(&cat, &parse("uid=5")).path, AccessPath::FullScan);
+        assert_eq!(plan(&cat, &parse("*")).path, AccessPath::FullScan);
+    }
+
+    #[test]
+    fn disjunction_cannot_use_single_index() {
+        // An OR at top level constrains nothing conjunctively.
+        let p = plan(&default_catalog(), &parse("size>1m | keyword:x"));
+        assert_eq!(p.path, AccessPath::FullScan);
+    }
+
+    #[test]
+    fn bounds_intersect_across_conjuncts() {
+        let mut cat = default_catalog();
+        cat.kd.clear();
+        let p = plan(&cat, &parse("size>1k & size>4k & size<1m"));
+        match p.path {
+            AccessPath::BTreeRange { lo, .. } => {
+                assert_eq!(lo, Bound::Excluded(Value::U64(4096)), "tightest lower bound wins");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn real_group_implements_catalog() {
+        use propeller_index::{AcgIndexGroup, GroupConfig};
+        let group = AcgIndexGroup::new(propeller_types::AcgId::new(1), GroupConfig::default());
+        assert!(group.has_hash(&AttrName::Keyword));
+        assert!(group.has_btree(&AttrName::Size));
+        assert_eq!(group.kd_attr_sets(), vec![vec![AttrName::Size, AttrName::Mtime]]);
+    }
+}

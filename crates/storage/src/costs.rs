@@ -1,0 +1,391 @@
+//! Page-level index I/O cost math.
+//!
+//! The paper's scalability argument (Figures 2 and 8, Table III) is
+//! structural: updating a B+-tree of `N` entries costs `O(log N)` page
+//! accesses, only some of which hit the buffer pool, so a *global* index
+//! over 50–100 M files pays far more disk I/O per update than a 1000-file
+//! per-ACG index whose pages fit in RAM. [`PageIoModel`] captures exactly
+//! that relationship so modeled-mode experiments can run at paper scale.
+
+use propeller_sim::seeded_rng;
+use propeller_types::Duration;
+use rand::Rng;
+
+use crate::disk::Disk;
+
+/// Analytic page-I/O model for a B+-tree-style index.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_storage::{Disk, DiskProfile, PageIoModel};
+///
+/// let model = PageIoModel::default();
+/// // A 100-million-entry tree is deeper than a 1000-entry tree.
+/// assert!(model.tree_depth(100_000_000) > model.tree_depth(1_000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageIoModel {
+    /// Page size in bytes (4 KiB default).
+    pub page_size: u64,
+    /// Keys per interior page (fan-out).
+    pub fanout: u64,
+    /// Entries per leaf page.
+    pub leaf_entries: u64,
+    /// Bytes of buffer pool available to cache hot pages.
+    pub buffer_bytes: u64,
+    /// Deterministic seed for cache-miss sampling.
+    pub seed: u64,
+}
+
+impl Default for PageIoModel {
+    fn default() -> Self {
+        PageIoModel {
+            page_size: 4096,
+            fanout: 128,
+            leaf_entries: 64,
+            // The paper configures MySQL with a 2 GB buffer pool.
+            buffer_bytes: 2 << 30,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl PageIoModel {
+    /// Depth (levels) of a B+-tree with `entries` entries.
+    pub fn tree_depth(&self, entries: u64) -> u32 {
+        if entries <= self.leaf_entries {
+            return 1;
+        }
+        let mut pages = entries.div_ceil(self.leaf_entries);
+        let mut depth = 1;
+        while pages > 1 {
+            pages = pages.div_ceil(self.fanout);
+            depth += 1;
+        }
+        depth
+    }
+
+    /// Total pages (leaves + interior) of a tree with `entries` entries.
+    pub fn tree_pages(&self, entries: u64) -> u64 {
+        let mut pages = entries.div_ceil(self.leaf_entries).max(1);
+        let mut total = pages;
+        while pages > 1 {
+            pages = pages.div_ceil(self.fanout);
+            total += pages;
+        }
+        total
+    }
+
+    /// Fraction of the tree's pages resident in the buffer pool. The upper
+    /// levels are pinned first (they are the hottest), so small trees are
+    /// fully cached and large trees miss mostly on leaves.
+    pub fn cached_fraction(&self, entries: u64) -> f64 {
+        let total = self.tree_pages(entries);
+        let cached = self.buffer_bytes / self.page_size;
+        (cached as f64 / total as f64).min(1.0)
+    }
+
+    /// Expected number of *disk* page reads for one point update of a tree
+    /// with `entries` entries: one access per level, each missing the
+    /// buffer pool with the model's miss probability (upper levels always
+    /// hit; leaves hit with the cached fraction).
+    pub fn update_page_misses<R: Rng + ?Sized>(&self, entries: u64, rng: &mut R) -> u32 {
+        let depth = self.tree_depth(entries);
+        let cached = self.cached_fraction(entries);
+        let mut misses = 0;
+        // Interior levels: cached unless the tree drastically exceeds the
+        // pool; model interior residency as min(1, cached * fanout).
+        let interior_hit = (cached * self.fanout as f64).min(1.0);
+        for _ in 0..depth.saturating_sub(1) {
+            if rng.gen::<f64>() > interior_hit {
+                misses += 1;
+            }
+        }
+        // Leaf level.
+        if rng.gen::<f64>() > cached {
+            misses += 1;
+        }
+        misses
+    }
+
+    /// Models the disk time of `updates` random point-updates against an
+    /// index of `entries` entries. Every update reads its missing pages,
+    /// appends a small redo-log record sequentially, and — when the leaf
+    /// missed the buffer pool — pays an amortised dirty-page write-back.
+    /// A fully-cached index therefore costs only the log appends, which is
+    /// the locality effect Propeller exploits.
+    pub fn update_run_cost(&self, entries: u64, updates: u64, disk: &mut Disk) -> Duration {
+        let mut rng = seeded_rng(self.seed ^ entries ^ updates);
+        let mut total = Duration::ZERO;
+        let cached = self.cached_fraction(entries);
+        for _ in 0..updates {
+            let misses = self.update_page_misses(entries, &mut rng);
+            for _ in 0..misses {
+                total += disk.random_read(self.page_size, &mut rng);
+            }
+            // Redo-log append (group committed; tiny sequential write).
+            total += disk.sequential_write(256, &mut rng);
+            // Dirty-page write-back is only synchronous when the pool is
+            // thrashing (misses force evictions of dirty pages).
+            if rng.gen::<f64>() < 0.5 * (1.0 - cached) {
+                total += disk.random_write(self.page_size, &mut rng);
+            }
+        }
+        total
+    }
+
+    /// Models the disk time of one range scan returning `matched` of
+    /// `entries` entries: a root-to-leaf descent plus a sequential leaf
+    /// scan, with misses governed by the cached fraction.
+    pub fn scan_cost(&self, entries: u64, matched: u64, disk: &mut Disk) -> Duration {
+        let mut rng = seeded_rng(self.seed ^ entries.rotate_left(17) ^ matched);
+        let mut total = Duration::ZERO;
+        let cached = self.cached_fraction(entries);
+        let depth = self.tree_depth(entries);
+        for _ in 0..depth {
+            if rng.gen::<f64>() > cached {
+                total += disk.random_read(self.page_size, &mut rng);
+            }
+        }
+        let leaf_pages = matched.div_ceil(self.leaf_entries);
+        for _ in 0..leaf_pages {
+            if rng.gen::<f64>() > cached {
+                total += disk.sequential_read(self.page_size, &mut rng);
+            }
+        }
+        total
+    }
+}
+
+/// Whole-group index I/O model (the paper's Figure 2 sensitivity study).
+///
+/// The Propeller prototype serialises each group's indices as regular files
+/// (the K-D tree "must be loaded entirely in RAM" per §V-E), so touching a
+/// *cold* partition costs a sequential load proportional to the partition's
+/// file count, and evicting a dirty partition costs the matching store.
+/// In-RAM updates are then nearly free. This is exactly the cost structure
+/// behind Figure 2: execution time grows with partition size (2a) and with
+/// the number of distinct partitions touched (2b).
+#[derive(Debug, Clone)]
+pub struct GroupIndexModel {
+    /// Serialized index bytes per file entry (all three index kinds
+    /// combined).
+    pub bytes_per_entry: u64,
+    /// In-RAM cost of applying one update to a loaded group.
+    pub ram_update: Duration,
+    /// How many groups fit in RAM at once (LRU).
+    pub resident_groups: usize,
+}
+
+impl Default for GroupIndexModel {
+    fn default() -> Self {
+        GroupIndexModel {
+            bytes_per_entry: 400,
+            ram_update: Duration::from_micros(40),
+            resident_groups: 2,
+        }
+    }
+}
+
+impl GroupIndexModel {
+    /// Cost of loading (or storing) one whole group of `files` entries.
+    pub fn group_transfer_cost<R: Rng + ?Sized>(
+        &self,
+        files: u64,
+        disk: &mut Disk,
+        rng: &mut R,
+    ) -> Duration {
+        disk.sequential_read(files * self.bytes_per_entry, rng)
+            + disk.random_read(4096, rng) // initial seek to the index file
+    }
+
+    /// Models a run of `updates` *inter-partition* updates: each update
+    /// involves all `groups` partitions of `files_per_group` entries each
+    /// (the paper's Figure 2(b) pattern — "updates involving a large
+    /// number of partitions"). An LRU of
+    /// [`GroupIndexModel::resident_groups`] groups stays loaded, so runs
+    /// touching at most that many partitions stay in RAM while wider
+    /// updates thrash.
+    pub fn striped_update_run(
+        &self,
+        groups: usize,
+        files_per_group: u64,
+        updates: u64,
+        disk: &mut Disk,
+        seed: u64,
+    ) -> Duration {
+        let mut rng = seeded_rng(seed);
+        let mut total = Duration::ZERO;
+        let mut resident: Vec<usize> = Vec::new(); // LRU, most recent last
+        for _ in 0..updates {
+            for g in 0..groups.max(1) {
+                if let Some(pos) = resident.iter().position(|&r| r == g) {
+                    resident.remove(pos);
+                } else {
+                    // Miss: load the group; evict (store) the coldest if full.
+                    total += self.group_transfer_cost(files_per_group, disk, &mut rng);
+                    if resident.len() >= self.resident_groups {
+                        resident.remove(0);
+                        total += self.group_transfer_cost(files_per_group, disk, &mut rng);
+                    }
+                }
+                resident.push(g);
+                total += self.ram_update;
+            }
+        }
+        total
+    }
+
+    /// Models `updates` random updates over a dataset of `total_files`
+    /// partitioned into groups of `files_per_group` (Figure 2(a) pattern:
+    /// far more groups than fit in RAM, so essentially every update pays a
+    /// group load).
+    pub fn random_update_run(
+        &self,
+        total_files: u64,
+        files_per_group: u64,
+        updates: u64,
+        disk: &mut Disk,
+        seed: u64,
+    ) -> Duration {
+        let groups = (total_files / files_per_group.max(1)).max(1);
+        let mut rng = seeded_rng(seed);
+        let mut total = Duration::ZERO;
+        let mut resident: Vec<u64> = Vec::new();
+        for _ in 0..updates {
+            let g = rng.gen_range(0..groups);
+            if let Some(pos) = resident.iter().position(|&r| r == g) {
+                resident.remove(pos);
+            } else {
+                total += self.group_transfer_cost(files_per_group, disk, &mut rng);
+                if resident.len() >= self.resident_groups {
+                    resident.remove(0);
+                    total += self.group_transfer_cost(files_per_group, disk, &mut rng);
+                }
+            }
+            resident.push(g);
+            total += self.ram_update;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskProfile;
+
+    #[test]
+    fn depth_monotone_in_entries() {
+        let m = PageIoModel::default();
+        assert_eq!(m.tree_depth(10), 1);
+        let mut last = 0;
+        for entries in [1_000u64, 100_000, 10_000_000, 1_000_000_000] {
+            let d = m.tree_depth(entries);
+            assert!(d >= last);
+            last = d;
+        }
+        assert!(m.tree_depth(100_000_000) >= 4);
+    }
+
+    #[test]
+    fn small_trees_fully_cached() {
+        let m = PageIoModel::default();
+        assert_eq!(m.cached_fraction(1_000), 1.0);
+        assert!(m.cached_fraction(500_000_000) < 0.2);
+    }
+
+    #[test]
+    fn small_index_updates_cost_less_than_huge_index_updates() {
+        let m = PageIoModel::default();
+        let mut disk_small = Disk::new(DiskProfile::hdd_7200());
+        let mut disk_big = Disk::new(DiskProfile::hdd_7200());
+        let small = m.update_run_cost(1_000, 10_000, &mut disk_small);
+        let big = m.update_run_cost(100_000_000, 10_000, &mut disk_big);
+        assert!(
+            big > small * 10,
+            "100M-entry index ({big}) must dwarf 1k-entry index ({small})"
+        );
+    }
+
+    #[test]
+    fn larger_dataset_scans_cost_more() {
+        let m = PageIoModel::default();
+        let mut d1 = Disk::new(DiskProfile::hdd_7200());
+        let mut d2 = Disk::new(DiskProfile::hdd_7200());
+        let small = m.scan_cost(10_000_000, 1_000, &mut d1);
+        let large = m.scan_cost(500_000_000, 1_000, &mut d2);
+        assert!(large >= small);
+    }
+
+    #[test]
+    fn pages_exceed_entries_over_leaf_capacity() {
+        let m = PageIoModel::default();
+        assert_eq!(m.tree_pages(64), 1);
+        assert!(m.tree_pages(6400) > 100);
+    }
+
+    #[test]
+    fn update_misses_bounded_by_depth() {
+        let m = PageIoModel::default();
+        let mut rng = seeded_rng(1);
+        for entries in [100u64, 1_000_000, 100_000_000] {
+            let depth = m.tree_depth(entries);
+            for _ in 0..100 {
+                assert!(m.update_page_misses(entries, &mut rng) <= depth);
+            }
+        }
+    }
+
+    #[test]
+    fn fig2a_shape_larger_partitions_cost_more() {
+        let m = GroupIndexModel::default();
+        let cost_at = |s: u64| {
+            let mut disk = Disk::new(DiskProfile::hdd_7200());
+            m.random_update_run(200_000, s, 5_000, &mut disk, 11)
+        };
+        let c1k = cost_at(1_000);
+        let c8k = cost_at(8_000);
+        assert!(c8k > c1k, "8k-file partitions ({c8k}) should exceed 1k ({c1k})");
+        assert!(c8k < c1k * 10, "growth should be roughly linear, got {c1k} -> {c8k}");
+    }
+
+    #[test]
+    fn fig2a_shape_dataset_size_does_not_matter() {
+        let m = GroupIndexModel::default();
+        let cost_at = |n: u64| {
+            let mut disk = Disk::new(DiskProfile::hdd_7200());
+            m.random_update_run(n, 1_000, 5_000, &mut disk, 13)
+        };
+        let c50k = cost_at(50_000);
+        let c200k = cost_at(200_000);
+        let ratio = c200k.as_secs_f64() / c50k.as_secs_f64();
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fig2b_shape_more_partitions_cost_more() {
+        let m = GroupIndexModel::default();
+        let cost_at = |g: usize| {
+            let mut disk = Disk::new(DiskProfile::hdd_7200());
+            m.striped_update_run(g, 1_000, 5_000, &mut disk, 17)
+        };
+        let c1 = cost_at(1);
+        let c4 = cost_at(4);
+        let c32 = cost_at(32);
+        assert!(c4 > c1 * 10, "beyond-RAM striping must thrash: {c1} -> {c4}");
+        assert!(c32 >= c4, "more partitions never cheaper: {c4} -> {c32}");
+    }
+
+    #[test]
+    fn resident_groups_avoid_reloads() {
+        let m = GroupIndexModel { resident_groups: 8, ..GroupIndexModel::default() };
+        let mut disk = Disk::new(DiskProfile::hdd_7200());
+        // 4 groups stripe into an 8-slot LRU: only 4 initial loads.
+        let cost = m.striped_update_run(4, 1_000, 10_000, &mut disk, 19);
+        let (reads, _, _, _) = disk.stats();
+        assert_eq!(reads, 8, "4 loads x 2 read calls each");
+        assert!(cost < Duration::from_secs(2));
+    }
+}

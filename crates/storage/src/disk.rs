@@ -1,0 +1,214 @@
+//! Analytic disk cost model.
+
+use propeller_sim::Latency;
+use propeller_types::Duration;
+use rand::Rng;
+
+/// Mechanical/electrical parameters of a storage device.
+///
+/// The paper's testbed uses Seagate Barracuda ST31000524AS drives (7200 RPM,
+/// 32 MB cache); [`DiskProfile::hdd_7200`] models that class of device.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_storage::DiskProfile;
+///
+/// let hdd = DiskProfile::hdd_7200();
+/// let ssd = DiskProfile::ssd();
+/// assert!(hdd.random_access_mean() > ssd.random_access_mean());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiskProfile {
+    /// Seek time distribution for random access.
+    pub seek: Latency,
+    /// Rotational delay distribution (zero for SSDs).
+    pub rotational: Latency,
+    /// Sustained transfer rate in bytes/second.
+    pub transfer_rate: u64,
+    /// Fixed controller/command overhead per request.
+    pub command_overhead: Latency,
+}
+
+impl DiskProfile {
+    /// A 7200 RPM desktop hard drive (≈8.5 ms average seek, 4.17 ms average
+    /// rotational delay, ≈120 MB/s transfer).
+    pub fn hdd_7200() -> Self {
+        DiskProfile {
+            seek: Latency::uniform(Duration::from_micros(2_000), Duration::from_micros(15_000)),
+            rotational: Latency::uniform(Duration::ZERO, Duration::from_micros(8_333)),
+            transfer_rate: 120_000_000,
+            command_overhead: Latency::constant(Duration::from_micros(100)),
+        }
+    }
+
+    /// A 5400 RPM laptop hard drive (the paper's Mac Mini baseline disk).
+    pub fn hdd_5400() -> Self {
+        DiskProfile {
+            seek: Latency::uniform(Duration::from_micros(3_000), Duration::from_micros(18_000)),
+            rotational: Latency::uniform(Duration::ZERO, Duration::from_micros(11_111)),
+            transfer_rate: 90_000_000,
+            command_overhead: Latency::constant(Duration::from_micros(120)),
+        }
+    }
+
+    /// A SATA SSD (no mechanical latency).
+    pub fn ssd() -> Self {
+        DiskProfile {
+            seek: Latency::zero(),
+            rotational: Latency::zero(),
+            transfer_rate: 500_000_000,
+            command_overhead: Latency::uniform(
+                Duration::from_micros(40),
+                Duration::from_micros(120),
+            ),
+        }
+    }
+
+    /// Mean cost of one random 4 KiB access (no sampling).
+    pub fn random_access_mean(&self) -> Duration {
+        self.seek.mean()
+            + self.rotational.mean()
+            + self.command_overhead.mean()
+            + self.transfer_mean(4096)
+    }
+
+    /// Mean transfer time for `bytes` (no sampling).
+    pub fn transfer_mean(&self, bytes: u64) -> Duration {
+        Duration::from_secs_f64(bytes as f64 / self.transfer_rate as f64)
+    }
+}
+
+/// A disk instance: samples operation costs from a [`DiskProfile`].
+///
+/// The disk does not own a clock — it returns [`Duration`]s and the caller
+/// charges them wherever appropriate (virtual clock in modeled mode,
+/// statistics in measured mode).
+///
+/// # Examples
+///
+/// ```
+/// use propeller_sim::seeded_rng;
+/// use propeller_storage::{Disk, DiskProfile};
+///
+/// let mut disk = Disk::new(DiskProfile::ssd());
+/// let mut rng = seeded_rng(1);
+/// let d = disk.random_read(4096, &mut rng);
+/// assert!(!d.is_zero());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Disk {
+    profile: DiskProfile,
+    reads: u64,
+    writes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl Disk {
+    /// Creates a disk with the given profile.
+    pub fn new(profile: DiskProfile) -> Self {
+        Disk { profile, reads: 0, writes: 0, bytes_read: 0, bytes_written: 0 }
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &DiskProfile {
+        &self.profile
+    }
+
+    /// Cost of one random read of `bytes`.
+    pub fn random_read<R: Rng + ?Sized>(&mut self, bytes: u64, rng: &mut R) -> Duration {
+        self.reads += 1;
+        self.bytes_read += bytes;
+        self.profile.seek.sample(rng)
+            + self.profile.rotational.sample(rng)
+            + self.profile.command_overhead.sample(rng)
+            + self.profile.transfer_mean(bytes)
+    }
+
+    /// Cost of one random write of `bytes`.
+    pub fn random_write<R: Rng + ?Sized>(&mut self, bytes: u64, rng: &mut R) -> Duration {
+        self.writes += 1;
+        self.bytes_written += bytes;
+        self.profile.seek.sample(rng)
+            + self.profile.rotational.sample(rng)
+            + self.profile.command_overhead.sample(rng)
+            + self.profile.transfer_mean(bytes)
+    }
+
+    /// Cost of a sequential read of `bytes` (no seek, amortised rotation).
+    pub fn sequential_read<R: Rng + ?Sized>(&mut self, bytes: u64, rng: &mut R) -> Duration {
+        self.reads += 1;
+        self.bytes_read += bytes;
+        self.profile.command_overhead.sample(rng) + self.profile.transfer_mean(bytes)
+    }
+
+    /// Cost of a sequential write (append) of `bytes`.
+    pub fn sequential_write<R: Rng + ?Sized>(&mut self, bytes: u64, rng: &mut R) -> Duration {
+        self.writes += 1;
+        self.bytes_written += bytes;
+        self.profile.command_overhead.sample(rng) + self.profile.transfer_mean(bytes)
+    }
+
+    /// `(reads, writes, bytes_read, bytes_written)` counters.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.reads, self.writes, self.bytes_read, self.bytes_written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_sim::seeded_rng;
+
+    #[test]
+    fn hdd_random_slower_than_sequential() {
+        let mut disk = Disk::new(DiskProfile::hdd_7200());
+        let mut rng = seeded_rng(2);
+        let rand_total: Duration = (0..200).map(|_| disk.random_read(4096, &mut rng)).sum();
+        let seq_total: Duration =
+            (0..200).map(|_| disk.sequential_read(4096, &mut rng)).sum();
+        assert!(
+            rand_total > seq_total * 5,
+            "random {rand_total} should dwarf sequential {seq_total}"
+        );
+    }
+
+    #[test]
+    fn ssd_faster_than_hdd_for_random_io() {
+        let mut hdd = Disk::new(DiskProfile::hdd_7200());
+        let mut ssd = Disk::new(DiskProfile::ssd());
+        let mut rng = seeded_rng(3);
+        let hdd_total: Duration = (0..100).map(|_| hdd.random_read(4096, &mut rng)).sum();
+        let ssd_total: Duration = (0..100).map(|_| ssd.random_read(4096, &mut rng)).sum();
+        assert!(hdd_total > ssd_total * 10);
+    }
+
+    #[test]
+    fn transfer_scales_with_size() {
+        let p = DiskProfile::hdd_7200();
+        assert!(p.transfer_mean(1 << 20) > p.transfer_mean(4096) * 100);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut disk = Disk::new(DiskProfile::ssd());
+        let mut rng = seeded_rng(4);
+        disk.random_read(100, &mut rng);
+        disk.random_write(200, &mut rng);
+        disk.sequential_write(300, &mut rng);
+        let (r, w, br, bw) = disk.stats();
+        assert_eq!((r, w), (1, 2));
+        assert_eq!((br, bw), (100, 500));
+    }
+
+    #[test]
+    fn deterministic_under_seeded_rng() {
+        let run = || {
+            let mut disk = Disk::new(DiskProfile::hdd_7200());
+            let mut rng = seeded_rng(7);
+            (0..10).map(|_| disk.random_read(4096, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

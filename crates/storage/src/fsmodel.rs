@@ -1,0 +1,274 @@
+//! File-system cost profiles (Table VI substrate).
+//!
+//! The paper compares Propeller's FUSE-based client against native
+//! (Ext4/Btrfs) and FUSE-based (NTFS-3g, ZFS-fuse, and a pass-through PTFS)
+//! file systems under PostMark. Real kernels are out of reach here, so each
+//! file system becomes a *cost profile*: per-operation latency
+//! distributions whose relative magnitudes encode the structural difference
+//! the paper measures — FUSE's double kernel crossing, copy-on-write
+//! overheads, and Propeller's extra inline-indexing work on the write path.
+
+use propeller_sim::Latency;
+use propeller_types::Duration;
+use rand::Rng;
+
+/// A file-system operation, as issued by PostMark-style workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FsOp {
+    /// Create an empty file.
+    Create,
+    /// Delete a file.
+    Delete,
+    /// Open an existing file.
+    Open,
+    /// Read `bytes`.
+    Read(u64),
+    /// Write/append `bytes`.
+    Write(u64),
+}
+
+/// Per-operation latency profile of one file system.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_storage::FsCostProfile;
+///
+/// let ext4 = FsCostProfile::ext4();
+/// let ntfs = FsCostProfile::ntfs_3g();
+/// assert!(ext4.create.mean() < ntfs.create.mean());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FsCostProfile {
+    /// Display name (matches the paper's Table VI rows).
+    pub name: &'static str,
+    /// Cost of creating a file (path resolution + inode allocation).
+    pub create: Latency,
+    /// Cost of deleting a file.
+    pub delete: Latency,
+    /// Cost of opening a file.
+    pub open: Latency,
+    /// Per-4-KiB-block read cost.
+    pub read_4k: Latency,
+    /// Per-4-KiB-block write cost.
+    pub write_4k: Latency,
+    /// Extra cost charged on every *write-path* operation (create, write,
+    /// delete): this is where Propeller's inline indexing lands.
+    pub write_path_extra: Latency,
+}
+
+impl FsCostProfile {
+    /// Native Ext4 (the paper's fastest row: 16 747 creates/s).
+    pub fn ext4() -> Self {
+        FsCostProfile {
+            name: "Ext4",
+            create: Latency::uniform(Duration::from_micros(40), Duration::from_micros(80)),
+            delete: Latency::uniform(Duration::from_micros(35), Duration::from_micros(70)),
+            open: Latency::uniform(Duration::from_micros(4), Duration::from_micros(10)),
+            read_4k: Latency::uniform(Duration::from_micros(8), Duration::from_micros(20)),
+            write_4k: Latency::uniform(Duration::from_micros(15), Duration::from_micros(35)),
+            write_path_extra: Latency::zero(),
+        }
+    }
+
+    /// Native Btrfs (copy-on-write overhead: 5 582 creates/s).
+    pub fn btrfs() -> Self {
+        FsCostProfile {
+            name: "Btrfs",
+            create: Latency::uniform(Duration::from_micros(140), Duration::from_micros(220)),
+            delete: Latency::uniform(Duration::from_micros(120), Duration::from_micros(200)),
+            open: Latency::uniform(Duration::from_micros(5), Duration::from_micros(12)),
+            read_4k: Latency::uniform(Duration::from_micros(10), Duration::from_micros(25)),
+            write_4k: Latency::uniform(Duration::from_micros(40), Duration::from_micros(90)),
+            write_path_extra: Latency::zero(),
+        }
+    }
+
+    /// PTFS — the paper's pass-through FUSE file system, isolating pure
+    /// FUSE double-crossing overhead (6 289 creates/s).
+    pub fn ptfs() -> Self {
+        FsCostProfile {
+            name: "PTFS",
+            create: Latency::uniform(Duration::from_micros(130), Duration::from_micros(190)),
+            delete: Latency::uniform(Duration::from_micros(110), Duration::from_micros(170)),
+            open: Latency::uniform(Duration::from_micros(15), Duration::from_micros(30)),
+            read_4k: Latency::uniform(Duration::from_micros(25), Duration::from_micros(55)),
+            write_4k: Latency::uniform(Duration::from_micros(45), Duration::from_micros(95)),
+            write_path_extra: Latency::zero(),
+        }
+    }
+
+    /// NTFS-3g (userspace NTFS over FUSE: 2 392 creates/s).
+    pub fn ntfs_3g() -> Self {
+        FsCostProfile {
+            name: "NTFS-3g",
+            create: Latency::uniform(Duration::from_micros(350), Duration::from_micros(480)),
+            delete: Latency::uniform(Duration::from_micros(300), Duration::from_micros(430)),
+            open: Latency::uniform(Duration::from_micros(25), Duration::from_micros(50)),
+            read_4k: Latency::uniform(Duration::from_micros(60), Duration::from_micros(130)),
+            write_4k: Latency::uniform(Duration::from_micros(120), Duration::from_micros(260)),
+            write_path_extra: Latency::zero(),
+        }
+    }
+
+    /// ZFS-fuse (userspace ZFS: 2 093 creates/s).
+    pub fn zfs_fuse() -> Self {
+        FsCostProfile {
+            name: "ZFS-fuse",
+            create: Latency::uniform(Duration::from_micros(400), Duration::from_micros(550)),
+            delete: Latency::uniform(Duration::from_micros(340), Duration::from_micros(490)),
+            open: Latency::uniform(Duration::from_micros(30), Duration::from_micros(60)),
+            read_4k: Latency::uniform(Duration::from_micros(55), Duration::from_micros(120)),
+            write_4k: Latency::uniform(Duration::from_micros(110), Duration::from_micros(240)),
+            write_path_extra: Latency::zero(),
+        }
+    }
+
+    /// Propeller's FUSE client: PTFS costs plus inline-indexing work on the
+    /// write path (2 644 creates/s — the price of real-time indexing).
+    pub fn propeller_fuse() -> Self {
+        FsCostProfile {
+            write_path_extra: Latency::uniform(
+                Duration::from_micros(160),
+                Duration::from_micros(280),
+            ),
+            name: "Propeller",
+            ..FsCostProfile::ptfs()
+        }
+    }
+
+    /// All Table VI profiles, in the paper's row order.
+    pub fn table_six() -> Vec<FsCostProfile> {
+        vec![
+            FsCostProfile::ext4(),
+            FsCostProfile::btrfs(),
+            FsCostProfile::ptfs(),
+            FsCostProfile::ntfs_3g(),
+            FsCostProfile::zfs_fuse(),
+            FsCostProfile::propeller_fuse(),
+        ]
+    }
+}
+
+/// A file-system instance: samples operation costs and tallies statistics.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_sim::seeded_rng;
+/// use propeller_storage::{FsCostProfile, FsModel, FsOp};
+///
+/// let mut fs = FsModel::new(FsCostProfile::ext4());
+/// let mut rng = seeded_rng(1);
+/// let cost = fs.cost(FsOp::Create, &mut rng) + fs.cost(FsOp::Write(8192), &mut rng);
+/// assert!(!cost.is_zero());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FsModel {
+    profile: FsCostProfile,
+    ops: u64,
+    busy: Duration,
+}
+
+impl FsModel {
+    /// Creates an instance of the given profile.
+    pub fn new(profile: FsCostProfile) -> Self {
+        FsModel { profile, ops: 0, busy: Duration::ZERO }
+    }
+
+    /// The profile name.
+    pub fn name(&self) -> &'static str {
+        self.profile.name
+    }
+
+    /// Samples the cost of one operation and tallies it.
+    pub fn cost<R: Rng + ?Sized>(&mut self, op: FsOp, rng: &mut R) -> Duration {
+        let base = match op {
+            FsOp::Create => {
+                self.profile.create.sample(rng) + self.profile.write_path_extra.sample(rng)
+            }
+            FsOp::Delete => {
+                self.profile.delete.sample(rng) + self.profile.write_path_extra.sample(rng)
+            }
+            FsOp::Open => self.profile.open.sample(rng),
+            FsOp::Read(bytes) => {
+                let blocks = bytes.div_ceil(4096).max(1);
+                let mut d = Duration::ZERO;
+                for _ in 0..blocks {
+                    d += self.profile.read_4k.sample(rng);
+                }
+                d
+            }
+            FsOp::Write(bytes) => {
+                let blocks = bytes.div_ceil(4096).max(1);
+                let mut d = self.profile.write_path_extra.sample(rng);
+                for _ in 0..blocks {
+                    d += self.profile.write_4k.sample(rng);
+                }
+                d
+            }
+        };
+        self.ops += 1;
+        self.busy += base;
+        base
+    }
+
+    /// `(operations, total busy time)` tallies.
+    pub fn stats(&self) -> (u64, Duration) {
+        (self.ops, self.busy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_sim::seeded_rng;
+
+    #[test]
+    fn table_six_relative_order_for_creates() {
+        // Paper order by create throughput:
+        // Ext4 > PTFS > Btrfs > Propeller > NTFS-3g > ZFS-fuse.
+        let mean = |p: FsCostProfile| (p.create.mean() + p.write_path_extra.mean()).as_micros();
+        assert!(mean(FsCostProfile::ext4()) < mean(FsCostProfile::ptfs()));
+        assert!(mean(FsCostProfile::ptfs()) < mean(FsCostProfile::btrfs()) + 100);
+        assert!(mean(FsCostProfile::ptfs()) < mean(FsCostProfile::propeller_fuse()));
+        assert!(mean(FsCostProfile::propeller_fuse()) < mean(FsCostProfile::ntfs_3g()));
+        assert!(mean(FsCostProfile::ntfs_3g()) < mean(FsCostProfile::zfs_fuse()));
+    }
+
+    #[test]
+    fn propeller_overhead_is_on_write_path_only() {
+        let ptfs = FsCostProfile::ptfs();
+        let prop = FsCostProfile::propeller_fuse();
+        assert_eq!(ptfs.open.mean(), prop.open.mean());
+        assert_eq!(ptfs.read_4k.mean(), prop.read_4k.mean());
+        assert!(prop.write_path_extra.mean() > Duration::ZERO);
+    }
+
+    #[test]
+    fn read_cost_scales_with_blocks() {
+        let mut fs = FsModel::new(FsCostProfile::ext4());
+        let mut rng = seeded_rng(9);
+        let small: Duration = (0..50).map(|_| fs.cost(FsOp::Read(4096), &mut rng)).sum();
+        let large: Duration = (0..50).map(|_| fs.cost(FsOp::Read(64 * 1024), &mut rng)).sum();
+        assert!(large > small * 8);
+    }
+
+    #[test]
+    fn stats_tally() {
+        let mut fs = FsModel::new(FsCostProfile::btrfs());
+        let mut rng = seeded_rng(10);
+        fs.cost(FsOp::Create, &mut rng);
+        fs.cost(FsOp::Delete, &mut rng);
+        let (ops, busy) = fs.stats();
+        assert_eq!(ops, 2);
+        assert!(!busy.is_zero());
+    }
+
+    #[test]
+    fn all_profiles_have_distinct_names() {
+        let names: std::collections::HashSet<&str> =
+            FsCostProfile::table_six().iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

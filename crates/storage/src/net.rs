@@ -1,0 +1,94 @@
+//! Network cost model (GbE cluster fabric).
+
+use propeller_sim::Latency;
+use propeller_types::Duration;
+use rand::Rng;
+
+/// A point-to-point network model: per-message latency plus bandwidth-
+/// limited transfer, matching the paper's NetGear GbE switch fabric.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_sim::seeded_rng;
+/// use propeller_storage::Network;
+///
+/// let net = Network::gigabit_ethernet();
+/// let mut rng = seeded_rng(1);
+/// let small = net.message_cost(100, &mut rng);
+/// let large = net.message_cost(10 << 20, &mut rng);
+/// assert!(large > small * 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// One-way propagation + switching latency.
+    pub latency: Latency,
+    /// Usable bandwidth in bytes/second.
+    pub bandwidth: u64,
+}
+
+impl Network {
+    /// Gigabit Ethernet through one switch: ~60–120 µs one-way, ≈118 MB/s
+    /// usable.
+    pub fn gigabit_ethernet() -> Self {
+        Network {
+            latency: Latency::uniform(Duration::from_micros(60), Duration::from_micros(120)),
+            bandwidth: 118_000_000,
+        }
+    }
+
+    /// A zero-cost network (for wall-clock measured runs where real channel
+    /// time is already being spent).
+    pub fn instantaneous() -> Self {
+        Network { latency: Latency::zero(), bandwidth: u64::MAX }
+    }
+
+    /// Cost of delivering one `bytes`-sized message.
+    pub fn message_cost<R: Rng + ?Sized>(&self, bytes: u64, rng: &mut R) -> Duration {
+        let transfer = if self.bandwidth == u64::MAX {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(bytes as f64 / self.bandwidth as f64)
+        };
+        self.latency.sample(rng) + transfer
+    }
+
+    /// Mean cost of delivering one `bytes`-sized message (no sampling).
+    pub fn message_cost_mean(&self, bytes: u64) -> Duration {
+        let transfer = if self.bandwidth == u64::MAX {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(bytes as f64 / self.bandwidth as f64)
+        };
+        self.latency.mean() + transfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_sim::seeded_rng;
+
+    #[test]
+    fn gbe_latency_dominates_small_messages() {
+        let net = Network::gigabit_ethernet();
+        let mean = net.message_cost_mean(64);
+        assert!(mean >= Duration::from_micros(60));
+        assert!(mean < Duration::from_micros(200));
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_messages() {
+        let net = Network::gigabit_ethernet();
+        // 118 MB at 118 MB/s ≈ 1 s.
+        let mean = net.message_cost_mean(118_000_000);
+        assert!(mean > Duration::from_millis(900) && mean < Duration::from_millis(1200));
+    }
+
+    #[test]
+    fn instantaneous_network_is_free() {
+        let net = Network::instantaneous();
+        let mut rng = seeded_rng(1);
+        assert_eq!(net.message_cost(1 << 30, &mut rng), Duration::ZERO);
+    }
+}

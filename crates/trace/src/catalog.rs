@@ -1,0 +1,118 @@
+//! Path ↔ file-id catalogue.
+
+use std::collections::HashMap;
+
+use propeller_types::FileId;
+
+/// Assigns stable [`FileId`]s to paths.
+///
+/// Workload generators and examples speak in paths ("/usr/bin/firefox");
+/// every other layer speaks in [`FileId`]s. The catalogue owns the mapping
+/// and allocates ids densely from zero, which keeps downstream graph
+/// adjacency structures compact.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_trace::FileCatalog;
+///
+/// let mut catalog = FileCatalog::new();
+/// let a = catalog.intern("/etc/passwd");
+/// let b = catalog.intern("/etc/hosts");
+/// assert_ne!(a, b);
+/// assert_eq!(catalog.intern("/etc/passwd"), a);
+/// assert_eq!(catalog.path(a), Some("/etc/passwd"));
+/// assert_eq!(catalog.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FileCatalog {
+    by_path: HashMap<String, FileId>,
+    by_id: Vec<String>,
+}
+
+impl FileCatalog {
+    /// Creates an empty catalogue.
+    pub fn new() -> Self {
+        FileCatalog::default()
+    }
+
+    /// Returns the id for `path`, allocating a fresh one on first sight.
+    pub fn intern(&mut self, path: &str) -> FileId {
+        if let Some(&id) = self.by_path.get(path) {
+            return id;
+        }
+        let id = FileId::new(self.by_id.len() as u64);
+        self.by_path.insert(path.to_owned(), id);
+        self.by_id.push(path.to_owned());
+        id
+    }
+
+    /// Looks up an already-interned path.
+    pub fn get(&self, path: &str) -> Option<FileId> {
+        self.by_path.get(path).copied()
+    }
+
+    /// Returns the path for an id, if the id was allocated by this catalogue.
+    pub fn path(&self, id: FileId) -> Option<&str> {
+        self.by_id.get(id.raw() as usize).map(String::as_str)
+    }
+
+    /// Number of interned files.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Returns `true` when no file has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over `(id, path)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (FileId::new(i as u64), p.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut c = FileCatalog::new();
+        let a = c.intern("/a");
+        assert_eq!(c.intern("/a"), a);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_from_zero() {
+        let mut c = FileCatalog::new();
+        for i in 0..100 {
+            let id = c.intern(&format!("/f{i}"));
+            assert_eq!(id.raw(), i);
+        }
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let mut c = FileCatalog::new();
+        let id = c.intern("/x/y");
+        assert_eq!(c.path(id), Some("/x/y"));
+        assert_eq!(c.get("/x/y"), Some(id));
+        assert_eq!(c.get("/nope"), None);
+        assert_eq!(c.path(FileId::new(99)), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut c = FileCatalog::new();
+        c.intern("/1");
+        c.intern("/2");
+        let paths: Vec<&str> = c.iter().map(|(_, p)| p).collect();
+        assert_eq!(paths, vec!["/1", "/2"]);
+    }
+}

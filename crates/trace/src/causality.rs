@@ -1,0 +1,301 @@
+//! The access-causality rule (paper §III).
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use propeller_types::{FileId, FileOp, OpenMode, ProcessId, Timestamp, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+/// One weighted causality edge produced by the tracker, ready to be flushed
+/// to an Index Node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeUpdate {
+    /// Producer file (`fA` in `fA → fB`).
+    pub src: FileId,
+    /// Consumer file (`fB`).
+    pub dst: FileId,
+    /// Number of observations being flushed.
+    pub weight: u64,
+}
+
+#[derive(Debug, Default)]
+struct ProcessState {
+    /// Files this process has opened so far (read or write), in first-open
+    /// order. The paper's rule makes each of them a potential producer for
+    /// every later write-open.
+    accessed: Vec<FileId>,
+    /// Membership set for `accessed` (keeps the vec duplicate-free).
+    seen: HashMap<FileId, ()>,
+}
+
+/// Captures [`TraceEvent`]s and accumulates access-causality edges in RAM,
+/// exactly as the Propeller client does before flushing ACG deltas to Index
+/// Nodes (paper §IV "Client").
+///
+/// The rule: when process `P` opens file `fB` *for writing* at time `t1`,
+/// an edge `fA → fB` is recorded for every file `fA ≠ fB` that `P` opened
+/// (in any mode) at some earlier `t0 < t1`. Edge weights count repeated
+/// observations across process executions.
+///
+/// The tracker is deliberately *not* durable: the paper chooses weak
+/// consistency for ACGs because losing causality information can only
+/// degrade partitioning quality, never search correctness.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_trace::CausalityTracker;
+/// use propeller_types::{FileId, OpenMode, ProcessId, Timestamp};
+///
+/// let mut t = CausalityTracker::new();
+/// let pid = ProcessId::new(9);
+/// let (a, b, c) = (FileId::new(1), FileId::new(2), FileId::new(3));
+/// let ts = Timestamp::from_secs;
+///
+/// t.open(pid, a, OpenMode::Read, ts(1));
+/// t.open(pid, b, OpenMode::Read, ts(2));
+/// t.open(pid, c, OpenMode::Write, ts(3)); // c is produced from a and b
+/// t.end_process(pid);
+///
+/// let mut edges = t.drain_edges();
+/// edges.sort();
+/// assert_eq!(edges, vec![(a, c, 1), (b, c, 1)]);
+/// ```
+#[derive(Debug, Default)]
+pub struct CausalityTracker {
+    processes: HashMap<ProcessId, ProcessState>,
+    edges: HashMap<(FileId, FileId), u64>,
+}
+
+impl CausalityTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        CausalityTracker::default()
+    }
+
+    /// Observes one trace event.
+    pub fn observe(&mut self, event: TraceEvent) {
+        match event.op {
+            FileOp::Open(mode) => self.on_open(event.pid, event.file, mode),
+            FileOp::Create => self.on_open(event.pid, event.file, OpenMode::Write),
+            FileOp::Close => {}
+            FileOp::Delete => {}
+        }
+    }
+
+    /// Convenience wrapper for an open event.
+    pub fn open(&mut self, pid: ProcessId, file: FileId, mode: OpenMode, time: Timestamp) {
+        self.observe(TraceEvent::open(pid, file, mode, time));
+    }
+
+    /// Convenience wrapper for a close event.
+    pub fn close(&mut self, pid: ProcessId, file: FileId, time: Timestamp) {
+        self.observe(TraceEvent::close(pid, file, time));
+    }
+
+    fn on_open(&mut self, pid: ProcessId, file: FileId, mode: OpenMode) {
+        let state = self.processes.entry(pid).or_default();
+        if mode.writes() {
+            for &src in &state.accessed {
+                if src != file {
+                    *self.edges.entry((src, file)).or_insert(0) += 1;
+                }
+            }
+        }
+        if let Entry::Vacant(e) = state.seen.entry(file) {
+            e.insert(());
+            state.accessed.push(file);
+        }
+    }
+
+    /// Forgets per-process state for `pid` (the process exited). Edge
+    /// accumulations are kept.
+    pub fn end_process(&mut self, pid: ProcessId) {
+        self.processes.remove(&pid);
+    }
+
+    /// Number of distinct edges currently accumulated.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sum of all edge weights currently accumulated.
+    pub fn total_weight(&self) -> u64 {
+        self.edges.values().sum()
+    }
+
+    /// Files a given live process has accessed so far (empty after
+    /// [`CausalityTracker::end_process`]).
+    pub fn accessed_by(&self, pid: ProcessId) -> &[FileId] {
+        self.processes
+            .get(&pid)
+            .map(|s| s.accessed.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Drains the accumulated edges as `(src, dst, weight)` triples,
+    /// leaving the tracker empty of edges (live process state is kept).
+    ///
+    /// This is the client's "flush ACG delta to Index Node" step.
+    pub fn drain_edges(&mut self) -> Vec<(FileId, FileId, u64)> {
+        let mut out: Vec<(FileId, FileId, u64)> = self
+            .edges
+            .drain()
+            .map(|((s, d), w)| (s, d, w))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Drains the accumulated edges as [`EdgeUpdate`] records.
+    pub fn drain_updates(&mut self) -> Vec<EdgeUpdate> {
+        self.drain_edges()
+            .into_iter()
+            .map(|(src, dst, weight)| EdgeUpdate { src, dst, weight })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn read_then_write_creates_edge() {
+        let mut t = CausalityTracker::new();
+        let pid = ProcessId::new(1);
+        t.open(pid, FileId::new(1), OpenMode::Read, ts(1));
+        t.open(pid, FileId::new(2), OpenMode::Write, ts(2));
+        assert_eq!(t.drain_edges(), vec![(FileId::new(1), FileId::new(2), 1)]);
+    }
+
+    #[test]
+    fn write_then_write_creates_edge() {
+        // The rule says fA opened "reads or writes" earlier; a written file
+        // is also a potential producer for a later write.
+        let mut t = CausalityTracker::new();
+        let pid = ProcessId::new(1);
+        t.open(pid, FileId::new(1), OpenMode::Write, ts(1));
+        t.open(pid, FileId::new(2), OpenMode::Write, ts(2));
+        assert_eq!(t.drain_edges(), vec![(FileId::new(1), FileId::new(2), 1)]);
+    }
+
+    #[test]
+    fn read_only_sequence_creates_no_edges() {
+        let mut t = CausalityTracker::new();
+        let pid = ProcessId::new(1);
+        for i in 0..5 {
+            t.open(pid, FileId::new(i), OpenMode::Read, ts(i));
+        }
+        assert!(t.drain_edges().is_empty());
+    }
+
+    #[test]
+    fn no_self_edges() {
+        let mut t = CausalityTracker::new();
+        let pid = ProcessId::new(1);
+        let f = FileId::new(3);
+        t.open(pid, f, OpenMode::Read, ts(1));
+        t.open(pid, f, OpenMode::Write, ts(2));
+        assert!(t.drain_edges().is_empty());
+    }
+
+    #[test]
+    fn edges_do_not_cross_processes() {
+        let mut t = CausalityTracker::new();
+        t.open(ProcessId::new(1), FileId::new(1), OpenMode::Read, ts(1));
+        t.open(ProcessId::new(2), FileId::new(2), OpenMode::Write, ts(2));
+        assert!(t.drain_edges().is_empty());
+    }
+
+    #[test]
+    fn repeated_executions_accumulate_weight() {
+        let mut t = CausalityTracker::new();
+        for run in 0..3 {
+            let pid = ProcessId::new(run);
+            t.open(pid, FileId::new(1), OpenMode::Read, ts(1));
+            t.open(pid, FileId::new(2), OpenMode::Write, ts(2));
+            t.end_process(pid);
+        }
+        assert_eq!(t.drain_edges(), vec![(FileId::new(1), FileId::new(2), 3)]);
+    }
+
+    #[test]
+    fn fan_in_from_all_earlier_accesses() {
+        let mut t = CausalityTracker::new();
+        let pid = ProcessId::new(1);
+        for i in 0..4 {
+            t.open(pid, FileId::new(i), OpenMode::Read, ts(i));
+        }
+        t.open(pid, FileId::new(100), OpenMode::Write, ts(10));
+        let edges = t.drain_edges();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.iter().all(|&(_, d, w)| d == FileId::new(100) && w == 1));
+    }
+
+    #[test]
+    fn duplicate_opens_do_not_double_count_producers() {
+        let mut t = CausalityTracker::new();
+        let pid = ProcessId::new(1);
+        t.open(pid, FileId::new(1), OpenMode::Read, ts(1));
+        t.open(pid, FileId::new(1), OpenMode::Read, ts(2));
+        t.open(pid, FileId::new(2), OpenMode::Write, ts(3));
+        // f1 appears once in the producer set even though it was opened twice.
+        assert_eq!(t.drain_edges(), vec![(FileId::new(1), FileId::new(2), 1)]);
+    }
+
+    #[test]
+    fn chained_writes_build_transitive_edges() {
+        // Figure 4 shape: i0 read, o0 written, then o1 written.
+        let mut t = CausalityTracker::new();
+        let pid = ProcessId::new(1);
+        let (i0, o0, o1) = (FileId::new(1), FileId::new(2), FileId::new(3));
+        t.open(pid, i0, OpenMode::Read, ts(1));
+        t.open(pid, o0, OpenMode::Write, ts(2));
+        t.open(pid, o1, OpenMode::Write, ts(3));
+        let edges = t.drain_edges();
+        assert_eq!(edges, vec![(i0, o0, 1), (i0, o1, 1), (o0, o1, 1)]);
+    }
+
+    #[test]
+    fn end_process_clears_live_state_but_keeps_edges() {
+        let mut t = CausalityTracker::new();
+        let pid = ProcessId::new(1);
+        t.open(pid, FileId::new(1), OpenMode::Read, ts(1));
+        t.open(pid, FileId::new(2), OpenMode::Write, ts(2));
+        t.end_process(pid);
+        assert!(t.accessed_by(pid).is_empty());
+        assert_eq!(t.edge_count(), 1);
+        // A new process with the same pid starts fresh.
+        t.open(pid, FileId::new(9), OpenMode::Write, ts(3));
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    fn drain_empties_and_sorts() {
+        let mut t = CausalityTracker::new();
+        let pid = ProcessId::new(1);
+        t.open(pid, FileId::new(5), OpenMode::Read, ts(1));
+        t.open(pid, FileId::new(1), OpenMode::Read, ts(2));
+        t.open(pid, FileId::new(9), OpenMode::Write, ts(3));
+        let edges = t.drain_edges();
+        let mut sorted = edges.clone();
+        sorted.sort();
+        assert_eq!(edges, sorted);
+        assert_eq!(t.edge_count(), 0);
+        assert_eq!(t.total_weight(), 0);
+    }
+
+    #[test]
+    fn create_counts_as_write_open() {
+        let mut t = CausalityTracker::new();
+        let pid = ProcessId::new(1);
+        t.open(pid, FileId::new(1), OpenMode::Read, ts(1));
+        t.observe(TraceEvent::new(pid, FileId::new(2), FileOp::Create, ts(2)));
+        assert_eq!(t.drain_edges(), vec![(FileId::new(1), FileId::new(2), 1)]);
+    }
+}

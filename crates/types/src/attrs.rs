@@ -1,0 +1,311 @@
+//! Inode attributes and attribute naming.
+//!
+//! Propeller indexes inode metadata (size, mtime, uid, …) out of the box and
+//! arbitrary user-defined attributes beyond that (paper §IV). [`InodeAttrs`]
+//! is the standard metadata record; [`AttrName`] names any indexable
+//! attribute, builtin or custom.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Timestamp, Value};
+
+/// Names an indexable attribute: one of the builtin inode fields or a
+/// user-defined custom attribute.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_types::AttrName;
+///
+/// assert_eq!(AttrName::Size.to_string(), "size");
+/// assert_eq!(AttrName::parse("mtime"), AttrName::Mtime);
+/// assert_eq!(
+///     AttrName::parse("protein_energy"),
+///     AttrName::custom("protein_energy")
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AttrName {
+    /// File size in bytes.
+    Size,
+    /// Last modification time.
+    Mtime,
+    /// Inode change time.
+    Ctime,
+    /// Owning user id.
+    Uid,
+    /// Owning group id.
+    Gid,
+    /// Permission bits.
+    Mode,
+    /// Link count.
+    Nlink,
+    /// A keyword extracted from the file path or content.
+    Keyword,
+    /// A user-defined attribute (paper: e.g. protein structure energies).
+    Custom(String),
+}
+
+impl AttrName {
+    /// Creates a custom attribute name.
+    pub fn custom(name: impl Into<String>) -> Self {
+        AttrName::Custom(name.into())
+    }
+
+    /// Parses an attribute name, mapping builtin names to their variants and
+    /// anything else to [`AttrName::Custom`].
+    pub fn parse(s: &str) -> Self {
+        match s {
+            "size" => AttrName::Size,
+            "mtime" => AttrName::Mtime,
+            "ctime" => AttrName::Ctime,
+            "uid" => AttrName::Uid,
+            "gid" => AttrName::Gid,
+            "mode" => AttrName::Mode,
+            "nlink" => AttrName::Nlink,
+            "keyword" => AttrName::Keyword,
+            other => AttrName::Custom(other.to_owned()),
+        }
+    }
+
+    /// Returns `true` for builtin inode attributes (everything except
+    /// [`AttrName::Custom`] and [`AttrName::Keyword`]).
+    pub fn is_inode_attr(&self) -> bool {
+        !matches!(self, AttrName::Custom(_) | AttrName::Keyword)
+    }
+}
+
+impl fmt::Display for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrName::Size => f.write_str("size"),
+            AttrName::Mtime => f.write_str("mtime"),
+            AttrName::Ctime => f.write_str("ctime"),
+            AttrName::Uid => f.write_str("uid"),
+            AttrName::Gid => f.write_str("gid"),
+            AttrName::Mode => f.write_str("mode"),
+            AttrName::Nlink => f.write_str("nlink"),
+            AttrName::Keyword => f.write_str("keyword"),
+            AttrName::Custom(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<&str> for AttrName {
+    fn from(s: &str) -> Self {
+        AttrName::parse(s)
+    }
+}
+
+/// Standard inode metadata for a file.
+///
+/// Constructed with [`InodeAttrs::builder`]; all fields default to zero /
+/// epoch, matching a freshly created empty file.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_types::{InodeAttrs, Timestamp};
+///
+/// let attrs = InodeAttrs::builder()
+///     .size(4096)
+///     .mtime(Timestamp::from_secs(1000))
+///     .uid(501)
+///     .build();
+/// assert_eq!(attrs.size, 4096);
+/// assert_eq!(attrs.nlink, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InodeAttrs {
+    /// File size in bytes.
+    pub size: u64,
+    /// Last modification time.
+    pub mtime: Timestamp,
+    /// Inode change time.
+    pub ctime: Timestamp,
+    /// Owning user id.
+    pub uid: u32,
+    /// Owning group id.
+    pub gid: u32,
+    /// Permission bits (POSIX style, e.g. `0o644`).
+    pub mode: u32,
+    /// Hard link count.
+    pub nlink: u32,
+}
+
+impl Default for InodeAttrs {
+    fn default() -> Self {
+        InodeAttrs {
+            size: 0,
+            mtime: Timestamp::EPOCH,
+            ctime: Timestamp::EPOCH,
+            uid: 0,
+            gid: 0,
+            mode: 0o644,
+            nlink: 1,
+        }
+    }
+}
+
+impl InodeAttrs {
+    /// Starts building an attribute record.
+    pub fn builder() -> InodeAttrsBuilder {
+        InodeAttrsBuilder::default()
+    }
+
+    /// Looks up a builtin attribute by name, returning `None` for
+    /// [`AttrName::Keyword`] and [`AttrName::Custom`] which are not stored
+    /// in the inode record.
+    pub fn get(&self, name: &AttrName) -> Option<Value> {
+        match name {
+            AttrName::Size => Some(Value::U64(self.size)),
+            AttrName::Mtime => Some(Value::U64(self.mtime.as_micros())),
+            AttrName::Ctime => Some(Value::U64(self.ctime.as_micros())),
+            AttrName::Uid => Some(Value::U64(self.uid as u64)),
+            AttrName::Gid => Some(Value::U64(self.gid as u64)),
+            AttrName::Mode => Some(Value::U64(self.mode as u64)),
+            AttrName::Nlink => Some(Value::U64(self.nlink as u64)),
+            AttrName::Keyword | AttrName::Custom(_) => None,
+        }
+    }
+
+    /// Enumerates the `(name, value)` pairs of all builtin attributes, in a
+    /// fixed order. This is the record shape fed to per-ACG indices.
+    pub fn entries(&self) -> Vec<(AttrName, Value)> {
+        vec![
+            (AttrName::Size, Value::U64(self.size)),
+            (AttrName::Mtime, Value::U64(self.mtime.as_micros())),
+            (AttrName::Ctime, Value::U64(self.ctime.as_micros())),
+            (AttrName::Uid, Value::U64(self.uid as u64)),
+            (AttrName::Gid, Value::U64(self.gid as u64)),
+            (AttrName::Mode, Value::U64(self.mode as u64)),
+            (AttrName::Nlink, Value::U64(self.nlink as u64)),
+        ]
+    }
+}
+
+/// Builder for [`InodeAttrs`] (C-BUILDER, non-consuming).
+#[derive(Debug, Clone, Default)]
+pub struct InodeAttrsBuilder {
+    attrs: InodeAttrs,
+}
+
+impl InodeAttrsBuilder {
+    /// Sets the file size in bytes.
+    pub fn size(&mut self, size: u64) -> &mut Self {
+        self.attrs.size = size;
+        self
+    }
+
+    /// Sets the modification time.
+    pub fn mtime(&mut self, mtime: Timestamp) -> &mut Self {
+        self.attrs.mtime = mtime;
+        self
+    }
+
+    /// Sets the inode change time.
+    pub fn ctime(&mut self, ctime: Timestamp) -> &mut Self {
+        self.attrs.ctime = ctime;
+        self
+    }
+
+    /// Sets the owning user id.
+    pub fn uid(&mut self, uid: u32) -> &mut Self {
+        self.attrs.uid = uid;
+        self
+    }
+
+    /// Sets the owning group id.
+    pub fn gid(&mut self, gid: u32) -> &mut Self {
+        self.attrs.gid = gid;
+        self
+    }
+
+    /// Sets the permission bits.
+    pub fn mode(&mut self, mode: u32) -> &mut Self {
+        self.attrs.mode = mode;
+        self
+    }
+
+    /// Sets the hard-link count.
+    pub fn nlink(&mut self, nlink: u32) -> &mut Self {
+        self.attrs.nlink = nlink;
+        self
+    }
+
+    /// Finishes the builder, producing the attribute record.
+    pub fn build(&self) -> InodeAttrs {
+        self.attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let a = InodeAttrs::builder()
+            .size(10)
+            .uid(1)
+            .gid(2)
+            .mode(0o755)
+            .nlink(3)
+            .mtime(Timestamp::from_secs(9))
+            .ctime(Timestamp::from_secs(8))
+            .build();
+        assert_eq!(a.size, 10);
+        assert_eq!(a.uid, 1);
+        assert_eq!(a.gid, 2);
+        assert_eq!(a.mode, 0o755);
+        assert_eq!(a.nlink, 3);
+        assert_eq!(a.mtime, Timestamp::from_secs(9));
+        assert_eq!(a.ctime, Timestamp::from_secs(8));
+    }
+
+    #[test]
+    fn get_matches_entries() {
+        let a = InodeAttrs::builder().size(123).uid(7).build();
+        for (name, value) in a.entries() {
+            assert_eq!(a.get(&name), Some(value));
+        }
+        assert_eq!(a.get(&AttrName::Keyword), None);
+        assert_eq!(a.get(&AttrName::custom("x")), None);
+    }
+
+    #[test]
+    fn parse_builtins_and_custom() {
+        assert_eq!(AttrName::parse("size"), AttrName::Size);
+        assert_eq!(AttrName::parse("uid"), AttrName::Uid);
+        assert_eq!(AttrName::parse("weird"), AttrName::custom("weird"));
+        assert!(AttrName::Size.is_inode_attr());
+        assert!(!AttrName::Keyword.is_inode_attr());
+        assert!(!AttrName::custom("x").is_inode_attr());
+    }
+
+    #[test]
+    fn display_round_trips_builtins() {
+        for name in [
+            AttrName::Size,
+            AttrName::Mtime,
+            AttrName::Ctime,
+            AttrName::Uid,
+            AttrName::Gid,
+            AttrName::Mode,
+            AttrName::Nlink,
+            AttrName::Keyword,
+        ] {
+            assert_eq!(AttrName::parse(&name.to_string()), name);
+        }
+    }
+
+    #[test]
+    fn default_is_empty_file() {
+        let a = InodeAttrs::default();
+        assert_eq!(a.size, 0);
+        assert_eq!(a.nlink, 1);
+        assert_eq!(a.mode, 0o644);
+    }
+}

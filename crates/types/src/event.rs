@@ -1,0 +1,142 @@
+//! File-access trace events.
+//!
+//! Propeller's client transparently captures every file `open` and `close`
+//! (plus the read/write mode) from the FUSE layer (paper §IV "Client"). In
+//! this reproduction the capture layer is driven explicitly by applications
+//! and workload generators, emitting the same [`TraceEvent`] stream the FUSE
+//! interposer would produce.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{FileId, ProcessId, Timestamp};
+
+/// How a file was opened.
+///
+/// The access-causality rule distinguishes *producers* (opened for read or
+/// read-write earlier) from *consumers* (opened for write later), so the
+/// mode must travel with the open event.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_types::OpenMode;
+/// assert!(OpenMode::ReadWrite.reads());
+/// assert!(OpenMode::ReadWrite.writes());
+/// assert!(!OpenMode::Read.writes());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpenMode {
+    /// Opened read-only.
+    Read,
+    /// Opened write-only.
+    Write,
+    /// Opened read-write.
+    ReadWrite,
+}
+
+impl OpenMode {
+    /// Returns `true` when the open can observe file content.
+    #[inline]
+    pub fn reads(self) -> bool {
+        matches!(self, OpenMode::Read | OpenMode::ReadWrite)
+    }
+
+    /// Returns `true` when the open can modify file content.
+    #[inline]
+    pub fn writes(self) -> bool {
+        matches!(self, OpenMode::Write | OpenMode::ReadWrite)
+    }
+}
+
+/// A single captured file-system operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileOp {
+    /// The file was opened with the given mode.
+    Open(OpenMode),
+    /// The file was closed.
+    Close,
+    /// The file was created (implies a subsequent write-open by the caller).
+    Create,
+    /// The file was deleted.
+    Delete,
+}
+
+/// One record in a process's file-access trace.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_types::{FileId, FileOp, OpenMode, ProcessId, Timestamp, TraceEvent};
+///
+/// let ev = TraceEvent::new(
+///     ProcessId::new(100),
+///     FileId::new(7),
+///     FileOp::Open(OpenMode::Read),
+///     Timestamp::from_secs(1),
+/// );
+/// assert!(ev.is_open());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// The process performing the operation.
+    pub pid: ProcessId,
+    /// The file operated on.
+    pub file: FileId,
+    /// The operation.
+    pub op: FileOp,
+    /// When the operation happened.
+    pub time: Timestamp,
+}
+
+impl TraceEvent {
+    /// Creates a trace event.
+    pub fn new(pid: ProcessId, file: FileId, op: FileOp, time: Timestamp) -> Self {
+        TraceEvent { pid, file, op, time }
+    }
+
+    /// Convenience constructor for an open event.
+    pub fn open(pid: ProcessId, file: FileId, mode: OpenMode, time: Timestamp) -> Self {
+        TraceEvent::new(pid, file, FileOp::Open(mode), time)
+    }
+
+    /// Convenience constructor for a close event.
+    pub fn close(pid: ProcessId, file: FileId, time: Timestamp) -> Self {
+        TraceEvent::new(pid, file, FileOp::Close, time)
+    }
+
+    /// Returns `true` if this is an open event.
+    pub fn is_open(&self) -> bool {
+        matches!(self.op, FileOp::Open(_))
+    }
+
+    /// Returns the open mode if this is an open event.
+    pub fn open_mode(&self) -> Option<OpenMode> {
+        match self.op {
+            FileOp::Open(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_mode_predicates() {
+        assert!(OpenMode::Read.reads() && !OpenMode::Read.writes());
+        assert!(!OpenMode::Write.reads() && OpenMode::Write.writes());
+        assert!(OpenMode::ReadWrite.reads() && OpenMode::ReadWrite.writes());
+    }
+
+    #[test]
+    fn constructors() {
+        let t = Timestamp::from_secs(5);
+        let o = TraceEvent::open(ProcessId::new(1), FileId::new(2), OpenMode::Write, t);
+        assert!(o.is_open());
+        assert_eq!(o.open_mode(), Some(OpenMode::Write));
+        let c = TraceEvent::close(ProcessId::new(1), FileId::new(2), t);
+        assert!(!c.is_open());
+        assert_eq!(c.open_mode(), None);
+    }
+}

@@ -1,0 +1,184 @@
+//! Strongly-typed identifiers.
+//!
+//! Each identifier is a newtype over an integer so that a [`FileId`] can
+//! never be confused with an [`AcgId`] or a [`NodeId`] at compile time
+//! (C-NEWTYPE). All identifiers are `Copy`, ordered, hashable and
+//! serialisable.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name($inner);
+
+        impl $name {
+            /// Creates an identifier from its raw integer representation.
+            #[inline]
+            pub const fn new(raw: $inner) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer representation.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(raw: $inner) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for $inner {
+            #[inline]
+            fn from(id: $name) -> Self {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a file (an inode) in the shared storage namespace.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use propeller_types::FileId;
+    /// let id = FileId::new(7);
+    /// assert_eq!(id.raw(), 7);
+    /// assert_eq!(id.to_string(), "f7");
+    /// ```
+    FileId,
+    u64,
+    "f"
+);
+
+id_type!(
+    /// Identifies an Access-Causality Graph partition (an index group).
+    ///
+    /// Every file indexed by Propeller belongs to exactly one ACG; the
+    /// Master Node owns the `FileId -> AcgId` mapping.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use propeller_types::AcgId;
+    /// assert_eq!(AcgId::new(3).to_string(), "acg3");
+    /// ```
+    AcgId,
+    u64,
+    "acg"
+);
+
+id_type!(
+    /// Identifies a node (Master Node or Index Node) in a Propeller cluster.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use propeller_types::NodeId;
+    /// assert_eq!(NodeId::new(1).to_string(), "n1");
+    /// ```
+    NodeId,
+    u32,
+    "n"
+);
+
+id_type!(
+    /// Identifies a client process whose file accesses are being traced.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use propeller_types::ProcessId;
+    /// assert_eq!(ProcessId::new(4242).to_string(), "p4242");
+    /// ```
+    ProcessId,
+    u32,
+    "p"
+);
+
+id_type!(
+    /// Correlates an RPC request with its response in the cluster fabric.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use propeller_types::RequestId;
+    /// assert_eq!(RequestId::new(9).to_string(), "req9");
+    /// ```
+    RequestId,
+    u64,
+    "req"
+);
+
+id_type!(
+    /// Identifies a user-defined index within an ACG index group.
+    ///
+    /// Users create named indices (paper §IV "Workflow"); the Index Node
+    /// maps the globally unique name to an `IndexId` within each ACG.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use propeller_types::IndexId;
+    /// assert_eq!(IndexId::new(2).to_string(), "idx2");
+    /// ```
+    IndexId,
+    u32,
+    "idx"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip() {
+        assert_eq!(FileId::new(123).raw(), 123);
+        assert_eq!(AcgId::from(5u64).raw(), 5);
+        let n: u32 = NodeId::new(9).into();
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn display_prefixes_disambiguate() {
+        assert_eq!(FileId::new(1).to_string(), "f1");
+        assert_eq!(AcgId::new(1).to_string(), "acg1");
+        assert_eq!(NodeId::new(1).to_string(), "n1");
+        assert_eq!(ProcessId::new(1).to_string(), "p1");
+        assert_eq!(RequestId::new(1).to_string(), "req1");
+        assert_eq!(IndexId::new(1).to_string(), "idx1");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(FileId::new(1) < FileId::new(2));
+        let mut v = vec![FileId::new(3), FileId::new(1), FileId::new(2)];
+        v.sort();
+        assert_eq!(v, vec![FileId::new(1), FileId::new(2), FileId::new(3)]);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(FileId::default().raw(), 0);
+        assert_eq!(NodeId::default().raw(), 0);
+    }
+}

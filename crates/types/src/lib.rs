@@ -1,0 +1,45 @@
+//! Core vocabulary types shared by every Propeller crate.
+//!
+//! This crate defines the identifiers ([`FileId`], [`AcgId`], [`NodeId`],
+//! [`ProcessId`]), timestamps ([`Timestamp`]), file attributes
+//! ([`InodeAttrs`]), typed attribute values ([`Value`]), file-access trace
+//! events ([`TraceEvent`]) and the shared error type ([`Error`]) used across
+//! the reproduction of *Propeller: A Scalable Real-Time File-Search Service
+//! in Distributed Systems* (ICDCS 2014).
+//!
+//! Everything here is deliberately small, `serde`-serialisable and free of
+//! behaviour so that the substrates built on top (trace capture, ACG
+//! construction, index structures, the cluster) agree on one vocabulary.
+//!
+//! # Examples
+//!
+//! ```
+//! use propeller_types::{FileId, InodeAttrs, Timestamp, Value};
+//!
+//! let file = FileId::new(42);
+//! let attrs = InodeAttrs::builder()
+//!     .size(16 << 20)
+//!     .mtime(Timestamp::from_secs(1_700_000_000))
+//!     .uid(1000)
+//!     .build();
+//! assert_eq!(attrs.size, 16 << 20);
+//! assert_eq!(Value::from(attrs.size), Value::U64(16 << 20));
+//! assert_eq!(file.to_string(), "f42");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attrs;
+mod error;
+mod event;
+mod ids;
+mod time;
+mod value;
+
+pub use attrs::{AttrName, InodeAttrs, InodeAttrsBuilder};
+pub use error::{Error, Result};
+pub use event::{FileOp, OpenMode, TraceEvent};
+pub use ids::{AcgId, FileId, IndexId, NodeId, ProcessId, RequestId};
+pub use time::{Duration, Timestamp};
+pub use value::{Value, ValueKind};

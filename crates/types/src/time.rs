@@ -1,0 +1,331 @@
+//! Virtual time.
+//!
+//! Propeller experiments run either against the wall clock (*measured* mode)
+//! or against a virtual clock (*modeled* mode, used to reproduce the paper's
+//! 50-million-file figures on a laptop). Both modes speak [`Timestamp`] and
+//! [`Duration`]: microsecond-resolution fixed-point values that are cheap to
+//! copy, totally ordered and serialisable.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of (virtual or real) time with microsecond resolution.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_types::Duration;
+///
+/// let d = Duration::from_millis(1500);
+/// assert_eq!(d.as_secs_f64(), 1.5);
+/// assert_eq!(d * 2, Duration::from_secs(3));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from whole microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        Duration(micros)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        Duration(millis * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, saturating at zero for
+    /// negative or non-finite input.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_finite() && secs > 0.0 {
+            Duration((secs * 1e6).round() as u64)
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Total microseconds in this duration.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Total milliseconds, truncated.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns `true` when this duration is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Converts to a [`std::time::Duration`] for interoperability with the
+    /// standard library (sleeps, timeouts).
+    #[inline]
+    pub const fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.0)
+    }
+
+    /// Creates a duration from a [`std::time::Duration`], truncating to
+    /// microsecond resolution.
+    #[inline]
+    pub fn from_std(d: std::time::Duration) -> Self {
+        Duration(d.as_micros() as u64)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: f64) -> Duration {
+        Duration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl std::iter::Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+/// A point in (virtual or real) time, microseconds since an arbitrary epoch.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_types::{Duration, Timestamp};
+///
+/// let t0 = Timestamp::from_secs(100);
+/// let t1 = t0 + Duration::from_millis(500);
+/// assert!(t1 > t0);
+/// assert_eq!(t1 - t0, Duration::from_millis(500));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The epoch (time zero).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from microseconds since the epoch.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        Timestamp(micros)
+    }
+
+    /// Creates a timestamp from seconds since the epoch.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * 1_000_000)
+    }
+
+    /// Microseconds since the epoch.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since the epoch.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration::from_micros(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.as_micros())
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_micros();
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.as_micros())
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration::from_micros(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{:.6}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(Duration::from_secs(2), Duration::from_millis(2_000));
+        assert_eq!(Duration::from_millis(3), Duration::from_micros(3_000));
+        assert_eq!(Duration::from_secs_f64(0.25), Duration::from_micros(250_000));
+    }
+
+    #[test]
+    fn duration_from_secs_f64_saturates() {
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::NAN), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(f64::NEG_INFINITY), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::from_millis(100);
+        assert_eq!(d + d, Duration::from_millis(200));
+        assert_eq!(d * 3, Duration::from_millis(300));
+        assert_eq!(Duration::from_secs(1) / 4, Duration::from_millis(250));
+        assert_eq!(d.saturating_sub(Duration::from_secs(1)), Duration::ZERO);
+        assert_eq!(d * 2.5, Duration::from_millis(250));
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_secs(10);
+        let later = t + Duration::from_millis(1);
+        assert_eq!(later - t, Duration::from_millis(1));
+        assert_eq!(t.since(later), Duration::ZERO);
+        assert_eq!(later.since(t), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(Duration::from_micros(5).to_string(), "5us");
+        assert_eq!(Duration::from_micros(1500).to_string(), "1.500ms");
+        assert_eq!(Duration::from_millis(2500).to_string(), "2.500s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = (1..=4).map(Duration::from_secs).sum();
+        assert_eq!(total, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn std_round_trip() {
+        let d = Duration::from_millis(1234);
+        assert_eq!(Duration::from_std(d.to_std()), d);
+    }
+}

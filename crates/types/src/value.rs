@@ -1,0 +1,302 @@
+//! Typed attribute values used as index keys and query operands.
+//!
+//! Propeller is a *general-purpose* file-search service: beyond inode
+//! metadata it indexes arbitrary user-defined attributes (paper §IV). All
+//! such attributes are represented by [`Value`], a small sum type with a
+//! total order so it can serve as a key in the B+-tree, hash and K-D-tree
+//! indices.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind (type tag) of a [`Value`].
+///
+/// # Examples
+///
+/// ```
+/// use propeller_types::{Value, ValueKind};
+/// assert_eq!(Value::U64(3).kind(), ValueKind::U64);
+/// assert_eq!(Value::from("abc").kind(), ValueKind::Str);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// Unsigned 64-bit integer (sizes, counts, uids).
+    U64,
+    /// Signed 64-bit integer (deltas, offsets).
+    I64,
+    /// 64-bit float, compared by total order.
+    F64,
+    /// UTF-8 string (keywords, names).
+    Str,
+}
+
+/// A typed attribute value with a total order.
+///
+/// Values of different kinds are ordered by their [`ValueKind`] first; this
+/// keeps mixed-kind B+-tree keys well-defined (the query planner normally
+/// prevents mixed-kind comparisons, but index integrity must not depend on
+/// that).
+///
+/// Floats are compared with [`f64::total_cmp`], so `Value` is `Eq`/`Ord`
+/// even though `f64` itself is not. `NaN` sorts above every other float.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_types::Value;
+///
+/// let a = Value::U64(10);
+/// let b = Value::U64(32);
+/// assert!(a < b);
+/// assert_eq!(Value::from("kernel"), Value::Str("kernel".to_owned()));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Unsigned 64-bit integer.
+    U64(u64),
+    /// Signed 64-bit integer.
+    I64(i64),
+    /// 64-bit float (totally ordered).
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the kind tag of this value.
+    #[inline]
+    pub fn kind(&self) -> ValueKind {
+        match self {
+            Value::U64(_) => ValueKind::U64,
+            Value::I64(_) => ValueKind::I64,
+            Value::F64(_) => ValueKind::F64,
+            Value::Str(_) => ValueKind::Str,
+        }
+    }
+
+    /// Returns the value as `u64` if it is a `U64`.
+    #[inline]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an `I64`.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is an `F64`.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `&str` if it is a `Str`.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A numeric projection used by the K-D tree when mapping values onto
+    /// spatial axes. Strings hash onto the axis; integers and floats map
+    /// directly.
+    pub fn axis_projection(&self) -> f64 {
+        match self {
+            Value::U64(v) => *v as f64,
+            Value::I64(v) => *v as f64,
+            Value::F64(v) => *v,
+            Value::Str(s) => {
+                use std::hash::{Hash, Hasher};
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                s.hash(&mut h);
+                (h.finish() >> 11) as f64
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (U64(a), U64(b)) => a.cmp(b),
+            (I64(a), I64(b)) => a.cmp(b),
+            (F64(a), F64(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => self.kind().cmp(&other.kind()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.kind().hash(state);
+        match self {
+            Value::U64(v) => v.hash(state),
+            Value::I64(v) => v.hash(state),
+            Value::F64(v) => v.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    #[inline]
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    #[inline]
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    #[inline]
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    #[inline]
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    #[inline]
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    #[inline]
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<crate::Timestamp> for Value {
+    #[inline]
+    fn from(t: crate::Timestamp) -> Self {
+        Value::U64(t.as_micros())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_kind_ordering() {
+        assert!(Value::U64(1) < Value::U64(2));
+        assert!(Value::I64(-5) < Value::I64(5));
+        assert!(Value::F64(1.5) < Value::F64(2.5));
+        assert!(Value::from("a") < Value::from("b"));
+    }
+
+    #[test]
+    fn cross_kind_ordering_is_total_and_consistent() {
+        let vals = vec![
+            Value::U64(9),
+            Value::I64(-1),
+            Value::F64(0.5),
+            Value::from("z"),
+        ];
+        let mut sorted = vals.clone();
+        sorted.sort();
+        // U64 < I64 < F64 < Str by kind discriminant.
+        assert_eq!(sorted[0].kind(), ValueKind::U64);
+        assert_eq!(sorted[3].kind(), ValueKind::Str);
+    }
+
+    #[test]
+    fn nan_is_ordered() {
+        let nan = Value::F64(f64::NAN);
+        let one = Value::F64(1.0);
+        // total_cmp puts NaN above all ordinary values.
+        assert!(nan > one);
+        assert_eq!(nan, Value::F64(f64::NAN));
+    }
+
+    #[test]
+    fn hash_agrees_with_eq_for_floats() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::F64(2.0));
+        assert!(set.contains(&Value::F64(2.0)));
+        assert!(!set.contains(&Value::F64(3.0)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::U64(3).as_u64(), Some(3));
+        assert_eq!(Value::U64(3).as_i64(), None);
+        assert_eq!(Value::I64(-3).as_i64(), Some(-3));
+        assert_eq!(Value::F64(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn axis_projection_monotone_for_numbers() {
+        assert!(Value::U64(5).axis_projection() < Value::U64(6).axis_projection());
+        assert!(Value::I64(-2).axis_projection() < Value::I64(3).axis_projection());
+        // String projection is deterministic.
+        assert_eq!(
+            Value::from("x").axis_projection(),
+            Value::from("x").axis_projection()
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::U64(7).to_string(), "7");
+        assert_eq!(Value::from("key").to_string(), "\"key\"");
+    }
+}

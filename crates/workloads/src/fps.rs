@@ -1,0 +1,91 @@
+//! The background file-copy process (Figures 1 and 11).
+
+use propeller_types::{Duration, InodeAttrs, Timestamp};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Generates file-copy events at a fixed files-per-second intensity: the
+/// paper's background I/O load ("we spawn a background process to copy
+/// files at various speeds").
+///
+/// Iterate to receive `(time, path, attrs)` creation events.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_types::Timestamp;
+/// use propeller_workloads::FpsCopier;
+///
+/// let copier = FpsCopier::new(5, Timestamp::from_secs(0), 7);
+/// let events: Vec<_> = copier.take_for_secs(10).collect();
+/// assert_eq!(events.len(), 50); // 5 files/s for 10 s
+/// assert!(events.windows(2).all(|w| w[0].0 <= w[1].0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FpsCopier {
+    fps: u64,
+    start: Timestamp,
+    seed: u64,
+}
+
+impl FpsCopier {
+    /// A copier creating `fps` files per second starting at `start`.
+    pub fn new(fps: u64, start: Timestamp, seed: u64) -> Self {
+        FpsCopier { fps, start, seed }
+    }
+
+    /// The configured intensity.
+    pub fn fps(&self) -> u64 {
+        self.fps
+    }
+
+    /// Yields events for `secs` seconds of copying.
+    pub fn take_for_secs(
+        &self,
+        secs: u64,
+    ) -> impl Iterator<Item = (Timestamp, String, InodeAttrs)> + use<> {
+        let fps = self.fps;
+        let start = self.start;
+        let seed = self.seed;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let total = fps * secs;
+        let gap = if fps == 0 { Duration::ZERO } else { Duration::from_secs(1) / fps };
+        (0..total).map(move |i| {
+            let t = start + gap * i;
+            let path = format!("/copied/{seed}/f{i}");
+            let size = rng.gen_range(1u64 << 10..4u64 << 20);
+            let attrs = InodeAttrs::builder().size(size).mtime(t).ctime(t).build();
+            (t, path, attrs)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fps_yields_nothing() {
+        let copier = FpsCopier::new(0, Timestamp::EPOCH, 1);
+        assert_eq!(copier.take_for_secs(100).count(), 0);
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        let copier = FpsCopier::new(10, Timestamp::from_secs(5), 1);
+        let events: Vec<_> = copier.take_for_secs(3).collect();
+        assert_eq!(events.len(), 30);
+        // First event at t=5s, last strictly before t=8s.
+        assert_eq!(events[0].0, Timestamp::from_secs(5));
+        assert!(events.last().unwrap().0 < Timestamp::from_secs(8));
+    }
+
+    #[test]
+    fn paths_are_unique_and_deterministic() {
+        let a: Vec<_> = FpsCopier::new(7, Timestamp::EPOCH, 3).take_for_secs(5).collect();
+        let b: Vec<_> = FpsCopier::new(7, Timestamp::EPOCH, 3).take_for_secs(5).collect();
+        assert_eq!(a, b);
+        let paths: std::collections::HashSet<&str> =
+            a.iter().map(|(_, p, _)| p.as_str()).collect();
+        assert_eq!(paths.len(), a.len());
+    }
+}

@@ -1,0 +1,161 @@
+//! The mixed update/search workload (Figure 10).
+
+use propeller_types::FileId;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One operation of the mixed stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixedOp {
+    /// Update (re-index) this file.
+    Update(FileId),
+    /// Run the experiment's search query.
+    Search,
+    /// A background commit fires (the paper simulates the lazy-cache
+    /// "timeout" by committing every 500 updates).
+    BackgroundCommit,
+}
+
+/// Generator for the paper's §V-D stream: `updates` total updates against
+/// a fixed file group, one search every `search_every` updates, one
+/// background commit every `commit_every` updates (paper: 10 000 updates,
+/// search every 1 024, commit every 500).
+///
+/// # Examples
+///
+/// ```
+/// use propeller_workloads::{MixedOp, MixedWorkload};
+///
+/// let ops: Vec<MixedOp> = MixedWorkload::paper_default(1000).collect();
+/// let searches = ops.iter().filter(|o| matches!(o, MixedOp::Search)).count();
+/// assert_eq!(searches, 9, "one search per 1024 updates in 10_000");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixedWorkload {
+    /// Total updates to issue.
+    pub updates: u64,
+    /// Emit a search after this many updates.
+    pub search_every: u64,
+    /// Emit a background commit after this many updates.
+    pub commit_every: u64,
+    /// Files in the target group (updates pick uniformly).
+    pub group_files: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MixedWorkload {
+    /// The paper's exact parameters over a group of `group_files` files.
+    pub fn paper_default(group_files: u64) -> impl Iterator<Item = MixedOp> {
+        MixedWorkload {
+            updates: 10_000,
+            search_every: 1024,
+            commit_every: 500,
+            group_files,
+            seed: 0xF16,
+        }
+        .into_iter()
+    }
+}
+
+impl IntoIterator for MixedWorkload {
+    type Item = MixedOp;
+    type IntoIter = MixedIter;
+
+    fn into_iter(self) -> MixedIter {
+        MixedIter {
+            rng: StdRng::seed_from_u64(self.seed),
+            cfg: self,
+            issued: 0,
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+/// Iterator over a [`MixedWorkload`] stream.
+#[derive(Debug)]
+pub struct MixedIter {
+    cfg: MixedWorkload,
+    rng: StdRng,
+    issued: u64,
+    queue: std::collections::VecDeque<MixedOp>,
+}
+
+impl Iterator for MixedIter {
+    type Item = MixedOp;
+
+    fn next(&mut self) -> Option<MixedOp> {
+        if let Some(op) = self.queue.pop_front() {
+            return Some(op);
+        }
+        if self.issued >= self.cfg.updates {
+            return None;
+        }
+        self.issued += 1;
+        let file = FileId::new(self.rng.gen_range(0..self.cfg.group_files.max(1)));
+        // Interleave the periodic events *after* the update that crosses
+        // the boundary, matching the paper's description.
+        if self.issued % self.cfg.commit_every == 0 {
+            self.queue.push_back(MixedOp::BackgroundCommit);
+        }
+        if self.issued % self.cfg.search_every == 0 {
+            self.queue.push_back(MixedOp::Search);
+        }
+        Some(MixedOp::Update(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts() {
+        let ops: Vec<MixedOp> = MixedWorkload::paper_default(1000).collect();
+        let updates = ops.iter().filter(|o| matches!(o, MixedOp::Update(_))).count();
+        let searches = ops.iter().filter(|o| matches!(o, MixedOp::Search)).count();
+        let commits = ops
+            .iter()
+            .filter(|o| matches!(o, MixedOp::BackgroundCommit))
+            .count();
+        assert_eq!(updates, 10_000);
+        assert_eq!(searches, 10_000 / 1024);
+        assert_eq!(commits, 10_000 / 500);
+    }
+
+    #[test]
+    fn updates_stay_in_group() {
+        let wl = MixedWorkload {
+            updates: 500,
+            search_every: 100,
+            commit_every: 50,
+            group_files: 10,
+            seed: 1,
+        };
+        for op in wl {
+            if let MixedOp::Update(f) = op {
+                assert!(f.raw() < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || MixedWorkload::paper_default(100).collect::<Vec<_>>();
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn search_follows_boundary_update() {
+        let wl = MixedWorkload {
+            updates: 2048,
+            search_every: 1024,
+            commit_every: u64::MAX,
+            group_files: 5,
+            seed: 2,
+        };
+        let ops: Vec<MixedOp> = wl.into_iter().collect();
+        // Ops 0..1023 are updates, op at index 1024 is the first search.
+        assert!(matches!(ops[1023], MixedOp::Update(_)));
+        assert_eq!(ops[1024], MixedOp::Search);
+    }
+}

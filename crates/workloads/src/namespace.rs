@@ -1,0 +1,151 @@
+//! Synthetic namespace generation.
+
+use propeller_types::{InodeAttrs, Timestamp};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A synthetic namespace: `base_apps` application templates, each
+/// duplicated `scale` times (the paper: "we duplicate these samples with
+/// an appropriate scaling factor", §V-B), with heavy-tailed file sizes and
+/// modification times spread over `mtime_horizon_secs`.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_workloads::NamespaceSpec;
+///
+/// let rows = NamespaceSpec::with_files(10_000).generate(7);
+/// assert_eq!(rows.len(), 10_000);
+/// assert!(rows.iter().any(|(_, a)| a.size > 1 << 20), "heavy tail present");
+/// ```
+#[derive(Debug, Clone)]
+pub struct NamespaceSpec {
+    /// Total files to generate.
+    pub files: usize,
+    /// Distinct application templates to replicate.
+    pub base_apps: usize,
+    /// Median file size in bytes.
+    pub median_size: u64,
+    /// Log-normal sigma for the size distribution.
+    pub size_sigma: f64,
+    /// mtimes are uniform over `[now - horizon, now]`.
+    pub mtime_horizon_secs: u64,
+    /// The "now" that mtimes are relative to.
+    pub now: Timestamp,
+}
+
+impl NamespaceSpec {
+    /// A spec with default shape parameters and the given file count.
+    pub fn with_files(files: usize) -> Self {
+        NamespaceSpec {
+            files,
+            base_apps: 12,
+            median_size: 8 << 10, // 8 KiB median, heavy upper tail
+            size_sigma: 2.2,
+            mtime_horizon_secs: 90 * 86_400,
+            now: Timestamp::from_secs(100 * 86_400),
+        }
+    }
+
+    /// The paper's Dataset 1: a fresh macOS image (138 k files, Table V).
+    pub fn macos_image() -> Self {
+        NamespaceSpec::with_files(138_000)
+    }
+
+    /// The paper's Dataset 2: image + a laptop snapshot (487 k files).
+    pub fn laptop_dataset() -> Self {
+        NamespaceSpec::with_files(487_000)
+    }
+
+    /// The Fig. 11 import: an Ubuntu VM snapshot (89 k files).
+    pub fn ubuntu_snapshot() -> Self {
+        NamespaceSpec::with_files(89_000)
+    }
+
+    /// Generates `(path, attrs)` rows, deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Vec<(String, InodeAttrs)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(self.files);
+        let per_app = (self.files / self.base_apps.max(1)).max(1);
+        let mu = (self.median_size as f64).ln();
+        for i in 0..self.files {
+            let app = i / per_app;
+            let copy = (i % per_app) / 64; // 64 files per duplicated sample dir
+            let file = i % 64;
+            let path = format!("/apps/app{app}/copy{copy}/f{file}_{i}");
+            // Log-normal size via Box–Muller.
+            let (u1, u2): (f64, f64) = (rng.gen_range(1e-12..1.0), rng.gen());
+            let normal = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let size = (mu + self.size_sigma * normal).exp().min(1e13) as u64;
+            let age = rng.gen_range(0..self.mtime_horizon_secs.max(1));
+            let mtime = Timestamp::from_micros(
+                self.now
+                    .as_micros()
+                    .saturating_sub(age * 1_000_000),
+            );
+            let attrs = InodeAttrs::builder()
+                .size(size)
+                .mtime(mtime)
+                .ctime(mtime)
+                .uid(500 + (app % 4) as u32)
+                .build();
+            rows.push((path, attrs));
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_with_unique_paths() {
+        let rows = NamespaceSpec::with_files(5_000).generate(1);
+        assert_eq!(rows.len(), 5_000);
+        let paths: std::collections::HashSet<&str> =
+            rows.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths.len(), 5_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = NamespaceSpec::with_files(500).generate(9);
+        let b = NamespaceSpec::with_files(500).generate(9);
+        assert_eq!(a, b);
+        let c = NamespaceSpec::with_files(500).generate(10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn size_distribution_is_heavy_tailed() {
+        let rows = NamespaceSpec::with_files(20_000).generate(3);
+        let mut sizes: Vec<u64> = rows.iter().map(|(_, a)| a.size).collect();
+        sizes.sort_unstable();
+        let median = sizes[sizes.len() / 2];
+        let p99 = sizes[sizes.len() * 99 / 100];
+        assert!(median < 64 << 10, "median {median}");
+        assert!(p99 > median * 50, "p99 {p99} vs median {median}");
+        // Some files exceed 16 MiB — the Table IV/V query threshold.
+        assert!(sizes.last().copied().unwrap() > 16 << 20);
+    }
+
+    #[test]
+    fn mtimes_within_horizon() {
+        let spec = NamespaceSpec::with_files(1000);
+        let rows = spec.generate(5);
+        for (_, attrs) in rows {
+            assert!(attrs.mtime <= spec.now);
+            assert!(
+                spec.now.since(attrs.mtime).as_micros()
+                    <= spec.mtime_horizon_secs * 1_000_000
+            );
+        }
+    }
+
+    #[test]
+    fn presets_match_paper_counts() {
+        assert_eq!(NamespaceSpec::macos_image().files, 138_000);
+        assert_eq!(NamespaceSpec::laptop_dataset().files, 487_000);
+        assert_eq!(NamespaceSpec::ubuntu_snapshot().files, 89_000);
+    }
+}

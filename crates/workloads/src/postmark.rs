@@ -1,0 +1,212 @@
+//! PostMark (Katcher 1997), the paper's Table VI benchmark.
+//!
+//! The classic small-file workload: create an initial pool of files across
+//! subdirectories, run a transaction phase (each transaction pairs a
+//! create-or-delete with a read-or-append), then delete everything.
+//! Here it drives a [`FsModel`] cost profile, accruing virtual time, and
+//! reports the same figures the paper tabulates: files created per second,
+//! read/write throughput, and total elapsed time.
+
+use propeller_storage::{FsModel, FsOp};
+use propeller_types::Duration;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// PostMark configuration (paper: 50 000 files, 200 subdirectories).
+#[derive(Debug, Clone)]
+pub struct PostMarkConfig {
+    /// Initial file pool size.
+    pub files: usize,
+    /// Number of subdirectories.
+    pub subdirs: usize,
+    /// Transactions in the main phase.
+    pub transactions: usize,
+    /// File sizes uniform in `[min_size, max_size]`.
+    pub min_size: u64,
+    /// Upper size bound.
+    pub max_size: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PostMarkConfig {
+    fn default() -> Self {
+        PostMarkConfig {
+            files: 50_000,
+            subdirs: 200,
+            transactions: 20_000,
+            min_size: 512,
+            max_size: 16 << 10,
+            seed: 1997,
+        }
+    }
+}
+
+/// PostMark results, mirroring the paper's Table VI columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostMarkReport {
+    /// File system name.
+    pub fs: &'static str,
+    /// Files created per second (creation phase + transaction creates).
+    pub creates_per_sec: f64,
+    /// Read throughput, bytes/second of elapsed time.
+    pub read_bytes_per_sec: f64,
+    /// Write throughput, bytes/second of elapsed time.
+    pub write_bytes_per_sec: f64,
+    /// Total modeled elapsed time.
+    pub elapsed: Duration,
+    /// Total files created.
+    pub files_created: u64,
+}
+
+/// The PostMark benchmark runner.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_storage::{FsCostProfile, FsModel};
+/// use propeller_workloads::{PostMark, PostMarkConfig};
+///
+/// let config = PostMarkConfig { files: 500, transactions: 200, ..Default::default() };
+/// let report = PostMark::new(config).run(FsModel::new(FsCostProfile::ext4()));
+/// assert!(report.creates_per_sec > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PostMark {
+    config: PostMarkConfig,
+}
+
+impl PostMark {
+    /// A runner with the given configuration.
+    pub fn new(config: PostMarkConfig) -> Self {
+        PostMark { config }
+    }
+
+    /// Runs the three PostMark phases against one file-system model.
+    pub fn run(&self, mut fs: FsModel) -> PostMarkReport {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut elapsed = Duration::ZERO;
+        let mut files_created: u64 = 0;
+        let mut bytes_read: u64 = 0;
+        let mut bytes_written: u64 = 0;
+        // Live pool: file -> size. File identities are (subdir, index).
+        let mut pool: Vec<u64> = Vec::with_capacity(cfg.files);
+
+        let rand_size =
+            |rng: &mut StdRng| rng.gen_range(cfg.min_size..=cfg.max_size.max(cfg.min_size));
+
+        // Phase 1: create the initial pool (each create writes the file).
+        for _ in 0..cfg.files {
+            let size = rand_size(&mut rng);
+            elapsed += fs.cost(FsOp::Create, &mut rng);
+            elapsed += fs.cost(FsOp::Write(size), &mut rng);
+            bytes_written += size;
+            files_created += 1;
+            pool.push(size);
+        }
+
+        // Phase 2: transactions. Each transaction is one create-or-delete
+        // plus one read-or-append, 50/50, as in Katcher's default mix.
+        for _ in 0..cfg.transactions {
+            if rng.gen::<bool>() || pool.is_empty() {
+                let size = rand_size(&mut rng);
+                elapsed += fs.cost(FsOp::Create, &mut rng);
+                elapsed += fs.cost(FsOp::Write(size), &mut rng);
+                bytes_written += size;
+                files_created += 1;
+                pool.push(size);
+            } else {
+                let idx = rng.gen_range(0..pool.len());
+                pool.swap_remove(idx);
+                elapsed += fs.cost(FsOp::Delete, &mut rng);
+            }
+            if pool.is_empty() {
+                continue;
+            }
+            let idx = rng.gen_range(0..pool.len());
+            if rng.gen::<bool>() {
+                let size = pool[idx];
+                elapsed += fs.cost(FsOp::Open, &mut rng);
+                elapsed += fs.cost(FsOp::Read(size), &mut rng);
+                bytes_read += size;
+            } else {
+                let append = rand_size(&mut rng) / 4 + 1;
+                elapsed += fs.cost(FsOp::Open, &mut rng);
+                elapsed += fs.cost(FsOp::Write(append), &mut rng);
+                bytes_written += append;
+                pool[idx] += append;
+            }
+        }
+
+        // Phase 3: delete everything left.
+        for _ in 0..pool.len() {
+            elapsed += fs.cost(FsOp::Delete, &mut rng);
+        }
+        pool.clear();
+
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        PostMarkReport {
+            fs: fs.name(),
+            creates_per_sec: files_created as f64 / secs,
+            read_bytes_per_sec: bytes_read as f64 / secs,
+            write_bytes_per_sec: bytes_written as f64 / secs,
+            elapsed,
+            files_created,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_storage::FsCostProfile;
+
+    fn small() -> PostMarkConfig {
+        PostMarkConfig { files: 2_000, transactions: 1_000, ..Default::default() }
+    }
+
+    #[test]
+    fn table_six_ordering_holds() {
+        // Paper Table VI create-throughput order:
+        // Ext4 > PTFS > Btrfs > Propeller > NTFS-3g > ZFS-fuse.
+        let runner = PostMark::new(small());
+        let rate = |p: FsCostProfile| runner.run(FsModel::new(p)).creates_per_sec;
+        let ext4 = rate(FsCostProfile::ext4());
+        let btrfs = rate(FsCostProfile::btrfs());
+        let ptfs = rate(FsCostProfile::ptfs());
+        let ntfs = rate(FsCostProfile::ntfs_3g());
+        let zfs = rate(FsCostProfile::zfs_fuse());
+        let prop = rate(FsCostProfile::propeller_fuse());
+        assert!(ext4 > ptfs, "ext4 {ext4} vs ptfs {ptfs}");
+        assert!(ptfs > prop, "ptfs {ptfs} vs propeller {prop}");
+        assert!(prop > ntfs, "propeller {prop} vs ntfs {ntfs}");
+        assert!(ntfs > zfs, "ntfs {ntfs} vs zfs {zfs}");
+        assert!(btrfs > prop && btrfs < ext4, "btrfs {btrfs} in range");
+    }
+
+    #[test]
+    fn propeller_overhead_vs_ptfs_is_bounded() {
+        // The paper reports Propeller ≈ 2.37x slower than PTFS overall.
+        let runner = PostMark::new(small());
+        let ptfs = runner.run(FsModel::new(FsCostProfile::ptfs()));
+        let prop = runner.run(FsModel::new(FsCostProfile::propeller_fuse()));
+        let ratio = prop.elapsed.as_secs_f64() / ptfs.elapsed.as_secs_f64();
+        assert!((1.2..4.0).contains(&ratio), "overhead ratio {ratio}");
+    }
+
+    #[test]
+    fn throughput_fields_consistent() {
+        let report = PostMark::new(small()).run(FsModel::new(FsCostProfile::ext4()));
+        assert!(report.files_created >= 2_000);
+        assert!(report.read_bytes_per_sec > 0.0);
+        assert!(report.write_bytes_per_sec > 0.0);
+        assert!(!report.elapsed.is_zero());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PostMark::new(small()).run(FsModel::new(FsCostProfile::btrfs()));
+        let b = PostMark::new(small()).run(FsModel::new(FsCostProfile::btrfs()));
+        assert_eq!(a, b);
+    }
+}

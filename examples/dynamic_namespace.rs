@@ -1,0 +1,67 @@
+//! Real-time consistency under churn: Propeller vs a crawling engine on a
+//! live namespace (the scenario of the paper's Figures 1 and 11).
+//!
+//! A background "copier" keeps adding files while a foreground loop
+//! queries both systems. Propeller's recall never leaves 100%; the
+//! crawler's recall depends on how far its queue lags.
+//!
+//! Run with: `cargo run --release --example dynamic_namespace`
+
+use propeller::baselines::{recall, SpotlightConfig, SpotlightEngine};
+use propeller::types::{Error, FileId, InodeAttrs, Timestamp};
+use propeller::workloads::FpsCopier;
+use propeller::{FileRecord, Propeller, PropellerConfig};
+use propeller_query::Query;
+
+fn main() -> Result<(), Error> {
+    let mut service = Propeller::new(PropellerConfig::default());
+    let mut crawler = SpotlightEngine::new(SpotlightConfig {
+        supported_fraction: 1.0,
+        crawl_rate: 3.0,
+        reindex_backlog: usize::MAX,
+        ..Default::default()
+    });
+    let query = Query::parse("size>16m", Timestamp::EPOCH)?;
+
+    // Import a base snapshot into both systems.
+    let mut truth: Vec<FileId> = Vec::new();
+    for i in 0..10_000u64 {
+        let attrs = InodeAttrs::builder().size((i % 64) << 20).build();
+        let rec = FileRecord::new(FileId::new(i), attrs);
+        if attrs.size > 16 << 20 {
+            truth.push(rec.file);
+        }
+        service.index_file(rec.clone())?;
+        crawler.notify(rec, Timestamp::EPOCH);
+    }
+    let t0 = Timestamp::from_secs(10_000);
+    crawler.pump(t0); // crawler fully settles on the snapshot
+
+    // Live churn at 8 files/second for five virtual minutes.
+    println!("time   propeller-recall   crawler-recall   crawler-backlog");
+    let copier = FpsCopier::new(8, t0, 7);
+    let events: Vec<_> = copier.take_for_secs(300).collect();
+    let mut cursor = 0;
+    for sec in (0..=300u64).step_by(30) {
+        let now = t0 + propeller::types::Duration::from_secs(sec);
+        while cursor < events.len() && events[cursor].0 <= now {
+            let (t, _, mut attrs) = events[cursor].clone();
+            cursor += 1;
+            attrs.size = attrs.size.max(17 << 20);
+            let id = FileId::new(1_000_000 + cursor as u64);
+            truth.push(id);
+            service.index_file(FileRecord::new(id, attrs))?; // inline
+            crawler.notify(FileRecord::new(id, attrs), t); // async
+        }
+        let pp = service.search(&query.predicate)?;
+        let sl = crawler.query(&query.predicate, now);
+        println!(
+            "{sec:>4}s        {:>6.1}%          {:>6.1}%            {:>5}",
+            recall(&pp, &truth) * 100.0,
+            recall(&sl, &truth) * 100.0,
+            crawler.backlog(),
+        );
+    }
+    println!("\npropeller recall is 100% at every sample: updates are indexed inline");
+    Ok(())
+}

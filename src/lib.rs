@@ -1,0 +1,75 @@
+//! # Propeller
+//!
+//! A from-scratch Rust reproduction of **"Propeller: A Scalable Real-Time
+//! File-Search Service in Distributed Systems"** (Xu, Jiang, Tian, Huang —
+//! ICDCS 2014).
+//!
+//! Propeller keeps file-search results *always consistent* with file
+//! contents by indexing inline with file modifications, and makes that
+//! affordable by partitioning the file index along the **Access-Causality
+//! Graph (ACG)**: files a process reads before writing another file are
+//! causally linked, causally-linked files cluster into small, mostly
+//! disconnected components, and each component becomes an independent
+//! index group that one Index Node can update and search without touching
+//! the rest of the system.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use propeller::{FileRecord, Propeller, PropellerConfig};
+//! use propeller::types::{FileId, InodeAttrs};
+//!
+//! # fn main() -> Result<(), propeller::types::Error> {
+//! let mut service = Propeller::new(PropellerConfig::default());
+//!
+//! // Inline indexing: the update is acknowledged only once logged.
+//! service.index_file(FileRecord::new(
+//!     FileId::new(1),
+//!     InodeAttrs::builder().size(20 << 20).build(),
+//! ))?;
+//!
+//! // Search sees every acknowledged update — no crawl delay, ever.
+//! let hits = service.search_text("size>16m")?;
+//! assert_eq!(hits, vec![FileId::new(1)]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`types`] | ids, timestamps, attribute values, errors |
+//! | [`trace`] | access capture, causality extraction, app profiles |
+//! | [`acg`] | the ACG, components, multilevel 2-way partitioner |
+//! | [`index`] | B+-tree, hash, K-D tree, WAL, lazy cache, index groups |
+//! | [`query`] | query language, planner, executor |
+//! | [`storage`] | disk/network/FS cost models, shared storage |
+//! | [`cluster`] | Master Node, Index Nodes, client engine, RPC fabric |
+//! | [`baselines`] | MySQL-like store, Spotlight-like crawler, brute force |
+//! | [`workloads`] | namespaces, FPS copiers, mixed loads, PostMark |
+//! | [`sim`] | virtual clock, event queue, deterministic RNG |
+//!
+//! The distributed service lives in [`cluster::Cluster`]; the single-node
+//! service (the paper's §V-B configuration) is [`Propeller`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use propeller_core::{
+    FileRecord, IndexKind, IndexOp, IndexSpec, Predicate, Propeller, PropellerConfig, Query,
+    ServiceStats,
+};
+
+pub use propeller_acg as acg;
+pub use propeller_baselines as baselines;
+pub use propeller_cluster as cluster;
+pub use propeller_index as index;
+pub use propeller_query as query;
+pub use propeller_sim as sim;
+pub use propeller_storage as storage;
+pub use propeller_trace as trace;
+pub use propeller_types as types;
+pub use propeller_workloads as workloads;
+
+pub use propeller_cluster::{Cluster, ClusterConfig, FileQueryEngine};

@@ -1,0 +1,148 @@
+//! Property-based tests of the design invariants DESIGN.md commits to:
+//! partition balance and coverage, clustering exactness, ACG weak
+//! consistency, and executor-vs-scan equivalence.
+
+use propeller::acg::{bisect, cluster_components, AcgGraph, ClusteringConfig, PartitionConfig};
+use propeller::types::{FileId, InodeAttrs, Timestamp};
+use propeller::{FileRecord, Propeller, PropellerConfig, Query};
+use proptest::prelude::*;
+
+fn arbitrary_graph() -> impl Strategy<Value = AcgGraph> {
+    // Up to 120 edges over up to 60 vertices, arbitrary weights 1..20.
+    prop::collection::vec((0u64..60, 0u64..60, 1u64..20), 1..120).prop_map(|edges| {
+        let mut g = AcgGraph::new();
+        for (a, b, w) in edges {
+            g.add_edge(FileId::new(a), FileId::new(b), w);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bisection covers every vertex exactly once and respects the balance
+    /// ceiling whenever both sides are non-trivial.
+    #[test]
+    fn bisection_is_a_partition(g in arbitrary_graph(), seed in 0u64..1000) {
+        let cfg = PartitionConfig { seed, ..PartitionConfig::default() };
+        let b = bisect(&g, &cfg);
+        let mut all: Vec<FileId> = b.left.iter().chain(&b.right).copied().collect();
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), g.vertex_count());
+        prop_assert_eq!(b.left.len() + b.right.len(), g.vertex_count());
+        if g.vertex_count() >= 2 {
+            prop_assert!(!b.left.is_empty());
+            prop_assert!(!b.right.is_empty());
+            let ceiling = ((1.0 + cfg.epsilon) * g.vertex_count() as f64 / 2.0).ceil() as usize;
+            prop_assert!(b.left.len().max(b.right.len()) <= ceiling.max(1));
+        }
+    }
+
+    /// The reported cut weight always equals a manual recount.
+    #[test]
+    fn cut_weight_is_exact(g in arbitrary_graph(), seed in 0u64..1000) {
+        let b = bisect(&g, &PartitionConfig { seed, ..PartitionConfig::default() });
+        let left: std::collections::HashSet<FileId> = b.left.iter().copied().collect();
+        let manual: u64 = g
+            .edges()
+            .filter(|(s, d, _)| left.contains(s) != left.contains(d))
+            .map(|(_, _, w)| w)
+            .sum();
+        prop_assert_eq!(b.cut_weight, manual);
+    }
+
+    /// Clustering never exceeds the cap, never loses or duplicates a file.
+    #[test]
+    fn clustering_covers_exactly(g in arbitrary_graph(), cap in 3usize..40) {
+        let groups = cluster_components(&g, &ClusteringConfig::with_max_files(cap));
+        let mut all: Vec<FileId> = groups.iter().flatten().copied().collect();
+        all.sort();
+        let mut expected: Vec<FileId> = g.vertices().collect();
+        expected.sort();
+        prop_assert_eq!(all, expected);
+        prop_assert!(groups.iter().all(|p| p.len() <= cap));
+    }
+
+    /// ACG loss must never affect search correctness — only performance
+    /// (the paper's weak-consistency argument for ACGs).
+    #[test]
+    fn dropping_acg_flushes_never_changes_search_results(
+        sizes in prop::collection::vec(0u64..(64 << 20), 1..60),
+        flush in prop::bool::ANY,
+    ) {
+        let build = |do_flush: bool| {
+            let mut service = Propeller::new(PropellerConfig::default());
+            for (i, &size) in sizes.iter().enumerate() {
+                service
+                    .index_file(FileRecord::new(
+                        FileId::new(i as u64),
+                        InodeAttrs::builder().size(size).build(),
+                    ))
+                    .unwrap();
+            }
+            if do_flush {
+                // Capture some causality and flush it.
+                let pid = propeller::types::ProcessId::new(1);
+                for (i, _) in sizes.iter().enumerate().take(5) {
+                    service.observe_open(
+                        pid,
+                        FileId::new(i as u64),
+                        propeller::types::OpenMode::ReadWrite,
+                    );
+                }
+                service.end_process(pid);
+                let _ = service.flush_acg();
+            }
+            service.search_text("size>16m").unwrap()
+        };
+        prop_assert_eq!(build(flush), build(!flush));
+    }
+
+    /// The planner's access paths always produce exactly the scan answer.
+    #[test]
+    fn executor_equals_scan_on_random_data(
+        rows in prop::collection::vec((0u64..(32 << 20), 0u64..100_000u64, 0u32..4), 1..80),
+        qsel in 0usize..6,
+    ) {
+        let mut service = Propeller::new(PropellerConfig::default());
+        for (i, &(size, mtime, uid)) in rows.iter().enumerate() {
+            service
+                .index_file(FileRecord::new(
+                    FileId::new(i as u64),
+                    InodeAttrs::builder()
+                        .size(size)
+                        .mtime(Timestamp::from_secs(mtime))
+                        .uid(uid)
+                        .build(),
+                ))
+                .unwrap();
+        }
+        let queries = [
+            "size>1m",
+            "size>1m & size<16m",
+            "uid=2",
+            "uid=2 & size>4m",
+            "size<=0",
+            "*",
+        ];
+        let text = queries[qsel];
+        let q = Query::parse(text, Timestamp::from_secs(1_000_000)).unwrap();
+        let got = service.search(&q.predicate).unwrap();
+        let expected: Vec<FileId> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, &(size, _, uid))| match qsel {
+                0 => size > 1 << 20,
+                1 => size > 1 << 20 && size < 16 << 20,
+                2 => uid == 2,
+                3 => uid == 2 && size > 4 << 20,
+                4 => false,
+                _ => true,
+            })
+            .map(|(i, _)| FileId::new(i as u64))
+            .collect();
+        prop_assert_eq!(got, expected, "query {}", text);
+    }
+}

@@ -1,0 +1,150 @@
+//! Durability integration tests: acknowledged index operations survive an
+//! Index Node crash via WAL replay (paper §IV: requests are appended to a
+//! write-ahead log before being cached).
+
+use propeller::index::{AcgIndexGroup, FileRecord, GroupConfig, IndexOp, Wal};
+use propeller::types::{AcgId, AttrName, FileId, InodeAttrs, Timestamp, Value};
+
+fn record(file: u64, size: u64) -> FileRecord {
+    FileRecord::new(FileId::new(file), InodeAttrs::builder().size(size).build())
+}
+
+fn temp_wal_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("propeller-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.wal"))
+}
+
+#[test]
+fn acknowledged_but_uncommitted_ops_survive_crash() {
+    let path = temp_wal_path("uncommitted");
+    let _ = std::fs::remove_file(&path);
+    // Phase 1: enqueue (acknowledge) ops but never commit, then "crash"
+    // by dropping the group.
+    {
+        let wal = Wal::open(&path).unwrap();
+        let mut group = AcgIndexGroup::new(
+            AcgId::new(1),
+            GroupConfig { wal, ..GroupConfig::default() },
+        );
+        for i in 0..100 {
+            group.enqueue(IndexOp::Upsert(record(i, i * 1024)), Timestamp::EPOCH).unwrap();
+        }
+        assert_eq!(group.pending_ops(), 100);
+        assert_eq!(group.len(), 0, "nothing committed before the crash");
+        // Drop without commit = crash.
+    }
+    // Phase 2: recover from the WAL.
+    let wal = Wal::open(&path).unwrap();
+    let (group, replayed) = AcgIndexGroup::recover(
+        AcgId::new(1),
+        GroupConfig { wal, ..GroupConfig::default() },
+    )
+    .unwrap();
+    assert_eq!(replayed, 100);
+    assert_eq!(group.len(), 100);
+    assert_eq!(
+        group.lookup_eq(&AttrName::Size, &Value::U64(42 * 1024)),
+        vec![FileId::new(42)]
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn committed_prefix_plus_uncommitted_tail_recovers_exactly() {
+    let path = temp_wal_path("mixed");
+    let _ = std::fs::remove_file(&path);
+    {
+        let wal = Wal::open(&path).unwrap();
+        let mut group = AcgIndexGroup::new(
+            AcgId::new(1),
+            GroupConfig { wal, ..GroupConfig::default() },
+        );
+        for i in 0..50 {
+            group.enqueue(IndexOp::Upsert(record(i, 1000)), Timestamp::EPOCH).unwrap();
+        }
+        group.commit(Timestamp::EPOCH).unwrap(); // WAL truncated here
+        for i in 50..80 {
+            group.enqueue(IndexOp::Upsert(record(i, 2000)), Timestamp::EPOCH).unwrap();
+        }
+        // Crash with 30 uncommitted ops in the WAL.
+    }
+    let wal = Wal::open(&path).unwrap();
+    let (group, replayed) = AcgIndexGroup::recover(
+        AcgId::new(1),
+        GroupConfig { wal, ..GroupConfig::default() },
+    )
+    .unwrap();
+    // The committed prefix was applied before the crash and its WAL frames
+    // truncated: recovery only holds the uncommitted tail. An Index Node
+    // restores the committed state from its persisted index files; here we
+    // verify the WAL contract precisely.
+    assert_eq!(replayed, 30);
+    assert_eq!(group.len(), 30);
+    assert_eq!(
+        group
+            .lookup_eq(&AttrName::Size, &Value::U64(2000))
+            .len(),
+        30
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn torn_final_frame_is_discarded_on_recovery() {
+    let path = temp_wal_path("torn");
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut wal = Wal::open(&path).unwrap();
+        for i in 0..10 {
+            wal.append(&IndexOp::Upsert(record(i, 7)).encode()).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+    // Simulate a torn write: append garbage that claims a huge length.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xFF, 0xFF, 0x00, 0x00, 1, 2, 3, 4, 9, 9]).unwrap();
+    }
+    let wal = Wal::open(&path).unwrap();
+    let (group, replayed) = AcgIndexGroup::recover(
+        AcgId::new(1),
+        GroupConfig { wal, ..GroupConfig::default() },
+    )
+    .unwrap();
+    assert_eq!(replayed, 10, "valid prefix only");
+    assert_eq!(group.len(), 10);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn recovery_preserves_removals_and_replacements() {
+    let path = temp_wal_path("removals");
+    let _ = std::fs::remove_file(&path);
+    {
+        let wal = Wal::open(&path).unwrap();
+        let mut group = AcgIndexGroup::new(
+            AcgId::new(1),
+            GroupConfig { wal, ..GroupConfig::default() },
+        );
+        group.enqueue(IndexOp::Upsert(record(1, 100)), Timestamp::EPOCH).unwrap();
+        group.enqueue(IndexOp::Upsert(record(2, 100)), Timestamp::EPOCH).unwrap();
+        group.enqueue(IndexOp::Remove(FileId::new(1)), Timestamp::EPOCH).unwrap();
+        group.enqueue(IndexOp::Upsert(record(2, 999)), Timestamp::EPOCH).unwrap();
+    }
+    let wal = Wal::open(&path).unwrap();
+    let (group, replayed) = AcgIndexGroup::recover(
+        AcgId::new(1),
+        GroupConfig { wal, ..GroupConfig::default() },
+    )
+    .unwrap();
+    assert_eq!(replayed, 4);
+    assert_eq!(group.len(), 1);
+    assert!(group.lookup_eq(&AttrName::Size, &Value::U64(100)).is_empty());
+    assert_eq!(
+        group.lookup_eq(&AttrName::Size, &Value::U64(999)),
+        vec![FileId::new(2)]
+    );
+    let _ = std::fs::remove_file(&path);
+}

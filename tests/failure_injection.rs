@@ -1,0 +1,117 @@
+//! Failure-injection tests for the cluster: dead Index Nodes, Master
+//! liveness bookkeeping, and graceful degradation rules.
+
+use propeller::cluster::{Cluster, ClusterConfig, Request, Response};
+use propeller::types::{Duration, Error, FileId, InodeAttrs, NodeId, Timestamp};
+use propeller::FileRecord;
+
+fn record(file: u64, size: u64) -> FileRecord {
+    FileRecord::new(FileId::new(file), InodeAttrs::builder().size(size).build())
+}
+
+#[test]
+fn dead_index_node_surfaces_as_node_unavailable() {
+    let cluster = Cluster::start(ClusterConfig { index_nodes: 2, ..Default::default() });
+    let mut client = cluster.client();
+    client.index_files((0..50).map(|i| record(i, 1 << 20)).collect()).unwrap();
+
+    // Kill one index node's actor and remove it from the fabric.
+    let victim = cluster.index_node_ids()[0];
+    cluster.rpc().call(victim, Request::Shutdown).unwrap();
+    cluster.rpc().deregister(victim);
+
+    // Searches that fan out to the dead node report unavailability rather
+    // than silently returning partial results (the consistency-first rule).
+    let err = client.search_text("size>0");
+    assert!(
+        matches!(err, Err(Error::NodeUnavailable(n)) if n == victim),
+        "{err:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn surviving_nodes_keep_serving_their_acgs() {
+    let cluster = Cluster::start(ClusterConfig {
+        index_nodes: 2,
+        group_capacity: 10,
+        ..Default::default()
+    });
+    let mut client = cluster.client();
+    client.index_files((0..40).map(|i| record(i, 1 << 20)).collect()).unwrap();
+
+    let victim = cluster.index_node_ids()[1];
+    cluster.rpc().call(victim, Request::Shutdown).unwrap();
+    cluster.rpc().deregister(victim);
+
+    // Direct requests to the survivor still work.
+    let survivor = cluster.index_node_ids()[0];
+    let resp = cluster
+        .rpc()
+        .call(survivor, Request::Tick { now: Timestamp::from_secs(1) })
+        .unwrap();
+    assert!(matches!(resp, Response::Status(_)));
+    cluster.shutdown();
+}
+
+#[test]
+fn master_heartbeat_tracking_flags_stale_nodes() {
+    use propeller::cluster::{MasterConfig, MasterNode};
+    let nodes: Vec<NodeId> = (1..=3).map(NodeId::new).collect();
+    let mut master = MasterNode::new(nodes.clone(), MasterConfig::default());
+    for (i, &n) in nodes.iter().enumerate() {
+        master.handle(Request::Heartbeat {
+            node: n,
+            acgs: vec![],
+            now: Timestamp::from_secs(10 * (i as u64 + 1)),
+        });
+    }
+    let now = Timestamp::from_secs(40);
+    let timeout = Duration::from_secs(15);
+    let status = master.node_status();
+    assert!(!status[&NodeId::new(1)].alive(now, timeout), "heartbeat at t=10");
+    assert!(status[&NodeId::new(3)].alive(now, timeout), "heartbeat at t=30");
+}
+
+#[test]
+fn acg_flush_failures_are_swallowed_but_indexing_failures_are_not() {
+    let cluster = Cluster::start(ClusterConfig { index_nodes: 1, ..Default::default() });
+    let mut client = cluster.client();
+    client.index_files(vec![record(1, 10), record(2, 10)]).unwrap();
+
+    // Capture causality, then kill the only index node.
+    let pid = propeller::types::ProcessId::new(1);
+    client.observe_open(pid, FileId::new(1), propeller::types::OpenMode::Read);
+    client.observe_open(pid, FileId::new(2), propeller::types::OpenMode::Write);
+    client.end_process(pid);
+    let victim = cluster.index_node_ids()[0];
+    cluster.rpc().call(victim, Request::Shutdown).unwrap();
+    cluster.rpc().deregister(victim);
+
+    // ACG flush: weakly consistent — errors swallowed, edges dropped.
+    let flushed = client.flush_acg().unwrap();
+    assert_eq!(flushed, 1, "delta counted even though delivery failed");
+
+    // Indexing: strongly consistent — failure must surface.
+    assert!(client.index_files(vec![record(3, 10)]).is_err());
+    cluster.shutdown();
+}
+
+#[test]
+fn cluster_modeled_mode_accrues_network_time_per_operation() {
+    let sim = propeller::sim::SimClock::new();
+    let cluster = Cluster::start(ClusterConfig {
+        index_nodes: 4,
+        sim_clock: Some(sim.clone()),
+        charge_network: true,
+        ..Default::default()
+    });
+    let mut client = cluster.client();
+    let t0 = sim.now();
+    client.index_files((0..100).map(|i| record(i, 1)).collect()).unwrap();
+    let after_index = sim.now();
+    assert!(after_index > t0);
+    client.search_text("size>=0").unwrap();
+    assert!(sim.now() > after_index);
+    cluster.shutdown();
+}

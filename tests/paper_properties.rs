@@ -1,0 +1,173 @@
+//! Integration tests pinning the paper's headline claims as executable
+//! properties: real-time recall, crawler staleness, cache behaviour and
+//! split locality.
+
+use propeller::baselines::{recall, SpotlightConfig, SpotlightEngine};
+use propeller::trace::profiles::{table_one_apps, BuildProfile};
+use propeller::trace::{CausalityTracker, FileCatalog};
+use propeller::types::{Duration, FileId, InodeAttrs, Timestamp};
+use propeller::{FileRecord, Propeller, PropellerConfig, Query};
+
+/// §I/§V: Propeller's recall is 100% at any update intensity, because
+/// indexing is inline. The crawler's recall degrades as intensity rises.
+#[test]
+fn propeller_recall_is_total_under_churn_while_crawler_lags() {
+    let query = Query::parse("size>16m", Timestamp::EPOCH).unwrap();
+    for fps in [5u64, 10, 50] {
+        let mut service = Propeller::new(PropellerConfig::default());
+        let mut crawler = SpotlightEngine::new(SpotlightConfig {
+            supported_fraction: 1.0,
+            crawl_rate: 4.0,
+            reindex_backlog: usize::MAX,
+            ..Default::default()
+        });
+        let mut truth = Vec::new();
+        for sec in 0..60u64 {
+            let now = Timestamp::from_secs(sec);
+            for k in 0..fps {
+                let id = FileId::new(sec * 1_000 + k);
+                let rec = FileRecord::new(id, InodeAttrs::builder().size(20 << 20).build());
+                truth.push(id);
+                service.index_file(rec.clone()).unwrap();
+                crawler.notify(rec, now);
+            }
+        }
+        let now = Timestamp::from_secs(60);
+        let pp = service.search(&query.predicate).unwrap();
+        assert_eq!(recall(&pp, &truth), 1.0, "propeller recall at {fps} FPS");
+        let sl_recall = recall(&crawler.query(&query.predicate, now), &truth);
+        assert!(sl_recall < 1.0, "crawler must lag at {fps} FPS: {sl_recall}");
+    }
+}
+
+/// §IV: the lazy cache hides commit work from updates, and the timeout
+/// bounds staleness of the *internal* index without ever being visible in
+/// search results.
+#[test]
+fn cache_timeout_bounds_internal_staleness_only() {
+    let sim = propeller::sim::SimClock::new();
+    let mut service = Propeller::new(PropellerConfig {
+        commit_timeout: Duration::from_secs(5),
+        sim_clock: Some(sim.clone()),
+        ..PropellerConfig::default()
+    });
+    service
+        .index_file(FileRecord::new(
+            FileId::new(1),
+            InodeAttrs::builder().size(1 << 30).build(),
+        ))
+        .unwrap();
+    assert_eq!(service.pending_ops(), 1, "update buffered, not committed");
+    // Maintenance before the timeout leaves it pending.
+    sim.advance(Duration::from_secs(2));
+    service.maintenance().unwrap();
+    assert_eq!(service.pending_ops(), 1);
+    // …but a search commits it synchronously (consistency first).
+    let hits = service.search_text("size>512m").unwrap();
+    assert_eq!(hits, vec![FileId::new(1)]);
+    assert_eq!(service.pending_ops(), 0);
+    // And the timeout alone also commits, without any search.
+    service
+        .index_file(FileRecord::new(
+            FileId::new(2),
+            InodeAttrs::builder().size(1 << 30).build(),
+        ))
+        .unwrap();
+    sim.advance(Duration::from_secs(6));
+    service.maintenance().unwrap();
+    assert_eq!(service.pending_ops(), 0, "timeout commit fired");
+}
+
+/// §III: ACGs of different applications are (almost) disjoint — Table I —
+/// so per-application traces produce separable components.
+#[test]
+fn application_acgs_are_nearly_disjoint() {
+    let mut catalog = FileCatalog::new();
+    let apps = table_one_apps(&mut catalog);
+    // Shared fractions are tiny relative to app sizes.
+    for a in &apps {
+        for b in &apps {
+            if a.name != b.name {
+                let frac = a.common_files(b) as f64 / a.file_count() as f64;
+                assert!(frac < 0.25, "{} vs {}: {frac}", a.name, b.name);
+            }
+        }
+    }
+}
+
+/// §III: splitting an oversized ACG with the multilevel partitioner keeps
+/// causally-coupled files together (small cut on build-shaped graphs).
+#[test]
+fn build_acg_splits_have_small_cuts() {
+    let mut catalog = FileCatalog::new();
+    let trace = BuildProfile::git().generate(&mut catalog, 7);
+    let mut tracker = CausalityTracker::new();
+    for ev in &trace.events {
+        tracker.observe(*ev);
+    }
+    let mut graph = propeller::acg::AcgGraph::new();
+    for (s, d, w) in tracker.drain_edges() {
+        graph.add_edge(s, d, w);
+    }
+    let comps = graph.components();
+    let largest = comps.largest().unwrap().to_vec();
+    let sub = graph.subgraph(&largest);
+    let b = propeller::acg::bisect(&sub, &Default::default());
+    assert!(
+        b.cut_fraction() < 0.45,
+        "cut fraction {} (paper's git: 29.4%)",
+        b.cut_fraction()
+    );
+    assert!(b.imbalance() <= 1.15, "imbalance {}", b.imbalance());
+}
+
+/// §V-D: commit-before-search means a search right after a burst of
+/// updates pays the merge, and subsequent searches are cheap — but both
+/// return identical, correct results.
+#[test]
+fn post_burst_search_correctness() {
+    let mut service = Propeller::new(PropellerConfig::default());
+    let group: Vec<FileId> = (0..1_000).map(FileId::new).collect();
+    service.bind_group(&group).unwrap();
+    for round in 0..5u64 {
+        for &f in &group {
+            service
+                .index_file(FileRecord::new(
+                    f,
+                    InodeAttrs::builder().size(f.raw() + round * 1_000_000).build(),
+                ))
+                .unwrap();
+        }
+        let first = service.search_text("size>=1000000").unwrap();
+        let second = service.search_text("size>=1000000").unwrap();
+        assert_eq!(first, second, "round {round}");
+        if round > 0 {
+            assert_eq!(first.len(), 1_000, "round {round}: all files updated");
+        }
+    }
+}
+
+/// Table V: the crawler's type-plugin ceiling is dataset-dependent and
+/// cannot be overcome by waiting.
+#[test]
+fn crawler_ceiling_cannot_be_waited_out() {
+    let mut crawler = SpotlightEngine::new(SpotlightConfig {
+        supported_fraction: 0.1386, // the paper's Dataset 2 coverage
+        crawl_rate: 1e6,
+        ..Default::default()
+    });
+    let query = Query::parse("size>0", Timestamp::EPOCH).unwrap();
+    let truth: Vec<FileId> = (0..5_000).map(FileId::new).collect();
+    for &f in &truth {
+        crawler.notify(
+            FileRecord::new(f, InodeAttrs::builder().size(1).build()),
+            Timestamp::EPOCH,
+        );
+    }
+    // Wait an arbitrarily long time.
+    let r = recall(
+        &crawler.query(&query.predicate, Timestamp::from_secs(1_000_000)),
+        &truth,
+    );
+    assert!((0.10..0.18).contains(&r), "ceiling ≈ 13.86%, got {r}");
+}

@@ -1,0 +1,151 @@
+//! Additional property-based coverage: WAL framing, index-op codec,
+//! B+-tree/K-D tree invariants under arbitrary inputs, and query-parser
+//! robustness.
+
+use propeller::index::{BPlusTree, FileRecord, IndexOp, KdTree, Wal};
+use propeller::types::{FileId, InodeAttrs, Timestamp, Value};
+use propeller::Query;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u64>().prop_map(Value::U64),
+        any::<i64>().prop_map(Value::I64),
+        any::<f64>().prop_filter("total order works but NaN breaks eq-tests", |f| !f
+            .is_nan())
+            .prop_map(Value::F64),
+        "[a-z0-9 _/.-]{0,24}".prop_map(Value::from),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = FileRecord> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+        prop::collection::vec("[a-z]{1,12}", 0..4),
+        prop::collection::vec(("[a-z_]{1,10}", arb_value()), 0..4),
+    )
+        .prop_map(|(file, size, mtime, uid, keywords, custom)| {
+            let mut rec = FileRecord::new(
+                FileId::new(file),
+                InodeAttrs::builder()
+                    .size(size)
+                    .mtime(Timestamp::from_micros(mtime))
+                    .uid(uid)
+                    .build(),
+            );
+            rec.keywords = keywords;
+            rec.custom = custom;
+            rec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any op encodes and decodes to itself.
+    #[test]
+    fn index_op_codec_round_trips(rec in arb_record(), remove in prop::bool::ANY) {
+        let op = if remove { IndexOp::Remove(rec.file) } else { IndexOp::Upsert(rec) };
+        let decoded = IndexOp::decode(&op.encode()).unwrap();
+        prop_assert_eq!(decoded, op);
+    }
+
+    /// Decoding never panics on arbitrary bytes — it returns an error or a
+    /// valid op.
+    #[test]
+    fn index_op_decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = IndexOp::decode(&bytes);
+    }
+
+    /// WAL replay returns exactly the appended payloads, in order, for any
+    /// payload contents (including empty and binary).
+    #[test]
+    fn wal_replay_returns_appended_payloads(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..32)
+    ) {
+        let mut wal = Wal::in_memory();
+        for p in &payloads {
+            wal.append(p).unwrap();
+        }
+        prop_assert_eq!(wal.replay().unwrap(), payloads);
+    }
+
+    /// Appending garbage after valid frames never corrupts the valid
+    /// prefix.
+    #[test]
+    fn wal_valid_prefix_is_stable_under_tail_garbage(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..32), 1..8),
+        garbage in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut wal = Wal::in_memory();
+        for p in &payloads {
+            wal.append(p).unwrap();
+        }
+        wal.append_raw_for_test(&garbage).unwrap();
+        let replayed = wal.replay().unwrap();
+        // The valid frames always survive; garbage may accidentally parse
+        // as extra frames but can never alter the prefix.
+        prop_assert!(replayed.len() >= payloads.len());
+        prop_assert_eq!(&replayed[..payloads.len()], &payloads[..]);
+    }
+
+    /// The B+-tree stays ordered and complete under arbitrary insert/remove
+    /// interleavings.
+    #[test]
+    fn btree_iteration_sorted_and_complete(
+        ops in prop::collection::vec((any::<u16>(), prop::bool::ANY), 1..400)
+    ) {
+        let mut tree = BPlusTree::new();
+        let mut model = std::collections::BTreeMap::new();
+        for (k, insert) in ops {
+            if insert {
+                tree.insert(k, k);
+                model.insert(k, k);
+            } else {
+                prop_assert_eq!(tree.remove(&k), model.remove(&k));
+            }
+        }
+        let ours: Vec<u16> = tree.iter().map(|(k, _)| *k).collect();
+        let expected: Vec<u16> = model.keys().copied().collect();
+        prop_assert_eq!(ours, expected);
+        prop_assert_eq!(tree.len(), model.len());
+    }
+
+    /// K-D range queries agree with linear scans for arbitrary points.
+    #[test]
+    fn kdtree_range_agrees_with_scan(
+        points in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..150),
+        lo in (0.0f64..100.0, 0.0f64..100.0),
+        span in (0.0f64..50.0, 0.0f64..50.0),
+    ) {
+        let mut tree = KdTree::new(2);
+        for (i, &(x, y)) in points.iter().enumerate() {
+            tree.insert(&[x, y], FileId::new(i as u64));
+        }
+        let hi = (lo.0 + span.0, lo.1 + span.1);
+        let got = tree.range(&[lo.0, lo.1], &[hi.0, hi.1]);
+        let mut expected: Vec<FileId> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| x >= lo.0 && x <= hi.0 && y >= lo.1 && y <= hi.1)
+            .map(|(i, _)| FileId::new(i as u64))
+            .collect();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The parser never panics, and parseable queries round-trip through
+    /// Display into an equivalent predicate.
+    #[test]
+    fn query_parser_is_total(text in "[ a-z0-9<>=&|!():*\"._-]{0,48}") {
+        let now = Timestamp::from_secs(1_000_000);
+        if let Ok(q) = Query::parse(&text, now) {
+            let printed = q.predicate.to_string();
+            let reparsed = Query::parse(&printed, now);
+            prop_assert!(reparsed.is_ok(), "display form must reparse: {printed}");
+        }
+    }
+}
