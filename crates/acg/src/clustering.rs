@@ -112,10 +112,7 @@ pub fn cluster_components(graph: &AcgGraph, config: &ClusteringConfig) -> Vec<Ve
     pieces.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.first().cmp(&b.first())));
     let mut bins: Vec<Vec<FileId>> = Vec::new();
     for piece in pieces {
-        match bins
-            .iter_mut()
-            .find(|bin| bin.len() + piece.len() <= config.max_files)
-        {
+        match bins.iter_mut().find(|bin| bin.len() + piece.len() <= config.max_files) {
             Some(bin) => bin.extend(piece),
             None => bins.push(piece),
         }

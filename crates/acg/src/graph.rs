@@ -132,17 +132,14 @@ impl AcgGraph {
     pub fn out_edges(&self, file: FileId) -> impl Iterator<Item = (FileId, u64)> + '_ {
         let ix = self.ids.get(&file).copied();
         ix.into_iter().flat_map(move |ix| {
-            self.out[ix as usize]
-                .iter()
-                .map(move |(&d, &w)| (self.files[d as usize], w))
+            self.out[ix as usize].iter().map(move |(&d, &w)| (self.files[d as usize], w))
         })
     }
 
     /// Iterates over all directed edges as `(src, dst, weight)`.
     pub fn edges(&self) -> impl Iterator<Item = (FileId, FileId, u64)> + '_ {
         self.out.iter().enumerate().flat_map(move |(s, adj)| {
-            adj.iter()
-                .map(move |(&d, &w)| (self.files[s], self.files[d as usize], w))
+            adj.iter().map(move |(&d, &w)| (self.files[s], self.files[d as usize], w))
         })
     }
 

@@ -156,10 +156,7 @@ pub fn bisect(graph: &AcgGraph, cfg: &PartitionConfig) -> Bisection {
         .iter()
         .enumerate()
         .map(|(i, nbrs)| {
-            nbrs.iter()
-                .filter(|&&(d, _)| (d as usize) > i)
-                .map(|&(_, w)| w)
-                .sum::<u64>()
+            nbrs.iter().filter(|&&(d, _)| (d as usize) > i).map(|&(_, w)| w).sum::<u64>()
         })
         .sum();
     let finest = Level { vwgt: vec![1; n], adj, total_vwgt: n as u64 };
@@ -429,7 +426,8 @@ fn fm_refine(level: &Level, side: &mut [bool], cfg: &PartitionConfig) {
             gain[v] = g;
         }
 
-        let mut heap: BinaryHeap<(i64, u32)> = (0..n as u32).map(|v| (gain[v as usize], v)).collect();
+        let mut heap: BinaryHeap<(i64, u32)> =
+            (0..n as u32).map(|v| (gain[v as usize], v)).collect();
         let mut locked = vec![false; n];
         let mut moves: Vec<u32> = Vec::new();
         let mut cum: i64 = 0;
@@ -549,8 +547,7 @@ mod tests {
         assert_eq!(b.left.len(), 5);
         assert_eq!(b.right.len(), 5);
         // The cliques must not be mixed.
-        let left_set: std::collections::HashSet<u64> =
-            b.left.iter().map(|x| x.raw()).collect();
+        let left_set: std::collections::HashSet<u64> = b.left.iter().map(|x| x.raw()).collect();
         assert!(
             left_set.iter().all(|&x| x < 100) || left_set.iter().all(|&x| x >= 100),
             "clique split across sides: {left_set:?}"
@@ -625,11 +622,7 @@ mod tests {
         }
         let b = bisect(&g, &cfg(13));
         assert!(b.imbalance() <= 1.11, "imbalance {}", b.imbalance());
-        assert!(
-            b.cut_fraction() < 0.1,
-            "cut fraction too high: {}",
-            b.cut_fraction()
-        );
+        assert!(b.cut_fraction() < 0.1, "cut fraction too high: {}", b.cut_fraction());
     }
 
     #[test]

@@ -40,6 +40,21 @@ impl BruteForce {
         BruteForce { storage }
     }
 
+    /// Answers the same [`SearchRequest`] API as Propeller with a full
+    /// scan — the ground-truth implementation of the request semantics.
+    pub fn search_with(
+        &self,
+        request: &propeller_query::SearchRequest,
+    ) -> propeller_query::SearchResponse {
+        propeller_query::run_local_search(
+            self.storage
+                .snapshot()
+                .into_iter()
+                .map(|(id, _path, attrs)| FileRecord::new(id, attrs)),
+            request,
+        )
+    }
+
     /// Scans everything, evaluating `pred` per file.
     pub fn query(&self, pred: &Predicate) -> Vec<FileId> {
         self.storage
@@ -68,12 +83,7 @@ mod tests {
     fn scan_finds_exactly_the_matches() {
         let storage = Arc::new(SharedStorage::new());
         for i in 0..100u64 {
-            storage
-                .create(
-                    &format!("/f{i}"),
-                    InodeAttrs::builder().size(i << 20).build(),
-                )
-                .unwrap();
+            storage.create(&format!("/f{i}"), InodeAttrs::builder().size(i << 20).build()).unwrap();
         }
         let brute = BruteForce::new(storage);
         let q = Query::parse("size>16m", Timestamp::EPOCH).unwrap();

@@ -115,10 +115,7 @@ impl CentralDb {
         if let Some(list) = self.size_idx.get_mut(&Value::U64(record.attrs.size)) {
             posting_remove(list, record.file);
         }
-        if let Some(list) = self
-            .mtime_idx
-            .get_mut(&Value::U64(record.attrs.mtime.as_micros()))
-        {
+        if let Some(list) = self.mtime_idx.get_mut(&Value::U64(record.attrs.mtime.as_micros())) {
             posting_remove(list, record.file);
         }
         for kw in &record.keywords {
@@ -150,6 +147,22 @@ impl CentralDb {
         }
     }
 
+    /// Iterates every stored record.
+    pub fn records(&self) -> impl Iterator<Item = &FileRecord> {
+        self.files.values()
+    }
+
+    /// Answers the same [`SearchRequest`] API as Propeller (top-k, sort,
+    /// projection, cursor), so system comparisons stay apples-to-apples.
+    /// Centralized stores always answer completely or not at all, so the
+    /// response is always `complete`.
+    pub fn search_with(
+        &self,
+        request: &propeller_query::SearchRequest,
+    ) -> propeller_query::SearchResponse {
+        propeller_query::run_local_search(self.files.values().cloned(), request)
+    }
+
     /// Runs a predicate query. Uses the global indexes for size/mtime
     /// ranges and keyword equality, then post-filters with the exact
     /// predicate (same executor contract as Propeller's).
@@ -158,18 +171,11 @@ impl CentralDb {
         let mut out: Vec<FileId> = match candidates {
             Some(c) => c
                 .into_iter()
-                .filter(|f| {
-                    self.files
-                        .get(f)
-                        .is_some_and(|r| matches_record(r, pred))
-                })
+                .filter(|f| self.files.get(f).is_some_and(|r| matches_record(r, pred)))
                 .collect(),
-            None => self
-                .files
-                .values()
-                .filter(|r| matches_record(r, pred))
-                .map(|r| r.file)
-                .collect(),
+            None => {
+                self.files.values().filter(|r| matches_record(r, pred)).map(|r| r.file).collect()
+            }
         };
         out.sort_unstable();
         out.dedup();
@@ -182,10 +188,7 @@ impl CentralDb {
         for conjunct in pred.conjuncts() {
             if let Predicate::Keyword(w) = conjunct {
                 return Some(
-                    self.keyword_idx
-                        .get(&Value::from(w.as_str()))
-                        .cloned()
-                        .unwrap_or_default(),
+                    self.keyword_idx.get(&Value::from(w.as_str())).cloned().unwrap_or_default(),
                 );
             }
         }
@@ -205,10 +208,8 @@ impl CentralDb {
                     Le => (Bound::Unbounded, Bound::Included(value.clone())),
                     Ne => continue,
                 };
-                let mut files: Vec<FileId> = idx
-                    .range((lo, hi))
-                    .flat_map(|(_, list)| list.iter().copied())
-                    .collect();
+                let mut files: Vec<FileId> =
+                    idx.range((lo, hi)).flat_map(|(_, list)| list.iter().copied()).collect();
                 files.sort_unstable();
                 files.dedup();
                 return Some(files);
@@ -261,8 +262,7 @@ mod tests {
     fn keyword_query_uses_table_two() {
         let mut db = CentralDb::new();
         for i in 0..50 {
-            let r = rec(i, 1, 0)
-                .with_keyword(if i % 5 == 0 { "firefox" } else { "misc" });
+            let r = rec(i, 1, 0).with_keyword(if i % 5 == 0 { "firefox" } else { "misc" });
             db.upsert(r);
         }
         assert_eq!(db.query(&q("keyword:firefox")).len(), 10);

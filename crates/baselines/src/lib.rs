@@ -19,6 +19,11 @@
 //! * [`ShardedDb`] — the paper's future-work comparison class: a
 //!   hash-sharded (key-partitioned, access-pattern-blind) store whose
 //!   working sets scatter across all shards.
+//!
+//! Every baseline answers the same `SearchRequest` API as Propeller
+//! (`search_with`: top-k, sort, projection, cursor pagination), so
+//! comparative experiments exercise identical result-shaping semantics on
+//! all systems.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -78,12 +78,23 @@ impl ShardedDb {
         self.shards[s].remove(file)
     }
 
+    /// Answers the same [`SearchRequest`] API as Propeller: scatter–gather
+    /// over every shard, merged into one shaped result set.
+    pub fn search_with(
+        &self,
+        request: &propeller_query::SearchRequest,
+    ) -> propeller_query::SearchResponse {
+        propeller_query::run_local_search(
+            self.shards.iter().flat_map(|s| s.records().cloned()),
+            request,
+        )
+    }
+
     /// Queries every shard and merges (scatter–gather: a search always
     /// costs all N shards, because the key tells us nothing about which
     /// shards hold matching files).
     pub fn query(&self, pred: &Predicate) -> Vec<FileId> {
-        let mut out: Vec<FileId> =
-            self.shards.iter().flat_map(|s| s.query(pred)).collect();
+        let mut out: Vec<FileId> = self.shards.iter().flat_map(|s| s.query(pred)).collect();
         out.sort_unstable();
         out.dedup();
         out

@@ -158,14 +158,26 @@ impl SpotlightEngine {
         if self.reindexing_until.is_some_and(|until| now < until) {
             return Vec::new();
         }
-        let mut out: Vec<FileId> = self
-            .store
-            .values()
-            .filter(|r| matches_record(r, pred))
-            .map(|r| r.file)
-            .collect();
+        let mut out: Vec<FileId> =
+            self.store.values().filter(|r| matches_record(r, pred)).map(|r| r.file).collect();
         out.sort_unstable();
         out
+    }
+
+    /// Answers the same [`SearchRequest`] API as Propeller against the
+    /// *crawled* view at `now`. The response claims `complete` even while
+    /// the crawl queue is behind or a re-index is running — which is
+    /// precisely the recall lie the paper measures this baseline on.
+    pub fn search_with(
+        &mut self,
+        request: &propeller_query::SearchRequest,
+        now: Timestamp,
+    ) -> propeller_query::SearchResponse {
+        self.pump(now);
+        if self.reindexing_until.is_some_and(|until| now < until) {
+            return propeller_query::SearchResponse::empty();
+        }
+        propeller_query::run_local_search(self.store.values().cloned(), request)
     }
 
     /// Files waiting in the crawl queue.
@@ -243,10 +255,8 @@ mod tests {
 
     #[test]
     fn recall_ceiling_from_unsupported_types() {
-        let mut e = SpotlightEngine::new(SpotlightConfig {
-            supported_fraction: 0.6,
-            ..Default::default()
-        });
+        let mut e =
+            SpotlightEngine::new(SpotlightConfig { supported_fraction: 0.6, ..Default::default() });
         let t0 = Timestamp::from_secs(0);
         let truth: Vec<FileId> = (0..1000).map(FileId::new).collect();
         for i in 0..1000 {
@@ -265,7 +275,6 @@ mod tests {
             reindex_backlog: 100,
             reindex_duration: Duration::from_secs(60),
             crawl_rate: 10.0,
-            ..Default::default()
         });
         let t0 = Timestamp::from_secs(0);
         // Index some files and let the crawler settle.

@@ -63,14 +63,8 @@ fn bench_hash(c: &mut Criterion) {
 fn bench_kdtree(c: &mut Criterion) {
     let mut group = c.benchmark_group("kdtree");
     for &n in &[1_000u64, 50_000] {
-        let points: Vec<(Vec<f64>, FileId)> = (0..n)
-            .map(|i| {
-                (
-                    vec![(i % 1024) as f64, (i / 1024) as f64],
-                    FileId::new(i),
-                )
-            })
-            .collect();
+        let points: Vec<(Vec<f64>, FileId)> =
+            (0..n).map(|i| (vec![(i % 1024) as f64, (i / 1024) as f64], FileId::new(i))).collect();
         group.bench_with_input(BenchmarkId::new("bulk_load", n), &n, |b, _| {
             b.iter(|| KdTree::bulk_load(2, points.clone()))
         });

@@ -15,13 +15,7 @@ use propeller_workloads::{MixedOp, MixedWorkload};
 
 fn main() {
     table::banner("Ablation: index-cache commit timeout (Fig. 10 workload)");
-    table::header(&[
-        "timeout",
-        "commits",
-        "avg batch",
-        "avg pending@search",
-        "max pending@search",
-    ]);
+    table::header(&["timeout", "commits", "avg batch", "avg pending@search", "max pending@search"]);
     for timeout_ms in [0u64, 500, 1_000, 5_000, 30_000] {
         let sim = SimClock::new();
         let mut service = Propeller::new(PropellerConfig {
@@ -77,12 +71,10 @@ fn main() {
                 }
             }
         }
-        let avg_batch =
-            if commits == 0 { 0.0 } else { committed_ops as f64 / commits as f64 };
-        let avg_pending = pending_at_search.iter().sum::<f64>()
-            / pending_at_search.len().max(1) as f64;
-        let max_pending =
-            pending_at_search.iter().copied().fold(0.0f64, f64::max);
+        let avg_batch = if commits == 0 { 0.0 } else { committed_ops as f64 / commits as f64 };
+        let avg_pending =
+            pending_at_search.iter().sum::<f64>() / pending_at_search.len().max(1) as f64;
+        let max_pending = pending_at_search.iter().copied().fold(0.0f64, f64::max);
         table::row(&[
             format!("{timeout_ms} ms"),
             format!("{commits}"),

@@ -100,23 +100,14 @@ fn main() {
         shuffled.chunks(PARTITION_SIZE).map(<[FileId]>::to_vec).collect()
     };
 
-    table::header(&[
-        "scheme",
-        "partitions",
-        "cut weight",
-        "cut %",
-        "parts/process",
-    ]);
+    table::header(&["scheme", "partitions", "cut weight", "cut %", "parts/process"]);
     for (name, parts) in [
         ("access-causality", &acg_parts),
         ("namespace", &namespace_parts),
         ("random", &random_parts),
     ] {
-        let assignment: HashMap<FileId, usize> = parts
-            .iter()
-            .enumerate()
-            .flat_map(|(i, p)| p.iter().map(move |&f| (f, i)))
-            .collect();
+        let assignment: HashMap<FileId, usize> =
+            parts.iter().enumerate().flat_map(|(i, p)| p.iter().map(move |&f| (f, i))).collect();
         let mut cut = 0u64;
         for (s, d, w) in graph.edges() {
             if assignment.get(&s) != assignment.get(&d) {
@@ -126,10 +117,7 @@ fn main() {
         let touched: f64 = per_process
             .values()
             .map(|fs| {
-                fs.iter()
-                    .filter_map(|f| assignment.get(f))
-                    .collect::<HashSet<_>>()
-                    .len() as f64
+                fs.iter().filter_map(|f| assignment.get(f)).collect::<HashSet<_>>().len() as f64
             })
             .sum::<f64>()
             / per_process.len().max(1) as f64;

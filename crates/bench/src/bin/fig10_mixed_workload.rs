@@ -38,10 +38,8 @@ fn main() {
         match op {
             MixedOp::Update(file) => {
                 version += 1;
-                let rec = FileRecord::new(
-                    file,
-                    InodeAttrs::builder().size(file.raw() + version).build(),
-                );
+                let rec =
+                    FileRecord::new(file, InodeAttrs::builder().size(file.raw() + version).build());
                 let start = Instant::now();
                 service.index_file(rec).unwrap();
                 pp_update_lat.push(start.elapsed().as_secs_f64() * 1e6);

@@ -16,7 +16,7 @@ use std::time::Instant;
 use propeller_baselines::{recall, SpotlightConfig, SpotlightEngine};
 use propeller_bench::table;
 use propeller_core::{FileRecord, Propeller, PropellerConfig};
-use propeller_query::Query;
+use propeller_query::SearchRequest;
 use propeller_types::{Duration, FileId, Timestamp};
 use propeller_workloads::{FpsCopier, NamespaceSpec};
 
@@ -26,7 +26,7 @@ fn main() {
     table::banner("Figure 11: recall and latency on a dynamic namespace");
     let horizon: u64 = 600;
     let sample_every: u64 = 60;
-    let query = Query::parse("size>16m", Timestamp::EPOCH).unwrap();
+    let request = SearchRequest::parse("size>16m", Timestamp::EPOCH).unwrap();
     let snapshot = NamespaceSpec::with_files(89_000 / scale).generate(11);
 
     for fps in [1u64, 2, 5] {
@@ -56,7 +56,7 @@ fn main() {
         // Recall is judged against the files matching the query; the
         // snapshot's matching files are capped by plugin coverage too, so
         // judge recall on the *copied* files plus crawled snapshot state.
-        let base_results = spotlight.query(&query.predicate, t0);
+        let base_results = spotlight.search_with(&request, t0).file_ids();
         let snapshot_truth = truth.clone();
         let base_recall = recall(&base_results, &snapshot_truth);
 
@@ -85,9 +85,9 @@ fn main() {
                 spotlight.notify(FileRecord::new(id, attrs), t);
             }
             let start = Instant::now();
-            let pp_hits = service.search(&query.predicate).unwrap();
+            let pp_hits = service.search_with(&request).unwrap().file_ids();
             let pp_ms = start.elapsed().as_secs_f64() * 1e3;
-            let sl_hits = spotlight.query(&query.predicate, now);
+            let sl_hits = spotlight.search_with(&request, now).file_ids();
             // Modeled crawler latency: base store probe plus queue pressure
             // (the paper measures 28.5 ms average on its laptop testbed).
             let sl_ms = 22.0 + spotlight.backlog() as f64 * 0.004;

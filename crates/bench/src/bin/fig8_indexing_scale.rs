@@ -25,8 +25,7 @@ fn propeller_run(processes: u64, updates_per_proc: u64) -> Duration {
         disk_time += disk.sequential_read(scales::GROUP_FILES * 400, &mut rng);
     }
     // In-RAM update work parallelises across cores (4-core Xeon).
-    let ram = Duration::from_micros(12) * (processes * updates_per_proc)
-        / processes.min(4).max(1);
+    let ram = Duration::from_micros(12) * (processes * updates_per_proc) / processes.clamp(1, 4);
     disk_time + ram
 }
 

@@ -10,10 +10,7 @@ use propeller_types::Duration;
 /// Propeller global search: one in-RAM probe per group plus minor faults
 /// once the index working set exceeds RAM (single node).
 fn propeller_query(total_files: u64, probe: Duration) -> Duration {
-    let model = ClusterSearchModel {
-        warm_probe_per_group: probe,
-        ..ClusterSearchModel::default()
-    };
+    let model = ClusterSearchModel { warm_probe_per_group: probe, ..ClusterSearchModel::default() };
     model.warm(total_files, 1)
 }
 
@@ -30,15 +27,7 @@ fn centraldb_query(total_files: u64, selectivity: f64, per_row: Duration) -> Dur
 
 fn main() {
     table::banner("Table III: global file search (seconds)");
-    table::header(&[
-        "files (M)",
-        "PP #1",
-        "PP #2",
-        "DB #1",
-        "DB #2",
-        "speedup #1",
-        "speedup #2",
-    ]);
+    table::header(&["files (M)", "PP #1", "PP #2", "DB #1", "DB #2", "speedup #1", "speedup #2"]);
     for millions in [10u64, 20, 30, 40, 50] {
         let n = millions * 1_000_000;
         let pp1 = propeller_query(n, Duration::from_micros(10)).as_secs_f64();

@@ -7,13 +7,7 @@ use propeller_bench::{scales, table, ClusterSearchModel};
 fn main() {
     table::banner("Table IV / Figure 9: cluster search latency (seconds)");
     let model = ClusterSearchModel::default();
-    table::header(&[
-        "index nodes",
-        "100M cold",
-        "50M cold",
-        "100M warm",
-        "50M warm",
-    ]);
+    table::header(&["index nodes", "100M cold", "50M cold", "100M warm", "50M warm"]);
     for nodes in [1u64, 2, 3, 4, 5, 6, 7, 8] {
         table::row(&[
             format!("{nodes}"),

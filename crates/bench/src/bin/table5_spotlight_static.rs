@@ -12,7 +12,7 @@ use std::time::Instant;
 use propeller_baselines::{recall, BruteForce, SpotlightConfig, SpotlightEngine};
 use propeller_bench::table;
 use propeller_core::{FileRecord, Propeller, PropellerConfig};
-use propeller_query::Query;
+use propeller_query::SearchRequest;
 use propeller_storage::SharedStorage;
 use propeller_types::{Duration, Timestamp};
 use propeller_workloads::NamespaceSpec;
@@ -28,16 +28,16 @@ fn run_dataset(name: &str, files: usize, supported_fraction: f64, seed: u64) -> 
     let rows = NamespaceSpec::with_files(files).generate(seed);
     let storage = Arc::new(SharedStorage::new());
     storage.import(rows.clone());
-    let query = Query::parse("size>16m", Timestamp::EPOCH).unwrap();
+    let request = SearchRequest::parse("size>16m", Timestamp::EPOCH).unwrap();
 
     // Ground truth via brute force (also the baseline row).
     let brute = BruteForce::new(storage.clone());
     let start = Instant::now();
-    let truth = brute.query(&query.predicate);
+    let truth = brute.search_with(&request).file_ids();
     let brute_cold = start.elapsed().as_secs_f64();
     let start = Instant::now();
     for _ in 0..5 {
-        let _ = brute.query(&query.predicate);
+        let _ = brute.search_with(&request);
     }
     let brute_warm = start.elapsed().as_secs_f64() / 5.0;
 
@@ -53,11 +53,11 @@ fn run_dataset(name: &str, files: usize, supported_fraction: f64, seed: u64) -> 
         )
         .unwrap();
     let start = Instant::now();
-    let pp_hits = service.search(&query.predicate).unwrap();
+    let pp_hits = service.search_with(&request).unwrap().file_ids();
     let pp_cold = start.elapsed().as_secs_f64();
     let start = Instant::now();
     for _ in 0..59 {
-        let _ = service.search(&query.predicate).unwrap();
+        let _ = service.search_with(&request).unwrap();
     }
     let pp_warm = start.elapsed().as_secs_f64() / 59.0;
 
@@ -74,22 +74,17 @@ fn run_dataset(name: &str, files: usize, supported_fraction: f64, seed: u64) -> 
     let settled = Timestamp::EPOCH + Duration::from_secs(3_600);
     spotlight.pump(settled);
     let start = Instant::now();
-    let sl_hits = spotlight.query(&query.predicate, settled);
+    let sl_hits = spotlight.search_with(&request, settled).file_ids();
     let sl_cold = start.elapsed().as_secs_f64();
     let start = Instant::now();
     for _ in 0..59 {
-        let _ = spotlight.query(&query.predicate, settled);
+        let _ = spotlight.search_with(&request, settled);
     }
     let sl_warm = start.elapsed().as_secs_f64() / 59.0;
 
     println!("[{name}] truth = {} files > 16 MB of {files}", truth.len());
     vec![
-        Row {
-            system: "Brute-Force",
-            cold_s: brute_cold,
-            warm_s: brute_warm,
-            recall_pct: 100.0,
-        },
+        Row { system: "Brute-Force", cold_s: brute_cold, warm_s: brute_warm, recall_pct: 100.0 },
         Row {
             system: "Spotlight",
             cold_s: sl_cold,
@@ -109,10 +104,9 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let scale = if quick { 10 } else { 1 };
     table::banner("Table V: Propeller vs Spotlight vs brute force (size>16m)");
-    for (name, files, coverage, seed) in [
-        ("Dataset 1", 138_000 / scale, 0.606, 51),
-        ("Dataset 2", 487_000 / scale, 0.1386, 52),
-    ] {
+    for (name, files, coverage, seed) in
+        [("Dataset 1", 138_000 / scale, 0.606, 51), ("Dataset 2", 487_000 / scale, 0.1386, 52)]
+    {
         let rows = run_dataset(name, files, coverage, seed);
         table::header(&[name, "cold (s)", "warm (s)", "recall"]);
         for r in rows {

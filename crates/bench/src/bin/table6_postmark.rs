@@ -9,13 +9,7 @@ use propeller_workloads::{PostMark, PostMarkConfig};
 fn main() {
     table::banner("Table VI: PostMark results");
     let runner = PostMark::new(PostMarkConfig::default());
-    table::header(&[
-        "file system",
-        "creates/s",
-        "read MB/s",
-        "write MB/s",
-        "elapsed (s)",
-    ]);
+    table::header(&["file system", "creates/s", "read MB/s", "write MB/s", "elapsed (s)"]);
     let mut ptfs_elapsed = 0.0;
     let mut propeller_elapsed = 0.0;
     for profile in FsCostProfile::table_six() {

@@ -11,12 +11,13 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use propeller_index::{FileRecord, IndexOp, IndexSpec};
-use propeller_query::{Predicate, Query};
+use propeller_query::{
+    merge_sorted_hits, next_cursor, FanOutPolicy, Hit, Predicate, Query, SearchRequest,
+    SearchResponse, SearchStats,
+};
 use propeller_sim::Clock;
 use propeller_trace::CausalityTracker;
-use propeller_types::{
-    AcgId, Error, FileId, NodeId, OpenMode, ProcessId, Result, TraceEvent,
-};
+use propeller_types::{AcgId, Error, FileId, NodeId, OpenMode, ProcessId, Result, TraceEvent};
 
 use crate::messages::{Request, Response};
 use crate::rpc::Rpc;
@@ -63,11 +64,8 @@ impl FileQueryEngine {
     /// Resolves routes for `files`, consulting the cache first and the
     /// Master for the rest (in one batch).
     fn resolve(&mut self, files: &[FileId]) -> Result<Vec<(FileId, AcgId, NodeId)>> {
-        let missing: Vec<FileId> = files
-            .iter()
-            .copied()
-            .filter(|f| !self.route_cache.contains_key(f))
-            .collect();
+        let missing: Vec<FileId> =
+            files.iter().copied().filter(|f| !self.route_cache.contains_key(f)).collect();
         if !missing.is_empty() {
             match self.rpc.call(self.master, Request::ResolveFiles { files: missing })? {
                 Response::Resolved(rows) => {
@@ -81,10 +79,7 @@ impl FileQueryEngine {
         files
             .iter()
             .map(|f| {
-                self.route_cache
-                    .get(f)
-                    .map(|&(a, n)| (*f, a, n))
-                    .ok_or(Error::FileNotFound(*f))
+                self.route_cache.get(f).map(|&(a, n)| (*f, a, n)).ok_or(Error::FileNotFound(*f))
             })
             .collect()
     }
@@ -93,18 +88,16 @@ impl FileQueryEngine {
     /// Master, then per-(ACG, node) batches go to the Index Nodes in
     /// parallel — the paper's parallel file-indexing path.
     ///
+    /// Cached routes can go stale after an ACG split/migration; a batch
+    /// rejected with [`Error::StaleRoute`] drops the offending cache
+    /// entries, re-resolves through the Master and retries once.
+    ///
     /// # Errors
     ///
     /// Fails if the Master or any involved Index Node is unreachable or
-    /// rejects its batch.
+    /// rejects its batch (after the one stale-route retry).
     pub fn index_files(&mut self, records: Vec<FileRecord>) -> Result<()> {
-        let files: Vec<FileId> = records.iter().map(|r| r.file).collect();
-        let routes = self.resolve(&files)?;
-        let mut by_target: HashMap<(NodeId, AcgId), Vec<IndexOp>> = HashMap::new();
-        for (record, (_, acg, node)) in records.into_iter().zip(routes) {
-            by_target.entry((node, acg)).or_default().push(IndexOp::Upsert(record));
-        }
-        self.send_batches(by_target)
+        self.apply_ops(records.into_iter().map(IndexOp::Upsert).collect())
     }
 
     /// Removes files from the index (file-deletion path).
@@ -113,40 +106,106 @@ impl FileQueryEngine {
     ///
     /// Same failure modes as [`FileQueryEngine::index_files`].
     pub fn remove_files(&mut self, files: Vec<FileId>) -> Result<()> {
-        let routes = self.resolve(&files)?;
-        let mut by_target: HashMap<(NodeId, AcgId), Vec<IndexOp>> = HashMap::new();
-        for (file, acg, node) in routes {
-            by_target.entry((node, acg)).or_default().push(IndexOp::Remove(file));
-        }
-        self.send_batches(by_target)
+        self.apply_ops(files.into_iter().map(IndexOp::Remove).collect())
     }
 
-    fn send_batches(&self, by_target: HashMap<(NodeId, AcgId), Vec<IndexOp>>) -> Result<()> {
+    /// Routes, batches and dispatches index ops, retrying once with fresh
+    /// routes when an Index Node reports a *cached* route moved. Only
+    /// batches that used the cache keep a copy of their ops for the retry
+    /// — freshly resolved batches ship without any extra clone.
+    ///
+    /// A freshly resolved route can still race an in-flight split (the
+    /// window between `ExtractAcgPart` and `CommitSplit` at the Master):
+    /// that narrow case surfaces as [`Error::StaleRoute`] and the caller
+    /// may simply retry the batch.
+    fn apply_ops(&mut self, ops: Vec<IndexOp>) -> Result<()> {
+        let files: Vec<FileId> = ops.iter().map(IndexOp::file).collect();
+        let cached: std::collections::HashSet<FileId> =
+            files.iter().copied().filter(|f| self.route_cache.contains_key(f)).collect();
+        let routes = self.resolve(&files)?;
+        let mut by_target: HashMap<(NodeId, AcgId), (Vec<IndexOp>, bool)> = HashMap::new();
+        for (op, (file, acg, node)) in ops.into_iter().zip(routes) {
+            let entry = by_target.entry((node, acg)).or_default();
+            entry.1 |= cached.contains(&file);
+            entry.0.push(op);
+        }
+        let failures = self.dispatch_batches(by_target);
+        if failures.is_empty() {
+            return Ok(());
+        }
+        // Stale cached routes are retried after invalidation; anything
+        // else is fatal right away.
+        let mut retry_ops = Vec::new();
+        for (ops, err) in failures {
+            match err {
+                Error::StaleRoute { .. } if !ops.is_empty() => retry_ops.extend(ops),
+                other => return Err(other),
+            }
+        }
+        let retry_files: Vec<FileId> = retry_ops.iter().map(IndexOp::file).collect();
+        for file in &retry_files {
+            self.route_cache.remove(file);
+        }
+        let routes = self.resolve(&retry_files)?;
+        let mut by_target: HashMap<(NodeId, AcgId), (Vec<IndexOp>, bool)> = HashMap::new();
+        for (op, (_, acg, node)) in retry_ops.into_iter().zip(routes) {
+            by_target.entry((node, acg)).or_default().0.push(op);
+        }
+        match self.dispatch_batches(by_target).pop() {
+            None => Ok(()),
+            Some((_, err)) => Err(err),
+        }
+    }
+
+    /// Sends the per-(node, ACG) batches in parallel, returning the failed
+    /// batches and their errors. Batches flagged as cache-routed return
+    /// their ops (kept for the stale-route retry); others return empty.
+    fn dispatch_batches(
+        &self,
+        by_target: HashMap<(NodeId, AcgId), (Vec<IndexOp>, bool)>,
+    ) -> Vec<(Vec<IndexOp>, Error)> {
         let now = self.clock.now();
-        let results: Vec<Result<()>> = std::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = by_target
                 .into_iter()
-                .map(|((node, acg), ops)| {
+                .map(|((node, acg), (ops, cached))| {
                     let rpc = self.rpc.clone();
                     s.spawn(move || {
-                        rpc.call(node, Request::IndexBatch { acg, ops, now }).map(|_| ())
+                        let keep = if cached { ops.clone() } else { Vec::new() };
+                        let result = rpc.call(node, Request::IndexBatch { acg, ops, now });
+                        (keep, result)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("batch thread")).collect()
-        });
-        results.into_iter().collect()
+            handles
+                .into_iter()
+                .filter_map(|h| {
+                    let (keep, result) = h.join().expect("batch thread");
+                    result.err().map(|e| (keep, e))
+                })
+                .collect()
+        })
     }
 
-    /// Searches the whole cluster: asks the Master for every ACG location,
-    /// fans the query out to the owning Index Nodes in parallel, and
-    /// aggregates the hits (paper §IV "Parallel File-Indexing and
-    /// File-Search Operations").
+    /// Runs a full [`SearchRequest`] against the cluster — the canonical
+    /// search entry point.
+    ///
+    /// The engine asks the Master for every ACG location, fans the request
+    /// out to the owning Index Nodes in parallel (each answers with its
+    /// local top-k in request sort order), k-way merges the per-node lists
+    /// and attaches merged [`SearchStats`], a completeness marker and a
+    /// continuation cursor.
     ///
     /// # Errors
     ///
-    /// Fails if the Master or any involved Index Node is unreachable.
-    pub fn search(&self, predicate: &Predicate) -> Result<Vec<FileId>> {
+    /// Under [`FanOutPolicy::RequireAll`] any unreachable node fails the
+    /// search. Under [`FanOutPolicy::AllowPartial`] node failures are
+    /// tolerated as long as at least `min_nodes` nodes still answered;
+    /// below that quorum the first node error is returned. Validation
+    /// errors surface as [`Error::InvalidQuery`].
+    pub fn search_with(&self, request: &SearchRequest) -> Result<SearchResponse> {
+        request.validate()?;
+        let started = self.clock.now();
         let located = match self.rpc.call(self.master, Request::LocateAcgs)? {
             Response::Located(rows) => rows,
             other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
@@ -155,30 +214,74 @@ impl FileQueryEngine {
         for (acg, node) in located {
             by_node.entry(node).or_default().push(acg);
         }
+        if by_node.is_empty() {
+            return Ok(SearchResponse::empty());
+        }
         let now = self.clock.now();
-        let results: Vec<Result<Vec<FileId>>> = std::thread::scope(|s| {
+        type NodeResult = (NodeId, Result<(Vec<Hit>, SearchStats)>);
+        let results: Vec<NodeResult> = std::thread::scope(|s| {
             let handles: Vec<_> = by_node
                 .into_iter()
                 .map(|(node, acgs)| {
                     let rpc = self.rpc.clone();
-                    let predicate = predicate.clone();
+                    let request = request.clone();
                     s.spawn(move || {
-                        match rpc.call(node, Request::Search { acgs, predicate, now })? {
-                            Response::SearchHits(hits) => Ok(hits),
-                            other => Err(Error::Rpc(format!("unexpected response {other:?}"))),
-                        }
+                        let result = match rpc.call(node, Request::Search { acgs, request, now }) {
+                            Ok(Response::SearchHits { hits, stats }) => Ok((hits, stats)),
+                            Ok(other) => Err(Error::Rpc(format!("unexpected response {other:?}"))),
+                            Err(e) => Err(e),
+                        };
+                        (node, result)
                     })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("search thread")).collect()
         });
-        let mut merged = Vec::new();
-        for r in results {
-            merged.extend(r?);
+
+        let mut lists = Vec::new();
+        let mut stats = SearchStats::default();
+        let mut failed: Vec<(NodeId, Error)> = Vec::new();
+        for (node, result) in results {
+            match result {
+                Ok((hits, node_stats)) => {
+                    stats.absorb(node_stats);
+                    lists.push(hits);
+                }
+                Err(e) => match request.fan_out {
+                    FanOutPolicy::RequireAll => return Err(e),
+                    FanOutPolicy::AllowPartial { .. } => failed.push((node, e)),
+                },
+            }
         }
-        merged.sort_unstable();
-        merged.dedup();
-        Ok(merged)
+        // A search with no failures is complete regardless of how few
+        // nodes held relevant ACGs; the quorum only gates degraded runs.
+        if let FanOutPolicy::AllowPartial { min_nodes } = request.fan_out {
+            if !failed.is_empty() && lists.len() < min_nodes {
+                return Err(failed.into_iter().next().map(|(_, e)| e).unwrap_or_else(|| {
+                    Error::Rpc(format!(
+                        "partial search needs {min_nodes} answering nodes, got {}",
+                        lists.len()
+                    ))
+                }));
+            }
+        }
+
+        let hits = merge_sorted_hits(lists, &request.sort, request.limit);
+        let cursor = next_cursor(&hits, request.limit);
+        stats.elapsed = self.clock.now().since(started);
+        let mut unreachable: Vec<NodeId> = failed.into_iter().map(|(n, _)| n).collect();
+        unreachable.sort_unstable();
+        Ok(SearchResponse { complete: unreachable.is_empty(), unreachable, hits, stats, cursor })
+    }
+
+    /// Classic searches: the whole matching id set, sorted by file id
+    /// (a thin wrapper over [`FileQueryEngine::search_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the Master or any involved Index Node is unreachable.
+    pub fn search(&self, predicate: &Predicate) -> Result<Vec<FileId>> {
+        Ok(self.search_with(&SearchRequest::new(predicate.clone()))?.file_ids())
     }
 
     /// Parses and runs a textual query (`"size>16m & mtime<1day"`).
@@ -192,17 +295,48 @@ impl FileQueryEngine {
     }
 
     /// Creates a user-defined index cluster-wide: registered at the Master
-    /// (name uniqueness), then broadcast to every Index Node.
+    /// (name uniqueness), then broadcast best-effort to every Index Node.
+    /// A partial broadcast is rolled back — the spec is dropped from the
+    /// nodes that did receive it and unregistered at the Master — and
+    /// reported as [`Error::PartialIndexBroadcast`] listing the nodes that
+    /// missed it, so the cluster is never left half-indexed.
     ///
     /// # Errors
     ///
-    /// Fails on duplicate names or unreachable nodes.
+    /// Fails on duplicate names ([`Error::IndexExists`]) or with
+    /// [`Error::PartialIndexBroadcast`] when any node was unreachable.
     pub fn create_index(&self, spec: IndexSpec) -> Result<()> {
         self.rpc.call(self.master, Request::CreateIndex { spec: spec.clone() })?;
+        let mut missed = Vec::new();
+        let mut rejected: Option<Error> = None;
         for &node in &self.index_nodes {
-            self.rpc.call(node, Request::CreateIndex { spec: spec.clone() })?;
+            match self.rpc.call(node, Request::CreateIndex { spec: spec.clone() }) {
+                Ok(_) => {}
+                // Transport failures mean the node never saw the spec; any
+                // other error is the node *rejecting* the spec — that is
+                // the error the caller should see, not a broadcast report.
+                Err(Error::NodeUnavailable(_) | Error::Rpc(_)) => missed.push(node),
+                Err(e) => {
+                    rejected.get_or_insert(e);
+                }
+            }
         }
-        Ok(())
+        if missed.is_empty() && rejected.is_none() {
+            return Ok(());
+        }
+        // Roll back: best-effort drop on *every* node — including the
+        // "missed" ones, because a timed-out call may still have been
+        // applied after the timeout fired — then unregister at the Master
+        // so the name can be retried. (Nodes that rejected the spec
+        // rolled their own groups back.)
+        for &node in &self.index_nodes {
+            let _ = self.rpc.call(node, Request::DropIndex { name: spec.name.clone() });
+        }
+        let _ = self.rpc.call(self.master, Request::DropIndex { name: spec.name.clone() });
+        match rejected {
+            Some(e) => Err(e),
+            None => Err(Error::PartialIndexBroadcast { index: spec.name, missed }),
+        }
     }
 
     // ---- access capture ---------------------------------------------------

@@ -123,6 +123,7 @@ impl Cluster {
                         seed: config.seed.wrapping_add(i as u64),
                         ..PartitionConfig::default()
                     },
+                    ..IndexNodeConfig::default()
                 },
             );
             handles.push(
@@ -244,19 +245,14 @@ mod tests {
     use propeller_types::{AttrName, FileId, InodeAttrs};
 
     fn record(file: u64, size_mib: u64) -> FileRecord {
-        FileRecord::new(
-            FileId::new(file),
-            InodeAttrs::builder().size(size_mib << 20).build(),
-        )
+        FileRecord::new(FileId::new(file), InodeAttrs::builder().size(size_mib << 20).build())
     }
 
     #[test]
     fn end_to_end_index_and_search() {
         let cluster = Cluster::start(ClusterConfig { index_nodes: 4, ..Default::default() });
         let mut client = cluster.client();
-        client
-            .index_files((0..100).map(|i| record(i, i)).collect())
-            .unwrap();
+        client.index_files((0..100).map(|i| record(i, i)).collect()).unwrap();
         let hits = client.search_text("size>16m").unwrap();
         assert_eq!(hits.len(), 83, "sizes 17..99 MiB");
         cluster.shutdown();
@@ -270,17 +266,14 @@ mod tests {
             ..Default::default()
         });
         let mut client = cluster.client();
-        client
-            .index_files((0..100).map(|i| record(i, 1)).collect())
-            .unwrap();
+        client.index_files((0..100).map(|i| record(i, 1)).collect()).unwrap();
         // 100 files / 10 per ACG = 10 ACGs over 4 nodes.
         let located = match cluster.rpc().call(cluster.master_id(), Request::LocateAcgs) {
             Ok(Response::Located(rows)) => rows,
             other => panic!("{other:?}"),
         };
         assert_eq!(located.len(), 10);
-        let nodes: std::collections::HashSet<NodeId> =
-            located.iter().map(|(_, n)| *n).collect();
+        let nodes: std::collections::HashSet<NodeId> = located.iter().map(|(_, n)| *n).collect();
         assert!(nodes.len() >= 3, "load should spread: {nodes:?}");
         cluster.shutdown();
     }

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 
 use propeller_acg::{bisect, AcgGraph, PartitionConfig};
 use propeller_index::{AcgIndexGroup, FileRecord, GroupConfig, IndexSpec};
+use propeller_query::{merge_sorted_hits, SearchStats};
 use propeller_trace::EdgeUpdate;
 use propeller_types::{AcgId, Duration, Error, FileId, NodeId, Timestamp};
 
@@ -22,6 +23,12 @@ pub struct IndexNodeConfig {
     pub commit_timeout: Duration,
     /// Partitioner settings for splits.
     pub partition: PartitionConfig,
+    /// Upper bound on retained stale-route tombstones (files migrated out
+    /// of an ACG hosted here). Oldest entries are evicted first; an
+    /// evicted entry only matters for a client whose cached route predates
+    /// that many migrations, which then degrades to pre-tombstone
+    /// behaviour (the batch lands in the old group, still searchable).
+    pub max_tombstones: usize,
 }
 
 impl Default for IndexNodeConfig {
@@ -29,6 +36,7 @@ impl Default for IndexNodeConfig {
         IndexNodeConfig {
             commit_timeout: Duration::from_secs(5),
             partition: PartitionConfig::default(),
+            max_tombstones: 1_000_000,
         }
     }
 }
@@ -43,6 +51,17 @@ pub struct IndexNode {
     graphs: HashMap<AcgId, AcgGraph>,
     /// Indices to create on every (current and future) group.
     extra_specs: Vec<IndexSpec>,
+    /// Files migrated *out* of each ACG hosted here, mapped to the
+    /// generation of their latest tombstone. A later batch that still
+    /// routes one of these files to the old ACG is a stale client route
+    /// and is rejected with [`Error::StaleRoute`] so the client can
+    /// re-resolve instead of silently resurrecting the file in the wrong
+    /// group. Bounded by `config.max_tombstones` via FIFO eviction of
+    /// `tombstone_order`; generations keep superseded order entries (a
+    /// file re-installed and re-extracted) from evicting a live tombstone.
+    moved_away: HashMap<AcgId, HashMap<FileId, u64>>,
+    tombstone_order: std::collections::VecDeque<(AcgId, FileId, u64)>,
+    tombstone_gen: u64,
     searches_served: u64,
     ops_received: u64,
 }
@@ -56,6 +75,9 @@ impl IndexNode {
             groups: HashMap::new(),
             graphs: HashMap::new(),
             extra_specs: Vec::new(),
+            moved_away: HashMap::new(),
+            tombstone_order: std::collections::VecDeque::new(),
+            tombstone_gen: 0,
             searches_served: 0,
             ops_received: 0,
         }
@@ -82,10 +104,7 @@ impl IndexNode {
         self.groups.entry(acg).or_insert_with(|| {
             let mut group = AcgIndexGroup::new(
                 acg,
-                GroupConfig {
-                    commit_timeout: config.commit_timeout,
-                    ..GroupConfig::default()
-                },
+                GroupConfig { commit_timeout: config.commit_timeout, ..GroupConfig::default() },
             );
             for spec in extra {
                 // Name collisions with defaults are rejected upstream.
@@ -93,6 +112,31 @@ impl IndexNode {
             }
             group
         })
+    }
+
+    /// Records stale-route tombstones for files migrated out of `acg`,
+    /// evicting the oldest entries past the configured cap. An eviction
+    /// only removes a tombstone whose generation matches the popped order
+    /// entry — superseded entries (the file was re-installed and
+    /// re-extracted since) pop as no-ops.
+    fn add_tombstones(&mut self, acg: AcgId, files: &[FileId]) {
+        let map = self.moved_away.entry(acg).or_default();
+        for &file in files {
+            self.tombstone_gen += 1;
+            map.insert(file, self.tombstone_gen);
+            self.tombstone_order.push_back((acg, file, self.tombstone_gen));
+        }
+        while self.tombstone_order.len() > self.config.max_tombstones {
+            let Some((acg, file, gen)) = self.tombstone_order.pop_front() else { break };
+            if let Some(map) = self.moved_away.get_mut(&acg) {
+                if map.get(&file) == Some(&gen) {
+                    map.remove(&file);
+                }
+                if map.is_empty() {
+                    self.moved_away.remove(&acg);
+                }
+            }
+        }
     }
 
     fn summaries(&self) -> Vec<AcgSummary> {
@@ -115,6 +159,14 @@ impl IndexNode {
     pub fn handle(&mut self, req: Request) -> Response {
         match req {
             Request::IndexBatch { acg, ops, now } => {
+                // Reject ops for files migrated out of this ACG: the client
+                // is using a route that moved. It drops its cache entry,
+                // re-resolves through the Master and retries.
+                if let Some(moved) = self.moved_away.get(&acg) {
+                    if let Some(op) = ops.iter().find(|op| moved.contains_key(&op.file())) {
+                        return Response::Err(Error::StaleRoute { acg, file: op.file() });
+                    }
+                }
                 self.ops_received += ops.len() as u64;
                 let group = self.group_mut(acg);
                 for op in ops {
@@ -124,21 +176,26 @@ impl IndexNode {
                 }
                 Response::Ok
             }
-            Request::Search { acgs, predicate, now } => {
+            Request::Search { acgs, request, now } => {
                 self.searches_served += 1;
-                let mut hits = Vec::new();
+                let mut per_acg = Vec::new();
+                let mut stats = SearchStats::default();
                 for acg in acgs {
                     if let Some(group) = self.groups.get_mut(&acg) {
                         // The paper's consistency rule: commit before search.
-                        match propeller_query::search(group, &predicate, now) {
-                            Ok(mut h) => hits.append(&mut h),
+                        match propeller_query::search_request(group, &request, now) {
+                            Ok((hits, acg_stats)) => {
+                                stats.absorb(acg_stats);
+                                per_acg.push(hits);
+                            }
                             Err(e) => return Response::Err(e),
                         }
                     }
                 }
-                hits.sort_unstable();
-                hits.dedup();
-                Response::SearchHits(hits)
+                // Each ACG's list is sorted and limit-bounded; merge them
+                // into this node's partial top-k.
+                let hits = merge_sorted_hits(per_acg, &request.sort, request.limit);
+                Response::SearchHits { hits, stats }
             }
             Request::FlushAcgDelta { acg, edges } => {
                 let graph = self.graphs.entry(acg).or_default();
@@ -146,12 +203,35 @@ impl IndexNode {
                 Response::Ok
             }
             Request::CreateIndex { spec } => {
-                for group in self.groups.values_mut() {
-                    if let Err(e) = group.create_index(spec.clone()) {
-                        return Response::Err(e);
+                // Apply to every group, rolling the spec back out of the
+                // groups that already accepted it if one fails — a node
+                // never ends up with the index on only some of its groups.
+                let acgs: Vec<AcgId> = self.groups.keys().copied().collect();
+                let mut applied: Vec<AcgId> = Vec::new();
+                for acg in acgs {
+                    let group = self.groups.get_mut(&acg).expect("key just listed");
+                    match group.create_index(spec.clone()) {
+                        Ok(()) => applied.push(acg),
+                        Err(e) => {
+                            for acg in applied {
+                                if let Some(group) = self.groups.get_mut(&acg) {
+                                    let _ = group.drop_index(&spec.name);
+                                }
+                            }
+                            return Response::Err(e);
+                        }
                     }
                 }
                 self.extra_specs.push(spec);
+                Response::Ok
+            }
+            Request::DropIndex { name } => {
+                self.extra_specs.retain(|s| s.name != name);
+                for group in self.groups.values_mut() {
+                    // Idempotent rollback: groups that never got the spec
+                    // are fine.
+                    let _ = group.drop_index(&name);
+                }
                 Response::Ok
             }
             Request::SplitAcg { acg } => {
@@ -166,11 +246,8 @@ impl IndexNode {
                 // Bisect the causality subgraph over the group's files;
                 // files without causality data become isolated vertices and
                 // get balanced across halves by the partitioner.
-                let mut graph = self
-                    .graphs
-                    .get(&acg)
-                    .map(|g| g.subgraph(&files))
-                    .unwrap_or_default();
+                let mut graph =
+                    self.graphs.get(&acg).map(|g| g.subgraph(&files)).unwrap_or_default();
                 for &f in &files {
                     graph.add_vertex(f);
                 }
@@ -186,19 +263,17 @@ impl IndexNode {
                     return Response::Err(e);
                 }
                 let wanted: std::collections::HashSet<FileId> = files.iter().copied().collect();
-                let records: Vec<FileRecord> = group
-                    .records()
-                    .filter(|r| wanted.contains(&r.file))
-                    .cloned()
-                    .collect();
+                let records: Vec<FileRecord> =
+                    group.records().filter(|r| wanted.contains(&r.file)).cloned().collect();
                 // Remove the moved records from this group.
                 for r in &records {
-                    let _ = group.enqueue(
-                        propeller_index::IndexOp::Remove(r.file),
-                        Timestamp::EPOCH,
-                    );
+                    let _ =
+                        group.enqueue(propeller_index::IndexOp::Remove(r.file), Timestamp::EPOCH);
                 }
                 let _ = group.commit(Timestamp::EPOCH);
+                // Tombstone the moved files: batches still routing them
+                // here are stale and must re-resolve (see IndexBatch).
+                self.add_tombstones(acg, &files);
                 // Carve the matching subgraph out of the ACG graph.
                 let edges: Vec<EdgeUpdate> = match self.graphs.get_mut(&acg) {
                     Some(graph) => {
@@ -215,12 +290,18 @@ impl IndexNode {
                 Response::AcgPart { records, edges }
             }
             Request::InstallAcg { acg, records, edges } => {
+                // A file migrating (back) into an ACG hosted here is no
+                // longer moved-away from it.
+                if let Some(moved) = self.moved_away.get_mut(&acg) {
+                    for record in &records {
+                        moved.remove(&record.file);
+                    }
+                }
                 let group = self.group_mut(acg);
                 for record in records {
-                    if let Err(e) = group.enqueue(
-                        propeller_index::IndexOp::Upsert(record),
-                        Timestamp::EPOCH,
-                    ) {
+                    if let Err(e) =
+                        group.enqueue(propeller_index::IndexOp::Upsert(record), Timestamp::EPOCH)
+                    {
                         return Response::Err(e);
                     }
                 }
@@ -276,8 +357,9 @@ mod tests {
 
     fn search(n: &mut IndexNode, acgs: Vec<AcgId>, text: &str) -> Vec<FileId> {
         let q = Query::parse(text, t(0)).unwrap();
-        match n.handle(Request::Search { acgs, predicate: q.predicate, now: t(100) }) {
-            Response::SearchHits(h) => h,
+        let request = propeller_query::SearchRequest::new(q.predicate);
+        match n.handle(Request::Search { acgs, request, now: t(100) }) {
+            Response::SearchHits { hits, .. } => hits.into_iter().map(|h| h.file).collect(),
             other => panic!("{other:?}"),
         }
     }
@@ -333,11 +415,7 @@ mod tests {
     fn tick_commits_timed_out_caches() {
         let mut n = node();
         let acg = AcgId::new(1);
-        n.handle(Request::IndexBatch {
-            acg,
-            ops: vec![IndexOp::Upsert(rec(1, 100))],
-            now: t(0),
-        });
+        n.handle(Request::IndexBatch { acg, ops: vec![IndexOp::Upsert(rec(1, 100))], now: t(0) });
         assert_eq!(n.groups[&acg].pending_ops(), 1);
         n.handle(Request::Tick { now: t(1) }); // before timeout
         assert_eq!(n.groups[&acg].pending_ops(), 1);
@@ -366,10 +444,7 @@ mod tests {
         n.handle(Request::FlushAcgDelta { acg, edges });
         n.handle(Request::IndexBatch {
             acg,
-            ops: (0..10)
-                .chain(100..110)
-                .map(|i| IndexOp::Upsert(rec(i, i)))
-                .collect(),
+            ops: (0..10).chain(100..110).map(|i| IndexOp::Upsert(rec(i, i))).collect(),
             now: t(0),
         });
         match n.handle(Request::SplitAcg { acg }) {
@@ -427,20 +502,14 @@ mod tests {
         });
         let spec = IndexSpec::btree("uid_idx", propeller_types::AttrName::Uid);
         assert!(matches!(n.handle(Request::CreateIndex { spec }), Response::Ok));
-        assert!(n.groups[&AcgId::new(1)]
-            .index_specs()
-            .iter()
-            .any(|s| s.name == "uid_idx"));
+        assert!(n.groups[&AcgId::new(1)].index_specs().iter().any(|s| s.name == "uid_idx"));
         // A group created later also carries the index.
         n.handle(Request::IndexBatch {
             acg: AcgId::new(2),
             ops: vec![IndexOp::Upsert(rec(2, 5))],
             now: t(0),
         });
-        assert!(n.groups[&AcgId::new(2)]
-            .index_specs()
-            .iter()
-            .any(|s| s.name == "uid_idx"));
+        assert!(n.groups[&AcgId::new(2)].index_specs().iter().any(|s| s.name == "uid_idx"));
     }
 
     #[test]
@@ -461,6 +530,145 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn stale_batch_for_migrated_file_is_rejected() {
+        let mut n = node();
+        let acg = AcgId::new(1);
+        n.handle(Request::IndexBatch {
+            acg,
+            ops: (0..20).map(|i| IndexOp::Upsert(rec(i, i))).collect(),
+            now: t(0),
+        });
+        let moved: Vec<FileId> = (10..20).map(FileId::new).collect();
+        n.handle(Request::ExtractAcgPart { acg, files: moved });
+        // A batch routed with the old (acg, node) pair must be rejected,
+        // not silently resurrected in the source group.
+        let resp = n.handle(Request::IndexBatch {
+            acg,
+            ops: vec![IndexOp::Upsert(rec(15, 1 << 20))],
+            now: t(1),
+        });
+        assert!(
+            matches!(resp, Response::Err(Error::StaleRoute { file, .. }) if file == FileId::new(15)),
+            "{resp:?}"
+        );
+        // Kept files still index fine.
+        let resp = n.handle(Request::IndexBatch {
+            acg,
+            ops: vec![IndexOp::Upsert(rec(5, 1 << 20))],
+            now: t(1),
+        });
+        assert!(matches!(resp, Response::Ok), "{resp:?}");
+    }
+
+    #[test]
+    fn search_request_returns_per_node_topk_with_stats() {
+        use propeller_query::{SearchRequest, SortKey};
+        let mut n = node();
+        for acg in 1..=3u64 {
+            n.handle(Request::IndexBatch {
+                acg: AcgId::new(acg),
+                ops: (0..50)
+                    .map(|i| IndexOp::Upsert(rec(acg * 100 + i, (acg * 100 + i) << 20)))
+                    .collect(),
+                now: t(0),
+            });
+        }
+        let q = Query::parse("size>0", t(0)).unwrap();
+        let request = SearchRequest::new(q.predicate)
+            .with_limit(5)
+            .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
+        let (hits, stats) = match n.handle(Request::Search {
+            acgs: (1..=3).map(AcgId::new).collect(),
+            request,
+            now: t(100),
+        }) {
+            Response::SearchHits { hits, stats } => (hits, stats),
+            other => panic!("{other:?}"),
+        };
+        let files: Vec<u64> = hits.iter().map(|h| h.file.raw()).collect();
+        assert_eq!(files, vec![349, 348, 347, 346, 345], "largest sizes win");
+        assert_eq!(stats.acgs_consulted, 3);
+        assert!(stats.retained_peak <= 5, "per-ACG bound: {}", stats.retained_peak);
+        assert_eq!(stats.access_paths.len(), 3);
+        assert!(hits.iter().all(|h| h.acg == Some(AcgId::new(3))));
+    }
+
+    #[test]
+    fn tombstones_are_bounded_by_fifo_eviction() {
+        let mut n = IndexNode::new(
+            NodeId::new(1),
+            IndexNodeConfig { max_tombstones: 5, ..IndexNodeConfig::default() },
+        );
+        let acg = AcgId::new(1);
+        n.handle(Request::IndexBatch {
+            acg,
+            ops: (0..10).map(|i| IndexOp::Upsert(rec(i, i))).collect(),
+            now: t(0),
+        });
+        n.handle(Request::ExtractAcgPart { acg, files: (0..10).map(FileId::new).collect() });
+        assert_eq!(n.tombstone_order.len(), 5, "cap enforced");
+        // The oldest tombstones were evicted: a stale batch for file 0 is
+        // accepted again (degrades to pre-tombstone behaviour)...
+        let resp =
+            n.handle(Request::IndexBatch { acg, ops: vec![IndexOp::Upsert(rec(0, 1))], now: t(1) });
+        assert!(matches!(resp, Response::Ok), "{resp:?}");
+        // ...while the newest are still rejected.
+        let resp =
+            n.handle(Request::IndexBatch { acg, ops: vec![IndexOp::Upsert(rec(9, 1))], now: t(1) });
+        assert!(matches!(resp, Response::Err(Error::StaleRoute { .. })), "{resp:?}");
+    }
+
+    #[test]
+    fn rejected_index_spec_rolls_back_groups_that_accepted_it() {
+        let mut n = node();
+        for acg in 1..=3u64 {
+            n.handle(Request::IndexBatch {
+                acg: AcgId::new(acg),
+                ops: vec![IndexOp::Upsert(rec(acg, 5))],
+                now: t(0),
+            });
+        }
+        // Pre-seed one group with the name so the broadcast fails there.
+        n.groups
+            .get_mut(&AcgId::new(2))
+            .unwrap()
+            .create_index(IndexSpec::btree("clash", propeller_types::AttrName::Uid))
+            .unwrap();
+        let resp = n.handle(Request::CreateIndex {
+            spec: IndexSpec::btree("clash", propeller_types::AttrName::Gid),
+        });
+        assert!(matches!(resp, Response::Err(Error::IndexExists(_))), "{resp:?}");
+        // No group outside the pre-seeded one kept the spec.
+        for acg in [1u64, 3] {
+            assert!(
+                !n.groups[&AcgId::new(acg)].index_specs().iter().any(|s| s.name == "clash"),
+                "group {acg} kept a half-applied spec"
+            );
+        }
+        assert!(n.extra_specs.is_empty());
+    }
+
+    #[test]
+    fn drop_index_removes_from_existing_and_future_groups() {
+        let mut n = node();
+        n.handle(Request::IndexBatch {
+            acg: AcgId::new(1),
+            ops: vec![IndexOp::Upsert(rec(1, 5))],
+            now: t(0),
+        });
+        let spec = IndexSpec::btree("uid_idx", propeller_types::AttrName::Uid);
+        n.handle(Request::CreateIndex { spec });
+        n.handle(Request::DropIndex { name: "uid_idx".into() });
+        assert!(!n.groups[&AcgId::new(1)].index_specs().iter().any(|s| s.name == "uid_idx"));
+        n.handle(Request::IndexBatch {
+            acg: AcgId::new(2),
+            ops: vec![IndexOp::Upsert(rec(2, 5))],
+            now: t(0),
+        });
+        assert!(!n.groups[&AcgId::new(2)].index_specs().iter().any(|s| s.name == "uid_idx"));
     }
 
     #[test]

@@ -20,24 +20,42 @@
 //!
 //! # Examples
 //!
+//! Searches are expressed as [`propeller_query::SearchRequest`]s: the
+//! predicate plus top-k limit, sort key, projection, pagination cursor and
+//! the fan-out failure policy. Each Index Node answers with its local
+//! top-k; the client engine k-way merges the per-node lists.
+//!
 //! ```
 //! use propeller_cluster::{Cluster, ClusterConfig};
-//! use propeller_index::{FileRecord, IndexOp};
-//! use propeller_query::Query;
-//! use propeller_types::{FileId, InodeAttrs, Timestamp};
+//! use propeller_index::FileRecord;
+//! use propeller_query::{FanOutPolicy, SearchRequest, SortKey};
+//! use propeller_types::{AttrName, FileId, InodeAttrs, Timestamp};
 //!
 //! let cluster = Cluster::start(ClusterConfig { index_nodes: 4, ..Default::default() });
 //! let mut client = cluster.client();
 //!
-//! let record = FileRecord::new(
-//!     FileId::new(1),
-//!     InodeAttrs::builder().size(32 << 20).build(),
-//! );
-//! client.index_files(vec![record]).unwrap();
+//! client.index_files(
+//!     (1..=100u64)
+//!         .map(|i| FileRecord::new(
+//!             FileId::new(i),
+//!             InodeAttrs::builder().size(i << 20).build(),
+//!         ))
+//!         .collect(),
+//! ).unwrap();
 //!
-//! let q = Query::parse("size>16m", Timestamp::from_secs(0)).unwrap();
-//! let hits = client.search(&q.predicate).unwrap();
-//! assert_eq!(hits, vec![FileId::new(1)]);
+//! // Top-3 largest files above 16 MiB, tolerating one dead Index Node.
+//! let request = SearchRequest::parse("size>16m", Timestamp::from_secs(0))
+//!     .unwrap()
+//!     .with_limit(3)
+//!     .sorted_by(SortKey::Descending(AttrName::Size))
+//!     .with_fan_out(FanOutPolicy::AllowPartial { min_nodes: 3 });
+//! let resp = client.search_with(&request).unwrap();
+//! assert_eq!(resp.file_ids(), vec![FileId::new(100), FileId::new(99), FileId::new(98)]);
+//! assert!(resp.complete && resp.unreachable.is_empty());
+//! assert!(resp.cursor.is_some(), "more pages available");
+//!
+//! // The classic wrapper still returns the full sorted id set.
+//! assert_eq!(client.search_text("size>99m").unwrap(), vec![FileId::new(100)]);
 //! cluster.shutdown();
 //! ```
 

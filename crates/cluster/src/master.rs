@@ -51,11 +51,7 @@ pub struct MasterConfig {
 
 impl Default for MasterConfig {
     fn default() -> Self {
-        MasterConfig {
-            group_capacity: 1000,
-            split_threshold: 50_000,
-            flush_every_heartbeats: 16,
-        }
+        MasterConfig { group_capacity: 1000, split_threshold: 50_000, flush_every_heartbeats: 16 }
     }
 }
 
@@ -106,8 +102,7 @@ impl MasterNode {
 
     /// The node with the fewest assigned files (placement target).
     fn least_loaded(&self) -> Option<NodeId> {
-        let mut load: HashMap<NodeId, usize> =
-            self.index_nodes.iter().map(|&n| (n, 0)).collect();
+        let mut load: HashMap<NodeId, usize> = self.index_nodes.iter().map(|&n| (n, 0)).collect();
         for (acg, files) in &self.acg_files {
             if let Some(node) = self.acg_to_node.get(acg) {
                 *load.entry(*node).or_insert(0) += files;
@@ -154,10 +149,7 @@ impl MasterNode {
                     acg
                 }
             };
-            let node = *self
-                .acg_to_node
-                .get(&acg)
-                .ok_or(Error::AcgNotFound(acg))?;
+            let node = *self.acg_to_node.get(&acg).ok_or(Error::AcgNotFound(acg))?;
             out.push((file, acg, node));
         }
         Ok(out)
@@ -166,18 +158,16 @@ impl MasterNode {
     fn on_heartbeat(&mut self, node: NodeId, acgs: Vec<AcgSummary>, now: Timestamp) {
         self.heartbeats_seen += 1;
         let (files, count) = (acgs.iter().map(|a| a.files).sum(), acgs.len());
-        self.node_status
-            .insert(node, NodeStatus { last_heartbeat: now, files, acgs: count });
+        self.node_status.insert(node, NodeStatus { last_heartbeat: now, files, acgs: count });
         for summary in acgs {
             self.acg_files.insert(summary.acg, summary.files);
-            if summary.files > self.config.split_threshold
-                && !self.splitting.contains(&summary.acg)
+            if summary.files > self.config.split_threshold && !self.splitting.contains(&summary.acg)
             {
                 self.splitting.insert(summary.acg);
                 self.pending_splits.push((summary.acg, node));
             }
         }
-        if self.heartbeats_seen % self.config.flush_every_heartbeats == 0 {
+        if self.heartbeats_seen.is_multiple_of(self.config.flush_every_heartbeats) {
             self.flush_metadata();
         }
     }
@@ -246,6 +236,12 @@ impl MasterNode {
                 self.index_specs.push(spec);
                 Response::Ok
             }
+            Request::DropIndex { name } => {
+                // Idempotent: rolling back a registration that partially
+                // propagated must always succeed.
+                self.index_specs.retain(|s| s.name != name);
+                Response::Ok
+            }
             Request::Heartbeat { node, acgs, now } => {
                 self.on_heartbeat(node, acgs, now);
                 Response::Ok
@@ -288,9 +284,7 @@ impl MasterNode {
                 self.flush_metadata();
                 Response::Ok
             }
-            other => Response::Err(Error::Rpc(format!(
-                "master cannot handle {other:?}"
-            ))),
+            other => Response::Err(Error::Rpc(format!("master cannot handle {other:?}"))),
         }
     }
 }
@@ -310,10 +304,12 @@ mod tests {
         )
     }
 
-    fn resolve(m: &mut MasterNode, ids: impl IntoIterator<Item = u64>) -> Vec<(FileId, AcgId, NodeId)> {
-        match m.handle(Request::ResolveFiles {
-            files: ids.into_iter().map(FileId::new).collect(),
-        }) {
+    fn resolve(
+        m: &mut MasterNode,
+        ids: impl IntoIterator<Item = u64>,
+    ) -> Vec<(FileId, AcgId, NodeId)> {
+        match m.handle(Request::ResolveFiles { files: ids.into_iter().map(FileId::new).collect() })
+        {
             Response::Resolved(rows) => rows,
             other => panic!("unexpected {other:?}"),
         }
@@ -331,8 +327,7 @@ mod tests {
     fn open_acg_rolls_over_at_capacity() {
         let mut m = master(2, 10);
         let rows = resolve(&mut m, 0..25);
-        let acgs: std::collections::HashSet<AcgId> =
-            rows.iter().map(|(_, a, _)| *a).collect();
+        let acgs: std::collections::HashSet<AcgId> = rows.iter().map(|(_, a, _)| *a).collect();
         assert_eq!(acgs.len(), 3, "25 files / 10 capacity = 3 ACGs");
     }
 
@@ -448,10 +443,7 @@ mod tests {
         let mut fresh = MasterNode::new(nodes(2), MasterConfig::default());
         let loaded = fresh.load_metadata(&blob).unwrap();
         assert_eq!(loaded, 50);
-        assert_eq!(
-            fresh.file_to_acg.get(&FileId::new(7)),
-            m.file_to_acg.get(&FileId::new(7))
-        );
+        assert_eq!(fresh.file_to_acg.get(&FileId::new(7)), m.file_to_acg.get(&FileId::new(7)));
     }
 
     #[test]

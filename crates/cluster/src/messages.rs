@@ -1,7 +1,7 @@
 //! Cluster message types.
 
 use propeller_index::{FileRecord, IndexOp, IndexSpec};
-use propeller_query::Predicate;
+use propeller_query::{Hit, SearchRequest, SearchStats};
 use propeller_trace::EdgeUpdate;
 use propeller_types::{AcgId, Error, FileId, NodeId, Timestamp};
 
@@ -32,6 +32,12 @@ pub enum Request {
     CreateIndex {
         /// The index definition.
         spec: IndexSpec,
+    },
+    /// Unregister a user-defined index (rollback of a partial broadcast,
+    /// or explicit removal).
+    DropIndex {
+        /// The index name.
+        name: String,
     },
     /// Index Node liveness + load report.
     Heartbeat {
@@ -79,12 +85,14 @@ pub enum Request {
         /// Client-side send time.
         now: Timestamp,
     },
-    /// Execute a search against the given ACGs (commit-then-search).
+    /// Execute a search against the given ACGs (commit-then-search). The
+    /// node evaluates the full request locally: predicate, per-ACG top-k,
+    /// sort, cursor and projection.
     Search {
         /// ACGs hosted on this node to search.
         acgs: Vec<AcgId>,
-        /// The predicate.
-        predicate: Predicate,
+        /// The full search request (limit, sort, projection, cursor).
+        request: SearchRequest,
         /// Client-side send time.
         now: Timestamp,
     },
@@ -137,8 +145,15 @@ pub enum Response {
     Resolved(Vec<(FileId, AcgId, NodeId)>),
     /// ACG placement listing.
     Located(Vec<(AcgId, NodeId)>),
-    /// Search hits (sorted, deduplicated per node).
-    SearchHits(Vec<FileId>),
+    /// One node's partial search response: hits in request sort order
+    /// (at most `limit`, deduplicated per node) plus this node's share of
+    /// the execution stats. The client's engine k-way merges these.
+    SearchHits {
+        /// The node's top hits, sorted per the request.
+        hits: Vec<Hit>,
+        /// The node's execution stats.
+        stats: SearchStats,
+    },
     /// A split computed by an Index Node: the two halves.
     SplitHalves {
         /// Files for the left (kept) half.

@@ -112,9 +112,7 @@ impl Rpc {
             .ok_or(Error::NodeUnavailable(node))?;
         self.charge_message(Self::wire_size(&req));
         let (reply_tx, reply_rx) = bounded(1);
-        mailbox
-            .send((req, reply_tx))
-            .map_err(|_| Error::NodeUnavailable(node))?;
+        mailbox.send((req, reply_tx)).map_err(|_| Error::NodeUnavailable(node))?;
         let resp = reply_rx
             .recv_timeout(std::time::Duration::from_secs(30))
             .map_err(|_| Error::Rpc(format!("timeout waiting for {node}")))?;
@@ -137,9 +135,7 @@ impl Rpc {
             .ok_or(Error::NodeUnavailable(node))?;
         self.charge_message(Self::wire_size(&req));
         let (reply_tx, _reply_rx) = bounded(1);
-        mailbox
-            .send((req, reply_tx))
-            .map_err(|_| Error::NodeUnavailable(node))?;
+        mailbox.send((req, reply_tx)).map_err(|_| Error::NodeUnavailable(node))?;
         Ok(())
     }
 

@@ -10,23 +10,36 @@
 //!
 //! Both expose the same conceptual API: create named indices, feed file
 //! records (inline indexing), feed access traces (ACG capture), search with
-//! always-consistent results.
+//! always-consistent results through the [`SearchRequest`] /
+//! [`SearchResponse`] pair (top-k, sorting, projection, pagination).
 //!
 //! # Examples
 //!
 //! ```
-//! use propeller_core::{Propeller, PropellerConfig};
+//! use propeller_core::{Propeller, PropellerConfig, SearchRequest, SortKey};
 //! use propeller_index::FileRecord;
-//! use propeller_types::{FileId, InodeAttrs};
+//! use propeller_types::{AttrName, FileId, InodeAttrs, Timestamp};
 //!
 //! let mut service = Propeller::new(PropellerConfig::default());
-//! service.index_file(FileRecord::new(
-//!     FileId::new(1),
-//!     InodeAttrs::builder().size(20 << 20).build(),
-//! )).unwrap();
+//! for i in 1..=100u64 {
+//!     service.index_file(FileRecord::new(
+//!         FileId::new(i),
+//!         InodeAttrs::builder().size(i << 20).build(),
+//!     )).unwrap();
+//! }
 //!
-//! let hits = service.search_text("size>16m").unwrap();
-//! assert_eq!(hits, vec![FileId::new(1)]);
+//! // The canonical API: top-k with sorting, stats and a cursor.
+//! let req = SearchRequest::parse("size>16m", Timestamp::EPOCH)
+//!     .unwrap()
+//!     .with_limit(3)
+//!     .sorted_by(SortKey::Descending(AttrName::Size));
+//! let resp = service.search_with(&req).unwrap();
+//! assert_eq!(resp.file_ids(), vec![FileId::new(100), FileId::new(99), FileId::new(98)]);
+//! assert!(resp.complete);
+//! assert!(resp.cursor.is_some());
+//!
+//! // The classic wrapper still answers with the full sorted id set.
+//! assert_eq!(service.search_text("size>99m").unwrap(), vec![FileId::new(100)]);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -38,4 +51,7 @@ pub use service::{Propeller, PropellerConfig, ServiceStats};
 
 pub use propeller_cluster as cluster;
 pub use propeller_index::{FileRecord, IndexKind, IndexOp, IndexSpec};
-pub use propeller_query::{Predicate, Query};
+pub use propeller_query::{
+    Cursor, FanOutPolicy, Hit, Predicate, Projection, Query, SearchRequest, SearchResponse,
+    SearchStats, SortKey,
+};

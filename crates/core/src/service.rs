@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use propeller_cluster::{IndexNode, MasterNode, Request, Response};
 use propeller_index::{FileRecord, IndexOp, IndexSpec};
-use propeller_query::{Predicate, Query};
+use propeller_query::{next_cursor, Predicate, Query, SearchRequest, SearchResponse};
 use propeller_sim::{Clock, SimClock, WallClock};
 use propeller_trace::CausalityTracker;
 use propeller_types::{
@@ -99,6 +99,7 @@ impl Propeller {
                     seed: config.seed,
                     ..Default::default()
                 },
+                ..Default::default()
             },
         );
         Propeller {
@@ -129,14 +130,19 @@ impl Propeller {
         self.node.handle(req).into_result()
     }
 
-    /// Creates a user-defined named index (B+-tree, hash or K-D).
+    /// Creates a user-defined named index (B+-tree, hash or K-D). If the
+    /// Index Node rejects the spec, the Master registration is rolled
+    /// back so the name stays retryable.
     ///
     /// # Errors
     ///
     /// Returns [`Error::IndexExists`] for duplicate names.
     pub fn create_index(&mut self, spec: IndexSpec) -> Result<()> {
         self.master_call(Request::CreateIndex { spec: spec.clone() })?;
-        self.node_call(Request::CreateIndex { spec })?;
+        if let Err(e) = self.node_call(Request::CreateIndex { spec: spec.clone() }) {
+            let _ = self.master_call(Request::DropIndex { name: spec.name });
+            return Err(e);
+        }
         Ok(())
     }
 
@@ -190,24 +196,43 @@ impl Propeller {
         Ok(())
     }
 
-    /// Searches with a parsed predicate. Results always reflect every
-    /// acknowledged index operation (commit-then-search).
+    /// Runs a full [`SearchRequest`] — the canonical search entry point.
+    /// Results always reflect every acknowledged index operation
+    /// (commit-then-search). Single-node mode always answers completely,
+    /// so [`SearchResponse::complete`] is `true` regardless of the
+    /// request's fan-out policy.
     ///
     /// # Errors
     ///
-    /// Propagates commit failures.
-    pub fn search(&mut self, predicate: &Predicate) -> Result<Vec<FileId>> {
+    /// Propagates commit failures and request validation errors.
+    pub fn search_with(&mut self, request: &SearchRequest) -> Result<SearchResponse> {
+        request.validate()?;
         self.stats.searches += 1;
+        let started = self.clock.now();
         let located = match self.master_call(Request::LocateAcgs)? {
             Response::Located(rows) => rows,
             other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
         };
         let acgs: Vec<AcgId> = located.into_iter().map(|(a, _)| a).collect();
         let now = self.clock.now();
-        match self.node_call(Request::Search { acgs, predicate: predicate.clone(), now })? {
-            Response::SearchHits(hits) => Ok(hits),
-            other => Err(Error::Rpc(format!("unexpected response {other:?}"))),
-        }
+        let req = Request::Search { acgs, request: request.clone(), now };
+        let (hits, mut stats) = match self.node_call(req)? {
+            Response::SearchHits { hits, stats } => (hits, stats),
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        let cursor = next_cursor(&hits, request.limit);
+        stats.elapsed = self.clock.now().since(started);
+        Ok(SearchResponse { hits, complete: true, unreachable: Vec::new(), stats, cursor })
+    }
+
+    /// Classic searches: the whole matching id set, sorted by file id
+    /// (a thin wrapper over [`Propeller::search_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates commit failures.
+    pub fn search(&mut self, predicate: &Predicate) -> Result<Vec<FileId>> {
+        Ok(self.search_with(&SearchRequest::new(predicate.clone()))?.file_ids())
     }
 
     /// Parses and runs a textual query.
@@ -324,12 +349,11 @@ impl Propeller {
                 Response::AcgAllocated(a, n) => (a, n),
                 other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
             };
-            let (records, edges) = match self
-                .node_call(Request::ExtractAcgPart { acg, files: right.clone() })?
-            {
-                Response::AcgPart { records, edges } => (records, edges),
-                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
-            };
+            let (records, edges) =
+                match self.node_call(Request::ExtractAcgPart { acg, files: right.clone() })? {
+                    Response::AcgPart { records, edges } => (records, edges),
+                    other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+                };
             self.node_call(Request::InstallAcg { acg: new_acg, records, edges })?;
             self.master_call(Request::CommitSplit {
                 acg,
@@ -458,6 +482,56 @@ mod tests {
         assert!(splits >= 1);
         assert!(p.acg_count() >= 2);
         assert_eq!(p.search_text("size>0").unwrap().len(), 100);
+    }
+
+    #[test]
+    fn search_with_topk_sort_projection_and_cursor() {
+        use propeller_query::{Projection, SortKey};
+        let mut p = Propeller::new(PropellerConfig {
+            group_capacity: 100, // several ACGs, so the merge path runs
+            ..PropellerConfig::default()
+        });
+        p.index_batch((0..500).map(|i| record(i, i << 20)).collect()).unwrap();
+
+        // Top-5 largest files, with sizes projected back.
+        let req = SearchRequest::parse("size>0", Timestamp::EPOCH)
+            .unwrap()
+            .with_limit(5)
+            .sorted_by(SortKey::Descending(propeller_types::AttrName::Size))
+            .with_projection(Projection::Attrs(vec![propeller_types::AttrName::Size]));
+        let resp = p.search_with(&req).unwrap();
+        let files: Vec<u64> = resp.hits.iter().map(|h| h.file.raw()).collect();
+        assert_eq!(files, vec![499, 498, 497, 496, 495]);
+        assert!(resp.complete);
+        assert!(resp.cursor.is_some(), "full page => continuation cursor");
+        assert_eq!(
+            resp.hits[0].attrs,
+            vec![(propeller_types::AttrName::Size, Value::U64(499 << 20))]
+        );
+        assert!(resp.stats.retained_peak <= 5, "O(k) bound: {}", resp.stats.retained_peak);
+        assert_eq!(resp.stats.acgs_consulted, 5, "500 files / 100 per ACG");
+
+        // Paginate the rest and check exhaustive disjoint coverage.
+        let mut all = files;
+        let mut cursor = resp.cursor;
+        while let Some(c) = cursor {
+            let resp = p.search_with(&req.clone().after(c)).unwrap();
+            all.extend(resp.hits.iter().map(|h| h.file.raw()));
+            cursor = resp.cursor;
+        }
+        assert_eq!(all, (1..500).rev().collect::<Vec<u64>>(), "file 0 has size 0");
+    }
+
+    #[test]
+    fn failed_index_create_rolls_back_master_registration() {
+        let mut p = Propeller::new(PropellerConfig::default());
+        p.index_file(record(1, 1)).unwrap();
+        // A K-D spec with no attributes is rejected by the node.
+        let bad = IndexSpec::kd("broken", vec![]);
+        assert!(p.create_index(bad).is_err());
+        // The name must remain available after the rollback.
+        let good = IndexSpec::btree("broken", propeller_types::AttrName::Uid);
+        assert!(p.create_index(good).is_ok());
     }
 
     #[test]

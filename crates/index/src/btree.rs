@@ -268,9 +268,7 @@ impl<'a, K: Ord + Clone, V> Range<'a, K, V> {
             }
             Node::Internal { seps, .. } => {
                 let start = match &self.lo {
-                    Bound::Included(k) | Bound::Excluded(k) => {
-                        seps.partition_point(|sep| sep <= k)
-                    }
+                    Bound::Included(k) | Bound::Excluded(k) => seps.partition_point(|sep| sep <= k),
                     Bound::Unbounded => 0,
                 };
                 self.stack.push((node, start));
@@ -333,10 +331,7 @@ impl<'a, K: Ord + Clone, V> Iterator for Range<'a, K, V> {
 
 impl<K: Ord + Clone + fmt::Debug, V: fmt::Debug> fmt::Debug for BPlusTree<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("BPlusTree")
-            .field("len", &self.len)
-            .field("depth", &self.depth())
-            .finish()
+        f.debug_struct("BPlusTree").field("len", &self.len).field("depth", &self.depth()).finish()
     }
 }
 
@@ -402,7 +397,7 @@ mod tests {
             t.insert(i, ());
         }
         let d = t.depth();
-        assert!(d >= 3 && d <= 5, "depth {d}");
+        assert!((3..=5).contains(&d), "depth {d}");
     }
 
     #[test]
@@ -415,10 +410,8 @@ mod tests {
         assert_eq!(v, (10..20).collect::<Vec<_>>());
         let v: Vec<u32> = t.range(10..=20).map(|(k, _)| *k).collect();
         assert_eq!(v, (10..=20).collect::<Vec<_>>());
-        let v: Vec<u32> = t
-            .range((Bound::Excluded(10), Bound::Unbounded))
-            .map(|(k, _)| *k)
-            .collect();
+        let v: Vec<u32> =
+            t.range((Bound::Excluded(10), Bound::Unbounded)).map(|(k, _)| *k).collect();
         assert_eq!(v, (11..100).collect::<Vec<_>>());
         let v: Vec<u32> = t.range(..5).map(|(k, _)| *k).collect();
         assert_eq!(v, (0..5).collect::<Vec<_>>());
@@ -538,10 +531,8 @@ mod tests {
         }
         let keys: Vec<String> = t.iter().map(|(k, _)| k.clone()).collect();
         assert_eq!(keys, vec!["apple", "fig", "kiwi", "pear", "plum"]);
-        let mid: Vec<String> = t
-            .range("b".to_owned().."l".to_owned())
-            .map(|(k, _)| k.clone())
-            .collect();
+        let mid: Vec<String> =
+            t.range("b".to_owned().."l".to_owned()).map(|(k, _)| k.clone()).collect();
         assert_eq!(mid, vec!["fig", "kiwi"]);
     }
 }

@@ -12,9 +12,7 @@
 use std::collections::HashMap;
 use std::ops::Bound;
 
-use propeller_types::{
-    AcgId, AttrName, Duration, Error, FileId, Result, Timestamp, Value,
-};
+use propeller_types::{AcgId, AttrName, Duration, Error, FileId, Result, Timestamp, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::btree::BPlusTree;
@@ -294,6 +292,48 @@ impl AcgIndexGroup {
         Ok(())
     }
 
+    /// Drops a user-defined index by name. The backing structure is freed
+    /// unless another spec still uses it (B+-tree/hash structures are
+    /// shared per attribute).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IndexNotFound`] for unknown names.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        let pos = self
+            .specs
+            .iter()
+            .position(|s| s.name == name)
+            .ok_or_else(|| Error::IndexNotFound(name.to_owned()))?;
+        let spec = self.specs.remove(pos);
+        match spec.kind {
+            IndexKind::BTree => {
+                let attr = &spec.attrs[0];
+                if !self
+                    .specs
+                    .iter()
+                    .any(|s| s.kind == IndexKind::BTree && s.attrs.first() == Some(attr))
+                {
+                    self.btrees.remove(attr);
+                }
+            }
+            IndexKind::Hash => {
+                let attr = &spec.attrs[0];
+                if !self
+                    .specs
+                    .iter()
+                    .any(|s| s.kind == IndexKind::Hash && s.attrs.first() == Some(attr))
+                {
+                    self.hashes.remove(attr);
+                }
+            }
+            IndexKind::Kd => {
+                self.kds.remove(&spec.name);
+            }
+        }
+        Ok(())
+    }
+
     /// Appends an op to the WAL and buffers it in the cache; commits
     /// automatically if the cache has timed out. Returns `true` if a
     /// commit happened.
@@ -402,12 +442,9 @@ impl AcgIndexGroup {
     fn record_values(record: &FileRecord, attr: &AttrName) -> Vec<Value> {
         match attr {
             AttrName::Keyword => record.keywords.iter().map(|k| Value::from(k.as_str())).collect(),
-            AttrName::Custom(name) => record
-                .custom
-                .iter()
-                .filter(|(n, _)| n == name)
-                .map(|(_, v)| v.clone())
-                .collect(),
+            AttrName::Custom(name) => {
+                record.custom.iter().filter(|(n, _)| n == name).map(|(_, v)| v.clone()).collect()
+            }
             builtin => record.attrs.get(builtin).into_iter().collect(),
         }
     }
@@ -443,17 +480,10 @@ impl AcgIndexGroup {
 
     /// Files with `attr` in the given bounds, using a B+-tree when
     /// available, a full scan otherwise.
-    pub fn lookup_range(
-        &self,
-        attr: &AttrName,
-        lo: Bound<Value>,
-        hi: Bound<Value>,
-    ) -> Vec<FileId> {
+    pub fn lookup_range(&self, attr: &AttrName, lo: Bound<Value>, hi: Bound<Value>) -> Vec<FileId> {
         if let Some(tree) = self.btrees.get(attr) {
-            let mut out: Vec<FileId> = tree
-                .range((lo, hi))
-                .flat_map(|(_, list)| list.iter().copied())
-                .collect();
+            let mut out: Vec<FileId> =
+                tree.range((lo, hi)).flat_map(|(_, list)| list.iter().copied()).collect();
             out.sort_unstable();
             out.dedup();
             return out;
@@ -468,34 +498,28 @@ impl AcgIndexGroup {
             Bound::Excluded(b) => v < b,
             Bound::Unbounded => true,
         };
-        self.scan(|record| {
-            Self::record_values(record, attr)
-                .iter()
-                .any(|v| in_lo(v) && in_hi(v))
-        })
+        self.scan(|record| Self::record_values(record, attr).iter().any(|v| in_lo(v) && in_hi(v)))
     }
 
     /// Multi-attribute inclusive box query via a covering K-D index.
     /// Returns `None` when no K-D index covers exactly these attributes
     /// (the planner then falls back to per-attribute lookups).
     pub fn lookup_kd(&self, attrs: &[AttrName], lo: &[f64], hi: &[f64]) -> Option<Vec<FileId>> {
-        self.kds.values().find_map(|(kd_attrs, tree)| {
-            if kd_attrs == attrs {
-                Some(tree.range(lo, hi))
-            } else {
-                None
-            }
-        })
+        self.kds.values().find_map(
+            |(kd_attrs, tree)| {
+                if kd_attrs == attrs {
+                    Some(tree.range(lo, hi))
+                } else {
+                    None
+                }
+            },
+        )
     }
 
     /// Full scan with a predicate (the executor's fallback path).
     pub fn scan<F: Fn(&FileRecord) -> bool>(&self, pred: F) -> Vec<FileId> {
-        let mut out: Vec<FileId> = self
-            .records
-            .values()
-            .filter(|r| pred(r))
-            .map(|r| r.file)
-            .collect();
+        let mut out: Vec<FileId> =
+            self.records.values().filter(|r| pred(r)).map(|r| r.file).collect();
         out.sort_unstable();
         out
     }
@@ -535,10 +559,7 @@ mod tests {
     fn record(file: u64, size: u64, mtime_s: u64) -> FileRecord {
         FileRecord::new(
             FileId::new(file),
-            InodeAttrs::builder()
-                .size(size)
-                .mtime(Timestamp::from_secs(mtime_s))
-                .build(),
+            InodeAttrs::builder().size(size).mtime(Timestamp::from_secs(mtime_s)).build(),
         )
     }
 
@@ -566,14 +587,9 @@ mod tests {
     fn uncommitted_ops_are_invisible_until_commit() {
         let mut g = group();
         g.enqueue(IndexOp::Upsert(record(1, 100, 0)), t(0)).unwrap();
-        assert!(g
-            .lookup_eq(&AttrName::Size, &Value::U64(100))
-            .is_empty());
+        assert!(g.lookup_eq(&AttrName::Size, &Value::U64(100)).is_empty());
         g.commit(t(1)).unwrap();
-        assert_eq!(
-            g.lookup_eq(&AttrName::Size, &Value::U64(100)),
-            vec![FileId::new(1)]
-        );
+        assert_eq!(g.lookup_eq(&AttrName::Size, &Value::U64(100)), vec![FileId::new(1)]);
     }
 
     #[test]
@@ -594,10 +610,7 @@ mod tests {
         g.enqueue(IndexOp::Upsert(record(1, 999, 0)), t(0)).unwrap();
         g.commit(t(0)).unwrap();
         assert!(g.lookup_eq(&AttrName::Size, &Value::U64(100)).is_empty());
-        assert_eq!(
-            g.lookup_eq(&AttrName::Size, &Value::U64(999)),
-            vec![FileId::new(1)]
-        );
+        assert_eq!(g.lookup_eq(&AttrName::Size, &Value::U64(999)), vec![FileId::new(1)]);
         assert_eq!(g.len(), 1);
     }
 
@@ -610,11 +623,7 @@ mod tests {
         g.commit(t(0)).unwrap();
         assert!(g.lookup_eq(&AttrName::Size, &Value::U64(4096)).is_empty());
         assert!(g
-            .lookup_kd(
-                &[AttrName::Size, AttrName::Mtime],
-                &[0.0, 0.0],
-                &[1e18, 1e18]
-            )
+            .lookup_kd(&[AttrName::Size, AttrName::Mtime], &[0.0, 0.0], &[1e18, 1e18])
             .unwrap()
             .is_empty());
         assert!(g.is_empty());
@@ -626,25 +635,16 @@ mod tests {
         let rec = record(1, 10, 0).with_keyword("firefox").with_keyword("cache");
         g.enqueue(IndexOp::Upsert(rec), t(0)).unwrap();
         g.commit(t(0)).unwrap();
-        assert_eq!(
-            g.lookup_eq(&AttrName::Keyword, &Value::from("firefox")),
-            vec![FileId::new(1)]
-        );
-        assert_eq!(
-            g.lookup_eq(&AttrName::Keyword, &Value::from("cache")),
-            vec![FileId::new(1)]
-        );
-        assert!(g
-            .lookup_eq(&AttrName::Keyword, &Value::from("chrome"))
-            .is_empty());
+        assert_eq!(g.lookup_eq(&AttrName::Keyword, &Value::from("firefox")), vec![FileId::new(1)]);
+        assert_eq!(g.lookup_eq(&AttrName::Keyword, &Value::from("cache")), vec![FileId::new(1)]);
+        assert!(g.lookup_eq(&AttrName::Keyword, &Value::from("chrome")).is_empty());
     }
 
     #[test]
     fn kd_box_query_matches_scan() {
         let mut g = group();
         for i in 0..200 {
-            g.enqueue(IndexOp::Upsert(record(i, (i * 13) % 997, (i * 7) % 91)), t(0))
-                .unwrap();
+            g.enqueue(IndexOp::Upsert(record(i, (i * 13) % 997, (i * 7) % 91)), t(0)).unwrap();
         }
         g.commit(t(0)).unwrap();
         let kd = g
@@ -665,8 +665,7 @@ mod tests {
     #[test]
     fn custom_attribute_index() {
         let mut g = group();
-        g.create_index(IndexSpec::btree("energy_idx", AttrName::custom("energy")))
-            .unwrap();
+        g.create_index(IndexSpec::btree("energy_idx", AttrName::custom("energy"))).unwrap();
         for i in 0..10 {
             let rec = record(i, 1, 0).with_custom("energy", Value::F64(i as f64 * -1.5));
             g.enqueue(IndexOp::Upsert(rec), t(0)).unwrap();
@@ -686,10 +685,7 @@ mod tests {
         g.enqueue(IndexOp::Upsert(record(1, 77, 0)), t(0)).unwrap();
         g.commit(t(0)).unwrap();
         g.create_index(IndexSpec::hash("size_hash", AttrName::Size)).unwrap();
-        assert_eq!(
-            g.lookup_eq(&AttrName::Size, &Value::U64(77)),
-            vec![FileId::new(1)]
-        );
+        assert_eq!(g.lookup_eq(&AttrName::Size, &Value::U64(77)), vec![FileId::new(1)]);
     }
 
     #[test]
@@ -697,6 +693,26 @@ mod tests {
         let mut g = group();
         let err = g.create_index(IndexSpec::btree("size_btree", AttrName::Size));
         assert!(matches!(err, Err(Error::IndexExists(_))));
+    }
+
+    #[test]
+    fn drop_index_frees_structure_unless_shared() {
+        let mut g = group();
+        g.enqueue(IndexOp::Upsert(record(1, 77, 0)), t(0)).unwrap();
+        g.commit(t(0)).unwrap();
+        // A second B+-tree spec over size shares the size structure.
+        g.create_index(IndexSpec::btree("size_btree2", AttrName::Size)).unwrap();
+        g.drop_index("size_btree2").unwrap();
+        // The default size_btree still answers.
+        assert_eq!(g.lookup_eq(&AttrName::Size, &Value::U64(77)), vec![FileId::new(1)]);
+        // Dropping the last spec over the attribute frees it; the name is
+        // reusable and re-creation backfills.
+        g.drop_index("size_btree").unwrap();
+        assert!(!g.index_specs().iter().any(|s| s.name == "size_btree"));
+        g.create_index(IndexSpec::btree("size_btree", AttrName::Size)).unwrap();
+        assert_eq!(g.lookup_eq(&AttrName::Size, &Value::U64(77)), vec![FileId::new(1)]);
+        // Unknown names are typed errors.
+        assert!(matches!(g.drop_index("nope"), Err(Error::IndexNotFound(_))));
     }
 
     #[test]
@@ -724,10 +740,7 @@ mod tests {
         assert_eq!(recovered, 6);
         assert_eq!(g.len(), 4);
         assert!(g.lookup_eq(&AttrName::Size, &Value::U64(0)).is_empty());
-        assert_eq!(
-            g.lookup_eq(&AttrName::Size, &Value::U64(40)),
-            vec![FileId::new(4)]
-        );
+        assert_eq!(g.lookup_eq(&AttrName::Size, &Value::U64(40)), vec![FileId::new(4)]);
     }
 
     #[test]

@@ -72,9 +72,8 @@ impl<K: Hash + Eq, V> HashIndex<K, V> {
 
     /// Creates an empty index pre-sized for roughly `capacity` entries.
     pub fn with_capacity(capacity: usize) -> Self {
-        let buckets = (capacity * MAX_LOAD_DEN / MAX_LOAD_NUM + 1)
-            .next_power_of_two()
-            .max(INITIAL_BUCKETS);
+        let buckets =
+            (capacity * MAX_LOAD_DEN / MAX_LOAD_NUM + 1).next_power_of_two().max(INITIAL_BUCKETS);
         HashIndex { buckets: (0..buckets).map(|_| Vec::new()).collect(), len: 0 }
     }
 
@@ -110,10 +109,8 @@ impl<K: Hash + Eq, V> HashIndex<K, V> {
         }
         if self.len * MAX_LOAD_DEN > self.buckets.len() * MAX_LOAD_NUM {
             let new_size = self.buckets.len() * 2;
-            let old = std::mem::replace(
-                &mut self.buckets,
-                (0..new_size).map(|_| Vec::new()).collect(),
-            );
+            let old =
+                std::mem::replace(&mut self.buckets, (0..new_size).map(|_| Vec::new()).collect());
             for bucket in old {
                 for (k, v) in bucket {
                     let b = (Self::hash_of(&k) as usize) & (new_size - 1);
@@ -147,10 +144,7 @@ impl<K: Hash + Eq, V> HashIndex<K, V> {
             return None;
         }
         let b = self.bucket_of(key);
-        self.buckets[b]
-            .iter()
-            .find(|(k, _)| k.borrow() == key)
-            .map(|(_, v)| v)
+        self.buckets[b].iter().find(|(k, _)| k.borrow() == key).map(|(_, v)| v)
     }
 
     /// Mutable lookup.
@@ -163,10 +157,7 @@ impl<K: Hash + Eq, V> HashIndex<K, V> {
             return None;
         }
         let b = self.bucket_of(key);
-        self.buckets[b]
-            .iter_mut()
-            .find(|(k, _)| k.borrow() == key)
-            .map(|(_, v)| v)
+        self.buckets[b].iter_mut().find(|(k, _)| k.borrow() == key).map(|(_, v)| v)
     }
 
     /// Returns the value for `key`, inserting `default()` first if absent.

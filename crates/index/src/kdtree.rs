@@ -188,10 +188,7 @@ impl KdTree {
         let Some(n) = node else { return };
         let axis = depth % dims;
         if !n.deleted
-            && n.point
-                .iter()
-                .zip(lo.iter().zip(hi))
-                .all(|(&p, (&l, &h))| p >= l && p <= h)
+            && n.point.iter().zip(lo.iter().zip(hi)).all(|(&p, (&l, &h))| p >= l && p <= h)
         {
             out.push(n.payload);
         }
@@ -380,9 +377,8 @@ mod tests {
 
     #[test]
     fn bulk_load_is_balanced() {
-        let points: Vec<(Vec<f64>, FileId)> = (0..4096u64)
-            .map(|i| (vec![(i % 64) as f64, (i / 64) as f64], f(i)))
-            .collect();
+        let points: Vec<(Vec<f64>, FileId)> =
+            (0..4096u64).map(|i| (vec![(i % 64) as f64, (i / 64) as f64], f(i))).collect();
         let t = KdTree::bulk_load(2, points);
         assert_eq!(t.len(), 4096);
         assert!(t.depth() <= 14, "depth {}", t.depth());
@@ -444,9 +440,6 @@ mod tests {
             t.insert(&[(i % 10) as f64, (i / 10) as f64], f(i));
         }
         let copy = t.clone();
-        assert_eq!(
-            t.range(&[0.0, 0.0], &[3.0, 3.0]),
-            copy.range(&[0.0, 0.0], &[3.0, 3.0])
-        );
+        assert_eq!(t.range(&[0.0, 0.0], &[3.0, 3.0]), copy.range(&[0.0, 0.0], &[3.0, 3.0]));
     }
 }

@@ -82,11 +82,7 @@ impl Wal {
     /// Returns [`Error::Io`] if the file cannot be opened.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .append(true)
-            .open(&path)?;
+        let file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
         let mut wal = Wal { backend: Backend::File { file, path }, entries: 0, bytes: 0 };
         let frames = wal.replay()?;
         wal.entries = frames.len() as u64;

@@ -214,10 +214,7 @@ mod tests {
     fn conjuncts_flatten_nesting() {
         let p = Predicate::And(vec![
             Predicate::Keyword("a".into()),
-            Predicate::And(vec![
-                Predicate::Keyword("b".into()),
-                Predicate::Keyword("c".into()),
-            ]),
+            Predicate::And(vec![Predicate::Keyword("b".into()), Predicate::Keyword("c".into())]),
         ]);
         assert_eq!(p.conjuncts().len(), 3);
     }

@@ -1,10 +1,15 @@
-//! Plan execution with full-predicate post-filtering.
+//! Plan execution with full-predicate post-filtering, including the
+//! top-k/sort-aware request path ([`execute_request`]) that bounds per-ACG
+//! result materialization to O(limit).
+
+use std::collections::HashSet;
 
 use propeller_index::{AcgIndexGroup, FileRecord};
 use propeller_types::{AttrName, FileId, Result, Timestamp, Value};
 
 use crate::ast::Predicate;
 use crate::plan::{plan, AccessPath};
+use crate::request::{AccessPathKind, Hit, SearchRequest, SearchStats, TopK};
 
 /// Evaluates the predicate against one record (exact semantics; the access
 /// path only pre-filters). Multi-valued attributes (keywords, repeated
@@ -40,12 +45,9 @@ pub fn matches_record(record: &FileRecord, pred: &Predicate) -> bool {
 fn attr_values(record: &FileRecord, attr: &AttrName) -> Vec<Value> {
     match attr {
         AttrName::Keyword => record.keywords.iter().map(|k| Value::from(k.as_str())).collect(),
-        AttrName::Custom(name) => record
-            .custom
-            .iter()
-            .filter(|(n, _)| n == name)
-            .map(|(_, v)| v.clone())
-            .collect(),
+        AttrName::Custom(name) => {
+            record.custom.iter().filter(|(n, _)| n == name).map(|(_, v)| v.clone()).collect()
+        }
         builtin => record.attrs.get(builtin).into_iter().collect(),
     }
 }
@@ -54,28 +56,90 @@ fn attr_values(record: &FileRecord, attr: &AttrName) -> Vec<Value> {
 /// fetches the candidate superset, post-filters with the exact predicate.
 /// Results are sorted by file id.
 ///
+/// This is the thin classic wrapper over [`execute_request`]; new callers
+/// should build a [`SearchRequest`] and use the request path directly.
+///
 /// Callers are responsible for committing the group first; use [`search`]
 /// for the paper-faithful commit-then-search entry point.
 pub fn execute(group: &AcgIndexGroup, pred: &Predicate) -> Vec<FileId> {
-    let plan = plan(group, pred);
-    let candidates: Vec<FileId> = match plan.path {
-        AccessPath::HashEq { attr, value } => group.lookup_eq(&attr, &value),
-        AccessPath::BTreeRange { attr, lo, hi } => group.lookup_range(&attr, lo, hi),
-        AccessPath::KdBox { attrs, lo, hi } => group
-            .lookup_kd(&attrs, &lo, &hi)
-            .unwrap_or_else(|| group.scan(|_| true)),
-        AccessPath::FullScan => {
-            // Scan evaluates the predicate directly; no second pass needed.
-            return group.scan(|r| matches_record(r, pred));
+    let request = SearchRequest::new(pred.clone());
+    let (hits, _) = execute_request(group, &request);
+    hits.into_iter().map(|h| h.file).collect()
+}
+
+/// Executes a [`SearchRequest`] against a (committed) group: plans an
+/// access path, streams the candidates through the exact predicate and a
+/// bounded top-k heap, and projects the survivors into [`Hit`]s.
+///
+/// When `request.limit` is `Some(k)`, at most `k` hits are retained at any
+/// moment (witnessed by [`SearchStats::retained_peak`]) — the full result
+/// set is never materialized, which is what makes cluster-scale top-k
+/// searches affordable. The request's cursor is applied here too, so
+/// pagination enjoys the same bound.
+///
+/// Hits come back in the request's sort order. Callers are responsible
+/// for committing the group first (the owning Index Node commits before
+/// serving a search).
+pub fn execute_request(group: &AcgIndexGroup, request: &SearchRequest) -> (Vec<Hit>, SearchStats) {
+    let plan = plan(group, &request.predicate);
+    let kind = AccessPathKind::from(&plan.path);
+    let mut topk = TopK::new(request.sort.clone(), request.limit);
+    let mut scanned = 0usize;
+
+    let consider = |record: &FileRecord, topk: &mut TopK| {
+        if !matches_record(record, &request.predicate) {
+            return;
         }
+        let key = request.sort.key_of(record);
+        if let Some(cursor) = &request.cursor {
+            if !cursor.admits(&request.sort, key.as_ref(), record.file) {
+                return;
+            }
+        }
+        topk.push(Hit::of_record(record, Some(group.id()), &request.sort, &request.projection));
     };
-    let mut out: Vec<FileId> = candidates
-        .into_iter()
-        .filter(|f| group.record(*f).is_some_and(|r| matches_record(r, pred)))
-        .collect();
-    out.sort_unstable();
-    out.dedup();
-    out
+
+    match plan.path {
+        AccessPath::FullScan => {
+            // Stream every record straight through the predicate and heap;
+            // nothing beyond the heap is ever materialized.
+            for record in group.records() {
+                scanned += 1;
+                consider(record, &mut topk);
+            }
+        }
+        path => {
+            let candidates: Vec<FileId> = match path {
+                AccessPath::HashEq { attr, value } => group.lookup_eq(&attr, &value),
+                AccessPath::BTreeRange { attr, lo, hi } => group.lookup_range(&attr, lo, hi),
+                AccessPath::KdBox { attrs, lo, hi } => {
+                    group.lookup_kd(&attrs, &lo, &hi).unwrap_or_else(|| group.scan(|_| true))
+                }
+                AccessPath::FullScan => unreachable!("handled above"),
+            };
+            // An index may hand back the same file more than once (e.g.
+            // multi-valued attributes); past this point every candidate is
+            // unique so the heap bound is exact.
+            let mut seen: HashSet<FileId> = HashSet::with_capacity(candidates.len());
+            for file in candidates {
+                if !seen.insert(file) {
+                    continue;
+                }
+                let Some(record) = group.record(file) else { continue };
+                scanned += 1;
+                consider(record, &mut topk);
+            }
+        }
+    }
+
+    let stats = SearchStats {
+        acgs_consulted: 1,
+        candidates_scanned: scanned,
+        retained_peak: topk.peak_retained(),
+        access_paths: vec![(group.id(), kind)],
+        elapsed: propeller_types::Duration::ZERO,
+    };
+    (topk.into_sorted(), stats)
 }
 
 /// The paper-faithful search entry point: **commit buffered index updates
@@ -86,13 +150,24 @@ pub fn execute(group: &AcgIndexGroup, pred: &Predicate) -> Vec<FileId> {
 /// # Errors
 ///
 /// Returns an error if the commit's WAL truncation fails.
-pub fn search(
-    group: &mut AcgIndexGroup,
-    pred: &Predicate,
-    now: Timestamp,
-) -> Result<Vec<FileId>> {
+pub fn search(group: &mut AcgIndexGroup, pred: &Predicate, now: Timestamp) -> Result<Vec<FileId>> {
     group.commit(now)?;
     Ok(execute(group, pred))
+}
+
+/// The request-path equivalent of [`search`]: commit buffered updates,
+/// then run [`execute_request`].
+///
+/// # Errors
+///
+/// Returns an error if the commit's WAL truncation fails.
+pub fn search_request(
+    group: &mut AcgIndexGroup,
+    request: &SearchRequest,
+    now: Timestamp,
+) -> Result<(Vec<Hit>, SearchStats)> {
+    group.commit(now)?;
+    Ok(execute_request(group, request))
 }
 
 #[cfg(test)]
@@ -200,10 +275,7 @@ mod tests {
     #[test]
     fn search_commits_pending_updates_first() {
         let mut g = seeded_group();
-        let rec = FileRecord::new(
-            FileId::new(9999),
-            InodeAttrs::builder().size(1 << 40).build(),
-        );
+        let rec = FileRecord::new(FileId::new(9999), InodeAttrs::builder().size(1 << 40).build());
         g.enqueue(IndexOp::Upsert(rec), now()).unwrap();
         // Plain execute (no commit) must not see it...
         assert!(!run(&g, "size>1t").contains(&FileId::new(9999)));
@@ -232,6 +304,77 @@ mod tests {
         let q = Query::parse("energy<-15", now()).unwrap();
         let got = execute(&g, &q.predicate);
         assert_eq!(got.len(), 4); // -16..-19
+    }
+
+    #[test]
+    fn request_topk_matches_full_execution_prefix() {
+        use crate::request::{SearchRequest, SortKey};
+        let g = seeded_group();
+        let q = Query::parse("size>16m", now()).unwrap();
+        let full = execute(&g, &q.predicate);
+        let req = SearchRequest::new(q.predicate.clone()).with_limit(10);
+        let (hits, stats) = execute_request(&g, &req);
+        let ids: Vec<FileId> = hits.iter().map(|h| h.file).collect();
+        assert_eq!(ids, full[..10].to_vec(), "top-10 by file id = sorted prefix");
+        assert!(stats.retained_peak <= 10, "bounded heap: {}", stats.retained_peak);
+        assert_eq!(stats.acgs_consulted, 1);
+
+        // Descending size: the k largest files.
+        let req = SearchRequest::new(q.predicate.clone())
+            .with_limit(5)
+            .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
+        let (hits, stats) = execute_request(&g, &req);
+        let sizes: Vec<u64> =
+            hits.iter().map(|h| h.sort_key.clone().unwrap().as_u64().unwrap()).collect();
+        assert_eq!(sizes, vec![499 << 20, 498 << 20, 497 << 20, 496 << 20, 495 << 20]);
+        assert!(stats.retained_peak <= 5);
+    }
+
+    #[test]
+    fn request_cursor_pages_cover_exactly_the_full_result() {
+        use crate::request::SearchRequest;
+        let g = seeded_group();
+        let q = Query::parse("size>16m", now()).unwrap();
+        let full = execute(&g, &q.predicate);
+        let mut pages = Vec::new();
+        let mut cursor = None;
+        loop {
+            let mut req = SearchRequest::new(q.predicate.clone()).with_limit(64);
+            if let Some(c) = cursor.take() {
+                req = req.after(c);
+            }
+            let (hits, stats) = execute_request(&g, &req);
+            assert!(stats.retained_peak <= 64);
+            if hits.is_empty() {
+                break;
+            }
+            pages.extend(hits.iter().map(|h| h.file));
+            match crate::request::next_cursor(&hits, Some(64)) {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        assert_eq!(pages, full);
+    }
+
+    #[test]
+    fn request_projection_round_trips_attributes() {
+        use crate::request::{Projection, SearchRequest};
+        let g = seeded_group();
+        let q = Query::parse("size>=499m", now()).unwrap();
+        let req = SearchRequest::new(q.predicate).with_projection(Projection::Attrs(vec![
+            propeller_types::AttrName::Size,
+            propeller_types::AttrName::Uid,
+        ]));
+        let (hits, _) = execute_request(&g, &req);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(
+            hits[0].attrs,
+            vec![
+                (propeller_types::AttrName::Size, Value::U64(499 << 20)),
+                (propeller_types::AttrName::Uid, Value::U64(3)),
+            ]
+        );
     }
 
     #[test]

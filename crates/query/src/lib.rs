@@ -15,7 +15,12 @@
 //!   full scan as fallback),
 //! * [`execute`] / [`search`] — plan execution with full-predicate
 //!   post-filtering; [`search`] commits the group first, enforcing the
-//!   paper's search-sees-every-acknowledged-update rule.
+//!   paper's search-sees-every-acknowledged-update rule,
+//! * [`SearchRequest`] / [`SearchResponse`] — the first-class search API:
+//!   top-k ([`execute_request`] bounds per-group materialization to
+//!   O(limit)), sorting, projection, cursor pagination and fan-out
+//!   failure policy. This is the canonical entry shape; the bare
+//!   `Predicate` functions above are thin compatibility wrappers.
 //!
 //! # Examples
 //!
@@ -35,8 +40,13 @@ mod ast;
 mod exec;
 mod parser;
 mod plan;
+mod request;
 
 pub use ast::{CompareOp, Predicate, Query};
-pub use exec::{execute, matches_record, search};
+pub use exec::{execute, execute_request, matches_record, search, search_request};
 pub use parser::parse_size;
 pub use plan::{plan, AccessPath, IndexCatalog, Plan};
+pub use request::{
+    merge_sorted_hits, next_cursor, run_local_search, AccessPathKind, Cursor, FanOutPolicy, Hit,
+    Projection, SearchRequest, SearchResponse, SearchStats, SortKey, TopK,
+};

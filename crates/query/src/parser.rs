@@ -224,11 +224,7 @@ impl Parser {
             self.next();
             parts.push(self.parse_and()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one element")
-        } else {
-            Predicate::Or(parts)
-        })
+        Ok(if parts.len() == 1 { parts.pop().expect("one element") } else { Predicate::Or(parts) })
     }
 
     fn parse_and(&mut self) -> Result<Predicate> {
@@ -251,9 +247,7 @@ impl Parser {
                 let inner = self.parse_or()?;
                 match self.next() {
                     Some(Token::RParen) => Ok(inner),
-                    other => Err(Error::InvalidQuery(format!(
-                        "expected ')', found {other:?}"
-                    ))),
+                    other => Err(Error::InvalidQuery(format!("expected ')', found {other:?}"))),
                 }
             }
             Some(Token::Star) => {
@@ -289,9 +283,8 @@ impl Parser {
         // Relative time on time attributes: `mtime < 1day` means age < 1day.
         if matches!(attr, AttrName::Mtime | AttrName::Ctime) {
             if let Some(age) = parse_duration(operand)? {
-                let cutoff = Timestamp::from_micros(
-                    self.now.as_micros().saturating_sub(age.as_micros()),
-                );
+                let cutoff =
+                    Timestamp::from_micros(self.now.as_micros().saturating_sub(age.as_micros()));
                 return Ok(Predicate::Compare {
                     attr,
                     op: op.flipped(),
@@ -323,10 +316,7 @@ pub(crate) fn parse_query(text: &str, now: Timestamp) -> Result<Query> {
     let mut parser = Parser { tokens, pos: 0, now };
     let predicate = parser.parse_or()?;
     if parser.pos != parser.tokens.len() {
-        return Err(Error::InvalidQuery(format!(
-            "trailing tokens after position {}",
-            parser.pos
-        )));
+        return Err(Error::InvalidQuery(format!("trailing tokens after position {}", parser.pos)));
     }
     Ok(Query { predicate, scope: None })
 }
@@ -354,10 +344,7 @@ mod tests {
     #[test]
     fn parse_simple_size_query() {
         let q = Query::parse("size>16m", now()).unwrap();
-        assert_eq!(
-            q.predicate,
-            Predicate::cmp(AttrName::Size, CompareOp::Gt, 16u64 << 20)
-        );
+        assert_eq!(q.predicate, Predicate::cmp(AttrName::Size, CompareOp::Gt, 16u64 << 20));
     }
 
     #[test]
@@ -366,16 +353,10 @@ mod tests {
         let q = Query::parse("size>1g & mtime<1day", now()).unwrap();
         let conj = q.predicate.conjuncts();
         assert_eq!(conj.len(), 2);
-        assert_eq!(
-            *conj[0],
-            Predicate::cmp(AttrName::Size, CompareOp::Gt, 1u64 << 30)
-        );
+        assert_eq!(*conj[0], Predicate::cmp(AttrName::Size, CompareOp::Gt, 1u64 << 30));
         // mtime<1day rewrites to mtime > now - 1day.
         let expected_cutoff = now().as_micros() - 86_400_000_000;
-        assert_eq!(
-            *conj[1],
-            Predicate::cmp(AttrName::Mtime, CompareOp::Gt, expected_cutoff)
-        );
+        assert_eq!(*conj[1], Predicate::cmp(AttrName::Mtime, CompareOp::Gt, expected_cutoff));
     }
 
     #[test]
@@ -401,10 +382,7 @@ mod tests {
     fn parse_query_directory() {
         let q = Query::parse_dir("/foo/bar/?size>1m", now()).unwrap();
         assert_eq!(q.scope.as_deref(), Some("/foo/bar/"));
-        assert_eq!(
-            q.predicate,
-            Predicate::cmp(AttrName::Size, CompareOp::Gt, 1u64 << 20)
-        );
+        assert_eq!(q.predicate, Predicate::cmp(AttrName::Size, CompareOp::Gt, 1u64 << 20));
     }
 
     #[test]
@@ -423,10 +401,7 @@ mod tests {
         let q = Query::parse("energy<-1.5", now());
         // Negative literals come through the word tokenizer as "-1.5".
         let q = q.unwrap();
-        assert_eq!(
-            q.predicate,
-            Predicate::cmp(AttrName::custom("energy"), CompareOp::Lt, -1.5)
-        );
+        assert_eq!(q.predicate, Predicate::cmp(AttrName::custom("energy"), CompareOp::Lt, -1.5));
     }
 
     #[test]
@@ -462,19 +437,13 @@ mod tests {
     fn mtime_relative_week() {
         let q = Query::parse("mtime<1week", now()).unwrap();
         let cutoff = now().as_micros() - 7 * 86_400_000_000;
-        assert_eq!(
-            q.predicate,
-            Predicate::cmp(AttrName::Mtime, CompareOp::Gt, cutoff)
-        );
+        assert_eq!(q.predicate, Predicate::cmp(AttrName::Mtime, CompareOp::Gt, cutoff));
     }
 
     #[test]
     fn mtime_absolute_number_stays_absolute() {
         let q = Query::parse("mtime>123456", now()).unwrap();
-        assert_eq!(
-            q.predicate,
-            Predicate::cmp(AttrName::Mtime, CompareOp::Gt, 123_456u64)
-        );
+        assert_eq!(q.predicate, Predicate::cmp(AttrName::Mtime, CompareOp::Gt, 123_456u64));
     }
 
     #[test]

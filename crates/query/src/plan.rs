@@ -218,9 +218,7 @@ pub fn plan<C: IndexCatalog + ?Sized>(catalog: &C, pred: &Predicate) -> Plan {
     for (attr, iv) in &map {
         if let Some(eq) = &iv.eq {
             if catalog.has_hash(attr) {
-                return Plan {
-                    path: AccessPath::HashEq { attr: attr.clone(), value: eq.clone() },
-                };
+                return Plan { path: AccessPath::HashEq { attr: attr.clone(), value: eq.clone() } };
             }
         }
     }
@@ -230,7 +228,10 @@ pub fn plan<C: IndexCatalog + ?Sized>(catalog: &C, pred: &Predicate) -> Plan {
         map.iter().filter(|(_, iv)| iv.is_constrained()).map(|(a, _)| a).collect();
     if constrained.len() >= 2 {
         for kd_attrs in catalog.kd_attr_sets() {
-            let covered = kd_attrs.iter().filter(|a| map.get(a).is_some_and(Interval::is_constrained)).count();
+            let covered = kd_attrs
+                .iter()
+                .filter(|a| map.get(a).is_some_and(Interval::is_constrained))
+                .count();
             if covered >= 2 {
                 let mut lo = Vec::with_capacity(kd_attrs.len());
                 let mut hi = Vec::with_capacity(kd_attrs.len());
@@ -319,10 +320,7 @@ mod tests {
     #[test]
     fn keyword_goes_to_hash() {
         let p = plan(&default_catalog(), &parse("keyword:firefox & size>1m"));
-        assert!(matches!(
-            p.path,
-            AccessPath::HashEq { attr: AttrName::Keyword, .. }
-        ));
+        assert!(matches!(p.path, AccessPath::HashEq { attr: AttrName::Keyword, .. }));
     }
 
     #[test]

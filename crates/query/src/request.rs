@@ -1,0 +1,721 @@
+//! The first-class search API: [`SearchRequest`] in, [`SearchResponse`]
+//! out.
+//!
+//! Every search entry point in the system — the cluster client
+//! (`FileQueryEngine`), the single-node service (`Propeller`), the wire
+//! protocol, and the evaluation baselines — speaks this request/response
+//! pair. A request carries the predicate plus result-set shaping options:
+//!
+//! * [`SearchRequest::limit`] — top-k; pushed into plan execution so no
+//!   ACG ever retains more than O(k) hits past its candidate filter,
+//! * [`SearchRequest::sort`] — order by any built-in attribute, ascending
+//!   or descending (default: file id),
+//! * [`SearchRequest::projection`] — ids only, selected attributes, or
+//!   full records,
+//! * [`SearchRequest::cursor`] — opaque continuation for pagination,
+//! * [`SearchRequest::fan_out`] — whether a search must reach every Index
+//!   Node or may return a partial (but well-labelled) result.
+//!
+//! The response returns typed [`Hit`]s, a completeness marker with the
+//! unreachable nodes, per-query [`SearchStats`], and the continuation
+//! [`Cursor`] when more results may exist.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use propeller_index::FileRecord;
+use propeller_types::{AcgId, AttrName, Duration, Error, FileId, NodeId, Result, Timestamp, Value};
+
+use crate::ast::{Predicate, Query};
+use crate::exec::matches_record;
+use crate::plan::AccessPath;
+
+// ---------------------------------------------------------------------------
+// Request options
+// ---------------------------------------------------------------------------
+
+/// Result ordering. The default orders by file id ascending, which is also
+/// the tie-break within equal attribute values, so every ordering is total
+/// and pagination cursors are unambiguous.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum SortKey {
+    /// Ascending file id (the classic `Vec<FileId>` order).
+    #[default]
+    FileId,
+    /// Ascending by a built-in inode attribute.
+    Ascending(AttrName),
+    /// Descending by a built-in inode attribute.
+    Descending(AttrName),
+}
+
+impl SortKey {
+    /// The attribute sorted by, if any.
+    pub fn attr(&self) -> Option<&AttrName> {
+        match self {
+            SortKey::FileId => None,
+            SortKey::Ascending(a) | SortKey::Descending(a) => Some(a),
+        }
+    }
+
+    /// Whether the attribute order is reversed.
+    pub fn is_descending(&self) -> bool {
+        matches!(self, SortKey::Descending(_))
+    }
+
+    /// Extracts the sort key value of a record (`None` for file-id order).
+    pub fn key_of(&self, record: &FileRecord) -> Option<Value> {
+        self.attr().and_then(|a| record.attrs.get(a))
+    }
+
+    /// Result-order comparison of `(key, file)` pairs: equal keys always
+    /// tie-break on ascending file id.
+    pub fn cmp_keys(
+        &self,
+        a_key: Option<&Value>,
+        a_file: FileId,
+        b_key: Option<&Value>,
+        b_file: FileId,
+    ) -> Ordering {
+        let by_key = match self {
+            SortKey::FileId => Ordering::Equal,
+            SortKey::Ascending(_) => a_key.cmp(&b_key),
+            SortKey::Descending(_) => b_key.cmp(&a_key),
+        };
+        by_key.then(a_file.cmp(&b_file))
+    }
+
+    /// Result-order comparison of two hits.
+    pub fn cmp_hits(&self, a: &Hit, b: &Hit) -> Ordering {
+        self.cmp_keys(a.sort_key.as_ref(), a.file, b.sort_key.as_ref(), b.file)
+    }
+}
+
+/// Which attributes each [`Hit`] carries back.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Projection {
+    /// Ids only (cheapest; the classic result shape).
+    #[default]
+    Ids,
+    /// The selected attributes (built-in, keyword or custom).
+    Attrs(Vec<AttrName>),
+    /// Every attribute of the record: all inode fields, keywords and
+    /// custom attributes.
+    Full,
+}
+
+impl Projection {
+    /// Projects a record into the attribute list a [`Hit`] carries.
+    pub fn project(&self, record: &FileRecord) -> Vec<(AttrName, Value)> {
+        match self {
+            Projection::Ids => Vec::new(),
+            Projection::Attrs(attrs) => {
+                let mut out = Vec::with_capacity(attrs.len());
+                for attr in attrs {
+                    out.extend(attr_values(record, attr).into_iter().map(|v| (attr.clone(), v)));
+                }
+                out
+            }
+            Projection::Full => {
+                let mut out = record.attrs.entries();
+                out.extend(
+                    record.keywords.iter().map(|k| (AttrName::Keyword, Value::from(k.as_str()))),
+                );
+                out.extend(
+                    record.custom.iter().map(|(n, v)| (AttrName::custom(n.clone()), v.clone())),
+                );
+                out
+            }
+        }
+    }
+}
+
+fn attr_values(record: &FileRecord, attr: &AttrName) -> Vec<Value> {
+    match attr {
+        AttrName::Keyword => record.keywords.iter().map(|k| Value::from(k.as_str())).collect(),
+        AttrName::Custom(name) => {
+            record.custom.iter().filter(|(n, _)| n == name).map(|(_, v)| v.clone()).collect()
+        }
+        builtin => record.attrs.get(builtin).into_iter().collect(),
+    }
+}
+
+/// How a fan-out search treats unreachable Index Nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FanOutPolicy {
+    /// Every Index Node holding a relevant ACG must answer; any failure
+    /// fails the search (the consistency-first default).
+    #[default]
+    RequireAll,
+    /// Tolerate node failures: return the hits from the nodes that
+    /// answered, with [`SearchResponse::complete`] `false` and the failed
+    /// nodes listed, as long as at least `min_nodes` answered.
+    AllowPartial {
+        /// Minimum number of answering nodes for the search to succeed.
+        min_nodes: usize,
+    },
+}
+
+/// An opaque pagination token: "resume strictly after this hit". Obtained
+/// from [`SearchResponse::cursor`]; its contents are an implementation
+/// detail and may change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cursor {
+    key: Option<Value>,
+    file: FileId,
+}
+
+impl Cursor {
+    /// The cursor resuming after `hit`.
+    pub fn after(hit: &Hit) -> Cursor {
+        Cursor { key: hit.sort_key.clone(), file: hit.file }
+    }
+
+    /// Whether `(key, file)` lies strictly after this cursor in `sort`
+    /// order (i.e. belongs to a later page).
+    pub fn admits(&self, sort: &SortKey, key: Option<&Value>, file: FileId) -> bool {
+        sort.cmp_keys(key, file, self.key.as_ref(), self.file) == Ordering::Greater
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request / response
+// ---------------------------------------------------------------------------
+
+/// A file-search request: predicate plus result-set shaping options.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_query::{FanOutPolicy, SearchRequest, SortKey};
+/// use propeller_types::{AttrName, Timestamp};
+///
+/// let req = SearchRequest::parse("size>16m", Timestamp::from_secs(0))
+///     .unwrap()
+///     .with_limit(10)
+///     .sorted_by(SortKey::Descending(AttrName::Size))
+///     .with_fan_out(FanOutPolicy::AllowPartial { min_nodes: 1 });
+/// assert_eq!(req.limit, Some(10));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    /// The exact match predicate.
+    pub predicate: Predicate,
+    /// Top-k: at most this many hits come back (and no ACG retains more
+    /// than O(k) hits past its candidate filter while computing them).
+    pub limit: Option<usize>,
+    /// Result ordering.
+    pub sort: SortKey,
+    /// Attributes carried per hit.
+    pub projection: Projection,
+    /// Resume strictly after this point (from a previous response).
+    pub cursor: Option<Cursor>,
+    /// Partial-failure tolerance of the fan-out.
+    pub fan_out: FanOutPolicy,
+}
+
+impl SearchRequest {
+    /// A request with default options (unlimited, file-id order, ids only,
+    /// require-all fan-out).
+    pub fn new(predicate: Predicate) -> Self {
+        SearchRequest {
+            predicate,
+            limit: None,
+            sort: SortKey::default(),
+            projection: Projection::default(),
+            cursor: None,
+            fan_out: FanOutPolicy::default(),
+        }
+    }
+
+    /// Parses the textual query syntax into a request with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidQuery`] on parse errors.
+    pub fn parse(text: &str, now: Timestamp) -> Result<Self> {
+        Ok(SearchRequest::new(Query::parse(text, now)?.predicate))
+    }
+
+    /// Sets the top-k limit.
+    #[must_use]
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Sets the result ordering.
+    #[must_use]
+    pub fn sorted_by(mut self, sort: SortKey) -> Self {
+        self.sort = sort;
+        self
+    }
+
+    /// Sets the per-hit projection.
+    #[must_use]
+    pub fn with_projection(mut self, projection: Projection) -> Self {
+        self.projection = projection;
+        self
+    }
+
+    /// Resumes after `cursor` (from a previous response).
+    #[must_use]
+    pub fn after(mut self, cursor: Cursor) -> Self {
+        self.cursor = Some(cursor);
+        self
+    }
+
+    /// Sets the fan-out policy.
+    #[must_use]
+    pub fn with_fan_out(mut self, fan_out: FanOutPolicy) -> Self {
+        self.fan_out = fan_out;
+        self
+    }
+
+    /// Validates option combinations: sorting is only defined over
+    /// built-in (single-valued, always-present) attributes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidQuery`] for keyword/custom sort keys.
+    pub fn validate(&self) -> Result<()> {
+        if let Some(attr) = self.sort.attr() {
+            if !attr.is_inode_attr() {
+                return Err(Error::InvalidQuery(format!(
+                    "cannot sort by multi-valued attribute {attr}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One search result: the file, its owning ACG (when the search ran
+/// against ACG-partitioned indices) and the projected attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The matching file.
+    pub file: FileId,
+    /// The ACG whose index group produced the hit (`None` for baselines
+    /// without ACG partitioning).
+    pub acg: Option<AcgId>,
+    /// Attributes selected by the request's [`Projection`].
+    pub attrs: Vec<(AttrName, Value)>,
+    /// The value of the sort attribute (`None` under file-id order).
+    pub sort_key: Option<Value>,
+}
+
+impl Hit {
+    /// Builds a hit from a record under the given request options.
+    pub fn of_record(
+        record: &FileRecord,
+        acg: Option<AcgId>,
+        sort: &SortKey,
+        projection: &Projection,
+    ) -> Hit {
+        Hit {
+            file: record.file,
+            acg,
+            attrs: projection.project(record),
+            sort_key: sort.key_of(record),
+        }
+    }
+}
+
+/// Which access path an ACG's plan used (a compact mirror of
+/// [`AccessPath`] for stats reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPathKind {
+    /// Hash-index equality probe.
+    HashEq,
+    /// B+-tree range scan.
+    BTreeRange,
+    /// K-D tree box query.
+    KdBox,
+    /// Full record scan.
+    FullScan,
+}
+
+impl From<&AccessPath> for AccessPathKind {
+    fn from(path: &AccessPath) -> Self {
+        match path {
+            AccessPath::HashEq { .. } => AccessPathKind::HashEq,
+            AccessPath::BTreeRange { .. } => AccessPathKind::BTreeRange,
+            AccessPath::KdBox { .. } => AccessPathKind::KdBox,
+            AccessPath::FullScan => AccessPathKind::FullScan,
+        }
+    }
+}
+
+/// Per-query execution statistics, merged across ACGs and nodes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Index groups consulted.
+    pub acgs_consulted: usize,
+    /// Candidate records fetched past the access paths and evaluated
+    /// against the full predicate.
+    pub candidates_scanned: usize,
+    /// The largest number of hits any single ACG retained at once while
+    /// computing its result (bounded by the limit when one is set — the
+    /// top-k path never materializes a full result set).
+    pub retained_peak: usize,
+    /// The access path each consulted ACG used.
+    pub access_paths: Vec<(AcgId, AccessPathKind)>,
+    /// End-to-end time as seen by the caller's clock.
+    pub elapsed: Duration,
+}
+
+impl SearchStats {
+    /// Folds another stats record (e.g. one node's) into this one.
+    pub fn absorb(&mut self, other: SearchStats) {
+        self.acgs_consulted += other.acgs_consulted;
+        self.candidates_scanned += other.candidates_scanned;
+        self.retained_peak = self.retained_peak.max(other.retained_peak);
+        self.access_paths.extend(other.access_paths);
+    }
+}
+
+/// The result of a [`SearchRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    /// Hits in request sort order, at most `limit` of them, de-duplicated
+    /// by file id.
+    pub hits: Vec<Hit>,
+    /// `true` when every relevant Index Node answered. Partial results
+    /// (under [`FanOutPolicy::AllowPartial`]) set this to `false`.
+    pub complete: bool,
+    /// Index Nodes that failed to answer (empty when `complete`).
+    pub unreachable: Vec<NodeId>,
+    /// Execution statistics.
+    pub stats: SearchStats,
+    /// Continuation token: present when the limit was reached and more
+    /// results may exist. Pass to [`SearchRequest::after`] for the next
+    /// page.
+    pub cursor: Option<Cursor>,
+}
+
+impl SearchResponse {
+    /// An empty, complete response.
+    pub fn empty() -> Self {
+        SearchResponse {
+            hits: Vec::new(),
+            complete: true,
+            unreachable: Vec::new(),
+            stats: SearchStats::default(),
+            cursor: None,
+        }
+    }
+
+    /// The hit file ids, in response order.
+    pub fn file_ids(&self) -> Vec<FileId> {
+        self.hits.iter().map(|h| h.file).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded top-k accumulation and k-way merging
+// ---------------------------------------------------------------------------
+
+/// A hit ranked for heap storage: the ordering is the request's result
+/// order, so a max-heap's peek is always the *worst* retained hit.
+struct Ranked {
+    hit: Hit,
+    sort: SortKey,
+}
+
+impl PartialEq for Ranked {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Ranked {}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sort.cmp_hits(&self.hit, &other.hit)
+    }
+}
+
+/// A bounded top-k accumulator: retains at most `limit` hits (unbounded
+/// when `limit` is `None`), evicting the worst via a max-heap. This is the
+/// structure that keeps per-ACG memory at O(k) for limited searches.
+pub struct TopK {
+    sort: SortKey,
+    limit: Option<usize>,
+    heap: BinaryHeap<Ranked>,
+    peak: usize,
+}
+
+impl TopK {
+    /// An accumulator for the given order and limit.
+    pub fn new(sort: SortKey, limit: Option<usize>) -> Self {
+        TopK { sort, limit, heap: BinaryHeap::new(), peak: 0 }
+    }
+
+    /// Offers a hit; it is retained only if it ranks within the top
+    /// `limit` seen so far.
+    pub fn push(&mut self, hit: Hit) {
+        match self.limit {
+            Some(limit) => {
+                if limit == 0 {
+                    return;
+                }
+                if self.heap.len() < limit {
+                    self.heap.push(Ranked { hit, sort: self.sort.clone() });
+                } else if let Some(worst) = self.heap.peek() {
+                    if self.sort.cmp_hits(&hit, &worst.hit) == Ordering::Less {
+                        self.heap.pop();
+                        self.heap.push(Ranked { hit, sort: self.sort.clone() });
+                    }
+                }
+            }
+            None => self.heap.push(Ranked { hit, sort: self.sort.clone() }),
+        }
+        self.peak = self.peak.max(self.heap.len());
+    }
+
+    /// The most hits retained at any point (the O(k) witness).
+    pub fn peak_retained(&self) -> usize {
+        self.peak
+    }
+
+    /// Finishes, returning the retained hits in result order.
+    pub fn into_sorted(self) -> Vec<Hit> {
+        self.heap.into_sorted_vec().into_iter().map(|r| r.hit).collect()
+    }
+}
+
+/// K-way merges per-source sorted hit lists into one sorted, de-duplicated
+/// (by file id), limit-truncated list — the aggregation step of the search
+/// fan-out.
+pub fn merge_sorted_hits(lists: Vec<Vec<Hit>>, sort: &SortKey, limit: Option<usize>) -> Vec<Hit> {
+    struct Head {
+        hit: Hit,
+        list: usize,
+        sort: SortKey,
+    }
+    impl PartialEq for Head {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Head {}
+    impl PartialOrd for Head {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Head {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Reversed: BinaryHeap is a max-heap, we pop the best next hit.
+            other.sort.cmp_hits(&other.hit, &self.hit)
+        }
+    }
+
+    let mut lists: Vec<std::vec::IntoIter<Hit>> = lists.into_iter().map(Vec::into_iter).collect();
+    let mut heap = BinaryHeap::with_capacity(lists.len());
+    for (i, iter) in lists.iter_mut().enumerate() {
+        if let Some(hit) = iter.next() {
+            heap.push(Head { hit, list: i, sort: sort.clone() });
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    while let Some(Head { hit, list, .. }) = heap.pop() {
+        if let Some(next) = lists[list].next() {
+            heap.push(Head { hit: next, list, sort: sort.clone() });
+        }
+        if seen.insert(hit.file) {
+            out.push(hit);
+            if limit.is_some_and(|k| out.len() >= k) {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Runs a request against a plain record collection (no ACG partitioning,
+/// no access paths — a linear evaluate/sort/paginate/project pass). The
+/// evaluation baselines use this so every system answers the same
+/// [`SearchRequest`] API with identical result-shaping semantics.
+pub fn run_local_search<I>(records: I, request: &SearchRequest) -> SearchResponse
+where
+    I: IntoIterator<Item = FileRecord>,
+{
+    let mut topk = TopK::new(request.sort.clone(), request.limit);
+    let mut scanned = 0usize;
+    for record in records {
+        scanned += 1;
+        if !matches_record(&record, &request.predicate) {
+            continue;
+        }
+        let key = request.sort.key_of(&record);
+        if let Some(cursor) = &request.cursor {
+            if !cursor.admits(&request.sort, key.as_ref(), record.file) {
+                continue;
+            }
+        }
+        topk.push(Hit::of_record(&record, None, &request.sort, &request.projection));
+    }
+    let retained_peak = topk.peak_retained();
+    let hits = topk.into_sorted();
+    let cursor = next_cursor(&hits, request.limit);
+    SearchResponse {
+        hits,
+        complete: true,
+        unreachable: Vec::new(),
+        stats: SearchStats {
+            acgs_consulted: 0,
+            candidates_scanned: scanned,
+            retained_peak,
+            access_paths: Vec::new(),
+            elapsed: Duration::ZERO,
+        },
+        cursor,
+    }
+}
+
+/// The continuation cursor for a result page: present exactly when the
+/// page is full (`limit` reached), i.e. more results may exist.
+pub fn next_cursor(hits: &[Hit], limit: Option<usize>) -> Option<Cursor> {
+    match (limit, hits.last()) {
+        (Some(k), Some(last)) if hits.len() >= k => Some(Cursor::after(last)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use propeller_types::InodeAttrs;
+
+    fn rec(file: u64, size: u64) -> FileRecord {
+        FileRecord::new(FileId::new(file), InodeAttrs::builder().size(size).build())
+    }
+
+    fn hit(file: u64, key: Option<u64>) -> Hit {
+        Hit { file: FileId::new(file), acg: None, attrs: Vec::new(), sort_key: key.map(Value::U64) }
+    }
+
+    #[test]
+    fn topk_retains_best_k_and_tracks_peak() {
+        let sort = SortKey::Descending(AttrName::Size);
+        let mut topk = TopK::new(sort, Some(3));
+        for i in 0..100u64 {
+            topk.push(hit(i, Some(i)));
+        }
+        assert!(topk.peak_retained() <= 3, "peak {}", topk.peak_retained());
+        let hits = topk.into_sorted();
+        let files: Vec<u64> = hits.iter().map(|h| h.file.raw()).collect();
+        assert_eq!(files, vec![99, 98, 97]);
+    }
+
+    #[test]
+    fn topk_unlimited_keeps_everything_sorted() {
+        let mut topk = TopK::new(SortKey::FileId, None);
+        for i in [5u64, 1, 9, 3] {
+            topk.push(hit(i, None));
+        }
+        let files: Vec<u64> = topk.into_sorted().iter().map(|h| h.file.raw()).collect();
+        assert_eq!(files, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn merge_dedups_and_truncates() {
+        let a = vec![hit(1, None), hit(3, None), hit(5, None)];
+        let b = vec![hit(2, None), hit(3, None), hit(6, None)];
+        let merged = merge_sorted_hits(vec![a, b], &SortKey::FileId, Some(4));
+        let files: Vec<u64> = merged.iter().map(|h| h.file.raw()).collect();
+        assert_eq!(files, vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn cursor_pages_are_disjoint_and_exhaustive() {
+        let records: Vec<FileRecord> = (0..25u64).map(|i| rec(i, i)).collect();
+        let base = SearchRequest::new(Predicate::True).with_limit(10);
+        let mut all = Vec::new();
+        let mut cursor = None;
+        loop {
+            let mut req = base.clone();
+            if let Some(c) = cursor.take() {
+                req = req.after(c);
+            }
+            let resp = run_local_search(records.clone(), &req);
+            if resp.hits.is_empty() {
+                assert!(resp.cursor.is_none());
+                break;
+            }
+            all.extend(resp.file_ids());
+            match resp.cursor {
+                Some(c) => cursor = Some(c),
+                None => break,
+            }
+        }
+        let expected: Vec<FileId> = (0..25u64).map(FileId::new).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn descending_sort_with_ties_breaks_on_file_id() {
+        let records = vec![rec(3, 10), rec(1, 10), rec(2, 99)];
+        let req =
+            SearchRequest::new(Predicate::True).sorted_by(SortKey::Descending(AttrName::Size));
+        let resp = run_local_search(records, &req);
+        let files: Vec<u64> = resp.hits.iter().map(|h| h.file.raw()).collect();
+        assert_eq!(files, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn projection_selects_attributes() {
+        let record = rec(1, 42).with_keyword("kw").with_custom("energy", Value::F64(-1.0));
+        let ids = Projection::Ids.project(&record);
+        assert!(ids.is_empty());
+        let some = Projection::Attrs(vec![AttrName::Size, AttrName::Keyword]).project(&record);
+        assert_eq!(
+            some,
+            vec![(AttrName::Size, Value::U64(42)), (AttrName::Keyword, Value::from("kw"))]
+        );
+        let full = Projection::Full.project(&record);
+        assert!(full.len() >= 9, "all inode attrs + keyword + custom: {full:?}");
+    }
+
+    #[test]
+    fn sort_by_multivalued_attribute_is_rejected() {
+        let req =
+            SearchRequest::new(Predicate::True).sorted_by(SortKey::Ascending(AttrName::Keyword));
+        assert!(req.validate().is_err());
+        let req = SearchRequest::new(Predicate::True)
+            .sorted_by(SortKey::Ascending(AttrName::custom("x")));
+        assert!(req.validate().is_err());
+        assert!(SearchRequest::new(Predicate::True).validate().is_ok());
+    }
+
+    #[test]
+    fn stats_absorb_sums_and_maxes() {
+        let mut a = SearchStats {
+            acgs_consulted: 1,
+            candidates_scanned: 10,
+            retained_peak: 5,
+            access_paths: vec![(AcgId::new(1), AccessPathKind::FullScan)],
+            elapsed: Duration::ZERO,
+        };
+        a.absorb(SearchStats {
+            acgs_consulted: 2,
+            candidates_scanned: 7,
+            retained_peak: 9,
+            access_paths: vec![(AcgId::new(2), AccessPathKind::HashEq)],
+            elapsed: Duration::ZERO,
+        });
+        assert_eq!(a.acgs_consulted, 3);
+        assert_eq!(a.candidates_scanned, 17);
+        assert_eq!(a.retained_peak, 9);
+        assert_eq!(a.access_paths.len(), 2);
+    }
+}

@@ -63,10 +63,7 @@ impl SimClock {
 
     /// Advances virtual time by `d` and returns the new time.
     pub fn advance(&self, d: Duration) -> Timestamp {
-        let new = self
-            .micros
-            .fetch_add(d.as_micros(), Ordering::SeqCst)
-            + d.as_micros();
+        let new = self.micros.fetch_add(d.as_micros(), Ordering::SeqCst) + d.as_micros();
         Timestamp::from_micros(new)
     }
 
@@ -76,12 +73,8 @@ impl SimClock {
         let target = t.as_micros();
         let mut cur = self.micros.load(Ordering::SeqCst);
         while cur < target {
-            match self.micros.compare_exchange_weak(
-                cur,
-                target,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self.micros.compare_exchange_weak(cur, target, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return t,
                 Err(actual) => cur = actual,
             }

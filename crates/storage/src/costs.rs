@@ -196,8 +196,8 @@ impl GroupIndexModel {
         disk: &mut Disk,
         rng: &mut R,
     ) -> Duration {
-        disk.sequential_read(files * self.bytes_per_entry, rng)
-            + disk.random_read(4096, rng) // initial seek to the index file
+        disk.sequential_read(files * self.bytes_per_entry, rng) + disk.random_read(4096, rng)
+        // initial seek to the index file
     }
 
     /// Models a run of `updates` *inter-partition* updates: each update
@@ -303,10 +303,7 @@ mod tests {
         let mut disk_big = Disk::new(DiskProfile::hdd_7200());
         let small = m.update_run_cost(1_000, 10_000, &mut disk_small);
         let big = m.update_run_cost(100_000_000, 10_000, &mut disk_big);
-        assert!(
-            big > small * 10,
-            "100M-entry index ({big}) must dwarf 1k-entry index ({small})"
-        );
+        assert!(big > small * 10, "100M-entry index ({big}) must dwarf 1k-entry index ({small})");
     }
 
     #[test]

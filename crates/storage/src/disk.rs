@@ -166,8 +166,7 @@ mod tests {
         let mut disk = Disk::new(DiskProfile::hdd_7200());
         let mut rng = seeded_rng(2);
         let rand_total: Duration = (0..200).map(|_| disk.random_read(4096, &mut rng)).sum();
-        let seq_total: Duration =
-            (0..200).map(|_| disk.sequential_read(4096, &mut rng)).sum();
+        let seq_total: Duration = (0..200).map(|_| disk.sequential_read(4096, &mut rng)).sum();
         assert!(
             rand_total > seq_total * 5,
             "random {rand_total} should dwarf sequential {seq_total}"

@@ -133,12 +133,7 @@ impl SharedStorage {
     ///
     /// Returns [`Error::FileNotFound`] if the id is unknown.
     pub fn stat(&self, id: FileId) -> Result<InodeAttrs> {
-        self.inner
-            .read()
-            .by_id
-            .get(&id)
-            .map(|(_, a)| *a)
-            .ok_or(Error::FileNotFound(id))
+        self.inner.read().by_id.get(&id).map(|(_, a)| *a).ok_or(Error::FileNotFound(id))
     }
 
     /// The path of a file by id.
@@ -155,11 +150,8 @@ impl SharedStorage {
     /// crawler baselines use this).
     pub fn snapshot(&self) -> Vec<(FileId, String, InodeAttrs)> {
         let inner = self.inner.read();
-        let mut rows: Vec<(FileId, String, InodeAttrs)> = inner
-            .by_id
-            .iter()
-            .map(|(&id, (path, attrs))| (id, path.clone(), *attrs))
-            .collect();
+        let mut rows: Vec<(FileId, String, InodeAttrs)> =
+            inner.by_id.iter().map(|(&id, (path, attrs))| (id, path.clone(), *attrs)).collect();
         rows.sort_by_key(|(id, _, _)| *id);
         rows
     }

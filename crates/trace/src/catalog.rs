@@ -69,10 +69,7 @@ impl FileCatalog {
 
     /// Iterates over `(id, path)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (FileId, &str)> {
-        self.by_id
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (FileId::new(i as u64), p.as_str()))
+        self.by_id.iter().enumerate().map(|(i, p)| (FileId::new(i as u64), p.as_str()))
     }
 }
 

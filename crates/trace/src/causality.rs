@@ -127,10 +127,7 @@ impl CausalityTracker {
     /// Files a given live process has accessed so far (empty after
     /// [`CausalityTracker::end_process`]).
     pub fn accessed_by(&self, pid: ProcessId) -> &[FileId] {
-        self.processes
-            .get(&pid)
-            .map(|s| s.accessed.as_slice())
-            .unwrap_or(&[])
+        self.processes.get(&pid).map(|s| s.accessed.as_slice()).unwrap_or(&[])
     }
 
     /// Drains the accumulated edges as `(src, dst, weight)` triples,
@@ -138,11 +135,8 @@ impl CausalityTracker {
     ///
     /// This is the client's "flush ACG delta to Index Node" step.
     pub fn drain_edges(&mut self) -> Vec<(FileId, FileId, u64)> {
-        let mut out: Vec<(FileId, FileId, u64)> = self
-            .edges
-            .drain()
-            .map(|((s, d), w)| (s, d, w))
-            .collect();
+        let mut out: Vec<(FileId, FileId, u64)> =
+            self.edges.drain().map(|((s, d), w)| (s, d, w)).collect();
         out.sort_unstable();
         out
     }

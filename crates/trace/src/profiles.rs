@@ -97,10 +97,7 @@ pub fn overlapping_file_sets(
     // Pairwise shared pools first.
     for &(i, j, c) in overlaps {
         for k in 0..c {
-            let id = catalog.intern(&format!(
-                "/shared/{}-{}/{k}",
-                totals[i].0, totals[j].0
-            ));
+            let id = catalog.intern(&format!("/shared/{}-{}/{k}", totals[i].0, totals[j].0));
             files[i].push(id);
             files[j].push(id);
         }
@@ -138,20 +135,8 @@ pub fn overlapping_file_sets(
 pub fn table_one_apps(catalog: &mut FileCatalog) -> Vec<AppExecution> {
     overlapping_file_sets(
         catalog,
-        &[
-            ("apt-get", 279),
-            ("firefox", 2279),
-            ("openoffice", 2696),
-            ("linux-kernel", 19715),
-        ],
-        &[
-            (0, 1, 31),
-            (0, 2, 62),
-            (0, 3, 29),
-            (1, 2, 464),
-            (1, 3, 48),
-            (2, 3, 45),
-        ],
+        &[("apt-get", 279), ("firefox", 2279), ("openoffice", 2696), ("linux-kernel", 19715)],
+        &[(0, 1, 31), (0, 2, 62), (0, 3, 29), (1, 2, 464), (1, 3, 48), (2, 3, 45)],
     )
 }
 
@@ -294,8 +279,8 @@ impl BuildProfile {
         }
         let mut comps: Vec<Component> = Vec::with_capacity(components);
         for c in 0..components {
-            let units_here = self.units / components
-                + if c < self.units % components { 1 } else { 0 };
+            let units_here =
+                self.units / components + if c < self.units % components { 1 } else { 0 };
             let headers_here = (self.shared_headers / components).max(1);
             let headers: Vec<FileId> = (0..headers_here)
                 .map(|i| catalog.intern(&format!("/{}/c{c}/include/h{i}.h", self.name)))

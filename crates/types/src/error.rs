@@ -33,6 +33,23 @@ pub enum Error {
     IndexExists(String),
     /// A cluster node is not registered or has stopped heartbeating.
     NodeUnavailable(NodeId),
+    /// A client used a cached route that the cluster has since moved
+    /// (post-split/migration staleness). Dropping the cached entry and
+    /// re-resolving through the Master recovers.
+    StaleRoute {
+        /// The ACG the stale route pointed at.
+        acg: AcgId,
+        /// The file whose route moved.
+        file: FileId,
+    },
+    /// A cluster-wide index broadcast reached only part of the cluster;
+    /// the registration was rolled back.
+    PartialIndexBroadcast {
+        /// The index that failed to propagate.
+        index: String,
+        /// Index Nodes that never received the spec.
+        missed: Vec<NodeId>,
+    },
     /// A query string could not be parsed; the payload describes why.
     InvalidQuery(String),
     /// Stored bytes (WAL frame, serialized index) failed validation.
@@ -55,6 +72,12 @@ impl fmt::Display for Error {
             Error::IndexNotFound(name) => write!(f, "index {name:?} not found"),
             Error::IndexExists(name) => write!(f, "index {name:?} already exists"),
             Error::NodeUnavailable(id) => write!(f, "node {id} unavailable"),
+            Error::StaleRoute { acg, file } => {
+                write!(f, "stale route: file {file} no longer lives in {acg}")
+            }
+            Error::PartialIndexBroadcast { index, missed } => {
+                write!(f, "index {index:?} missed nodes {missed:?}; registration rolled back")
+            }
             Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
@@ -85,6 +108,8 @@ mod tests {
             Error::IndexNotFound("size_idx".into()),
             Error::IndexExists("size_idx".into()),
             Error::NodeUnavailable(NodeId::new(3)),
+            Error::StaleRoute { acg: AcgId::new(4), file: FileId::new(5) },
+            Error::PartialIndexBroadcast { index: "uid_idx".into(), missed: vec![NodeId::new(2)] },
             Error::InvalidQuery("dangling operator".into()),
             Error::Corrupt("bad crc".into()),
             Error::Io("disk full".into()),
@@ -108,7 +133,7 @@ mod tests {
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let err: Error = io.into();
         assert!(matches!(err, Error::Io(_)));
     }

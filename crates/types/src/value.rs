@@ -243,12 +243,7 @@ mod tests {
 
     #[test]
     fn cross_kind_ordering_is_total_and_consistent() {
-        let vals = vec![
-            Value::U64(9),
-            Value::I64(-1),
-            Value::F64(0.5),
-            Value::from("z"),
-        ];
+        let vals = vec![Value::U64(9), Value::I64(-1), Value::F64(0.5), Value::from("z")];
         let mut sorted = vals.clone();
         sorted.sort();
         // U64 < I64 < F64 < Str by kind discriminant.
@@ -288,10 +283,7 @@ mod tests {
         assert!(Value::U64(5).axis_projection() < Value::U64(6).axis_projection());
         assert!(Value::I64(-2).axis_projection() < Value::I64(3).axis_projection());
         // String projection is deterministic.
-        assert_eq!(
-            Value::from("x").axis_projection(),
-            Value::from("x").axis_projection()
-        );
+        assert_eq!(Value::from("x").axis_projection(), Value::from("x").axis_projection());
     }
 
     #[test]

@@ -84,8 +84,7 @@ mod tests {
         let a: Vec<_> = FpsCopier::new(7, Timestamp::EPOCH, 3).take_for_secs(5).collect();
         let b: Vec<_> = FpsCopier::new(7, Timestamp::EPOCH, 3).take_for_secs(5).collect();
         assert_eq!(a, b);
-        let paths: std::collections::HashSet<&str> =
-            a.iter().map(|(_, p, _)| p.as_str()).collect();
+        let paths: std::collections::HashSet<&str> = a.iter().map(|(_, p, _)| p.as_str()).collect();
         assert_eq!(paths.len(), a.len());
     }
 }

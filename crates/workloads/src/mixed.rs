@@ -94,10 +94,10 @@ impl Iterator for MixedIter {
         let file = FileId::new(self.rng.gen_range(0..self.cfg.group_files.max(1)));
         // Interleave the periodic events *after* the update that crosses
         // the boundary, matching the paper's description.
-        if self.issued % self.cfg.commit_every == 0 {
+        if self.issued.is_multiple_of(self.cfg.commit_every) {
             self.queue.push_back(MixedOp::BackgroundCommit);
         }
-        if self.issued % self.cfg.search_every == 0 {
+        if self.issued.is_multiple_of(self.cfg.search_every) {
             self.queue.push_back(MixedOp::Search);
         }
         Some(MixedOp::Update(file))
@@ -113,10 +113,7 @@ mod tests {
         let ops: Vec<MixedOp> = MixedWorkload::paper_default(1000).collect();
         let updates = ops.iter().filter(|o| matches!(o, MixedOp::Update(_))).count();
         let searches = ops.iter().filter(|o| matches!(o, MixedOp::Search)).count();
-        let commits = ops
-            .iter()
-            .filter(|o| matches!(o, MixedOp::BackgroundCommit))
-            .count();
+        let commits = ops.iter().filter(|o| matches!(o, MixedOp::BackgroundCommit)).count();
         assert_eq!(updates, 10_000);
         assert_eq!(searches, 10_000 / 1024);
         assert_eq!(commits, 10_000 / 500);

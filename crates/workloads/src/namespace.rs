@@ -77,11 +77,8 @@ impl NamespaceSpec {
             let normal = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             let size = (mu + self.size_sigma * normal).exp().min(1e13) as u64;
             let age = rng.gen_range(0..self.mtime_horizon_secs.max(1));
-            let mtime = Timestamp::from_micros(
-                self.now
-                    .as_micros()
-                    .saturating_sub(age * 1_000_000),
-            );
+            let mtime =
+                Timestamp::from_micros(self.now.as_micros().saturating_sub(age * 1_000_000));
             let attrs = InodeAttrs::builder()
                 .size(size)
                 .mtime(mtime)
@@ -102,8 +99,7 @@ mod tests {
     fn generates_requested_count_with_unique_paths() {
         let rows = NamespaceSpec::with_files(5_000).generate(1);
         assert_eq!(rows.len(), 5_000);
-        let paths: std::collections::HashSet<&str> =
-            rows.iter().map(|(p, _)| p.as_str()).collect();
+        let paths: std::collections::HashSet<&str> = rows.iter().map(|(p, _)| p.as_str()).collect();
         assert_eq!(paths.len(), 5_000);
     }
 
@@ -135,10 +131,7 @@ mod tests {
         let rows = spec.generate(5);
         for (_, attrs) in rows {
             assert!(attrs.mtime <= spec.now);
-            assert!(
-                spec.now.since(attrs.mtime).as_micros()
-                    <= spec.mtime_horizon_secs * 1_000_000
-            );
+            assert!(spec.now.since(attrs.mtime).as_micros() <= spec.mtime_horizon_secs * 1_000_000);
         }
     }
 

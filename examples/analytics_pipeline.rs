@@ -7,7 +7,9 @@
 //! Run with: `cargo run --release --example analytics_pipeline`
 
 use propeller::types::{AttrName, Error, FileId, InodeAttrs, Timestamp, Value};
-use propeller::{FileRecord, IndexSpec, Propeller, PropellerConfig};
+use propeller::{
+    FileRecord, IndexSpec, Projection, Propeller, PropellerConfig, SearchRequest, SortKey,
+};
 
 const PROTEINS: u64 = 50_000;
 
@@ -62,6 +64,19 @@ fn main() -> Result<(), Error> {
     // Final selection joins a metadata constraint.
     let fresh = service.search_text("energy<-9.9 & mtime>100")?;
     println!("fresh final candidates: {}", fresh.len());
+
+    // Shortlist via the request API: the 10 most recently re-docked
+    // strong binders, energies projected back — no client-side re-fetch,
+    // no full result materialization anywhere in the pipeline.
+    let request = SearchRequest::parse("energy<-9.9", service.now())?
+        .with_limit(10)
+        .sorted_by(SortKey::Descending(AttrName::Mtime))
+        .with_projection(Projection::Attrs(vec![AttrName::custom("energy")]));
+    let shortlist = service.search_with(&request)?;
+    println!("shortlist ({} candidates scanned):", shortlist.stats.candidates_scanned);
+    for hit in shortlist.hits.iter().take(3) {
+        println!("  {} {:?}", hit.file, hit.attrs);
+    }
 
     println!("pipeline complete; stats: {:?}", service.stats());
     Ok(())

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example cluster_search`
 
-use propeller::types::{Error, FileId, InodeAttrs, Timestamp};
-use propeller::{Cluster, ClusterConfig, FileRecord};
+use propeller::types::{AttrName, Error, FileId, InodeAttrs, Timestamp};
+use propeller::{Cluster, ClusterConfig, FanOutPolicy, FileRecord, SearchRequest, SortKey};
 
 fn main() -> Result<(), Error> {
     let cluster = Cluster::start(ClusterConfig {
@@ -63,6 +63,21 @@ fn main() -> Result<(), Error> {
         "cluster-wide search 'uid=2 & size>50m': {} hits in {:.2} ms",
         owned.len(),
         t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    // The canonical request API: per-node top-k fan-out, k-way merged,
+    // tolerating node failures down to a 4-node quorum.
+    let request = SearchRequest::parse("size>90m", Timestamp::EPOCH)?
+        .with_limit(10)
+        .sorted_by(SortKey::Descending(AttrName::Size))
+        .with_fan_out(FanOutPolicy::AllowPartial { min_nodes: 4 });
+    let resp = client.search_with(&request)?;
+    println!(
+        "top-10 'size>90m': {} hits, complete={}, {} ACGs consulted, {} candidates scanned",
+        resp.hits.len(),
+        resp.complete,
+        resp.stats.acgs_consulted,
+        resp.stats.candidates_scanned,
     );
 
     // Consistency across the cluster: a just-indexed file is immediately

@@ -10,8 +10,7 @@
 use propeller::baselines::{recall, SpotlightConfig, SpotlightEngine};
 use propeller::types::{Error, FileId, InodeAttrs, Timestamp};
 use propeller::workloads::FpsCopier;
-use propeller::{FileRecord, Propeller, PropellerConfig};
-use propeller_query::Query;
+use propeller::{FileRecord, Propeller, PropellerConfig, SearchRequest};
 
 fn main() -> Result<(), Error> {
     let mut service = Propeller::new(PropellerConfig::default());
@@ -21,7 +20,7 @@ fn main() -> Result<(), Error> {
         reindex_backlog: usize::MAX,
         ..Default::default()
     });
-    let query = Query::parse("size>16m", Timestamp::EPOCH)?;
+    let request = SearchRequest::parse("size>16m", Timestamp::EPOCH)?;
 
     // Import a base snapshot into both systems.
     let mut truth: Vec<FileId> = Vec::new();
@@ -53,8 +52,8 @@ fn main() -> Result<(), Error> {
             service.index_file(FileRecord::new(id, attrs))?; // inline
             crawler.notify(FileRecord::new(id, attrs), t); // async
         }
-        let pp = service.search(&query.predicate)?;
-        let sl = crawler.query(&query.predicate, now);
+        let pp = service.search_with(&request)?.file_ids();
+        let sl = crawler.search_with(&request, now).file_ids();
         println!(
             "{sec:>4}s        {:>6.1}%          {:>6.1}%            {:>5}",
             recall(&pp, &truth) * 100.0,

@@ -4,7 +4,9 @@
 //! Run with: `cargo run --example quickstart`
 
 use propeller::types::{AttrName, Error, FileId, InodeAttrs, OpenMode, ProcessId, Timestamp};
-use propeller::{FileRecord, IndexSpec, Propeller, PropellerConfig};
+use propeller::{
+    FileRecord, IndexSpec, Projection, Propeller, PropellerConfig, SearchRequest, SortKey,
+};
 
 fn main() -> Result<(), Error> {
     let mut service = Propeller::new(PropellerConfig::default());
@@ -36,6 +38,21 @@ fn main() -> Result<(), Error> {
     println!("uid 501 and > 1 MB: {}", mine.len());
     let reports = service.search_text("keyword:report")?;
     println!("keyword 'report': {}", reports.len());
+
+    // The canonical request API: the 5 largest files with their sizes
+    // projected back, computed with a bounded per-ACG top-k heap.
+    let request = SearchRequest::parse("size>16m", service.now())?
+        .with_limit(5)
+        .sorted_by(SortKey::Descending(AttrName::Size))
+        .with_projection(Projection::Attrs(vec![AttrName::Size]));
+    let top = service.search_with(&request)?;
+    println!("top-5 largest (of {} candidates scanned):", top.stats.candidates_scanned);
+    for hit in &top.hits {
+        println!("  {} {:?}", hit.file, hit.attrs);
+    }
+    if top.cursor.is_some() {
+        println!("  ...more pages available via the continuation cursor");
+    }
 
     // The Figure 4 walkthrough: a program reads i0..i2 and writes o0..o2;
     // the captured causality becomes ACG edges.

@@ -1,0 +1,145 @@
+//! Minimal stand-in for `criterion`: runs each benchmark closure for a
+//! fixed wall-clock budget and prints mean time per iteration. No
+//! statistics, plots or comparisons — enough to execute `cargo bench`
+//! targets and eyeball relative cost.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing driver passed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the measurement budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up round, result deliberately kept out of the measurement.
+        let _ = black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            let _ = black_box(f());
+            iters += 1;
+        }
+        self.iters_done = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, label: &str) {
+        let per_iter = self.elapsed.as_nanos() / u128::from(self.iters_done.max(1));
+        println!("bench {label:<48} {per_iter:>12} ns/iter ({} iters)", self.iters_done);
+    }
+}
+
+/// Opaque-to-the-optimizer identity (best-effort without intrinsics).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Names a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO, budget: self.budget };
+        f(&mut b);
+        b.report(name);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Hint accepted for API compatibility; the shim's fixed time budget
+    /// ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.bench_function(&label, f);
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.bench_function(&label, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_owned() }
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,122 @@
+//! Minimal stand-in for `crossbeam`: just the `channel` module surface the
+//! RPC fabric uses, implemented over `std::sync::mpsc`.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (bounded and unbounded).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError};
+
+    /// Sending half of a channel. Clonable; all clones feed one receiver.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: Inner<T>,
+    }
+
+    #[derive(Debug)]
+    enum Inner<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let inner = match &self.inner {
+                Inner::Unbounded(tx) => Inner::Unbounded(tx.clone()),
+                Inner::Bounded(tx) => Inner::Bounded(tx.clone()),
+            };
+            Sender { inner }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking if a bounded channel is full.
+        ///
+        /// # Errors
+        ///
+        /// Fails when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                Inner::Unbounded(tx) => tx.send(msg),
+                Inner::Bounded(tx) => tx.send(msg),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Fails when every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        ///
+        /// # Errors
+        ///
+        /// Fails on timeout or when every sender has been dropped.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        ///
+        /// Fails when the channel is empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: Inner::Unbounded(tx) }, Receiver { inner: rx })
+    }
+
+    /// A bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: Inner::Bounded(tx) }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn unbounded_round_trip_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(42u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn bounded_reply_channel() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send("reply").unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(1)).unwrap(), "reply");
+    }
+
+    #[test]
+    fn dropped_receiver_errors_send() {
+        let (tx, rx) = channel::unbounded();
+        drop(rx);
+        assert!(tx.send(1u8).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Minimal stand-in for `proptest`: random-input property testing with the
+//! strategy combinators the workspace test-suites use. No shrinking — a
+//! failing case panics with the generated inputs visible via `Debug` in
+//! the assertion message.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Strategy};
+
+/// Test-runner configuration.
+pub mod config {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Deterministic per-test RNG derivation.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds the RNG for one property, seeded from its full path so every
+    /// test has an independent, reproducible stream.
+    pub fn rng_for(test_path: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Namespaced strategy constructors (`prop::collection::vec`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// A vector whose length is drawn from `size` and whose elements
+        /// come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy::new(element, size)
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniform `bool`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolAny;
+
+        /// The uniform boolean strategy.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl crate::strategy::Strategy for BoolAny {
+            type Value = bool;
+            fn generate(&self, rng: &mut rand::rngs::StdRng) -> bool {
+                rand::Rng::gen(rng)
+            }
+        }
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for a primitive type.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Primitives with a canonical full-range strategy.
+    pub trait ArbPrim: Sized {
+        /// Draws a full-range value.
+        fn arb(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl ArbPrim for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arb(rng: &mut StdRng) -> Self { rng.next_u64() as $t }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbPrim for bool {
+        fn arb(rng: &mut StdRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbPrim for f64 {
+        fn arb(rng: &mut StdRng) -> Self {
+            // Full bit coverage (infinities and NaNs included), matching
+            // real proptest's spirit; filter NaN at the use site if needed.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(PhantomData<A>);
+
+    /// The canonical full-range strategy for `A`.
+    pub fn any<A: ArbPrim>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    impl<A: ArbPrim> Strategy for Any<A> {
+        type Value = A;
+        fn generate(&self, rng: &mut StdRng) -> A {
+            A::arb(rng)
+        }
+    }
+}
+
+/// The standard glob import for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(input in strategy, ...) { body }`
+/// item becomes a `#[test]` running `body` over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::config::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::config::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::rng_for(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,272 @@
+//! Minimal stand-in for `rand` 0.8: a deterministic xoshiro256++ `StdRng`,
+//! the `Rng`/`SeedableRng` traits (the subset the workspace uses), and
+//! `seq::SliceRandom::shuffle`.
+//!
+//! Seed-stable and reproducible like the real `StdRng`, but the stream
+//! differs from upstream rand — seeds reproduce runs within this
+//! repository only.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types constructible from a single uniformly random `u64`.
+pub trait Standard: Sized {
+    /// Maps one random word onto the type.
+    fn from_u64(word: u64) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn from_u64(word: u64) -> Self {
+                word as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64(word: u64) -> Self {
+        word & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(word: u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (word >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn from_u64(word: u64) -> Self {
+        (word >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// Types that can be drawn uniformly from a bounded interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws from `[lo, hi)` when `inclusive` is false, `[lo, hi]` otherwise.
+    fn sample_in<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                let span = (hi as i128) - (lo as i128) + i128::from(inclusive);
+                assert!(span > 0, "empty range in gen_range");
+                let draw = (rng.next_u64() as i128) % span;
+                ((lo as i128) + draw) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: Rng + ?Sized>(lo: Self, hi: Self, _inclusive: bool, rng: &mut R) -> Self {
+        assert!(lo < hi, "empty range in gen_range");
+        let unit = f64::from_u64(rng.next_u64());
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_in<R: Rng + ?Sized>(lo: Self, hi: Self, _inclusive: bool, rng: &mut R) -> Self {
+        assert!(lo < hi, "empty range in gen_range");
+        let unit = f32::from_u64(rng.next_u64());
+        lo + unit * (hi - lo)
+    }
+}
+
+/// A range that can be sampled uniformly. The single blanket impl per
+/// range shape keeps integer-literal inference working the way real
+/// rand's does (`gen_range(0..n)` adopts `n`'s type).
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// The random-value trait: a source of random words plus derived samplers.
+pub trait Rng {
+    /// The next uniformly random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Samples `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete RNG types.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workhorse generator: xoshiro256++ (same state size and quality
+    /// class as real `StdRng`, different stream).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Random slice operations.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = StdRng::seed_from_u64(10);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i: u64 = r.gen_range(5..=5);
+            assert_eq!(i, 5);
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+}

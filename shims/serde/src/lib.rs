@@ -1,0 +1,20 @@
+//! No-op stand-in for `serde`'s derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its vocabulary types
+//! for forward compatibility but never serialises through serde (all wire
+//! and WAL codecs are hand-rolled). These derives therefore expand to
+//! nothing, which keeps the annotations compiling without the real crate.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -16,21 +16,32 @@
 //! ## Quick start
 //!
 //! ```
-//! use propeller::{FileRecord, Propeller, PropellerConfig};
-//! use propeller::types::{FileId, InodeAttrs};
+//! use propeller::{FileRecord, Propeller, PropellerConfig, SearchRequest, SortKey};
+//! use propeller::types::{AttrName, FileId, InodeAttrs, Timestamp};
 //!
 //! # fn main() -> Result<(), propeller::types::Error> {
 //! let mut service = Propeller::new(PropellerConfig::default());
 //!
 //! // Inline indexing: the update is acknowledged only once logged.
-//! service.index_file(FileRecord::new(
-//!     FileId::new(1),
-//!     InodeAttrs::builder().size(20 << 20).build(),
-//! ))?;
+//! for i in 1..=50u64 {
+//!     service.index_file(FileRecord::new(
+//!         FileId::new(i),
+//!         InodeAttrs::builder().size(i << 20).build(),
+//!     ))?;
+//! }
 //!
 //! // Search sees every acknowledged update — no crawl delay, ever.
 //! let hits = service.search_text("size>16m")?;
-//! assert_eq!(hits, vec![FileId::new(1)]);
+//! assert_eq!(hits.len(), 34);
+//!
+//! // The canonical search API shapes the result set at the source:
+//! // top-k with a bounded heap, sorting, projection, pagination.
+//! let req = SearchRequest::parse("size>16m", Timestamp::EPOCH)?
+//!     .with_limit(3)
+//!     .sorted_by(SortKey::Descending(AttrName::Size));
+//! let resp = service.search_with(&req)?;
+//! assert_eq!(resp.file_ids(), vec![FileId::new(50), FileId::new(49), FileId::new(48)]);
+//! assert!(resp.complete && resp.cursor.is_some());
 //! # Ok(())
 //! # }
 //! ```
@@ -57,8 +68,9 @@
 #![warn(missing_docs)]
 
 pub use propeller_core::{
-    FileRecord, IndexKind, IndexOp, IndexSpec, Predicate, Propeller, PropellerConfig, Query,
-    ServiceStats,
+    Cursor, FanOutPolicy, FileRecord, Hit, IndexKind, IndexOp, IndexSpec, Predicate, Projection,
+    Propeller, PropellerConfig, Query, SearchRequest, SearchResponse, SearchStats, ServiceStats,
+    SortKey,
 };
 
 pub use propeller_acg as acg;

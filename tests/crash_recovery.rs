@@ -23,10 +23,8 @@ fn acknowledged_but_uncommitted_ops_survive_crash() {
     // by dropping the group.
     {
         let wal = Wal::open(&path).unwrap();
-        let mut group = AcgIndexGroup::new(
-            AcgId::new(1),
-            GroupConfig { wal, ..GroupConfig::default() },
-        );
+        let mut group =
+            AcgIndexGroup::new(AcgId::new(1), GroupConfig { wal, ..GroupConfig::default() });
         for i in 0..100 {
             group.enqueue(IndexOp::Upsert(record(i, i * 1024)), Timestamp::EPOCH).unwrap();
         }
@@ -36,17 +34,12 @@ fn acknowledged_but_uncommitted_ops_survive_crash() {
     }
     // Phase 2: recover from the WAL.
     let wal = Wal::open(&path).unwrap();
-    let (group, replayed) = AcgIndexGroup::recover(
-        AcgId::new(1),
-        GroupConfig { wal, ..GroupConfig::default() },
-    )
-    .unwrap();
+    let (group, replayed) =
+        AcgIndexGroup::recover(AcgId::new(1), GroupConfig { wal, ..GroupConfig::default() })
+            .unwrap();
     assert_eq!(replayed, 100);
     assert_eq!(group.len(), 100);
-    assert_eq!(
-        group.lookup_eq(&AttrName::Size, &Value::U64(42 * 1024)),
-        vec![FileId::new(42)]
-    );
+    assert_eq!(group.lookup_eq(&AttrName::Size, &Value::U64(42 * 1024)), vec![FileId::new(42)]);
     let _ = std::fs::remove_file(&path);
 }
 
@@ -56,10 +49,8 @@ fn committed_prefix_plus_uncommitted_tail_recovers_exactly() {
     let _ = std::fs::remove_file(&path);
     {
         let wal = Wal::open(&path).unwrap();
-        let mut group = AcgIndexGroup::new(
-            AcgId::new(1),
-            GroupConfig { wal, ..GroupConfig::default() },
-        );
+        let mut group =
+            AcgIndexGroup::new(AcgId::new(1), GroupConfig { wal, ..GroupConfig::default() });
         for i in 0..50 {
             group.enqueue(IndexOp::Upsert(record(i, 1000)), Timestamp::EPOCH).unwrap();
         }
@@ -70,23 +61,16 @@ fn committed_prefix_plus_uncommitted_tail_recovers_exactly() {
         // Crash with 30 uncommitted ops in the WAL.
     }
     let wal = Wal::open(&path).unwrap();
-    let (group, replayed) = AcgIndexGroup::recover(
-        AcgId::new(1),
-        GroupConfig { wal, ..GroupConfig::default() },
-    )
-    .unwrap();
+    let (group, replayed) =
+        AcgIndexGroup::recover(AcgId::new(1), GroupConfig { wal, ..GroupConfig::default() })
+            .unwrap();
     // The committed prefix was applied before the crash and its WAL frames
     // truncated: recovery only holds the uncommitted tail. An Index Node
     // restores the committed state from its persisted index files; here we
     // verify the WAL contract precisely.
     assert_eq!(replayed, 30);
     assert_eq!(group.len(), 30);
-    assert_eq!(
-        group
-            .lookup_eq(&AttrName::Size, &Value::U64(2000))
-            .len(),
-        30
-    );
+    assert_eq!(group.lookup_eq(&AttrName::Size, &Value::U64(2000)).len(), 30);
     let _ = std::fs::remove_file(&path);
 }
 
@@ -108,11 +92,9 @@ fn torn_final_frame_is_discarded_on_recovery() {
         f.write_all(&[0xFF, 0xFF, 0x00, 0x00, 1, 2, 3, 4, 9, 9]).unwrap();
     }
     let wal = Wal::open(&path).unwrap();
-    let (group, replayed) = AcgIndexGroup::recover(
-        AcgId::new(1),
-        GroupConfig { wal, ..GroupConfig::default() },
-    )
-    .unwrap();
+    let (group, replayed) =
+        AcgIndexGroup::recover(AcgId::new(1), GroupConfig { wal, ..GroupConfig::default() })
+            .unwrap();
     assert_eq!(replayed, 10, "valid prefix only");
     assert_eq!(group.len(), 10);
     let _ = std::fs::remove_file(&path);
@@ -124,27 +106,20 @@ fn recovery_preserves_removals_and_replacements() {
     let _ = std::fs::remove_file(&path);
     {
         let wal = Wal::open(&path).unwrap();
-        let mut group = AcgIndexGroup::new(
-            AcgId::new(1),
-            GroupConfig { wal, ..GroupConfig::default() },
-        );
+        let mut group =
+            AcgIndexGroup::new(AcgId::new(1), GroupConfig { wal, ..GroupConfig::default() });
         group.enqueue(IndexOp::Upsert(record(1, 100)), Timestamp::EPOCH).unwrap();
         group.enqueue(IndexOp::Upsert(record(2, 100)), Timestamp::EPOCH).unwrap();
         group.enqueue(IndexOp::Remove(FileId::new(1)), Timestamp::EPOCH).unwrap();
         group.enqueue(IndexOp::Upsert(record(2, 999)), Timestamp::EPOCH).unwrap();
     }
     let wal = Wal::open(&path).unwrap();
-    let (group, replayed) = AcgIndexGroup::recover(
-        AcgId::new(1),
-        GroupConfig { wal, ..GroupConfig::default() },
-    )
-    .unwrap();
+    let (group, replayed) =
+        AcgIndexGroup::recover(AcgId::new(1), GroupConfig { wal, ..GroupConfig::default() })
+            .unwrap();
     assert_eq!(replayed, 4);
     assert_eq!(group.len(), 1);
     assert!(group.lookup_eq(&AttrName::Size, &Value::U64(100)).is_empty());
-    assert_eq!(
-        group.lookup_eq(&AttrName::Size, &Value::U64(999)),
-        vec![FileId::new(2)]
-    );
+    assert_eq!(group.lookup_eq(&AttrName::Size, &Value::U64(999)), vec![FileId::new(2)]);
     let _ = std::fs::remove_file(&path);
 }

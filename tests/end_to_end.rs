@@ -4,19 +4,13 @@
 use propeller::baselines::{BruteForce, CentralDb};
 use propeller::storage::SharedStorage;
 use propeller::types::{AttrName, FileId, InodeAttrs, Timestamp};
-use propeller::{
-    Cluster, ClusterConfig, FileRecord, IndexSpec, Propeller, PropellerConfig, Query,
-};
+use propeller::{Cluster, ClusterConfig, FileRecord, IndexSpec, Propeller, PropellerConfig, Query};
 use std::sync::Arc;
 
 fn record(file: u64, size: u64, mtime_s: u64, uid: u32) -> FileRecord {
     FileRecord::new(
         FileId::new(file),
-        InodeAttrs::builder()
-            .size(size)
-            .mtime(Timestamp::from_secs(mtime_s))
-            .uid(uid)
-            .build(),
+        InodeAttrs::builder().size(size).mtime(Timestamp::from_secs(mtime_s)).uid(uid).build(),
     )
 }
 
@@ -36,15 +30,10 @@ fn single_node_agrees_with_brute_force_on_every_query() {
         let size = next() % (64 << 20);
         let mtime = next() % 1_000_000;
         let uid = (next() % 5) as u32;
-        let attrs = InodeAttrs::builder()
-            .size(size)
-            .mtime(Timestamp::from_secs(mtime))
-            .uid(uid)
-            .build();
+        let attrs =
+            InodeAttrs::builder().size(size).mtime(Timestamp::from_secs(mtime)).uid(uid).build();
         storage.create(&format!("/f{i}"), attrs).unwrap();
-        service
-            .index_file(FileRecord::new(FileId::new(i), attrs))
-            .unwrap();
+        service.index_file(FileRecord::new(FileId::new(i), attrs)).unwrap();
     }
     let brute = BruteForce::new(storage);
     let now = Timestamp::from_secs(2_000_000);
@@ -74,13 +63,13 @@ fn all_three_systems_return_identical_results() {
     let mut service = Propeller::new(PropellerConfig::default());
     let mut db = CentralDb::new();
     for i in 0..1_000u64 {
-        let attrs = InodeAttrs::builder()
-            .size(i * 4096)
-            .mtime(Timestamp::from_secs(i))
-            .build();
+        let attrs = InodeAttrs::builder().size(i * 4096).mtime(Timestamp::from_secs(i)).build();
         storage.create(&format!("/f{i}"), attrs).unwrap();
-        let rec = FileRecord::new(FileId::new(i), attrs)
-            .with_keyword(if i % 7 == 0 { "seven" } else { "other" });
+        let rec = FileRecord::new(FileId::new(i), attrs).with_keyword(if i % 7 == 0 {
+            "seven"
+        } else {
+            "other"
+        });
         service.index_file(rec.clone()).unwrap();
         db.upsert(rec);
     }
@@ -119,16 +108,12 @@ fn search_is_always_consistent_with_acknowledged_updates() {
 
 #[test]
 fn cluster_matches_single_node_results() {
-    let cluster = Cluster::start(ClusterConfig {
-        index_nodes: 4,
-        group_capacity: 100,
-        ..Default::default()
-    });
+    let cluster =
+        Cluster::start(ClusterConfig { index_nodes: 4, group_capacity: 100, ..Default::default() });
     let mut client = cluster.client();
     let mut single = Propeller::new(PropellerConfig::default());
-    let records: Vec<FileRecord> = (0..2_000u64)
-        .map(|i| record(i, (i % 128) << 20, i, (i % 3) as u32))
-        .collect();
+    let records: Vec<FileRecord> =
+        (0..2_000u64).map(|i| record(i, (i % 128) << 20, i, (i % 3) as u32)).collect();
     client.index_files(records.clone()).unwrap();
     for r in records {
         single.index_file(r).unwrap();
@@ -151,9 +136,7 @@ fn cluster_survives_maintenance_and_splits_under_load() {
         ..Default::default()
     });
     let mut client = cluster.client();
-    client
-        .index_files((0..1_000u64).map(|i| record(i, 1 << 20, i, 0)).collect())
-        .unwrap();
+    client.index_files((0..1_000u64).map(|i| record(i, 1 << 20, i, 0)).collect()).unwrap();
     let mut total_splits = 0;
     for _ in 0..4 {
         total_splits += cluster.run_maintenance().unwrap();
@@ -169,12 +152,8 @@ fn cluster_survives_maintenance_and_splits_under_load() {
 fn custom_index_round_trip_through_cluster() {
     let cluster = Cluster::start(ClusterConfig::default());
     let mut client = cluster.client();
-    client
-        .create_index(IndexSpec::hash("by_uid", AttrName::Uid))
-        .unwrap();
-    client
-        .index_files((0..50u64).map(|i| record(i, 1024, 0, (i % 5) as u32)).collect())
-        .unwrap();
+    client.create_index(IndexSpec::hash("by_uid", AttrName::Uid)).unwrap();
+    client.index_files((0..50u64).map(|i| record(i, 1024, 0, (i % 5) as u32)).collect()).unwrap();
     let hits = client.search_text("uid=2").unwrap();
     assert_eq!(hits.len(), 10);
     cluster.shutdown();

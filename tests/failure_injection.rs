@@ -23,20 +23,14 @@ fn dead_index_node_surfaces_as_node_unavailable() {
     // Searches that fan out to the dead node report unavailability rather
     // than silently returning partial results (the consistency-first rule).
     let err = client.search_text("size>0");
-    assert!(
-        matches!(err, Err(Error::NodeUnavailable(n)) if n == victim),
-        "{err:?}"
-    );
+    assert!(matches!(err, Err(Error::NodeUnavailable(n)) if n == victim), "{err:?}");
     cluster.shutdown();
 }
 
 #[test]
 fn surviving_nodes_keep_serving_their_acgs() {
-    let cluster = Cluster::start(ClusterConfig {
-        index_nodes: 2,
-        group_capacity: 10,
-        ..Default::default()
-    });
+    let cluster =
+        Cluster::start(ClusterConfig { index_nodes: 2, group_capacity: 10, ..Default::default() });
     let mut client = cluster.client();
     client.index_files((0..40).map(|i| record(i, 1 << 20)).collect()).unwrap();
 
@@ -46,10 +40,8 @@ fn surviving_nodes_keep_serving_their_acgs() {
 
     // Direct requests to the survivor still work.
     let survivor = cluster.index_node_ids()[0];
-    let resp = cluster
-        .rpc()
-        .call(survivor, Request::Tick { now: Timestamp::from_secs(1) })
-        .unwrap();
+    let resp =
+        cluster.rpc().call(survivor, Request::Tick { now: Timestamp::from_secs(1) }).unwrap();
     assert!(matches!(resp, Response::Status(_)));
     cluster.shutdown();
 }
@@ -113,5 +105,63 @@ fn cluster_modeled_mode_accrues_network_time_per_operation() {
     assert!(after_index > t0);
     client.search_text("size>=0").unwrap();
     assert!(sim.now() > after_index);
+    cluster.shutdown();
+}
+
+#[test]
+fn stale_route_after_split_is_invalidated_and_retried() {
+    // One oversized ACG on a 2-node cluster: maintenance splits it and
+    // migrates half the files to the other node. A client that indexed
+    // before the split still caches the old (ACG, node) routes.
+    let cluster = Cluster::start(ClusterConfig {
+        index_nodes: 2,
+        group_capacity: 1_000,
+        split_threshold: 50,
+        ..Default::default()
+    });
+    let mut client = cluster.client();
+    client.index_files((0..120).map(|i| record(i, 1 << 20)).collect()).unwrap();
+    let splits = cluster.run_maintenance().unwrap();
+    assert!(splits >= 1, "the oversized ACG must split");
+
+    // Re-index every file with a new size through the stale cache. For the
+    // migrated half the old owner answers "route moved"; the client must
+    // drop those cache entries, re-resolve at the Master and retry — the
+    // whole batch succeeds without surfacing an error.
+    client.index_files((0..120).map(|i| record(i, 2 << 20)).collect()).unwrap();
+
+    // Every update landed exactly once, in the group that owns the file
+    // now: no stale copies with the old size, no duplicates, no losses.
+    assert!(client.search_text("size=1m").unwrap().is_empty(), "no stale copies");
+    let hits = client.search_text("size=2m").unwrap();
+    assert_eq!(hits.len(), 120, "all updates visible exactly once");
+    cluster.shutdown();
+}
+
+#[test]
+fn partial_index_broadcast_rolls_back_and_reports_missed_nodes() {
+    use propeller::IndexSpec;
+    let cluster = Cluster::start(ClusterConfig { index_nodes: 3, ..Default::default() });
+    let client = cluster.client();
+
+    // Kill one node, then try to create a cluster-wide index.
+    let victim = cluster.index_node_ids()[2];
+    cluster.rpc().call(victim, Request::Shutdown).unwrap();
+    cluster.rpc().deregister(victim);
+
+    let spec = IndexSpec::btree("uid_idx", propeller::types::AttrName::Uid);
+    let err = client.create_index(spec.clone());
+    match err {
+        Err(Error::PartialIndexBroadcast { index, missed }) => {
+            assert_eq!(index, "uid_idx");
+            assert_eq!(missed, vec![victim]);
+        }
+        other => panic!("expected PartialIndexBroadcast, got {other:?}"),
+    }
+
+    // The rollback unregistered the name at the Master: once the cluster
+    // is healthy again (here: minus the dead node), the same name works.
+    let resp = cluster.rpc().call(cluster.master_id(), Request::CreateIndex { spec }).unwrap();
+    assert!(matches!(resp, Response::Ok), "{resp:?}");
     cluster.shutdown();
 }

@@ -52,10 +52,7 @@ fn cache_timeout_bounds_internal_staleness_only() {
         ..PropellerConfig::default()
     });
     service
-        .index_file(FileRecord::new(
-            FileId::new(1),
-            InodeAttrs::builder().size(1 << 30).build(),
-        ))
+        .index_file(FileRecord::new(FileId::new(1), InodeAttrs::builder().size(1 << 30).build()))
         .unwrap();
     assert_eq!(service.pending_ops(), 1, "update buffered, not committed");
     // Maintenance before the timeout leaves it pending.
@@ -68,10 +65,7 @@ fn cache_timeout_bounds_internal_staleness_only() {
     assert_eq!(service.pending_ops(), 0);
     // And the timeout alone also commits, without any search.
     service
-        .index_file(FileRecord::new(
-            FileId::new(2),
-            InodeAttrs::builder().size(1 << 30).build(),
-        ))
+        .index_file(FileRecord::new(FileId::new(2), InodeAttrs::builder().size(1 << 30).build()))
         .unwrap();
     sim.advance(Duration::from_secs(6));
     service.maintenance().unwrap();
@@ -113,11 +107,7 @@ fn build_acg_splits_have_small_cuts() {
     let largest = comps.largest().unwrap().to_vec();
     let sub = graph.subgraph(&largest);
     let b = propeller::acg::bisect(&sub, &Default::default());
-    assert!(
-        b.cut_fraction() < 0.45,
-        "cut fraction {} (paper's git: 29.4%)",
-        b.cut_fraction()
-    );
+    assert!(b.cut_fraction() < 0.45, "cut fraction {} (paper's git: 29.4%)", b.cut_fraction());
     assert!(b.imbalance() <= 1.15, "imbalance {}", b.imbalance());
 }
 
@@ -159,15 +149,9 @@ fn crawler_ceiling_cannot_be_waited_out() {
     let query = Query::parse("size>0", Timestamp::EPOCH).unwrap();
     let truth: Vec<FileId> = (0..5_000).map(FileId::new).collect();
     for &f in &truth {
-        crawler.notify(
-            FileRecord::new(f, InodeAttrs::builder().size(1).build()),
-            Timestamp::EPOCH,
-        );
+        crawler.notify(FileRecord::new(f, InodeAttrs::builder().size(1).build()), Timestamp::EPOCH);
     }
     // Wait an arbitrarily long time.
-    let r = recall(
-        &crawler.query(&query.predicate, Timestamp::from_secs(1_000_000)),
-        &truth,
-    );
+    let r = recall(&crawler.query(&query.predicate, Timestamp::from_secs(1_000_000)), &truth);
     assert!((0.10..0.18).contains(&r), "ceiling ≈ 13.86%, got {r}");
 }

@@ -11,8 +11,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         any::<u64>().prop_map(Value::U64),
         any::<i64>().prop_map(Value::I64),
-        any::<f64>().prop_filter("total order works but NaN breaks eq-tests", |f| !f
-            .is_nan())
+        any::<f64>()
+            .prop_filter("total order works but NaN breaks eq-tests", |f| !f.is_nan())
             .prop_map(Value::F64),
         "[a-z0-9 _/.-]{0,24}".prop_map(Value::from),
     ]

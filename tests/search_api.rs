@@ -1,0 +1,246 @@
+//! Integration tests for the first-class `SearchRequest`/`SearchResponse`
+//! API: top-k + sort correctness against brute force, projection
+//! round-tripping, cursor pagination, the bounded-heap guarantee, and
+//! partial-failure-tolerant fan-out.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use propeller::baselines::BruteForce;
+use propeller::storage::SharedStorage;
+use propeller::types::{AttrName, Error, FileId, InodeAttrs, Timestamp, Value};
+use propeller::{
+    Cluster, ClusterConfig, FanOutPolicy, FileRecord, Projection, Propeller, PropellerConfig,
+    SearchRequest, SortKey,
+};
+
+fn record(file: u64, size: u64, mtime_s: u64, uid: u32) -> FileRecord {
+    FileRecord::new(
+        FileId::new(file),
+        InodeAttrs::builder().size(size).mtime(Timestamp::from_secs(mtime_s)).uid(uid).build(),
+    )
+}
+
+/// A deterministic pseudo-random dataset shared by service and ground
+/// truth.
+fn dataset(n: u64) -> Vec<FileRecord> {
+    let mut state = 0x1234_5678_9ABC_DEFFu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|i| record(i, next() % (64 << 20), next() % 1_000_000, (next() % 5) as u32))
+        .collect()
+}
+
+#[test]
+fn topk_and_sort_agree_with_brute_force() {
+    let records = dataset(2_000);
+    let storage = Arc::new(SharedStorage::new());
+    let mut service = Propeller::new(PropellerConfig {
+        group_capacity: 128, // force many ACGs so merging is exercised
+        ..PropellerConfig::default()
+    });
+    for r in &records {
+        storage.create(&format!("/f{}", r.file.raw()), r.attrs).unwrap();
+        service.index_file(r.clone()).unwrap();
+    }
+    let brute = BruteForce::new(storage);
+    let now = Timestamp::from_secs(2_000_000);
+
+    for (text, sort) in [
+        ("size>16m", SortKey::Descending(AttrName::Size)),
+        ("size>16m", SortKey::Ascending(AttrName::Size)),
+        ("uid=3", SortKey::Ascending(AttrName::Mtime)),
+        ("size>1m & size<32m", SortKey::Descending(AttrName::Mtime)),
+        ("*", SortKey::FileId),
+    ] {
+        for k in [1usize, 7, 100] {
+            let req =
+                SearchRequest::parse(text, now).unwrap().with_limit(k).sorted_by(sort.clone());
+            // Ground truth: brute force answers the same request API.
+            let expected = brute.search_with(&req);
+            let got = service.search_with(&req).unwrap();
+            assert_eq!(got.file_ids(), expected.file_ids(), "query {text:?} sort {sort:?} k {k}");
+            // The bounded-heap guarantee: no ACG ever retained more than
+            // O(k) hits past its candidate filter.
+            assert!(
+                got.stats.retained_peak <= k,
+                "query {text:?} k {k}: retained {}",
+                got.stats.retained_peak
+            );
+            assert!(got.complete);
+            assert!(got.stats.acgs_consulted > 1, "partitioned run expected");
+        }
+    }
+}
+
+#[test]
+fn projection_round_trips_attributes() {
+    let mut service = Propeller::new(PropellerConfig::default());
+    for i in 0..50u64 {
+        service
+            .index_file(
+                record(i, i << 20, i, (i % 3) as u32)
+                    .with_keyword(if i % 2 == 0 { "even" } else { "odd" })
+                    .with_custom("energy", Value::F64(-(i as f64))),
+            )
+            .unwrap();
+    }
+    let now = Timestamp::from_secs(1_000);
+
+    // Selected attributes come back typed, in request order.
+    let req =
+        SearchRequest::parse("size>=49m", now).unwrap().with_projection(Projection::Attrs(vec![
+            AttrName::Size,
+            AttrName::Keyword,
+            AttrName::custom("energy"),
+        ]));
+    let resp = service.search_with(&req).unwrap();
+    assert_eq!(resp.hits.len(), 1);
+    assert_eq!(
+        resp.hits[0].attrs,
+        vec![
+            (AttrName::Size, Value::U64(49 << 20)),
+            (AttrName::Keyword, Value::from("odd")),
+            (AttrName::custom("energy"), Value::F64(-49.0)),
+        ]
+    );
+
+    // Full projection reconstructs the whole record.
+    let req = SearchRequest::parse("size>=49m", now).unwrap().with_projection(Projection::Full);
+    let resp = service.search_with(&req).unwrap();
+    let attrs = &resp.hits[0].attrs;
+    assert!(attrs.contains(&(AttrName::Size, Value::U64(49 << 20))));
+    assert!(attrs.contains(&(AttrName::Uid, Value::U64(1))));
+    assert!(attrs.contains(&(AttrName::Keyword, Value::from("odd"))));
+    assert!(attrs.contains(&(AttrName::custom("energy"), Value::F64(-49.0))));
+
+    // Default projection is ids-only.
+    let req = SearchRequest::parse("size>=49m", now).unwrap();
+    assert!(service.search_with(&req).unwrap().hits[0].attrs.is_empty());
+}
+
+#[test]
+fn cursor_pagination_is_disjoint_and_exhaustive() {
+    let cluster =
+        Cluster::start(ClusterConfig { index_nodes: 3, group_capacity: 64, ..Default::default() });
+    let mut client = cluster.client();
+    let records = dataset(1_111);
+    client.index_files(records.clone()).unwrap();
+    let now = Timestamp::from_secs(2_000_000);
+
+    let base = SearchRequest::parse("size>1m", now)
+        .unwrap()
+        .with_limit(100)
+        .sorted_by(SortKey::Descending(AttrName::Size));
+    let full = client
+        .search_with(
+            &SearchRequest::parse("size>1m", now)
+                .unwrap()
+                .sorted_by(SortKey::Descending(AttrName::Size)),
+        )
+        .unwrap();
+
+    let mut pages: Vec<FileId> = Vec::new();
+    let mut seen = HashSet::new();
+    let mut cursor = None;
+    loop {
+        let mut req = base.clone();
+        if let Some(c) = cursor.take() {
+            req = req.after(c);
+        }
+        let resp = client.search_with(&req).unwrap();
+        assert!(resp.hits.len() <= 100);
+        for hit in &resp.hits {
+            assert!(seen.insert(hit.file), "page overlap at {}", hit.file);
+        }
+        pages.extend(resp.hits.iter().map(|h| h.file));
+        match resp.cursor {
+            Some(c) => cursor = Some(c),
+            None => break,
+        }
+    }
+    assert_eq!(pages, full.file_ids(), "pages must cover the full result exactly");
+    cluster.shutdown();
+}
+
+#[test]
+fn allow_partial_tolerates_a_dead_node_but_require_all_errors() {
+    let cluster =
+        Cluster::start(ClusterConfig { index_nodes: 3, group_capacity: 10, ..Default::default() });
+    let mut client = cluster.client();
+    client.index_files((0..300u64).map(|i| record(i, 1 << 20, i, 0)).collect()).unwrap();
+    let now = Timestamp::from_secs(1_000);
+
+    let complete = client.search_with(&SearchRequest::parse("size>0", now).unwrap()).unwrap();
+    assert_eq!(complete.hits.len(), 300);
+    assert!(complete.complete);
+
+    // Kill one Index Node (the failure-injection harness).
+    let victim = cluster.index_node_ids()[0];
+    cluster.rpc().call(victim, propeller::cluster::Request::Shutdown).unwrap();
+    cluster.rpc().deregister(victim);
+
+    // require_all (the default): the dead node fails the search.
+    let err = client.search_with(&SearchRequest::parse("size>0", now).unwrap());
+    assert!(matches!(err, Err(Error::NodeUnavailable(n)) if n == victim), "{err:?}");
+
+    // allow_partial: the survivors' hits come back, clearly labelled.
+    let req = SearchRequest::parse("size>0", now)
+        .unwrap()
+        .with_fan_out(FanOutPolicy::AllowPartial { min_nodes: 1 });
+    let partial = client.search_with(&req).unwrap();
+    assert!(!partial.complete);
+    assert_eq!(partial.unreachable, vec![victim]);
+    assert!(!partial.hits.is_empty());
+    assert!(partial.hits.len() < 300, "the dead node's ACGs are missing");
+
+    // ...but an unreachable quorum still errors.
+    let req = SearchRequest::parse("size>0", now)
+        .unwrap()
+        .with_fan_out(FanOutPolicy::AllowPartial { min_nodes: 3 });
+    assert!(client.search_with(&req).is_err());
+    cluster.shutdown();
+}
+
+#[test]
+fn baselines_answer_the_same_request_api() {
+    use propeller::baselines::{CentralDb, ShardedDb};
+    let records = dataset(500);
+    let mut central = CentralDb::new();
+    let mut sharded = ShardedDb::new(4);
+    let mut service = Propeller::new(PropellerConfig::default());
+    for r in &records {
+        central.upsert(r.clone());
+        sharded.upsert(r.clone());
+        service.index_file(r.clone()).unwrap();
+    }
+    let now = Timestamp::from_secs(2_000_000);
+    let req = SearchRequest::parse("size>8m", now)
+        .unwrap()
+        .with_limit(25)
+        .sorted_by(SortKey::Descending(AttrName::Size));
+    let ours = service.search_with(&req).unwrap();
+    assert_eq!(ours.file_ids(), central.search_with(&req).file_ids());
+    assert_eq!(ours.file_ids(), sharded.search_with(&req).file_ids());
+}
+
+#[test]
+fn stats_report_access_paths_and_elapsed() {
+    let mut service = Propeller::new(PropellerConfig::default());
+    for i in 0..100u64 {
+        service.index_file(record(i, i << 20, i, 0).with_keyword("kw")).unwrap();
+    }
+    let now = Timestamp::from_secs(1_000);
+    // A size range rides the B+-tree; a keyword probe rides the hash.
+    let resp = service.search_with(&SearchRequest::parse("size>50m", now).unwrap()).unwrap();
+    assert_eq!(resp.stats.acgs_consulted, 1);
+    assert_eq!(resp.stats.access_paths.len(), 1);
+    assert!(resp.stats.candidates_scanned >= resp.hits.len());
+    let resp = service.search_with(&SearchRequest::parse("keyword:kw", now).unwrap()).unwrap();
+    assert_eq!(resp.hits.len(), 100);
+}
