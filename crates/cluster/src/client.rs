@@ -22,6 +22,63 @@ use propeller_types::{AcgId, Error, FileId, NodeId, OpenMode, ProcessId, Result,
 use crate::messages::{Request, Response};
 use crate::rpc::Rpc;
 
+/// Default bound on a client's route cache (see [`RouteCache`]).
+const ROUTE_CACHE_CAPACITY: usize = 65_536;
+
+/// A capacity-bounded file → (ACG, node) route cache.
+///
+/// Clients resolve every indexed file through the Master once and cache
+/// the route; unbounded, a long-lived client indexing a large namespace
+/// grows this map without limit. The cache evicts its oldest entries
+/// (FIFO over insertion order) past `capacity`; an evicted route is simply
+/// re-resolved through the Master on next use. Per-entry generations keep
+/// a stale order entry (the file was invalidated and re-resolved since)
+/// from evicting the fresh route.
+#[derive(Debug, Default)]
+struct RouteCache {
+    map: HashMap<FileId, ((AcgId, NodeId), u64)>,
+    order: std::collections::VecDeque<(FileId, u64)>,
+    gen: u64,
+    capacity: usize,
+}
+
+impl RouteCache {
+    fn with_capacity(capacity: usize) -> Self {
+        RouteCache { capacity: capacity.max(1), ..RouteCache::default() }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn contains_key(&self, file: &FileId) -> bool {
+        self.map.contains_key(file)
+    }
+
+    fn get(&self, file: &FileId) -> Option<&(AcgId, NodeId)> {
+        self.map.get(file).map(|(route, _)| route)
+    }
+
+    fn insert(&mut self, file: FileId, route: (AcgId, NodeId)) {
+        self.gen += 1;
+        self.map.insert(file, (route, self.gen));
+        self.order.push_back((file, self.gen));
+        while self.order.len() > self.capacity {
+            let Some((file, gen)) = self.order.pop_front() else { break };
+            // Superseded order entries (the file was re-inserted since)
+            // pop as no-ops; only the live generation evicts.
+            if self.map.get(&file).is_some_and(|(_, g)| *g == gen) {
+                self.map.remove(&file);
+            }
+        }
+    }
+
+    fn remove(&mut self, file: &FileId) {
+        // The stale order entry stays behind and pops as a no-op.
+        self.map.remove(file);
+    }
+}
+
 /// A client handle to a Propeller cluster.
 ///
 /// Cheap to create; each client keeps its own causality tracker and route
@@ -32,7 +89,7 @@ pub struct FileQueryEngine {
     index_nodes: Vec<NodeId>,
     clock: Arc<dyn Clock>,
     tracker: CausalityTracker,
-    route_cache: HashMap<FileId, (AcgId, NodeId)>,
+    route_cache: RouteCache,
 }
 
 impl std::fmt::Debug for FileQueryEngine {
@@ -57,20 +114,45 @@ impl FileQueryEngine {
             index_nodes,
             clock,
             tracker: CausalityTracker::new(),
-            route_cache: HashMap::new(),
+            route_cache: RouteCache::with_capacity(ROUTE_CACHE_CAPACITY),
         }
     }
 
+    /// Rebounds the route cache (builder style). Routes already cached are
+    /// dropped; they re-resolve through the Master on next use.
+    #[must_use]
+    pub fn with_route_cache_capacity(mut self, capacity: usize) -> Self {
+        self.route_cache = RouteCache::with_capacity(capacity);
+        self
+    }
+
+    /// Number of file routes currently cached (bounded by the configured
+    /// capacity).
+    pub fn cached_routes(&self) -> usize {
+        self.route_cache.len()
+    }
+
     /// Resolves routes for `files`, consulting the cache first and the
-    /// Master for the rest (in one batch).
+    /// Master for the rest (in one batch). Freshly resolved rows are kept
+    /// aside for the answer: a batch larger than the cache's capacity may
+    /// evict its own earliest rows while being cached.
     fn resolve(&mut self, files: &[FileId]) -> Result<Vec<(FileId, AcgId, NodeId)>> {
+        // Snapshot the batch's cache hits up front: caching the freshly
+        // resolved rows below may FIFO-evict this very batch's hits.
+        let mut routes: HashMap<FileId, (AcgId, NodeId)> = HashMap::with_capacity(files.len());
+        for f in files {
+            if let Some(&route) = self.route_cache.get(f) {
+                routes.insert(*f, route);
+            }
+        }
         let missing: Vec<FileId> =
-            files.iter().copied().filter(|f| !self.route_cache.contains_key(f)).collect();
+            files.iter().copied().filter(|f| !routes.contains_key(f)).collect();
         if !missing.is_empty() {
             match self.rpc.call(self.master, Request::ResolveFiles { files: missing })? {
                 Response::Resolved(rows) => {
                     for (file, acg, node) in rows {
                         self.route_cache.insert(file, (acg, node));
+                        routes.insert(file, (acg, node));
                     }
                 }
                 other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
@@ -78,9 +160,7 @@ impl FileQueryEngine {
         }
         files
             .iter()
-            .map(|f| {
-                self.route_cache.get(f).map(|&(a, n)| (*f, a, n)).ok_or(Error::FileNotFound(*f))
-            })
+            .map(|f| routes.get(f).map(|&(a, n)| (*f, a, n)).ok_or(Error::FileNotFound(*f)))
             .collect()
     }
 
@@ -205,7 +285,6 @@ impl FileQueryEngine {
     /// errors surface as [`Error::InvalidQuery`].
     pub fn search_with(&self, request: &SearchRequest) -> Result<SearchResponse> {
         request.validate()?;
-        let started = self.clock.now();
         let located = match self.rpc.call(self.master, Request::LocateAcgs)? {
             Response::Located(rows) => rows,
             other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
@@ -268,7 +347,9 @@ impl FileQueryEngine {
 
         let hits = merge_sorted_hits(lists, &request.sort, request.limit);
         let cursor = next_cursor(&hits, request.limit);
-        stats.elapsed = self.clock.now().since(started);
+        // `stats.elapsed` is the max per-node service time (each node
+        // measures against its own injected clock; nodes ran in parallel,
+        // so the slowest one is what this client waited for).
         let mut unreachable: Vec<NodeId> = failed.into_iter().map(|(n, _)| n).collect();
         unreachable.sort_unstable();
         Ok(SearchResponse { complete: unreachable.is_empty(), unreachable, hits, stats, cursor })

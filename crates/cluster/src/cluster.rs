@@ -125,7 +125,8 @@ impl Cluster {
                     },
                     ..IndexNodeConfig::default()
                 },
-            );
+            )
+            .with_clock(clock.clone());
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("propeller-in-{}", id.raw()))

@@ -7,10 +7,13 @@
 //! ACG) and migration (extract/install of ACG parts).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use propeller_acg::{bisect, AcgGraph, PartitionConfig};
 use propeller_index::{AcgIndexGroup, FileRecord, GroupConfig, IndexSpec};
-use propeller_query::{merge_sorted_hits, SearchStats};
+use propeller_query::{merge_sorted_hits, Hit, SearchRequest, SearchStats};
+use propeller_sim::{Clock, WallClock};
 use propeller_trace::EdgeUpdate;
 use propeller_types::{AcgId, Duration, Error, FileId, NodeId, Timestamp};
 
@@ -29,6 +32,12 @@ pub struct IndexNodeConfig {
     /// that many migrations, which then degrades to pre-tombstone
     /// behaviour (the batch lands in the old group, still searchable).
     pub max_tombstones: usize,
+    /// Worker-pool width for multi-ACG searches: the per-ACG requests of
+    /// one `Search` execute across up to this many scoped threads (groups
+    /// are independent once committed, so a 64-ACG node no longer
+    /// serializes 64 scans). `1` restores strictly sequential execution;
+    /// the default matches the host's available parallelism.
+    pub search_parallelism: usize,
 }
 
 impl Default for IndexNodeConfig {
@@ -37,16 +46,21 @@ impl Default for IndexNodeConfig {
             commit_timeout: Duration::from_secs(5),
             partition: PartitionConfig::default(),
             max_tombstones: 1_000_000,
+            search_parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 }
 
 /// One Index Node's state machine. Driven as an actor by the cluster
 /// runtime; unit tests can drive [`IndexNode::handle`] directly.
-#[derive(Debug)]
 pub struct IndexNode {
     id: NodeId,
     config: IndexNodeConfig,
+    /// Time source for measured search latency ([`SearchStats::elapsed`]);
+    /// the cluster/service injects its own (wall or virtual) clock.
+    clock: Arc<dyn Clock>,
     groups: HashMap<AcgId, AcgIndexGroup>,
     graphs: HashMap<AcgId, AcgGraph>,
     /// Indices to create on every (current and future) group.
@@ -66,12 +80,25 @@ pub struct IndexNode {
     ops_received: u64,
 }
 
+impl std::fmt::Debug for IndexNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexNode")
+            .field("id", &self.id)
+            .field("acgs", &self.groups.len())
+            .field("searches_served", &self.searches_served)
+            .field("ops_received", &self.ops_received)
+            .finish()
+    }
+}
+
 impl IndexNode {
-    /// Creates an empty Index Node.
+    /// Creates an empty Index Node (wall clock; see
+    /// [`IndexNode::with_clock`] to inject a virtual one).
     pub fn new(id: NodeId, config: IndexNodeConfig) -> Self {
         IndexNode {
             id,
             config,
+            clock: Arc::new(WallClock::new()),
             groups: HashMap::new(),
             graphs: HashMap::new(),
             extra_specs: Vec::new(),
@@ -81,6 +108,14 @@ impl IndexNode {
             searches_served: 0,
             ops_received: 0,
         }
+    }
+
+    /// Replaces the node's time source (builder style). Searches measure
+    /// their service time against this clock.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// This node's id.
@@ -178,23 +213,34 @@ impl IndexNode {
             }
             Request::Search { acgs, request, now } => {
                 self.searches_served += 1;
-                let mut per_acg = Vec::new();
-                let mut stats = SearchStats::default();
-                for acg in acgs {
-                    if let Some(group) = self.groups.get_mut(&acg) {
-                        // The paper's consistency rule: commit before search.
-                        match propeller_query::search_request(group, &request, now) {
-                            Ok((hits, acg_stats)) => {
-                                stats.absorb(acg_stats);
-                                per_acg.push(hits);
-                            }
-                            Err(e) => return Response::Err(e),
+                let started = self.clock.now();
+                // Commit phase — the paper's consistency rule (commit
+                // before search) mutates each group and stays on the actor
+                // thread. Committed groups are then immutable for the rest
+                // of the request, which is what lets execution fan out.
+                for acg in &acgs {
+                    if let Some(group) = self.groups.get_mut(acg) {
+                        if let Err(e) = group.commit(now) {
+                            return Response::Err(e);
                         }
                     }
+                }
+                let groups: Vec<&AcgIndexGroup> =
+                    acgs.iter().filter_map(|acg| self.groups.get(acg)).collect();
+                // Execution phase: independent per-ACG scans across the
+                // scoped worker pool.
+                let results =
+                    execute_group_searches(&groups, &request, self.config.search_parallelism);
+                let mut stats = SearchStats::default();
+                let mut per_acg = Vec::with_capacity(results.len());
+                for (hits, acg_stats) in results {
+                    stats.absorb(acg_stats);
+                    per_acg.push(hits);
                 }
                 // Each ACG's list is sorted and limit-bounded; merge them
                 // into this node's partial top-k.
                 let hits = merge_sorted_hits(per_acg, &request.sort, request.limit);
+                stats.elapsed = self.clock.now().since(started);
                 Response::SearchHits { hits, stats }
             }
             Request::FlushAcgDelta { acg, edges } => {
@@ -334,6 +380,50 @@ impl IndexNode {
     pub fn heartbeat(&self, now: Timestamp) -> Request {
         Request::Heartbeat { node: self.id, acgs: self.summaries(), now }
     }
+}
+
+/// Executes one search request against every (already committed) group,
+/// fanning the independent per-ACG scans across a scoped worker pool of at
+/// most `parallelism` threads. Workers pull group indices off a shared
+/// atomic counter (cheap dynamic load balancing — ACG sizes are skewed),
+/// and results land back in group order, so the output is byte-identical
+/// to sequential execution.
+fn execute_group_searches(
+    groups: &[&AcgIndexGroup],
+    request: &SearchRequest,
+    parallelism: usize,
+) -> Vec<(Vec<Hit>, SearchStats)> {
+    let workers = parallelism.max(1).min(groups.len());
+    if workers <= 1 {
+        return groups.iter().map(|g| propeller_query::execute_request(g, request)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<(Vec<Hit>, SearchStats)>> =
+        (0..groups.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= groups.len() {
+                            break;
+                        }
+                        out.push((i, propeller_query::execute_request(groups[i], request)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("ACG search worker panicked") {
+                results[i] = Some(result);
+            }
+        }
+    });
+    results.into_iter().map(|r| r.expect("every group executed")).collect()
 }
 
 #[cfg(test)]
@@ -669,6 +759,91 @@ mod tests {
             now: t(0),
         });
         assert!(!n.groups[&AcgId::new(2)].index_specs().iter().any(|s| s.name == "uid_idx"));
+    }
+
+    #[test]
+    fn parallel_multi_acg_search_matches_sequential_exactly() {
+        use propeller_query::{SearchRequest, SortKey};
+        let seed_node = |parallelism: usize| {
+            let mut n = IndexNode::new(
+                NodeId::new(1),
+                IndexNodeConfig { search_parallelism: parallelism, ..IndexNodeConfig::default() },
+            );
+            for acg in 1..=16u64 {
+                n.handle(Request::IndexBatch {
+                    acg: AcgId::new(acg),
+                    ops: (0..200)
+                        .map(|i| IndexOp::Upsert(rec(acg * 1000 + i, ((acg * 7 + i) % 500) << 10)))
+                        .collect(),
+                    now: t(0),
+                });
+            }
+            n
+        };
+        let mut sequential = seed_node(1);
+        let mut parallel = seed_node(8);
+        let q = Query::parse("size>100k", t(0)).unwrap();
+        for (limit, sort) in [
+            (Some(25), SortKey::Descending(propeller_types::AttrName::Size)),
+            (Some(7), SortKey::Ascending(propeller_types::AttrName::Size)),
+            (None, SortKey::FileId),
+        ] {
+            let mut request = SearchRequest::new(q.predicate.clone()).sorted_by(sort);
+            if let Some(k) = limit {
+                request = request.with_limit(k);
+            }
+            let run = |n: &mut IndexNode| match n.handle(Request::Search {
+                acgs: (1..=16).map(AcgId::new).collect(),
+                request: request.clone(),
+                now: t(100),
+            }) {
+                Response::SearchHits { hits, stats } => (hits, stats),
+                other => panic!("{other:?}"),
+            };
+            let (seq_hits, seq_stats) = run(&mut sequential);
+            let (par_hits, par_stats) = run(&mut parallel);
+            assert_eq!(par_hits, seq_hits, "limit {limit:?}");
+            // Identical work, identical witnesses — only wall time differs.
+            assert_eq!(par_stats.acgs_consulted, seq_stats.acgs_consulted);
+            assert_eq!(par_stats.candidates_scanned, seq_stats.candidates_scanned);
+            assert_eq!(par_stats.access_paths, seq_stats.access_paths);
+            assert_eq!(par_stats.early_terminated, seq_stats.early_terminated);
+            assert_eq!(par_stats.candidates_skipped, seq_stats.candidates_skipped);
+        }
+    }
+
+    #[test]
+    fn search_elapsed_is_measured_by_the_injected_clock() {
+        /// Advances 1 ms on every `now()` — the search's start/stop reads
+        /// land 1 ms apart deterministically.
+        struct TickingClock(std::sync::atomic::AtomicU64);
+        impl propeller_sim::Clock for TickingClock {
+            fn now(&self) -> Timestamp {
+                let t = self.0.fetch_add(1_000, std::sync::atomic::Ordering::SeqCst);
+                Timestamp::from_micros(t)
+            }
+            fn charge(&self, _d: Duration) {}
+        }
+        let mut n = IndexNode::new(NodeId::new(1), IndexNodeConfig::default())
+            .with_clock(Arc::new(TickingClock(std::sync::atomic::AtomicU64::new(0))));
+        let acg = AcgId::new(1);
+        n.handle(Request::IndexBatch {
+            acg,
+            ops: vec![IndexOp::Upsert(rec(1, 1 << 20))],
+            now: t(0),
+        });
+        let q = Query::parse("size>0", t(0)).unwrap();
+        let request = propeller_query::SearchRequest::new(q.predicate);
+        match n.handle(Request::Search { acgs: vec![acg], request, now: t(100) }) {
+            Response::SearchHits { stats, .. } => {
+                assert!(
+                    stats.elapsed >= Duration::from_millis(1),
+                    "elapsed {:?} not measured",
+                    stats.elapsed
+                );
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

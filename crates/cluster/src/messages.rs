@@ -147,7 +147,9 @@ pub enum Response {
     Located(Vec<(AcgId, NodeId)>),
     /// One node's partial search response: hits in request sort order
     /// (at most `limit`, deduplicated per node) plus this node's share of
-    /// the execution stats. The client's engine k-way merges these.
+    /// the execution stats — including the service time measured against
+    /// the node's own clock and any ordered-scan early-termination
+    /// counters. The client's engine k-way merges these.
     SearchHits {
         /// The node's top hits, sorted per the request.
         hits: Vec<Hit>,

@@ -101,7 +101,8 @@ impl Propeller {
                 },
                 ..Default::default()
             },
-        );
+        )
+        .with_clock(clock.clone());
         Propeller {
             master,
             node,
@@ -208,7 +209,6 @@ impl Propeller {
     pub fn search_with(&mut self, request: &SearchRequest) -> Result<SearchResponse> {
         request.validate()?;
         self.stats.searches += 1;
-        let started = self.clock.now();
         let located = match self.master_call(Request::LocateAcgs)? {
             Response::Located(rows) => rows,
             other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
@@ -216,12 +216,12 @@ impl Propeller {
         let acgs: Vec<AcgId> = located.into_iter().map(|(a, _)| a).collect();
         let now = self.clock.now();
         let req = Request::Search { acgs, request: request.clone(), now };
-        let (hits, mut stats) = match self.node_call(req)? {
+        // `stats.elapsed` comes measured from the (single) Index Node.
+        let (hits, stats) = match self.node_call(req)? {
             Response::SearchHits { hits, stats } => (hits, stats),
             other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
         };
         let cursor = next_cursor(&hits, request.limit);
-        stats.elapsed = self.clock.now().since(started);
         Ok(SearchResponse { hits, complete: true, unreachable: Vec::new(), stats, cursor })
     }
 

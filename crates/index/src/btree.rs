@@ -227,6 +227,21 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         iter
     }
 
+    /// Iterates over entries with keys in `range`, in *descending* key
+    /// order. This is what lets an ordered scan serve `ORDER BY attr DESC
+    /// LIMIT k` by walking the index from the top and stopping after `k`
+    /// admitted hits instead of materializing the whole range.
+    pub fn range_rev<R>(&self, range: R) -> RangeRev<'_, K, V>
+    where
+        R: std::ops::RangeBounds<K>,
+    {
+        let lo = clone_bound(range.start_bound());
+        let hi = clone_bound(range.end_bound());
+        let mut iter = RangeRev { stack: Vec::new(), lo, hi };
+        iter.push_node(&self.root);
+        iter
+    }
+
     /// Iterates over all entries in ascending key order.
     pub fn iter(&self) -> Range<'_, K, V> {
         self.range(..)
@@ -323,6 +338,90 @@ impl<'a, K: Ord + Clone, V> Iterator for Range<'a, K, V> {
                     } else {
                         self.stack.pop();
                     }
+                }
+            }
+        }
+    }
+}
+
+/// Descending iterator over a key range of a [`BPlusTree`].
+pub struct RangeRev<'a, K, V> {
+    /// Explicit DFS stack: (node, number of entries/children still
+    /// unvisited from the left — the next visit is position `pos - 1`).
+    stack: Vec<(&'a Node<K, V>, usize)>,
+    lo: Bound<K>,
+    hi: Bound<K>,
+}
+
+impl<'a, K: Ord + Clone, V> RangeRev<'a, K, V> {
+    fn push_node(&mut self, node: &'a Node<K, V>) {
+        match node {
+            Node::Leaf { keys, .. } => {
+                // One past the last in-range entry.
+                let end = match &self.hi {
+                    Bound::Included(k) => keys.partition_point(|x| x <= k),
+                    Bound::Excluded(k) => keys.partition_point(|x| x < k),
+                    Bound::Unbounded => keys.len(),
+                };
+                self.stack.push((node, end));
+            }
+            Node::Internal { seps, children } => {
+                // One past the rightmost child that can hold in-range keys
+                // (child i covers keys in [seps[i-1], seps[i])).
+                let end = match &self.hi {
+                    Bound::Included(k) | Bound::Excluded(k) => {
+                        seps.partition_point(|sep| sep <= k) + 1
+                    }
+                    Bound::Unbounded => children.len(),
+                };
+                self.stack.push((node, end.min(children.len())));
+            }
+        }
+    }
+
+    fn below_lo(&self, key: &K) -> bool {
+        match &self.lo {
+            Bound::Included(k) => key < k,
+            Bound::Excluded(k) => key <= k,
+            Bound::Unbounded => false,
+        }
+    }
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for RangeRev<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (node, i) = {
+                let (node, pos) = self.stack.last_mut()?;
+                let node: &'a Node<K, V> = node;
+                if *pos == 0 {
+                    self.stack.pop();
+                    continue;
+                }
+                *pos -= 1;
+                let i = *pos;
+                (node, i)
+            };
+            match node {
+                Node::Leaf { keys, vals } => {
+                    let key = &keys[i];
+                    if self.below_lo(key) {
+                        self.stack.clear();
+                        return None;
+                    }
+                    return Some((key, &vals[i]));
+                }
+                Node::Internal { seps, children } => {
+                    // Prune subtrees entirely below the lower bound: child
+                    // i holds only keys < seps[i], so once that ceiling is
+                    // below `lo`, every remaining (smaller) child is too.
+                    if i < seps.len() && self.below_lo(&seps[i]) {
+                        self.stack.clear();
+                        return None;
+                    }
+                    self.push_node(&children[i]);
                 }
             }
         }
@@ -512,6 +611,74 @@ mod tests {
         let all: Vec<(u16, u32)> = ours.iter().map(|(a, b)| (*a, *b)).collect();
         let expected: Vec<(u16, u32)> = reference.iter().map(|(a, b)| (*a, *b)).collect();
         assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn range_rev_mirrors_forward_ranges() {
+        let mut t = BPlusTree::new();
+        for i in 0..1000u32 {
+            t.insert(i, i * 2);
+        }
+        let cases: Vec<(Bound<u32>, Bound<u32>)> = vec![
+            (Bound::Unbounded, Bound::Unbounded),
+            (Bound::Included(10), Bound::Excluded(20)),
+            (Bound::Included(10), Bound::Included(20)),
+            (Bound::Excluded(10), Bound::Unbounded),
+            (Bound::Unbounded, Bound::Excluded(5)),
+            (Bound::Included(500), Bound::Included(500)),
+            (Bound::Included(20), Bound::Excluded(20)),
+            (Bound::Included(2000), Bound::Unbounded),
+        ];
+        for (lo, hi) in cases {
+            let mut fwd: Vec<(u32, u32)> = t.range((lo, hi)).map(|(k, v)| (*k, *v)).collect();
+            fwd.reverse();
+            let rev: Vec<(u32, u32)> = t.range_rev((lo, hi)).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(rev, fwd, "bounds ({lo:?}, {hi:?})");
+        }
+    }
+
+    #[test]
+    fn range_rev_matches_btreemap_on_random_ops() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut ours = BPlusTree::new();
+        let mut reference = BTreeMap::new();
+        for _ in 0..10_000 {
+            let k: u16 = rng.gen_range(0..2000);
+            match rng.gen_range(0..8) {
+                0..=4 => {
+                    let v: u32 = rng.gen();
+                    ours.insert(k, v);
+                    reference.insert(k, v);
+                }
+                5 => {
+                    ours.remove(&k);
+                    reference.remove(&k);
+                }
+                _ => {
+                    let hi = k.saturating_add(rng.gen_range(0..300));
+                    let got: Vec<(u16, u32)> =
+                        ours.range_rev(k..hi).map(|(a, b)| (*a, *b)).collect();
+                    let expected: Vec<(u16, u32)> =
+                        reference.range(k..hi).rev().map(|(a, b)| (*a, *b)).collect();
+                    assert_eq!(got, expected, "range {k}..{hi}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_rev_after_heavy_removal() {
+        let mut t = BPlusTree::new();
+        for i in 0..1000u32 {
+            t.insert(i, ());
+        }
+        for i in 100..900 {
+            t.remove(&i);
+        }
+        let keys: Vec<u32> = t.range_rev(..).map(|(k, _)| *k).collect();
+        let expected: Vec<u32> = (0..100).chain(900..1000).rev().collect();
+        assert_eq!(keys, expected);
     }
 
     #[test]

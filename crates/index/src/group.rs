@@ -516,6 +516,92 @@ impl AcgIndexGroup {
         )
     }
 
+    // --- Streaming candidate accessors -----------------------------------
+    //
+    // The iterator-returning variants of the lookups above: they yield
+    // `&FileRecord` directly (candidate ids resolve against the record
+    // store as the consumer pulls), so the executor never materializes a
+    // `Vec<FileId>` superset nor re-hashes candidates through the store.
+
+    /// Streams the records with `attr == value` through a hash index (or a
+    /// B+-tree point probe as fallback). Returns `None` when no index
+    /// covers `attr` — the caller falls back to a full scan. Records are
+    /// unique: a posting list holds each file at most once.
+    pub fn candidates_eq<'a>(
+        &'a self,
+        attr: &AttrName,
+        value: &Value,
+    ) -> Option<impl Iterator<Item = &'a FileRecord> + 'a> {
+        let list: &[FileId] = if let Some(table) = self.hashes.get(attr) {
+            table.get(value).map_or(&[], Vec::as_slice)
+        } else if let Some(tree) = self.btrees.get(attr) {
+            tree.get(value).map_or(&[], Vec::as_slice)
+        } else {
+            return None;
+        };
+        Some(list.iter().filter_map(move |f| self.records.get(f)))
+    }
+
+    /// Streams the records with `attr` in the given bounds off a B+-tree.
+    /// Returns `None` when no B+-tree covers `attr`. A record holding
+    /// several values for a multi-valued attribute may be yielded once per
+    /// in-range value; single-valued (builtin) attributes yield each
+    /// record at most once.
+    pub fn candidates_range<'a>(
+        &'a self,
+        attr: &AttrName,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+    ) -> Option<impl Iterator<Item = &'a FileRecord> + 'a> {
+        let tree = self.btrees.get(attr)?;
+        Some(
+            tree.range((lo, hi))
+                .flat_map(|(_, list)| list.iter())
+                .filter_map(move |f| self.records.get(f)),
+        )
+    }
+
+    /// Streams the records inside a K-D box query. Returns `None` when no
+    /// K-D index covers exactly these attributes. Records are unique (one
+    /// point per file per index).
+    pub fn candidates_kd<'a>(
+        &'a self,
+        attrs: &[AttrName],
+        lo: &'a [f64],
+        hi: &'a [f64],
+    ) -> Option<impl Iterator<Item = &'a FileRecord> + 'a> {
+        let (_, tree) = self.kds.values().find(|(kd_attrs, _)| kd_attrs == attrs)?;
+        Some(tree.range_iter(lo, hi).filter_map(move |f| self.records.get(&f)))
+    }
+
+    /// Streams *every* record holding `attr` within the bounds, in `attr`
+    /// order (ascending or descending), tie-broken by ascending file id
+    /// within equal values. Returns `None` when no B+-tree covers `attr`.
+    ///
+    /// For single-valued builtin attributes this walks the group in exact
+    /// result order for a sort over `attr`, which is what lets the
+    /// executor terminate after `k` admitted hits (posting lists are
+    /// file-id sorted, matching the sort's tie-break).
+    pub fn candidates_ordered<'a>(
+        &'a self,
+        attr: &AttrName,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+        descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = &'a FileRecord> + 'a>> {
+        let tree = self.btrees.get(attr)?;
+        let resolve = move |f: &FileId| self.records.get(f);
+        if descending {
+            Some(Box::new(
+                tree.range_rev((lo, hi)).flat_map(|(_, list)| list.iter()).filter_map(resolve),
+            ))
+        } else {
+            Some(Box::new(
+                tree.range((lo, hi)).flat_map(|(_, list)| list.iter()).filter_map(resolve),
+            ))
+        }
+    }
+
     /// Full scan with a predicate (the executor's fallback path).
     pub fn scan<F: Fn(&FileRecord) -> bool>(&self, pred: F) -> Vec<FileId> {
         let mut out: Vec<FileId> =
@@ -770,6 +856,87 @@ mod tests {
             g.lookup_eq(&AttrName::custom("owner_tag"), &Value::from("alice")),
             vec![FileId::new(1)]
         );
+    }
+
+    #[test]
+    fn streaming_candidates_agree_with_materializing_lookups() {
+        let mut g = group();
+        for i in 0..300 {
+            let rec = record(i, (i * 13) % 997, (i * 7) % 91).with_keyword(if i % 3 == 0 {
+                "fizz"
+            } else {
+                "buzz"
+            });
+            g.enqueue(IndexOp::Upsert(rec), t(0)).unwrap();
+        }
+        g.commit(t(0)).unwrap();
+
+        let mut eq: Vec<FileId> = g
+            .candidates_eq(&AttrName::Keyword, &Value::from("fizz"))
+            .unwrap()
+            .map(|r| r.file)
+            .collect();
+        eq.sort_unstable();
+        assert_eq!(eq, g.lookup_eq(&AttrName::Keyword, &Value::from("fizz")));
+
+        let (lo, hi) = (Bound::Included(Value::U64(100)), Bound::Excluded(Value::U64(500)));
+        let mut range: Vec<FileId> = g
+            .candidates_range(&AttrName::Size, lo.clone(), hi.clone())
+            .unwrap()
+            .map(|r| r.file)
+            .collect();
+        range.sort_unstable();
+        assert_eq!(range, g.lookup_range(&AttrName::Size, lo, hi));
+
+        let attrs = [AttrName::Size, AttrName::Mtime];
+        let (klo, khi) = ([100.0, 10.0 * 1e6], [500.0, 60.0 * 1e6]);
+        let mut kd: Vec<FileId> =
+            g.candidates_kd(&attrs, &klo, &khi).unwrap().map(|r| r.file).collect();
+        kd.sort_unstable();
+        assert_eq!(kd, g.lookup_kd(&attrs, &klo, &khi).unwrap());
+
+        // No covering index => None, so the executor can fall back.
+        assert!(g.candidates_eq(&AttrName::custom("nope"), &Value::U64(1)).is_none());
+        assert!(g
+            .candidates_range(&AttrName::custom("nope"), Bound::Unbounded, Bound::Unbounded)
+            .is_none());
+        assert!(g.candidates_kd(&[AttrName::Uid], &[0.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn candidates_ordered_walks_in_sort_order_both_ways() {
+        let mut g = group();
+        for i in 0..100 {
+            // Duplicate sizes exercise the file-id tie-break.
+            g.enqueue(IndexOp::Upsert(record(i, (i % 10) * 64, 0)), t(0)).unwrap();
+        }
+        g.commit(t(0)).unwrap();
+        let asc: Vec<(u64, FileId)> = g
+            .candidates_ordered(&AttrName::Size, Bound::Unbounded, Bound::Unbounded, false)
+            .unwrap()
+            .map(|r| (r.attrs.size, r.file))
+            .collect();
+        assert_eq!(asc.len(), 100);
+        assert!(asc.windows(2).all(|w| w[0] <= w[1]), "ascending (size, file) order");
+        let desc: Vec<(u64, FileId)> = g
+            .candidates_ordered(&AttrName::Size, Bound::Unbounded, Bound::Unbounded, true)
+            .unwrap()
+            .map(|r| (r.attrs.size, r.file))
+            .collect();
+        // Descending by size, ascending file id within equal sizes.
+        assert!(desc.windows(2).all(|w| w[0].0 > w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1)));
+        let bounded: Vec<u64> = g
+            .candidates_ordered(
+                &AttrName::Size,
+                Bound::Included(Value::U64(128)),
+                Bound::Excluded(Value::U64(320)),
+                false,
+            )
+            .unwrap()
+            .map(|r| r.attrs.size)
+            .collect();
+        assert!(bounded.iter().all(|&s| (128..320).contains(&s)));
+        assert_eq!(bounded.len(), 30, "sizes 128, 192, 256 x 10 files each");
     }
 
     #[test]

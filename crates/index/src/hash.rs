@@ -78,6 +78,7 @@ impl<K: Hash + Eq, V> HashIndex<K, V> {
     }
 
     /// Number of entries.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
@@ -92,12 +93,14 @@ impl<K: Hash + Eq, V> HashIndex<K, V> {
         self.buckets.len()
     }
 
+    #[inline]
     fn hash_of<Q: Hash + ?Sized>(key: &Q) -> u64 {
         let mut h = Fnv1a::default();
         key.hash(&mut h);
         h.finish()
     }
 
+    #[inline]
     fn bucket_of<Q: Hash + ?Sized>(&self, key: &Q) -> usize {
         (Self::hash_of(key) as usize) & (self.buckets.len() - 1)
     }
@@ -135,6 +138,7 @@ impl<K: Hash + Eq, V> HashIndex<K, V> {
     }
 
     /// Looks up `key`.
+    #[inline]
     pub fn get<Q>(&self, key: &Q) -> Option<&V>
     where
         K: Borrow<Q>,

@@ -169,35 +169,28 @@ impl KdTree {
     ///
     /// Panics if the bounds' dimensionality differs from the tree's.
     pub fn range(&self, lo: &[f64], hi: &[f64]) -> Vec<FileId> {
-        assert_eq!(lo.len(), self.dims, "lower bound dimensionality mismatch");
-        assert_eq!(hi.len(), self.dims, "upper bound dimensionality mismatch");
-        let mut out = Vec::new();
-        Self::range_rec(&self.root, lo, hi, 0, self.dims, &mut out);
+        let mut out: Vec<FileId> = self.range_iter(lo, hi).collect();
         out.sort_unstable();
         out
     }
 
-    fn range_rec(
-        node: &Option<Box<KdNode>>,
-        lo: &[f64],
-        hi: &[f64],
-        depth: usize,
-        dims: usize,
-        out: &mut Vec<FileId>,
-    ) {
-        let Some(n) = node else { return };
-        let axis = depth % dims;
-        if !n.deleted
-            && n.point.iter().zip(lo.iter().zip(hi)).all(|(&p, (&l, &h))| p >= l && p <= h)
-        {
-            out.push(n.payload);
-        }
-        // Left subtree holds coords < split; right holds >=.
-        if lo[axis] < n.point[axis] {
-            Self::range_rec(&n.left, lo, hi, depth + 1, dims, out);
-        }
-        if hi[axis] >= n.point[axis] {
-            Self::range_rec(&n.right, lo, hi, depth + 1, dims, out);
+    /// Lazily yields the live payloads whose points lie in the inclusive
+    /// box `[lo, hi]`, in unspecified order. This is the streaming variant
+    /// of [`KdTree::range`]: candidates are produced one at a time, so a
+    /// consumer with a result bound never forces the whole box to
+    /// materialize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds' dimensionality differs from the tree's.
+    pub fn range_iter<'a>(&'a self, lo: &'a [f64], hi: &'a [f64]) -> RangeIter<'a> {
+        assert_eq!(lo.len(), self.dims, "lower bound dimensionality mismatch");
+        assert_eq!(hi.len(), self.dims, "upper bound dimensionality mismatch");
+        RangeIter {
+            stack: self.root.as_deref().map(|n| (n, 0)).into_iter().collect(),
+            lo,
+            hi,
+            dims: self.dims,
         }
     }
 
@@ -286,12 +279,67 @@ impl KdTree {
     }
 }
 
+/// Lazy box-query iterator over a [`KdTree`] (see [`KdTree::range_iter`]).
+pub struct RangeIter<'a> {
+    /// Explicit traversal stack: (node, depth).
+    stack: Vec<(&'a KdNode, usize)>,
+    lo: &'a [f64],
+    hi: &'a [f64],
+    dims: usize,
+}
+
+impl Iterator for RangeIter<'_> {
+    type Item = FileId;
+
+    fn next(&mut self) -> Option<FileId> {
+        while let Some((n, depth)) = self.stack.pop() {
+            let axis = depth % self.dims;
+            // Left subtree holds coords < split; right holds >=.
+            if self.hi[axis] >= n.point[axis] {
+                if let Some(r) = n.right.as_deref() {
+                    self.stack.push((r, depth + 1));
+                }
+            }
+            if self.lo[axis] < n.point[axis] {
+                if let Some(l) = n.left.as_deref() {
+                    self.stack.push((l, depth + 1));
+                }
+            }
+            if !n.deleted
+                && n.point
+                    .iter()
+                    .zip(self.lo.iter().zip(self.hi))
+                    .all(|(&p, (&l, &h))| p >= l && p <= h)
+            {
+                return Some(n.payload);
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn f(i: u64) -> FileId {
         FileId::new(i)
+    }
+
+    #[test]
+    fn range_iter_streams_the_same_set_as_range() {
+        let mut t = KdTree::new(2);
+        for x in 0..20u64 {
+            for y in 0..20u64 {
+                t.insert(&[x as f64, y as f64], f(x * 20 + y));
+            }
+        }
+        t.remove(&[5.0, 5.0], f(5 * 20 + 5));
+        let (lo, hi) = ([3.0, 4.0], [11.0, 9.0]);
+        let mut streamed: Vec<FileId> = t.range_iter(&lo, &hi).collect();
+        streamed.sort_unstable();
+        assert_eq!(streamed, t.range(&lo, &hi));
+        assert!(!streamed.contains(&f(5 * 20 + 5)));
     }
 
     #[test]

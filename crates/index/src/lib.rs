@@ -44,10 +44,10 @@ mod kdtree;
 mod ops;
 mod wal;
 
-pub use btree::{BPlusTree, Range};
+pub use btree::{BPlusTree, Range, RangeRev};
 pub use cache::IndexCache;
 pub use group::{AcgIndexGroup, GroupConfig, IndexKind, IndexSpec};
 pub use hash::HashIndex;
-pub use kdtree::KdTree;
+pub use kdtree::{KdTree, RangeIter};
 pub use ops::{FileRecord, IndexOp};
 pub use wal::{crc32, Wal};

@@ -23,13 +23,31 @@ pub enum CompareOp {
 impl CompareOp {
     /// Evaluates `lhs OP rhs`.
     pub fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        self.holds(lhs.cmp(rhs))
+    }
+
+    /// Evaluates `lhs OP rhs` for a string lhs (a keyword) without
+    /// allocating a temporary [`Value::Str`]. Consistent with [`Value`]'s
+    /// cross-kind order, where `Str` sorts above every other kind.
+    pub fn eval_str(self, lhs: &str, rhs: &Value) -> bool {
+        let ord = match rhs {
+            Value::Str(s) => lhs.cmp(s.as_str()),
+            _ => std::cmp::Ordering::Greater,
+        };
+        self.holds(ord)
+    }
+
+    /// Whether the operator holds for a `lhs.cmp(rhs)` ordering.
+    #[inline]
+    fn holds(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
         match self {
-            CompareOp::Eq => lhs == rhs,
-            CompareOp::Ne => lhs != rhs,
-            CompareOp::Lt => lhs < rhs,
-            CompareOp::Le => lhs <= rhs,
-            CompareOp::Gt => lhs > rhs,
-            CompareOp::Ge => lhs >= rhs,
+            CompareOp::Eq => ord == Equal,
+            CompareOp::Ne => ord != Equal,
+            CompareOp::Lt => ord == Less,
+            CompareOp::Le => ord != Greater,
+            CompareOp::Gt => ord == Greater,
+            CompareOp::Ge => ord != Less,
         }
     }
 
@@ -193,6 +211,35 @@ mod tests {
         assert!(CompareOp::Ge.eval(&b, &b));
         assert!(CompareOp::Eq.eval(&a, &a));
         assert!(CompareOp::Ne.eval(&a, &b));
+    }
+
+    #[test]
+    fn eval_str_agrees_with_value_eval() {
+        let rhs_values = [
+            Value::from("abc"),
+            Value::from("abd"),
+            Value::from(""),
+            Value::U64(1),
+            Value::F64(2.0),
+        ];
+        for lhs in ["abc", "abd", "zzz", ""] {
+            for rhs in &rhs_values {
+                for op in [
+                    CompareOp::Eq,
+                    CompareOp::Ne,
+                    CompareOp::Lt,
+                    CompareOp::Le,
+                    CompareOp::Gt,
+                    CompareOp::Ge,
+                ] {
+                    assert_eq!(
+                        op.eval_str(lhs, rhs),
+                        op.eval(&Value::from(lhs), rhs),
+                        "{lhs:?} {op} {rhs:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,14 +1,24 @@
-//! Plan execution with full-predicate post-filtering, including the
-//! top-k/sort-aware request path ([`execute_request`]) that bounds per-ACG
-//! result materialization to O(limit).
+//! Plan execution with full-predicate post-filtering.
+//!
+//! The request path ([`execute_request`]) is a *streaming* pipeline:
+//! candidates flow straight from the index structures as `&FileRecord`
+//! (no `Vec<FileId>` superset, no re-hash through the record store),
+//! predicate evaluation compares values in place (no per-candidate
+//! clones), and hits are only materialized once the bounded top-k
+//! accumulator decides they will be retained. When the planner emits an
+//! [`AccessPath::OrderedScan`] — a limited request sorted by a
+//! B+-tree-covered attribute — candidates arrive in final result order
+//! and execution **terminates after `limit` admitted hits**, witnessed by
+//! [`SearchStats::early_terminated`] and [`SearchStats::candidates_skipped`].
 
 use std::collections::HashSet;
+use std::ops::Bound;
 
 use propeller_index::{AcgIndexGroup, FileRecord};
 use propeller_types::{AttrName, FileId, Result, Timestamp, Value};
 
-use crate::ast::Predicate;
-use crate::plan::{plan, AccessPath};
+use crate::ast::{CompareOp, Predicate};
+use crate::plan::{plan, plan_request, AccessPath};
 use crate::request::{AccessPathKind, Hit, SearchRequest, SearchStats, TopK};
 
 /// Evaluates the predicate against one record (exact semantics; the access
@@ -33,22 +43,22 @@ pub fn matches_record(record: &FileRecord, pred: &Predicate) -> bool {
     match pred {
         Predicate::True => true,
         Predicate::Keyword(w) => record.keywords.iter().any(|k| k == w),
-        Predicate::Compare { attr, op, value } => {
-            attr_values(record, attr).iter().any(|v| op.eval(v, value))
-        }
+        Predicate::Compare { attr, op, value } => compare_attr(record, attr, *op, value),
         Predicate::And(ps) => ps.iter().all(|p| matches_record(record, p)),
         Predicate::Or(ps) => ps.iter().any(|p| matches_record(record, p)),
         Predicate::Not(p) => !matches_record(record, p),
     }
 }
 
-fn attr_values(record: &FileRecord, attr: &AttrName) -> Vec<Value> {
+/// Zero-allocation comparison: the record's values for `attr` are visited
+/// in place — keywords compare as borrowed strings, custom values by
+/// reference, builtin attrs as stack-built `Value`s. Nothing is cloned
+/// into a temporary `Vec` per candidate.
+fn compare_attr(record: &FileRecord, attr: &AttrName, op: CompareOp, rhs: &Value) -> bool {
     match attr {
-        AttrName::Keyword => record.keywords.iter().map(|k| Value::from(k.as_str())).collect(),
-        AttrName::Custom(name) => {
-            record.custom.iter().filter(|(n, _)| n == name).map(|(_, v)| v.clone()).collect()
-        }
-        builtin => record.attrs.get(builtin).into_iter().collect(),
+        AttrName::Keyword => record.keywords.iter().any(|k| op.eval_str(k, rhs)),
+        AttrName::Custom(name) => record.custom.iter().any(|(n, v)| n == name && op.eval(v, rhs)),
+        builtin => record.attrs.get(builtin).is_some_and(|v| op.eval(&v, rhs)),
     }
 }
 
@@ -68,19 +78,209 @@ pub fn execute(group: &AcgIndexGroup, pred: &Predicate) -> Vec<FileId> {
 }
 
 /// Executes a [`SearchRequest`] against a (committed) group: plans an
-/// access path, streams the candidates through the exact predicate and a
-/// bounded top-k heap, and projects the survivors into [`Hit`]s.
+/// access path, streams the candidate records through the exact predicate
+/// and a bounded top-k accumulator, and projects the survivors into
+/// [`Hit`]s.
 ///
 /// When `request.limit` is `Some(k)`, at most `k` hits are retained at any
 /// moment (witnessed by [`SearchStats::retained_peak`]) — the full result
 /// set is never materialized, which is what makes cluster-scale top-k
 /// searches affordable. The request's cursor is applied here too, so
-/// pagination enjoys the same bound.
+/// pagination enjoys the same bound. Candidates stream as `&FileRecord`
+/// directly off the index structures and hits are built only once the
+/// accumulator admits them, so rejected candidates allocate nothing.
+///
+/// A limited request sorted by a B+-tree-covered builtin attribute runs as
+/// an [`AccessPath::OrderedScan`]: the tree is walked in result order, the
+/// residual predicate is checked per record (exact semantics), and the
+/// scan **stops after `k` admitted hits** — see
+/// [`SearchStats::early_terminated`] / [`SearchStats::candidates_skipped`].
 ///
 /// Hits come back in the request's sort order. Callers are responsible
 /// for committing the group first (the owning Index Node commits before
 /// serving a search).
 pub fn execute_request(group: &AcgIndexGroup, request: &SearchRequest) -> (Vec<Hit>, SearchStats) {
+    let plan = plan_request(group, request);
+    let kind = AccessPathKind::from(&plan.path);
+    let mut scanned = 0usize;
+    let mut early_terminated = false;
+
+    let (hits, retained_peak) = match plan.path {
+        AccessPath::OrderedScan { attr, lo, hi, descending } => {
+            let (lo, hi) = cursor_scan_bounds(request, lo, hi, descending);
+            match group.candidates_ordered(&attr, lo, hi, descending) {
+                Some(iter) => {
+                    ordered_scan(iter, group, request, &mut scanned, &mut early_terminated)
+                }
+                // Unreachable via the planner (it checks for the tree),
+                // but degrade to a heap-based full scan rather than panic.
+                None => stream_topk(group.records(), group, request, &mut scanned, false),
+            }
+        }
+        AccessPath::FullScan => stream_topk(group.records(), group, request, &mut scanned, false),
+        AccessPath::HashEq { attr, value } => match group.candidates_eq(&attr, &value) {
+            Some(iter) => stream_topk(iter, group, request, &mut scanned, false),
+            None => stream_topk(group.records(), group, request, &mut scanned, false),
+        },
+        AccessPath::BTreeRange { attr, lo, hi } => {
+            // A range over a multi-valued attribute may yield a record
+            // once per in-range value; builtin attrs are single-valued.
+            let dedup = !attr.is_inode_attr();
+            match group.candidates_range(&attr, lo, hi) {
+                Some(iter) => stream_topk(iter, group, request, &mut scanned, dedup),
+                None => stream_topk(group.records(), group, request, &mut scanned, false),
+            }
+        }
+        AccessPath::KdBox { attrs, lo, hi } => match group.candidates_kd(&attrs, &lo, &hi) {
+            Some(iter) => stream_topk(iter, group, request, &mut scanned, false),
+            None => stream_topk(group.records(), group, request, &mut scanned, false),
+        },
+    };
+
+    let stats = SearchStats {
+        acgs_consulted: 1,
+        candidates_scanned: scanned,
+        retained_peak,
+        access_paths: vec![(group.id(), kind)],
+        // Records in the group the cutoff never had to examine.
+        candidates_skipped: if early_terminated { group.len().saturating_sub(scanned) } else { 0 },
+        early_terminated: usize::from(early_terminated),
+        ..SearchStats::default()
+    };
+    (hits, stats)
+}
+
+/// Streams candidates through the predicate, cursor and bounded top-k
+/// accumulator. `dedup` guards the one access path (range over a
+/// multi-valued attribute) that can yield a record more than once.
+fn stream_topk<'a, I>(
+    records: I,
+    group: &AcgIndexGroup,
+    request: &SearchRequest,
+    scanned: &mut usize,
+    dedup: bool,
+) -> (Vec<Hit>, usize)
+where
+    I: Iterator<Item = &'a FileRecord>,
+{
+    let mut topk = TopK::new(request.sort.clone(), request.limit);
+    let mut seen: HashSet<FileId> = HashSet::new();
+    for record in records {
+        if dedup && !seen.insert(record.file) {
+            continue;
+        }
+        *scanned += 1;
+        if !matches_record(record, &request.predicate) {
+            continue;
+        }
+        let key = request.sort.key_of(record);
+        if let Some(cursor) = &request.cursor {
+            if !cursor.admits(&request.sort, key.as_ref(), record.file) {
+                continue;
+            }
+        }
+        topk.offer(key.as_ref(), record.file, || Hit {
+            file: record.file,
+            acg: Some(group.id()),
+            attrs: request.projection.project(record),
+            sort_key: key.clone(),
+        });
+    }
+    let peak = topk.peak_retained();
+    (topk.into_sorted(), peak)
+}
+
+/// Consumes an ordered candidate stream (already in final result order):
+/// admitted hits append directly — no heap — and the scan stops at the
+/// limit. Sets `early_terminated` when it cut the stream off.
+fn ordered_scan<'a, I>(
+    records: I,
+    group: &AcgIndexGroup,
+    request: &SearchRequest,
+    scanned: &mut usize,
+    early_terminated: &mut bool,
+) -> (Vec<Hit>, usize)
+where
+    I: Iterator<Item = &'a FileRecord>,
+{
+    let k = request.limit.unwrap_or(usize::MAX);
+    let mut hits: Vec<Hit> = Vec::with_capacity(k.min(1024));
+    if k == 0 {
+        *early_terminated = true;
+        return (hits, 0);
+    }
+    for record in records {
+        *scanned += 1;
+        if !matches_record(record, &request.predicate) {
+            continue;
+        }
+        let key = request.sort.key_of(record);
+        if let Some(cursor) = &request.cursor {
+            if !cursor.admits(&request.sort, key.as_ref(), record.file) {
+                continue;
+            }
+        }
+        hits.push(Hit {
+            file: record.file,
+            acg: Some(group.id()),
+            attrs: request.projection.project(record),
+            sort_key: key,
+        });
+        if hits.len() >= k {
+            // The stream is in final result order: the k-th admitted hit
+            // ends the query — everything behind it can only rank lower.
+            *early_terminated = true;
+            break;
+        }
+    }
+    let peak = hits.len();
+    (hits, peak)
+}
+
+/// An ordered scan resuming from a cursor never needs entries before the
+/// cursor's sort key: ascending scans raise `lo`, descending scans lower
+/// `hi`. The cursor key itself stays included — equal-key records are
+/// admitted or rejected by the file-id tie-break, not the scan bounds.
+fn cursor_scan_bounds(
+    request: &SearchRequest,
+    lo: Bound<Value>,
+    hi: Bound<Value>,
+    descending: bool,
+) -> (Bound<Value>, Bound<Value>) {
+    let Some(key) = request.cursor.as_ref().and_then(|c| c.sort_key()) else { return (lo, hi) };
+    if descending {
+        let tighter = match &hi {
+            Bound::Included(v) | Bound::Excluded(v) => v <= key,
+            Bound::Unbounded => false,
+        };
+        if tighter {
+            (lo, hi)
+        } else {
+            (lo, Bound::Included(key.clone()))
+        }
+    } else {
+        let tighter = match &lo {
+            Bound::Included(v) | Bound::Excluded(v) => v >= key,
+            Bound::Unbounded => false,
+        };
+        if tighter {
+            (lo, hi)
+        } else {
+            (Bound::Included(key.clone()), hi)
+        }
+    }
+}
+
+/// The materializing execution path (how every search ran before the
+/// streaming pipeline): fetch the full candidate-id superset from the
+/// access path, re-resolve each id through the record store, post-filter,
+/// and push everything through the heap. Kept as the equivalence oracle
+/// for tests and as the baseline the `topk_search` bench measures the
+/// streaming pipeline against.
+pub fn execute_request_reference(
+    group: &AcgIndexGroup,
+    request: &SearchRequest,
+) -> (Vec<Hit>, SearchStats) {
     let plan = plan(group, &request.predicate);
     let kind = AccessPathKind::from(&plan.path);
     let mut topk = TopK::new(request.sort.clone(), request.limit);
@@ -101,8 +301,6 @@ pub fn execute_request(group: &AcgIndexGroup, request: &SearchRequest) -> (Vec<H
 
     match plan.path {
         AccessPath::FullScan => {
-            // Stream every record straight through the predicate and heap;
-            // nothing beyond the heap is ever materialized.
             for record in group.records() {
                 scanned += 1;
                 consider(record, &mut topk);
@@ -115,11 +313,10 @@ pub fn execute_request(group: &AcgIndexGroup, request: &SearchRequest) -> (Vec<H
                 AccessPath::KdBox { attrs, lo, hi } => {
                     group.lookup_kd(&attrs, &lo, &hi).unwrap_or_else(|| group.scan(|_| true))
                 }
-                AccessPath::FullScan => unreachable!("handled above"),
+                AccessPath::OrderedScan { .. } | AccessPath::FullScan => {
+                    unreachable!("not emitted by the classic planner")
+                }
             };
-            // An index may hand back the same file more than once (e.g.
-            // multi-valued attributes); past this point every candidate is
-            // unique so the heap bound is exact.
             let mut seen: HashSet<FileId> = HashSet::with_capacity(candidates.len());
             for file in candidates {
                 if !seen.insert(file) {
@@ -137,7 +334,7 @@ pub fn execute_request(group: &AcgIndexGroup, request: &SearchRequest) -> (Vec<H
         candidates_scanned: scanned,
         retained_peak: topk.peak_retained(),
         access_paths: vec![(group.id(), kind)],
-        elapsed: propeller_types::Duration::ZERO,
+        ..SearchStats::default()
     };
     (topk.into_sorted(), stats)
 }
@@ -375,6 +572,92 @@ mod tests {
                 (propeller_types::AttrName::Uid, Value::U64(3)),
             ]
         );
+    }
+
+    #[test]
+    fn ordered_scan_terminates_early_and_matches_reference() {
+        use crate::request::{SearchRequest, SortKey};
+        let g = seeded_group();
+        // Predicates constrain only the sort attribute or unindexed
+        // attributes — otherwise the planner (rightly) prefers the more
+        // selective classic access path over the ordered walk.
+        for (text, sort) in [
+            ("size>16m", SortKey::Ascending(propeller_types::AttrName::Size)),
+            ("size>16m", SortKey::Descending(propeller_types::AttrName::Size)),
+            ("uid<3", SortKey::Descending(propeller_types::AttrName::Mtime)),
+        ] {
+            let q = Query::parse(text, now()).unwrap();
+            let req =
+                SearchRequest::new(q.predicate.clone()).with_limit(10).sorted_by(sort.clone());
+            let (hits, stats) = execute_request(&g, &req);
+            let (ref_hits, _) = execute_request_reference(&g, &req);
+            assert_eq!(hits, ref_hits, "sort {sort:?}");
+            assert_eq!(stats.early_terminated, 1, "sort {sort:?}");
+            assert!(stats.candidates_skipped > 0, "sort {sort:?}: {stats:?}");
+            assert!(
+                stats.candidates_scanned + stats.candidates_skipped <= g.len(),
+                "sort {sort:?}: {stats:?}"
+            );
+            assert_eq!(stats.access_paths[0].1, crate::request::AccessPathKind::OrderedScan);
+        }
+    }
+
+    #[test]
+    fn ordered_scan_pagination_covers_the_full_result_in_order() {
+        use crate::request::{SearchRequest, SortKey};
+        let g = seeded_group();
+        let q = Query::parse("size>16m", now()).unwrap();
+        let sort = SortKey::Descending(propeller_types::AttrName::Size);
+        let full_req = SearchRequest::new(q.predicate.clone()).sorted_by(sort.clone());
+        let (full, _) = execute_request(&g, &full_req);
+        let mut paged = Vec::new();
+        let mut cursor = None;
+        loop {
+            let mut req =
+                SearchRequest::new(q.predicate.clone()).with_limit(37).sorted_by(sort.clone());
+            if let Some(c) = cursor.take() {
+                req = req.after(c);
+            }
+            let (hits, stats) = execute_request(&g, &req);
+            assert!(stats.retained_peak <= 37);
+            if hits.is_empty() {
+                break;
+            }
+            match crate::request::next_cursor(&hits, Some(37)) {
+                Some(c) => cursor = Some(c),
+                None => {
+                    paged.extend(hits);
+                    break;
+                }
+            }
+            paged.extend(hits);
+        }
+        assert_eq!(paged, full);
+    }
+
+    #[test]
+    fn streaming_paths_match_reference_on_all_access_paths() {
+        use crate::request::SearchRequest;
+        let g = seeded_group();
+        for text in [
+            "keyword:firefox",           // hash probe
+            "size>100m & size<200m",     // btree range (after kd? two-sided single attr)
+            "size>10m & mtime<1week",    // kd box
+            "uid=1",                     // full scan (uid unindexed)
+            "*",                         // full scan
+            "keyword:firefox | size<2m", // full scan (disjunction)
+        ] {
+            let q = Query::parse(text, now()).unwrap();
+            for limit in [None, Some(5), Some(1000)] {
+                let mut req = SearchRequest::new(q.predicate.clone());
+                if let Some(k) = limit {
+                    req = req.with_limit(k);
+                }
+                let (hits, _) = execute_request(&g, &req);
+                let (ref_hits, _) = execute_request_reference(&g, &req);
+                assert_eq!(hits, ref_hits, "query {text:?} limit {limit:?}");
+            }
+        }
     }
 
     #[test]

@@ -43,9 +43,11 @@ mod plan;
 mod request;
 
 pub use ast::{CompareOp, Predicate, Query};
-pub use exec::{execute, execute_request, matches_record, search, search_request};
+pub use exec::{
+    execute, execute_request, execute_request_reference, matches_record, search, search_request,
+};
 pub use parser::parse_size;
-pub use plan::{plan, AccessPath, IndexCatalog, Plan};
+pub use plan::{plan, plan_request, AccessPath, IndexCatalog, Plan};
 pub use request::{
     merge_sorted_hits, next_cursor, run_local_search, AccessPathKind, Cursor, FanOutPolicy, Hit,
     Projection, SearchRequest, SearchResponse, SearchStats, SortKey, TopK,

@@ -19,6 +19,7 @@ use propeller_index::{AcgIndexGroup, IndexKind};
 use propeller_types::{AttrName, Value};
 
 use crate::ast::{CompareOp, Predicate};
+use crate::request::SearchRequest;
 
 /// What the planner needs to know about a group's indices.
 ///
@@ -83,6 +84,22 @@ pub enum AccessPath {
         lo: Vec<f64>,
         /// Inclusive upper corner.
         hi: Vec<f64>,
+    },
+    /// Walk a B+-tree over the request's sort attribute *in result order*
+    /// (bounded by any predicate interval on that attribute). Emitted only
+    /// for limited, attribute-sorted requests: because candidates arrive
+    /// in final order, the executor checks the residual predicate per
+    /// record and terminates after `limit` admitted hits — exact semantics
+    /// with early termination.
+    OrderedScan {
+        /// The sort (and scan) attribute; always a single-valued builtin.
+        attr: AttrName,
+        /// Lower scan bound from the predicate's interval on `attr`.
+        lo: Bound<Value>,
+        /// Upper scan bound from the predicate's interval on `attr`.
+        hi: Bound<Value>,
+        /// Walk the tree from the top instead of the bottom.
+        descending: bool,
     },
     /// Fall back to scanning every record.
     FullScan,
@@ -195,6 +212,54 @@ fn intervals(pred: &Predicate) -> HashMap<AttrName, Interval> {
         }
     }
     map
+}
+
+/// Chooses an access path for a full [`SearchRequest`], which — unlike
+/// [`plan`] — can exploit the request's sort and limit: a top-k request
+/// sorted by a B+-tree-covered builtin attribute walks that tree in result
+/// order ([`AccessPath::OrderedScan`]) and terminates early, instead of
+/// materializing the whole candidate superset and heap-selecting k.
+///
+/// The ordered scan only wins while the predicate is not very selective:
+/// it must walk the sort order until k *residual* matches accumulate,
+/// which is the whole tree when few records match. So the planner bails
+/// to the classic plan whenever the predicate constrains any *other*
+/// attribute an index could serve (hash, B+-tree or K-D) — without
+/// per-attribute statistics, "another index applies" is the selectivity
+/// proxy. A constraint on the sort attribute itself is fine: it tightens
+/// the ordered scan's own bounds instead.
+pub fn plan_request<C: IndexCatalog + ?Sized>(catalog: &C, request: &SearchRequest) -> Plan {
+    if request.limit.is_some() {
+        if let Some(attr) = request.sort.attr() {
+            if attr.is_inode_attr() && catalog.has_btree(attr) {
+                let map = intervals(&request.predicate);
+                let kd_sets = catalog.kd_attr_sets();
+                let selective_elsewhere = map.iter().any(|(a, iv)| {
+                    a != attr
+                        && iv.is_constrained()
+                        && ((iv.eq.is_some() && catalog.has_hash(a))
+                            || catalog.has_btree(a)
+                            || kd_sets.iter().any(|set| set.contains(a)))
+                });
+                if !selective_elsewhere {
+                    let iv = map.get(attr).cloned().unwrap_or_default();
+                    let (lo, hi) = match &iv.eq {
+                        Some(eq) => (Bound::Included(eq.clone()), Bound::Included(eq.clone())),
+                        None => (iv.lo, iv.hi),
+                    };
+                    return Plan {
+                        path: AccessPath::OrderedScan {
+                            attr: attr.clone(),
+                            lo,
+                            hi,
+                            descending: request.sort.is_descending(),
+                        },
+                    };
+                }
+            }
+        }
+    }
+    plan(catalog, &request.predicate)
 }
 
 /// Chooses an access path for `pred` against `catalog`.
@@ -404,6 +469,66 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn limited_attr_sort_plans_an_ordered_scan() {
+        use crate::request::{SearchRequest, SortKey};
+        // The only constrained attribute is the sort attribute itself, so
+        // the interval tightens the ordered scan's own bounds.
+        let req = SearchRequest::new(parse("size>1m & uid>2"))
+            .with_limit(10)
+            .sorted_by(SortKey::Descending(AttrName::Size));
+        match plan_request(&default_catalog(), &req).path {
+            AccessPath::OrderedScan { attr, lo, hi, descending } => {
+                assert_eq!(attr, AttrName::Size);
+                assert_eq!(lo, Bound::Excluded(Value::U64(1 << 20)));
+                assert_eq!(hi, Bound::Unbounded);
+                assert!(descending);
+            }
+            other => panic!("expected OrderedScan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ordered_scan_requires_limit_sort_and_btree() {
+        use crate::request::{SearchRequest, SortKey};
+        let cat = default_catalog();
+        // No limit: the whole range comes back anyway; nothing to cut off.
+        let req =
+            SearchRequest::new(parse("size>1m")).sorted_by(SortKey::Descending(AttrName::Size));
+        assert!(!matches!(plan_request(&cat, &req).path, AccessPath::OrderedScan { .. }));
+        // File-id sort: no covering tree.
+        let req = SearchRequest::new(parse("size>1m")).with_limit(5);
+        assert!(!matches!(plan_request(&cat, &req).path, AccessPath::OrderedScan { .. }));
+        // Sort attribute without a B+-tree.
+        let req = SearchRequest::new(parse("size>1m"))
+            .with_limit(5)
+            .sorted_by(SortKey::Ascending(AttrName::Uid));
+        assert!(!matches!(plan_request(&cat, &req).path, AccessPath::OrderedScan { .. }));
+        // A pinned hash equality beats walking the sort order.
+        let req = SearchRequest::new(parse("keyword:firefox & size>1m"))
+            .with_limit(5)
+            .sorted_by(SortKey::Ascending(AttrName::Size));
+        assert!(matches!(plan_request(&cat, &req).path, AccessPath::HashEq { .. }));
+        // A constraint on a *different* indexed attribute may be far more
+        // selective than the sort-order walk (a residual that matches
+        // nothing would force the whole tree): fall back to the classic
+        // plan rather than risk the asymptotic regression.
+        let req = SearchRequest::new(parse("size<1k"))
+            .with_limit(10)
+            .sorted_by(SortKey::Descending(AttrName::Mtime));
+        assert!(
+            matches!(plan_request(&cat, &req).path, AccessPath::BTreeRange { .. }),
+            "selective range on size must win over an mtime ordered scan"
+        );
+        let req = SearchRequest::new(parse("size>1m & mtime<1day"))
+            .with_limit(10)
+            .sorted_by(SortKey::Descending(AttrName::Size));
+        assert!(
+            matches!(plan_request(&cat, &req).path, AccessPath::KdBox { .. }),
+            "two constrained kd-covered attrs keep the classic kd plan"
+        );
     }
 
     #[test]

@@ -170,6 +170,12 @@ impl Cursor {
         Cursor { key: hit.sort_key.clone(), file: hit.file }
     }
 
+    /// The sort-key value this cursor resumes after (used by the executor
+    /// to tighten an ordered scan's bounds).
+    pub(crate) fn sort_key(&self) -> Option<&Value> {
+        self.key.as_ref()
+    }
+
     /// Whether `(key, file)` lies strictly after this cursor in `sort`
     /// order (i.e. belongs to a later page).
     pub fn admits(&self, sort: &SortKey, key: Option<&Value>, file: FileId) -> bool {
@@ -331,6 +337,8 @@ pub enum AccessPathKind {
     BTreeRange,
     /// K-D tree box query.
     KdBox,
+    /// Sort-order B+-tree walk with early termination.
+    OrderedScan,
     /// Full record scan.
     FullScan,
 }
@@ -341,6 +349,7 @@ impl From<&AccessPath> for AccessPathKind {
             AccessPath::HashEq { .. } => AccessPathKind::HashEq,
             AccessPath::BTreeRange { .. } => AccessPathKind::BTreeRange,
             AccessPath::KdBox { .. } => AccessPathKind::KdBox,
+            AccessPath::OrderedScan { .. } => AccessPathKind::OrderedScan,
             AccessPath::FullScan => AccessPathKind::FullScan,
         }
     }
@@ -360,7 +369,16 @@ pub struct SearchStats {
     pub retained_peak: usize,
     /// The access path each consulted ACG used.
     pub access_paths: Vec<(AcgId, AccessPathKind)>,
-    /// End-to-end time as seen by the caller's clock.
+    /// Records an early-terminated ordered scan never had to examine
+    /// (the consulted group's size minus the records actually scanned) —
+    /// the witness that the cutoff saved work.
+    pub candidates_skipped: usize,
+    /// Number of per-ACG executions that stopped before exhausting their
+    /// candidate stream (ordered-scan early termination).
+    pub early_terminated: usize,
+    /// Execution time, measured by the serving Index Node's clock; merged
+    /// stats carry the slowest node (fan-outs run in parallel, so the max
+    /// is what the caller waited for).
     pub elapsed: Duration,
 }
 
@@ -371,6 +389,9 @@ impl SearchStats {
         self.candidates_scanned += other.candidates_scanned;
         self.retained_peak = self.retained_peak.max(other.retained_peak);
         self.access_paths.extend(other.access_paths);
+        self.candidates_skipped += other.candidates_skipped;
+        self.early_terminated += other.early_terminated;
+        self.elapsed = self.elapsed.max(other.elapsed);
     }
 }
 
@@ -461,22 +482,30 @@ impl TopK {
     /// Offers a hit; it is retained only if it ranks within the top
     /// `limit` seen so far.
     pub fn push(&mut self, hit: Hit) {
-        match self.limit {
-            Some(limit) => {
-                if limit == 0 {
+        let key = hit.sort_key.clone();
+        self.offer(key.as_ref(), hit.file, move || hit);
+    }
+
+    /// Offers a hit *lazily*: `make` runs only when the hit will actually
+    /// be retained, so rejected candidates never pay projection or
+    /// allocation — the zero-allocation fast path of the streaming
+    /// executor. `key` must equal the sort key `make`'s hit will carry.
+    pub fn offer(&mut self, key: Option<&Value>, file: FileId, make: impl FnOnce() -> Hit) {
+        if let Some(limit) = self.limit {
+            if limit == 0 {
+                return;
+            }
+            if self.heap.len() >= limit {
+                let worst = self.heap.peek().expect("heap non-empty at capacity");
+                let rank =
+                    self.sort.cmp_keys(key, file, worst.hit.sort_key.as_ref(), worst.hit.file);
+                if rank != Ordering::Less {
                     return;
                 }
-                if self.heap.len() < limit {
-                    self.heap.push(Ranked { hit, sort: self.sort.clone() });
-                } else if let Some(worst) = self.heap.peek() {
-                    if self.sort.cmp_hits(&hit, &worst.hit) == Ordering::Less {
-                        self.heap.pop();
-                        self.heap.push(Ranked { hit, sort: self.sort.clone() });
-                    }
-                }
+                self.heap.pop();
             }
-            None => self.heap.push(Ranked { hit, sort: self.sort.clone() }),
         }
+        self.heap.push(Ranked { hit: make(), sort: self.sort.clone() });
         self.peak = self.peak.max(self.heap.len());
     }
 
@@ -571,13 +600,7 @@ where
         hits,
         complete: true,
         unreachable: Vec::new(),
-        stats: SearchStats {
-            acgs_consulted: 0,
-            candidates_scanned: scanned,
-            retained_peak,
-            access_paths: Vec::new(),
-            elapsed: Duration::ZERO,
-        },
+        stats: SearchStats { candidates_scanned: scanned, retained_peak, ..SearchStats::default() },
         cursor,
     }
 }
@@ -704,18 +727,25 @@ mod tests {
             candidates_scanned: 10,
             retained_peak: 5,
             access_paths: vec![(AcgId::new(1), AccessPathKind::FullScan)],
-            elapsed: Duration::ZERO,
+            candidates_skipped: 100,
+            early_terminated: 1,
+            elapsed: Duration::from_micros(5),
         };
         a.absorb(SearchStats {
             acgs_consulted: 2,
             candidates_scanned: 7,
             retained_peak: 9,
             access_paths: vec![(AcgId::new(2), AccessPathKind::HashEq)],
-            elapsed: Duration::ZERO,
+            candidates_skipped: 50,
+            early_terminated: 2,
+            elapsed: Duration::from_micros(3),
         });
         assert_eq!(a.acgs_consulted, 3);
         assert_eq!(a.candidates_scanned, 17);
         assert_eq!(a.retained_peak, 9);
         assert_eq!(a.access_paths.len(), 2);
+        assert_eq!(a.candidates_skipped, 150);
+        assert_eq!(a.early_terminated, 3);
+        assert_eq!(a.elapsed, Duration::from_micros(5), "slowest node wins");
     }
 }

@@ -14,6 +14,42 @@ fn record(file: u64, size: u64, mtime_s: u64, uid: u32) -> FileRecord {
     )
 }
 
+/// The client's route cache is capacity-bounded; evicted routes
+/// re-resolve through the Master transparently (updates keep landing in
+/// the right groups, searches stay exact).
+#[test]
+fn bounded_route_cache_evicts_and_re_resolves_correctly() {
+    let cluster =
+        Cluster::start(ClusterConfig { index_nodes: 2, group_capacity: 10, ..Default::default() });
+    let mut client = cluster.client().with_route_cache_capacity(16);
+    client.index_files((0..100u64).map(|i| record(i, 1 << 20, i, 0)).collect()).unwrap();
+    assert!(client.cached_routes() <= 16, "cache grew past its bound: {}", client.cached_routes());
+
+    // Files 0..84 were evicted along the way. Updating them re-resolves
+    // through the Master and still lands in their original ACGs: the
+    // update must replace, not duplicate.
+    client.index_files((0..50u64).map(|i| record(i, 2 << 20, i, 7)).collect()).unwrap();
+    assert!(client.cached_routes() <= 16);
+    let hits = client.search_text("uid=7").unwrap();
+    assert_eq!(hits.len(), 50, "every updated record found exactly once");
+    let all = client.search_text("size>0").unwrap();
+    assert_eq!(all.len(), 100, "no duplicates, no losses after eviction");
+
+    // Removal through re-resolved routes works too.
+    client.remove_files((0..10).map(FileId::new).collect()).unwrap();
+    assert_eq!(client.search_text("size>0").unwrap().len(), 90);
+
+    // Prime 96..100 into the cache, then send a mixed hit/miss batch
+    // whose 40 fresh resolutions overflow the 16-route cache: the batch's
+    // own cache hits must not be lost mid-resolve.
+    client.index_files((96..100u64).map(|i| record(i, 3 << 20, i, 9)).collect()).unwrap();
+    let mut batch: Vec<FileRecord> = (96..100u64).map(|i| record(i, 4 << 20, i, 9)).collect();
+    batch.extend((200..240u64).map(|i| record(i, 1 << 20, i, 9)));
+    client.index_files(batch).unwrap();
+    assert_eq!(client.search_text("uid=9").unwrap().len(), 44);
+    cluster.shutdown();
+}
+
 /// Every query must return exactly what a full scan returns.
 #[test]
 fn single_node_agrees_with_brute_force_on_every_query() {

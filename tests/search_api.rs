@@ -229,6 +229,60 @@ fn baselines_answer_the_same_request_api() {
     assert_eq!(ours.file_ids(), sharded.search_with(&req).file_ids());
 }
 
+/// A sorted top-k over B+-tree-covered attributes rides the ordered-scan
+/// path end to end: the stats witness that the scan terminated after k
+/// admitted hits and skipped the bulk of each consulted group, while the
+/// results stay identical to the materializing brute-force answer.
+#[test]
+fn sorted_topk_terminates_early_with_witnessed_cutoff() {
+    let records = dataset(20_000);
+    let storage = Arc::new(SharedStorage::new());
+    let mut service = Propeller::new(PropellerConfig {
+        group_capacity: 4_000, // several ACGs: every one must cut off
+        ..PropellerConfig::default()
+    });
+    for r in &records {
+        storage.create(&format!("/f{}", r.file.raw()), r.attrs).unwrap();
+    }
+    service.index_batch(records).unwrap();
+    let brute = BruteForce::new(storage);
+    let now = Timestamp::from_secs(2_000_000);
+
+    let req = SearchRequest::parse("size>1m", now)
+        .unwrap()
+        .with_limit(50)
+        .sorted_by(SortKey::Descending(AttrName::Size));
+    let resp = service.search_with(&req).unwrap();
+    assert_eq!(resp.file_ids(), brute.search_with(&req).file_ids());
+    assert_eq!(resp.hits.len(), 50);
+
+    // Every consulted ACG ran an ordered scan and cut off early...
+    let acgs = resp.stats.acgs_consulted;
+    assert!(acgs >= 5, "expected a partitioned run, got {acgs} ACGs");
+    assert_eq!(resp.stats.early_terminated, acgs, "every ACG terminated early");
+    assert!(resp
+        .stats
+        .access_paths
+        .iter()
+        .all(|(_, kind)| *kind == propeller::query::AccessPathKind::OrderedScan));
+    // ...so the bulk of the namespace was never examined.
+    assert!(resp.stats.candidates_skipped > 10_000, "cutoff skipped too little: {:?}", resp.stats);
+    assert!(
+        resp.stats.candidates_scanned + resp.stats.candidates_skipped <= 20_000,
+        "{:?}",
+        resp.stats
+    );
+    assert!(resp.stats.retained_peak <= 50);
+
+    // The same search unlimited scans everything and terminates nowhere.
+    let full = SearchRequest::parse("size>1m", now)
+        .unwrap()
+        .sorted_by(SortKey::Descending(AttrName::Size));
+    let resp = service.search_with(&full).unwrap();
+    assert_eq!(resp.stats.early_terminated, 0);
+    assert_eq!(resp.stats.candidates_skipped, 0);
+}
+
 #[test]
 fn stats_report_access_paths_and_elapsed() {
     let mut service = Propeller::new(PropellerConfig::default());
