@@ -25,15 +25,20 @@ use crate::rpc::Rpc;
 /// Default bound on a client's route cache (see [`RouteCache`]).
 const ROUTE_CACHE_CAPACITY: usize = 65_536;
 
-/// A capacity-bounded file → (ACG, node) route cache.
+/// A capacity-bounded file → (ACG, node) route cache with **LRU**
+/// eviction.
 ///
 /// Clients resolve every indexed file through the Master once and cache
 /// the route; unbounded, a long-lived client indexing a large namespace
-/// grows this map without limit. The cache evicts its oldest entries
-/// (FIFO over insertion order) past `capacity`; an evicted route is simply
-/// re-resolved through the Master on next use. Per-entry generations keep
-/// a stale order entry (the file was invalidated and re-resolved since)
-/// from evicting the fresh route.
+/// grows this map without limit. Past `capacity` the cache evicts its
+/// least-recently-*used* entry: every hit re-stamps the route with a
+/// fresh generation (touch-on-hit), so hot working sets stay resident
+/// while one-shot routes age out. An evicted route is simply re-resolved
+/// through the Master on next use. Per-entry generations keep a
+/// superseded order entry (the file was touched, invalidated or
+/// re-resolved since) from evicting the live route; the order queue is
+/// compacted once stale entries dominate it, so touch-heavy workloads
+/// don't grow it without bound.
 #[derive(Debug, Default)]
 struct RouteCache {
     map: HashMap<FileId, ((AcgId, NodeId), u64)>,
@@ -55,27 +60,48 @@ impl RouteCache {
         self.map.contains_key(file)
     }
 
-    fn get(&self, file: &FileId) -> Option<&(AcgId, NodeId)> {
-        self.map.get(file).map(|(route, _)| route)
+    /// Looks a route up, re-stamping it as most-recently-used on hit.
+    fn get(&mut self, file: &FileId) -> Option<(AcgId, NodeId)> {
+        let (route, gen) = self.map.get_mut(file)?;
+        let route = *route;
+        self.gen += 1;
+        *gen = self.gen;
+        self.order.push_back((*file, self.gen));
+        self.compact();
+        Some(route)
     }
 
     fn insert(&mut self, file: FileId, route: (AcgId, NodeId)) {
         self.gen += 1;
         self.map.insert(file, (route, self.gen));
         self.order.push_back((file, self.gen));
-        while self.order.len() > self.capacity {
+        while self.map.len() > self.capacity {
             let Some((file, gen)) = self.order.pop_front() else { break };
-            // Superseded order entries (the file was re-inserted since)
+            // Superseded order entries (the file was re-touched since)
             // pop as no-ops; only the live generation evicts.
             if self.map.get(&file).is_some_and(|(_, g)| *g == gen) {
                 self.map.remove(&file);
             }
         }
+        self.compact();
     }
 
     fn remove(&mut self, file: &FileId) {
         // The stale order entry stays behind and pops as a no-op.
         self.map.remove(file);
+    }
+
+    /// Rebuilds the order queue from the live generations once stale
+    /// (superseded) entries outnumber them 2:1 — amortized O(1) per
+    /// touch, and the queue stays O(capacity).
+    fn compact(&mut self) {
+        if self.order.len() <= self.map.len().max(self.capacity).saturating_mul(2) {
+            return;
+        }
+        let mut live: Vec<(FileId, u64)> =
+            self.map.iter().map(|(&file, &(_, gen))| (file, gen)).collect();
+        live.sort_unstable_by_key(|&(_, gen)| gen);
+        self.order = live.into();
     }
 }
 
@@ -141,7 +167,7 @@ impl FileQueryEngine {
         // resolved rows below may FIFO-evict this very batch's hits.
         let mut routes: HashMap<FileId, (AcgId, NodeId)> = HashMap::with_capacity(files.len());
         for f in files {
-            if let Some(&route) = self.route_cache.get(f) {
+            if let Some(route) = self.route_cache.get(f) {
                 routes.insert(*f, route);
             }
         }
@@ -346,12 +372,18 @@ impl FileQueryEngine {
         }
 
         let hits = merge_sorted_hits(lists, &request.sort, request.limit);
-        let cursor = next_cursor(&hits, request.limit);
         // `stats.elapsed` is the max per-node service time (each node
         // measures against its own injected clock; nodes ran in parallel,
         // so the slowest one is what this client waited for).
         let mut unreachable: Vec<NodeId> = failed.into_iter().map(|(n, _)| n).collect();
         unreachable.sort_unstable();
+        // A continuation cursor is only honest on a *complete* page:
+        // paginating past an incomplete one would resume strictly after
+        // its last hit and permanently skip every hit the unreachable
+        // nodes held that sorted before the cursor. Incomplete responses
+        // therefore carry no cursor — the caller retries the same page
+        // (or a fresh search) once the nodes recover.
+        let cursor = if unreachable.is_empty() { next_cursor(&hits, request.limit) } else { None };
         Ok(SearchResponse { complete: unreachable.is_empty(), unreachable, hits, stats, cursor })
     }
 
@@ -475,5 +507,87 @@ impl FileQueryEngine {
     /// Number of causality edges currently buffered client-side.
     pub fn buffered_edges(&self) -> usize {
         self.tracker.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(n: u64) -> (AcgId, NodeId) {
+        (AcgId::new(n), NodeId::new(n as u32))
+    }
+
+    #[test]
+    fn route_cache_evicts_least_recently_used_not_oldest_inserted() {
+        let mut cache = RouteCache::with_capacity(3);
+        cache.insert(FileId::new(1), route(1));
+        cache.insert(FileId::new(2), route(2));
+        cache.insert(FileId::new(3), route(3));
+        // Touch the oldest-inserted entry: it becomes most-recently-used.
+        assert_eq!(cache.get(&FileId::new(1)), Some(route(1)));
+        // Inserting a fourth must evict file 2 (the LRU), not file 1
+        // (which FIFO would have evicted).
+        cache.insert(FileId::new(4), route(4));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.contains_key(&FileId::new(1)), "touched entry stays resident");
+        assert!(!cache.contains_key(&FileId::new(2)), "LRU entry evicted");
+        assert!(cache.contains_key(&FileId::new(3)));
+        assert!(cache.contains_key(&FileId::new(4)));
+    }
+
+    #[test]
+    fn route_cache_hot_set_survives_a_scan() {
+        // A hot working set being re-hit must survive a one-shot scan of
+        // cold routes through the cache (the LRU-over-FIFO payoff).
+        let mut cache = RouteCache::with_capacity(8);
+        for i in 0..4u64 {
+            cache.insert(FileId::new(i), route(i));
+        }
+        for cold in 100..160u64 {
+            for hot in 0..4u64 {
+                assert!(cache.get(&FileId::new(hot)).is_some(), "hot route {hot} evicted");
+            }
+            cache.insert(FileId::new(cold), route(cold));
+        }
+        for hot in 0..4u64 {
+            assert!(cache.contains_key(&FileId::new(hot)));
+        }
+        assert_eq!(cache.len(), 8);
+    }
+
+    #[test]
+    fn route_cache_order_queue_stays_bounded_under_touch_storms() {
+        let mut cache = RouteCache::with_capacity(4);
+        for i in 0..4u64 {
+            cache.insert(FileId::new(i), route(i));
+        }
+        for _ in 0..10_000 {
+            cache.get(&FileId::new(1));
+        }
+        assert!(
+            cache.order.len() <= 2 * 4 + 1,
+            "touch-on-hit must not grow the order queue unboundedly: {}",
+            cache.order.len()
+        );
+        // Eviction order still correct after compaction.
+        cache.insert(FileId::new(9), route(9));
+        assert!(cache.contains_key(&FileId::new(1)), "the touched route survives");
+    }
+
+    #[test]
+    fn route_cache_remove_then_reinsert_is_not_evicted_by_stale_order() {
+        let mut cache = RouteCache::with_capacity(2);
+        cache.insert(FileId::new(1), route(1));
+        cache.remove(&FileId::new(1));
+        cache.insert(FileId::new(1), route(7));
+        cache.insert(FileId::new(2), route(2));
+        // The stale order entry for the removed generation pops as a
+        // no-op; the re-inserted route must still be live.
+        cache.insert(FileId::new(3), route(3));
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.contains_key(&FileId::new(1)), "oldest live entry evicted");
+        assert!(cache.contains_key(&FileId::new(2)));
+        assert!(cache.contains_key(&FileId::new(3)));
     }
 }

@@ -57,6 +57,9 @@ pub struct Cluster {
     index_nodes: Vec<NodeId>,
     clock: Arc<dyn Clock>,
     shared: Arc<SharedStorage>,
+    /// Kept so revived nodes get the same per-node settings as `start`
+    /// gave the originals.
+    config: ClusterConfig,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -115,18 +118,8 @@ impl Cluster {
         // Index Node actors.
         for (i, &id) in index_ids.iter().enumerate() {
             let rx = rpc.register(id);
-            let mut node = IndexNode::new(
-                id,
-                IndexNodeConfig {
-                    commit_timeout: config.commit_timeout,
-                    partition: PartitionConfig {
-                        seed: config.seed.wrapping_add(i as u64),
-                        ..PartitionConfig::default()
-                    },
-                    ..IndexNodeConfig::default()
-                },
-            )
-            .with_clock(clock.clone());
+            let mut node =
+                IndexNode::new(id, Self::index_node_config(&config, i)).with_clock(clock.clone());
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("propeller-in-{}", id.raw()))
@@ -135,7 +128,21 @@ impl Cluster {
             );
         }
 
-        Cluster { rpc, master: master_id, index_nodes: index_ids, clock, shared, handles }
+        Cluster { rpc, master: master_id, index_nodes: index_ids, clock, shared, config, handles }
+    }
+
+    /// The per-node config the `i`-th Index Node was started with (shared
+    /// by `start` and `revive_index_node` so a revived node behaves like
+    /// the original).
+    fn index_node_config(config: &ClusterConfig, i: usize) -> IndexNodeConfig {
+        IndexNodeConfig {
+            commit_timeout: config.commit_timeout,
+            partition: PartitionConfig {
+                seed: config.seed.wrapping_add(i as u64),
+                ..PartitionConfig::default()
+            },
+            ..IndexNodeConfig::default()
+        }
     }
 
     /// A new client handle.
@@ -166,6 +173,33 @@ impl Cluster {
     /// The shared storage beneath the cluster.
     pub fn shared_storage(&self) -> &Arc<SharedStorage> {
         &self.shared
+    }
+
+    /// Restarts a previously killed Index Node under the same id with a
+    /// **fresh, empty** state (failure-injection harness: the in-process
+    /// nodes keep their indices in memory, so a crash loses them — the
+    /// client re-indexes to repopulate). The Master's ACG placements still
+    /// reference the id, so routed batches and searches reach the revived
+    /// node immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not one of this cluster's Index Node ids.
+    pub fn revive_index_node(&mut self, id: NodeId) {
+        let i = self
+            .index_nodes
+            .iter()
+            .position(|&n| n == id)
+            .unwrap_or_else(|| panic!("{id} is not an index node of this cluster"));
+        let rx = self.rpc.register(id);
+        let mut node = IndexNode::new(id, Self::index_node_config(&self.config, i))
+            .with_clock(self.clock.clone());
+        self.handles.push(
+            std::thread::Builder::new()
+                .name(format!("propeller-in-{}-revived", id.raw()))
+                .spawn(move || crate::rpc::run_actor(rx, move |req| node.handle(req)))
+                .expect("spawn revived index node"),
+        );
     }
 
     /// One maintenance round, played by the external coordinator (the

@@ -7,17 +7,20 @@
 //! ACG) and migration (extract/install of ACG parts).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use propeller_acg::{bisect, AcgGraph, PartitionConfig};
 use propeller_index::{AcgIndexGroup, FileRecord, GroupConfig, IndexSpec};
-use propeller_query::{merge_sorted_hits, Hit, SearchRequest, SearchStats};
+use propeller_query::{execute_classic, execute_node_request, Hit, SearchStats};
 use propeller_sim::{Clock, WallClock};
 use propeller_trace::EdgeUpdate;
 use propeller_types::{AcgId, Duration, Error, FileId, NodeId, Timestamp};
 
 use crate::messages::{AcgSummary, Request, Response};
+use crate::pool::WorkerPool;
+
+/// One pooled per-ACG search execution and its result.
+type SearchJob = Box<dyn FnOnce() -> (Vec<Hit>, SearchStats) + Send>;
 
 /// Index Node configuration.
 #[derive(Debug, Clone)]
@@ -32,11 +35,13 @@ pub struct IndexNodeConfig {
     /// that many migrations, which then degrades to pre-tombstone
     /// behaviour (the batch lands in the old group, still searchable).
     pub max_tombstones: usize,
-    /// Worker-pool width for multi-ACG searches: the per-ACG requests of
-    /// one `Search` execute across up to this many scoped threads (groups
-    /// are independent once committed, so a 64-ACG node no longer
-    /// serializes 64 scans). `1` restores strictly sequential execution;
-    /// the default matches the host's available parallelism.
+    /// Worker-pool width for multi-ACG searches: the non-ordered per-ACG
+    /// scans of one `Search` execute across a **persistent pool** of this
+    /// many execution streams, owned by the node and reused across
+    /// searches (no per-search thread spawn). Groups are independent once
+    /// committed, so a 64-ACG node no longer serializes 64 scans. `1`
+    /// restores strictly sequential inline execution; the default matches
+    /// the host's available parallelism.
     pub search_parallelism: usize,
 }
 
@@ -61,7 +66,14 @@ pub struct IndexNode {
     /// Time source for measured search latency ([`SearchStats::elapsed`]);
     /// the cluster/service injects its own (wall or virtual) clock.
     clock: Arc<dyn Clock>,
-    groups: HashMap<AcgId, AcgIndexGroup>,
+    /// Hosted groups. `Arc` so the persistent worker pool's jobs can hold
+    /// a group across threads during one search; outside a search the
+    /// actor thread is the only owner (the pool joins its batch before
+    /// `handle` returns), so mutation goes through [`Arc::get_mut`].
+    groups: HashMap<AcgId, Arc<AcgIndexGroup>>,
+    /// The node's persistent search pool (see `search_parallelism`),
+    /// created once and reused by every multi-ACG search.
+    pool: WorkerPool,
     graphs: HashMap<AcgId, AcgGraph>,
     /// Indices to create on every (current and future) group.
     extra_specs: Vec<IndexSpec>,
@@ -95,11 +107,13 @@ impl IndexNode {
     /// Creates an empty Index Node (wall clock; see
     /// [`IndexNode::with_clock`] to inject a virtual one).
     pub fn new(id: NodeId, config: IndexNodeConfig) -> Self {
+        let pool = WorkerPool::new(config.search_parallelism);
         IndexNode {
             id,
             config,
             clock: Arc::new(WallClock::new()),
             groups: HashMap::new(),
+            pool,
             graphs: HashMap::new(),
             extra_specs: Vec::new(),
             moved_away: HashMap::new(),
@@ -133,10 +147,18 @@ impl IndexNode {
         (self.searches_served, self.ops_received)
     }
 
+    /// Exclusive access to a hosted group. Search executions borrow the
+    /// `Arc`s only while one `Search` request is being served (the pool
+    /// joins its batch before `handle` returns), so outside that window
+    /// the actor thread is the sole owner.
+    fn exclusive(group: &mut Arc<AcgIndexGroup>) -> &mut AcgIndexGroup {
+        Arc::get_mut(group).expect("no search job outlives its request")
+    }
+
     fn group_mut(&mut self, acg: AcgId) -> &mut AcgIndexGroup {
         let config = &self.config;
         let extra = &self.extra_specs;
-        self.groups.entry(acg).or_insert_with(|| {
+        let arc = self.groups.entry(acg).or_insert_with(|| {
             let mut group = AcgIndexGroup::new(
                 acg,
                 GroupConfig { commit_timeout: config.commit_timeout, ..GroupConfig::default() },
@@ -145,8 +167,9 @@ impl IndexNode {
                 // Name collisions with defaults are rejected upstream.
                 let _ = group.create_index(spec.clone());
             }
-            group
-        })
+            Arc::new(group)
+        });
+        Self::exclusive(arc)
     }
 
     /// Records stale-route tombstones for files migrated out of `acg`,
@@ -179,10 +202,14 @@ impl IndexNode {
             .groups
             .iter()
             .map(|(&acg, g)| AcgSummary {
-                // Scale includes buffered upserts: the Master must see an
-                // ACG outgrowing its threshold even between commits.
+                // Scale includes buffered updates — the Master must see an
+                // ACG outgrowing its threshold even between commits — but
+                // only their *net* file-count effect: a pending re-upsert
+                // of an already-indexed file adds nothing, a pending
+                // remove subtracts. Counting raw pending ops inflated
+                // re-upsert-heavy ACGs and triggered spurious splits.
                 acg,
-                files: g.len() + g.pending_ops(),
+                files: g.projected_len(),
                 pending_ops: g.pending_ops(),
             })
             .collect();
@@ -220,26 +247,37 @@ impl IndexNode {
                 // of the request, which is what lets execution fan out.
                 for acg in &acgs {
                     if let Some(group) = self.groups.get_mut(acg) {
-                        if let Err(e) = group.commit(now) {
+                        if let Err(e) = Self::exclusive(group).commit(now) {
                             return Response::Err(e);
                         }
                     }
                 }
-                let groups: Vec<&AcgIndexGroup> =
-                    acgs.iter().filter_map(|acg| self.groups.get(acg)).collect();
-                // Execution phase: independent per-ACG scans across the
-                // scoped worker pool.
-                let results =
-                    execute_group_searches(&groups, &request, self.config.search_parallelism);
-                let mut stats = SearchStats::default();
-                let mut per_acg = Vec::with_capacity(results.len());
-                for (hits, acg_stats) in results {
-                    stats.absorb(acg_stats);
-                    per_acg.push(hits);
-                }
-                // Each ACG's list is sorted and limit-bounded; merge them
-                // into this node's partial top-k.
-                let hits = merge_sorted_hits(per_acg, &request.sort, request.limit);
+                // Execution phase, under the node-global k cutoff:
+                // ordered-planned groups become lazy candidate streams
+                // pulled through one k-way merge (stop at k total admitted
+                // hits across all ACGs); the remaining groups run their
+                // bounded scans on the persistent worker pool, pruning
+                // against the shared merged bound.
+                let arcs: Vec<Arc<AcgIndexGroup>> =
+                    acgs.iter().filter_map(|acg| self.groups.get(acg)).cloned().collect();
+                let refs: Vec<&AcgIndexGroup> = arcs.iter().map(Arc::as_ref).collect();
+                let request = Arc::new(request);
+                let pool = &self.pool;
+                let (hits, mut stats) =
+                    execute_node_request(&refs, request.as_ref(), |tasks, cutoff| {
+                        let jobs: Vec<SearchJob> = tasks
+                            .into_iter()
+                            .map(|task| {
+                                let group = Arc::clone(&arcs[task.group]);
+                                let request = Arc::clone(&request);
+                                let cutoff = cutoff.cloned();
+                                Box::new(move || {
+                                    execute_classic(&group, &request, task.plan, cutoff.as_deref())
+                                }) as SearchJob
+                            })
+                            .collect();
+                        pool.run(jobs)
+                    });
                 stats.elapsed = self.clock.now().since(started);
                 Response::SearchHits { hits, stats }
             }
@@ -256,12 +294,12 @@ impl IndexNode {
                 let mut applied: Vec<AcgId> = Vec::new();
                 for acg in acgs {
                     let group = self.groups.get_mut(&acg).expect("key just listed");
-                    match group.create_index(spec.clone()) {
+                    match Self::exclusive(group).create_index(spec.clone()) {
                         Ok(()) => applied.push(acg),
                         Err(e) => {
                             for acg in applied {
                                 if let Some(group) = self.groups.get_mut(&acg) {
-                                    let _ = group.drop_index(&spec.name);
+                                    let _ = Self::exclusive(group).drop_index(&spec.name);
                                 }
                             }
                             return Response::Err(e);
@@ -276,7 +314,7 @@ impl IndexNode {
                 for group in self.groups.values_mut() {
                     // Idempotent rollback: groups that never got the spec
                     // are fine.
-                    let _ = group.drop_index(&name);
+                    let _ = Self::exclusive(group).drop_index(&name);
                 }
                 Response::Ok
             }
@@ -284,6 +322,7 @@ impl IndexNode {
                 let Some(group) = self.groups.get_mut(&acg) else {
                     return Response::Err(Error::AcgNotFound(acg));
                 };
+                let group = Self::exclusive(group);
                 // Commit so the split sees every acknowledged file.
                 if let Err(e) = group.commit(Timestamp::EPOCH) {
                     return Response::Err(e);
@@ -304,6 +343,7 @@ impl IndexNode {
                 let Some(group) = self.groups.get_mut(&acg) else {
                     return Response::Err(Error::AcgNotFound(acg));
                 };
+                let group = Self::exclusive(group);
                 // Commit so extracted records reflect every acknowledged op.
                 if let Err(e) = group.commit(Timestamp::EPOCH) {
                     return Response::Err(e);
@@ -359,6 +399,7 @@ impl IndexNode {
             }
             Request::Tick { now } => {
                 for group in self.groups.values_mut() {
+                    let group = Self::exclusive(group);
                     if group.commit_due(now) {
                         if let Err(e) = group.commit(now) {
                             return Response::Err(e);
@@ -380,50 +421,6 @@ impl IndexNode {
     pub fn heartbeat(&self, now: Timestamp) -> Request {
         Request::Heartbeat { node: self.id, acgs: self.summaries(), now }
     }
-}
-
-/// Executes one search request against every (already committed) group,
-/// fanning the independent per-ACG scans across a scoped worker pool of at
-/// most `parallelism` threads. Workers pull group indices off a shared
-/// atomic counter (cheap dynamic load balancing — ACG sizes are skewed),
-/// and results land back in group order, so the output is byte-identical
-/// to sequential execution.
-fn execute_group_searches(
-    groups: &[&AcgIndexGroup],
-    request: &SearchRequest,
-    parallelism: usize,
-) -> Vec<(Vec<Hit>, SearchStats)> {
-    let workers = parallelism.max(1).min(groups.len());
-    if workers <= 1 {
-        return groups.iter().map(|g| propeller_query::execute_request(g, request)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut results: Vec<Option<(Vec<Hit>, SearchStats)>> =
-        (0..groups.len()).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let next = &next;
-                s.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= groups.len() {
-                            break;
-                        }
-                        out.push((i, propeller_query::execute_request(groups[i], request)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, result) in handle.join().expect("ACG search worker panicked") {
-                results[i] = Some(result);
-            }
-        }
-    });
-    results.into_iter().map(|r| r.expect("every group executed")).collect()
 }
 
 #[cfg(test)]
@@ -614,12 +611,105 @@ mod tests {
             Request::Heartbeat { node, acgs, .. } => {
                 assert_eq!(node, NodeId::new(1));
                 assert_eq!(acgs.len(), 1);
-                // Ops are still pending (not committed), so files=0 but
-                // pending_ops=2 — the heartbeat exposes both.
+                // Ops are still pending (not committed): the heartbeat
+                // exposes both the projected scale and the backlog.
+                assert_eq!(acgs[0].files, 2, "two new files about to commit");
                 assert_eq!(acgs[0].pending_ops, 2);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn heartbeat_scale_nets_out_reupserts_and_removes() {
+        let mut n = node();
+        let acg = AcgId::new(1);
+        n.handle(Request::IndexBatch {
+            acg,
+            ops: (0..20).map(|i| IndexOp::Upsert(rec(i, i))).collect(),
+            now: t(0),
+        });
+        // Commit via a search so the 20 files are indexed.
+        search(&mut n, vec![acg], "size>=0");
+        // A re-upsert-heavy batch: 20 updates of indexed files, 3 removes,
+        // 2 genuinely new files — all buffered, not committed.
+        let mut ops: Vec<IndexOp> = (0..20).map(|i| IndexOp::Upsert(rec(i, i + 500))).collect();
+        ops.push(IndexOp::Remove(FileId::new(0)));
+        ops.push(IndexOp::Remove(FileId::new(1)));
+        ops.push(IndexOp::Remove(FileId::new(2)));
+        ops.push(IndexOp::Upsert(rec(100, 1)));
+        ops.push(IndexOp::Upsert(rec(101, 1)));
+        n.handle(Request::IndexBatch { acg, ops, now: t(1) });
+        match n.heartbeat(t(2)) {
+            Request::Heartbeat { acgs, .. } => {
+                assert_eq!(acgs[0].pending_ops, 25, "the raw backlog is still visible");
+                assert_eq!(
+                    acgs[0].files, 19,
+                    "scale is 20 - 3 removed + 2 new, not len + pending = 45"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_global_cutoff_bounds_scans_across_acgs() {
+        use propeller_query::{SearchRequest, SortKey};
+        const ACGS: u64 = 16;
+        const PER_ACG: u64 = 500;
+        const K: usize = 100;
+        let seed_node = |parallelism: usize| {
+            let mut n = IndexNode::new(
+                NodeId::new(1),
+                IndexNodeConfig { search_parallelism: parallelism, ..IndexNodeConfig::default() },
+            );
+            for acg in 1..=ACGS {
+                n.handle(Request::IndexBatch {
+                    acg: AcgId::new(acg),
+                    ops: (0..PER_ACG)
+                        .map(|i| {
+                            let id = acg * 10_000 + i;
+                            IndexOp::Upsert(rec(id, ((id * 7919) % 100_000) << 10))
+                        })
+                        .collect(),
+                    now: t(0),
+                });
+            }
+            n
+        };
+        let q = Query::parse("size>0", t(0)).unwrap();
+        let request = SearchRequest::new(q.predicate)
+            .with_limit(K)
+            .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
+        let run = |n: &mut IndexNode| match n.handle(Request::Search {
+            acgs: (1..=ACGS).map(AcgId::new).collect(),
+            request: request.clone(),
+            now: t(100),
+        }) {
+            Response::SearchHits { hits, stats } => (hits, stats),
+            other => panic!("{other:?}"),
+        };
+        let (hits, stats) = run(&mut seed_node(8));
+        assert_eq!(hits.len(), K);
+        assert_eq!(stats.acgs_consulted, ACGS as usize);
+        // The acceptance witness: one k-way merge across the 16 ordered
+        // streams admits k hits total — nowhere near 16 * k per-ACG scans.
+        assert!(
+            stats.candidates_scanned < (ACGS as usize) * K / 4,
+            "node-global cutoff must scan far less than 16k: scanned {}",
+            stats.candidates_scanned
+        );
+        assert!(stats.merge_skipped > 0, "merge-level skips must be witnessed: {stats:?}");
+        assert_eq!(
+            stats.candidates_scanned + stats.candidates_skipped,
+            (ACGS * PER_ACG) as usize,
+            "scan/skip accounting covers the node"
+        );
+        // Pooled execution is byte-identical to strictly sequential.
+        let (seq_hits, seq_stats) = run(&mut seed_node(1));
+        assert_eq!(hits, seq_hits);
+        assert_eq!(stats.candidates_scanned, seq_stats.candidates_scanned);
+        assert_eq!(stats.merge_skipped, seq_stats.merge_skipped);
     }
 
     #[test]
@@ -722,9 +812,7 @@ mod tests {
             });
         }
         // Pre-seed one group with the name so the broadcast fails there.
-        n.groups
-            .get_mut(&AcgId::new(2))
-            .unwrap()
+        IndexNode::exclusive(n.groups.get_mut(&AcgId::new(2)).unwrap())
             .create_index(IndexSpec::btree("clash", propeller_types::AttrName::Uid))
             .unwrap();
         let resp = n.handle(Request::CreateIndex {

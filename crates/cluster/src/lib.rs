@@ -67,6 +67,7 @@ mod cluster;
 mod index_node;
 mod master;
 mod messages;
+mod pool;
 mod rpc;
 
 pub use client::FileQueryEngine;
@@ -74,4 +75,5 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use index_node::{IndexNode, IndexNodeConfig};
 pub use master::{MasterConfig, MasterNode, NodeStatus};
 pub use messages::{AcgSummary, Request, Response};
+pub use pool::WorkerPool;
 pub use rpc::Rpc;

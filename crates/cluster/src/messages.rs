@@ -11,9 +11,12 @@ use propeller_types::{AcgId, Error, FileId, NodeId, Timestamp};
 pub struct AcgSummary {
     /// The ACG.
     pub acg: AcgId,
-    /// Files currently indexed in the ACG's group.
+    /// The ACG's projected scale: indexed files plus the *net* effect of
+    /// buffered ops (pending re-upserts of indexed files add nothing;
+    /// pending removes subtract). This is what the Master compares to its
+    /// split threshold, so it must not over-count update-heavy traffic.
     pub files: usize,
-    /// Buffered (uncommitted) ops.
+    /// Buffered (uncommitted) ops, raw (the commit backlog).
     pub pending_ops: usize,
 }
 

@@ -1,0 +1,257 @@
+//! A persistent worker pool for intra-node search parallelism.
+//!
+//! Before this pool, every multi-ACG search spawned a fresh set of scoped
+//! threads (`std::thread::scope`) and tore them down again — measurable
+//! per-search overhead at high QPS. An [`IndexNode`](crate::IndexNode) now
+//! owns one `WorkerPool`, created once from its configured
+//! `search_parallelism` and reused across every search it serves.
+//!
+//! Design notes:
+//!
+//! * **Lazy spawn** — worker threads start on the first batch that needs
+//!   them, so single-ACG nodes, `search_parallelism: 1` configs and the
+//!   many short-lived nodes of simulated clusters never pay for idle
+//!   threads.
+//! * **Caller participation** — [`WorkerPool::run`] executes jobs on the
+//!   calling (actor) thread too, so a pool of width `w` applies exactly
+//!   `w` execution streams, matching the semantics of the scoped pool it
+//!   replaces.
+//! * **Shared queue** — jobs are pulled off one queue as workers free up
+//!   (cheap dynamic load balancing: ACG sizes are skewed, so static
+//!   striping would leave workers idle behind one big group).
+//! * **Panic isolation** — a panicking job is caught on the worker,
+//!   reported back, and re-raised on the caller; the worker itself
+//!   survives for the next search.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// A queued unit of work: type-erased, result delivery captured inside.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The queue shared between the submitting thread and the workers.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when jobs arrive or shutdown begins.
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        // Jobs run under `catch_unwind`, so a poisoned queue can only come
+        // from a panic in the pool's own bookkeeping; recover rather than
+        // cascade.
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The spawned half of the pool (created on first use).
+struct PoolInner {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PoolInner {
+    fn spawn(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("propeller-search-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn search worker")
+            })
+            .collect();
+        PoolInner { shared, handles }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.lock();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.available.wait(queue).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        job();
+    }
+}
+
+/// A persistent, lazily-spawned worker pool of fixed width.
+///
+/// `width` is the total number of concurrent execution streams a
+/// [`WorkerPool::run`] call uses — `width - 1` pooled threads plus the
+/// calling thread. A width of 0 or 1 degrades to inline sequential
+/// execution (no threads are ever spawned).
+pub struct WorkerPool {
+    width: usize,
+    inner: OnceLock<PoolInner>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("width", &self.width)
+            .field("spawned", &self.inner.get().is_some())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool of the given width. No threads are spawned until the first
+    /// [`WorkerPool::run`] that can use them.
+    pub fn new(width: usize) -> Self {
+        WorkerPool { width: width.max(1), inner: OnceLock::new() }
+    }
+
+    /// The configured width (total concurrent execution streams).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `jobs` across the pool, returning their results **in job
+    /// order**. Blocks until every job finished. With a single job or a
+    /// width of 1 the jobs run inline on the caller; otherwise the caller
+    /// participates as one of the `width` execution streams, pulling from
+    /// the same queue as the workers.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic on the caller) if any job panicked.
+    pub fn run<T: Send + 'static>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<T> {
+        if self.width <= 1 || jobs.len() <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        let inner = self.inner.get_or_init(|| PoolInner::spawn(self.width - 1));
+        let total = jobs.len();
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, std::thread::Result<T>)>();
+        {
+            let mut queue = inner.shared.lock();
+            for (i, job) in jobs.into_iter().enumerate() {
+                let tx: Sender<(usize, std::thread::Result<T>)> = tx.clone();
+                queue.push_back(Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    // The receiver only disappears if the caller panicked
+                    // out of the collection loop; nothing left to report.
+                    let _ = tx.send((i, result));
+                }));
+            }
+        }
+        drop(tx);
+        inner.shared.available.notify_all();
+        // The caller is one of the execution streams: drain jobs from the
+        // shared queue until it runs dry (other batches' jobs included —
+        // helping is always sound, the closures are self-contained).
+        loop {
+            let job = inner.shared.lock().pop_front();
+            match job {
+                Some(job) => job(),
+                None => break,
+            }
+        }
+        let mut results: Vec<Option<T>> = (0..total).map(|_| None).collect();
+        for _ in 0..total {
+            let (i, result) = rx.recv().expect("search worker died before finishing its job");
+            match result {
+                Ok(value) => results[i] = Some(value),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        results.into_iter().map(|r| r.expect("every job reported")).collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            inner.shared.shutdown.store(true, Ordering::Release);
+            inner.shared.available.notify_all();
+            for handle in inner.handles {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64usize)
+            .map(|i| {
+                Box::new(move || {
+                    // Uneven work so completion order scrambles.
+                    std::thread::sleep(std::time::Duration::from_micros((64 - i as u64) * 10));
+                    i * i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let results = pool.run(jobs);
+        assert_eq!(results, (0..64usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn width_one_runs_inline_without_spawning() {
+        let pool = WorkerPool::new(1);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..8usize).map(|i| Box::new(move || i) as Box<dyn FnOnce() -> usize + Send>).collect();
+        assert_eq!(pool.run(jobs), (0..8).collect::<Vec<_>>());
+        assert!(pool.inner.get().is_none(), "width 1 must never spawn threads");
+    }
+
+    #[test]
+    fn pool_is_reused_across_batches() {
+        let pool = WorkerPool::new(3);
+        for round in 0..10usize {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+                .map(|i| Box::new(move || round + i) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            let results = pool.run(jobs);
+            assert_eq!(results, (0..16).map(|i| round + i).collect::<Vec<_>>());
+        }
+        assert_eq!(pool.inner.get().expect("spawned").handles.len(), 2, "width - 1 workers");
+    }
+
+    #[test]
+    fn job_panic_propagates_but_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom")), Box::new(|| 3)];
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(jobs)));
+        assert!(caught.is_err(), "the job panic must reach the caller");
+        // The pool still serves the next batch.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0..4usize).map(|i| Box::new(move || i) as Box<dyn FnOnce() -> usize + Send>).collect();
+        assert_eq!(pool.run(jobs), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = WorkerPool::new(8);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = Vec::new();
+        assert!(pool.run(jobs).is_empty());
+        assert!(pool.inner.get().is_none());
+    }
+}

@@ -69,6 +69,14 @@ impl IndexCache {
         self.pending.len()
     }
 
+    /// The buffered operations, oldest first (read-only; draining goes
+    /// through [`IndexCache::drain`]). Lets the owning group project what
+    /// committing would change — e.g. the net file-count effect reported
+    /// in heartbeats — without consuming the batch.
+    pub fn pending(&self) -> &[IndexOp] {
+        &self.pending
+    }
+
     /// Returns `true` when nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()

@@ -211,6 +211,34 @@ impl AcgIndexGroup {
         self.cache.len()
     }
 
+    /// The file count this group will hold once its buffered ops commit:
+    /// [`AcgIndexGroup::len`] plus the *net* effect of the pending batch.
+    /// A pending upsert only counts when the file is not already indexed
+    /// (re-upserts replace in place), a pending remove only when it is;
+    /// several pending ops on one file collapse to the last one. This is
+    /// the scale an Index Node heartbeats to the Master — raw
+    /// `len + pending_ops` over-counted re-upsert-heavy ACGs and could
+    /// trigger spurious splits.
+    pub fn projected_len(&self) -> usize {
+        let mut delta: i64 = 0;
+        // Tracks each touched file's projected presence as the pending
+        // batch replays over the committed state.
+        let mut projected: HashMap<FileId, bool> = HashMap::new();
+        for op in self.cache.pending() {
+            let file = op.file();
+            let before =
+                projected.get(&file).copied().unwrap_or_else(|| self.records.contains_key(&file));
+            let after = matches!(op, IndexOp::Upsert(_));
+            match (before, after) {
+                (false, true) => delta += 1,
+                (true, false) => delta -= 1,
+                _ => {}
+            }
+            projected.insert(file, after);
+        }
+        (self.records.len() as i64 + delta).max(0) as usize
+    }
+
     /// Commit statistics: `(commits, drained_ops)`.
     pub fn commit_stats(&self) -> (u64, u64) {
         (self.cache.commit_count(), self.cache.drained_ops())
@@ -937,6 +965,35 @@ mod tests {
             .collect();
         assert!(bounded.iter().all(|&s| (128..320).contains(&s)));
         assert_eq!(bounded.len(), 30, "sizes 128, 192, 256 x 10 files each");
+    }
+
+    #[test]
+    fn projected_len_nets_out_pending_ops() {
+        let mut g = group();
+        for i in 0..10 {
+            g.enqueue(IndexOp::Upsert(record(i, i, 0)), t(0)).unwrap();
+        }
+        g.commit(t(0)).unwrap();
+        assert_eq!(g.projected_len(), 10, "no pending ops: projected == len");
+        // Re-upserts of indexed files change nothing.
+        for i in 0..10 {
+            g.enqueue(IndexOp::Upsert(record(i, i + 100, 0)), t(1)).unwrap();
+        }
+        assert_eq!(g.pending_ops(), 10);
+        assert_eq!(g.projected_len(), 10, "re-upserts must not inflate scale");
+        // Net adds and removes count once each.
+        g.enqueue(IndexOp::Upsert(record(50, 1, 0)), t(1)).unwrap();
+        g.enqueue(IndexOp::Remove(FileId::new(3)), t(1)).unwrap();
+        assert_eq!(g.projected_len(), 10, "one add, one remove");
+        // Several ops on one file collapse to the last: remove then
+        // re-add of file 3, add-then-remove of a brand new file.
+        g.enqueue(IndexOp::Upsert(record(3, 9, 0)), t(1)).unwrap();
+        g.enqueue(IndexOp::Upsert(record(60, 1, 0)), t(1)).unwrap();
+        g.enqueue(IndexOp::Remove(FileId::new(60)), t(1)).unwrap();
+        assert_eq!(g.projected_len(), 11, "files 0..10 plus file 50");
+        g.commit(t(2)).unwrap();
+        assert_eq!(g.len(), 11, "commit agrees with the projection");
+        assert_eq!(g.projected_len(), 11);
     }
 
     #[test]

@@ -75,11 +75,16 @@ impl Wal {
     }
 
     /// Opens (or creates) a file-backed WAL, counting any existing valid
-    /// frames.
+    /// frames. Any torn or corrupt tail beyond the valid prefix — the
+    /// residue of a crash mid-append — is **truncated away**: leaving it
+    /// in place would park every later append *behind* the bad frame,
+    /// where replay (which stops at the first bad frame) can never reach
+    /// it, silently losing acknowledged ops on the next recovery.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the file cannot be opened.
+    /// Returns [`Error::Io`] if the file cannot be opened, read or
+    /// truncated.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
@@ -87,6 +92,12 @@ impl Wal {
         let frames = wal.replay()?;
         wal.entries = frames.len() as u64;
         wal.bytes = frames.iter().map(|f| f.len() as u64 + 8).sum();
+        if let Backend::File { file, .. } = &mut wal.backend {
+            if file.metadata()?.len() > wal.bytes {
+                file.set_len(wal.bytes)?;
+                file.seek(SeekFrom::End(0))?;
+            }
+        }
         Ok(wal)
     }
 
@@ -295,6 +306,69 @@ mod tests {
         {
             let mut wal = Wal::open(&path).unwrap();
             assert!(wal.replay().unwrap().is_empty());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn appends_after_a_torn_tail_survive_reopen() {
+        let dir = std::env::temp_dir().join(format!("propeller-wal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-tail.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"acked-1").unwrap();
+            wal.append(b"acked-2").unwrap();
+            // Crash mid-append: a header promising 64 bytes, 3 present.
+            let mut torn = Vec::new();
+            torn.extend_from_slice(&64u32.to_le_bytes());
+            torn.extend_from_slice(&0u32.to_le_bytes());
+            torn.extend_from_slice(b"abc");
+            wal.append_raw_for_test(&torn).unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            // Recovery: the valid prefix survives, the torn tail is
+            // truncated, and new appends land where replay can reach them.
+            let mut wal = Wal::open(&path).unwrap();
+            assert_eq!(wal.entry_count(), 2);
+            wal.append(b"acked-3").unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            // The second recovery must see ALL acknowledged frames. The
+            // old `Wal::open` left the torn bytes in place, so "acked-3"
+            // sat unreachable behind them and was silently lost here.
+            let mut wal = Wal::open(&path).unwrap();
+            assert_eq!(
+                wal.replay().unwrap(),
+                vec![b"acked-1".to_vec(), b"acked-2".to_vec(), b"acked-3".to_vec()]
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_crc_tail_is_truncated_on_reopen() {
+        let dir = std::env::temp_dir().join(format!("propeller-wal-crc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt-tail.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"good").unwrap();
+            let mut bad = Vec::new();
+            bad.extend_from_slice(&5u32.to_le_bytes());
+            bad.extend_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+            bad.extend_from_slice(b"wrong");
+            wal.append_raw_for_test(&bad).unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"after").unwrap();
+            assert_eq!(wal.replay().unwrap(), vec![b"good".to_vec(), b"after".to_vec()]);
         }
         let _ = std::fs::remove_file(&path);
     }

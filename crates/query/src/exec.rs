@@ -10,16 +10,30 @@
 //! B+-tree-covered attribute — candidates arrive in final result order
 //! and execution **terminates after `limit` admitted hits**, witnessed by
 //! [`SearchStats::early_terminated`] and [`SearchStats::candidates_skipped`].
+//!
+//! A multi-ACG Index Node goes one step further with
+//! [`execute_node_request`], the **node-global k cutoff**: every ACG whose
+//! plan is an ordered scan contributes a resumable lazy
+//! [`OrderedHitStream`], all streams are pulled through one k-way merge,
+//! and the node stops after `k` total admitted hits *across* its ACGs
+//! instead of `k` per ACG ([`SearchStats::merge_skipped`]). ACGs on
+//! non-ordered plans still run their bounded top-k scans — in parallel, on
+//! the node's worker pool — but share one [`GlobalCutoff`] so each can
+//! prune candidates that already fell out of the merged node-wide top-k
+//! ([`SearchStats::bound_pruned`]).
 
 use std::collections::HashSet;
 use std::ops::Bound;
+use std::sync::Arc;
 
 use propeller_index::{AcgIndexGroup, FileRecord};
-use propeller_types::{AttrName, FileId, Result, Timestamp, Value};
+use propeller_types::{AcgId, AttrName, FileId, Result, Timestamp, Value};
 
 use crate::ast::{CompareOp, Predicate};
-use crate::plan::{plan, plan_request, AccessPath};
-use crate::request::{AccessPathKind, Hit, SearchRequest, SearchStats, TopK};
+use crate::plan::{plan, plan_request, AccessPath, Plan};
+use crate::request::{
+    merge_hit_sources, AccessPathKind, GlobalCutoff, Hit, SearchRequest, SearchStats, TopK,
+};
 
 /// Evaluates the predicate against one record (exact semantics; the access
 /// path only pre-filters). Multi-valued attributes (keywords, repeated
@@ -101,39 +115,81 @@ pub fn execute(group: &AcgIndexGroup, pred: &Predicate) -> Vec<FileId> {
 /// serving a search).
 pub fn execute_request(group: &AcgIndexGroup, request: &SearchRequest) -> (Vec<Hit>, SearchStats) {
     let plan = plan_request(group, request);
+    if let AccessPath::OrderedScan { attr, lo, hi, descending } = plan.path {
+        let (lo, hi) = cursor_scan_bounds(request, lo, hi, descending);
+        if let Some(iter) = group.candidates_ordered(&attr, lo, hi, descending) {
+            let mut stream = OrderedHitStream::new(iter, group, request);
+            let k = request.limit.unwrap_or(usize::MAX);
+            let mut hits: Vec<Hit> = Vec::with_capacity(k.min(1024));
+            while hits.len() < k {
+                match stream.next() {
+                    Some(hit) => hits.push(hit),
+                    None => break,
+                }
+            }
+            // The stream is in final result order: the k-th admitted hit
+            // ends the query — everything behind it can only rank lower.
+            let early = !stream.exhausted();
+            let stats = SearchStats {
+                acgs_consulted: 1,
+                candidates_scanned: stream.scanned(),
+                retained_peak: hits.len(),
+                access_paths: vec![(group.id(), AccessPathKind::OrderedScan)],
+                // Records in the group the cutoff never had to examine.
+                candidates_skipped: if early {
+                    group.len().saturating_sub(stream.scanned())
+                } else {
+                    0
+                },
+                early_terminated: usize::from(early),
+                ..SearchStats::default()
+            };
+            return (hits, stats);
+        }
+        // Unreachable via the planner (it checks for the tree), but
+        // degrade to a heap-based full scan rather than panic.
+        return execute_classic(group, request, Plan { path: AccessPath::FullScan }, None);
+    }
+    execute_classic(group, request, plan, None)
+}
+
+/// Executes one group's share of a search along a classic (non-ordered)
+/// access path: streams the candidates through the exact predicate, the
+/// cursor and a bounded top-k accumulator. When `cutoff` is set (the
+/// node-global retention bound of [`execute_node_request`]), matching
+/// candidates that provably fell out of the merged node-wide top-k are
+/// dropped before hit materialization.
+pub fn execute_classic(
+    group: &AcgIndexGroup,
+    request: &SearchRequest,
+    plan: Plan,
+    cutoff: Option<&GlobalCutoff>,
+) -> (Vec<Hit>, SearchStats) {
     let kind = AccessPathKind::from(&plan.path);
     let mut scanned = 0usize;
-    let mut early_terminated = false;
 
     let (hits, retained_peak) = match plan.path {
-        AccessPath::OrderedScan { attr, lo, hi, descending } => {
-            let (lo, hi) = cursor_scan_bounds(request, lo, hi, descending);
-            match group.candidates_ordered(&attr, lo, hi, descending) {
-                Some(iter) => {
-                    ordered_scan(iter, group, request, &mut scanned, &mut early_terminated)
-                }
-                // Unreachable via the planner (it checks for the tree),
-                // but degrade to a heap-based full scan rather than panic.
-                None => stream_topk(group.records(), group, request, &mut scanned, false),
-            }
+        // An ordered plan reaching the classic executor means the covering
+        // tree vanished between planning and execution; scan everything.
+        AccessPath::FullScan | AccessPath::OrderedScan { .. } => {
+            stream_topk(group.records(), group, request, &mut scanned, false, cutoff)
         }
-        AccessPath::FullScan => stream_topk(group.records(), group, request, &mut scanned, false),
         AccessPath::HashEq { attr, value } => match group.candidates_eq(&attr, &value) {
-            Some(iter) => stream_topk(iter, group, request, &mut scanned, false),
-            None => stream_topk(group.records(), group, request, &mut scanned, false),
+            Some(iter) => stream_topk(iter, group, request, &mut scanned, false, cutoff),
+            None => stream_topk(group.records(), group, request, &mut scanned, false, cutoff),
         },
         AccessPath::BTreeRange { attr, lo, hi } => {
             // A range over a multi-valued attribute may yield a record
             // once per in-range value; builtin attrs are single-valued.
             let dedup = !attr.is_inode_attr();
             match group.candidates_range(&attr, lo, hi) {
-                Some(iter) => stream_topk(iter, group, request, &mut scanned, dedup),
-                None => stream_topk(group.records(), group, request, &mut scanned, false),
+                Some(iter) => stream_topk(iter, group, request, &mut scanned, dedup, cutoff),
+                None => stream_topk(group.records(), group, request, &mut scanned, false, cutoff),
             }
         }
         AccessPath::KdBox { attrs, lo, hi } => match group.candidates_kd(&attrs, &lo, &hi) {
-            Some(iter) => stream_topk(iter, group, request, &mut scanned, false),
-            None => stream_topk(group.records(), group, request, &mut scanned, false),
+            Some(iter) => stream_topk(iter, group, request, &mut scanned, false, cutoff),
+            None => stream_topk(group.records(), group, request, &mut scanned, false, cutoff),
         },
     };
 
@@ -142,23 +198,22 @@ pub fn execute_request(group: &AcgIndexGroup, request: &SearchRequest) -> (Vec<H
         candidates_scanned: scanned,
         retained_peak,
         access_paths: vec![(group.id(), kind)],
-        // Records in the group the cutoff never had to examine.
-        candidates_skipped: if early_terminated { group.len().saturating_sub(scanned) } else { 0 },
-        early_terminated: usize::from(early_terminated),
         ..SearchStats::default()
     };
     (hits, stats)
 }
 
-/// Streams candidates through the predicate, cursor and bounded top-k
-/// accumulator. `dedup` guards the one access path (range over a
-/// multi-valued attribute) that can yield a record more than once.
+/// Streams candidates through the predicate, cursor, the optional
+/// node-global bound and the bounded top-k accumulator. `dedup` guards the
+/// one access path (range over a multi-valued attribute) that can yield a
+/// record more than once.
 fn stream_topk<'a, I>(
     records: I,
     group: &AcgIndexGroup,
     request: &SearchRequest,
     scanned: &mut usize,
     dedup: bool,
+    cutoff: Option<&GlobalCutoff>,
 ) -> (Vec<Hit>, usize)
 where
     I: Iterator<Item = &'a FileRecord>,
@@ -179,6 +234,11 @@ where
                 continue;
             }
         }
+        if let Some(cutoff) = cutoff {
+            if !cutoff.try_admit(key.as_ref(), record.file) {
+                continue;
+            }
+        }
         topk.offer(key.as_ref(), record.file, || Hit {
             file: record.file,
             acg: Some(group.id()),
@@ -190,51 +250,227 @@ where
     (topk.into_sorted(), peak)
 }
 
-/// Consumes an ordered candidate stream (already in final result order):
-/// admitted hits append directly — no heap — and the scan stops at the
-/// limit. Sets `early_terminated` when it cut the stream off.
-fn ordered_scan<'a, I>(
-    records: I,
-    group: &AcgIndexGroup,
-    request: &SearchRequest,
-    scanned: &mut usize,
-    early_terminated: &mut bool,
-) -> (Vec<Hit>, usize)
-where
-    I: Iterator<Item = &'a FileRecord>,
-{
-    let k = request.limit.unwrap_or(usize::MAX);
-    let mut hits: Vec<Hit> = Vec::with_capacity(k.min(1024));
-    if k == 0 {
-        *early_terminated = true;
-        return (hits, 0);
-    }
-    for record in records {
-        *scanned += 1;
-        if !matches_record(record, &request.predicate) {
-            continue;
+/// A resumable, lazily-pulled per-ACG ordered hit stream: wraps the
+/// group's ordered candidate walk (a B+-tree traversal in result order)
+/// and yields **hits** — each `next()` advances the walk just far enough
+/// for the residual predicate and cursor to admit one record, then
+/// materializes exactly that record. The node-global k-way merge
+/// ([`execute_node_request`]) holds one of these per ordered-planned ACG
+/// and pulls them on demand, so a stream whose candidates rank poorly is
+/// barely advanced at all.
+pub struct OrderedHitStream<'a> {
+    records: Box<dyn Iterator<Item = &'a FileRecord> + 'a>,
+    group_id: AcgId,
+    group_len: usize,
+    request: &'a SearchRequest,
+    scanned: usize,
+    exhausted: bool,
+}
+
+impl<'a> OrderedHitStream<'a> {
+    fn new(
+        records: Box<dyn Iterator<Item = &'a FileRecord> + 'a>,
+        group: &'a AcgIndexGroup,
+        request: &'a SearchRequest,
+    ) -> Self {
+        OrderedHitStream {
+            records,
+            group_id: group.id(),
+            group_len: group.len(),
+            request,
+            scanned: 0,
+            exhausted: false,
         }
-        let key = request.sort.key_of(record);
-        if let Some(cursor) = &request.cursor {
-            if !cursor.admits(&request.sort, key.as_ref(), record.file) {
+    }
+
+    /// Candidates pulled off the underlying walk so far.
+    pub fn scanned(&self) -> usize {
+        self.scanned
+    }
+
+    /// Whether the underlying walk ran dry (no cutoff saved anything).
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// The ACG this stream reads from.
+    pub fn group_id(&self) -> AcgId {
+        self.group_id
+    }
+
+    /// Total records in the group (for skip accounting).
+    pub fn group_len(&self) -> usize {
+        self.group_len
+    }
+}
+
+impl Iterator for OrderedHitStream<'_> {
+    type Item = Hit;
+
+    fn next(&mut self) -> Option<Hit> {
+        for record in self.records.by_ref() {
+            self.scanned += 1;
+            if !matches_record(record, &self.request.predicate) {
                 continue;
             }
+            let key = self.request.sort.key_of(record);
+            if let Some(cursor) = &self.request.cursor {
+                if !cursor.admits(&self.request.sort, key.as_ref(), record.file) {
+                    continue;
+                }
+            }
+            return Some(Hit {
+                file: record.file,
+                acg: Some(self.group_id),
+                attrs: self.request.projection.project(record),
+                sort_key: key,
+            });
         }
-        hits.push(Hit {
-            file: record.file,
-            acg: Some(group.id()),
-            attrs: request.projection.project(record),
-            sort_key: key,
-        });
-        if hits.len() >= k {
-            // The stream is in final result order: the k-th admitted hit
-            // ends the query — everything behind it can only rank lower.
-            *early_terminated = true;
-            break;
+        self.exhausted = true;
+        None
+    }
+}
+
+/// One group's non-ordered share of a node-level search: an index into the
+/// `groups` slice handed to [`execute_node_request`] plus the classic plan
+/// to execute there (see [`execute_classic`]).
+pub struct ClassicTask {
+    /// Index of the target group in the `groups` slice.
+    pub group: usize,
+    /// The classic access-path plan chosen for that group.
+    pub plan: Plan,
+}
+
+/// Executes one search against every (already committed) group of an
+/// Index Node under a **node-global k cutoff**.
+///
+/// Groups whose plan is an [`AccessPath::OrderedScan`] contribute a lazy
+/// [`OrderedHitStream`] each; all streams — plus the sorted result lists
+/// of the remaining (classic-planned) groups — are pulled through one
+/// k-way merge that stops after `limit` total admitted hits across the
+/// whole node, instead of computing `limit` hits per ACG first. The
+/// records the merge never pulled are witnessed by
+/// [`SearchStats::merge_skipped`].
+///
+/// `run_classic` executes the non-ordered tasks — the Index Node runs
+/// them on its persistent worker pool; [`execute_node_request_sequential`]
+/// runs them inline — and must return one `(hits, stats)` pair per task,
+/// in task order. It receives the shared [`GlobalCutoff`] (when the
+/// request is limited) so every classic execution can prune against the
+/// merged worst-retained key; pruning affects only how much work the ACGs
+/// do, never the returned hits, so pooled execution stays byte-identical
+/// to sequential.
+pub fn execute_node_request<'a, F>(
+    groups: &[&'a AcgIndexGroup],
+    request: &'a SearchRequest,
+    run_classic: F,
+) -> (Vec<Hit>, SearchStats)
+where
+    F: FnOnce(Vec<ClassicTask>, Option<&Arc<GlobalCutoff>>) -> Vec<(Vec<Hit>, SearchStats)>,
+{
+    /// Where each group's result lands: an index into the classic results
+    /// or into the ordered streams.
+    enum Slot {
+        Classic(usize),
+        Ordered(usize),
+    }
+
+    let mut slots: Vec<Slot> = Vec::with_capacity(groups.len());
+    let mut tasks: Vec<ClassicTask> = Vec::new();
+    let mut streams: Vec<OrderedHitStream<'a>> = Vec::new();
+    for (i, group) in groups.iter().enumerate() {
+        let plan = plan_request(*group, request);
+        if let AccessPath::OrderedScan { attr, lo, hi, descending } = plan.path {
+            let (lo, hi) = cursor_scan_bounds(request, lo, hi, descending);
+            if let Some(iter) = group.candidates_ordered(&attr, lo, hi, descending) {
+                slots.push(Slot::Ordered(streams.len()));
+                streams.push(OrderedHitStream::new(iter, group, request));
+            } else {
+                // Unreachable via the planner; degrade to a full scan.
+                slots.push(Slot::Classic(tasks.len()));
+                tasks.push(ClassicTask { group: i, plan: Plan { path: AccessPath::FullScan } });
+            }
+        } else {
+            slots.push(Slot::Classic(tasks.len()));
+            tasks.push(ClassicTask { group: i, plan });
         }
     }
-    let peak = hits.len();
-    (hits, peak)
+
+    let cutoff = match request.limit {
+        Some(k) if !tasks.is_empty() => Some(Arc::new(GlobalCutoff::new(request.sort.clone(), k))),
+        _ => None,
+    };
+    let task_count = tasks.len();
+    let classic = run_classic(tasks, cutoff.as_ref());
+    assert_eq!(classic.len(), task_count, "one result per classic task");
+    let (classic_hits, mut classic_stats): (Vec<Vec<Hit>>, Vec<SearchStats>) =
+        classic.into_iter().unzip();
+
+    // The merge's sources: classic sorted lists first (indices 0..tasks),
+    // then the lazy ordered streams (indices tasks..).
+    enum NodeSource<'a> {
+        List(std::vec::IntoIter<Hit>),
+        Stream(OrderedHitStream<'a>),
+    }
+    impl Iterator for NodeSource<'_> {
+        type Item = Hit;
+        fn next(&mut self) -> Option<Hit> {
+            match self {
+                NodeSource::List(iter) => iter.next(),
+                NodeSource::Stream(stream) => stream.next(),
+            }
+        }
+    }
+    let mut sources: Vec<NodeSource<'a>> = classic_hits
+        .into_iter()
+        .map(|hits| NodeSource::List(hits.into_iter()))
+        .chain(streams.into_iter().map(NodeSource::Stream))
+        .collect();
+    let hits = merge_hit_sources(&mut sources, &request.sort, request.limit);
+
+    // Assemble merged stats in group order.
+    let mut stats = SearchStats::default();
+    for slot in &slots {
+        match *slot {
+            Slot::Classic(j) => stats.absorb(std::mem::take(&mut classic_stats[j])),
+            Slot::Ordered(j) => {
+                let NodeSource::Stream(stream) = &sources[task_count + j] else {
+                    unreachable!("stream sources follow the classic lists")
+                };
+                stats.acgs_consulted += 1;
+                stats.candidates_scanned += stream.scanned();
+                stats.access_paths.push((stream.group_id(), AccessPathKind::OrderedScan));
+                if !stream.exhausted() {
+                    let skipped = stream.group_len().saturating_sub(stream.scanned());
+                    stats.candidates_skipped += skipped;
+                    stats.merge_skipped += skipped;
+                    stats.early_terminated += 1;
+                }
+            }
+        }
+    }
+    // The node retains at most the merge output beyond the per-ACG peaks.
+    stats.retained_peak = stats.retained_peak.max(hits.len());
+    if let Some(cutoff) = &cutoff {
+        stats.bound_pruned = cutoff.pruned();
+    }
+    (hits, stats)
+}
+
+/// [`execute_node_request`] with the classic tasks run inline on the
+/// calling thread — the sequential reference the pooled path must match
+/// byte-for-byte, and the single-threaded entry point for callers without
+/// a worker pool.
+pub fn execute_node_request_sequential(
+    groups: &[&AcgIndexGroup],
+    request: &SearchRequest,
+) -> (Vec<Hit>, SearchStats) {
+    execute_node_request(groups, request, |tasks, cutoff| {
+        tasks
+            .into_iter()
+            .map(|t| execute_classic(groups[t.group], request, t.plan, cutoff.map(|c| &**c)))
+            .collect()
+    })
 }
 
 /// An ordered scan resuming from a cursor never needs entries before the
@@ -658,6 +894,178 @@ mod tests {
                 assert_eq!(hits, ref_hits, "query {text:?} limit {limit:?}");
             }
         }
+    }
+
+    #[test]
+    fn node_global_cutoff_matches_per_acg_reference_with_fewer_scans() {
+        use crate::request::{merge_sorted_hits, SearchRequest, SortKey};
+        // 4 ACGs x 250 files, sorted top-10: the node-global merge must
+        // return exactly what per-ACG top-k + merge returns, while pulling
+        // only ~k + #groups candidates instead of k per ACG.
+        let groups: Vec<AcgIndexGroup> = (0..4u64)
+            .map(|g| {
+                let mut group = AcgIndexGroup::new(AcgId::new(g + 1), GroupConfig::default());
+                for i in 0..250u64 {
+                    let id = g * 1000 + i;
+                    let rec = FileRecord::new(
+                        FileId::new(id),
+                        InodeAttrs::builder().size(((id * 7919) % 4096) << 10).build(),
+                    );
+                    group.enqueue(IndexOp::Upsert(rec), now()).unwrap();
+                }
+                group.commit(now()).unwrap();
+                group
+            })
+            .collect();
+        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let q = Query::parse("size>0", now()).unwrap();
+        let req = SearchRequest::new(q.predicate)
+            .with_limit(10)
+            .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
+
+        let per_acg: Vec<Vec<Hit>> = refs.iter().map(|g| execute_request(g, &req).0).collect();
+        let reference = merge_sorted_hits(per_acg, &req.sort, req.limit);
+
+        let (hits, stats) = execute_node_request_sequential(&refs, &req);
+        assert_eq!(hits, reference, "node-global merge must be byte-identical");
+        assert_eq!(hits.len(), 10);
+        assert_eq!(stats.acgs_consulted, 4);
+        assert!(
+            stats.candidates_scanned <= 10 + refs.len(),
+            "global cutoff must scan ~k total, scanned {}",
+            stats.candidates_scanned
+        );
+        assert!(stats.merge_skipped > 0, "merge-level skips must be witnessed: {stats:?}");
+        assert_eq!(
+            stats.candidates_scanned + stats.candidates_skipped,
+            4 * 250,
+            "scanned + skipped covers every record"
+        );
+        assert!(stats.access_paths.iter().all(|(_, k)| *k == AccessPathKind::OrderedScan));
+    }
+
+    #[test]
+    fn node_request_mixes_ordered_streams_and_bounded_classic_scans() {
+        use crate::request::{merge_sorted_hits, SearchRequest, SortKey};
+        // Two ordered-planned groups (default indices) plus one group with
+        // no indices at all (classic full scan under the shared bound).
+        let seed = |mut group: AcgIndexGroup, base: u64| {
+            for i in 0..200u64 {
+                let id = base + i;
+                let rec = FileRecord::new(
+                    FileId::new(id),
+                    InodeAttrs::builder().size(((id * 131) % 1000) << 10).build(),
+                );
+                group.enqueue(IndexOp::Upsert(rec), now()).unwrap();
+            }
+            group.commit(now()).unwrap();
+            group
+        };
+        let g1 = seed(AcgIndexGroup::new(AcgId::new(1), GroupConfig::default()), 0);
+        let g2 = seed(AcgIndexGroup::new(AcgId::new(2), GroupConfig::default()), 1000);
+        let g3 = seed(
+            AcgIndexGroup::new(
+                AcgId::new(3),
+                GroupConfig { default_indices: false, ..GroupConfig::default() },
+            ),
+            2000,
+        );
+        let refs: Vec<&AcgIndexGroup> = vec![&g1, &g2, &g3];
+        let q = Query::parse("size>0", now()).unwrap();
+        let req = SearchRequest::new(q.predicate)
+            .with_limit(8)
+            .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
+
+        let per_acg: Vec<Vec<Hit>> = refs.iter().map(|g| execute_request(g, &req).0).collect();
+        let reference = merge_sorted_hits(per_acg, &req.sort, req.limit);
+        let (hits, stats) = execute_node_request_sequential(&refs, &req);
+        assert_eq!(hits, reference);
+        // The indexless group full-scans (all 200 records); the bound
+        // prunes most of its matching candidates before materialization.
+        let kinds: Vec<AccessPathKind> = stats.access_paths.iter().map(|(_, k)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AccessPathKind::OrderedScan,
+                AccessPathKind::OrderedScan,
+                AccessPathKind::FullScan
+            ]
+        );
+        assert!(stats.bound_pruned > 0, "shared bound must prune: {stats:?}");
+        assert!(stats.merge_skipped > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn node_request_with_duplicate_files_across_groups_keeps_distinct_topk() {
+        use crate::request::{merge_sorted_hits, SearchRequest, SortKey};
+        // A file can legally surface from two ACGs of one node (stale
+        // route degraded to pre-tombstone behaviour): the global bound
+        // must count distinct files, or the duplicate eats a slot and a
+        // rightful hit is pruned. Indexless groups force the classic
+        // (bound-pruned) path.
+        let indexless = |acg: u64| {
+            AcgIndexGroup::new(
+                AcgId::new(acg),
+                GroupConfig { default_indices: false, ..GroupConfig::default() },
+            )
+        };
+        let mut g1 = indexless(1);
+        g1.enqueue(
+            IndexOp::Upsert(FileRecord::new(
+                FileId::new(7),
+                InodeAttrs::builder().size(100).build(),
+            )),
+            now(),
+        )
+        .unwrap();
+        g1.commit(now()).unwrap();
+        let mut g2 = indexless(2);
+        for (file, size) in [(7u64, 100u64), (8, 50)] {
+            g2.enqueue(
+                IndexOp::Upsert(FileRecord::new(
+                    FileId::new(file),
+                    InodeAttrs::builder().size(size).build(),
+                )),
+                now(),
+            )
+            .unwrap();
+        }
+        g2.commit(now()).unwrap();
+        let refs: Vec<&AcgIndexGroup> = vec![&g1, &g2];
+        let q = Query::parse("size>0", now()).unwrap();
+        let req = SearchRequest::new(q.predicate)
+            .with_limit(2)
+            .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
+        let per_acg: Vec<Vec<Hit>> = refs.iter().map(|g| execute_request(g, &req).0).collect();
+        let reference = merge_sorted_hits(per_acg, &req.sort, req.limit);
+        let (hits, _) = execute_node_request_sequential(&refs, &req);
+        let files: Vec<u64> = hits.iter().map(|h| h.file.raw()).collect();
+        assert_eq!(files, vec![7, 8], "both distinct files make the top-2");
+        assert_eq!(
+            hits.iter().map(|h| h.file).collect::<Vec<_>>(),
+            reference.iter().map(|h| h.file).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn node_request_unlimited_and_zero_limit_edges() {
+        use crate::request::{SearchRequest, SortKey};
+        let g = seeded_group();
+        let refs = vec![&g];
+        let q = Query::parse("size>16m", now()).unwrap();
+        // Unlimited: no cutoff, plain merged full result.
+        let req = SearchRequest::new(q.predicate.clone())
+            .sorted_by(SortKey::Ascending(propeller_types::AttrName::Size));
+        let (hits, stats) = execute_node_request_sequential(&refs, &req);
+        let (ref_hits, _) = execute_request(&g, &req);
+        assert_eq!(hits, ref_hits);
+        assert_eq!(stats.bound_pruned, 0);
+        assert_eq!(stats.merge_skipped, 0);
+        // Zero limit: nothing is pulled, nothing returned.
+        let req = req.with_limit(0);
+        let (hits, stats) = execute_node_request_sequential(&refs, &req);
+        assert!(hits.is_empty());
+        assert_eq!(stats.candidates_scanned, 0, "limit 0 must not prime streams");
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!   top-k ([`execute_request`] bounds per-group materialization to
 //!   O(limit)), sorting, projection, cursor pagination and fan-out
 //!   failure policy. This is the canonical entry shape; the bare
-//!   `Predicate` functions above are thin compatibility wrappers.
+//!   `Predicate` functions above are thin compatibility wrappers,
+//! * [`execute_node_request`] — multi-ACG execution with a **node-global
+//!   k cutoff**: per-ACG ordered candidate streams pulled through one
+//!   k-way merge (stop at `k` total admitted hits across all ACGs), and a
+//!   shared [`GlobalCutoff`] pruning non-ordered scans against the merged
+//!   worst-retained key.
 //!
 //! # Examples
 //!
@@ -44,11 +49,14 @@ mod request;
 
 pub use ast::{CompareOp, Predicate, Query};
 pub use exec::{
-    execute, execute_request, execute_request_reference, matches_record, search, search_request,
+    execute, execute_classic, execute_node_request, execute_node_request_sequential,
+    execute_request, execute_request_reference, matches_record, search, search_request,
+    ClassicTask, OrderedHitStream,
 };
 pub use parser::parse_size;
 pub use plan::{plan, plan_request, AccessPath, IndexCatalog, Plan};
 pub use request::{
-    merge_sorted_hits, next_cursor, run_local_search, AccessPathKind, Cursor, FanOutPolicy, Hit,
-    Projection, SearchRequest, SearchResponse, SearchStats, SortKey, TopK,
+    merge_hit_sources, merge_sorted_hits, next_cursor, run_local_search, AccessPathKind, Cursor,
+    FanOutPolicy, GlobalCutoff, Hit, Projection, SearchRequest, SearchResponse, SearchStats,
+    SortKey, TopK,
 };

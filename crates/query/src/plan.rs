@@ -218,7 +218,11 @@ fn intervals(pred: &Predicate) -> HashMap<AttrName, Interval> {
 /// [`plan`] — can exploit the request's sort and limit: a top-k request
 /// sorted by a B+-tree-covered builtin attribute walks that tree in result
 /// order ([`AccessPath::OrderedScan`]) and terminates early, instead of
-/// materializing the whole candidate superset and heap-selecting k.
+/// materializing the whole candidate superset and heap-selecting k. On a
+/// multi-ACG Index Node every ordered-planned group becomes a resumable
+/// lazy stream pulled through one node-global k-way merge (see
+/// `execute_node_request`), so the early termination happens at `k` total
+/// admitted hits across the node, not `k` per group.
 ///
 /// The ordered scan only wins while the predicate is not very selective:
 /// it must walk the sort order until k *residual* matches accumulate,

@@ -21,7 +21,7 @@
 //! [`Cursor`] when more results may exist.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use propeller_index::FileRecord;
 use propeller_types::{AcgId, AttrName, Duration, Error, FileId, NodeId, Result, Timestamp, Value};
@@ -374,8 +374,24 @@ pub struct SearchStats {
     /// the witness that the cutoff saved work.
     pub candidates_skipped: usize,
     /// Number of per-ACG executions that stopped before exhausting their
-    /// candidate stream (ordered-scan early termination).
+    /// candidate stream (ordered-scan early termination, per-ACG or at the
+    /// node-global merge).
     pub early_terminated: usize,
+    /// The subset of [`SearchStats::candidates_skipped`] recorded at a
+    /// *node-global* merge: records in ordered candidate streams the k-way
+    /// merge across ACGs never pulled because `k` hits were already
+    /// admitted node-wide (the cutoff fired at the merge rather than
+    /// inside a per-ACG execution). On a single-ACG node this coincides
+    /// with plain per-ACG early termination; the cross-ACG saving proper
+    /// is visible in `candidates_scanned` staying near `k` total instead
+    /// of `k × ACGs` (the `topk_search` bench reports both sides).
+    pub merge_skipped: usize,
+    /// Matching candidates pruned by the shared node-global retention
+    /// bound ([`GlobalCutoff`]) before hit materialization on non-ordered
+    /// plans. Under parallel execution the exact count depends on worker
+    /// interleaving (the bound tightens as ACGs race), so it is a
+    /// lower-bound witness, not a deterministic one.
+    pub bound_pruned: usize,
     /// Execution time, measured by the serving Index Node's clock; merged
     /// stats carry the slowest node (fan-outs run in parallel, so the max
     /// is what the caller waited for).
@@ -391,6 +407,8 @@ impl SearchStats {
         self.access_paths.extend(other.access_paths);
         self.candidates_skipped += other.candidates_skipped;
         self.early_terminated += other.early_terminated;
+        self.merge_skipped += other.merge_skipped;
+        self.bound_pruned += other.bound_pruned;
         self.elapsed = self.elapsed.max(other.elapsed);
     }
 }
@@ -408,9 +426,12 @@ pub struct SearchResponse {
     pub unreachable: Vec<NodeId>,
     /// Execution statistics.
     pub stats: SearchStats,
-    /// Continuation token: present when the limit was reached and more
-    /// results may exist. Pass to [`SearchRequest::after`] for the next
-    /// page.
+    /// Continuation token: present when the limit was reached, more
+    /// results may exist **and the response is complete**. Pass to
+    /// [`SearchRequest::after`] for the next page. Incomplete (partial
+    /// fan-out) responses never carry a cursor: resuming after a page
+    /// that is missing unreachable nodes' hits would skip, permanently,
+    /// every missing hit that sorted before the cursor.
     pub cursor: Option<Cursor>,
 }
 
@@ -520,13 +541,203 @@ impl TopK {
     }
 }
 
+/// A node-global retention bound shared by every per-ACG execution of one
+/// search (the cross-ACG cutoff for non-ordered plans): it tracks the best
+/// `limit` **distinct files** (by `(sort key, file id)` rank) *any* ACG
+/// has offered so far, so a candidate that can no longer rank in the
+/// merged node-wide top-k is pruned before hit materialization. Pruning
+/// never changes results — a pruned candidate is provably outranked by
+/// `limit` recorded candidates, each retained by its own ACG's
+/// accumulator — it only spares the projection/allocation work and keeps
+/// per-ACG lists from all filling to `k` when the node will merge away
+/// most of them.
+///
+/// Distinct files matter: the final merge de-duplicates by file id, and a
+/// file can legally surface from two ACGs of one node (a stale route that
+/// degraded to the documented pre-tombstone behaviour leaves the old copy
+/// searchable). Counting both copies against `limit` would tighten the
+/// bound beyond the true node-wide top-k and prune a hit that belongs in
+/// the merged result, so a re-offer of an admitted file only replaces its
+/// recorded rank (when better) instead of consuming a second slot.
+///
+/// Thread-safe: per-ACG executions on a worker pool share one instance.
+/// The common case — a candidate provably outside the bound — rejects
+/// under a read lock against a published worst-rank snapshot; only actual
+/// admissions take the write lock.
+pub struct GlobalCutoff {
+    sort: SortKey,
+    limit: usize,
+    state: std::sync::RwLock<CutoffState>,
+    pruned: std::sync::atomic::AtomicUsize,
+}
+
+/// The bound's retained set: a lazy-deletion max-heap over ranks plus the
+/// live best rank per admitted file.
+#[derive(Default)]
+struct CutoffState {
+    /// Max-heap in result order: the peek is the worst *possibly-live*
+    /// pair. Entries superseded by a better re-offer of the same file
+    /// linger and are skipped on eviction (`best` is the authority).
+    heap: BinaryHeap<RankedKey>,
+    /// file → its best recorded sort key. `len() <= limit` always.
+    best: HashMap<FileId, Option<Value>>,
+}
+
+impl CutoffState {
+    /// The current live worst `(key, file)`, dropping superseded heap
+    /// entries along the way. `None` while below capacity.
+    fn live_worst(&mut self) -> Option<(Option<Value>, FileId)> {
+        while let Some(entry) = self.heap.peek() {
+            let live = self.best.get(&entry.file).is_some_and(|best| *best == entry.key);
+            if live {
+                return Some((entry.key.clone(), entry.file));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+}
+
+/// A `(sort key, file)` pair ranked for [`GlobalCutoff`] heap storage.
+struct RankedKey {
+    key: Option<Value>,
+    file: FileId,
+    sort: SortKey,
+}
+
+impl PartialEq for RankedKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for RankedKey {}
+
+impl PartialOrd for RankedKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RankedKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sort.cmp_keys(self.key.as_ref(), self.file, other.key.as_ref(), other.file)
+    }
+}
+
+impl GlobalCutoff {
+    /// A cutoff retaining the best `limit` distinct files under `sort`.
+    pub fn new(sort: SortKey, limit: usize) -> Self {
+        GlobalCutoff {
+            sort,
+            limit,
+            state: std::sync::RwLock::new(CutoffState::default()),
+            pruned: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    fn prune_one(&self) {
+        self.pruned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Offers a candidate's `(key, file)` pair. Returns `true` (recording
+    /// the pair) when it still ranks within the node-global top `limit`
+    /// distinct files; `false` when it is provably outside the merged
+    /// result and the caller may skip materializing it.
+    pub fn try_admit(&self, key: Option<&Value>, file: FileId) -> bool {
+        if self.limit == 0 {
+            self.prune_one();
+            return false;
+        }
+        // Fast path (shared lock): reject candidates provably outside the
+        // bound without serializing the worker pool. The worst rank only
+        // ever tightens, so a reject decided on a stale snapshot is still
+        // safe — and an admitted file's re-offer must fall through to the
+        // dedup logic below.
+        {
+            let state = self.state.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if state.best.len() >= self.limit && !state.best.contains_key(&file) {
+                // At capacity, the heap's peek is the worst possibly-live
+                // pair: real-worst-or-better, so ranking not-better than
+                // it proves the candidate is outside the bound.
+                if let Some(worst) = state.heap.peek() {
+                    let rank = self.sort.cmp_keys(key, file, worst.key.as_ref(), worst.file);
+                    if rank != Ordering::Less {
+                        drop(state);
+                        self.prune_one();
+                        return false;
+                    }
+                }
+            }
+        }
+        let mut state = self.state.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(best) = state.best.get(&file) {
+            // The file is already retained: the merge de-duplicates by
+            // file keeping the better-ranked copy, so only a strictly
+            // better re-offer matters — record it without consuming a
+            // second slot. A not-better copy can never reach the output.
+            let rank = self.sort.cmp_keys(key, file, best.as_ref(), file);
+            if rank == Ordering::Less {
+                state.best.insert(file, key.cloned());
+                state.heap.push(RankedKey { key: key.cloned(), file, sort: self.sort.clone() });
+                return true;
+            }
+            drop(state);
+            self.prune_one();
+            return false;
+        }
+        if state.best.len() >= self.limit {
+            match state.live_worst() {
+                Some((worst_key, worst_file)) => {
+                    let rank = self.sort.cmp_keys(key, file, worst_key.as_ref(), worst_file);
+                    if rank != Ordering::Less {
+                        drop(state);
+                        self.prune_one();
+                        return false;
+                    }
+                    state.heap.pop();
+                    state.best.remove(&worst_file);
+                }
+                None => unreachable!("best is non-empty at capacity, so a live worst exists"),
+            }
+        }
+        state.best.insert(file, key.cloned());
+        state.heap.push(RankedKey { key: key.cloned(), file, sort: self.sort.clone() });
+        true
+    }
+
+    /// Number of candidates pruned so far (the `bound_pruned` witness).
+    pub fn pruned(&self) -> usize {
+        self.pruned.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// K-way merges per-source sorted hit lists into one sorted, de-duplicated
 /// (by file id), limit-truncated list — the aggregation step of the search
 /// fan-out.
 pub fn merge_sorted_hits(lists: Vec<Vec<Hit>>, sort: &SortKey, limit: Option<usize>) -> Vec<Hit> {
+    let mut sources: Vec<std::vec::IntoIter<Hit>> = lists.into_iter().map(Vec::into_iter).collect();
+    merge_hit_sources(&mut sources, sort, limit)
+}
+
+/// The generalized k-way merge beneath [`merge_sorted_hits`]: sources are
+/// arbitrary iterators yielding hits in request sort order, pulled
+/// **lazily** — once `limit` distinct hits are admitted, no source is
+/// advanced further. With lazily-evaluated sources (the node-global merge
+/// over per-ACG ordered candidate streams) that early exit is what bounds
+/// a multi-ACG node's work at `k` total admitted hits instead of `k` per
+/// ACG. Sources are taken by `&mut` so the caller can inspect how far each
+/// was advanced afterwards.
+pub fn merge_hit_sources<I>(sources: &mut [I], sort: &SortKey, limit: Option<usize>) -> Vec<Hit>
+where
+    I: Iterator<Item = Hit>,
+{
+    if limit == Some(0) {
+        return Vec::new();
+    }
     struct Head {
         hit: Hit,
-        list: usize,
+        source: usize,
         sort: SortKey,
     }
     impl PartialEq for Head {
@@ -547,24 +758,23 @@ pub fn merge_sorted_hits(lists: Vec<Vec<Hit>>, sort: &SortKey, limit: Option<usi
         }
     }
 
-    let mut lists: Vec<std::vec::IntoIter<Hit>> = lists.into_iter().map(Vec::into_iter).collect();
-    let mut heap = BinaryHeap::with_capacity(lists.len());
-    for (i, iter) in lists.iter_mut().enumerate() {
+    let mut heap = BinaryHeap::with_capacity(sources.len());
+    for (i, iter) in sources.iter_mut().enumerate() {
         if let Some(hit) = iter.next() {
-            heap.push(Head { hit, list: i, sort: sort.clone() });
+            heap.push(Head { hit, source: i, sort: sort.clone() });
         }
     }
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
-    while let Some(Head { hit, list, .. }) = heap.pop() {
-        if let Some(next) = lists[list].next() {
-            heap.push(Head { hit: next, list, sort: sort.clone() });
-        }
+    while let Some(Head { hit, source, .. }) = heap.pop() {
         if seen.insert(hit.file) {
             out.push(hit);
             if limit.is_some_and(|k| out.len() >= k) {
                 break;
             }
+        }
+        if let Some(next) = sources[source].next() {
+            heap.push(Head { hit: next, source, sort: sort.clone() });
         }
     }
     out
@@ -729,6 +939,8 @@ mod tests {
             access_paths: vec![(AcgId::new(1), AccessPathKind::FullScan)],
             candidates_skipped: 100,
             early_terminated: 1,
+            merge_skipped: 40,
+            bound_pruned: 3,
             elapsed: Duration::from_micros(5),
         };
         a.absorb(SearchStats {
@@ -738,6 +950,8 @@ mod tests {
             access_paths: vec![(AcgId::new(2), AccessPathKind::HashEq)],
             candidates_skipped: 50,
             early_terminated: 2,
+            merge_skipped: 10,
+            bound_pruned: 4,
             elapsed: Duration::from_micros(3),
         });
         assert_eq!(a.acgs_consulted, 3);
@@ -746,6 +960,80 @@ mod tests {
         assert_eq!(a.access_paths.len(), 2);
         assert_eq!(a.candidates_skipped, 150);
         assert_eq!(a.early_terminated, 3);
+        assert_eq!(a.merge_skipped, 50);
+        assert_eq!(a.bound_pruned, 7);
         assert_eq!(a.elapsed, Duration::from_micros(5), "slowest node wins");
+    }
+
+    #[test]
+    fn global_cutoff_prunes_only_provably_outranked_candidates() {
+        let cutoff = GlobalCutoff::new(SortKey::Descending(AttrName::Size), 3);
+        // First three candidates always admit.
+        assert!(cutoff.try_admit(Some(&Value::U64(10)), FileId::new(1)));
+        assert!(cutoff.try_admit(Some(&Value::U64(30)), FileId::new(2)));
+        assert!(cutoff.try_admit(Some(&Value::U64(20)), FileId::new(3)));
+        // Worse than the retained worst (10): pruned.
+        assert!(!cutoff.try_admit(Some(&Value::U64(5)), FileId::new(4)));
+        // Equal key, higher file id than the worst's tie-break: pruned.
+        assert!(!cutoff.try_admit(Some(&Value::U64(10)), FileId::new(9)));
+        // Better: admitted, evicting the old worst — 5 can never re-enter.
+        assert!(cutoff.try_admit(Some(&Value::U64(40)), FileId::new(5)));
+        assert!(!cutoff.try_admit(Some(&Value::U64(15)), FileId::new(6)));
+        assert_eq!(cutoff.pruned(), 3);
+    }
+
+    #[test]
+    fn global_cutoff_counts_distinct_files_not_copies() {
+        // The merge de-duplicates by file id, so two ACGs offering the
+        // same file must consume ONE slot of the bound — otherwise a hit
+        // that belongs in the merged top-k gets pruned.
+        let cutoff = GlobalCutoff::new(SortKey::Descending(AttrName::Size), 2);
+        assert!(cutoff.try_admit(Some(&Value::U64(100)), FileId::new(1)), "ACG A's copy of X");
+        assert!(
+            !cutoff.try_admit(Some(&Value::U64(100)), FileId::new(1)),
+            "ACG B's identical copy is redundant (merge keeps one)"
+        );
+        assert!(
+            cutoff.try_admit(Some(&Value::U64(50)), FileId::new(2)),
+            "Y is the 2nd distinct file of the node-wide top-2; the \
+             duplicate of X must not have consumed its slot"
+        );
+        // A better-ranked copy of an admitted file upgrades its rank
+        // without consuming a slot; a worse copy is pruned.
+        assert!(cutoff.try_admit(Some(&Value::U64(120)), FileId::new(1)));
+        assert!(!cutoff.try_admit(Some(&Value::U64(90)), FileId::new(1)));
+        // The bound still evicts correctly afterwards: a 3rd distinct
+        // file beats Y(50) and replaces it, a worse one is pruned.
+        assert!(!cutoff.try_admit(Some(&Value::U64(40)), FileId::new(3)));
+        assert!(cutoff.try_admit(Some(&Value::U64(60)), FileId::new(3)));
+        assert!(!cutoff.try_admit(Some(&Value::U64(55)), FileId::new(2)), "Y was evicted");
+    }
+
+    #[test]
+    fn global_cutoff_limit_zero_prunes_everything() {
+        let cutoff = GlobalCutoff::new(SortKey::FileId, 0);
+        assert!(!cutoff.try_admit(None, FileId::new(1)));
+        assert_eq!(cutoff.pruned(), 1);
+    }
+
+    #[test]
+    fn merge_hit_sources_stops_pulling_at_the_limit() {
+        // Two sorted sources of 100 hits each; a limit-3 merge must admit 3
+        // and leave the tails unpulled (the node-global cutoff witness).
+        let a: Vec<Hit> = (0..100u64).map(|i| hit(i * 2, None)).collect();
+        let b: Vec<Hit> = (0..100u64).map(|i| hit(i * 2 + 1, None)).collect();
+        let mut sources = vec![a.into_iter(), b.into_iter()];
+        let merged = merge_hit_sources(&mut sources, &SortKey::FileId, Some(3));
+        let files: Vec<u64> = merged.iter().map(|h| h.file.raw()).collect();
+        assert_eq!(files, vec![0, 1, 2]);
+        // Each source gave up at most 2 hits (1 primed + 1 replacement).
+        assert!(sources[0].len() >= 98, "source a over-pulled: {}", sources[0].len());
+        assert!(sources[1].len() >= 98, "source b over-pulled: {}", sources[1].len());
+    }
+
+    #[test]
+    fn merge_limit_zero_is_empty() {
+        let a = vec![hit(1, None)];
+        assert!(merge_sorted_hits(vec![a], &SortKey::FileId, Some(0)).is_empty());
     }
 }

@@ -101,6 +101,51 @@ fn torn_final_frame_is_discarded_on_recovery() {
 }
 
 #[test]
+fn ops_acknowledged_after_a_torn_tail_survive_the_next_crash() {
+    // Crash #1 leaves a torn frame at the WAL's tail. The log is reopened
+    // and more ops are acknowledged (appended) before crash #2. Recovery
+    // must replay ALL acknowledged ops — the 10 before the torn frame and
+    // the 10 after the reopen. `Wal::open` truncates the torn residue to
+    // the valid prefix, so the new appends land where replay can reach
+    // them; before the fix the garbage stayed in the file, the new frames
+    // sat unreachable behind it, and this recovery came up 10 ops short.
+    let path = temp_wal_path("torn-then-append");
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut wal = Wal::open(&path).unwrap();
+        for i in 0..10 {
+            wal.append(&IndexOp::Upsert(record(i, 7)).encode()).unwrap();
+        }
+        wal.sync().unwrap();
+        // Crash #1, mid-append of the 11th frame.
+    }
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xFF, 0xFF, 0x00, 0x00, 1, 2, 3, 4, 9, 9]).unwrap();
+    }
+    {
+        // The node reopens its log and keeps acknowledging ops.
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.entry_count(), 10, "valid prefix counted on reopen");
+        for i in 100..110 {
+            wal.append(&IndexOp::Upsert(record(i, 9)).encode()).unwrap();
+        }
+        wal.sync().unwrap();
+        // Crash #2.
+    }
+    let wal = Wal::open(&path).unwrap();
+    let (group, replayed) =
+        AcgIndexGroup::recover(AcgId::new(1), GroupConfig { wal, ..GroupConfig::default() })
+            .unwrap();
+    assert_eq!(replayed, 20, "every acknowledged op is replayed, across both crashes");
+    assert_eq!(group.len(), 20);
+    assert_eq!(group.lookup_eq(&AttrName::Size, &Value::U64(9)).len(), 10);
+    assert_eq!(group.lookup_eq(&AttrName::Size, &Value::U64(7)).len(), 10);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn recovery_preserves_removals_and_replacements() {
     let path = temp_wal_path("removals");
     let _ = std::fs::remove_file(&path);

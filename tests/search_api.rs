@@ -208,6 +208,72 @@ fn allow_partial_tolerates_a_dead_node_but_require_all_errors() {
 }
 
 #[test]
+fn incomplete_page_carries_no_cursor_and_recovery_restores_the_skipped_hits() {
+    let mut cluster =
+        Cluster::start(ClusterConfig { index_nodes: 3, group_capacity: 10, ..Default::default() });
+    let mut client = cluster.client();
+    let records: Vec<FileRecord> = (0..300u64).map(|i| record(i, (i + 1) << 20, i, 0)).collect();
+    client.index_files(records.clone()).unwrap();
+    let now = Timestamp::from_secs(1_000);
+    let page_req = |cursor: Option<propeller::query::Cursor>| {
+        let mut req = SearchRequest::parse("size>0", now)
+            .unwrap()
+            .with_limit(50)
+            .sorted_by(SortKey::Descending(AttrName::Size))
+            .with_fan_out(FanOutPolicy::AllowPartial { min_nodes: 1 });
+        if let Some(c) = cursor {
+            req = req.after(c);
+        }
+        req
+    };
+
+    // Healthy baseline: a full page comes with a continuation cursor.
+    let healthy = client.search_with(&page_req(None)).unwrap();
+    assert!(healthy.complete);
+    assert_eq!(healthy.hits.len(), 50);
+    assert!(healthy.cursor.is_some());
+
+    // Kill one node: the partial page may still be full, but it must NOT
+    // hand out a cursor — paginating past it would permanently skip every
+    // hit the dead node held that sorts before the page boundary.
+    let victim = cluster.index_node_ids()[0];
+    cluster.rpc().call(victim, propeller::cluster::Request::Shutdown).unwrap();
+    cluster.rpc().deregister(victim);
+    let partial = client.search_with(&page_req(None)).unwrap();
+    assert!(!partial.complete);
+    assert_eq!(partial.unreachable, vec![victim]);
+    assert!(!partial.hits.is_empty());
+    assert!(
+        partial.cursor.is_none(),
+        "an incomplete response must suppress its continuation cursor"
+    );
+
+    // Recover the node (fresh in-memory state) and re-index: the follow-up
+    // pagination must now cover the complete result — including the dead
+    // node's hits that sorted *before* the partial page's boundary, which
+    // a cursor taken from the partial page would have skipped forever.
+    cluster.revive_index_node(victim);
+    client.index_files(records).unwrap();
+    let mut paged: Vec<FileId> = Vec::new();
+    let mut cursor = None;
+    loop {
+        let resp = client.search_with(&page_req(cursor.take())).unwrap();
+        assert!(resp.complete, "revived cluster must answer completely");
+        if resp.hits.is_empty() {
+            break;
+        }
+        paged.extend(resp.file_ids());
+        match resp.cursor {
+            Some(c) => cursor = Some(c),
+            None => break,
+        }
+    }
+    let expected: Vec<FileId> = (0..300u64).rev().map(FileId::new).collect();
+    assert_eq!(paged, expected, "recovered pagination covers every hit, largest size first");
+    cluster.shutdown();
+}
+
+#[test]
 fn baselines_answer_the_same_request_api() {
     use propeller::baselines::{CentralDb, ShardedDb};
     let records = dataset(500);

@@ -4,12 +4,13 @@
 //! hits** to the materializing reference path and agree with a brute-force
 //! linear scan.
 
+use propeller::cluster::{IndexNode, IndexNodeConfig, Request, Response};
 use propeller::index::{AcgIndexGroup, FileRecord, GroupConfig, IndexOp};
 use propeller::query::{
-    execute_request, execute_request_reference, next_cursor, run_local_search, CompareOp, Hit,
-    Predicate, Projection, SearchRequest, SortKey,
+    execute_node_request_sequential, execute_request, execute_request_reference, next_cursor,
+    run_local_search, CompareOp, Hit, Predicate, Projection, SearchRequest, SearchStats, SortKey,
 };
-use propeller::types::{AcgId, AttrName, FileId, InodeAttrs, Timestamp, Value};
+use propeller::types::{AcgId, AttrName, FileId, InodeAttrs, NodeId, Timestamp, Value};
 use proptest::prelude::*;
 
 fn now() -> Timestamp {
@@ -126,6 +127,39 @@ fn untagged(hits: &[Hit]) -> Vec<Hit> {
     hits.iter().map(|h| Hit { acg: None, ..h.clone() }).collect()
 }
 
+/// An Index Node hosting `records` partitioned across `acg_count` ACGs.
+fn seeded_node(records: &[FileRecord], acg_count: usize, parallelism: usize) -> IndexNode {
+    let mut node = IndexNode::new(
+        NodeId::new(1),
+        IndexNodeConfig { search_parallelism: parallelism, ..IndexNodeConfig::default() },
+    );
+    for acg in 0..acg_count {
+        let ops: Vec<IndexOp> = records
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % acg_count == acg)
+            .map(|(_, r)| IndexOp::Upsert(r.clone()))
+            .collect();
+        node.handle(Request::IndexBatch { acg: AcgId::new(acg as u64 + 1), ops, now: now() });
+    }
+    node
+}
+
+fn node_search(
+    node: &mut IndexNode,
+    acg_count: usize,
+    req: &SearchRequest,
+) -> (Vec<Hit>, SearchStats) {
+    match node.handle(Request::Search {
+        acgs: (1..=acg_count as u64).map(AcgId::new).collect(),
+        request: req.clone(),
+        now: now(),
+    }) {
+        Response::SearchHits { hits, stats } => (hits, stats),
+        other => panic!("{other:?}"),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -197,5 +231,108 @@ proptest! {
             }
         }
         prop_assert_eq!(paged, full, "pages concatenate to the full result");
+    }
+
+    /// Node-level property: a multi-ACG Index Node under the node-global
+    /// cutoff, executing on its persistent worker pool, returns
+    /// byte-identical hits to (a) strictly sequential execution, (b) the
+    /// query-level sequential node executor over the same partition, and
+    /// (c) a brute-force linear pass over the unpartitioned record set —
+    /// across random predicates, sorts, limits and ACG counts. The
+    /// scan/skip witnesses must also account for exactly the node's
+    /// records.
+    #[test]
+    fn node_global_cutoff_and_pool_equal_sequential_and_brute_force(
+        records in arb_records(),
+        pred in arb_predicate(),
+        sort in arb_sort(),
+        acg_count in 1usize..6,
+        limit in prop_oneof![
+            (0u64..1).prop_map(|_| None),
+            (0usize..40).prop_map(Some),
+        ],
+    ) {
+        let mut req = SearchRequest::new(pred).sorted_by(sort);
+        if let Some(k) = limit {
+            req = req.with_limit(k);
+        }
+        let mut pooled = seeded_node(&records, acg_count, 8);
+        let mut sequential = seeded_node(&records, acg_count, 1);
+        let (pooled_hits, pooled_stats) = node_search(&mut pooled, acg_count, &req);
+        let (seq_hits, seq_stats) = node_search(&mut sequential, acg_count, &req);
+        prop_assert_eq!(&pooled_hits, &seq_hits, "pooled vs sequential node");
+        // Deterministic witnesses agree regardless of pool width.
+        prop_assert_eq!(pooled_stats.candidates_scanned, seq_stats.candidates_scanned);
+        prop_assert_eq!(pooled_stats.merge_skipped, seq_stats.merge_skipped);
+        prop_assert_eq!(pooled_stats.early_terminated, seq_stats.early_terminated);
+
+        // The query-level sequential node executor over the same groups.
+        let groups: Vec<AcgIndexGroup> = (0..acg_count)
+            .map(|acg| {
+                let mut g = AcgIndexGroup::new(
+                    AcgId::new(acg as u64 + 1),
+                    GroupConfig::default(),
+                );
+                for (i, rec) in records.iter().enumerate() {
+                    if i % acg_count == acg {
+                        g.enqueue(IndexOp::Upsert(rec.clone()), now()).unwrap();
+                    }
+                }
+                g.commit(now()).unwrap();
+                g
+            })
+            .collect();
+        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let (direct_hits, direct_stats) = execute_node_request_sequential(&refs, &req);
+        prop_assert_eq!(&direct_hits, &seq_hits, "node actor vs query-level executor");
+
+        // Brute force over the unpartitioned records.
+        let brute = run_local_search(records.clone(), &req);
+        prop_assert_eq!(untagged(&seq_hits), untagged(&brute.hits), "node vs brute force");
+        if let Some(k) = limit {
+            prop_assert!(seq_hits.len() <= k);
+        }
+        // Scan/skip accounting covers exactly the node's record set.
+        prop_assert!(
+            direct_stats.candidates_scanned + direct_stats.candidates_skipped <= records.len()
+        );
+        prop_assert!(direct_stats.merge_skipped <= direct_stats.candidates_skipped);
+        if direct_stats.early_terminated == 0 {
+            prop_assert_eq!(direct_stats.candidates_skipped, 0);
+        }
+    }
+
+    /// Node-level cursor pagination under the global cutoff covers exactly
+    /// the full result set, in order, with no hit lost or duplicated.
+    #[test]
+    fn node_pagination_covers_the_full_result(
+        records in arb_records(),
+        pred in arb_predicate(),
+        sort in arb_sort(),
+        acg_count in 1usize..5,
+        page in 1usize..17,
+    ) {
+        let mut node = seeded_node(&records, acg_count, 8);
+        let full_req = SearchRequest::new(pred.clone()).sorted_by(sort.clone());
+        let (full, _) = node_search(&mut node, acg_count, &full_req);
+        let mut paged: Vec<Hit> = Vec::new();
+        let mut cursor = None;
+        for _ in 0..=records.len() {
+            let mut req =
+                SearchRequest::new(pred.clone()).sorted_by(sort.clone()).with_limit(page);
+            if let Some(c) = cursor.take() {
+                req = req.after(c);
+            }
+            let (hits, _) = node_search(&mut node, acg_count, &req);
+            if hits.is_empty() {
+                break;
+            }
+            cursor = next_cursor(&hits, Some(page));
+            paged.extend(hits);
+            if cursor.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(paged, full, "node pages concatenate to the full result");
     }
 }
