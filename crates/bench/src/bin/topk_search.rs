@@ -19,6 +19,13 @@
 //!    ACG, merge afterwards). The witness is `candidates_scanned` far
 //!    below `acgs × k`, with `merge_skipped` counting what the merge
 //!    never pulled.
+//! 5. **Cross-node streaming cutoff** — a full cluster with the hot range
+//!    concentrated on one node, sorted top-100: the streamed session
+//!    protocol (client merge pulls per-node pages, cold nodes stop at ~one
+//!    page) against the one-shot k-hits-per-node exchange, sweeping node
+//!    count × page size. The witness is `hits_shipped` scaling sub-linearly
+//!    with node count (one-shot ships exactly `k × nodes`), with
+//!    `node_hits_unsent` counting what the cold nodes never computed.
 //!
 //! Writes the measured numbers to `BENCH_topk.json` (the checked-in perf
 //! trajectory snapshot).
@@ -32,7 +39,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use propeller_bench::table;
-use propeller_cluster::{IndexNode, IndexNodeConfig, Request, Response};
+use propeller_cluster::{Cluster, ClusterConfig, IndexNode, IndexNodeConfig, Request, Response};
 use propeller_core::{FileRecord, Propeller, PropellerConfig, SearchRequest, SortKey};
 use propeller_index::{AcgIndexGroup, GroupConfig, IndexOp};
 use propeller_query::{execute_request, execute_request_reference, merge_sorted_hits};
@@ -67,6 +74,7 @@ fn main() {
     streaming_vs_materializing(&mut json, &cfg);
     sequential_vs_parallel_node(&mut json, &cfg);
     node_global_cutoff(&mut json, &cfg);
+    cross_node_streaming(&mut json, &cfg);
 
     let _ = writeln!(json, "  \"files\": {}\n}}", cfg.files);
     if cfg.smoke {
@@ -312,6 +320,151 @@ fn node_global_cutoff(json: &mut String, cfg: &Cfg) {
     println!(
         "\nper-ACG: every group walks its tree until k residual matches accumulate;\n\
          global: one merge admits k hits total and the streams stop where they stand"
+    );
+}
+
+/// Experiment 5: the cross-node streaming cutoff. A cluster whose hot
+/// range (the namespace's largest files) is concentrated on one node
+/// serves a sorted top-100: the one-shot exchange ships `k` hits from
+/// *every* node for the client merge to discard, while the streamed
+/// session protocol pulls each node page by page and leaves the cold
+/// nodes at ~one page. Sweeps node count at the default page size, then
+/// page size at a fixed node count.
+fn cross_node_streaming(json: &mut String, cfg: &Cfg) {
+    table::banner("Cross-node streaming top-k: per-node session pages vs one-shot k-per-node");
+    const K: usize = 100;
+    let request = SearchRequest::parse(MATCHING, Timestamp::EPOCH)
+        .unwrap()
+        .with_limit(K)
+        .sorted_by(SortKey::Descending(AttrName::Size));
+    // Sizes fall with file id and the Master fills ACGs in arrival order,
+    // so the global top-k lands on whichever node got the first ACG — the
+    // worst case for a k-per-node exchange, the best for a streamed merge.
+    let build = |nodes: usize| {
+        let cluster = Cluster::start(ClusterConfig {
+            index_nodes: nodes,
+            group_capacity: (cfg.files as usize / nodes / 4).max(K),
+            ..ClusterConfig::default()
+        });
+        let mut client = cluster.client();
+        client
+            .index_files(
+                (0..cfg.files)
+                    .map(|i| {
+                        // Sizes fall monotonically (the hot-range layout);
+                        // mtimes are scrambled so the K-D index — whose
+                        // unbalanced inserts degenerate on fully monotone
+                        // point streams — stays bushy.
+                        let scrambled = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40;
+                        FileRecord::new(
+                            FileId::new(i),
+                            InodeAttrs::builder()
+                                .size((cfg.files - i) << 20)
+                                .mtime(Timestamp::from_secs(scrambled))
+                                .build(),
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap();
+        (cluster, client)
+    };
+
+    table::header(&[
+        "nodes",
+        "one-shot ms",
+        "streamed ms",
+        "shipped one-shot",
+        "shipped streamed",
+        "pages",
+        "unsent",
+    ]);
+    let node_counts: &[usize] = if cfg.smoke { &[3] } else { &[2, 4, 8] };
+    for &nodes in node_counts {
+        let (cluster, client) = build(nodes);
+        let (one_shot, oneshot_ms) = timed(|| client.search_one_shot(&request).unwrap());
+        let (streamed, streamed_ms) = timed(|| client.search_streamed(&request).unwrap());
+        assert_eq!(streamed.hits, one_shot.hits, "streamed must be result-identical");
+        assert_eq!(
+            one_shot.stats.hits_shipped,
+            K * nodes,
+            "the one-shot exchange ships k hits from every node"
+        );
+        // The acceptance witness: the streamed wire traffic must scale
+        // sub-linearly with node count — cold nodes stop at ~one page.
+        assert!(
+            streamed.stats.hits_shipped < one_shot.stats.hits_shipped,
+            "streaming must ship fewer hits ({} vs {})",
+            streamed.stats.hits_shipped,
+            one_shot.stats.hits_shipped
+        );
+        assert!(streamed.stats.node_hits_unsent > 0, "unshipped entitlement witnessed");
+        table::row(&[
+            format!("{nodes}"),
+            format!("{oneshot_ms:.3}"),
+            format!("{streamed_ms:.3}"),
+            format!("{}", one_shot.stats.hits_shipped),
+            format!("{}", streamed.stats.hits_shipped),
+            format!("{}", streamed.stats.pages_pulled),
+            format!("{}", streamed.stats.node_hits_unsent),
+        ]);
+        let _ = writeln!(json, "  \"cluster_{nodes}node_top100_oneshot_ms\": {oneshot_ms:.3},");
+        let _ = writeln!(json, "  \"cluster_{nodes}node_top100_streamed_ms\": {streamed_ms:.3},");
+        let _ = writeln!(
+            json,
+            "  \"cluster_{nodes}node_top100_oneshot_hits_shipped\": {},",
+            one_shot.stats.hits_shipped
+        );
+        let _ = writeln!(
+            json,
+            "  \"cluster_{nodes}node_top100_streamed_hits_shipped\": {},",
+            streamed.stats.hits_shipped
+        );
+        let _ = writeln!(
+            json,
+            "  \"cluster_{nodes}node_top100_streamed_pages_pulled\": {},",
+            streamed.stats.pages_pulled
+        );
+        let _ = writeln!(
+            json,
+            "  \"cluster_{nodes}node_top100_streamed_hits_unsent\": {},",
+            streamed.stats.node_hits_unsent
+        );
+        cluster.shutdown();
+    }
+
+    // Page-size sweep at a fixed node count: smaller pages tighten the
+    // cutoff (cold nodes ship less) at the cost of more round trips.
+    let sweep_nodes = if cfg.smoke { 3 } else { 4 };
+    let (cluster, client) = build(sweep_nodes);
+    let baseline = client.search_one_shot(&request).unwrap();
+    table::header(&["page", "shipped", "pages pulled", "unsent"]);
+    let pages: &[usize] = if cfg.smoke { &[16] } else { &[16, 64, 256] };
+    for &page in pages {
+        let paged_client = cluster.client().with_search_page_size(page);
+        let streamed = paged_client.search_streamed(&request).unwrap();
+        assert_eq!(streamed.hits, baseline.hits, "page {page} must be result-identical");
+        table::row(&[
+            format!("{page}"),
+            format!("{}", streamed.stats.hits_shipped),
+            format!("{}", streamed.stats.pages_pulled),
+            format!("{}", streamed.stats.node_hits_unsent),
+        ]);
+        let _ = writeln!(
+            json,
+            "  \"cluster_{sweep_nodes}node_page{page}_hits_shipped\": {},",
+            streamed.stats.hits_shipped
+        );
+        let _ = writeln!(
+            json,
+            "  \"cluster_{sweep_nodes}node_page{page}_pages_pulled\": {},",
+            streamed.stats.pages_pulled
+        );
+    }
+    cluster.shutdown();
+    println!(
+        "\none-shot: every node computes and ships its full k for the client merge to discard;\n\
+         streamed: the client merge pulls per-node pages and cold nodes stop at ~one page"
     );
 }
 

@@ -8,22 +8,36 @@
 //! relevant ACG and aggregating the returned file sets.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use propeller_index::{FileRecord, IndexOp, IndexSpec};
 use propeller_query::{
-    merge_sorted_hits, next_cursor, FanOutPolicy, Hit, Predicate, Query, SearchRequest,
-    SearchResponse, SearchStats,
+    merge_hit_sources, merge_sorted_hits, next_cursor, Cursor, FanOutPolicy, Hit, Predicate, Query,
+    SearchRequest, SearchResponse, SearchStats,
 };
 use propeller_sim::Clock;
 use propeller_trace::CausalityTracker;
 use propeller_types::{AcgId, Error, FileId, NodeId, OpenMode, ProcessId, Result, TraceEvent};
 
-use crate::messages::{Request, Response};
+use crate::messages::{Request, Response, RouteHints};
 use crate::rpc::Rpc;
 
 /// Default bound on a client's route cache (see [`RouteCache`]).
 const ROUTE_CACHE_CAPACITY: usize = 65_536;
+
+/// Default page size for streamed cross-node searches (see
+/// [`FileQueryEngine::with_search_page_size`]).
+const SEARCH_PAGE_SIZE: usize = 64;
+
+/// Bound on transparent session reopens per node per search. Every reopen
+/// ships a page (opens are atomic open+first-page), so progress is
+/// guaranteed; the cap only fences off a pathologically thrashing node.
+const MAX_SESSION_REOPENS: usize = 16;
+
+/// Process-wide client id allocator: Index Nodes key their per-client
+/// session caps off this.
+static NEXT_CLIENT_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A capacity-bounded file → (ACG, node) route cache with **LRU**
 /// eviction.
@@ -91,6 +105,14 @@ impl RouteCache {
         self.map.remove(file);
     }
 
+    /// Drops every route (the `complete: false` hint path: the Master's
+    /// split log no longer covers this client's generation, so any cached
+    /// route may be stale).
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
     /// Rebuilds the order queue from the live generations once stale
     /// (superseded) entries outnumber them 2:1 — amortized O(1) per
     /// touch, and the queue stays O(capacity).
@@ -116,6 +138,12 @@ pub struct FileQueryEngine {
     clock: Arc<dyn Clock>,
     tracker: CausalityTracker,
     route_cache: RouteCache,
+    /// The routing generation of the last [`RouteHints`] applied.
+    route_gen: u64,
+    /// This client's identity for per-client session caps on Index Nodes.
+    client_id: u64,
+    /// Hits per page for streamed cross-node searches.
+    search_page: usize,
 }
 
 impl std::fmt::Debug for FileQueryEngine {
@@ -141,6 +169,9 @@ impl FileQueryEngine {
             clock,
             tracker: CausalityTracker::new(),
             route_cache: RouteCache::with_capacity(ROUTE_CACHE_CAPACITY),
+            route_gen: 0,
+            client_id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
+            search_page: SEARCH_PAGE_SIZE,
         }
     }
 
@@ -152,10 +183,42 @@ impl FileQueryEngine {
         self
     }
 
+    /// Sets the page size for streamed cross-node searches (builder
+    /// style): how many hits each `PullHits` round trip ships per node.
+    /// Smaller pages tighten the cross-node cutoff (cold nodes ship
+    /// less); larger pages cost fewer round trips.
+    #[must_use]
+    pub fn with_search_page_size(mut self, page: usize) -> Self {
+        self.search_page = page.max(1);
+        self
+    }
+
     /// Number of file routes currently cached (bounded by the configured
     /// capacity).
     pub fn cached_routes(&self) -> usize {
         self.route_cache.len()
+    }
+
+    /// Whether a route for `file` is currently cached (introspection for
+    /// tests and operators; does not touch LRU order).
+    pub fn has_cached_route(&self, file: FileId) -> bool {
+        self.route_cache.contains_key(&file)
+    }
+
+    /// Applies split-driven route invalidations from the Master: moved
+    /// files drop out of the cache *before* their stale routes can earn a
+    /// `StaleRoute` rejection and a retry round trip. Incomplete hints
+    /// (the client fell behind the Master's bounded split log) drop the
+    /// whole cache — safe, just less surgical.
+    fn apply_route_hints(&mut self, hints: RouteHints) {
+        if !hints.complete {
+            self.route_cache.clear();
+        } else {
+            for file in &hints.moved {
+                self.route_cache.remove(file);
+            }
+        }
+        self.route_gen = self.route_gen.max(hints.upto);
     }
 
     /// Resolves routes for `files`, consulting the cache first and the
@@ -174,8 +237,18 @@ impl FileQueryEngine {
         let missing: Vec<FileId> =
             files.iter().copied().filter(|f| !routes.contains_key(f)).collect();
         if !missing.is_empty() {
-            match self.rpc.call(self.master, Request::ResolveFiles { files: missing })? {
-                Response::Resolved(rows) => {
+            // An empty cache has nothing to invalidate: ask for no hints
+            // (`u64::MAX` sorts past any generation) and let the response
+            // sync `route_gen` to the Master's current generation, so a
+            // fresh client never makes the Master rebuild its whole
+            // split-log history.
+            let since = if self.route_cache.len() == 0 { u64::MAX } else { self.route_gen };
+            let req = Request::ResolveFiles { files: missing, hints_since: since };
+            match self.rpc.call(self.master, req)? {
+                Response::Resolved { rows, hints } => {
+                    // Hints first: a `complete: false` hint clears the
+                    // cache, and the fresh rows below must survive that.
+                    self.apply_route_hints(hints);
                     for (file, acg, node) in rows {
                         self.route_cache.insert(file, (acg, node));
                         routes.insert(file, (acg, node));
@@ -293,14 +366,30 @@ impl FileQueryEngine {
         })
     }
 
+    /// The per-node ACG fan-out set, from the Master.
+    fn locate(&self) -> Result<HashMap<NodeId, Vec<AcgId>>> {
+        let located = match self.rpc.call(self.master, Request::LocateAcgs)? {
+            Response::Located(rows) => rows,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        let mut by_node: HashMap<NodeId, Vec<AcgId>> = HashMap::new();
+        for (acg, node) in located {
+            by_node.entry(node).or_default().push(acg);
+        }
+        Ok(by_node)
+    }
+
     /// Runs a full [`SearchRequest`] against the cluster — the canonical
     /// search entry point.
     ///
-    /// The engine asks the Master for every ACG location, fans the request
-    /// out to the owning Index Nodes in parallel (each answers with its
-    /// local top-k in request sort order), k-way merges the per-node lists
-    /// and attaches merged [`SearchStats`], a completeness marker and a
-    /// continuation cursor.
+    /// Limited (top-k) searches spanning several Index Nodes run the
+    /// **streamed session protocol** ([`FileQueryEngine::search_streamed`]):
+    /// the cluster-wide merge pulls each node one page at a time and stops
+    /// pulling a node as soon as its next page provably sorts after the
+    /// global k-th hit, so cold nodes ship ~one page instead of `k` hits.
+    /// Unlimited or single-node searches keep the one-shot exchange
+    /// ([`FileQueryEngine::search_one_shot`]). Both paths return
+    /// byte-identical hits.
     ///
     /// # Errors
     ///
@@ -311,17 +400,39 @@ impl FileQueryEngine {
     /// errors surface as [`Error::InvalidQuery`].
     pub fn search_with(&self, request: &SearchRequest) -> Result<SearchResponse> {
         request.validate()?;
-        let located = match self.rpc.call(self.master, Request::LocateAcgs)? {
-            Response::Located(rows) => rows,
-            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
-        };
-        let mut by_node: HashMap<NodeId, Vec<AcgId>> = HashMap::new();
-        for (acg, node) in located {
-            by_node.entry(node).or_default().push(acg);
-        }
+        let by_node = self.locate()?;
         if by_node.is_empty() {
             return Ok(SearchResponse::empty());
         }
+        match request.limit {
+            Some(k) if k > 0 && by_node.len() > 1 => self.run_streamed(by_node, request),
+            _ => self.run_one_shot(by_node, request),
+        }
+    }
+
+    /// The classic one-shot exchange: every relevant node answers with its
+    /// full local top-k in one response; the engine k-way merges the
+    /// lists. The baseline the streamed path is measured against, and the
+    /// path unlimited or single-node searches take.
+    ///
+    /// # Errors
+    ///
+    /// Same policy-dependent failure modes as
+    /// [`FileQueryEngine::search_with`].
+    pub fn search_one_shot(&self, request: &SearchRequest) -> Result<SearchResponse> {
+        request.validate()?;
+        let by_node = self.locate()?;
+        if by_node.is_empty() {
+            return Ok(SearchResponse::empty());
+        }
+        self.run_one_shot(by_node, request)
+    }
+
+    fn run_one_shot(
+        &self,
+        by_node: HashMap<NodeId, Vec<AcgId>>,
+        request: &SearchRequest,
+    ) -> Result<SearchResponse> {
         let now = self.clock.now();
         type NodeResult = (NodeId, Result<(Vec<Hit>, SearchStats)>);
         let results: Vec<NodeResult> = std::thread::scope(|s| {
@@ -383,6 +494,165 @@ impl FileQueryEngine {
         // nodes held that sorted before the cursor. Incomplete responses
         // therefore carry no cursor — the caller retries the same page
         // (or a fresh search) once the nodes recover.
+        let cursor = if unreachable.is_empty() { next_cursor(&hits, request.limit) } else { None };
+        Ok(SearchResponse { complete: unreachable.is_empty(), unreachable, hits, stats, cursor })
+    }
+
+    /// Runs the **streamed session protocol** regardless of node count
+    /// (the [`FileQueryEngine::search_with`] dispatcher reserves it for
+    /// limited multi-node searches, where it pays): opens a search
+    /// session on every relevant node (`OpenSearch` returns the first
+    /// page), k-way merges the per-node page streams, and pulls a node's
+    /// next page **only when its previous page has been fully consumed by
+    /// the merge** — i.e. only while the node's hits still compete for
+    /// the global top-k. Once `limit` hits are merged, unpulled nodes are
+    /// closed where they stand; the node-side hits never computed or
+    /// shipped are witnessed by [`SearchStats::node_hits_unsent`] and
+    /// [`SearchStats::hits_shipped`].
+    ///
+    /// Hits are byte-identical to [`FileQueryEngine::search_one_shot`];
+    /// only the stats (and the wire traffic) differ. Sessions evicted by
+    /// a node mid-search are reopened transparently, resuming after the
+    /// last hit received. Under [`FanOutPolicy::AllowPartial`], a node
+    /// failing mid-stream degrades to an incomplete response that keeps
+    /// the hits already merged.
+    ///
+    /// # Errors
+    ///
+    /// Same policy-dependent failure modes as
+    /// [`FileQueryEngine::search_with`].
+    pub fn search_streamed(&self, request: &SearchRequest) -> Result<SearchResponse> {
+        request.validate()?;
+        let by_node = self.locate()?;
+        if by_node.is_empty() {
+            return Ok(SearchResponse::empty());
+        }
+        self.run_streamed(by_node, request)
+    }
+
+    fn run_streamed(
+        &self,
+        by_node: HashMap<NodeId, Vec<AcgId>>,
+        request: &SearchRequest,
+    ) -> Result<SearchResponse> {
+        let now = self.clock.now();
+        let page = self.search_page;
+        // Open one session per node in parallel; every open ships the
+        // first page, so cold nodes are already done after this round.
+        type Opened = (NodeId, Vec<AcgId>, Result<(u64, Vec<Hit>, SearchStats, bool)>);
+        let opened: Vec<Opened> = std::thread::scope(|s| {
+            let handles: Vec<_> = by_node
+                .into_iter()
+                .map(|(node, acgs)| {
+                    let rpc = self.rpc.clone();
+                    let request = request.clone();
+                    let client = self.client_id;
+                    s.spawn(move || {
+                        let req =
+                            Request::OpenSearch { acgs: acgs.clone(), request, client, page, now };
+                        let result = match rpc.call(node, req) {
+                            Ok(Response::SearchPage { session, hits, stats, exhausted }) => {
+                                Ok((session, hits, stats, exhausted))
+                            }
+                            Ok(other) => Err(Error::Rpc(format!("unexpected response {other:?}"))),
+                            Err(e) => Err(e),
+                        };
+                        (node, acgs, result)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("open thread")).collect()
+        });
+
+        let mut sources: Vec<NodePageStream<'_>> = Vec::new();
+        let mut failed: Vec<(NodeId, Error)> = Vec::new();
+        for (node, acgs, result) in opened {
+            match result {
+                Ok((session, hits, stats, exhausted)) => sources.push(NodePageStream {
+                    rpc: &self.rpc,
+                    node,
+                    acgs,
+                    request,
+                    client: self.client_id,
+                    page,
+                    now,
+                    session,
+                    buffer: hits.into_iter(),
+                    exhausted,
+                    resume: None,
+                    yielded: 0,
+                    reopens: 0,
+                    stats,
+                    error: None,
+                }),
+                Err(e) => failed.push((node, e)),
+            }
+        }
+        if !failed.is_empty() {
+            if let FanOutPolicy::RequireAll = request.fan_out {
+                // Be polite to *every* node that did open — including
+                // those after the failing one — before failing the
+                // search, so no suspended session is left to squat a
+                // table slot until LRU eviction.
+                for source in &sources {
+                    source.close_best_effort();
+                }
+                return Err(failed.swap_remove(0).1);
+            }
+        }
+
+        // The cluster-wide cutoff: the lazy k-way merge advances a source
+        // only after consuming its head, so a node whose page boundary
+        // already sorts past the running global top-k is never pulled
+        // again — and pulling stops entirely at `limit` merged hits.
+        let hits = merge_hit_sources(&mut sources, &request.sort, request.limit);
+
+        let mut stats = SearchStats::default();
+        let mut answered = 0usize;
+        let mut stream_errors: Vec<(NodeId, Error)> = Vec::new();
+        for mut source in sources {
+            stats.absorb(std::mem::take(&mut source.stats));
+            match source.error.take() {
+                Some(e) => {
+                    // The node may still hold the session (e.g. a
+                    // malformed response, not a death): best-effort
+                    // close, accounting discarded with the stream.
+                    source.close_best_effort();
+                    stream_errors.push((source.node, e));
+                }
+                None => {
+                    answered += 1;
+                    // Close the session where it stands; the node reports
+                    // what streaming saved it from shipping.
+                    if let Some(close_stats) = source.close_best_effort() {
+                        stats.absorb(close_stats);
+                    }
+                }
+            }
+        }
+        if !stream_errors.is_empty() {
+            if matches!(request.fan_out, FanOutPolicy::RequireAll) {
+                return Err(stream_errors.swap_remove(0).1);
+            }
+            failed.append(&mut stream_errors);
+        }
+        if let FanOutPolicy::AllowPartial { min_nodes } = request.fan_out {
+            if !failed.is_empty() && answered < min_nodes {
+                return Err(failed.into_iter().next().map(|(_, e)| e).unwrap_or_else(|| {
+                    Error::Rpc(format!(
+                        "partial search needs {min_nodes} answering nodes, got {answered}"
+                    ))
+                }));
+            }
+        }
+        let mut unreachable: Vec<NodeId> = failed.into_iter().map(|(n, _)| n).collect();
+        unreachable.sort_unstable();
+        // Pulls beyond the parallel opens are issued sequentially by the
+        // merge, so the max-of-round-trips the absorbs accumulated is NOT
+        // what the caller waited for — overwrite with the true wall time.
+        stats.elapsed = self.clock.now().since(now);
+        // Same cursor honesty rule as the one-shot path: only a complete
+        // page may carry a continuation.
         let cursor = if unreachable.is_empty() { next_cursor(&hits, request.limit) } else { None };
         Ok(SearchResponse { complete: unreachable.is_empty(), unreachable, hits, stats, cursor })
     }
@@ -507,6 +777,130 @@ impl FileQueryEngine {
     /// Number of causality edges currently buffered client-side.
     pub fn buffered_edges(&self) -> usize {
         self.tracker.edge_count()
+    }
+}
+
+/// One node's half of a streamed search, seen from the client: an
+/// iterator yielding that node's hits in request sort order, pulling the
+/// next page over the wire **lazily** — only when the merge has consumed
+/// everything the node shipped so far. Feeding these into
+/// [`merge_hit_sources`] *is* the cross-node cutoff: the merge holds one
+/// head per source and refills a source only after emitting its head, so
+/// a node whose page boundary sorts past the running global top-k is
+/// never pulled again.
+///
+/// RPC failures cannot surface through `Iterator::next`, so they park in
+/// `error` (the stream ends) and the caller applies the fan-out policy
+/// afterwards. An expired session (evicted by the node) reopens
+/// transparently with a cursor resuming after the last hit yielded.
+struct NodePageStream<'a> {
+    rpc: &'a Rpc,
+    node: NodeId,
+    acgs: Vec<AcgId>,
+    request: &'a SearchRequest,
+    client: u64,
+    page: usize,
+    now: propeller_types::Timestamp,
+    /// The open session on the node (0 = none: exhausted or never stored).
+    session: u64,
+    buffer: std::vec::IntoIter<Hit>,
+    exhausted: bool,
+    /// Resume point for transparent reopens: after the last yielded hit.
+    resume: Option<Cursor>,
+    /// Hits yielded so far — a reopen asks only for the *remaining*
+    /// entitlement (`limit - yielded`), so the resumed session's pages
+    /// concatenate with what was already received to exactly the one-shot
+    /// result and the node never computes hits past the original `k`.
+    yielded: usize,
+    reopens: usize,
+    /// Stats accumulated across the open and every pull.
+    stats: SearchStats,
+    error: Option<Error>,
+}
+
+impl NodePageStream<'_> {
+    /// Applies one `SearchPage`, whichever request produced it.
+    fn accept_page(&mut self, session: u64, hits: Vec<Hit>, stats: SearchStats, exhausted: bool) {
+        self.stats.absorb(stats);
+        self.session = if exhausted { 0 } else { session };
+        self.exhausted = exhausted;
+        self.buffer = hits.into_iter();
+    }
+
+    /// Closes the node-side session if one is still open, returning the
+    /// node's final accounting (`node_hits_unsent`, `merge_skipped`).
+    /// Best-effort: a close lost to a dead node costs nothing — the node
+    /// is gone, and live nodes evict abandoned sessions by LRU anyway.
+    fn close_best_effort(&self) -> Option<SearchStats> {
+        if self.session == 0 || self.exhausted {
+            return None;
+        }
+        match self.rpc.call(self.node, Request::CloseSearch { session: self.session }) {
+            Ok(Response::SearchClosed { stats }) => Some(stats),
+            _ => None,
+        }
+    }
+}
+
+impl Iterator for NodePageStream<'_> {
+    type Item = Hit;
+
+    fn next(&mut self) -> Option<Hit> {
+        loop {
+            if let Some(hit) = self.buffer.next() {
+                self.resume = Some(Cursor::after(&hit));
+                self.yielded += 1;
+                return Some(hit);
+            }
+            if self.exhausted || self.error.is_some() {
+                return None;
+            }
+            let pull = Request::PullHits { session: self.session, page: self.page };
+            match self.rpc.call(self.node, pull) {
+                Ok(Response::SearchPage { session, hits, stats, exhausted }) => {
+                    self.accept_page(session, hits, stats, exhausted);
+                }
+                Err(Error::SearchSessionExpired { .. }) if self.reopens < MAX_SESSION_REOPENS => {
+                    // The node evicted us (LRU or per-client cap): reopen,
+                    // resuming strictly after the last hit we saw. Every
+                    // reopen ships a page, so this always makes progress.
+                    self.reopens += 1;
+                    let mut request = self.request.clone();
+                    if let Some(resume) = &self.resume {
+                        request.cursor = Some(resume.clone());
+                    }
+                    request.limit = request.limit.map(|k| k.saturating_sub(self.yielded));
+                    let open = Request::OpenSearch {
+                        acgs: self.acgs.clone(),
+                        request,
+                        client: self.client,
+                        page: self.page,
+                        now: self.now,
+                    };
+                    match self.rpc.call(self.node, open) {
+                        Ok(Response::SearchPage { session, hits, stats, exhausted }) => {
+                            self.accept_page(session, hits, stats, exhausted);
+                        }
+                        Ok(other) => {
+                            self.error = Some(Error::Rpc(format!("unexpected response {other:?}")));
+                            return None;
+                        }
+                        Err(e) => {
+                            self.error = Some(e);
+                            return None;
+                        }
+                    }
+                }
+                Ok(other) => {
+                    self.error = Some(Error::Rpc(format!("unexpected response {other:?}")));
+                    return None;
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+            }
+        }
     }
 }
 

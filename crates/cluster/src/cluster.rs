@@ -31,6 +31,9 @@ pub struct ClusterConfig {
     pub sim_clock: Option<SimClock>,
     /// Charge GbE message costs (modeled mode only).
     pub charge_network: bool,
+    /// Per-node cap on suspended streamed search sessions (see
+    /// [`IndexNodeConfig::max_search_sessions`]).
+    pub max_search_sessions: usize,
 }
 
 impl Default for ClusterConfig {
@@ -43,6 +46,7 @@ impl Default for ClusterConfig {
             seed: 42,
             sim_clock: None,
             charge_network: false,
+            max_search_sessions: 1024,
         }
     }
 }
@@ -141,6 +145,7 @@ impl Cluster {
                 seed: config.seed.wrapping_add(i as u64),
                 ..PartitionConfig::default()
             },
+            max_search_sessions: config.max_search_sessions,
             ..IndexNodeConfig::default()
         }
     }

@@ -11,7 +11,10 @@ use std::sync::Arc;
 
 use propeller_acg::{bisect, AcgGraph, PartitionConfig};
 use propeller_index::{AcgIndexGroup, FileRecord, GroupConfig, IndexSpec};
-use propeller_query::{execute_classic, execute_node_request, Hit, SearchStats};
+use propeller_query::{
+    execute_classic, execute_node_request, ClassicResults, ClassicTask, GlobalCutoff, Hit,
+    NodeSearchSession, SearchRequest, SearchStats, SessionPage,
+};
 use propeller_sim::{Clock, WallClock};
 use propeller_trace::EdgeUpdate;
 use propeller_types::{AcgId, Duration, Error, FileId, NodeId, Timestamp};
@@ -21,6 +24,39 @@ use crate::pool::WorkerPool;
 
 /// One pooled per-ACG search execution and its result.
 type SearchJob = Box<dyn FnOnce() -> (Vec<Hit>, SearchStats) + Send>;
+
+/// The classic-task executor both the one-shot and the streamed search
+/// paths hand to the query layer: every non-ordered per-ACG scan becomes a
+/// job on the node's persistent worker pool, sharing the node-global
+/// cutoff.
+fn run_classic_on_pool<'a>(
+    pool: &'a WorkerPool,
+    arcs: &'a [Arc<AcgIndexGroup>],
+    request: &'a Arc<SearchRequest>,
+) -> impl FnOnce(Vec<ClassicTask>, Option<&Arc<GlobalCutoff>>) -> ClassicResults + 'a {
+    move |tasks, cutoff| {
+        let jobs: Vec<SearchJob> = tasks
+            .into_iter()
+            .map(|task| {
+                let group = Arc::clone(&arcs[task.group]);
+                let request = Arc::clone(request);
+                let cutoff = cutoff.cloned();
+                Box::new(move || execute_classic(&group, &request, task.plan, cutoff.as_deref()))
+                    as SearchJob
+            })
+            .collect();
+        pool.run(jobs)
+    }
+}
+
+/// One suspended streamed search plus its eviction bookkeeping.
+struct SessionEntry {
+    session: NodeSearchSession,
+    /// The opening client (per-client caps key off this).
+    client: u64,
+    /// Logical last-use stamp for LRU eviction.
+    last_used: u64,
+}
 
 /// Index Node configuration.
 #[derive(Debug, Clone)]
@@ -43,6 +79,13 @@ pub struct IndexNodeConfig {
     /// restores strictly sequential inline execution; the default matches
     /// the host's available parallelism.
     pub search_parallelism: usize,
+    /// Upper bound on concurrently suspended streamed search sessions.
+    /// Past it the least-recently-pulled session is evicted; its client
+    /// transparently reopens, resuming after the last hit it received.
+    pub max_search_sessions: usize,
+    /// Per-client bound on suspended sessions (an abandoned or slow client
+    /// cannot monopolize the table). Evicts that client's LRU session.
+    pub max_search_sessions_per_client: usize,
 }
 
 impl Default for IndexNodeConfig {
@@ -54,6 +97,8 @@ impl Default for IndexNodeConfig {
             search_parallelism: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
+            max_search_sessions: 1024,
+            max_search_sessions_per_client: 8,
         }
     }
 }
@@ -88,6 +133,11 @@ pub struct IndexNode {
     moved_away: HashMap<AcgId, HashMap<FileId, u64>>,
     tombstone_order: std::collections::VecDeque<(AcgId, FileId, u64)>,
     tombstone_gen: u64,
+    /// Suspended streamed searches, bounded by the session caps (see
+    /// [`IndexNodeConfig::max_search_sessions`]).
+    sessions: HashMap<u64, SessionEntry>,
+    next_session_id: u64,
+    session_seq: u64,
     searches_served: u64,
     ops_received: u64,
 }
@@ -119,6 +169,9 @@ impl IndexNode {
             moved_away: HashMap::new(),
             tombstone_order: std::collections::VecDeque::new(),
             tombstone_gen: 0,
+            sessions: HashMap::new(),
+            next_session_id: 0,
+            session_seq: 0,
             searches_served: 0,
             ops_received: 0,
         }
@@ -170,6 +223,58 @@ impl IndexNode {
             Arc::new(group)
         });
         Self::exclusive(arc)
+    }
+
+    /// Number of suspended streamed search sessions.
+    pub fn open_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Stores a suspended session under a fresh id, evicting the opening
+    /// client's least-recently-pulled session past the per-client cap and
+    /// the node-wide LRU session past the table cap. Evicted clients
+    /// recover by reopening with a resume cursor, so eviction costs one
+    /// extra round trip, never correctness.
+    fn store_session(&mut self, client: u64, session: NodeSearchSession) -> u64 {
+        let per_client = self.config.max_search_sessions_per_client.max(1);
+        while self.sessions.values().filter(|e| e.client == client).count() >= per_client {
+            let victim = self
+                .sessions
+                .iter()
+                .filter(|(_, e)| e.client == client)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&id, _)| id);
+            let Some(id) = victim else { break };
+            self.sessions.remove(&id);
+        }
+        while self.sessions.len() >= self.config.max_search_sessions.max(1) {
+            let victim = self.sessions.iter().min_by_key(|(_, e)| e.last_used).map(|(&id, _)| id);
+            let Some(id) = victim else { break };
+            self.sessions.remove(&id);
+        }
+        self.session_seq += 1;
+        self.next_session_id += 1;
+        let id = self.next_session_id;
+        self.sessions.insert(id, SessionEntry { session, client, last_used: self.session_seq });
+        id
+    }
+
+    /// The commit phase shared by one-shot `Search` and `OpenSearch` —
+    /// the paper's consistency rule (commit before search) mutates each
+    /// group and stays on the actor thread. The returned committed groups
+    /// are then immutable for the rest of the request, which is what lets
+    /// execution fan out.
+    fn commit_for_search(
+        &mut self,
+        acgs: &[AcgId],
+        now: Timestamp,
+    ) -> Result<Vec<Arc<AcgIndexGroup>>, Error> {
+        for acg in acgs {
+            if let Some(group) = self.groups.get_mut(acg) {
+                Self::exclusive(group).commit(now)?;
+            }
+        }
+        Ok(acgs.iter().filter_map(|acg| self.groups.get(acg)).cloned().collect())
     }
 
     /// Records stale-route tombstones for files migrated out of `acg`,
@@ -231,56 +336,97 @@ impl IndexNode {
                 }
                 self.ops_received += ops.len() as u64;
                 let group = self.group_mut(acg);
-                for op in ops {
-                    if let Err(e) = group.enqueue(op, now) {
-                        return Response::Err(e);
-                    }
+                // Group commit: the whole batch becomes ONE WAL frame (one
+                // syscall on the file backend) and is buffered
+                // all-or-nothing.
+                if let Err(e) = group.enqueue_batch(ops, now) {
+                    return Response::Err(e);
                 }
                 Response::Ok
             }
             Request::Search { acgs, request, now } => {
                 self.searches_served += 1;
                 let started = self.clock.now();
-                // Commit phase — the paper's consistency rule (commit
-                // before search) mutates each group and stays on the actor
-                // thread. Committed groups are then immutable for the rest
-                // of the request, which is what lets execution fan out.
-                for acg in &acgs {
-                    if let Some(group) = self.groups.get_mut(acg) {
-                        if let Err(e) = Self::exclusive(group).commit(now) {
-                            return Response::Err(e);
-                        }
-                    }
-                }
+                let arcs = match self.commit_for_search(&acgs, now) {
+                    Ok(arcs) => arcs,
+                    Err(e) => return Response::Err(e),
+                };
                 // Execution phase, under the node-global k cutoff:
                 // ordered-planned groups become lazy candidate streams
                 // pulled through one k-way merge (stop at k total admitted
                 // hits across all ACGs); the remaining groups run their
                 // bounded scans on the persistent worker pool, pruning
                 // against the shared merged bound.
-                let arcs: Vec<Arc<AcgIndexGroup>> =
-                    acgs.iter().filter_map(|acg| self.groups.get(acg)).cloned().collect();
                 let refs: Vec<&AcgIndexGroup> = arcs.iter().map(Arc::as_ref).collect();
                 let request = Arc::new(request);
-                let pool = &self.pool;
-                let (hits, mut stats) =
-                    execute_node_request(&refs, request.as_ref(), |tasks, cutoff| {
-                        let jobs: Vec<SearchJob> = tasks
-                            .into_iter()
-                            .map(|task| {
-                                let group = Arc::clone(&arcs[task.group]);
-                                let request = Arc::clone(&request);
-                                let cutoff = cutoff.cloned();
-                                Box::new(move || {
-                                    execute_classic(&group, &request, task.plan, cutoff.as_deref())
-                                }) as SearchJob
-                            })
-                            .collect();
-                        pool.run(jobs)
-                    });
+                let (hits, mut stats) = execute_node_request(
+                    &refs,
+                    request.as_ref(),
+                    run_classic_on_pool(&self.pool, &arcs, &request),
+                );
+                // The whole answer ships in this one exchange — the
+                // baseline the streamed session path is measured against.
+                stats.pages_pulled = 1;
+                stats.hits_shipped = hits.len();
                 stats.elapsed = self.clock.now().since(started);
                 Response::SearchHits { hits, stats }
             }
+            Request::OpenSearch { acgs, request, client, page, now } => {
+                self.searches_served += 1;
+                let started = self.clock.now();
+                // Commit-then-search, exactly as for a one-shot Search;
+                // later pulls do NOT re-commit — a session pages the same
+                // read-committed view cursor pagination would see.
+                let arcs = match self.commit_for_search(&acgs, now) {
+                    Ok(arcs) => arcs,
+                    Err(e) => return Response::Err(e),
+                };
+                let refs: Vec<&AcgIndexGroup> = arcs.iter().map(Arc::as_ref).collect();
+                let request = Arc::new(request);
+                let (mut session, mut stats) = NodeSearchSession::open(
+                    &refs,
+                    request.as_ref(),
+                    run_classic_on_pool(&self.pool, &arcs, &request),
+                );
+                drop(refs);
+                let groups = &self.groups;
+                let SessionPage { hits, stats: page_stats, exhausted } =
+                    session.pull(|acg| groups.get(&acg).map(Arc::as_ref), page);
+                stats.absorb(page_stats);
+                let session_id = if exhausted {
+                    // Nothing left: report the final accounting now and
+                    // never store the session (0 = do not pull or close).
+                    stats.absorb(session.close());
+                    0
+                } else {
+                    self.store_session(client, session)
+                };
+                stats.elapsed = self.clock.now().since(started);
+                Response::SearchPage { session: session_id, hits, stats, exhausted }
+            }
+            Request::PullHits { session, page } => {
+                let started = self.clock.now();
+                self.session_seq += 1;
+                let seq = self.session_seq;
+                let groups = &self.groups;
+                let Some(entry) = self.sessions.get_mut(&session) else {
+                    return Response::Err(Error::SearchSessionExpired { session });
+                };
+                entry.last_used = seq;
+                let SessionPage { hits, mut stats, exhausted } =
+                    entry.session.pull(|acg| groups.get(&acg).map(Arc::as_ref), page);
+                if exhausted {
+                    stats.absorb(entry.session.close());
+                    self.sessions.remove(&session);
+                }
+                stats.elapsed = self.clock.now().since(started);
+                Response::SearchPage { session, hits, stats, exhausted }
+            }
+            Request::CloseSearch { session } => match self.sessions.remove(&session) {
+                Some(mut entry) => Response::SearchClosed { stats: entry.session.close() },
+                // Idempotent: the session was evicted or already closed.
+                None => Response::SearchClosed { stats: SearchStats::default() },
+            },
             Request::FlushAcgDelta { acg, edges } => {
                 let graph = self.graphs.entry(acg).or_default();
                 graph.apply_updates(edges);
@@ -932,6 +1078,241 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    fn topk_request(k: usize) -> propeller_query::SearchRequest {
+        let q = Query::parse("size>0", t(0)).unwrap();
+        propeller_query::SearchRequest::new(q.predicate)
+            .with_limit(k)
+            .sorted_by(propeller_query::SortKey::Descending(propeller_types::AttrName::Size))
+    }
+
+    fn seed_acgs(n: &mut IndexNode, acgs: u64, per_acg: u64) {
+        for acg in 1..=acgs {
+            n.handle(Request::IndexBatch {
+                acg: AcgId::new(acg),
+                ops: (0..per_acg)
+                    .map(|i| {
+                        let id = acg * 10_000 + i;
+                        IndexOp::Upsert(rec(id, ((id * 7919) % 100_000) << 10))
+                    })
+                    .collect(),
+                now: t(0),
+            });
+        }
+    }
+
+    fn open(
+        n: &mut IndexNode,
+        acgs: u64,
+        request: &propeller_query::SearchRequest,
+        client: u64,
+        page: usize,
+    ) -> (u64, Vec<Hit>, SearchStats, bool) {
+        match n.handle(Request::OpenSearch {
+            acgs: (1..=acgs).map(AcgId::new).collect(),
+            request: request.clone(),
+            client,
+            page,
+            now: t(100),
+        }) {
+            Response::SearchPage { session, hits, stats, exhausted } => {
+                (session, hits, stats, exhausted)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn streamed_session_pages_concatenate_to_the_one_shot_search() {
+        let mut n = node();
+        seed_acgs(&mut n, 4, 200);
+        let request = topk_request(50);
+        let one_shot = match n.handle(Request::Search {
+            acgs: (1..=4).map(AcgId::new).collect(),
+            request: request.clone(),
+            now: t(100),
+        }) {
+            Response::SearchHits { hits, stats } => {
+                assert_eq!(stats.hits_shipped, hits.len(), "one-shot ships everything at once");
+                assert_eq!(stats.pages_pulled, 1);
+                hits
+            }
+            other => panic!("{other:?}"),
+        };
+        let (session, mut all, _, mut exhausted) = open(&mut n, 4, &request, 7, 8);
+        assert!(!exhausted);
+        let mut pulls = 0;
+        while !exhausted {
+            pulls += 1;
+            match n.handle(Request::PullHits { session, page: 8 }) {
+                Response::SearchPage { hits, exhausted: done, stats, .. } => {
+                    assert!(stats.hits_shipped <= 8);
+                    all.extend(hits);
+                    exhausted = done;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(all, one_shot, "paged session == one-shot, byte for byte");
+        assert!(pulls >= 5, "50 hits over 8-hit pages need several pulls, got {pulls}");
+        assert_eq!(n.open_sessions(), 0, "exhausted sessions are dropped");
+    }
+
+    #[test]
+    fn open_sessions_are_evicted_lru_past_the_table_cap() {
+        let mut n = IndexNode::new(
+            NodeId::new(1),
+            IndexNodeConfig { max_search_sessions: 2, ..IndexNodeConfig::default() },
+        );
+        seed_acgs(&mut n, 2, 100);
+        let request = topk_request(90);
+        let (s1, ..) = open(&mut n, 2, &request, 1, 4);
+        let (s2, ..) = open(&mut n, 2, &request, 2, 4);
+        // Touch s1 so s2 becomes the LRU victim.
+        assert!(matches!(
+            n.handle(Request::PullHits { session: s1, page: 4 }),
+            Response::SearchPage { .. }
+        ));
+        let (s3, ..) = open(&mut n, 2, &request, 3, 4);
+        assert_eq!(n.open_sessions(), 2);
+        assert!(matches!(
+            n.handle(Request::PullHits { session: s2, page: 4 }),
+            Response::Err(Error::SearchSessionExpired { session }) if session == s2
+        ));
+        for live in [s1, s3] {
+            assert!(matches!(
+                n.handle(Request::PullHits { session: live, page: 4 }),
+                Response::SearchPage { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn per_client_session_cap_evicts_that_clients_lru_session() {
+        let mut n = IndexNode::new(
+            NodeId::new(1),
+            IndexNodeConfig { max_search_sessions_per_client: 1, ..IndexNodeConfig::default() },
+        );
+        seed_acgs(&mut n, 2, 100);
+        let request = topk_request(90);
+        let (s1, ..) = open(&mut n, 2, &request, 1, 4);
+        let (s2, ..) = open(&mut n, 2, &request, 1, 4); // same client: evicts s1
+        let (s3, ..) = open(&mut n, 2, &request, 2, 4); // other client: fine
+        assert!(matches!(
+            n.handle(Request::PullHits { session: s1, page: 4 }),
+            Response::Err(Error::SearchSessionExpired { .. })
+        ));
+        for live in [s2, s3] {
+            assert!(matches!(
+                n.handle(Request::PullHits { session: live, page: 4 }),
+                Response::SearchPage { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn evicted_session_resumes_exactly_via_reopen_with_cursor() {
+        // The recovery protocol the client runs on SearchSessionExpired:
+        // reopen with a cursor after the last hit received — the
+        // concatenation must still equal the one-shot result.
+        let mut n = IndexNode::new(
+            NodeId::new(1),
+            IndexNodeConfig { max_search_sessions: 1, ..IndexNodeConfig::default() },
+        );
+        seed_acgs(&mut n, 3, 150);
+        let request = topk_request(40);
+        let one_shot = match n.handle(Request::Search {
+            acgs: (1..=3).map(AcgId::new).collect(),
+            request: request.clone(),
+            now: t(100),
+        }) {
+            Response::SearchHits { hits, .. } => hits,
+            other => panic!("{other:?}"),
+        };
+        let (s1, first, _, exhausted) = open(&mut n, 3, &request, 1, 10);
+        assert!(!exhausted);
+        // A second client's open evicts s1 (cap 1).
+        let (_s2, ..) = open(&mut n, 3, &request, 2, 10);
+        assert!(matches!(
+            n.handle(Request::PullHits { session: s1, page: 10 }),
+            Response::Err(Error::SearchSessionExpired { .. })
+        ));
+        // Reopen resuming after the last received hit, asking only for
+        // the remaining entitlement (k minus what already arrived) — the
+        // same request the client's transparent reopen sends.
+        let resume = request
+            .clone()
+            .with_limit(40 - first.len())
+            .after(propeller_query::Cursor::after(first.last().expect("first page non-empty")));
+        let mut all = first;
+        let (s3, hits, _, mut exhausted) = open(&mut n, 3, &resume, 1, 10);
+        all.extend(hits);
+        while !exhausted {
+            match n.handle(Request::PullHits { session: s3, page: 10 }) {
+                Response::SearchPage { hits, exhausted: done, .. } => {
+                    all.extend(hits);
+                    exhausted = done;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(all, one_shot, "resume after eviction loses and duplicates nothing");
+    }
+
+    #[test]
+    fn close_search_reports_unsent_entitlement_and_is_idempotent() {
+        let mut n = node();
+        seed_acgs(&mut n, 4, 200);
+        let request = topk_request(100);
+        let (session, hits, _, exhausted) = open(&mut n, 4, &request, 1, 10);
+        assert_eq!(hits.len(), 10);
+        assert!(!exhausted);
+        match n.handle(Request::CloseSearch { session }) {
+            Response::SearchClosed { stats } => {
+                assert_eq!(stats.node_hits_unsent, 90, "k=100 minus the 10 shipped");
+                assert!(stats.merge_skipped > 0, "unexamined ordered candidates witnessed");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Closing again is a no-op.
+        match n.handle(Request::CloseSearch { session }) {
+            Response::SearchClosed { stats } => assert_eq!(stats, SearchStats::default()),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(n.open_sessions(), 0);
+    }
+
+    #[test]
+    fn split_mid_session_degrades_without_panic_or_duplicates() {
+        let mut n = node();
+        seed_acgs(&mut n, 2, 100);
+        let request = topk_request(150);
+        let (session, first, _, exhausted) = open(&mut n, 2, &request, 1, 20);
+        assert!(!exhausted);
+        // ACG 1 migrates away mid-session.
+        let files: Vec<FileId> = (0..100).map(|i| FileId::new(10_000 + i)).collect();
+        assert!(matches!(
+            n.handle(Request::ExtractAcgPart { acg: AcgId::new(1), files }),
+            Response::AcgPart { .. }
+        ));
+        let mut all = first;
+        let mut exhausted = false;
+        while !exhausted {
+            match n.handle(Request::PullHits { session, page: 20 }) {
+                Response::SearchPage { hits, exhausted: done, .. } => {
+                    all.extend(hits);
+                    exhausted = done;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // Still strictly sorted with no duplicates; ACG 2's hits complete.
+        assert!(all
+            .windows(2)
+            .all(|w| request.sort.cmp_hits(&w[0], &w[1]) == std::cmp::Ordering::Less));
+        let from_acg2 = all.iter().filter(|h| h.acg == Some(AcgId::new(2))).count();
+        assert!(from_acg2 > 0);
     }
 
     #[test]

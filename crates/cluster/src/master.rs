@@ -16,7 +16,7 @@ use propeller_index::IndexSpec;
 use propeller_storage::SharedStorage;
 use propeller_types::{AcgId, Duration, Error, FileId, NodeId, Timestamp};
 
-use crate::messages::{AcgSummary, Request, Response};
+use crate::messages::{AcgSummary, Request, Response, RouteHints};
 
 /// Liveness/load record for one Index Node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,11 +47,20 @@ pub struct MasterConfig {
     pub split_threshold: usize,
     /// Flush metadata to shared storage every this many heartbeats.
     pub flush_every_heartbeats: u64,
+    /// How many committed splits the Master keeps in its route-hint log.
+    /// A client further behind than this receives `complete: false` hints
+    /// and drops its whole route cache (safe, just less surgical).
+    pub split_log_capacity: usize,
 }
 
 impl Default for MasterConfig {
     fn default() -> Self {
-        MasterConfig { group_capacity: 1000, split_threshold: 50_000, flush_every_heartbeats: 16 }
+        MasterConfig {
+            group_capacity: 1000,
+            split_threshold: 50_000,
+            flush_every_heartbeats: 16,
+            split_log_capacity: 64,
+        }
     }
 }
 
@@ -72,6 +81,12 @@ pub struct MasterNode {
     index_specs: Vec<IndexSpec>,
     shared: Option<Arc<SharedStorage>>,
     heartbeats_seen: u64,
+    /// Monotonic count of committed splits — the routing generation
+    /// clients synchronize their caches against.
+    routing_gen: u64,
+    /// The last `split_log_capacity` splits: `(generation, moved files)`,
+    /// oldest first. Served as [`RouteHints`] on every resolve.
+    split_log: std::collections::VecDeque<(u64, Vec<FileId>)>,
 }
 
 impl MasterNode {
@@ -91,6 +106,8 @@ impl MasterNode {
             index_specs: Vec::new(),
             shared: None,
             heartbeats_seen: 0,
+            routing_gen: 0,
+            split_log: std::collections::VecDeque::new(),
         }
     }
 
@@ -206,6 +223,30 @@ impl MasterNode {
         Ok(n)
     }
 
+    /// The route invalidations a client at generation `since` is missing.
+    /// Complete (surgical) hints need the split log to reach back to
+    /// `since + 1`; a client further behind gets `complete: false` and
+    /// drops its whole cache.
+    fn route_hints(&self, since: u64) -> RouteHints {
+        let upto = self.routing_gen;
+        if since >= upto {
+            return RouteHints { upto, moved: Vec::new(), complete: true };
+        }
+        match self.split_log.front() {
+            Some((oldest, _)) if *oldest <= since + 1 => RouteHints {
+                upto,
+                moved: self
+                    .split_log
+                    .iter()
+                    .filter(|(gen, _)| *gen > since)
+                    .flat_map(|(_, files)| files.iter().copied())
+                    .collect(),
+                complete: true,
+            },
+            _ => RouteHints { upto, moved: Vec::new(), complete: false },
+        }
+    }
+
     /// Status table of the nodes (for tests and operators).
     pub fn node_status(&self) -> &HashMap<NodeId, NodeStatus> {
         &self.node_status
@@ -219,8 +260,8 @@ impl MasterNode {
     /// Handles one request (the actor body).
     pub fn handle(&mut self, req: Request) -> Response {
         match req {
-            Request::ResolveFiles { files } => match self.resolve(files) {
-                Ok(rows) => Response::Resolved(rows),
+            Request::ResolveFiles { files, hints_since } => match self.resolve(files) {
+                Ok(rows) => Response::Resolved { rows, hints: self.route_hints(hints_since) },
                 Err(e) => Response::Err(e),
             },
             Request::LocateAcgs => {
@@ -281,6 +322,15 @@ impl MasterNode {
                 self.acg_files.insert(new_acg, moved.len());
                 self.acg_files.insert(acg, kept.len());
                 self.splitting.remove(&acg);
+                // Record the move for eager client-side route
+                // invalidation: the next resolve from each client carries
+                // these files as hints, so the client drops the stale
+                // routes before they can earn a StaleRoute rejection.
+                self.routing_gen += 1;
+                self.split_log.push_back((self.routing_gen, moved));
+                while self.split_log.len() > self.config.split_log_capacity.max(1) {
+                    self.split_log.pop_front();
+                }
                 self.flush_metadata();
                 Response::Ok
             }
@@ -308,9 +358,11 @@ mod tests {
         m: &mut MasterNode,
         ids: impl IntoIterator<Item = u64>,
     ) -> Vec<(FileId, AcgId, NodeId)> {
-        match m.handle(Request::ResolveFiles { files: ids.into_iter().map(FileId::new).collect() })
-        {
-            Response::Resolved(rows) => rows,
+        match m.handle(Request::ResolveFiles {
+            files: ids.into_iter().map(FileId::new).collect(),
+            hints_since: 0,
+        }) {
+            Response::Resolved { rows, .. } => rows,
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -416,10 +468,95 @@ mod tests {
         assert!(rows.iter().all(|(_, a, _)| *a == acg));
     }
 
+    fn commit_a_split(m: &mut MasterNode, moved: Vec<FileId>) {
+        let acg = *m.file_to_acg.get(&moved[0]).unwrap();
+        let (new_acg, target) = match m.handle(Request::AllocateAcg) {
+            Response::AcgAllocated(a, n) => (a, n),
+            other => panic!("{other:?}"),
+        };
+        m.handle(Request::CommitSplit { acg, kept: Vec::new(), new_acg, moved, target });
+    }
+
+    #[test]
+    fn resolve_carries_route_hints_for_committed_splits() {
+        let mut m = master(2, 1000);
+        resolve(&mut m, 0..10);
+        // A client at generation 0 resolving before any split: no hints.
+        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: 0 }) {
+            Response::Resolved { hints, .. } => {
+                assert_eq!(hints, RouteHints { upto: 0, moved: vec![], complete: true });
+            }
+            other => panic!("{other:?}"),
+        }
+        commit_a_split(&mut m, vec![FileId::new(5), FileId::new(6)]);
+        commit_a_split(&mut m, vec![FileId::new(7)]);
+        // A client still at generation 0 hears about both splits...
+        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: 0 }) {
+            Response::Resolved { hints, .. } => {
+                assert!(hints.complete);
+                assert_eq!(hints.upto, 2);
+                assert_eq!(hints.moved, vec![FileId::new(5), FileId::new(6), FileId::new(7)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // ...a client that already applied generation 1 only the second...
+        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: 1 }) {
+            Response::Resolved { hints, .. } => {
+                assert_eq!(hints.moved, vec![FileId::new(7)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // ...and an up-to-date client nothing.
+        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: 2 }) {
+            Response::Resolved { hints, .. } => assert!(hints.moved.is_empty() && hints.complete),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn route_hints_past_the_bounded_log_are_incomplete() {
+        let mut m = MasterNode::new(
+            nodes(2),
+            MasterConfig { split_log_capacity: 2, ..MasterConfig::default() },
+        );
+        resolve(&mut m, 0..10);
+        for f in [1u64, 2, 3] {
+            commit_a_split(&mut m, vec![FileId::new(f)]);
+        }
+        // Generation 1 fell off the 2-deep log: the client can't know
+        // which routes it missed and must clear its cache.
+        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: 0 }) {
+            Response::Resolved { hints, .. } => {
+                assert!(!hints.complete);
+                assert_eq!(hints.upto, 3);
+                assert!(hints.moved.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        // A client only one generation behind is still covered.
+        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: 2 }) {
+            Response::Resolved { hints, .. } => {
+                assert!(hints.complete);
+                assert_eq!(hints.moved, vec![FileId::new(3)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // A hintless caller (`u64::MAX` — empty cache, nothing to
+        // invalidate) costs no log walk and still learns the current
+        // generation to sync to.
+        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: u64::MAX })
+        {
+            Response::Resolved { hints, .. } => {
+                assert_eq!(hints, RouteHints { upto: 3, moved: vec![], complete: true });
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
     #[test]
     fn no_index_nodes_is_a_config_error() {
         let mut m = MasterNode::new(vec![], MasterConfig::default());
-        match m.handle(Request::ResolveFiles { files: vec![FileId::new(1)] }) {
+        match m.handle(Request::ResolveFiles { files: vec![FileId::new(1)], hints_since: 0 }) {
             Response::Err(Error::Config(_)) => {}
             other => panic!("{other:?}"),
         }

@@ -20,6 +20,30 @@ pub struct AcgSummary {
     pub pending_ops: usize,
 }
 
+/// Route-invalidation hints piggybacked on Master responses: files whose
+/// ACG moved in splits the client has not yet heard about. Clients drop
+/// the listed routes from their cache **eagerly**, instead of discovering
+/// each one lazily through an [`propeller_types::Error::StaleRoute`]
+/// rejection, a cache drop and a retry round trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteHints {
+    /// The Master's routing generation as of this response; the client
+    /// passes it back as `hints_since` on its next resolve.
+    pub upto: u64,
+    /// Files moved by splits committed in generations `(since, upto]`.
+    pub moved: Vec<FileId>,
+    /// `false` when the Master's bounded split log no longer reaches back
+    /// to `since` — the client cannot know *which* routes moved and must
+    /// drop its whole cache.
+    pub complete: bool,
+}
+
+impl Default for RouteHints {
+    fn default() -> Self {
+        RouteHints { upto: 0, moved: Vec::new(), complete: true }
+    }
+}
+
 /// A request flowing through the cluster fabric.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -28,6 +52,10 @@ pub enum Request {
     ResolveFiles {
         /// Files about to be indexed.
         files: Vec<FileId>,
+        /// The routing generation of the last [`RouteHints`] this client
+        /// applied (0 for a fresh client); the response's hints cover
+        /// everything since.
+        hints_since: u64,
     },
     /// List every ACG and its owning Index Node (search fan-out set).
     LocateAcgs,
@@ -99,6 +127,42 @@ pub enum Request {
         /// Client-side send time.
         now: Timestamp,
     },
+    /// Open a **streamed search session** against the given ACGs
+    /// (commit-then-search, like [`Request::Search`]) and return its first
+    /// page. The node runs the non-ordered share of the search to
+    /// completion (bounded by the request's limit) but suspends the
+    /// ordered streams between pulls, so the client's cluster-wide merge
+    /// can stop pulling this node as soon as its hits provably sort after
+    /// the global top-k.
+    OpenSearch {
+        /// ACGs hosted on this node to search.
+        acgs: Vec<AcgId>,
+        /// The full search request.
+        request: SearchRequest,
+        /// The opening client (per-client session caps key off this).
+        client: u64,
+        /// Hits per page.
+        page: usize,
+        /// Client-side send time.
+        now: Timestamp,
+    },
+    /// Pull the next page of a streamed search session. Expired sessions
+    /// (evicted, closed, node restarted) are rejected with
+    /// [`propeller_types::Error::SearchSessionExpired`]; the client
+    /// reopens, resuming after the last hit it received.
+    PullHits {
+        /// The session (from [`Response::SearchPage`]).
+        session: u64,
+        /// Hits per page.
+        page: usize,
+    },
+    /// Close a streamed search session, reporting what streaming saved
+    /// (see [`propeller_query::SearchStats::node_hits_unsent`]). Closing
+    /// an unknown session is a no-op, so closes are idempotent.
+    CloseSearch {
+        /// The session to drop.
+        session: u64,
+    },
     /// Flush captured access-causality edges into an ACG's graph.
     FlushAcgDelta {
         /// Target ACG.
@@ -144,8 +208,15 @@ pub enum Request {
 pub enum Response {
     /// Generic success.
     Ok,
-    /// Resolution result, parallel to the request's file list.
-    Resolved(Vec<(FileId, AcgId, NodeId)>),
+    /// Resolution result, parallel to the request's file list, plus the
+    /// route-invalidation hints accumulated since the client's last
+    /// resolve.
+    Resolved {
+        /// One `(file, acg, node)` row per requested file.
+        rows: Vec<(FileId, AcgId, NodeId)>,
+        /// Split-driven route invalidations for the client's cache.
+        hints: RouteHints,
+    },
     /// ACG placement listing.
     Located(Vec<(AcgId, NodeId)>),
     /// One node's partial search response: hits in request sort order
@@ -157,6 +228,28 @@ pub enum Response {
         /// The node's top hits, sorted per the request.
         hits: Vec<Hit>,
         /// The node's execution stats.
+        stats: SearchStats,
+    },
+    /// One page of a streamed search session
+    /// ([`Request::OpenSearch`] / [`Request::PullHits`]): hits strictly
+    /// after everything the session shipped before, in request sort
+    /// order — so per-node pages chain into one sorted stream the client
+    /// merge consumes directly.
+    SearchPage {
+        /// The session to pull next (0 when `exhausted`: the node already
+        /// dropped it and the client must neither pull nor close).
+        session: u64,
+        /// The page's hits.
+        hits: Vec<Hit>,
+        /// This round trip's share of the stats (`pages_pulled` = 1).
+        stats: SearchStats,
+        /// The session has nothing left to ship.
+        exhausted: bool,
+    },
+    /// A closed streamed session's final accounting: the hits the node
+    /// never had to ship and the ordered candidates it never examined.
+    SearchClosed {
+        /// The close-time stats (`node_hits_unsent`, `merge_skipped`).
         stats: SearchStats,
     },
     /// A split computed by an Index Node: the two halves.

@@ -76,7 +76,9 @@ impl Rpc {
     fn wire_size(req: &Request) -> u64 {
         match req {
             Request::IndexBatch { ops, .. } => 64 + 128 * ops.len() as u64,
-            Request::ResolveFiles { files } => 64 + 12 * files.len() as u64,
+            Request::ResolveFiles { files, .. } => 64 + 12 * files.len() as u64,
+            // Session control messages are tiny; the hits ride responses.
+            Request::PullHits { .. } | Request::CloseSearch { .. } => 64,
             Request::FlushAcgDelta { edges, .. } => 64 + 20 * edges.len() as u64,
             Request::InstallAcg { records, edges, .. } => {
                 64 + 160 * records.len() as u64 + 20 * edges.len() as u64

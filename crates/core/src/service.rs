@@ -163,10 +163,11 @@ impl Propeller {
     /// Propagates routing and WAL failures.
     pub fn index_batch(&mut self, records: Vec<FileRecord>) -> Result<()> {
         let files: Vec<FileId> = records.iter().map(|r| r.file).collect();
-        let routes = match self.master_call(Request::ResolveFiles { files })? {
-            Response::Resolved(rows) => rows,
-            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
-        };
+        let routes =
+            match self.master_call(Request::ResolveFiles { files, hints_since: u64::MAX })? {
+                Response::Resolved { rows, .. } => rows,
+                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+            };
         let now = self.clock.now();
         let mut by_acg: std::collections::HashMap<AcgId, Vec<IndexOp>> =
             std::collections::HashMap::new();
@@ -186,8 +187,10 @@ impl Propeller {
     ///
     /// Propagates routing and WAL failures.
     pub fn remove_file(&mut self, file: FileId) -> Result<()> {
-        let routes = match self.master_call(Request::ResolveFiles { files: vec![file] })? {
-            Response::Resolved(rows) => rows,
+        let routes = match self
+            .master_call(Request::ResolveFiles { files: vec![file], hints_since: u64::MAX })?
+        {
+            Response::Resolved { rows, .. } => rows,
             other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
         };
         let now = self.clock.now();
@@ -285,10 +288,11 @@ impl Propeller {
             return Ok(0);
         }
         let dst: Vec<FileId> = updates.iter().map(|u| u.dst).collect();
-        let routes = match self.master_call(Request::ResolveFiles { files: dst })? {
-            Response::Resolved(rows) => rows,
-            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
-        };
+        let routes =
+            match self.master_call(Request::ResolveFiles { files: dst, hints_since: u64::MAX })? {
+                Response::Resolved { rows, .. } => rows,
+                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+            };
         let mut by_acg: std::collections::HashMap<AcgId, Vec<propeller_trace::EdgeUpdate>> =
             std::collections::HashMap::new();
         for (update, (_, acg, _)) in updates.into_iter().zip(routes) {

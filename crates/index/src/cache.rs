@@ -64,6 +64,18 @@ impl IndexCache {
         self.pending.push(op);
     }
 
+    /// Buffers a whole batch observed at `now` — the cache half of WAL
+    /// group commit (the owning group logged the batch as one frame).
+    pub fn push_batch(&mut self, ops: Vec<IndexOp>, now: Timestamp) {
+        if ops.is_empty() {
+            return;
+        }
+        if self.pending.is_empty() {
+            self.oldest = Some(now);
+        }
+        self.pending.extend(ops);
+    }
+
     /// Number of buffered operations.
     pub fn len(&self) -> usize {
         self.pending.len()

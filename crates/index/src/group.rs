@@ -178,9 +178,12 @@ impl AcgIndexGroup {
         let mut group = AcgIndexGroup::new(id, config);
         let mut count = 0;
         for frame in frames {
-            let op = IndexOp::decode(&frame)?;
-            group.apply(op);
-            count += 1;
+            // A frame is either one classic single-op record or a
+            // group-committed batch; recovery replays both.
+            for op in IndexOp::decode_frame(&frame)? {
+                group.apply(op);
+                count += 1;
+            }
         }
         group.wal.truncate()?;
         Ok((group, count))
@@ -378,6 +381,35 @@ impl AcgIndexGroup {
             return Ok(true);
         }
         Ok(false)
+    }
+
+    /// Appends a whole batch to the WAL as **one** group-committed frame
+    /// and buffers every op — one framed write (one syscall on the file
+    /// backend) instead of one per op. Single-op batches keep the classic
+    /// per-op frame, so logs stay readable by pre-batch recovery. Commits
+    /// automatically if the cache has timed out; returns `true` if a
+    /// commit happened.
+    ///
+    /// The batch is all-or-nothing: if the WAL append fails, *no* op is
+    /// buffered (no acknowledged-but-unlogged state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the WAL append fails.
+    pub fn enqueue_batch(&mut self, ops: Vec<IndexOp>, now: Timestamp) -> Result<bool> {
+        match ops.len() {
+            0 => Ok(false),
+            1 => self.enqueue(ops.into_iter().next().expect("len checked"), now),
+            _ => {
+                self.wal.append(&IndexOp::encode_batch(&ops))?;
+                self.cache.push_batch(ops, now);
+                if self.cache.timed_out(now) {
+                    self.commit(now)?;
+                    return Ok(true);
+                }
+                Ok(false)
+            }
+        }
     }
 
     /// Commits all buffered ops to the indices and truncates the WAL.
@@ -840,6 +872,46 @@ mod tests {
         assert!(matches!(g.create_index(bad), Err(Error::Config(_))));
         let empty_kd = IndexSpec { name: "kd0".into(), kind: IndexKind::Kd, attrs: vec![] };
         assert!(matches!(g.create_index(empty_kd), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn enqueue_batch_logs_one_frame_for_the_whole_batch() {
+        let mut g = group();
+        let ops: Vec<IndexOp> = (0..50).map(|i| IndexOp::Upsert(record(i, i, 0))).collect();
+        g.enqueue_batch(ops, t(0)).unwrap();
+        assert_eq!(g.wal.entry_count(), 1, "group commit: one frame, not 50");
+        assert_eq!(g.pending_ops(), 50);
+        g.commit(t(0)).unwrap();
+        assert_eq!(g.len(), 50);
+        // A single-op batch keeps the classic per-op frame.
+        g.enqueue_batch(vec![IndexOp::Remove(FileId::new(0))], t(1)).unwrap();
+        assert_eq!(g.wal.entry_count(), 1);
+        // Timed-out caches still auto-commit through the batch path.
+        let committed = g.enqueue_batch(
+            vec![IndexOp::Upsert(record(100, 1, 0)), IndexOp::Upsert(record(101, 1, 0))],
+            t(100),
+        );
+        assert!(committed.unwrap());
+        assert_eq!(g.pending_ops(), 0);
+        assert_eq!(g.len(), 51);
+    }
+
+    #[test]
+    fn recovery_replays_mixed_single_and_batch_frames() {
+        let mut wal = Wal::in_memory();
+        // A classic single-op frame, then a group-committed batch, then
+        // another single frame — the shape of a log written across the
+        // format transition.
+        wal.append(&IndexOp::Upsert(record(1, 10, 0)).encode()).unwrap();
+        let batch: Vec<IndexOp> = (2..6).map(|i| IndexOp::Upsert(record(i, i * 10, 0))).collect();
+        wal.append(&IndexOp::encode_batch(&batch)).unwrap();
+        wal.append(&IndexOp::Remove(FileId::new(1)).encode()).unwrap();
+        let config = GroupConfig { wal, ..GroupConfig::default() };
+        let (g, recovered) = AcgIndexGroup::recover(AcgId::new(9), config).unwrap();
+        assert_eq!(recovered, 6);
+        assert_eq!(g.len(), 4);
+        assert!(g.lookup_eq(&AttrName::Size, &Value::U64(10)).is_empty());
+        assert_eq!(g.lookup_eq(&AttrName::Size, &Value::U64(40)), vec![FileId::new(4)]);
     }
 
     #[test]

@@ -131,6 +131,49 @@ impl IndexOp {
             other => Err(Error::Corrupt(format!("unknown index op tag {other}"))),
         }
     }
+
+    /// Encodes a whole batch of ops as **one** WAL frame payload (tag 3:
+    /// `[count][len][op]...`) — the group-commit format. One framed append
+    /// (and one syscall on the file backend) covers the entire
+    /// `IndexBatch` instead of one frame per op.
+    pub fn encode_batch(ops: &[IndexOp]) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u8(3);
+        buf.put_u32_le(ops.len() as u32);
+        for op in ops {
+            let bytes = op.encode();
+            buf.put_u32_le(bytes.len() as u32);
+            buf.put_slice(&bytes);
+        }
+        buf.to_vec()
+    }
+
+    /// Decodes one WAL frame into its ops: batch frames (tag 3) yield
+    /// every member, classic single-op frames yield one — so recovery
+    /// reads logs written before group commit unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] when the bytes are malformed.
+    pub fn decode_frame(data: &[u8]) -> Result<Vec<IndexOp>> {
+        if data.first() != Some(&3) {
+            return Ok(vec![IndexOp::decode(data)?]);
+        }
+        let mut cursor = &data[1..];
+        let n = take_u32(&mut cursor)? as usize;
+        let mut ops = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let len = take_u32(&mut cursor)? as usize;
+            need(cursor, len)?;
+            let (bytes, rest) = cursor.split_at(len);
+            ops.push(IndexOp::decode(bytes)?);
+            cursor = rest;
+        }
+        if !cursor.is_empty() {
+            return Err(Error::Corrupt(format!("{} trailing bytes after batch", cursor.len())));
+        }
+        Ok(ops)
+    }
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
@@ -277,6 +320,40 @@ mod tests {
         bytes[pos] = 0xFF;
         bytes[pos + 1] = 0xFE;
         assert!(IndexOp::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn batch_frame_round_trips() {
+        let ops = vec![
+            IndexOp::Upsert(sample_record()),
+            IndexOp::Remove(FileId::new(9)),
+            IndexOp::Upsert(FileRecord::new(FileId::new(3), InodeAttrs::default())),
+        ];
+        let frame = IndexOp::encode_batch(&ops);
+        assert_eq!(IndexOp::decode_frame(&frame).unwrap(), ops);
+        // Empty batches are legal frames.
+        assert!(IndexOp::decode_frame(&IndexOp::encode_batch(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn decode_frame_reads_classic_single_op_frames() {
+        let op = IndexOp::Upsert(sample_record());
+        assert_eq!(IndexOp::decode_frame(&op.encode()).unwrap(), vec![op]);
+        let op = IndexOp::Remove(FileId::new(7));
+        assert_eq!(IndexOp::decode_frame(&op.encode()).unwrap(), vec![op]);
+    }
+
+    #[test]
+    fn truncated_batch_frame_rejected() {
+        let ops = vec![IndexOp::Upsert(sample_record()), IndexOp::Remove(FileId::new(1))];
+        let frame = IndexOp::encode_batch(&ops);
+        for cut in [1usize, 5, 9, frame.len() / 2, frame.len() - 1] {
+            assert!(IndexOp::decode_frame(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage after the declared members is corruption.
+        let mut padded = frame.clone();
+        padded.push(0);
+        assert!(IndexOp::decode_frame(&padded).is_err());
     }
 
     #[test]

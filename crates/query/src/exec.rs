@@ -32,7 +32,7 @@ use propeller_types::{AcgId, AttrName, FileId, Result, Timestamp, Value};
 use crate::ast::{CompareOp, Predicate};
 use crate::plan::{plan, plan_request, AccessPath, Plan};
 use crate::request::{
-    merge_hit_sources, AccessPathKind, GlobalCutoff, Hit, SearchRequest, SearchStats, TopK,
+    merge_hit_sources, AccessPathKind, Cursor, GlobalCutoff, Hit, SearchRequest, SearchStats, TopK,
 };
 
 /// Evaluates the predicate against one record (exact semantics; the access
@@ -116,7 +116,7 @@ pub fn execute(group: &AcgIndexGroup, pred: &Predicate) -> Vec<FileId> {
 pub fn execute_request(group: &AcgIndexGroup, request: &SearchRequest) -> (Vec<Hit>, SearchStats) {
     let plan = plan_request(group, request);
     if let AccessPath::OrderedScan { attr, lo, hi, descending } = plan.path {
-        let (lo, hi) = cursor_scan_bounds(request, lo, hi, descending);
+        let (lo, hi) = cursor_scan_bounds(request.cursor.as_ref(), lo, hi, descending);
         if let Some(iter) = group.candidates_ordered(&attr, lo, hi, descending) {
             let mut stream = OrderedHitStream::new(iter, group, request);
             let k = request.limit.unwrap_or(usize::MAX);
@@ -268,7 +268,7 @@ pub struct OrderedHitStream<'a> {
 }
 
 impl<'a> OrderedHitStream<'a> {
-    fn new(
+    pub(crate) fn new(
         records: Box<dyn Iterator<Item = &'a FileRecord> + 'a>,
         group: &'a AcgIndexGroup,
         request: &'a SearchRequest,
@@ -341,6 +341,10 @@ pub struct ClassicTask {
     pub plan: Plan,
 }
 
+/// What a classic-task executor returns: one `(hits, stats)` pair per
+/// [`ClassicTask`], in task order (see [`execute_node_request`]).
+pub type ClassicResults = Vec<(Vec<Hit>, SearchStats)>;
+
 /// Executes one search against every (already committed) group of an
 /// Index Node under a **node-global k cutoff**.
 ///
@@ -381,7 +385,7 @@ where
     for (i, group) in groups.iter().enumerate() {
         let plan = plan_request(*group, request);
         if let AccessPath::OrderedScan { attr, lo, hi, descending } = plan.path {
-            let (lo, hi) = cursor_scan_bounds(request, lo, hi, descending);
+            let (lo, hi) = cursor_scan_bounds(request.cursor.as_ref(), lo, hi, descending);
             if let Some(iter) = group.candidates_ordered(&attr, lo, hi, descending) {
                 slots.push(Slot::Ordered(streams.len()));
                 streams.push(OrderedHitStream::new(iter, group, request));
@@ -400,6 +404,27 @@ where
         Some(k) if !tasks.is_empty() => Some(Arc::new(GlobalCutoff::new(request.sort.clone(), k))),
         _ => None,
     };
+    // Seed the classic bound from the ordered streams: each stream's first
+    // admitted hit is, by construction, the best hit that stream will ever
+    // contribute to the merge, so one cheap pull per stream tightens the
+    // shared cutoff *before* the classic scans run — a mixed-plan node
+    // prunes against the ordered side's best keys instead of starting from
+    // an empty bound. The pulled hits stay primed for the merge (which
+    // would have pulled them anyway to prime its heap), so no work is
+    // repeated and results are unchanged.
+    let mut primed: Vec<Option<Hit>> = Vec::with_capacity(streams.len());
+    match &cutoff {
+        Some(cutoff) if request.limit != Some(0) => {
+            for stream in &mut streams {
+                let first = stream.next();
+                if let Some(hit) = &first {
+                    cutoff.try_admit(hit.sort_key.as_ref(), hit.file);
+                }
+                primed.push(first);
+            }
+        }
+        _ => primed.resize_with(streams.len(), || None),
+    }
     let task_count = tasks.len();
     let classic = run_classic(tasks, cutoff.as_ref());
     assert_eq!(classic.len(), task_count, "one result per classic task");
@@ -407,24 +432,34 @@ where
         classic.into_iter().unzip();
 
     // The merge's sources: classic sorted lists first (indices 0..tasks),
-    // then the lazy ordered streams (indices tasks..).
+    // then the lazy ordered streams (indices tasks..), each led by its
+    // primed (seed-pulled) head when the bound was seeded.
+    struct PrimedStream<'a> {
+        head: Option<Hit>,
+        stream: OrderedHitStream<'a>,
+    }
     enum NodeSource<'a> {
         List(std::vec::IntoIter<Hit>),
-        Stream(OrderedHitStream<'a>),
+        Stream(PrimedStream<'a>),
     }
     impl Iterator for NodeSource<'_> {
         type Item = Hit;
         fn next(&mut self) -> Option<Hit> {
             match self {
                 NodeSource::List(iter) => iter.next(),
-                NodeSource::Stream(stream) => stream.next(),
+                NodeSource::Stream(primed) => primed.head.take().or_else(|| primed.stream.next()),
             }
         }
     }
     let mut sources: Vec<NodeSource<'a>> = classic_hits
         .into_iter()
         .map(|hits| NodeSource::List(hits.into_iter()))
-        .chain(streams.into_iter().map(NodeSource::Stream))
+        .chain(
+            streams
+                .into_iter()
+                .zip(primed)
+                .map(|(stream, head)| NodeSource::Stream(PrimedStream { head, stream })),
+        )
         .collect();
     let hits = merge_hit_sources(&mut sources, &request.sort, request.limit);
 
@@ -434,9 +469,10 @@ where
         match *slot {
             Slot::Classic(j) => stats.absorb(std::mem::take(&mut classic_stats[j])),
             Slot::Ordered(j) => {
-                let NodeSource::Stream(stream) = &sources[task_count + j] else {
+                let NodeSource::Stream(primed) = &sources[task_count + j] else {
                     unreachable!("stream sources follow the classic lists")
                 };
+                let stream = &primed.stream;
                 stats.acgs_consulted += 1;
                 stats.candidates_scanned += stream.scanned();
                 stats.access_paths.push((stream.group_id(), AccessPathKind::OrderedScan));
@@ -477,13 +513,13 @@ pub fn execute_node_request_sequential(
 /// cursor's sort key: ascending scans raise `lo`, descending scans lower
 /// `hi`. The cursor key itself stays included — equal-key records are
 /// admitted or rejected by the file-id tie-break, not the scan bounds.
-fn cursor_scan_bounds(
-    request: &SearchRequest,
+pub(crate) fn cursor_scan_bounds(
+    cursor: Option<&Cursor>,
     lo: Bound<Value>,
     hi: Bound<Value>,
     descending: bool,
 ) -> (Bound<Value>, Bound<Value>) {
-    let Some(key) = request.cursor.as_ref().and_then(|c| c.sort_key()) else { return (lo, hi) };
+    let Some(key) = cursor.and_then(|c| c.sort_key()) else { return (lo, hi) };
     if descending {
         let tighter = match &hi {
             Bound::Included(v) | Bound::Excluded(v) => v <= key,

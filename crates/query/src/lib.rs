@@ -25,7 +25,12 @@
 //!   k cutoff**: per-ACG ordered candidate streams pulled through one
 //!   k-way merge (stop at `k` total admitted hits across all ACGs), and a
 //!   shared [`GlobalCutoff`] pruning non-ordered scans against the merged
-//!   worst-retained key.
+//!   worst-retained key — seeded with each ordered stream's first hit so
+//!   mixed-plan nodes prune from the start,
+//! * [`NodeSearchSession`] — the same node-level search *suspended
+//!   between client pulls*: the cluster extends the k cutoff across the
+//!   wire by pulling each node's merge one small page at a time, so cold
+//!   nodes ship ~one page instead of `k` hits.
 //!
 //! # Examples
 //!
@@ -46,12 +51,13 @@ mod exec;
 mod parser;
 mod plan;
 mod request;
+mod session;
 
 pub use ast::{CompareOp, Predicate, Query};
 pub use exec::{
     execute, execute_classic, execute_node_request, execute_node_request_sequential,
     execute_request, execute_request_reference, matches_record, search, search_request,
-    ClassicTask, OrderedHitStream,
+    ClassicResults, ClassicTask, OrderedHitStream,
 };
 pub use parser::parse_size;
 pub use plan::{plan, plan_request, AccessPath, IndexCatalog, Plan};
@@ -60,3 +66,4 @@ pub use request::{
     FanOutPolicy, GlobalCutoff, Hit, Projection, SearchRequest, SearchResponse, SearchStats,
     SortKey, TopK,
 };
+pub use session::{NodeSearchSession, SessionPage};

@@ -392,9 +392,28 @@ pub struct SearchStats {
     /// interleaving (the bound tightens as ACGs race), so it is a
     /// lower-bound witness, not a deterministic one.
     pub bound_pruned: usize,
-    /// Execution time, measured by the serving Index Node's clock; merged
-    /// stats carry the slowest node (fan-outs run in parallel, so the max
-    /// is what the caller waited for).
+    /// Result pages shipped over the wire. A one-shot node exchange counts
+    /// as one page; a streamed search session counts one per
+    /// `OpenSearch`/`PullHits` round trip, so the merged total across
+    /// nodes witnesses how many pulls the cluster-wide cutoff needed.
+    pub pages_pulled: usize,
+    /// Hits actually shipped over the wire (set by the serving node per
+    /// response, summed by the client). Under the streamed cross-node
+    /// cutoff this stays well below `k × nodes` when the hot range is
+    /// concentrated — the headline witness of the streaming protocol.
+    pub hits_shipped: usize,
+    /// Hits a closed streamed session was still entitled to ship (the
+    /// node-side `k` minus what the client actually pulled before the
+    /// global top-k filled). This is what the one-shot k-per-node exchange
+    /// would have shipped from that node beyond what the session did —
+    /// assuming the node could fill its `k`; the session's ordered streams
+    /// were deliberately never advanced to find out.
+    pub node_hits_unsent: usize,
+    /// What the caller waited for. One-shot fan-outs run in parallel, so
+    /// merged stats carry the slowest node's service time; a streamed
+    /// search issues its pulls sequentially from the client merge, so the
+    /// client overwrites the merged value with its measured wall time
+    /// across opens, pulls and closes.
     pub elapsed: Duration,
 }
 
@@ -409,6 +428,9 @@ impl SearchStats {
         self.early_terminated += other.early_terminated;
         self.merge_skipped += other.merge_skipped;
         self.bound_pruned += other.bound_pruned;
+        self.pages_pulled += other.pages_pulled;
+        self.hits_shipped += other.hits_shipped;
+        self.node_hits_unsent += other.node_hits_unsent;
         self.elapsed = self.elapsed.max(other.elapsed);
     }
 }
@@ -941,6 +963,9 @@ mod tests {
             early_terminated: 1,
             merge_skipped: 40,
             bound_pruned: 3,
+            pages_pulled: 1,
+            hits_shipped: 5,
+            node_hits_unsent: 2,
             elapsed: Duration::from_micros(5),
         };
         a.absorb(SearchStats {
@@ -952,6 +977,9 @@ mod tests {
             early_terminated: 2,
             merge_skipped: 10,
             bound_pruned: 4,
+            pages_pulled: 2,
+            hits_shipped: 7,
+            node_hits_unsent: 93,
             elapsed: Duration::from_micros(3),
         });
         assert_eq!(a.acgs_consulted, 3);
@@ -962,6 +990,9 @@ mod tests {
         assert_eq!(a.early_terminated, 3);
         assert_eq!(a.merge_skipped, 50);
         assert_eq!(a.bound_pruned, 7);
+        assert_eq!(a.pages_pulled, 3);
+        assert_eq!(a.hits_shipped, 12);
+        assert_eq!(a.node_hits_unsent, 95);
         assert_eq!(a.elapsed, Duration::from_micros(5), "slowest node wins");
     }
 

@@ -1,0 +1,603 @@
+//! Resumable node search sessions — the node half of the **cluster-wide
+//! streaming top-k cutoff**.
+//!
+//! A one-shot node exchange ships `k` hits from *every* node and lets the
+//! client merge discard most of them, so cluster-wide work grows linearly
+//! with node count even when one node holds the whole hot range. A
+//! [`NodeSearchSession`] instead suspends a node's search between client
+//! pulls: the client opens a session (`OpenSearch`), receives a first
+//! page, and pulls further pages (`PullHits`) only while the node's hits
+//! still compete for the global top-k — a cold node ships one small page
+//! and is never pulled again.
+//!
+//! ## How suspension works
+//!
+//! The session owns **no borrows into the index groups** (the owning Index
+//! Node must stay free to mutate them between pulls), so it suspends by
+//! *position*, not by live iterator:
+//!
+//! * the classic (non-ordered) share of the search cannot early-terminate
+//!   anyway, so it runs **once** at open — on the node's worker pool,
+//!   under the shared [`GlobalCutoff`](crate::GlobalCutoff) — and its
+//!   merged, `k`-bounded result list is paged out of memory;
+//! * each ordered-planned ACG records its scan plan (attribute, bounds,
+//!   direction); every pull re-creates the B+-tree walk **positioned
+//!   after the session's resume cursor** (one tree descent), pulls the
+//!   lazy k-way merge just far enough to fill the page, and lets the walk
+//!   fall away again;
+//! * the resume cursor is simply [`Cursor::after`] the last hit shipped:
+//!   the merge emits in global sort order, so everything not yet shipped
+//!   sorts strictly after it, and the same cursor filter that powers
+//!   client pagination makes the resume exact.
+//!
+//! Pages are therefore globally non-decreasing in the request's sort
+//! order across pulls, which is what lets the client run its cluster-wide
+//! merge directly over per-node page streams.
+//!
+//! ## Consistency
+//!
+//! A session observes the data committed at open plus whatever commits
+//! land between pulls — the same read-committed-per-page semantics as
+//! cursor pagination (which is what a pull *is*, node-side). An ACG that
+//! migrates away mid-session, or whose covering index is dropped, simply
+//! stops contributing (the cluster degrades per the request's fan-out
+//! policy); nothing panics and the remaining sources stay exact.
+
+use std::ops::Bound;
+use std::sync::Arc;
+
+use propeller_index::AcgIndexGroup;
+use propeller_types::{AcgId, AttrName, Value};
+
+use crate::exec::{cursor_scan_bounds, ClassicTask, OrderedHitStream};
+use crate::plan::{plan_request, AccessPath, Plan};
+use crate::request::{
+    merge_hit_sources, merge_sorted_hits, AccessPathKind, Cursor, GlobalCutoff, Hit, SearchRequest,
+    SearchStats,
+};
+
+/// One ordered-planned ACG's suspended share of a session: the scan plan
+/// plus cumulative accounting. The actual B+-tree walk is re-created per
+/// pull from the session's resume cursor.
+#[derive(Debug)]
+struct OrderedState {
+    acg: AcgId,
+    attr: AttrName,
+    lo: Bound<Value>,
+    hi: Bound<Value>,
+    descending: bool,
+    /// Group size at open (for the skip witness at close).
+    group_len: usize,
+    /// Candidates pulled off this stream across all pulls.
+    scanned: usize,
+    /// The stream ran dry (or its ACG/index vanished mid-session).
+    done: bool,
+}
+
+/// One page of a streamed node search.
+pub struct SessionPage {
+    /// The page's hits, in request sort order, strictly after everything
+    /// the session shipped before.
+    pub hits: Vec<Hit>,
+    /// This pull's share of the execution stats (`pages_pulled` = 1,
+    /// `hits_shipped` = page size; at open, also the classic scans).
+    pub stats: SearchStats,
+    /// `true` when the session has nothing left to ship — the node drops
+    /// it and the client must not pull again.
+    pub exhausted: bool,
+}
+
+/// A suspended multi-ACG node search, pulled incrementally by the client
+/// (see the module docs for the design).
+pub struct NodeSearchSession {
+    request: SearchRequest,
+    /// The merged, sorted, `k`-bounded result of the classic-planned ACGs
+    /// (computed once at open) — paged out via `classic_ix`.
+    classic: Vec<Hit>,
+    classic_ix: usize,
+    ordered: Vec<OrderedState>,
+    /// Resume strictly after the last hit shipped (None before page 1).
+    resume: Option<Cursor>,
+    /// Hits this session may still ship (`limit` minus shipped;
+    /// `usize::MAX` for unlimited requests).
+    remaining: usize,
+    sent: usize,
+    pages: u64,
+    exhausted: bool,
+}
+
+impl std::fmt::Debug for NodeSearchSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeSearchSession")
+            .field("sent", &self.sent)
+            .field("pages", &self.pages)
+            .field("ordered", &self.ordered.len())
+            .field("exhausted", &self.exhausted)
+            .finish()
+    }
+}
+
+impl NodeSearchSession {
+    /// Opens a session over the node's (already committed) groups: plans
+    /// every group, runs the classic (non-ordered) share to completion
+    /// through `run_classic` — the Index Node supplies its worker-pool
+    /// executor, exactly as for a one-shot search — and records the
+    /// ordered plans for incremental pulling. The shared classic bound is
+    /// seeded with each ordered stream's first hit (one cheap pull per
+    /// stream; the record re-derives on the first page's tree descent).
+    ///
+    /// Returns the session plus the open-phase stats (the classic scans;
+    /// `acgs_consulted` and `access_paths` cover every group once).
+    pub fn open<F>(
+        groups: &[&AcgIndexGroup],
+        request: &SearchRequest,
+        run_classic: F,
+    ) -> (NodeSearchSession, SearchStats)
+    where
+        F: FnOnce(Vec<ClassicTask>, Option<&Arc<GlobalCutoff>>) -> Vec<(Vec<Hit>, SearchStats)>,
+    {
+        let mut tasks: Vec<ClassicTask> = Vec::new();
+        let mut ordered: Vec<OrderedState> = Vec::new();
+        let mut stats = SearchStats::default();
+        for (i, group) in groups.iter().enumerate() {
+            let plan = plan_request(*group, request);
+            match plan.path {
+                AccessPath::OrderedScan { attr, lo, hi, descending }
+                    if group
+                        .candidates_ordered(&attr, lo.clone(), hi.clone(), descending)
+                        .is_some() =>
+                {
+                    stats.acgs_consulted += 1;
+                    stats.access_paths.push((group.id(), AccessPathKind::OrderedScan));
+                    ordered.push(OrderedState {
+                        acg: group.id(),
+                        attr,
+                        lo,
+                        hi,
+                        descending,
+                        group_len: group.len(),
+                        scanned: 0,
+                        done: false,
+                    });
+                }
+                AccessPath::OrderedScan { .. } => {
+                    // Unreachable via the planner; degrade to a full scan.
+                    tasks.push(ClassicTask { group: i, plan: Plan { path: AccessPath::FullScan } });
+                }
+                path => tasks.push(ClassicTask { group: i, plan: Plan { path } }),
+            }
+        }
+
+        let cutoff = match request.limit {
+            Some(k) if k > 0 && !tasks.is_empty() => {
+                let cutoff = Arc::new(GlobalCutoff::new(request.sort.clone(), k));
+                // Seed from the ordered side: each stream's first admitted
+                // hit is the best that stream will ever offer the merge.
+                for state in &ordered {
+                    if let Some(group) = groups.iter().find(|g| g.id() == state.acg) {
+                        let (lo, hi) = cursor_scan_bounds(
+                            request.cursor.as_ref(),
+                            state.lo.clone(),
+                            state.hi.clone(),
+                            state.descending,
+                        );
+                        if let Some(iter) =
+                            group.candidates_ordered(&state.attr, lo, hi, state.descending)
+                        {
+                            let mut stream = OrderedHitStream::new(iter, group, request);
+                            if let Some(hit) = stream.next() {
+                                cutoff.try_admit(hit.sort_key.as_ref(), hit.file);
+                            }
+                        }
+                    }
+                }
+                Some(cutoff)
+            }
+            _ => None,
+        };
+
+        let classic_results = run_classic(tasks, cutoff.as_ref());
+        let mut lists = Vec::with_capacity(classic_results.len());
+        for (hits, task_stats) in classic_results {
+            stats.absorb(task_stats);
+            lists.push(hits);
+        }
+        if let Some(cutoff) = &cutoff {
+            stats.bound_pruned = cutoff.pruned();
+        }
+        let classic = merge_sorted_hits(lists, &request.sort, request.limit);
+
+        let remaining = request.limit.unwrap_or(usize::MAX);
+        let session = NodeSearchSession {
+            request: request.clone(),
+            classic,
+            classic_ix: 0,
+            ordered,
+            resume: None,
+            remaining,
+            sent: 0,
+            pages: 0,
+            exhausted: false,
+        };
+        (session, stats)
+    }
+
+    /// Total hits shipped so far.
+    pub fn sent(&self) -> usize {
+        self.sent
+    }
+
+    /// Pages served so far (the open's first page included).
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Whether the session has nothing left to ship.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Pulls the next page of at most `page` hits. `lookup` resolves an
+    /// ACG to its (committed) group; an ACG that no longer resolves — it
+    /// migrated away mid-session — simply stops contributing.
+    ///
+    /// Each pull re-creates the ordered B+-tree walks positioned after the
+    /// session's resume cursor (one tree descent each), pulls everything
+    /// through one lazy k-way merge bounded to the page, and suspends
+    /// again. Pages are globally non-decreasing in the request's sort
+    /// order across pulls.
+    ///
+    /// `page` is clamped to at least 1: a zero-size pull must still make
+    /// progress, or a wire caller could ping an empty page forever while
+    /// re-stamping the session against LRU eviction.
+    pub fn pull<'g>(
+        &mut self,
+        lookup: impl Fn(AcgId) -> Option<&'g AcgIndexGroup>,
+        page: usize,
+    ) -> SessionPage {
+        self.pages += 1;
+        let mut stats = SearchStats { pages_pulled: 1, ..SearchStats::default() };
+        let k_page = page.max(1).min(self.remaining);
+        if k_page == 0 {
+            self.exhausted = self.remaining == 0;
+            return SessionPage { hits: Vec::new(), stats, exhausted: self.exhausted };
+        }
+
+        let mut req = self.request.clone();
+        if let Some(resume) = &self.resume {
+            req.cursor = Some(resume.clone());
+        }
+        // The classic list is consumed strictly in order: everything at or
+        // before the resume cursor was either shipped or deduplicated by
+        // an earlier page's merge, so the cursor filter *is* the consume
+        // pointer — no per-hit provenance tracking needed.
+        if let Some(cursor) = &req.cursor {
+            while self.classic_ix < self.classic.len() {
+                let hit = &self.classic[self.classic_ix];
+                if cursor.admits(&req.sort, hit.sort_key.as_ref(), hit.file) {
+                    break;
+                }
+                self.classic_ix += 1;
+            }
+        }
+
+        enum Src<'a> {
+            List(std::iter::Cloned<std::slice::Iter<'a, Hit>>),
+            Stream(OrderedHitStream<'a>),
+        }
+        impl Iterator for Src<'_> {
+            type Item = Hit;
+            fn next(&mut self) -> Option<Hit> {
+                match self {
+                    Src::List(iter) => iter.next(),
+                    Src::Stream(stream) => stream.next(),
+                }
+            }
+        }
+
+        let classic_tail = &self.classic[self.classic_ix..];
+        let mut sources: Vec<Src<'_>> = vec![Src::List(classic_tail.iter().cloned())];
+        // Which `ordered` entry each stream source (sources[1..]) serves.
+        let mut stream_of: Vec<usize> = Vec::new();
+        for i in 0..self.ordered.len() {
+            if self.ordered[i].done {
+                continue;
+            }
+            let Some(group) = lookup(self.ordered[i].acg) else {
+                // ACG migrated away mid-session: degrade, keep the rest.
+                self.ordered[i].done = true;
+                continue;
+            };
+            let (lo, hi) = cursor_scan_bounds(
+                req.cursor.as_ref(),
+                self.ordered[i].lo.clone(),
+                self.ordered[i].hi.clone(),
+                self.ordered[i].descending,
+            );
+            match group.candidates_ordered(
+                &self.ordered[i].attr,
+                lo,
+                hi,
+                self.ordered[i].descending,
+            ) {
+                Some(iter) => {
+                    stream_of.push(i);
+                    sources.push(Src::Stream(OrderedHitStream::new(iter, group, &req)));
+                }
+                // The covering index was dropped mid-session: degrade.
+                None => self.ordered[i].done = true,
+            }
+        }
+
+        let hits = merge_hit_sources(&mut sources, &req.sort, Some(k_page));
+
+        for (src, &i) in sources[1..].iter().zip(&stream_of) {
+            let Src::Stream(stream) = src else { unreachable!("streams follow the classic list") };
+            self.ordered[i].scanned += stream.scanned();
+            stats.candidates_scanned += stream.scanned();
+            if stream.exhausted() {
+                self.ordered[i].done = true;
+            }
+        }
+        drop(sources);
+
+        self.sent += hits.len();
+        self.remaining = self.remaining.saturating_sub(hits.len());
+        if let Some(last) = hits.last() {
+            self.resume = Some(Cursor::after(last));
+        }
+        // A short page means every source ran dry; a full budget means the
+        // session served its whole entitlement.
+        self.exhausted = hits.len() < k_page || self.remaining == 0;
+        if self.exhausted {
+            self.classic_ix = self.classic.len();
+        }
+        stats.hits_shipped = hits.len();
+        stats.retained_peak = hits.len();
+        SessionPage { hits, stats, exhausted: self.exhausted }
+    }
+
+    /// Closes the session, reporting what the streaming protocol saved:
+    /// [`SearchStats::node_hits_unsent`] (the rest of this node's one-shot
+    /// `k` entitlement, for limited sessions that were not exhausted) and
+    /// the ordered candidates never examined ([`SearchStats::merge_skipped`]
+    /// / [`SearchStats::candidates_skipped`], against each group's size at
+    /// open).
+    pub fn close(&mut self) -> SearchStats {
+        let mut stats = SearchStats::default();
+        if !self.exhausted && self.request.limit.is_some() {
+            stats.node_hits_unsent = self.remaining;
+        }
+        for state in &self.ordered {
+            if !state.done {
+                let skipped = state.group_len.saturating_sub(state.scanned);
+                stats.candidates_skipped += skipped;
+                stats.merge_skipped += skipped;
+                stats.early_terminated += 1;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute_classic, execute_node_request_sequential};
+    use crate::request::{next_cursor, SortKey};
+    use propeller_index::{FileRecord, GroupConfig, IndexOp};
+    use propeller_types::{FileId, InodeAttrs, Timestamp};
+
+    fn now() -> Timestamp {
+        Timestamp::from_secs(1_000)
+    }
+
+    fn seeded_groups(acgs: u64, per_acg: u64, indexed: bool) -> Vec<AcgIndexGroup> {
+        (0..acgs)
+            .map(|acg| {
+                let mut g = AcgIndexGroup::new(
+                    AcgId::new(acg + 1),
+                    GroupConfig { default_indices: indexed, ..GroupConfig::default() },
+                );
+                for i in 0..per_acg {
+                    let id = acg * 1_000 + i;
+                    let rec = FileRecord::new(
+                        FileId::new(id),
+                        InodeAttrs::builder().size(((id * 7919) % 4096) << 10).build(),
+                    );
+                    g.enqueue(IndexOp::Upsert(rec), now()).unwrap();
+                }
+                g.commit(now()).unwrap();
+                g
+            })
+            .collect()
+    }
+
+    fn run_inline<'a>(
+        groups: &[&'a AcgIndexGroup],
+        request: &SearchRequest,
+    ) -> impl FnOnce(Vec<ClassicTask>, Option<&Arc<GlobalCutoff>>) -> crate::ClassicResults + 'a
+    {
+        let request = request.clone();
+        let groups: Vec<&AcgIndexGroup> = groups.to_vec();
+        move |tasks, cutoff| {
+            tasks
+                .into_iter()
+                .map(|t| execute_classic(groups[t.group], &request, t.plan, cutoff.map(|c| &**c)))
+                .collect()
+        }
+    }
+
+    fn drain(
+        groups: &[&AcgIndexGroup],
+        request: &SearchRequest,
+        page: usize,
+    ) -> (Vec<Hit>, NodeSearchSession) {
+        let (mut session, _) =
+            NodeSearchSession::open(groups, request, run_inline(groups, request));
+        let mut all = Vec::new();
+        loop {
+            let p = session.pull(|acg| groups.iter().copied().find(|g| g.id() == acg), page);
+            all.extend(p.hits);
+            if p.exhausted {
+                break;
+            }
+        }
+        (all, session)
+    }
+
+    #[test]
+    fn paged_session_concatenates_to_the_one_shot_result() {
+        let groups = seeded_groups(4, 100, true);
+        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let q = crate::Query::parse("size>0", now()).unwrap();
+        for (limit, sort) in [
+            (Some(25), SortKey::Descending(propeller_types::AttrName::Size)),
+            (Some(7), SortKey::Ascending(propeller_types::AttrName::Size)),
+            (Some(400), SortKey::FileId),
+            (None, SortKey::Descending(propeller_types::AttrName::Size)),
+        ] {
+            let mut req = SearchRequest::new(q.predicate.clone()).sorted_by(sort);
+            if let Some(k) = limit {
+                req = req.with_limit(k);
+            }
+            let (one_shot, _) = execute_node_request_sequential(&refs, &req);
+            for page in [1usize, 3, 16, 1000] {
+                let (paged, _) = drain(&refs, &req, page);
+                assert_eq!(paged, one_shot, "limit {limit:?} page {page}");
+            }
+        }
+    }
+
+    #[test]
+    fn session_scans_only_what_the_shipped_pages_needed() {
+        // 16 ordered ACGs, top-100 pulled as one page of 10: the session
+        // must scan ~one page's worth of candidates, not k per ACG.
+        let groups = seeded_groups(16, 200, true);
+        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let q = crate::Query::parse("size>0", now()).unwrap();
+        let req = SearchRequest::new(q.predicate)
+            .with_limit(100)
+            .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
+        let (mut session, open_stats) =
+            NodeSearchSession::open(&refs, &req, run_inline(&refs, &req));
+        assert_eq!(open_stats.acgs_consulted, 16);
+        let page = session.pull(|acg| refs.iter().copied().find(|g| g.id() == acg), 10);
+        assert_eq!(page.hits.len(), 10);
+        assert!(!page.exhausted);
+        assert!(
+            page.stats.candidates_scanned <= 10 + refs.len(),
+            "one page must cost ~page+streams candidates, scanned {}",
+            page.stats.candidates_scanned
+        );
+        let close = session.close();
+        assert_eq!(close.node_hits_unsent, 90, "the unshipped entitlement is witnessed");
+        assert!(close.merge_skipped > 0);
+        assert_eq!(close.early_terminated, 16);
+    }
+
+    #[test]
+    fn session_pages_match_cursor_pagination_of_the_one_shot_path() {
+        let groups = seeded_groups(3, 120, true);
+        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let q = crate::Query::parse("size>100k", now()).unwrap();
+        let sort = SortKey::Descending(propeller_types::AttrName::Size);
+        let req = SearchRequest::new(q.predicate.clone()).with_limit(50).sorted_by(sort.clone());
+        let (streamed, _) = drain(&refs, &req, 8);
+
+        // Cursor pagination over the one-shot node path, page size 8.
+        let mut paged = Vec::new();
+        let mut cursor = None;
+        loop {
+            let mut page_req =
+                SearchRequest::new(q.predicate.clone()).with_limit(8).sorted_by(sort.clone());
+            if let Some(c) = cursor.take() {
+                page_req = page_req.after(c);
+            }
+            let (hits, _) = execute_node_request_sequential(&refs, &page_req);
+            if hits.is_empty() {
+                break;
+            }
+            cursor = next_cursor(&hits, Some(8));
+            paged.extend(hits);
+            if paged.len() >= 50 || cursor.is_none() {
+                break;
+            }
+        }
+        paged.truncate(50);
+        assert_eq!(streamed, paged);
+    }
+
+    #[test]
+    fn mixed_plan_session_pages_classic_and_ordered_together() {
+        // Two ordered groups plus one indexless (classic full-scan) group.
+        let mut groups = seeded_groups(2, 150, true);
+        let mut indexless = AcgIndexGroup::new(
+            AcgId::new(9),
+            GroupConfig { default_indices: false, ..GroupConfig::default() },
+        );
+        for i in 0..150u64 {
+            let id = 9_000 + i;
+            let rec = FileRecord::new(
+                FileId::new(id),
+                InodeAttrs::builder().size(((id * 7919) % 4096) << 10).build(),
+            );
+            indexless.enqueue(IndexOp::Upsert(rec), now()).unwrap();
+        }
+        indexless.commit(now()).unwrap();
+        groups.push(indexless);
+        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let q = crate::Query::parse("size>0", now()).unwrap();
+        let req = SearchRequest::new(q.predicate)
+            .with_limit(60)
+            .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
+        let (one_shot, _) = execute_node_request_sequential(&refs, &req);
+        let (paged, _) = drain(&refs, &req, 7);
+        assert_eq!(paged, one_shot);
+    }
+
+    #[test]
+    fn vanished_acg_mid_session_degrades_without_panic() {
+        let groups = seeded_groups(3, 80, true);
+        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let q = crate::Query::parse("size>0", now()).unwrap();
+        let req = SearchRequest::new(q.predicate)
+            .with_limit(100)
+            .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
+        let (mut session, _) = NodeSearchSession::open(&refs, &req, run_inline(&refs, &req));
+        let first = session.pull(|acg| refs.iter().copied().find(|g| g.id() == acg), 10);
+        // ACG 2 "migrates away": later pulls no longer resolve it.
+        let remaining: Vec<&AcgIndexGroup> =
+            groups.iter().filter(|g| g.id() != AcgId::new(2)).collect();
+        let mut rest = first.hits.clone();
+        loop {
+            let p = session.pull(|acg| remaining.iter().copied().find(|g| g.id() == acg), 10);
+            rest.extend(p.hits);
+            if p.exhausted {
+                break;
+            }
+        }
+        // Still sorted, unique, and a superset of the surviving groups'
+        // contribution past the first page.
+        assert!(rest
+            .windows(2)
+            .all(|w| req.sort.cmp_hits(&w[0], &w[1]) == std::cmp::Ordering::Less));
+        let mut files: Vec<FileId> = rest.iter().map(|h| h.file).collect();
+        files.sort_unstable();
+        files.dedup();
+        assert_eq!(files.len(), rest.len(), "no duplicates across pages");
+    }
+
+    #[test]
+    fn zero_limit_session_is_immediately_exhausted() {
+        let groups = seeded_groups(1, 10, true);
+        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let q = crate::Query::parse("size>0", now()).unwrap();
+        let req = SearchRequest::new(q.predicate).with_limit(0);
+        let (mut session, _) = NodeSearchSession::open(&refs, &req, run_inline(&refs, &req));
+        let page = session.pull(|acg| refs.iter().copied().find(|g| g.id() == acg), 16);
+        assert!(page.hits.is_empty());
+        assert!(page.exhausted);
+        assert_eq!(session.close().node_hits_unsent, 0);
+    }
+}

@@ -50,6 +50,14 @@ pub enum Error {
         /// Index Nodes that never received the spec.
         missed: Vec<NodeId>,
     },
+    /// A streamed node search session is unknown to the serving Index
+    /// Node: it was evicted (LRU / per-client cap), closed, or the node
+    /// restarted. The client reopens a session resuming after the last
+    /// hit it received.
+    SearchSessionExpired {
+        /// The session id the node no longer recognizes.
+        session: u64,
+    },
     /// A query string could not be parsed; the payload describes why.
     InvalidQuery(String),
     /// Stored bytes (WAL frame, serialized index) failed validation.
@@ -77,6 +85,9 @@ impl fmt::Display for Error {
             }
             Error::PartialIndexBroadcast { index, missed } => {
                 write!(f, "index {index:?} missed nodes {missed:?}; registration rolled back")
+            }
+            Error::SearchSessionExpired { session } => {
+                write!(f, "search session {session} expired on the serving node")
             }
             Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
@@ -110,6 +121,7 @@ mod tests {
             Error::NodeUnavailable(NodeId::new(3)),
             Error::StaleRoute { acg: AcgId::new(4), file: FileId::new(5) },
             Error::PartialIndexBroadcast { index: "uid_idx".into(), missed: vec![NodeId::new(2)] },
+            Error::SearchSessionExpired { session: 6 },
             Error::InvalidQuery("dangling operator".into()),
             Error::Corrupt("bad crc".into()),
             Error::Io("disk full".into()),
