@@ -493,8 +493,15 @@ impl FileQueryEngine {
         // its last hit and permanently skip every hit the unreachable
         // nodes held that sorted before the cursor. Incomplete responses
         // therefore carry no cursor — the caller retries the same page
-        // (or a fresh search) once the nodes recover.
-        let cursor = if unreachable.is_empty() { next_cursor(&hits, request.limit) } else { None };
+        // (or a fresh search) once the nodes recover — unless the request
+        // opted in (`cursor_on_incomplete`): availability-first callers
+        // then resume over the reachable nodes and separately backfill
+        // the listed unreachable ones.
+        let cursor = if unreachable.is_empty() || request.cursor_on_incomplete {
+            next_cursor(&hits, request.limit)
+        } else {
+            None
+        };
         Ok(SearchResponse { complete: unreachable.is_empty(), unreachable, hits, stats, cursor })
     }
 
@@ -652,8 +659,13 @@ impl FileQueryEngine {
         // what the caller waited for — overwrite with the true wall time.
         stats.elapsed = self.clock.now().since(now);
         // Same cursor honesty rule as the one-shot path: only a complete
-        // page may carry a continuation.
-        let cursor = if unreachable.is_empty() { next_cursor(&hits, request.limit) } else { None };
+        // page may carry a continuation — unless the request opted into
+        // partial-resume (see `run_one_shot`).
+        let cursor = if unreachable.is_empty() || request.cursor_on_incomplete {
+            next_cursor(&hits, request.limit)
+        } else {
+            None
+        };
         Ok(SearchResponse { complete: unreachable.is_empty(), unreachable, hits, stats, cursor })
     }
 

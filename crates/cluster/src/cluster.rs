@@ -34,6 +34,15 @@ pub struct ClusterConfig {
     /// Per-node cap on suspended streamed search sessions (see
     /// [`IndexNodeConfig::max_search_sessions`]).
     pub max_search_sessions: usize,
+    /// Durable storage root: each Index Node gets a `node-<id>`
+    /// subdirectory holding its groups' WALs and snapshots, and
+    /// [`Cluster::revive_index_node`] restores a killed node's committed
+    /// state from there. `None` (the default) keeps nodes in memory — a
+    /// revived node then starts empty, as before.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Per-group snapshot trigger: ops logged since the last snapshot (see
+    /// [`IndexNodeConfig::snapshot_wal_ops`]).
+    pub snapshot_wal_ops: u64,
 }
 
 impl Default for ClusterConfig {
@@ -47,6 +56,8 @@ impl Default for ClusterConfig {
             sim_clock: None,
             charge_network: false,
             max_search_sessions: 1024,
+            data_dir: None,
+            snapshot_wal_ops: 10_000,
         }
     }
 }
@@ -119,11 +130,13 @@ impl Cluster {
                     .expect("spawn master"),
             );
         }
-        // Index Node actors.
+        // Index Node actors. `open` restores any durable state a previous
+        // run of this cluster left under the data dir.
         for (i, &id) in index_ids.iter().enumerate() {
             let rx = rpc.register(id);
-            let mut node =
-                IndexNode::new(id, Self::index_node_config(&config, i)).with_clock(clock.clone());
+            let mut node = IndexNode::open(id, Self::index_node_config(&config, id, i))
+                .expect("recover index node state")
+                .with_clock(clock.clone());
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("propeller-in-{}", id.raw()))
@@ -137,8 +150,8 @@ impl Cluster {
 
     /// The per-node config the `i`-th Index Node was started with (shared
     /// by `start` and `revive_index_node` so a revived node behaves like
-    /// the original).
-    fn index_node_config(config: &ClusterConfig, i: usize) -> IndexNodeConfig {
+    /// the original — and recovers from the same `node-<id>` directory).
+    fn index_node_config(config: &ClusterConfig, id: NodeId, i: usize) -> IndexNodeConfig {
         IndexNodeConfig {
             commit_timeout: config.commit_timeout,
             partition: PartitionConfig {
@@ -146,6 +159,8 @@ impl Cluster {
                 ..PartitionConfig::default()
             },
             max_search_sessions: config.max_search_sessions,
+            data_dir: config.data_dir.as_ref().map(|d| d.join(format!("node-{}", id.raw()))),
+            snapshot_wal_ops: config.snapshot_wal_ops,
             ..IndexNodeConfig::default()
         }
     }
@@ -180,16 +195,22 @@ impl Cluster {
         &self.shared
     }
 
-    /// Restarts a previously killed Index Node under the same id with a
-    /// **fresh, empty** state (failure-injection harness: the in-process
-    /// nodes keep their indices in memory, so a crash loses them — the
-    /// client re-indexes to repopulate). The Master's ACG placements still
-    /// reference the id, so routed batches and searches reach the revived
-    /// node immediately.
+    /// Restarts a previously killed Index Node under the same id. On a
+    /// durable cluster ([`ClusterConfig::data_dir`]) the revived node
+    /// **restores every hosted group from disk** — newest valid snapshot
+    /// plus WAL suffix — so it serves its pre-crash committed hits
+    /// immediately; resumed search sessions recover through the client's
+    /// transparent reopen (the session table itself dies with the node,
+    /// but the reopened session finds the data again instead of an empty
+    /// node silently shortening `AllowPartial` streams). Without a data
+    /// dir the node comes back empty, as before, and the client must
+    /// re-index. The Master's ACG placements still reference the id, so
+    /// routed batches and searches reach the revived node immediately.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is not one of this cluster's Index Node ids.
+    /// Panics if `id` is not one of this cluster's Index Node ids, or if
+    /// the node's durable state cannot be recovered.
     pub fn revive_index_node(&mut self, id: NodeId) {
         let i = self
             .index_nodes
@@ -197,7 +218,8 @@ impl Cluster {
             .position(|&n| n == id)
             .unwrap_or_else(|| panic!("{id} is not an index node of this cluster"));
         let rx = self.rpc.register(id);
-        let mut node = IndexNode::new(id, Self::index_node_config(&self.config, i))
+        let mut node = IndexNode::open(id, Self::index_node_config(&self.config, id, i))
+            .expect("recover revived index node state")
             .with_clock(self.clock.clone());
         self.handles.push(
             std::thread::Builder::new()

@@ -5,12 +5,21 @@
 //! (WAL + lazy cache), search requests (commit-then-search), ACG delta
 //! flushes from clients, split computation (balanced bisection of its own
 //! ACG) and migration (extract/install of ACG parts).
+//!
+//! With a [`IndexNodeConfig::data_dir`] configured the node is **durable**:
+//! every hosted group gets a file-backed WAL (`acg-<id>.wal`) and
+//! LSN-anchored snapshots (`acg-<id>-<lsn>.snap`) in that directory,
+//! batches are fsynced before they are acknowledged, snapshots fire off a
+//! WAL-bytes/ops threshold (and after migrations), and [`IndexNode::open`]
+//! restores every group from the newest valid snapshot plus its WAL
+//! suffix — so a crashed-and-revived node serves its pre-crash hits.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use propeller_acg::{bisect, AcgGraph, PartitionConfig};
-use propeller_index::{AcgIndexGroup, FileRecord, GroupConfig, IndexSpec};
+use propeller_index::{snapshot, AcgIndexGroup, FileRecord, GroupConfig, IndexSpec, Wal};
 use propeller_query::{
     execute_classic, execute_node_request, ClassicResults, ClassicTask, GlobalCutoff, Hit,
     NodeSearchSession, SearchRequest, SearchStats, SessionPage,
@@ -86,6 +95,18 @@ pub struct IndexNodeConfig {
     /// Per-client bound on suspended sessions (an abandoned or slow client
     /// cannot monopolize the table). Evicts that client's LRU session.
     pub max_search_sessions_per_client: usize,
+    /// Durable storage for this node's groups: each hosted ACG gets a
+    /// file-backed WAL and snapshot files here, and [`IndexNode::open`]
+    /// recovers from them. `None` (the default) keeps everything in
+    /// memory — the historical, simulation-friendly behaviour.
+    pub data_dir: Option<PathBuf>,
+    /// Snapshot a durable group once this many frame bytes have been
+    /// logged since its last snapshot (the log stays bounded regardless
+    /// of op size).
+    pub snapshot_wal_bytes: u64,
+    /// Snapshot a durable group once this many ops have been logged since
+    /// its last snapshot (recovery replay stays O(delta)).
+    pub snapshot_wal_ops: u64,
 }
 
 impl Default for IndexNodeConfig {
@@ -99,6 +120,9 @@ impl Default for IndexNodeConfig {
                 .unwrap_or(1),
             max_search_sessions: 1024,
             max_search_sessions_per_client: 8,
+            data_dir: None,
+            snapshot_wal_bytes: 4 << 20,
+            snapshot_wal_ops: 10_000,
         }
     }
 }
@@ -177,6 +201,60 @@ impl IndexNode {
         }
     }
 
+    /// Opens a node, restoring every durable group from disk when a
+    /// [`IndexNodeConfig::data_dir`] is configured: ACGs are discovered
+    /// from their WAL and snapshot files, each is recovered from its
+    /// newest valid snapshot plus the WAL suffix past the snapshot's LSN
+    /// (falling back to older snapshots and ultimately a full replay on
+    /// corruption), and the node serves its pre-crash committed state
+    /// immediately. Without a data dir this is [`IndexNode::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the data directory cannot be created or
+    /// scanned and any recovery error a group reports.
+    pub fn open(id: NodeId, config: IndexNodeConfig) -> Result<Self, Error> {
+        let mut node = Self::new(id, config);
+        let Some(dir) = node.config.data_dir.clone() else { return Ok(node) };
+        std::fs::create_dir_all(&dir)?;
+        let mut acgs = snapshot::snapshot_acgs(&dir);
+        for entry in std::fs::read_dir(&dir)?.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(acg) = snapshot::parse_wal_name(name) {
+                acgs.push(acg);
+            }
+        }
+        acgs.sort_unstable();
+        acgs.dedup();
+        for acg in acgs {
+            let cfg = Self::group_config(&node.config, acg)?;
+            let (group, _report) = AcgIndexGroup::recover_with_report(acg, cfg)?;
+            node.groups.insert(acg, Arc::new(group));
+        }
+        Ok(node)
+    }
+
+    /// The [`GroupConfig`] a group of this node gets: a file-backed WAL
+    /// and snapshots under the data dir when one is configured, in-memory
+    /// otherwise.
+    fn group_config(config: &IndexNodeConfig, acg: AcgId) -> Result<GroupConfig, Error> {
+        match &config.data_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Ok(GroupConfig {
+                    commit_timeout: config.commit_timeout,
+                    wal: Wal::open(dir.join(snapshot::wal_file_name(acg)))?,
+                    snapshot_dir: Some(dir.clone()),
+                    ..GroupConfig::default()
+                })
+            }
+            None => {
+                Ok(GroupConfig { commit_timeout: config.commit_timeout, ..GroupConfig::default() })
+            }
+        }
+    }
+
     /// Replaces the node's time source (builder style). Searches measure
     /// their service time against this clock.
     #[must_use]
@@ -208,21 +286,31 @@ impl IndexNode {
         Arc::get_mut(group).expect("no search job outlives its request")
     }
 
-    fn group_mut(&mut self, acg: AcgId) -> &mut AcgIndexGroup {
-        let config = &self.config;
-        let extra = &self.extra_specs;
-        let arc = self.groups.entry(acg).or_insert_with(|| {
-            let mut group = AcgIndexGroup::new(
-                acg,
-                GroupConfig { commit_timeout: config.commit_timeout, ..GroupConfig::default() },
-            );
-            for spec in extra {
+    fn group_mut(&mut self, acg: AcgId) -> Result<&mut AcgIndexGroup, Error> {
+        if !self.groups.contains_key(&acg) {
+            let mut group = AcgIndexGroup::new(acg, Self::group_config(&self.config, acg)?);
+            for spec in &self.extra_specs {
                 // Name collisions with defaults are rejected upstream.
                 let _ = group.create_index(spec.clone());
             }
-            Arc::new(group)
-        });
-        Self::exclusive(arc)
+            self.groups.insert(acg, Arc::new(group));
+        }
+        Ok(Self::exclusive(self.groups.get_mut(&acg).expect("just inserted")))
+    }
+
+    /// Commits and snapshots a durable group once its WAL outgrows the
+    /// thresholds. Best-effort by design: the batch that tripped the
+    /// threshold is already durable in the WAL, so a failing snapshot must
+    /// not fail it — the next trigger simply retries.
+    fn maybe_snapshot(group: &mut AcgIndexGroup, ops_thr: u64, bytes_thr: u64, now: Timestamp) {
+        if !group.is_durable() {
+            return;
+        }
+        if (group.wal_ops() >= ops_thr || group.wal_bytes_since_snapshot() >= bytes_thr)
+            && group.commit(now).is_ok()
+        {
+            let _ = group.snapshot();
+        }
     }
 
     /// Number of suspended streamed search sessions.
@@ -335,12 +423,25 @@ impl IndexNode {
                     }
                 }
                 self.ops_received += ops.len() as u64;
-                let group = self.group_mut(acg);
+                let (ops_thr, bytes_thr) =
+                    (self.config.snapshot_wal_ops, self.config.snapshot_wal_bytes);
+                let group = match self.group_mut(acg) {
+                    Ok(group) => group,
+                    Err(e) => return Response::Err(e),
+                };
                 // Group commit: the whole batch becomes ONE WAL frame (one
                 // syscall on the file backend) and is buffered
                 // all-or-nothing.
                 if let Err(e) = group.enqueue_batch(ops, now) {
                     return Response::Err(e);
+                }
+                // Durability point: a durable node acknowledges a batch
+                // only once its frame is on stable storage.
+                if group.is_durable() {
+                    if let Err(e) = group.sync_wal() {
+                        return Response::Err(e);
+                    }
+                    Self::maybe_snapshot(group, ops_thr, bytes_thr, now);
                 }
                 Response::Ok
             }
@@ -497,12 +598,34 @@ impl IndexNode {
                 let wanted: std::collections::HashSet<FileId> = files.iter().copied().collect();
                 let records: Vec<FileRecord> =
                     group.records().filter(|r| wanted.contains(&r.file)).cloned().collect();
-                // Remove the moved records from this group.
-                for r in &records {
-                    let _ =
-                        group.enqueue(propeller_index::IndexOp::Remove(r.file), Timestamp::EPOCH);
+                // Remove the moved records as ONE all-or-nothing batch
+                // frame, and abort the whole extraction if logging it
+                // fails: nothing has mutated at that point (enqueue_batch
+                // buffers nothing on error), so the split aborts with both
+                // sides intact. Swallowing the failure here would hand the
+                // records to the target while this node's durable state
+                // still owns them — a revival would resurrect the moved
+                // files and searches would return them twice.
+                let removes: Vec<propeller_index::IndexOp> =
+                    records.iter().map(|r| propeller_index::IndexOp::Remove(r.file)).collect();
+                if let Err(e) = group.enqueue_batch(removes, Timestamp::EPOCH) {
+                    return Response::Err(e);
+                }
+                // Past this point the removes are logged and will commit;
+                // sync/commit/snapshot are best-effort (commit does no I/O
+                // on the durable backend, and an unsynced frame only risks
+                // re-serving the moved files until the next sync — the
+                // same stale window any unsynced batch has).
+                if group.is_durable() {
+                    let _ = group.sync_wal();
                 }
                 let _ = group.commit(Timestamp::EPOCH);
+                // Snapshot the post-extraction state (best-effort): the
+                // durable image of this ACG must stop covering the moved
+                // files — they now belong to the target node — and the
+                // removes just logged should not sit in the WAL until the
+                // next size-triggered snapshot.
+                let _ = group.snapshot();
                 // Tombstone the moved files: batches still routing them
                 // here are stale and must re-resolve (see IndexBatch).
                 self.add_tombstones(acg, &files);
@@ -529,21 +652,35 @@ impl IndexNode {
                         moved.remove(&record.file);
                     }
                 }
-                let group = self.group_mut(acg);
-                for record in records {
-                    if let Err(e) =
-                        group.enqueue(propeller_index::IndexOp::Upsert(record), Timestamp::EPOCH)
-                    {
+                let group = match self.group_mut(acg) {
+                    Ok(group) => group,
+                    Err(e) => return Response::Err(e),
+                };
+                let ops: Vec<propeller_index::IndexOp> =
+                    records.into_iter().map(propeller_index::IndexOp::Upsert).collect();
+                // One group-committed frame (and one fsync on a durable
+                // node) covers the whole installed part.
+                if let Err(e) = group.enqueue_batch(ops, Timestamp::EPOCH) {
+                    return Response::Err(e);
+                }
+                if group.is_durable() {
+                    if let Err(e) = group.sync_wal() {
                         return Response::Err(e);
                     }
                 }
                 if let Err(e) = group.commit(Timestamp::EPOCH) {
                     return Response::Err(e);
                 }
+                // Migrated-in state is snapshot-covered right away
+                // (best-effort): the moved half's durable home is now this
+                // node.
+                let _ = group.snapshot();
                 self.graphs.entry(acg).or_default().apply_updates(edges);
                 Response::Ok
             }
             Request::Tick { now } => {
+                let (ops_thr, bytes_thr) =
+                    (self.config.snapshot_wal_ops, self.config.snapshot_wal_bytes);
                 for group in self.groups.values_mut() {
                     let group = Self::exclusive(group);
                     if group.commit_due(now) {
@@ -551,6 +688,9 @@ impl IndexNode {
                             return Response::Err(e);
                         }
                     }
+                    // Background snapshotting rides the maintenance tick,
+                    // so update-quiet groups still bound their logs.
+                    Self::maybe_snapshot(group, ops_thr, bytes_thr, now);
                 }
                 Response::Status(self.summaries())
             }
@@ -1313,6 +1453,51 @@ mod tests {
             .all(|w| request.sort.cmp_hits(&w[0], &w[1]) == std::cmp::Ordering::Less));
         let from_acg2 = all.iter().filter(|h| h.acg == Some(AcgId::new(2))).count();
         assert!(from_acg2 > 0);
+    }
+
+    #[test]
+    fn durable_node_snapshots_off_the_ops_threshold_and_reopens_from_disk() {
+        let dir =
+            std::env::temp_dir().join(format!("propeller-node-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || IndexNodeConfig {
+            data_dir: Some(dir.clone()),
+            snapshot_wal_ops: 50,
+            ..IndexNodeConfig::default()
+        };
+        let acg = AcgId::new(1);
+        let baseline = {
+            let mut n = IndexNode::open(NodeId::new(1), config()).unwrap();
+            // 80 ops > the 50-op threshold: the batch is fsynced and the
+            // threshold commit+snapshot fires inside the handler.
+            n.handle(Request::IndexBatch {
+                acg,
+                ops: (0..80).map(|i| IndexOp::Upsert(rec(i, (80 - i) << 10))).collect(),
+                now: t(0),
+            });
+            assert!(
+                std::fs::read_dir(&dir)
+                    .unwrap()
+                    .flatten()
+                    .any(|e| e.file_name().to_string_lossy().ends_with(".snap")),
+                "ops threshold must have triggered a snapshot"
+            );
+            // A post-snapshot tail rides the WAL only.
+            n.handle(Request::IndexBatch {
+                acg,
+                ops: (100..110).map(|i| IndexOp::Upsert(rec(i, 5 << 10))).collect(),
+                now: t(1),
+            });
+            search(&mut n, vec![acg], "size>0")
+            // Crash: the node is dropped without further ceremony.
+        };
+        assert_eq!(baseline.len(), 90);
+        // A reopened node under the same data dir restores everything —
+        // snapshot base plus WAL suffix.
+        let mut revived = IndexNode::open(NodeId::new(1), config()).unwrap();
+        assert_eq!(revived.acg_count(), 1);
+        assert_eq!(search(&mut revived, vec![acg], "size>0"), baseline);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

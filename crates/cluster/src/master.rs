@@ -177,6 +177,21 @@ impl MasterNode {
         let (files, count) = (acgs.iter().map(|a| a.files).sum(), acgs.len());
         self.node_status.insert(node, NodeStatus { last_heartbeat: now, files, acgs: count });
         for summary in acgs {
+            // Adopt ACGs this Master has never seen: after a full-cluster
+            // restart the (in-memory) Master comes up empty while durable
+            // Index Nodes recover their groups from disk — their first
+            // heartbeats re-register the placements, so the search
+            // fan-out reaches the recovered data again. In steady state
+            // this never fires (every ACG is Master-allocated). File→ACG
+            // routing for *new* batches of pre-restart files is not
+            // rebuilt here; that needs persisted Master metadata (a
+            // recorded follow-on).
+            if let std::collections::hash_map::Entry::Vacant(slot) =
+                self.acg_to_node.entry(summary.acg)
+            {
+                slot.insert(node);
+                self.next_acg = self.next_acg.max(summary.acg.raw() + 1);
+            }
             self.acg_files.insert(summary.acg, summary.files);
             if summary.files > self.config.split_threshold && !self.splitting.contains(&summary.acg)
             {

@@ -4,13 +4,27 @@
 //! record store plus a *named index table* mapping user-chosen index names
 //! to concrete structures (B+-tree, hash table or K-D tree — "each ACG can
 //! have all three types"). Updates flow through the WAL and the lazy
-//! [`IndexCache`]; a commit applies buffered ops to every index and
-//! truncates the WAL. Searches must observe all acknowledged updates, so
-//! the owning node commits before serving a search (the paper's
-//! consistency rule).
+//! [`IndexCache`]; a commit applies buffered ops to every index. Searches
+//! must observe all acknowledged updates, so the owning node commits
+//! before serving a search (the paper's consistency rule).
+//!
+//! ## Durability
+//!
+//! A group with an in-memory WAL truncates its log at every commit (the
+//! historical behaviour — nothing in memory survives a crash anyway). A
+//! group with a **file-backed** WAL keeps committed frames in the log
+//! until a [`AcgIndexGroup::snapshot`] covers them: the snapshot
+//! serializes the committed state stamped with the WAL LSN it reflects,
+//! and the log is truncated up to the *previous* retained snapshot's LSN
+//! (two-checkpoint retention: a corrupt newest snapshot still recovers
+//! fully from the older one plus a longer suffix). Recovery
+//! ([`AcgIndexGroup::recover`]) loads the newest valid snapshot and
+//! replays only the WAL suffix past its LSN, falling back to older
+//! snapshots and ultimately to a full replay when files fail validation.
 
 use std::collections::HashMap;
 use std::ops::Bound;
+use std::path::PathBuf;
 
 use propeller_types::{AcgId, AttrName, Duration, Error, FileId, Result, Timestamp, Value};
 use serde::{Deserialize, Serialize};
@@ -20,6 +34,7 @@ use crate::cache::IndexCache;
 use crate::hash::HashIndex;
 use crate::kdtree::KdTree;
 use crate::ops::{FileRecord, IndexOp};
+use crate::snapshot::{self, SnapshotData};
 use crate::wal::Wal;
 
 /// The concrete structure behind a named index.
@@ -72,6 +87,9 @@ pub struct GroupConfig {
     /// Create the paper's default indices (B+-tree on size and mtime, hash
     /// on keyword, K-D tree on (size, mtime)).
     pub default_indices: bool,
+    /// Where [`AcgIndexGroup::snapshot`] writes its checkpoint files and
+    /// recovery looks for them. `None` (the default) disables snapshots.
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl Default for GroupConfig {
@@ -80,8 +98,24 @@ impl Default for GroupConfig {
             commit_timeout: Duration::from_secs(5),
             wal: Wal::in_memory(),
             default_indices: true,
+            snapshot_dir: None,
         }
     }
+}
+
+/// What [`AcgIndexGroup::recover_with_report`] found and did.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// LSN of the snapshot the recovery was anchored to (`None` = no
+    /// usable snapshot; the whole WAL was replayed).
+    pub snapshot_lsn: Option<u64>,
+    /// Records restored from the snapshot.
+    pub snapshot_records: usize,
+    /// Ops replayed from the WAL suffix.
+    pub replayed_ops: usize,
+    /// Snapshot files skipped because they failed validation (torn,
+    /// corrupt or mislabeled); recovery fell back past each of them.
+    pub snapshots_skipped: usize,
 }
 
 /// A sorted posting list of files holding a given attribute value.
@@ -134,6 +168,23 @@ pub struct AcgIndexGroup {
     kds: HashMap<String, (Vec<AttrName>, KdTree)>,
     wal: Wal,
     cache: IndexCache,
+    /// Where snapshots live (`None` = snapshots disabled).
+    snapshot_dir: Option<PathBuf>,
+    /// WAL LSN through which ops have been applied into the indices: the
+    /// commit watermark a snapshot is stamped with.
+    applied_lsn: u64,
+    /// LSN of the newest snapshot written or recovered from (`None` before
+    /// the first).
+    snapshot_lsn: Option<u64>,
+    /// Ops logged since the last snapshot — the trigger metric an Index
+    /// Node compares against its snapshot thresholds (approximate by
+    /// design; it resets on snapshot and recovery).
+    wal_ops: u64,
+    /// Frame bytes logged since the last snapshot (same trigger role as
+    /// `wal_ops`; the raw retained log size would keep re-firing the
+    /// bytes threshold, because two-checkpoint retention deliberately
+    /// keeps the previous inter-checkpoint window in the log).
+    wal_trigger_bytes: u64,
     ops_applied: u64,
 }
 
@@ -149,6 +200,11 @@ impl AcgIndexGroup {
             kds: HashMap::new(),
             wal: config.wal,
             cache: IndexCache::new(config.commit_timeout),
+            snapshot_dir: config.snapshot_dir,
+            applied_lsn: 0,
+            snapshot_lsn: None,
+            wal_ops: 0,
+            wal_trigger_bytes: 0,
             ops_applied: 0,
         };
         if config.default_indices {
@@ -164,29 +220,164 @@ impl AcgIndexGroup {
         group
     }
 
-    /// Recovers a group from its WAL: every acknowledged (logged) op is
-    /// re-applied, then the WAL is truncated. Returns the group and the
-    /// number of recovered ops.
+    /// Rebuilds a group from a decoded snapshot: records are installed
+    /// directly and every index from the snapshot's named-index table is
+    /// re-created and backfilled (the K-D trees bulk-load balanced).
+    fn from_snapshot(data: SnapshotData, config: GroupConfig) -> Result<Self> {
+        let mut group = AcgIndexGroup {
+            id: data.acg,
+            records: HashMap::with_capacity(data.records.len()),
+            specs: Vec::new(),
+            btrees: HashMap::new(),
+            hashes: HashMap::new(),
+            kds: HashMap::new(),
+            wal: config.wal,
+            cache: IndexCache::new(config.commit_timeout),
+            snapshot_dir: config.snapshot_dir,
+            applied_lsn: data.lsn,
+            snapshot_lsn: Some(data.lsn),
+            wal_ops: 0,
+            wal_trigger_bytes: 0,
+            ops_applied: data.records.len() as u64,
+        };
+        for record in data.records {
+            group.records.insert(record.file, record);
+        }
+        for spec in data.specs {
+            group.create_index(spec)?;
+        }
+        Ok(group)
+    }
+
+    /// Recovers a group from its durable state: the newest **valid**
+    /// snapshot (when a snapshot directory is configured) plus the WAL
+    /// suffix past that snapshot's LSN. Snapshot files that fail
+    /// validation are skipped — recovery falls back to the next older one
+    /// and, while the log is still complete (never checkpoint-truncated),
+    /// to a full WAL replay. Returns the group and the number of WAL ops
+    /// replayed.
+    ///
+    /// The WAL is left intact on the file backend (it is still the only
+    /// durable record of the replayed suffix until the next snapshot); the
+    /// in-memory backend truncates as before.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Corrupt`] if a logged op fails to decode (frames
-    /// with bad CRCs were already dropped by WAL replay), or [`Error::Io`]
-    /// on WAL I/O failures.
-    pub fn recover(id: AcgId, mut config: GroupConfig) -> Result<(Self, usize)> {
-        let frames = config.wal.replay()?;
-        let mut group = AcgIndexGroup::new(id, config);
-        let mut count = 0;
-        for frame in frames {
+    /// with bad CRCs were already dropped by WAL replay), **or when no
+    /// snapshot validates and the WAL was already truncated past its first
+    /// frame** — the pre-checkpoint state is provably unrecoverable and a
+    /// silently partial group must not come back as whole. [`Error::Io`]
+    /// surfaces WAL I/O failures.
+    pub fn recover(id: AcgId, config: GroupConfig) -> Result<(Self, usize)> {
+        let (group, report) = Self::recover_with_report(id, config)?;
+        Ok((group, report.replayed_ops))
+    }
+
+    /// [`AcgIndexGroup::recover`] with the full [`RecoveryReport`]
+    /// (snapshot anchor, records restored, ops replayed, files skipped).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`AcgIndexGroup::recover`].
+    pub fn recover_with_report(
+        id: AcgId,
+        mut config: GroupConfig,
+    ) -> Result<(Self, RecoveryReport)> {
+        let mut report = RecoveryReport::default();
+        let mut base: Option<SnapshotData> = None;
+        if let Some(dir) = &config.snapshot_dir {
+            for (_, path) in snapshot::list_snapshots(dir, id) {
+                match snapshot::read_snapshot(&path) {
+                    Ok(data) if data.acg == id => {
+                        base = Some(data);
+                        break;
+                    }
+                    _ => report.snapshots_skipped += 1,
+                }
+            }
+        }
+        // Refuse a provably partial recovery: a durable WAL's base only
+        // moves past 1 when a snapshot once covered the dropped prefix
+        // (commits never truncate the file backend). If no snapshot
+        // validates now, the prefix is unrecoverable — surfacing the
+        // corruption beats silently serving a truncated group as whole.
+        if base.is_none() && config.snapshot_dir.is_some() && config.wal.is_durable() {
+            let first = config.wal.first_lsn();
+            if first > 1 {
+                return Err(Error::Corrupt(format!(
+                    "acg {} has no valid snapshot but its wal starts at lsn {first}: \
+                     frames 1..{first} were checkpoint-covered and are gone; \
+                     refusing partial recovery",
+                    id.raw()
+                )));
+            }
+        }
+        let snap_lsn = base.as_ref().map_or(0, |d| d.lsn);
+        let frames = config.wal.replay_from(snap_lsn)?;
+        let mut group = match base {
+            Some(data) => {
+                report.snapshot_lsn = Some(data.lsn);
+                report.snapshot_records = data.records.len();
+                Self::from_snapshot(data, config)?
+            }
+            None => AcgIndexGroup::new(id, config),
+        };
+        let mut last_lsn = snap_lsn;
+        let mut suffix_bytes = 0u64;
+        for (lsn, frame) in frames {
             // A frame is either one classic single-op record or a
             // group-committed batch; recovery replays both.
             for op in IndexOp::decode_frame(&frame)? {
                 group.apply(op);
-                count += 1;
+                report.replayed_ops += 1;
             }
+            suffix_bytes += frame.len() as u64 + 8;
+            last_lsn = lsn;
         }
-        group.wal.truncate()?;
-        Ok((group, count))
+        group.applied_lsn = last_lsn;
+        group.wal_ops = report.replayed_ops as u64;
+        group.wal_trigger_bytes = suffix_bytes;
+        if !group.wal.is_durable() {
+            group.wal.truncate()?;
+        }
+        Ok((group, report))
+    }
+
+    /// Writes a snapshot of the **committed** state (stamped with the
+    /// current applied LSN), truncates the WAL up to the previous retained
+    /// snapshot's LSN and prunes snapshot files older than that. Pending
+    /// (logged but uncommitted) ops have LSNs past the stamp, so they
+    /// survive in the log — snapshotting never requires a commit.
+    ///
+    /// Two checkpoints are retained: should the newest file be torn or
+    /// corrupted on disk, recovery still reassembles the full state from
+    /// the previous one plus the longer WAL suffix.
+    ///
+    /// Returns the covered LSN, or `None` when no snapshot directory is
+    /// configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on snapshot-write or WAL-truncation failures;
+    /// the previous snapshot set stays intact in that case.
+    pub fn snapshot(&mut self) -> Result<Option<u64>> {
+        let Some(dir) = self.snapshot_dir.clone() else { return Ok(None) };
+        let lsn = self.applied_lsn;
+        if self.snapshot_lsn == Some(lsn) {
+            return Ok(Some(lsn)); // nothing committed since the last one
+        }
+        snapshot::write_snapshot(&dir, self.id, lsn, &self.specs, self.records.values())?;
+        // Two-checkpoint retention: the log keeps everything the *older*
+        // retained snapshot still needs; before the first snapshot there
+        // is nothing safe to drop.
+        let keep_from = self.snapshot_lsn.unwrap_or(0);
+        self.wal.truncate_upto(keep_from)?;
+        snapshot::prune_snapshots(&dir, self.id, keep_from);
+        self.snapshot_lsn = Some(lsn);
+        self.wal_ops = self.cache.len() as u64;
+        self.wal_trigger_bytes = 0;
+        Ok(Some(lsn))
     }
 
     /// This group's ACG id.
@@ -374,7 +565,10 @@ impl AcgIndexGroup {
     /// Returns [`Error::Io`] if the WAL append fails; the op is *not*
     /// buffered in that case (no acknowledged-but-unlogged state).
     pub fn enqueue(&mut self, op: IndexOp, now: Timestamp) -> Result<bool> {
+        let before = self.wal.byte_size();
         self.wal.append(&op.encode())?;
+        self.wal_ops += 1;
+        self.wal_trigger_bytes += self.wal.byte_size() - before;
         self.cache.push(op, now);
         if self.cache.timed_out(now) {
             self.commit(now)?;
@@ -401,7 +595,10 @@ impl AcgIndexGroup {
             0 => Ok(false),
             1 => self.enqueue(ops.into_iter().next().expect("len checked"), now),
             _ => {
+                let before = self.wal.byte_size();
                 self.wal.append(&IndexOp::encode_batch(&ops))?;
+                self.wal_ops += ops.len() as u64;
+                self.wal_trigger_bytes += self.wal.byte_size() - before;
                 self.cache.push_batch(ops, now);
                 if self.cache.timed_out(now) {
                     self.commit(now)?;
@@ -412,7 +609,11 @@ impl AcgIndexGroup {
         }
     }
 
-    /// Commits all buffered ops to the indices and truncates the WAL.
+    /// Commits all buffered ops to the indices, advancing the applied-LSN
+    /// watermark. An in-memory WAL is truncated here (its log buys no
+    /// durability, so there is no reason to retain it); a file-backed WAL
+    /// keeps the committed frames until a snapshot covers them — that log
+    /// suffix is what lets a crashed node restore its committed state.
     /// Returns the number of ops applied.
     ///
     /// # Errors
@@ -425,9 +626,58 @@ impl AcgIndexGroup {
             self.apply(op);
         }
         if n > 0 {
-            self.wal.truncate()?;
+            self.applied_lsn = self.wal.last_lsn();
+            if !self.wal.is_durable() {
+                self.wal.truncate()?;
+            }
         }
         Ok(n)
+    }
+
+    /// Forces the WAL to stable storage (no-op for the memory backend) —
+    /// the Index Node calls this before acknowledging a durable batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if `fsync` fails.
+    pub fn sync_wal(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// Whether this group's WAL survives a process crash (file backend).
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_durable()
+    }
+
+    /// The WAL LSN through which ops have been committed into the indices
+    /// (what the next snapshot will be stamped with).
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied_lsn
+    }
+
+    /// LSN of the newest snapshot written or recovered from, if any.
+    pub fn snapshot_lsn(&self) -> Option<u64> {
+        self.snapshot_lsn
+    }
+
+    /// Ops logged since the last snapshot (the Index Node's snapshot
+    /// trigger metric).
+    pub fn wal_ops(&self) -> u64 {
+        self.wal_ops
+    }
+
+    /// Frame bytes currently retained in the WAL (raw log size; includes
+    /// the previous inter-checkpoint window the retention policy keeps).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.byte_size()
+    }
+
+    /// Frame bytes logged since the last snapshot — the Index Node's
+    /// bytes-threshold trigger metric. Unlike [`AcgIndexGroup::wal_bytes`]
+    /// this resets at every snapshot, so one oversized checkpoint window
+    /// cannot re-fire the trigger into back-to-back full-group snapshots.
+    pub fn wal_bytes_since_snapshot(&self) -> u64 {
+        self.wal_trigger_bytes
     }
 
     /// Whether the cache is due for a background commit.
@@ -1066,6 +1316,151 @@ mod tests {
         g.commit(t(2)).unwrap();
         assert_eq!(g.len(), 11, "commit agrees with the projection");
         assert_eq!(g.projected_len(), 11);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("propeller-group-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn durable_config(dir: &std::path::Path, acg: u64) -> GroupConfig {
+        GroupConfig {
+            wal: Wal::open(dir.join(format!("acg-{acg}.wal"))).unwrap(),
+            snapshot_dir: Some(dir.to_path_buf()),
+            ..GroupConfig::default()
+        }
+    }
+
+    #[test]
+    fn snapshot_plus_wal_suffix_restores_committed_and_pending_state() {
+        let dir = temp_dir("snap-suffix");
+        let acg = AcgId::new(3);
+        {
+            let mut g = AcgIndexGroup::new(acg, durable_config(&dir, 3));
+            for i in 0..60 {
+                g.enqueue(IndexOp::Upsert(record(i, i * 10, i)), t(0)).unwrap();
+            }
+            g.commit(t(0)).unwrap();
+            let covered = g.snapshot().unwrap().expect("snapshot dir configured");
+            assert_eq!(covered, g.applied_lsn());
+            assert_eq!(g.snapshot_lsn(), Some(covered));
+            // Post-snapshot: more committed ops and a pending tail.
+            g.enqueue(IndexOp::Remove(FileId::new(0)), t(1)).unwrap();
+            g.enqueue(IndexOp::Upsert(record(100, 7, 0)), t(1)).unwrap();
+            g.commit(t(1)).unwrap();
+            g.enqueue(IndexOp::Upsert(record(101, 7, 0)), t(2)).unwrap();
+            g.sync_wal().unwrap();
+            // Crash.
+        }
+        let (g, report) = AcgIndexGroup::recover_with_report(acg, durable_config(&dir, 3)).unwrap();
+        assert!(report.snapshot_lsn.is_some(), "recovery anchored to the snapshot");
+        assert_eq!(report.snapshot_records, 60);
+        assert_eq!(report.replayed_ops, 3, "only the suffix replays");
+        assert_eq!(g.len(), 61, "60 - 1 removed + 2 added");
+        assert_eq!(g.lookup_eq(&AttrName::Size, &Value::U64(7)).len(), 2);
+        assert!(g.lookup_eq(&AttrName::Size, &Value::U64(0)).is_empty(), "remove replayed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_truncates_the_wal_with_two_checkpoint_retention() {
+        let dir = temp_dir("retention");
+        let acg = AcgId::new(4);
+        let mut g = AcgIndexGroup::new(acg, durable_config(&dir, 4));
+        let mut lsns = Vec::new();
+        for round in 0..3u64 {
+            for i in 0..20 {
+                g.enqueue(IndexOp::Upsert(record(round * 100 + i, i, 0)), t(round)).unwrap();
+            }
+            g.commit(t(round)).unwrap();
+            lsns.push(g.snapshot().unwrap().unwrap());
+        }
+        // Keep-2: the newest two snapshot files survive, older are pruned.
+        let listed: Vec<u64> =
+            crate::snapshot::list_snapshots(&dir, acg).into_iter().map(|(lsn, _)| lsn).collect();
+        assert_eq!(listed, vec![lsns[2], lsns[1]]);
+        // The log is truncated at the *previous* snapshot's LSN: frames the
+        // older retained checkpoint still needs survive, everything before
+        // it is gone.
+        assert_eq!(g.wal.first_lsn(), lsns[1] + 1);
+        assert!(g.wal.entry_count() < 60, "log bounded: {} frames", g.wal.entry_count());
+        // A corrupt NEWEST snapshot falls back to the previous one plus
+        // the longer suffix and still restores everything.
+        let (_, newest) = crate::snapshot::list_snapshots(&dir, acg)[0].clone();
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let ix = bytes.len() - 9;
+        bytes[ix] ^= 0xFF;
+        std::fs::write(&newest, bytes).unwrap();
+        let (recovered, report) =
+            AcgIndexGroup::recover_with_report(acg, durable_config(&dir, 4)).unwrap();
+        assert_eq!(report.snapshots_skipped, 1);
+        assert_eq!(report.snapshot_lsn, Some(lsns[1]));
+        assert_eq!(recovered.len(), 60, "all three rounds restored");
+        // With BOTH retained snapshots corrupt, the truncated WAL alone
+        // cannot reassemble the pre-checkpoint state: recovery must
+        // refuse loudly instead of serving a silently partial group.
+        let (_, previous) = crate::snapshot::list_snapshots(&dir, acg)[1].clone();
+        std::fs::write(&previous, b"PSNPgarbage").unwrap();
+        let err = AcgIndexGroup::recover_with_report(acg, durable_config(&dir, 4));
+        assert!(
+            matches!(err, Err(Error::Corrupt(_))),
+            "partial recovery must be refused, got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_only_snapshot_falls_back_to_full_wal_replay() {
+        let dir = temp_dir("full-fallback");
+        let acg = AcgId::new(5);
+        {
+            let mut g = AcgIndexGroup::new(acg, durable_config(&dir, 5));
+            for i in 0..30 {
+                g.enqueue(IndexOp::Upsert(record(i, i, 0)), t(0)).unwrap();
+            }
+            g.commit(t(0)).unwrap();
+            g.snapshot().unwrap().unwrap();
+            g.sync_wal().unwrap();
+        }
+        // The first snapshot never truncates the log (there is no previous
+        // checkpoint to anchor a shorter suffix to), so corrupting it must
+        // degrade recovery to a complete WAL replay — not data loss.
+        let (_, path) = crate::snapshot::list_snapshots(&dir, acg)[0].clone();
+        std::fs::write(&path, b"PSNPgarbage").unwrap();
+        let (g, report) = AcgIndexGroup::recover_with_report(acg, durable_config(&dir, 5)).unwrap();
+        assert_eq!(report.snapshot_lsn, None);
+        assert_eq!(report.snapshots_skipped, 1);
+        assert_eq!(report.replayed_ops, 30);
+        assert_eq!(g.len(), 30);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_restores_custom_index_table() {
+        let dir = temp_dir("specs");
+        let acg = AcgId::new(6);
+        {
+            let mut g = AcgIndexGroup::new(acg, durable_config(&dir, 6));
+            g.create_index(IndexSpec::btree("energy_idx", AttrName::custom("energy"))).unwrap();
+            for i in 0..10 {
+                let rec = record(i, 1, 0).with_custom("energy", Value::F64(i as f64));
+                g.enqueue(IndexOp::Upsert(rec), t(0)).unwrap();
+            }
+            g.commit(t(0)).unwrap();
+            g.snapshot().unwrap().unwrap();
+        }
+        let (g, _) = AcgIndexGroup::recover_with_report(acg, durable_config(&dir, 6)).unwrap();
+        assert!(g.index_specs().iter().any(|s| s.name == "energy_idx"));
+        let hits = g.lookup_range(
+            &AttrName::custom("energy"),
+            Bound::Included(Value::F64(3.0)),
+            Bound::Included(Value::F64(5.0)),
+        );
+        assert_eq!(hits.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,17 +11,68 @@
 //! is rebuilt from scratch with balanced median splits. The paper notes its
 //! prototype serialises whole K-D trees per group; this implementation is
 //! `serde`-serialisable for the same reason.
+//!
+//! Inserts self-balance **scapegoat style**: K-D trees admit no rotations,
+//! so when an insert lands deeper than the α-height bound
+//! (`log₃⁄₂ n`, α = 2/3) the lowest α-weight-unbalanced ancestor on the
+//! insertion path — the scapegoat — is rebuilt with balanced median
+//! splits. The amortized cost is O(log n) per insert, which keeps
+//! fully-monotone point streams (a bulk load sorted by size with
+//! sequential mtimes — exactly what a commit of scanned files looks like)
+//! from degenerating the tree into a linked list and the commit into
+//! O(n²). Routing is lexicographic on `(coordinate, payload)`: the
+//! payload tie-break gives *identical* points distinct routing keys, so
+//! even a run of byte-equal points (thousands of empty files sharing one
+//! mtime) balances instead of chaining beyond what any rebuild can fix.
 
 use propeller_types::FileId;
 use serde::{Deserialize, Serialize};
+
+/// Weight-balance ratio α as `ALPHA_NUM / ALPHA_DEN` (2/3): a subtree is a
+/// scapegoat candidate when one child holds more than α of its nodes, and
+/// the depth bound is `log_{1/α}` of the node count.
+const ALPHA_NUM: usize = 2;
+const ALPHA_DEN: usize = 3;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct KdNode {
     point: Vec<f64>,
     payload: FileId,
     deleted: bool,
+    /// Nodes in this subtree, tombstones included (they still cost a
+    /// visit, so balance is kept over physical nodes).
+    size: usize,
     left: Option<Box<KdNode>>,
     right: Option<Box<KdNode>>,
+}
+
+fn subtree_size(node: &Option<Box<KdNode>>) -> usize {
+    node.as_ref().map_or(0, |n| n.size)
+}
+
+/// The routing discriminator every traversal shares: a key belongs in the
+/// LEFT subtree when it is lexicographically below the node on
+/// `(point[axis], payload)`. The payload tie-break is what keeps runs of
+/// *identical* points balanceable — with axis-only routing equal
+/// coordinates always went right, forming a chain no median rebuild could
+/// flatten (and therefore an unbounded recursion depth).
+fn goes_left(point: &[f64], payload: FileId, n: &KdNode, axis: usize) -> bool {
+    match point[axis].total_cmp(&n.point[axis]) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => payload < n.payload,
+    }
+}
+
+/// What a recursive insert reports on unwind.
+enum Ins {
+    /// An identical tombstoned entry was resurrected in place.
+    Resurrected,
+    /// Inserted within the depth bound (or a scapegoat already rebuilt).
+    Done,
+    /// Inserted past the depth bound; no ancestor below was α-unbalanced
+    /// yet — the unwind keeps looking for the scapegoat.
+    Deep,
 }
 
 /// A `k`-dimensional tree mapping points to [`FileId`]s.
@@ -86,7 +137,17 @@ impl KdTree {
         rec(&self.root)
     }
 
-    /// Inserts a point with its payload.
+    /// The α-height bound for a tree of `total` nodes: inserts landing
+    /// deeper trigger a scapegoat rebuild. `log_{3/2} n ≈ 1.71 log₂ n`,
+    /// floored generously so tiny trees never thrash.
+    fn depth_limit(total: usize) -> usize {
+        let lg2 = (usize::BITS - total.max(1).leading_zeros()) as usize;
+        (lg2 * 12 / 7).max(8)
+    }
+
+    /// Inserts a point with its payload. When the insert lands deeper than
+    /// the α-height bound, the lowest α-weight-unbalanced ancestor is
+    /// rebuilt balanced (amortized O(log n) — see the module docs).
     ///
     /// # Panics
     ///
@@ -94,38 +155,93 @@ impl KdTree {
     pub fn insert(&mut self, point: &[f64], payload: FileId) {
         assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
         let dims = self.dims;
-        let mut node = &mut self.root;
-        let mut depth = 0usize;
-        loop {
-            match node {
-                None => {
-                    *node = Some(Box::new(KdNode {
-                        point: point.to_vec(),
-                        payload,
-                        deleted: false,
-                        left: None,
-                        right: None,
-                    }));
-                    self.live += 1;
-                    return;
-                }
-                Some(n) => {
-                    let axis = depth % dims;
-                    // Resurrect an identical tombstoned entry in place.
-                    if n.deleted && n.payload == payload && n.point == point {
-                        n.deleted = false;
-                        self.tombstones -= 1;
-                        self.live += 1;
-                        return;
-                    }
-                    if point[axis] < n.point[axis] {
-                        node = &mut n.left;
-                    } else {
-                        node = &mut n.right;
-                    }
-                    depth += 1;
-                }
+        let max_depth = Self::depth_limit(self.live + self.tombstones + 1);
+        let mut dropped_tombs = 0usize;
+        let out = Self::insert_rec(
+            &mut self.root,
+            point,
+            payload,
+            0,
+            dims,
+            max_depth,
+            &mut dropped_tombs,
+        );
+        self.tombstones -= dropped_tombs;
+        match out {
+            Ins::Resurrected => {
+                self.tombstones -= 1;
+                self.live += 1;
             }
+            Ins::Done => self.live += 1,
+            Ins::Deep => {
+                // Every ancestor is α-weight-balanced yet the tree is too
+                // deep (tombstone skew can do this): rebuild the whole
+                // tree, which also sheds the tombstones.
+                self.live += 1;
+                self.rebuild();
+            }
+        }
+    }
+
+    /// Recursive insert with subtree-size maintenance and scapegoat
+    /// detection on unwind. `dropped_tombs` accumulates tombstones shed by
+    /// a subtree rebuild so the caller can fix the tree-level counter.
+    fn insert_rec(
+        slot: &mut Option<Box<KdNode>>,
+        point: &[f64],
+        payload: FileId,
+        depth: usize,
+        dims: usize,
+        max_depth: usize,
+        dropped_tombs: &mut usize,
+    ) -> Ins {
+        let Some(n) = slot else {
+            *slot = Some(Box::new(KdNode {
+                point: point.to_vec(),
+                payload,
+                deleted: false,
+                size: 1,
+                left: None,
+                right: None,
+            }));
+            return if depth > max_depth { Ins::Deep } else { Ins::Done };
+        };
+        // Resurrect an identical tombstoned entry in place.
+        if n.deleted && n.payload == payload && n.point == point {
+            n.deleted = false;
+            return Ins::Resurrected;
+        }
+        let axis = depth % dims;
+        let child = if goes_left(point, payload, n, axis) { &mut n.left } else { &mut n.right };
+        let out =
+            Self::insert_rec(child, point, payload, depth + 1, dims, max_depth, dropped_tombs);
+        let rebuild_here = match out {
+            Ins::Resurrected => return Ins::Resurrected,
+            Ins::Done => {
+                // A scapegoat rebuild below shed tombstones: this
+                // ancestor's count shrinks by them net of the insert.
+                n.size = n.size + 1 - *dropped_tombs;
+                false
+            }
+            Ins::Deep => {
+                n.size += 1;
+                // The scapegoat is the lowest ancestor one of whose
+                // children outweighs α of it.
+                subtree_size(&n.left).max(subtree_size(&n.right)) * ALPHA_DEN > n.size * ALPHA_NUM
+            }
+        };
+        if rebuild_here {
+            let sub = slot.take();
+            let total = subtree_size(&sub);
+            let mut points = Vec::with_capacity(total);
+            Self::collect_live(&sub, &mut points);
+            *dropped_tombs += total - points.len();
+            *slot = Self::build_balanced(&mut points[..], depth, dims);
+            return Ins::Done;
+        }
+        match out {
+            Ins::Deep => Ins::Deep,
+            _ => Ins::Done,
         }
     }
 
@@ -151,7 +267,7 @@ impl KdTree {
                         return true;
                     }
                     let axis = depth % dims;
-                    if point[axis] < n.point[axis] {
+                    if goes_left(point, payload, n, axis) {
                         node = &mut n.left;
                     } else {
                         node = &mut n.right;
@@ -244,18 +360,23 @@ impl KdTree {
         }
         let axis = depth % dims;
         let mid = points.len() / 2;
+        // The comparator is exactly the routing order (`goes_left`):
+        // axis value with the payload tie-break. The median split then
+        // preserves the traversal invariant even for duplicate-heavy
+        // data, and identical points spread across both halves instead
+        // of chaining down one spine.
         points.select_nth_unstable_by(mid, |a, b| {
             a.0[axis].total_cmp(&b.0[axis]).then_with(|| a.1.cmp(&b.1))
         });
-        // `select_nth` guarantees points[..mid] <= points[mid] <= points[mid+1..]
-        // under the comparator, preserving the "< left, >= right" invariant.
         let (point, payload) = points[mid].clone();
+        let size = points.len();
         let (left_half, rest) = points.split_at_mut(mid);
         let right_half = &mut rest[1..];
         Some(Box::new(KdNode {
             point,
             payload,
             deleted: false,
+            size,
             left: Self::build_balanced(left_half, depth + 1, dims),
             right: Self::build_balanced(right_half, depth + 1, dims),
         }))
@@ -294,13 +415,16 @@ impl Iterator for RangeIter<'_> {
     fn next(&mut self) -> Option<FileId> {
         while let Some((n, depth)) = self.stack.pop() {
             let axis = depth % self.dims;
-            // Left subtree holds coords < split; right holds >=.
+            // Left holds keys lexicographically below `(coord, payload)`,
+            // so equal coordinates can sit on EITHER side (the payload
+            // tie-break balances duplicates): the left prune must keep
+            // `lo == split` reachable, hence `<=`.
             if self.hi[axis] >= n.point[axis] {
                 if let Some(r) = n.right.as_deref() {
                     self.stack.push((r, depth + 1));
                 }
             }
-            if self.lo[axis] < n.point[axis] {
+            if self.lo[axis] <= n.point[axis] {
                 if let Some(l) = n.left.as_deref() {
                     self.stack.push((l, depth + 1));
                 }
@@ -421,6 +545,132 @@ mod tests {
         // Rebuild kicked in: depth is near log2(100), not 1000.
         assert!(t.depth() <= 20, "depth after rebuild: {}", t.depth());
         assert_eq!(t.range(&[0.0], &[2000.0]).len(), 100);
+    }
+
+    #[test]
+    fn monotone_insert_stream_stays_shallow_and_fast() {
+        // The PR-4 degeneration: a commit whose points are monotone in
+        // *every* axis (a bulk load sorted by size with sequential mtimes)
+        // built a right-spine linked list — 50k inserts cost O(n²) and a
+        // 200k-file commit took >30 s. Scapegoat rebuilds must keep the
+        // depth within the α-height bound (≈ 1.71·log₂ n plus the slack
+        // one unbalanced insert may add), which also bounds the insert
+        // cost; without the fix this test would spin for minutes before
+        // failing the depth assertion at 50 000.
+        const N: u64 = 50_000;
+        let mut t = KdTree::new(2);
+        for i in 0..N {
+            t.insert(&[i as f64, i as f64], f(i));
+        }
+        assert_eq!(t.len(), N as usize);
+        let bound = KdTree::depth_limit(N as usize) + 1;
+        assert!(t.depth() <= bound, "monotone stream depth {} > bound {bound}", t.depth());
+        // Queries still exact after all the subtree rebuilds.
+        let hits = t.range(&[100.0, 100.0], &[149.0, 149.0]);
+        assert_eq!(hits.len(), 50);
+        assert_eq!(hits[0], f(100));
+    }
+
+    #[test]
+    fn descending_and_interleaved_streams_stay_shallow() {
+        const N: u64 = 20_000;
+        let mut desc = KdTree::new(2);
+        for i in (0..N).rev() {
+            desc.insert(&[i as f64, (i * 3) as f64], f(i));
+        }
+        assert!(desc.depth() <= KdTree::depth_limit(N as usize) + 1, "depth {}", desc.depth());
+        // Monotone runs interleaved with removes (tombstone pressure and
+        // scapegoat rebuilds interacting).
+        let mut churn = KdTree::new(2);
+        for i in 0..N {
+            churn.insert(&[i as f64, i as f64], f(i));
+            if i % 3 == 2 {
+                churn.remove(&[(i - 1) as f64, (i - 1) as f64], f(i - 1));
+            }
+        }
+        assert_eq!(churn.len(), N as usize - N as usize / 3);
+        let total = churn.live + churn.tombstones;
+        assert!(churn.depth() <= KdTree::depth_limit(total) + 1, "depth {}", churn.depth());
+        let hits = churn.range(&[0.0, 0.0], &[(N as f64) * 2.0, (N as f64) * 2.0]);
+        assert_eq!(hits.len(), churn.len());
+    }
+
+    #[test]
+    fn subtree_sizes_stay_consistent_under_churn() {
+        fn check(node: &Option<Box<KdNode>>) -> usize {
+            match node {
+                None => 0,
+                Some(n) => {
+                    let got = 1 + check(&n.left) + check(&n.right);
+                    assert_eq!(n.size, got, "stored subtree size disagrees with the structure");
+                    got
+                }
+            }
+        }
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut t = KdTree::new(2);
+        let mut alive: Vec<(Vec<f64>, FileId)> = Vec::new();
+        for i in 0..3_000u64 {
+            if !alive.is_empty() && rng.gen_bool(0.3) {
+                let ix = rng.gen_range(0..alive.len());
+                let (p, id) = alive.swap_remove(ix);
+                assert!(t.remove(&p, id));
+            } else {
+                // Mostly-monotone coordinates keep the scapegoat path hot.
+                let p = vec![i as f64, rng.gen_range(0.0..10.0)];
+                t.insert(&p, f(i));
+                alive.push((p, f(i)));
+            }
+            if i % 500 == 0 {
+                check(&t.root);
+            }
+        }
+        check(&t.root);
+        assert_eq!(t.len(), alive.len());
+    }
+
+    #[test]
+    fn bulk_load_with_duplicate_axis_values_keeps_equals_reachable() {
+        // Regression: `build_balanced`'s payload tie-break puts equal axis
+        // values on BOTH sides of a split, but range pruning used a strict
+        // `<` on the left branch — a balanced load of duplicate-heavy data
+        // then silently lost every equal-valued hit parked left of its
+        // split. Routing and pruning now share the lexicographic
+        // `(coord, payload)` order, so equals stay reachable.
+        let points: Vec<(Vec<f64>, FileId)> =
+            (0..100u64).map(|i| (vec![(i / 10) as f64], f(i))).collect();
+        let t = KdTree::bulk_load(1, points);
+        for v in 0..10u64 {
+            let hits = t.range(&[v as f64], &[v as f64]);
+            assert_eq!(hits.len(), 10, "value {v} lost duplicates: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn identical_points_balance_instead_of_chaining() {
+        // Regression (found in review): with axis-only routing, a run of
+        // *identical* points — e.g. thousands of empty files sharing one
+        // mtime under the default (size, mtime) index — always went right,
+        // forming a chain the scapegoat rebuild reproduced verbatim; the
+        // recursive insert then blew the stack at ~20k duplicates. The
+        // payload tie-break makes identical points distinct routing keys,
+        // so they balance like any other data.
+        const N: u64 = 30_000;
+        let mut t = KdTree::new(2);
+        for i in 0..N {
+            t.insert(&[0.0, 0.0], f(i));
+        }
+        assert_eq!(t.len(), N as usize);
+        let bound = KdTree::depth_limit(N as usize) + 1;
+        assert!(t.depth() <= bound, "identical-point depth {} > bound {bound}", t.depth());
+        assert_eq!(t.range(&[0.0, 0.0], &[0.0, 0.0]).len(), N as usize);
+        assert!(t.range(&[0.1, 0.0], &[1.0, 1.0]).is_empty());
+        // Removal still finds entries by (point, payload) through the
+        // payload-routed paths.
+        assert!(t.remove(&[0.0, 0.0], f(12_345)));
+        assert!(!t.remove(&[0.0, 0.0], f(12_345)));
+        assert_eq!(t.len(), N as usize - 1);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! * [`BPlusTree`] — ordered index (point + range),
 //! * [`HashIndex`] — exact-match index,
 //! * [`KdTree`] — multi-attribute range index,
-//! * [`Wal`] — CRC-framed write-ahead log (memory or file backed),
+//! * [`Wal`] — CRC-framed write-ahead log with real LSNs (memory or file
+//!   backed),
+//! * [`snapshot`] — checksummed, LSN-anchored checkpoint files of an ACG's
+//!   committed state,
 //! * [`IndexCache`] — the lazy-commit buffer,
 //! * [`AcgIndexGroup`] — the per-ACG composition of all of the above, with
 //!   the user-defined named-index table and crash recovery.
@@ -42,12 +45,14 @@ mod group;
 mod hash;
 mod kdtree;
 mod ops;
+pub mod snapshot;
 mod wal;
 
 pub use btree::{BPlusTree, Range, RangeRev};
 pub use cache::IndexCache;
-pub use group::{AcgIndexGroup, GroupConfig, IndexKind, IndexSpec};
+pub use group::{AcgIndexGroup, GroupConfig, IndexKind, IndexSpec, RecoveryReport};
 pub use hash::HashIndex;
 pub use kdtree::{KdTree, RangeIter};
 pub use ops::{FileRecord, IndexOp};
+pub use snapshot::SnapshotData;
 pub use wal::{crc32, Wal};

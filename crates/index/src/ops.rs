@@ -68,23 +68,7 @@ impl IndexOp {
         match self {
             IndexOp::Upsert(r) => {
                 buf.put_u8(1);
-                buf.put_u64_le(r.file.raw());
-                buf.put_u64_le(r.attrs.size);
-                buf.put_u64_le(r.attrs.mtime.as_micros());
-                buf.put_u64_le(r.attrs.ctime.as_micros());
-                buf.put_u32_le(r.attrs.uid);
-                buf.put_u32_le(r.attrs.gid);
-                buf.put_u32_le(r.attrs.mode);
-                buf.put_u32_le(r.attrs.nlink);
-                buf.put_u32_le(r.keywords.len() as u32);
-                for kw in &r.keywords {
-                    put_str(&mut buf, kw);
-                }
-                buf.put_u32_le(r.custom.len() as u32);
-                for (name, value) in &r.custom {
-                    put_str(&mut buf, name);
-                    put_value(&mut buf, value);
-                }
+                encode_record_into(&mut buf, r);
             }
             IndexOp::Remove(f) => {
                 buf.put_u8(2);
@@ -102,31 +86,7 @@ impl IndexOp {
     pub fn decode(mut data: &[u8]) -> Result<IndexOp> {
         let tag = take_u8(&mut data)?;
         match tag {
-            1 => {
-                let file = FileId::new(take_u64(&mut data)?);
-                let attrs = InodeAttrs {
-                    size: take_u64(&mut data)?,
-                    mtime: Timestamp::from_micros(take_u64(&mut data)?),
-                    ctime: Timestamp::from_micros(take_u64(&mut data)?),
-                    uid: take_u32(&mut data)?,
-                    gid: take_u32(&mut data)?,
-                    mode: take_u32(&mut data)?,
-                    nlink: take_u32(&mut data)?,
-                };
-                let nk = take_u32(&mut data)? as usize;
-                let mut keywords = Vec::with_capacity(nk.min(1024));
-                for _ in 0..nk {
-                    keywords.push(take_str(&mut data)?);
-                }
-                let nc = take_u32(&mut data)? as usize;
-                let mut custom = Vec::with_capacity(nc.min(1024));
-                for _ in 0..nc {
-                    let name = take_str(&mut data)?;
-                    let value = take_value(&mut data)?;
-                    custom.push((name, value));
-                }
-                Ok(IndexOp::Upsert(FileRecord { file, attrs, keywords, custom }))
-            }
+            1 => Ok(IndexOp::Upsert(decode_record(&mut data)?)),
             2 => Ok(IndexOp::Remove(FileId::new(take_u64(&mut data)?))),
             other => Err(Error::Corrupt(format!("unknown index op tag {other}"))),
         }
@@ -176,7 +136,58 @@ impl IndexOp {
     }
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+/// Encodes one record's fields (no tag byte) — shared by the op codec and
+/// the snapshot writer, so a snapshot file and a WAL frame describe a
+/// record with identical bytes.
+pub(crate) fn encode_record_into(buf: &mut BytesMut, r: &FileRecord) {
+    buf.put_u64_le(r.file.raw());
+    buf.put_u64_le(r.attrs.size);
+    buf.put_u64_le(r.attrs.mtime.as_micros());
+    buf.put_u64_le(r.attrs.ctime.as_micros());
+    buf.put_u32_le(r.attrs.uid);
+    buf.put_u32_le(r.attrs.gid);
+    buf.put_u32_le(r.attrs.mode);
+    buf.put_u32_le(r.attrs.nlink);
+    buf.put_u32_le(r.keywords.len() as u32);
+    for kw in &r.keywords {
+        put_str(buf, kw);
+    }
+    buf.put_u32_le(r.custom.len() as u32);
+    for (name, value) in &r.custom {
+        put_str(buf, name);
+        put_value(buf, value);
+    }
+}
+
+/// Decodes one record's fields (no tag byte); the counterpart of
+/// [`encode_record_into`].
+pub(crate) fn decode_record(data: &mut &[u8]) -> Result<FileRecord> {
+    let file = FileId::new(take_u64(data)?);
+    let attrs = InodeAttrs {
+        size: take_u64(data)?,
+        mtime: Timestamp::from_micros(take_u64(data)?),
+        ctime: Timestamp::from_micros(take_u64(data)?),
+        uid: take_u32(data)?,
+        gid: take_u32(data)?,
+        mode: take_u32(data)?,
+        nlink: take_u32(data)?,
+    };
+    let nk = take_u32(data)? as usize;
+    let mut keywords = Vec::with_capacity(nk.min(1024));
+    for _ in 0..nk {
+        keywords.push(take_str(data)?);
+    }
+    let nc = take_u32(data)? as usize;
+    let mut custom = Vec::with_capacity(nc.min(1024));
+    for _ in 0..nc {
+        let name = take_str(data)?;
+        let value = take_value(data)?;
+        custom.push((name, value));
+    }
+    Ok(FileRecord { file, attrs, keywords, custom })
+}
+
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
@@ -202,7 +213,7 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn need(data: &[u8], n: usize) -> Result<()> {
+pub(crate) fn need(data: &[u8], n: usize) -> Result<()> {
     if data.len() < n {
         Err(Error::Corrupt(format!("truncated op: need {n} bytes, have {}", data.len())))
     } else {
@@ -210,22 +221,22 @@ fn need(data: &[u8], n: usize) -> Result<()> {
     }
 }
 
-fn take_u8(data: &mut &[u8]) -> Result<u8> {
+pub(crate) fn take_u8(data: &mut &[u8]) -> Result<u8> {
     need(data, 1)?;
     Ok(data.get_u8())
 }
 
-fn take_u32(data: &mut &[u8]) -> Result<u32> {
+pub(crate) fn take_u32(data: &mut &[u8]) -> Result<u32> {
     need(data, 4)?;
     Ok(data.get_u32_le())
 }
 
-fn take_u64(data: &mut &[u8]) -> Result<u64> {
+pub(crate) fn take_u64(data: &mut &[u8]) -> Result<u64> {
     need(data, 8)?;
     Ok(data.get_u64_le())
 }
 
-fn take_str(data: &mut &[u8]) -> Result<String> {
+pub(crate) fn take_str(data: &mut &[u8]) -> Result<String> {
     let len = take_u32(data)? as usize;
     need(data, len)?;
     let (s, rest) = data.split_at(len);

@@ -1,10 +1,20 @@
-//! Write-ahead log with CRC-protected framing.
+//! Write-ahead log with CRC-protected framing and real log sequence
+//! numbers.
 //!
 //! Index Nodes append every file-indexing request to a WAL before caching
 //! it in memory (paper §IV "Index Node"), so acknowledged updates survive a
 //! crash. Frames are `[len: u32 LE][crc32: u32 LE][payload]`; replay stops
 //! at the first torn or corrupt frame, which models the standard
 //! "valid prefix" recovery contract.
+//!
+//! Every frame carries an implicit **log sequence number**: the `i`-th
+//! frame of a log whose base LSN is `b` has LSN `b + i`, LSNs start at 1,
+//! and the base survives restarts through a small CRC-protected file
+//! header. LSNs are what anchor snapshots to the log: a snapshot stamped
+//! with LSN `s` covers every frame with LSN `≤ s`, recovery replays only
+//! the suffix (`> s`), and [`Wal::truncate_upto`] discards the covered
+//! prefix so the log stays bounded without ever renumbering the frames
+//! that remain.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -38,6 +48,24 @@ pub fn crc32(data: &[u8]) -> u32 {
     crc ^ 0xFFFF_FFFF
 }
 
+/// Magic prefix of a headered WAL file.
+const MAGIC: [u8; 4] = *b"PWAL";
+/// On-disk format version.
+const VERSION: u32 = 1;
+/// Header layout: `[magic 4][version u32][base_lsn u64][crc32 u32]` where
+/// the CRC covers the version and base LSN bytes.
+const HEADER_LEN: usize = 4 + 4 + 8 + 4;
+
+fn encode_header(base_lsn: u64) -> [u8; HEADER_LEN] {
+    let mut buf = [0u8; HEADER_LEN];
+    buf[0..4].copy_from_slice(&MAGIC);
+    buf[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    buf[8..16].copy_from_slice(&base_lsn.to_le_bytes());
+    let crc = crc32(&buf[4..16]);
+    buf[16..20].copy_from_slice(&crc.to_le_bytes());
+    buf
+}
+
 #[derive(Debug)]
 enum Backend {
     Memory(BytesMut),
@@ -56,8 +84,8 @@ enum Backend {
 /// use propeller_index::Wal;
 ///
 /// let mut wal = Wal::in_memory();
-/// wal.append(b"op-1").unwrap();
-/// wal.append(b"op-2").unwrap();
+/// assert_eq!(wal.append(b"op-1").unwrap(), 1);
+/// assert_eq!(wal.append(b"op-2").unwrap(), 2);
 /// let frames = wal.replay().unwrap();
 /// assert_eq!(frames, vec![b"op-1".to_vec(), b"op-2".to_vec()]);
 /// ```
@@ -65,13 +93,18 @@ enum Backend {
 pub struct Wal {
     backend: Backend,
     entries: u64,
+    /// Frame bytes currently in the log (headers of the frames included,
+    /// the file header excluded).
     bytes: u64,
+    /// LSN of the first frame currently in the log. LSNs start at 1; the
+    /// base only moves forward (truncation), never back.
+    base_lsn: u64,
 }
 
 impl Wal {
     /// Creates an in-memory WAL.
     pub fn in_memory() -> Self {
-        Wal { backend: Backend::Memory(BytesMut::new()), entries: 0, bytes: 0 }
+        Wal { backend: Backend::Memory(BytesMut::new()), entries: 0, bytes: 0, base_lsn: 1 }
     }
 
     /// Opens (or creates) a file-backed WAL, counting any existing valid
@@ -81,32 +114,68 @@ impl Wal {
     /// where replay (which stops at the first bad frame) can never reach
     /// it, silently losing acknowledged ops on the next recovery.
     ///
+    /// A fresh file gets a CRC-protected header carrying the base LSN;
+    /// headerless files (logs written before LSNs existed) open with base
+    /// LSN 1 and gain a header on their next truncation.
+    ///
     /// # Errors
     ///
     /// Returns [`Error::Io`] if the file cannot be opened, read or
-    /// truncated.
+    /// truncated, and [`Error::Corrupt`] when a full-size header fails its
+    /// CRC (a torn, partial header is treated as an empty log instead —
+    /// the crash happened before the first append could follow it).
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
-        let mut wal = Wal { backend: Backend::File { file, path }, entries: 0, bytes: 0 };
-        let frames = wal.replay()?;
-        wal.entries = frames.len() as u64;
-        wal.bytes = frames.iter().map(|f| f.len() as u64 + 8).sum();
-        if let Backend::File { file, .. } = &mut wal.backend {
-            if file.metadata()?.len() > wal.bytes {
-                file.set_len(wal.bytes)?;
+        let mut file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
+        let mut raw = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut raw)?;
+        let (base_lsn, header_len) = if raw.is_empty() {
+            file.write_all(&encode_header(1))?;
+            (1, HEADER_LEN)
+        } else if raw.starts_with(&MAGIC) {
+            if raw.len() < HEADER_LEN {
+                // Torn header: the crash hit the very first write. Nothing
+                // after a partial header can be a valid frame; reset.
+                file.set_len(0)?;
                 file.seek(SeekFrom::End(0))?;
+                file.write_all(&encode_header(1))?;
+                (1, HEADER_LEN)
+            } else {
+                let crc = u32::from_le_bytes(raw[16..20].try_into().expect("4 bytes"));
+                if crc32(&raw[4..16]) != crc {
+                    return Err(Error::Corrupt(format!(
+                        "wal header crc mismatch in {}",
+                        path.display()
+                    )));
+                }
+                (u64::from_le_bytes(raw[8..16].try_into().expect("8 bytes")), HEADER_LEN)
             }
+        } else {
+            // Legacy headerless log: every byte is frame data, base LSN 1.
+            (1, 0)
+        };
+        let frames = scan_frames(&raw[header_len.min(raw.len())..]);
+        let bytes: u64 = frames.iter().map(|f| f.len() as u64 + 8).sum();
+        if file.metadata()?.len() > header_len as u64 + bytes {
+            file.set_len(header_len as u64 + bytes)?;
         }
-        Ok(wal)
+        file.seek(SeekFrom::End(0))?;
+        Ok(Wal {
+            backend: Backend::File { file, path },
+            entries: frames.len() as u64,
+            bytes,
+            base_lsn,
+        })
     }
 
-    /// Appends one payload as a framed record.
+    /// Appends one payload as a framed record, returning the LSN the frame
+    /// was assigned.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Io`] on file-backend write failures.
-    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64> {
         let mut frame = BytesMut::with_capacity(payload.len() + 8);
         frame.put_u32_le(payload.len() as u32);
         frame.put_u32_le(crc32(payload));
@@ -117,9 +186,10 @@ impl Wal {
                 file.write_all(&frame)?;
             }
         }
+        let lsn = self.base_lsn + self.entries;
         self.entries += 1;
         self.bytes += frame.len() as u64;
-        Ok(())
+        Ok(lsn)
     }
 
     /// Forces buffered data to stable storage (no-op for the memory
@@ -135,52 +205,66 @@ impl Wal {
         Ok(())
     }
 
-    /// Reads back all valid frames from the start of the log. Stops at the
-    /// first torn or corrupt frame.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::Io`] if the file backend cannot be read.
-    pub fn replay(&mut self) -> Result<Vec<Vec<u8>>> {
-        let raw: Vec<u8> = match &mut self.backend {
+    fn raw_frames(&mut self) -> Result<Vec<u8>> {
+        Ok(match &mut self.backend {
             Backend::Memory(buf) => buf.to_vec(),
             Backend::File { file, .. } => {
                 let mut v = Vec::new();
                 file.seek(SeekFrom::Start(0))?;
                 file.read_to_end(&mut v)?;
                 file.seek(SeekFrom::End(0))?;
-                v
+                if v.starts_with(&MAGIC) && v.len() >= HEADER_LEN {
+                    v.split_off(HEADER_LEN)
+                } else {
+                    v
+                }
             }
-        };
-        let mut frames = Vec::new();
-        let mut cursor = &raw[..];
-        while cursor.len() >= 8 {
-            let len = (&cursor[0..4]).get_u32_le() as usize;
-            let crc = (&cursor[4..8]).get_u32_le();
-            if cursor.len() < 8 + len {
-                break; // torn tail
-            }
-            let payload = &cursor[8..8 + len];
-            if crc32(payload) != crc {
-                break; // corrupt tail
-            }
-            frames.push(payload.to_vec());
-            cursor = &cursor[8 + len..];
-        }
-        Ok(frames)
+        })
     }
 
-    /// Discards all log content (called after a successful index commit).
+    /// Reads back all valid frames currently in the log. Stops at the
+    /// first torn or corrupt frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file backend cannot be read.
+    pub fn replay(&mut self) -> Result<Vec<Vec<u8>>> {
+        let raw = self.raw_frames()?;
+        Ok(scan_frames(&raw))
+    }
+
+    /// Reads back the valid frames with LSN strictly greater than
+    /// `after_lsn`, paired with their LSNs — the suffix-replay entry point
+    /// for snapshot-anchored recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file backend cannot be read.
+    pub fn replay_from(&mut self, after_lsn: u64) -> Result<Vec<(u64, Vec<u8>)>> {
+        let base = self.base_lsn;
+        Ok(self
+            .replay()?
+            .into_iter()
+            .enumerate()
+            .map(|(i, payload)| (base + i as u64, payload))
+            .filter(|&(lsn, _)| lsn > after_lsn)
+            .collect())
+    }
+
+    /// Discards all log content, advancing the base LSN past every frame
+    /// dropped so sequence numbers stay monotone across the truncation.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Io`] if the file backend cannot be truncated.
     pub fn truncate(&mut self) -> Result<()> {
+        self.base_lsn += self.entries;
         match &mut self.backend {
             Backend::Memory(buf) => buf.clear(),
             Backend::File { file, .. } => {
                 file.set_len(0)?;
-                file.seek(SeekFrom::Start(0))?;
+                file.seek(SeekFrom::End(0))?;
+                file.write_all(&encode_header(self.base_lsn))?;
             }
         }
         self.entries = 0;
@@ -188,9 +272,76 @@ impl Wal {
         Ok(())
     }
 
-    /// Number of frames appended since the last truncate.
+    /// Discards every frame with LSN `≤ lsn`, keeping the suffix with its
+    /// original sequence numbers — called after a snapshot covering `lsn`
+    /// has been made durable, so the log holds only what recovery still
+    /// needs to replay. LSNs at or below the current base are a no-op.
+    ///
+    /// The file backend rewrites the log through a temp file renamed into
+    /// place, so a crash mid-truncation leaves either the old or the new
+    /// log, never a torn hybrid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on file-backend failures.
+    pub fn truncate_upto(&mut self, lsn: u64) -> Result<()> {
+        if lsn < self.base_lsn {
+            return Ok(());
+        }
+        let frames = self.replay()?;
+        let drop_n = ((lsn + 1).saturating_sub(self.base_lsn) as usize).min(frames.len());
+        let kept = &frames[drop_n..];
+        let new_base = self.base_lsn + drop_n as u64;
+        let mut content = BytesMut::new();
+        for payload in kept {
+            content.put_u32_le(payload.len() as u32);
+            content.put_u32_le(crc32(payload));
+            content.put_slice(payload);
+        }
+        let bytes = content.len() as u64;
+        match &mut self.backend {
+            Backend::Memory(buf) => *buf = content,
+            Backend::File { file, path } => {
+                let tmp = path.with_extension("wal.tmp");
+                {
+                    let mut out = File::create(&tmp)?;
+                    out.write_all(&encode_header(new_base))?;
+                    out.write_all(&content)?;
+                    out.sync_data()?;
+                }
+                std::fs::rename(&tmp, &*path)?;
+                let mut reopened =
+                    OpenOptions::new().create(true).read(true).append(true).open(&*path)?;
+                reopened.seek(SeekFrom::End(0))?;
+                *file = reopened;
+            }
+        }
+        self.base_lsn = new_base;
+        self.entries = kept.len() as u64;
+        self.bytes = bytes;
+        Ok(())
+    }
+
+    /// Number of frames currently in the log.
     pub fn entry_count(&self) -> u64 {
         self.entries
+    }
+
+    /// LSN of the first frame currently in the log (the next frame to be
+    /// appended when the log is empty).
+    pub fn first_lsn(&self) -> u64 {
+        self.base_lsn
+    }
+
+    /// The LSN the next appended frame will be assigned.
+    pub fn next_lsn(&self) -> u64 {
+        self.base_lsn + self.entries
+    }
+
+    /// LSN of the most recently appended frame still relevant to the log's
+    /// sequence (0 when nothing has ever been appended).
+    pub fn last_lsn(&self) -> u64 {
+        self.base_lsn + self.entries - 1
     }
 
     /// The backing file path, or `None` for the in-memory backend.
@@ -201,7 +352,12 @@ impl Wal {
         }
     }
 
-    /// Bytes appended since the last truncate (including frame headers).
+    /// Returns `true` when the log survives a process crash (file backend).
+    pub fn is_durable(&self) -> bool {
+        matches!(self.backend, Backend::File { .. })
+    }
+
+    /// Frame bytes currently in the log (including frame headers).
     pub fn byte_size(&self) -> u64 {
         self.bytes
     }
@@ -215,6 +371,26 @@ impl Wal {
         }
         Ok(())
     }
+}
+
+/// Splits raw log bytes into valid frames, stopping at the first torn or
+/// corrupt one.
+fn scan_frames(mut cursor: &[u8]) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    while cursor.len() >= 8 {
+        let len = (&cursor[0..4]).get_u32_le() as usize;
+        let crc = (&cursor[4..8]).get_u32_le();
+        if cursor.len() < 8 + len {
+            break; // torn tail
+        }
+        let payload = &cursor[8..8 + len];
+        if crc32(payload) != crc {
+            break; // corrupt tail
+        }
+        frames.push(payload.to_vec());
+        cursor = &cursor[8 + len..];
+    }
+    frames
 }
 
 #[cfg(test)]
@@ -249,13 +425,60 @@ mod tests {
     }
 
     #[test]
-    fn truncate_clears() {
+    fn truncate_clears_and_advances_the_base() {
         let mut wal = Wal::in_memory();
         wal.append(b"abc").unwrap();
         wal.truncate().unwrap();
         assert!(wal.replay().unwrap().is_empty());
         assert_eq!(wal.entry_count(), 0);
         assert_eq!(wal.byte_size(), 0);
+        // LSNs never restart: the next append continues the sequence.
+        assert_eq!(wal.append(b"next").unwrap(), 2);
+    }
+
+    #[test]
+    fn lsns_are_monotone_and_returned_by_append() {
+        let mut wal = Wal::in_memory();
+        assert_eq!(wal.append(b"a").unwrap(), 1);
+        assert_eq!(wal.append(b"b").unwrap(), 2);
+        assert_eq!(wal.next_lsn(), 3);
+        assert_eq!(wal.first_lsn(), 1);
+        assert_eq!(wal.last_lsn(), 2);
+    }
+
+    #[test]
+    fn truncate_upto_keeps_the_suffix_with_its_lsns() {
+        let mut wal = Wal::in_memory();
+        for i in 0..10u32 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        wal.truncate_upto(6).unwrap();
+        assert_eq!(wal.entry_count(), 4);
+        assert_eq!(wal.first_lsn(), 7);
+        let suffix = wal.replay_from(0).unwrap();
+        assert_eq!(
+            suffix,
+            (7u64..=10)
+                .map(|lsn| (lsn, ((lsn - 1) as u32).to_le_bytes().to_vec()))
+                .collect::<Vec<_>>()
+        );
+        // Below-base truncation is a no-op.
+        wal.truncate_upto(3).unwrap();
+        assert_eq!(wal.entry_count(), 4);
+        // Appends continue the sequence.
+        assert_eq!(wal.append(b"tail").unwrap(), 11);
+    }
+
+    #[test]
+    fn replay_from_filters_by_lsn() {
+        let mut wal = Wal::in_memory();
+        for i in 0..5u32 {
+            wal.append(&i.to_le_bytes()).unwrap();
+        }
+        let suffix = wal.replay_from(3).unwrap();
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix[0].0, 4);
+        assert_eq!(suffix[1].0, 5);
     }
 
     #[test]
@@ -284,12 +507,17 @@ mod tests {
         assert_eq!(wal.replay().unwrap(), vec![b"first".to_vec()]);
     }
 
-    #[test]
-    fn file_backend_round_trip() {
+    fn temp_path(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("propeller-wal-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("test.wal");
+        let path = dir.join(format!("{tag}.wal"));
         let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn file_backend_round_trip() {
+        let path = temp_path("round-trip");
         {
             let mut wal = Wal::open(&path).unwrap();
             wal.append(b"persisted-1").unwrap();
@@ -306,16 +534,39 @@ mod tests {
         {
             let mut wal = Wal::open(&path).unwrap();
             assert!(wal.replay().unwrap().is_empty());
+            // The base LSN survived the truncate and the reopen.
+            assert_eq!(wal.append(b"x").unwrap(), 3);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn base_lsn_survives_reopen_after_truncate_upto() {
+        let path = temp_path("lsn-reopen");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for i in 0..8u32 {
+                wal.append(&i.to_le_bytes()).unwrap();
+            }
+            wal.truncate_upto(5).unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            assert_eq!(wal.first_lsn(), 6);
+            assert_eq!(wal.entry_count(), 3);
+            assert_eq!(
+                wal.replay_from(0).unwrap().iter().map(|(l, _)| *l).collect::<Vec<_>>(),
+                vec![6, 7, 8]
+            );
+            assert_eq!(wal.append(b"y").unwrap(), 9);
         }
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn appends_after_a_torn_tail_survive_reopen() {
-        let dir = std::env::temp_dir().join(format!("propeller-wal-torn-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("torn-tail.wal");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_path("torn-tail");
         {
             let mut wal = Wal::open(&path).unwrap();
             wal.append(b"acked-1").unwrap();
@@ -333,7 +584,7 @@ mod tests {
             // truncated, and new appends land where replay can reach them.
             let mut wal = Wal::open(&path).unwrap();
             assert_eq!(wal.entry_count(), 2);
-            wal.append(b"acked-3").unwrap();
+            assert_eq!(wal.append(b"acked-3").unwrap(), 3);
             wal.sync().unwrap();
         }
         {
@@ -351,10 +602,7 @@ mod tests {
 
     #[test]
     fn corrupt_crc_tail_is_truncated_on_reopen() {
-        let dir = std::env::temp_dir().join(format!("propeller-wal-crc-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("corrupt-tail.wal");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_path("corrupt-tail");
         {
             let mut wal = Wal::open(&path).unwrap();
             wal.append(b"good").unwrap();
@@ -370,6 +618,47 @@ mod tests {
             wal.append(b"after").unwrap();
             assert_eq!(wal.replay().unwrap(), vec![b"good".to_vec(), b"after".to_vec()]);
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_headerless_log_opens_with_base_one() {
+        let path = temp_path("legacy");
+        {
+            // A pre-LSN log: raw frames, no header.
+            let mut raw = Vec::new();
+            for payload in [b"one".as_slice(), b"two"] {
+                raw.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                raw.extend_from_slice(&crc32(payload).to_le_bytes());
+                raw.extend_from_slice(payload);
+            }
+            std::fs::write(&path, raw).unwrap();
+        }
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.entry_count(), 2);
+        assert_eq!(wal.first_lsn(), 1);
+        assert_eq!(wal.replay().unwrap(), vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(wal.append(b"three").unwrap(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_header_resets_to_an_empty_log() {
+        let path = temp_path("torn-header");
+        std::fs::write(&path, &MAGIC[..3]).unwrap();
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.entry_count(), 0);
+        assert_eq!(wal.append(b"x").unwrap(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected() {
+        let path = temp_path("bad-header");
+        let mut header = encode_header(7).to_vec();
+        header[9] ^= 0xFF; // flip a base-LSN byte under the CRC
+        std::fs::write(&path, header).unwrap();
+        assert!(matches!(Wal::open(&path), Err(Error::Corrupt(_))));
         let _ = std::fs::remove_file(&path);
     }
 

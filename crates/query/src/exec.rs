@@ -310,14 +310,18 @@ impl Iterator for OrderedHitStream<'_> {
     fn next(&mut self) -> Option<Hit> {
         for record in self.records.by_ref() {
             self.scanned += 1;
-            if !matches_record(record, &self.request.predicate) {
-                continue;
-            }
+            // Cursor before predicate: the cursor-equal boundary candidate
+            // a resumed walk re-yields (scan bounds keep equal keys for
+            // the file-id tie-break) is rejected on the cheap key compare
+            // without re-evaluating the predicate.
             let key = self.request.sort.key_of(record);
             if let Some(cursor) = &self.request.cursor {
                 if !cursor.admits(&self.request.sort, key.as_ref(), record.file) {
                     continue;
                 }
+            }
+            if !matches_record(record, &self.request.predicate) {
+                continue;
             }
             return Some(Hit {
                 file: record.file,

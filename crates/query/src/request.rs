@@ -217,6 +217,15 @@ pub struct SearchRequest {
     pub cursor: Option<Cursor>,
     /// Partial-failure tolerance of the fan-out.
     pub fan_out: FanOutPolicy,
+    /// Opt-in for availability-first pagination under
+    /// [`FanOutPolicy::AllowPartial`]: incomplete responses normally
+    /// suppress their continuation cursor (resuming past a page that is
+    /// missing unreachable nodes' hits would skip them permanently). With
+    /// this set, an incomplete response carries the cursor **and** the
+    /// unreachable-node set, so a caller can keep paginating the reachable
+    /// nodes now and separately backfill the gap (re-query the listed
+    /// nodes' range once they recover) instead of stalling the whole scan.
+    pub cursor_on_incomplete: bool,
 }
 
 impl SearchRequest {
@@ -230,6 +239,7 @@ impl SearchRequest {
             projection: Projection::default(),
             cursor: None,
             fan_out: FanOutPolicy::default(),
+            cursor_on_incomplete: false,
         }
     }
 
@@ -274,6 +284,15 @@ impl SearchRequest {
     #[must_use]
     pub fn with_fan_out(mut self, fan_out: FanOutPolicy) -> Self {
         self.fan_out = fan_out;
+        self
+    }
+
+    /// Opts incomplete (partial fan-out) responses into carrying a
+    /// continuation cursor alongside their unreachable-node set (see
+    /// [`SearchRequest::cursor_on_incomplete`]).
+    #[must_use]
+    pub fn with_cursor_on_incomplete(mut self) -> Self {
+        self.cursor_on_incomplete = true;
         self
     }
 

@@ -70,6 +70,14 @@ struct OrderedState {
     group_len: usize,
     /// Candidates pulled off this stream across all pulls.
     scanned: usize,
+    /// The stream's first hit, pulled at open to seed the classic bound
+    /// and **kept** as a primed head for the first pull — the first page
+    /// feeds it into the merge instead of re-deriving it with another tree
+    /// descent and predicate re-check.
+    primed: Option<Hit>,
+    /// Resume point strictly after the primed head: the first pull's walk
+    /// starts here so the head is never yielded twice.
+    seed_cursor: Option<Cursor>,
     /// The stream ran dry (or its ACG/index vanished mid-session).
     done: bool,
 }
@@ -123,8 +131,10 @@ impl NodeSearchSession {
     /// through `run_classic` — the Index Node supplies its worker-pool
     /// executor, exactly as for a one-shot search — and records the
     /// ordered plans for incremental pulling. The shared classic bound is
-    /// seeded with each ordered stream's first hit (one cheap pull per
-    /// stream; the record re-derives on the first page's tree descent).
+    /// seeded with each ordered stream's first hit, and the pulled hit is
+    /// kept as that stream's **primed head**: the first page feeds it into
+    /// the merge directly (per-stream resume cursors skip past it), so
+    /// session opens never pay a second tree descent per ordered ACG.
     ///
     /// Returns the session plus the open-phase stats (the classic scans;
     /// `acgs_consulted` and `access_paths` cover every group once).
@@ -157,6 +167,8 @@ impl NodeSearchSession {
                         descending,
                         group_len: group.len(),
                         scanned: 0,
+                        primed: None,
+                        seed_cursor: None,
                         done: false,
                     });
                 }
@@ -170,31 +182,49 @@ impl NodeSearchSession {
 
         let cutoff = match request.limit {
             Some(k) if k > 0 && !tasks.is_empty() => {
-                let cutoff = Arc::new(GlobalCutoff::new(request.sort.clone(), k));
-                // Seed from the ordered side: each stream's first admitted
-                // hit is the best that stream will ever offer the merge.
-                for state in &ordered {
-                    if let Some(group) = groups.iter().find(|g| g.id() == state.acg) {
-                        let (lo, hi) = cursor_scan_bounds(
-                            request.cursor.as_ref(),
-                            state.lo.clone(),
-                            state.hi.clone(),
-                            state.descending,
-                        );
-                        if let Some(iter) =
-                            group.candidates_ordered(&state.attr, lo, hi, state.descending)
-                        {
-                            let mut stream = OrderedHitStream::new(iter, group, request);
-                            if let Some(hit) = stream.next() {
-                                cutoff.try_admit(hit.sort_key.as_ref(), hit.file);
-                            }
-                        }
-                    }
-                }
-                Some(cutoff)
+                Some(Arc::new(GlobalCutoff::new(request.sort.clone(), k)))
             }
             _ => None,
         };
+        // Prime every ordered stream with its first hit. The pull is work
+        // the first page needs anyway; the hit (a) seeds the shared
+        // classic bound — each stream's first admitted hit is the best it
+        // will ever offer the merge — and (b) is *kept* as the stream's
+        // primed head: the first page feeds it straight into the merge,
+        // with a per-stream resume cursor skipping past it, instead of
+        // re-deriving it with an extra tree descent per ordered ACG (the
+        // PR-4 documented tradeoff, now gone).
+        if request.limit != Some(0) {
+            for state in &mut ordered {
+                let Some(group) = groups.iter().find(|g| g.id() == state.acg) else {
+                    continue;
+                };
+                let (lo, hi) = cursor_scan_bounds(
+                    request.cursor.as_ref(),
+                    state.lo.clone(),
+                    state.hi.clone(),
+                    state.descending,
+                );
+                if let Some(iter) = group.candidates_ordered(&state.attr, lo, hi, state.descending)
+                {
+                    let mut stream = OrderedHitStream::new(iter, group, request);
+                    let first = stream.next();
+                    state.scanned += stream.scanned();
+                    stats.candidates_scanned += stream.scanned();
+                    match first {
+                        Some(hit) => {
+                            if let Some(cutoff) = &cutoff {
+                                cutoff.try_admit(hit.sort_key.as_ref(), hit.file);
+                            }
+                            state.seed_cursor = Some(Cursor::after(&hit));
+                            state.primed = Some(hit);
+                        }
+                        // The whole stream is dry: nothing to page.
+                        None => state.done = true,
+                    }
+                }
+            }
+        }
 
         let classic_results = run_classic(tasks, cutoff.as_ref());
         let mut lists = Vec::with_capacity(classic_results.len());
@@ -283,33 +313,65 @@ impl NodeSearchSession {
 
         enum Src<'a> {
             List(std::iter::Cloned<std::slice::Iter<'a, Hit>>),
-            Stream(OrderedHitStream<'a>),
+            /// An ordered walk, led by its primed head on the first pull
+            /// (the seed hit from open, fed to the merge without another
+            /// tree descent; the walk behind it resumes past the head).
+            Stream {
+                head: Option<Hit>,
+                stream: OrderedHitStream<'a>,
+            },
         }
         impl Iterator for Src<'_> {
             type Item = Hit;
             fn next(&mut self) -> Option<Hit> {
                 match self {
                     Src::List(iter) => iter.next(),
-                    Src::Stream(stream) => stream.next(),
+                    Src::Stream { head, stream } => head.take().or_else(|| stream.next()),
                 }
             }
+        }
+
+        // Per-stream pull plans. A stream still holding its primed head
+        // resumes its walk from the seed cursor (skipping the head it is
+        // about to feed) — only those streams need a request of their own
+        // (first pull only); everyone else shares `req`. An unconsumed
+        // head is never lost: the merge leaves it strictly after
+        // everything shipped, so the session cursor re-derives it on the
+        // next pull.
+        struct StreamPrep {
+            ix: usize,
+            head: Option<Hit>,
+            /// `None` = use the shared session request.
+            req: Option<SearchRequest>,
+        }
+        let mut preps: Vec<StreamPrep> = Vec::new();
+        for i in 0..self.ordered.len() {
+            if self.ordered[i].done {
+                continue;
+            }
+            let head = self.ordered[i].primed.take();
+            let sreq = head.is_some().then(|| {
+                let mut sreq = req.clone();
+                sreq.cursor = self.ordered[i].seed_cursor.clone();
+                sreq
+            });
+            preps.push(StreamPrep { ix: i, head, req: sreq });
         }
 
         let classic_tail = &self.classic[self.classic_ix..];
         let mut sources: Vec<Src<'_>> = vec![Src::List(classic_tail.iter().cloned())];
         // Which `ordered` entry each stream source (sources[1..]) serves.
         let mut stream_of: Vec<usize> = Vec::new();
-        for i in 0..self.ordered.len() {
-            if self.ordered[i].done {
-                continue;
-            }
+        for prep in &mut preps {
+            let i = prep.ix;
             let Some(group) = lookup(self.ordered[i].acg) else {
                 // ACG migrated away mid-session: degrade, keep the rest.
                 self.ordered[i].done = true;
                 continue;
             };
+            let stream_req: &SearchRequest = prep.req.as_ref().unwrap_or(&req);
             let (lo, hi) = cursor_scan_bounds(
-                req.cursor.as_ref(),
+                stream_req.cursor.as_ref(),
                 self.ordered[i].lo.clone(),
                 self.ordered[i].hi.clone(),
                 self.ordered[i].descending,
@@ -322,7 +384,11 @@ impl NodeSearchSession {
             ) {
                 Some(iter) => {
                     stream_of.push(i);
-                    sources.push(Src::Stream(OrderedHitStream::new(iter, group, &req)));
+                    let head = prep.head.take();
+                    sources.push(Src::Stream {
+                        head,
+                        stream: OrderedHitStream::new(iter, group, stream_req),
+                    });
                 }
                 // The covering index was dropped mid-session: degrade.
                 None => self.ordered[i].done = true,
@@ -332,14 +398,19 @@ impl NodeSearchSession {
         let hits = merge_hit_sources(&mut sources, &req.sort, Some(k_page));
 
         for (src, &i) in sources[1..].iter().zip(&stream_of) {
-            let Src::Stream(stream) = src else { unreachable!("streams follow the classic list") };
+            let Src::Stream { stream, .. } = src else {
+                unreachable!("streams follow the classic list")
+            };
             self.ordered[i].scanned += stream.scanned();
             stats.candidates_scanned += stream.scanned();
+            // `exhausted` implies every pulled hit (the head included) was
+            // consumed by the merge, so nothing unshipped can be lost.
             if stream.exhausted() {
                 self.ordered[i].done = true;
             }
         }
         drop(sources);
+        drop(preps);
 
         self.sent += hits.len();
         self.remaining = self.remaining.saturating_sub(hits.len());
@@ -494,6 +565,67 @@ mod tests {
         assert_eq!(close.node_hits_unsent, 90, "the unshipped entitlement is witnessed");
         assert!(close.merge_skipped > 0);
         assert_eq!(close.early_terminated, 16);
+    }
+
+    #[test]
+    fn seed_hits_are_primed_into_the_first_page_without_rederivation() {
+        // The double-work the ROADMAP documented: the first pull used to
+        // re-derive every stream's first hit (one tree descent + candidate
+        // scan per ordered ACG) because the open discarded the seed pulls.
+        // With primed heads, the first page's merge starts from the stored
+        // seeds, so the pull scans at most one boundary candidate per
+        // stream it actually refills — `pull ≤ hits`, where the old path
+        // cost `hits + streams`.
+        let groups = seeded_groups(4, 100, true);
+        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let q = crate::Query::parse("size>0", now()).unwrap();
+        let req = SearchRequest::new(q.predicate)
+            .with_limit(20)
+            .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
+        let (mut session, open_stats) =
+            NodeSearchSession::open(&refs, &req, run_inline(&refs, &req));
+        assert_eq!(open_stats.candidates_scanned, 4, "open pulls exactly one seed per stream");
+        let page = session.pull(|acg| refs.iter().copied().find(|g| g.id() == acg), 20);
+        assert_eq!(page.hits.len(), 20);
+        assert!(
+            page.stats.candidates_scanned <= page.hits.len() + refs.len(),
+            "first page cost stays within hits + one boundary scan per stream: \
+             scanned {} for {} hits over {} streams",
+            page.stats.candidates_scanned,
+            page.hits.len(),
+            refs.len()
+        );
+        // The cold-stream payoff: 16 streams, a 4-hit first page. The old
+        // path paid one derivation per stream just to prime the merge
+        // (page + streams = 20 scans); primed heads prime it for free, so
+        // only the few refilled streams scan at all.
+        let groups = seeded_groups(16, 100, true);
+        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let q = crate::Query::parse("size>0", now()).unwrap();
+        let req = SearchRequest::new(q.predicate)
+            .with_limit(100)
+            .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
+        let (mut session, open_stats) =
+            NodeSearchSession::open(&refs, &req, run_inline(&refs, &req));
+        assert_eq!(open_stats.candidates_scanned, 16);
+        let page = session.pull(|acg| refs.iter().copied().find(|g| g.id() == acg), 4);
+        assert_eq!(page.hits.len(), 4);
+        assert!(
+            page.stats.candidates_scanned <= 2 * page.hits.len(),
+            "cold streams must not be touched: scanned {} for a 4-hit page over 16 streams",
+            page.stats.candidates_scanned
+        );
+        // Draining the rest still concatenates to the one-shot result.
+        let (one_shot, _) = execute_node_request_sequential(&refs, &req);
+        let mut all = page.hits.clone();
+        loop {
+            let p = session.pull(|acg| refs.iter().copied().find(|g| g.id() == acg), 16);
+            all.extend(p.hits);
+            if p.exhausted {
+                break;
+            }
+        }
+        assert_eq!(all, one_shot);
     }
 
     #[test]

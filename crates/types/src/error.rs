@@ -62,6 +62,16 @@ pub enum Error {
     InvalidQuery(String),
     /// Stored bytes (WAL frame, serialized index) failed validation.
     Corrupt(String),
+    /// A snapshot file failed validation (bad magic, version, checksum or
+    /// truncated payload). Recovery skips the file and falls back to an
+    /// older snapshot or a full WAL replay; the variant is surfaced so
+    /// operators and tooling can see which file was bad and why.
+    SnapshotCorrupt {
+        /// Path of the rejected snapshot file.
+        path: String,
+        /// What failed to validate.
+        reason: String,
+    },
     /// An I/O error from the real file system (WAL files, snapshots).
     Io(String),
     /// An RPC timed out or its channel was disconnected.
@@ -91,6 +101,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::SnapshotCorrupt { path, reason } => {
+                write!(f, "corrupt snapshot {path:?}: {reason}")
+            }
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
             Error::Rpc(msg) => write!(f, "rpc error: {msg}"),
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
@@ -124,6 +137,7 @@ mod tests {
             Error::SearchSessionExpired { session: 6 },
             Error::InvalidQuery("dangling operator".into()),
             Error::Corrupt("bad crc".into()),
+            Error::SnapshotCorrupt { path: "acg-1-9.snap".into(), reason: "bad crc".into() },
             Error::Io("disk full".into()),
             Error::Rpc("timeout".into()),
             Error::Config("zero nodes".into()),

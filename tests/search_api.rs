@@ -208,6 +208,73 @@ fn allow_partial_tolerates_a_dead_node_but_require_all_errors() {
 }
 
 #[test]
+fn cursor_on_incomplete_opt_in_resumes_over_survivors_and_names_the_gap() {
+    // The availability-first opt-in: an incomplete response may carry a
+    // continuation cursor *plus* the unreachable-node set, so a caller
+    // keeps paginating the reachable nodes now and backfills the listed
+    // gap later — instead of stalling the whole scan on one dead node.
+    let cluster =
+        Cluster::start(ClusterConfig { index_nodes: 3, group_capacity: 10, ..Default::default() });
+    let mut client = cluster.client();
+    let records: Vec<FileRecord> = (0..300u64).map(|i| record(i, (i + 1) << 20, i, 0)).collect();
+    client.index_files(records).unwrap();
+    let now = Timestamp::from_secs(1_000);
+    let page_req = |cursor: Option<propeller::query::Cursor>| {
+        let mut req = SearchRequest::parse("size>0", now)
+            .unwrap()
+            .with_limit(50)
+            .sorted_by(SortKey::Descending(AttrName::Size))
+            .with_fan_out(FanOutPolicy::AllowPartial { min_nodes: 1 })
+            .with_cursor_on_incomplete();
+        if let Some(c) = cursor {
+            req = req.after(c);
+        }
+        req
+    };
+
+    let victim = cluster.index_node_ids()[0];
+    cluster.rpc().call(victim, propeller::cluster::Request::Shutdown).unwrap();
+    cluster.rpc().deregister(victim);
+
+    // Survivor ground truth: everything the reachable nodes hold, in sort
+    // order (an unlimited partial search).
+    let survivors_all = client
+        .search_with(
+            &SearchRequest::parse("size>0", now)
+                .unwrap()
+                .sorted_by(SortKey::Descending(AttrName::Size))
+                .with_fan_out(FanOutPolicy::AllowPartial { min_nodes: 1 }),
+        )
+        .unwrap();
+    assert!(!survivors_all.complete);
+    assert!(survivors_all.cursor.is_none(), "unlimited responses never paginate");
+
+    // Paginate with the opt-in: every incomplete page carries the cursor
+    // AND the gap, and the concatenation covers the survivors exactly.
+    let mut paged: Vec<FileId> = Vec::new();
+    let mut cursor = None;
+    loop {
+        let resp = client.search_with(&page_req(cursor.take())).unwrap();
+        assert!(!resp.complete);
+        assert_eq!(resp.unreachable, vec![victim], "the gap is always named");
+        if resp.hits.is_empty() {
+            break;
+        }
+        if !paged.is_empty() {
+            assert!(resp.cursor.is_some() || resp.hits.len() < 50);
+        }
+        paged.extend(resp.file_ids());
+        match resp.cursor {
+            Some(c) => cursor = Some(c),
+            None => break,
+        }
+    }
+    assert_eq!(paged, survivors_all.file_ids(), "opt-in pagination covers every reachable hit");
+    assert!(paged.len() < 300, "the dead node's hits are the named gap");
+    cluster.shutdown();
+}
+
+#[test]
 fn incomplete_page_carries_no_cursor_and_recovery_restores_the_skipped_hits() {
     let mut cluster =
         Cluster::start(ClusterConfig { index_nodes: 3, group_capacity: 10, ..Default::default() });
