@@ -31,6 +31,116 @@ use propeller_types::{AcgId, Duration, Error, FileId, NodeId, Timestamp};
 use crate::messages::{AcgSummary, Request, Response};
 use crate::pool::WorkerPool;
 
+/// Magic + version header of the durable stale-route tombstone file.
+const TOMBSTONE_MAGIC: [u8; 4] = *b"PTMB";
+const TOMBSTONE_VERSION: u32 = 1;
+
+/// File name of the node-wide tombstone image inside the data dir.
+fn tombstone_file_name() -> &'static str {
+    "tombstones.tomb"
+}
+
+/// Serializes the tombstone state (the generation counter, the live
+/// per-ACG maps and the FIFO eviction order). Both structures are written
+/// because they diverge: [`Request::InstallAcg`] clears a `moved_away`
+/// entry without touching `tombstone_order`, and replaying the order alone
+/// would resurrect it.
+fn encode_tombstones(
+    gen: u64,
+    moved: &HashMap<AcgId, HashMap<FileId, u64>>,
+    order: &std::collections::VecDeque<(AcgId, FileId, u64)>,
+) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32 + order.len() * 24);
+    payload.extend_from_slice(&gen.to_le_bytes());
+    // Deterministic image: sort ACGs and files so identical state always
+    // produces identical bytes (snapshot-diff friendliness).
+    let mut acgs: Vec<&AcgId> = moved.keys().collect();
+    acgs.sort_unstable();
+    payload.extend_from_slice(&(acgs.len() as u64).to_le_bytes());
+    for acg in acgs {
+        let map = &moved[acg];
+        payload.extend_from_slice(&acg.raw().to_le_bytes());
+        payload.extend_from_slice(&(map.len() as u64).to_le_bytes());
+        let mut files: Vec<(&FileId, &u64)> = map.iter().collect();
+        files.sort_unstable();
+        for (file, gen) in files {
+            payload.extend_from_slice(&file.raw().to_le_bytes());
+            payload.extend_from_slice(&gen.to_le_bytes());
+        }
+    }
+    payload.extend_from_slice(&(order.len() as u64).to_le_bytes());
+    for &(acg, file, gen) in order {
+        payload.extend_from_slice(&acg.raw().to_le_bytes());
+        payload.extend_from_slice(&file.raw().to_le_bytes());
+        payload.extend_from_slice(&gen.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(payload.len() + 20);
+    out.extend_from_slice(&TOMBSTONE_MAGIC);
+    out.extend_from_slice(&TOMBSTONE_VERSION.to_le_bytes());
+    out.extend_from_slice(&propeller_index::crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// The reconstructed tombstone state: `(generation counter, live per-ACG
+/// maps, FIFO eviction order)`.
+type TombstoneState =
+    (u64, HashMap<AcgId, HashMap<FileId, u64>>, std::collections::VecDeque<(AcgId, FileId, u64)>);
+
+/// Decodes a tombstone image, rejecting truncation, bad magic and CRC
+/// mismatches (a torn write loses the tombstones, never the node).
+fn decode_tombstones(bytes: &[u8]) -> Option<TombstoneState> {
+    let mut pos = 0usize;
+    let mut chunk = |n: usize| -> Option<&[u8]> {
+        let end = pos.checked_add(n)?;
+        let out = bytes.get(pos..end)?;
+        pos = end;
+        Some(out)
+    };
+    if chunk(4)? != TOMBSTONE_MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(chunk(4)?.try_into().ok()?) != TOMBSTONE_VERSION {
+        return None;
+    }
+    let crc = u32::from_le_bytes(chunk(4)?.try_into().ok()?);
+    let len = u64::from_le_bytes(chunk(8)?.try_into().ok()?);
+    let payload = chunk(usize::try_from(len).ok()?)?;
+    if propeller_index::crc32(payload) != crc {
+        return None;
+    }
+    let mut pos = 0usize;
+    let mut next_u64 = |payload: &[u8]| -> Option<u64> {
+        let end = pos.checked_add(8)?;
+        let v = u64::from_le_bytes(payload.get(pos..end)?.try_into().ok()?);
+        pos = end;
+        Some(v)
+    };
+    let gen = next_u64(payload)?;
+    let n_acgs = next_u64(payload)?;
+    let mut moved: HashMap<AcgId, HashMap<FileId, u64>> = HashMap::new();
+    for _ in 0..n_acgs {
+        let acg = AcgId::new(next_u64(payload)?);
+        let n_files = next_u64(payload)?;
+        let map = moved.entry(acg).or_default();
+        for _ in 0..n_files {
+            let file = FileId::new(next_u64(payload)?);
+            let g = next_u64(payload)?;
+            map.insert(file, g);
+        }
+    }
+    let n_order = next_u64(payload)?;
+    let mut order = std::collections::VecDeque::new();
+    for _ in 0..n_order {
+        let acg = AcgId::new(next_u64(payload)?);
+        let file = FileId::new(next_u64(payload)?);
+        let g = next_u64(payload)?;
+        order.push_back((acg, file, g));
+    }
+    Some((gen, moved, order))
+}
+
 /// One pooled per-ACG search execution and its result.
 type SearchJob = Box<dyn FnOnce() -> (Vec<Hit>, SearchStats) + Send>;
 
@@ -232,7 +342,37 @@ impl IndexNode {
             let (group, _report) = AcgIndexGroup::recover_with_report(acg, cfg)?;
             node.groups.insert(acg, Arc::new(group));
         }
+        // Stale-route tombstones are part of the node's durable identity:
+        // a revived node must keep rejecting batches routed to files it
+        // migrated away before the crash. A missing or corrupt image
+        // degrades to pre-tombstone behaviour, never a failed open.
+        if let Some((gen, moved, order)) = std::fs::read(dir.join(tombstone_file_name()))
+            .ok()
+            .and_then(|bytes| decode_tombstones(&bytes))
+        {
+            node.tombstone_gen = gen;
+            node.moved_away = moved;
+            node.tombstone_order = order;
+        }
         Ok(node)
+    }
+
+    /// Writes the tombstone image under the data dir (temp file + rename,
+    /// so a crash mid-write leaves the previous image intact). Best-effort
+    /// like snapshots: the extraction that grew the tombstones is already
+    /// acknowledged, so a failing write must not fail it — the next
+    /// mutation retries.
+    fn persist_tombstones(&self) {
+        let Some(dir) = &self.config.data_dir else { return };
+        let bytes = encode_tombstones(self.tombstone_gen, &self.moved_away, &self.tombstone_order);
+        let tmp = dir.join(format!("{}.tmp", tombstone_file_name()));
+        let path = dir.join(tombstone_file_name());
+        let write = || -> std::io::Result<()> {
+            std::fs::write(&tmp, &bytes)?;
+            std::fs::File::open(&tmp)?.sync_all()?;
+            std::fs::rename(&tmp, &path)
+        };
+        let _ = write();
     }
 
     /// The [`GroupConfig`] a group of this node gets: a file-backed WAL
@@ -388,6 +528,7 @@ impl IndexNode {
                 }
             }
         }
+        self.persist_tombstones();
     }
 
     fn summaries(&self) -> Vec<AcgSummary> {
@@ -646,10 +787,19 @@ impl IndexNode {
             }
             Request::InstallAcg { acg, records, edges } => {
                 // A file migrating (back) into an ACG hosted here is no
-                // longer moved-away from it.
+                // longer moved-away from it — durably, or a revival would
+                // resurrect the tombstone and reject valid batches forever.
                 if let Some(moved) = self.moved_away.get_mut(&acg) {
+                    let before = moved.len();
                     for record in &records {
                         moved.remove(&record.file);
+                    }
+                    let changed = moved.len() != before;
+                    if moved.is_empty() {
+                        self.moved_away.remove(&acg);
+                    }
+                    if changed {
+                        self.persist_tombstones();
                     }
                 }
                 let group = match self.group_mut(acg) {
@@ -1507,5 +1657,339 @@ mod tests {
             n.handle(Request::SplitAcg { acg: AcgId::new(42) }),
             Response::Err(Error::AcgNotFound(_))
         ));
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("propeller-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn tombstones_survive_crash_and_revival() {
+        let dir = temp_dir("tombstone-revive");
+        let config =
+            || IndexNodeConfig { data_dir: Some(dir.clone()), ..IndexNodeConfig::default() };
+        let acg = AcgId::new(1);
+        {
+            let mut n = IndexNode::open(NodeId::new(1), config()).unwrap();
+            n.handle(Request::IndexBatch {
+                acg,
+                ops: (0..20).map(|i| IndexOp::Upsert(rec(i, i))).collect(),
+                now: t(0),
+            });
+            let moved: Vec<FileId> = (10..20).map(FileId::new).collect();
+            assert!(matches!(
+                n.handle(Request::ExtractAcgPart { acg, files: moved }),
+                Response::AcgPart { .. }
+            ));
+            // Crash: dropped without ceremony.
+        }
+        let mut revived = IndexNode::open(NodeId::new(1), config()).unwrap();
+        // The revived node must keep rejecting the stale route...
+        let resp = revived.handle(Request::IndexBatch {
+            acg,
+            ops: vec![IndexOp::Upsert(rec(15, 1 << 20))],
+            now: t(1),
+        });
+        assert!(
+            matches!(resp, Response::Err(Error::StaleRoute { file, .. }) if file == FileId::new(15)),
+            "{resp:?}"
+        );
+        // ...while batches for files it kept still land.
+        let resp = revived.handle(Request::IndexBatch {
+            acg,
+            ops: vec![IndexOp::Upsert(rec(5, 1 << 20))],
+            now: t(1),
+        });
+        assert!(matches!(resp, Response::Ok), "{resp:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn install_back_clears_the_durable_tombstone() {
+        let dir = temp_dir("tombstone-install");
+        let config =
+            || IndexNodeConfig { data_dir: Some(dir.clone()), ..IndexNodeConfig::default() };
+        let acg = AcgId::new(1);
+        {
+            let mut n = IndexNode::open(NodeId::new(1), config()).unwrap();
+            n.handle(Request::IndexBatch {
+                acg,
+                ops: (0..10).map(|i| IndexOp::Upsert(rec(i, i))).collect(),
+                now: t(0),
+            });
+            let files: Vec<FileId> = (5..10).map(FileId::new).collect();
+            let records = match n.handle(Request::ExtractAcgPart { acg, files }) {
+                Response::AcgPart { records, .. } => records,
+                other => panic!("{other:?}"),
+            };
+            // The part migrates back (e.g. a rolled-back split): the
+            // tombstones must clear durably.
+            assert!(matches!(
+                n.handle(Request::InstallAcg { acg, records, edges: Vec::new() }),
+                Response::Ok
+            ));
+        }
+        let mut revived = IndexNode::open(NodeId::new(1), config()).unwrap();
+        let resp = revived.handle(Request::IndexBatch {
+            acg,
+            ops: vec![IndexOp::Upsert(rec(7, 1))],
+            now: t(1),
+        });
+        assert!(matches!(resp, Response::Ok), "re-installed file must index: {resp:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tombstone_image_degrades_to_pre_tombstone_behaviour() {
+        let dir = temp_dir("tombstone-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(tombstone_file_name()), b"PTMBgarbage").unwrap();
+        let config = IndexNodeConfig { data_dir: Some(dir.clone()), ..IndexNodeConfig::default() };
+        let mut n = IndexNode::open(NodeId::new(1), config).unwrap();
+        let resp = n.handle(Request::IndexBatch {
+            acg: AcgId::new(1),
+            ops: vec![IndexOp::Upsert(rec(1, 1))],
+            now: t(0),
+        });
+        assert!(matches!(resp, Response::Ok), "corrupt image must not poison the node: {resp:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tombstone_round_trip_encodes_gen_maps_and_order() {
+        let mut moved: HashMap<AcgId, HashMap<FileId, u64>> = HashMap::new();
+        moved.entry(AcgId::new(1)).or_default().insert(FileId::new(7), 3);
+        moved.entry(AcgId::new(2)).or_default().insert(FileId::new(9), 5);
+        let mut order = std::collections::VecDeque::new();
+        order.push_back((AcgId::new(1), FileId::new(7), 3));
+        order.push_back((AcgId::new(2), FileId::new(9), 5));
+        // An InstallAcg-style divergence: file 8 is in the order (its
+        // tombstone was superseded) but no longer in the live maps.
+        order.push_back((AcgId::new(1), FileId::new(8), 4));
+        let bytes = encode_tombstones(5, &moved, &order);
+        let (gen, moved2, order2) = decode_tombstones(&bytes).expect("round trip");
+        assert_eq!(gen, 5);
+        assert_eq!(moved2, moved);
+        assert_eq!(order2, order);
+        // Truncation and bit flips are rejected, not mis-decoded.
+        assert!(decode_tombstones(&bytes[..bytes.len() - 1]).is_none());
+        let mut flipped = bytes.clone();
+        *flipped.last_mut().unwrap() ^= 0xff;
+        assert!(decode_tombstones(&flipped).is_none());
+    }
+
+    fn crec(file: u64, text: &str) -> FileRecord {
+        FileRecord::new(FileId::new(file), InodeAttrs::default()).with_content(text)
+    }
+
+    fn ranked_request(text: &str, k: usize) -> propeller_query::SearchRequest {
+        let q = Query::parse(text, t(0)).unwrap();
+        propeller_query::SearchRequest::new(q.predicate)
+            .with_limit(k)
+            .sorted_by(propeller_query::SortKey::Relevance)
+    }
+
+    fn seed_content(n: &mut IndexNode, acgs: u64, per_acg: u64) {
+        for acg in 1..=acgs {
+            n.handle(Request::IndexBatch {
+                acg: AcgId::new(acg),
+                ops: (0..per_acg)
+                    .map(|i| {
+                        let id = acg * 10_000 + i;
+                        let mut text = String::from("report");
+                        if i % 3 == 0 {
+                            text.push_str(" quarterly tax");
+                        }
+                        if i % 17 == 0 {
+                            for _ in 0..3 {
+                                text.push_str(" tax");
+                            }
+                        }
+                        for _ in 0..(i % 6) {
+                            text.push_str(" filler");
+                        }
+                        IndexOp::Upsert(crec(id, &text))
+                    })
+                    .collect(),
+                now: t(0),
+            });
+        }
+    }
+
+    #[test]
+    fn ranked_contains_search_flows_through_the_node() {
+        let mut n = node();
+        seed_content(&mut n, 3, 200);
+        let request = ranked_request("contains:\"tax report\"", 15);
+        let (hits, stats) = match n.handle(Request::Search {
+            acgs: (1..=3).map(AcgId::new).collect(),
+            request,
+            now: t(100),
+        }) {
+            Response::SearchHits { hits, stats } => (hits, stats),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(hits.len(), 15);
+        // Scores descend across the node-wide merge.
+        let scores: Vec<f64> =
+            hits.iter().map(|h| h.sort_key.clone().unwrap().as_f64().unwrap()).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]), "{scores:?}");
+        // Every group served the query off its inverted index.
+        assert_eq!(stats.acgs_consulted, 3);
+        assert!(stats
+            .access_paths
+            .iter()
+            .all(|(_, k)| *k == propeller_query::AccessPathKind::Postings));
+    }
+
+    #[test]
+    fn ranked_contains_session_pages_concatenate_to_the_one_shot() {
+        let seeded = || {
+            let mut n = node();
+            seed_content(&mut n, 3, 200);
+            n
+        };
+        let request = ranked_request("contains-any:\"tax quarterly\"", 40);
+        let mut n = seeded();
+        let one_shot = match n.handle(Request::Search {
+            acgs: (1..=3).map(AcgId::new).collect(),
+            request: request.clone(),
+            now: t(100),
+        }) {
+            Response::SearchHits { hits, .. } => hits,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(one_shot.len(), 40);
+        let mut n = seeded();
+        let (session, mut all, _, mut exhausted) = match n.handle(Request::OpenSearch {
+            acgs: (1..=3).map(AcgId::new).collect(),
+            request: request.clone(),
+            client: 1,
+            page: 7,
+            now: t(100),
+        }) {
+            Response::SearchPage { session, hits, stats, exhausted } => {
+                (session, hits, stats, exhausted)
+            }
+            other => panic!("{other:?}"),
+        };
+        while !exhausted {
+            match n.handle(Request::PullHits { session, page: 7 }) {
+                Response::SearchPage { hits, exhausted: done, .. } => {
+                    all.extend(hits);
+                    exhausted = done;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert_eq!(all, one_shot, "paged ranked session == one-shot, byte for byte");
+    }
+
+    #[test]
+    fn revived_node_serves_byte_identical_ranked_hits() {
+        let dir = temp_dir("ranked-revive");
+        let config =
+            || IndexNodeConfig { data_dir: Some(dir.clone()), ..IndexNodeConfig::default() };
+        let request = ranked_request("contains:\"tax report\"", 20);
+        let run = |n: &mut IndexNode| match n.handle(Request::Search {
+            acgs: (1..=2).map(AcgId::new).collect(),
+            request: request.clone(),
+            now: t(100),
+        }) {
+            Response::SearchHits { hits, .. } => hits,
+            other => panic!("{other:?}"),
+        };
+        let baseline = {
+            let mut n = IndexNode::open(NodeId::new(1), config()).unwrap();
+            seed_content(&mut n, 2, 150);
+            let hits = run(&mut n);
+            assert_eq!(hits.len(), 20);
+            hits
+            // Crash.
+        };
+        let mut revived = IndexNode::open(NodeId::new(1), config()).unwrap();
+        assert_eq!(revived.acg_count(), 2);
+        let hits = run(&mut revived);
+        assert_eq!(hits, baseline, "recovered postings must rank identically, byte for byte");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inverted_spec_rides_the_broadcast_and_rolls_back_symmetrically() {
+        let mut n = node();
+        for acg in 1..=3u64 {
+            n.handle(Request::IndexBatch {
+                acg: AcgId::new(acg),
+                ops: vec![IndexOp::Upsert(crec(acg, "alpha beta"))],
+                now: t(0),
+            });
+        }
+        // A second inverted family broadcasts like any other index kind.
+        let resp = n.handle(Request::CreateIndex { spec: IndexSpec::inverted("aux_inverted") });
+        assert!(matches!(resp, Response::Ok), "{resp:?}");
+        for acg in 1..=3u64 {
+            assert!(n.groups[&AcgId::new(acg)]
+                .index_specs()
+                .iter()
+                .any(|s| s.name == "aux_inverted"));
+        }
+        // Partial-broadcast rollback: pre-seed one group with a clashing
+        // inverted name, then broadcast it — no group may keep the spec.
+        IndexNode::exclusive(n.groups.get_mut(&AcgId::new(2)).unwrap())
+            .create_index(IndexSpec::inverted("inv_clash"))
+            .unwrap();
+        let resp = n.handle(Request::CreateIndex { spec: IndexSpec::inverted("inv_clash") });
+        assert!(matches!(resp, Response::Err(Error::IndexExists(_))), "{resp:?}");
+        for acg in [1u64, 3] {
+            assert!(
+                !n.groups[&AcgId::new(acg)].index_specs().iter().any(|s| s.name == "inv_clash"),
+                "group {acg} kept a half-applied inverted spec"
+            );
+        }
+        // Symmetric drop: the broadcast family disappears everywhere,
+        // including groups created later.
+        assert!(matches!(
+            n.handle(Request::DropIndex { name: "aux_inverted".into() }),
+            Response::Ok
+        ));
+        n.handle(Request::IndexBatch {
+            acg: AcgId::new(4),
+            ops: vec![IndexOp::Upsert(crec(40, "alpha"))],
+            now: t(0),
+        });
+        for acg in 1..=4u64 {
+            assert!(!n.groups[&AcgId::new(acg)]
+                .index_specs()
+                .iter()
+                .any(|s| s.name == "aux_inverted"));
+        }
+    }
+
+    #[test]
+    fn dropping_the_default_inverted_degrades_contains_to_the_scored_scan() {
+        let mut n = node();
+        seed_content(&mut n, 1, 120);
+        let request = ranked_request("contains:tax", 10);
+        let run = |n: &mut IndexNode| match n.handle(Request::Search {
+            acgs: vec![AcgId::new(1)],
+            request: request.clone(),
+            now: t(100),
+        }) {
+            Response::SearchHits { hits, stats } => (hits, stats),
+            other => panic!("{other:?}"),
+        };
+        let (indexed_hits, indexed_stats) = run(&mut n);
+        assert_eq!(indexed_stats.access_paths[0].1, propeller_query::AccessPathKind::Postings);
+        // Drop the default content index: contains queries must degrade to
+        // a scored full scan with identical hits, not fail.
+        assert!(matches!(
+            n.handle(Request::DropIndex { name: "content_inverted".into() }),
+            Response::Ok
+        ));
+        let (scan_hits, scan_stats) = run(&mut n);
+        assert_eq!(scan_stats.access_paths[0].1, propeller_query::AccessPathKind::FullScan);
+        assert_eq!(scan_hits, indexed_hits, "ranking is index-independent");
     }
 }

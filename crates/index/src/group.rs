@@ -32,6 +32,7 @@ use serde::{Deserialize, Serialize};
 use crate::btree::BPlusTree;
 use crate::cache::IndexCache;
 use crate::hash::HashIndex;
+use crate::inverted::InvertedIndex;
 use crate::kdtree::KdTree;
 use crate::ops::{FileRecord, IndexOp};
 use crate::snapshot::{self, SnapshotData};
@@ -46,6 +47,9 @@ pub enum IndexKind {
     Hash,
     /// K-D tree (multi-attribute range queries).
     Kd,
+    /// Inverted index over tokenized keywords and text-valued custom
+    /// attributes (term search with BM25 ranking).
+    Inverted,
 }
 
 /// A user-defined index: a globally unique name, a structure kind, and the
@@ -75,6 +79,12 @@ impl IndexSpec {
     pub fn kd(name: impl Into<String>, attrs: Vec<AttrName>) -> Self {
         IndexSpec { name: name.into(), kind: IndexKind::Kd, attrs }
     }
+
+    /// An inverted text index. It implicitly covers every keyword and
+    /// string-valued custom attribute, so it names no attributes.
+    pub fn inverted(name: impl Into<String>) -> Self {
+        IndexSpec { name: name.into(), kind: IndexKind::Inverted, attrs: Vec::new() }
+    }
 }
 
 /// Configuration for an [`AcgIndexGroup`].
@@ -85,7 +95,8 @@ pub struct GroupConfig {
     /// Write-ahead log backing this group.
     pub wal: Wal,
     /// Create the paper's default indices (B+-tree on size and mtime, hash
-    /// on keyword, K-D tree on (size, mtime)).
+    /// on keyword, K-D tree on (size, mtime)) plus the content inverted
+    /// index for ranked term search.
     pub default_indices: bool,
     /// Where [`AcgIndexGroup::snapshot`] writes its checkpoint files and
     /// recovery looks for them. `None` (the default) disables snapshots.
@@ -166,6 +177,7 @@ pub struct AcgIndexGroup {
     btrees: HashMap<AttrName, BPlusTree<Value, PostingList>>,
     hashes: HashMap<AttrName, HashIndex<Value, PostingList>>,
     kds: HashMap<String, (Vec<AttrName>, KdTree)>,
+    inverteds: HashMap<String, InvertedIndex>,
     wal: Wal,
     cache: IndexCache,
     /// Where snapshots live (`None` = snapshots disabled).
@@ -198,6 +210,7 @@ impl AcgIndexGroup {
             btrees: HashMap::new(),
             hashes: HashMap::new(),
             kds: HashMap::new(),
+            inverteds: HashMap::new(),
             wal: config.wal,
             cache: IndexCache::new(config.commit_timeout),
             snapshot_dir: config.snapshot_dir,
@@ -213,6 +226,7 @@ impl AcgIndexGroup {
                 IndexSpec::btree("mtime_btree", AttrName::Mtime),
                 IndexSpec::hash("keyword_hash", AttrName::Keyword),
                 IndexSpec::kd("inode_kd", vec![AttrName::Size, AttrName::Mtime]),
+                IndexSpec::inverted("content_inverted"),
             ] {
                 group.create_index(spec).expect("default index names are unique");
             }
@@ -231,6 +245,7 @@ impl AcgIndexGroup {
             btrees: HashMap::new(),
             hashes: HashMap::new(),
             kds: HashMap::new(),
+            inverteds: HashMap::new(),
             wal: config.wal,
             cache: IndexCache::new(config.commit_timeout),
             snapshot_dir: config.snapshot_dir,
@@ -471,6 +486,14 @@ impl AcgIndexGroup {
                     )));
                 }
             }
+            IndexKind::Inverted => {
+                if !spec.attrs.is_empty() {
+                    return Err(Error::Config(format!(
+                        "inverted index {:?} covers all text implicitly; it takes no attributes",
+                        spec.name
+                    )));
+                }
+            }
         }
         match spec.kind {
             IndexKind::BTree => {
@@ -508,6 +531,13 @@ impl AcgIndexGroup {
                     .collect();
                 let tree = KdTree::bulk_load(attrs.len(), points);
                 self.kds.insert(spec.name.clone(), (attrs, tree));
+            }
+            IndexKind::Inverted => {
+                let mut inv = InvertedIndex::new();
+                for record in self.records.values() {
+                    inv.insert(record);
+                }
+                self.inverteds.insert(spec.name.clone(), inv);
             }
         }
         self.specs.push(spec);
@@ -551,6 +581,9 @@ impl AcgIndexGroup {
             }
             IndexKind::Kd => {
                 self.kds.remove(&spec.name);
+            }
+            IndexKind::Inverted => {
+                self.inverteds.remove(&spec.name);
             }
         }
         Ok(())
@@ -724,6 +757,9 @@ impl AcgIndexGroup {
                 tree.insert(&point, record.file);
             }
         }
+        for inv in self.inverteds.values_mut() {
+            inv.insert(record);
+        }
     }
 
     fn unindex(&mut self, record: &FileRecord) {
@@ -745,6 +781,9 @@ impl AcgIndexGroup {
             if let Some(point) = Self::kd_point(record, attrs) {
                 tree.remove(&point, record.file);
             }
+        }
+        for inv in self.inverteds.values_mut() {
+            inv.remove(record);
         }
     }
 
@@ -940,6 +979,12 @@ impl AcgIndexGroup {
     /// Depth of the B+-tree over `attr` (for analytic disk-cost models).
     pub fn btree_depth(&self, attr: &AttrName) -> Option<usize> {
         self.btrees.get(attr).map(|t| t.depth())
+    }
+
+    /// The group's inverted text index, if one exists (several specs would
+    /// hold identical structures, so the executor takes any).
+    pub fn inverted(&self) -> Option<&InvertedIndex> {
+        self.inverteds.values().next()
     }
 }
 
@@ -1460,6 +1505,83 @@ mod tests {
             Bound::Included(Value::F64(5.0)),
         );
         assert_eq!(hits.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inverted_index_tracks_upserts_and_removes() {
+        let mut g = group();
+        let rec1 = record(1, 10, 0).with_keyword("annual report").with_content("sales figures");
+        let rec2 = record(2, 20, 0).with_keyword("memo").with_content("sales memo");
+        g.enqueue(IndexOp::Upsert(rec1), t(0)).unwrap();
+        g.enqueue(IndexOp::Upsert(rec2), t(0)).unwrap();
+        g.commit(t(0)).unwrap();
+        let inv = g.inverted().expect("default inverted index exists");
+        assert_eq!(inv.df("sales"), 2);
+        assert_eq!(inv.df("report"), 1);
+        assert_eq!(inv.doc_count(), 2);
+        // An upsert replaces the old token set.
+        g.enqueue(IndexOp::Upsert(record(1, 10, 0).with_keyword("draft")), t(1)).unwrap();
+        g.commit(t(1)).unwrap();
+        let inv = g.inverted().unwrap();
+        assert_eq!(inv.df("report"), 0);
+        assert_eq!(inv.df("draft"), 1);
+        assert_eq!(inv.df("sales"), 1);
+        // A remove clears the document entirely.
+        g.enqueue(IndexOp::Remove(FileId::new(2)), t(2)).unwrap();
+        g.commit(t(2)).unwrap();
+        let inv = g.inverted().unwrap();
+        assert_eq!(inv.df("sales"), 0);
+        assert_eq!(inv.doc_count(), 1);
+    }
+
+    #[test]
+    fn inverted_index_create_drop_symmetry() {
+        let mut g = group();
+        g.enqueue(IndexOp::Upsert(record(1, 10, 0).with_keyword("alpha")), t(0)).unwrap();
+        g.commit(t(0)).unwrap();
+        // Dropping the default frees the structure; re-creation backfills.
+        g.drop_index("content_inverted").unwrap();
+        assert!(g.inverted().is_none());
+        g.create_index(IndexSpec::inverted("content_inverted")).unwrap();
+        assert_eq!(g.inverted().unwrap().df("alpha"), 1);
+        // The arity rule: an inverted spec names no attributes.
+        let bad = IndexSpec {
+            name: "bad".into(),
+            kind: IndexKind::Inverted,
+            attrs: vec![AttrName::Size],
+        };
+        assert!(matches!(g.create_index(bad), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn snapshot_restores_inverted_postings_and_df() {
+        let dir = temp_dir("inverted");
+        let acg = AcgId::new(7);
+        let fingerprint = {
+            let mut g = AcgIndexGroup::new(acg, durable_config(&dir, 7));
+            for i in 0..40 {
+                let rec = record(i, i, 0)
+                    .with_keyword(format!("file{i}.log"))
+                    .with_content(format!("entry {} common", i % 5));
+                g.enqueue(IndexOp::Upsert(rec), t(0)).unwrap();
+            }
+            g.commit(t(0)).unwrap();
+            g.snapshot().unwrap().unwrap();
+            // Post-snapshot suffix: one more upsert and one remove.
+            g.enqueue(IndexOp::Upsert(record(100, 1, 0).with_keyword("tail")), t(1)).unwrap();
+            g.enqueue(IndexOp::Remove(FileId::new(0)), t(1)).unwrap();
+            g.commit(t(1)).unwrap();
+            g.sync_wal().unwrap();
+            g.inverted().unwrap().fingerprint()
+        };
+        let (g, report) = AcgIndexGroup::recover_with_report(acg, durable_config(&dir, 7)).unwrap();
+        assert!(report.snapshot_lsn.is_some());
+        assert_eq!(report.replayed_ops, 2);
+        let inv = g.inverted().expect("inverted index recovered from the spec table");
+        assert_eq!(inv.fingerprint(), fingerprint, "identical postings and df tables");
+        assert_eq!(inv.df("common"), 39, "40 docs minus the removed one");
+        assert_eq!(inv.df("tail"), 1, "wal suffix replayed into the postings");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -43,6 +43,7 @@ mod btree;
 mod cache;
 mod group;
 mod hash;
+mod inverted;
 mod kdtree;
 mod ops;
 pub mod snapshot;
@@ -52,6 +53,12 @@ pub use btree::{BPlusTree, Range, RangeRev};
 pub use cache::IndexCache;
 pub use group::{AcgIndexGroup, GroupConfig, IndexKind, IndexSpec, RecoveryReport};
 pub use hash::HashIndex;
+pub use inverted::{
+    bm25_block_bound, bm25_idf, bm25_score, bm25_term_bound, record_contains_all,
+    record_contains_any, record_contains_phrase, record_text_fields, record_tokens, tokenize,
+    tokenize_into, Block, InvertedIndex, Posting, PostingsCursor, TermPostings, BLOCK, BM25_B,
+    BM25_K1,
+};
 pub use kdtree::{KdTree, RangeIter};
 pub use ops::{FileRecord, IndexOp};
 pub use snapshot::SnapshotData;

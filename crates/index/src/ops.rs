@@ -42,6 +42,14 @@ impl FileRecord {
         self.custom.push((name.into(), value));
         self
     }
+
+    /// Adds extracted content text as the conventional `"content"` custom
+    /// attribute (builder style). The inverted index tokenizes it along
+    /// with the keywords and every other string-valued custom attribute.
+    pub fn with_content(mut self, text: impl Into<String>) -> Self {
+        self.custom.push(("content".into(), Value::Str(text.into())));
+        self
+    }
 }
 
 /// One indexing operation.

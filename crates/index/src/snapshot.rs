@@ -164,6 +164,7 @@ fn encode_spec(buf: &mut BytesMut, spec: &IndexSpec) {
         IndexKind::BTree => 0,
         IndexKind::Hash => 1,
         IndexKind::Kd => 2,
+        IndexKind::Inverted => 3,
     });
     buf.put_u32_le(spec.attrs.len() as u32);
     for attr in &spec.attrs {
@@ -177,6 +178,7 @@ fn decode_spec(data: &mut &[u8]) -> Result<IndexSpec> {
         0 => IndexKind::BTree,
         1 => IndexKind::Hash,
         2 => IndexKind::Kd,
+        3 => IndexKind::Inverted,
         other => return Err(Error::Corrupt(format!("unknown index kind tag {other}"))),
     };
     let nattrs = take_u32(data)? as usize;

@@ -78,6 +78,17 @@ impl std::fmt::Display for CompareOp {
     }
 }
 
+/// How a [`Predicate::Contains`] combines its terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContainsMode {
+    /// Every term must appear somewhere in the record's text (conjunctive).
+    All,
+    /// At least one term must appear (disjunctive).
+    Any,
+    /// The terms must appear adjacent and in order within one text field.
+    Phrase,
+}
+
 /// A search predicate over file records.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Predicate {
@@ -92,6 +103,16 @@ pub enum Predicate {
     },
     /// `keyword:word` — the record carries this keyword.
     Keyword(String),
+    /// `contains:"…"` / `contains-any:"…"` / `phrase:"…"` — full-text
+    /// match over the record's tokenized text fields (keywords and
+    /// string-valued custom attributes). Terms are already tokenized
+    /// (lowercase alphanumeric runs).
+    Contains {
+        /// The tokenized query terms, in query order.
+        terms: Vec<String>,
+        /// How the terms combine.
+        mode: ContainsMode,
+    },
     /// Conjunction.
     And(Vec<Predicate>),
     /// Disjunction.
@@ -117,12 +138,29 @@ impl Predicate {
         }
     }
 
+    /// Convenience constructor for a full-text containment term.
+    pub fn contains<T: Into<String>>(terms: Vec<T>, mode: ContainsMode) -> Self {
+        Predicate::Contains { terms: terms.into_iter().map(Into::into).collect(), mode }
+    }
+
     /// Flattens nested conjunctions into a conjunct list; any non-`And`
     /// predicate is a single conjunct.
     pub fn conjuncts(&self) -> Vec<&Predicate> {
         match self {
             Predicate::And(ps) => ps.iter().flat_map(|p| p.conjuncts()).collect(),
             other => vec![other],
+        }
+    }
+
+    /// Whether any [`Predicate::Contains`] appears anywhere in the tree —
+    /// the precondition for relevance-ranked results (there is nothing to
+    /// score otherwise).
+    pub fn mentions_contains(&self) -> bool {
+        match self {
+            Predicate::Contains { .. } => true,
+            Predicate::And(ps) | Predicate::Or(ps) => ps.iter().any(Predicate::mentions_contains),
+            Predicate::Not(p) => p.mentions_contains(),
+            Predicate::Compare { .. } | Predicate::Keyword(_) | Predicate::True => false,
         }
     }
 }
@@ -132,6 +170,14 @@ impl std::fmt::Display for Predicate {
         match self {
             Predicate::Compare { attr, op, value } => write!(f, "{attr}{op}{value}"),
             Predicate::Keyword(w) => write!(f, "keyword:{w}"),
+            Predicate::Contains { terms, mode } => {
+                let label = match mode {
+                    ContainsMode::All => "contains",
+                    ContainsMode::Any => "contains-any",
+                    ContainsMode::Phrase => "phrase",
+                };
+                write!(f, "{label}:\"{}\"", terms.join(" "))
+            }
             Predicate::And(ps) => {
                 let parts: Vec<String> = ps.iter().map(|p| p.to_string()).collect();
                 write!(f, "({})", parts.join(" & "))
@@ -270,5 +316,17 @@ mod tests {
     fn display_round_trips_visually() {
         let p = Predicate::cmp(AttrName::Size, CompareOp::Gt, 16u64 << 20);
         assert_eq!(p.to_string(), "size>16777216");
+        let c = Predicate::contains(vec!["quarterly", "report"], ContainsMode::Phrase);
+        assert_eq!(c.to_string(), "phrase:\"quarterly report\"");
+    }
+
+    #[test]
+    fn mentions_contains_walks_the_tree() {
+        let c = Predicate::contains(vec!["x"], ContainsMode::All);
+        assert!(c.mentions_contains());
+        assert!(Predicate::Not(Box::new(c.clone())).mentions_contains());
+        assert!(Predicate::Or(vec![Predicate::True, c]).mentions_contains());
+        assert!(!Predicate::Keyword("x".into()).mentions_contains());
+        assert!(!Predicate::True.mentions_contains());
     }
 }

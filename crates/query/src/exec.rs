@@ -22,17 +22,22 @@
 //! prune candidates that already fell out of the merged node-wide top-k
 //! ([`SearchStats::bound_pruned`]).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::ops::Bound;
 use std::sync::Arc;
 
-use propeller_index::{AcgIndexGroup, FileRecord};
+use propeller_index::{
+    bm25_block_bound, bm25_idf, bm25_score, bm25_term_bound, record_contains_all,
+    record_contains_any, record_contains_phrase, record_tokens, AcgIndexGroup, FileRecord,
+    InvertedIndex, PostingsCursor, BLOCK,
+};
 use propeller_types::{AcgId, AttrName, FileId, Result, Timestamp, Value};
 
-use crate::ast::{CompareOp, Predicate};
+use crate::ast::{CompareOp, ContainsMode, Predicate};
 use crate::plan::{plan, plan_request, AccessPath, Plan};
 use crate::request::{
-    merge_hit_sources, AccessPathKind, Cursor, GlobalCutoff, Hit, SearchRequest, SearchStats, TopK,
+    merge_hit_sources, AccessPathKind, Cursor, GlobalCutoff, Hit, SearchRequest, SearchStats,
+    SortKey, TopK,
 };
 
 /// Evaluates the predicate against one record (exact semantics; the access
@@ -57,6 +62,11 @@ pub fn matches_record(record: &FileRecord, pred: &Predicate) -> bool {
     match pred {
         Predicate::True => true,
         Predicate::Keyword(w) => record.keywords.iter().any(|k| k == w),
+        Predicate::Contains { terms, mode } => match mode {
+            ContainsMode::All => record_contains_all(record, terms),
+            ContainsMode::Any => record_contains_any(record, terms),
+            ContainsMode::Phrase => record_contains_phrase(record, terms),
+        },
         Predicate::Compare { attr, op, value } => compare_attr(record, attr, *op, value),
         Predicate::And(ps) => ps.iter().all(|p| matches_record(record, p)),
         Predicate::Or(ps) => ps.iter().any(|p| matches_record(record, p)),
@@ -165,6 +175,15 @@ pub fn execute_classic(
     plan: Plan,
     cutoff: Option<&GlobalCutoff>,
 ) -> (Vec<Hit>, SearchStats) {
+    if let AccessPath::Postings { terms, mode } = &plan.path {
+        return execute_postings(group, request, terms, *mode, cutoff);
+    }
+    // A relevance sort on any other path (no inverted index, or the
+    // contains term sits under an OR) needs explicit scoring: the sort key
+    // is not a record attribute.
+    if request.sort == SortKey::Relevance {
+        return execute_relevance_scan(group, request, cutoff);
+    }
     let kind = AccessPathKind::from(&plan.path);
     let mut scanned = 0usize;
 
@@ -174,6 +193,7 @@ pub fn execute_classic(
         AccessPath::FullScan | AccessPath::OrderedScan { .. } => {
             stream_topk(group.records(), group, request, &mut scanned, false, cutoff)
         }
+        AccessPath::Postings { .. } => unreachable!("dispatched to execute_postings above"),
         AccessPath::HashEq { attr, value } => match group.candidates_eq(&attr, &value) {
             Some(iter) => stream_topk(iter, group, request, &mut scanned, false, cutoff),
             None => stream_topk(group.records(), group, request, &mut scanned, false, cutoff),
@@ -248,6 +268,412 @@ where
     }
     let peak = topk.peak_retained();
     (topk.into_sorted(), peak)
+}
+
+/// The unique `contains` terms mentioned anywhere in the predicate, in
+/// order of first appearance — the term set a relevance sort scores with.
+/// Every executor (postings, fallback scan, reference) scores the same
+/// set, so ranked results agree across access paths.
+pub(crate) fn relevance_terms(pred: &Predicate) -> Vec<String> {
+    fn walk(p: &Predicate, out: &mut Vec<String>) {
+        match p {
+            Predicate::Contains { terms, .. } => {
+                for term in terms {
+                    if !out.contains(term) {
+                        out.push(term.clone());
+                    }
+                }
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => ps.iter().for_each(|p| walk(p, out)),
+            Predicate::Not(p) => walk(p, out),
+            Predicate::Compare { .. } | Predicate::Keyword(_) | Predicate::True => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(pred, &mut out);
+    out
+}
+
+/// BM25 scoring against one group's corpus statistics — either straight
+/// off the group's inverted index, or computed brute-force from the
+/// records (the fallback for index-less groups and the independent oracle
+/// of the reference executor). Both sides compute identical scores for
+/// the same corpus: same `N`, `df`, document lengths and operation order.
+enum RelevanceScorer<'a> {
+    Indexed(&'a InvertedIndex),
+    Brute { doc_count: usize, avg_doc_len: f64, df: HashMap<String, usize> },
+}
+
+impl<'a> RelevanceScorer<'a> {
+    /// The cheapest accurate scorer for `group`: its inverted index when
+    /// one exists, otherwise a brute statistics pass over the records.
+    fn of_group(group: &'a AcgIndexGroup, terms: &[String]) -> Self {
+        match group.inverted() {
+            Some(inv) => RelevanceScorer::Indexed(inv),
+            None => Self::brute(group.records(), terms),
+        }
+    }
+
+    /// Corpus statistics computed from scratch (pass one of the two-pass
+    /// fallback): documents-with-text count, average token length and the
+    /// query terms' document frequencies.
+    fn brute<I>(records: I, terms: &[String]) -> Self
+    where
+        I: Iterator<Item = &'a FileRecord>,
+    {
+        let mut doc_count = 0usize;
+        let mut total_tokens = 0u64;
+        let mut df: HashMap<String, usize> = terms.iter().map(|t| (t.clone(), 0)).collect();
+        for record in records {
+            let tokens = record_tokens(record);
+            if tokens.is_empty() {
+                continue;
+            }
+            doc_count += 1;
+            total_tokens += tokens.len() as u64;
+            for term in terms {
+                if tokens.iter().any(|t| t == term) {
+                    *df.get_mut(term).expect("seeded above") += 1;
+                }
+            }
+        }
+        let avg_doc_len = if doc_count == 0 { 0.0 } else { total_tokens as f64 / doc_count as f64 };
+        RelevanceScorer::Brute { doc_count, avg_doc_len, df }
+    }
+
+    /// The record's BM25 score over `terms` (matching the inverted path's
+    /// [`InvertedIndex::score_doc`] exactly).
+    fn score(&self, record: &FileRecord, terms: &[String]) -> f64 {
+        match self {
+            RelevanceScorer::Indexed(inv) => inv.score_doc(record.file, terms),
+            RelevanceScorer::Brute { doc_count, avg_doc_len, df } => {
+                let tokens = record_tokens(record);
+                let doc_len = tokens.len() as u32;
+                if doc_len == 0 {
+                    return 0.0;
+                }
+                let mut score = 0.0;
+                for term in terms {
+                    let tf = tokens.iter().filter(|t| *t == term).count() as u32;
+                    if tf == 0 {
+                        continue;
+                    }
+                    let idf = bm25_idf(*doc_count, df.get(term).copied().unwrap_or(0));
+                    score += bm25_score(idf, tf, doc_len, *avg_doc_len);
+                }
+                score
+            }
+        }
+    }
+}
+
+/// The relevance fallback for non-postings plans: a full scan that scores
+/// every matching record against the group's corpus statistics. Correct on
+/// any predicate (plans are candidate supersets; the full scan is the
+/// widest one) — just never as fast as the postings merge.
+fn execute_relevance_scan(
+    group: &AcgIndexGroup,
+    request: &SearchRequest,
+    cutoff: Option<&GlobalCutoff>,
+) -> (Vec<Hit>, SearchStats) {
+    let terms = relevance_terms(&request.predicate);
+    let scorer = RelevanceScorer::of_group(group, &terms);
+    let mut topk = TopK::new(request.sort.clone(), request.limit);
+    let mut scanned = 0usize;
+    for record in group.records() {
+        scanned += 1;
+        if !matches_record(record, &request.predicate) {
+            continue;
+        }
+        let key = Some(Value::F64(scorer.score(record, &terms)));
+        if let Some(cursor) = &request.cursor {
+            if !cursor.admits(&request.sort, key.as_ref(), record.file) {
+                continue;
+            }
+        }
+        if let Some(cutoff) = cutoff {
+            if !cutoff.try_admit(key.as_ref(), record.file) {
+                continue;
+            }
+        }
+        topk.offer(key.as_ref(), record.file, || Hit {
+            file: record.file,
+            acg: Some(group.id()),
+            attrs: request.projection.project(record),
+            sort_key: key.clone(),
+        });
+    }
+    let stats = SearchStats {
+        acgs_consulted: 1,
+        candidates_scanned: scanned,
+        retained_peak: topk.peak_retained(),
+        access_paths: vec![(group.id(), AccessPathKind::FullScan)],
+        ..SearchStats::default()
+    };
+    (topk.into_sorted(), stats)
+}
+
+/// One query term's read state in a postings merge.
+struct TermCursor<'a> {
+    cursor: PostingsCursor<'a>,
+    idf: f64,
+    /// `bm25_term_bound(idf)` — the term's score ceiling over any document.
+    bound: f64,
+}
+
+/// Executes an [`AccessPath::Postings`] plan: a document-at-a-time merge
+/// of the inverted index's postings lists for `terms` — conjunctive
+/// (`All`; `Phrase` adjacency stays in the post-filter) or disjunctive
+/// (`Any`) — streaming survivors through the exact predicate, the cursor,
+/// the optional node-global bound and the bounded top-k accumulator.
+///
+/// Under a relevance sort with a limit, the merge prunes with WAND-style
+/// max-score bounds: once the top-k heap is full, its worst retained score
+/// is a threshold θ, and
+///
+/// * conjunctive merges sum the per-term **block** bounds at each aligned
+///   candidate — when the sum cannot beat θ, every document up to the
+///   earliest block boundary is provably outranked and the lead cursor
+///   jumps past it ([`SearchStats::wand_blocks_skipped`]),
+/// * disjunctive merges use the classic pivot rule over per-term bounds —
+///   cursors before the pivot seek forward without examining the postings
+///   they jump ([`SearchStats::wand_docs_pruned`]).
+///
+/// Pruning never changes results: a pruned document's best possible score
+/// ranks strictly below `limit` already-retained hits.
+fn execute_postings(
+    group: &AcgIndexGroup,
+    request: &SearchRequest,
+    terms: &[String],
+    mode: ContainsMode,
+    cutoff: Option<&GlobalCutoff>,
+) -> (Vec<Hit>, SearchStats) {
+    let stats_for = |scanned, peak, blocks, docs| SearchStats {
+        acgs_consulted: 1,
+        candidates_scanned: scanned,
+        retained_peak: peak,
+        access_paths: vec![(group.id(), AccessPathKind::Postings)],
+        wand_blocks_skipped: blocks,
+        wand_docs_pruned: docs,
+        ..SearchStats::default()
+    };
+    if request.limit == Some(0) {
+        return (Vec::new(), stats_for(0, 0, 0, 0));
+    }
+    let Some(inv) = group.inverted() else {
+        // The index vanished between planning and execution; degrade to
+        // the full-scan paths, which are always correct.
+        if request.sort == SortKey::Relevance {
+            return execute_relevance_scan(group, request, cutoff);
+        }
+        return execute_classic(group, request, Plan { path: AccessPath::FullScan }, cutoff);
+    };
+
+    // Unique merge terms; a conjunctive merge with any unknown term has an
+    // empty intersection, a disjunctive one just drops it.
+    let mut unique: Vec<&String> = Vec::with_capacity(terms.len());
+    for term in terms {
+        if !unique.contains(&term) {
+            unique.push(term);
+        }
+    }
+    let conjunctive = mode != ContainsMode::Any;
+    let mut cursors: Vec<TermCursor<'_>> = Vec::with_capacity(unique.len());
+    for term in &unique {
+        match inv.term(term) {
+            Some(postings) => {
+                let idf = inv.idf(term);
+                cursors.push(TermCursor {
+                    cursor: PostingsCursor::new(postings),
+                    idf,
+                    bound: bm25_term_bound(idf),
+                });
+            }
+            None if conjunctive => return (Vec::new(), stats_for(0, 0, 0, 0)),
+            None => {}
+        }
+    }
+    if cursors.is_empty() {
+        return (Vec::new(), stats_for(0, 0, 0, 0));
+    }
+    // Conjunctive merges lead with the rarest term: fewest alignment
+    // candidates, and the cursor that jumps furthest on a galloping seek.
+    if conjunctive {
+        cursors.sort_by_key(|t| t.cursor.remaining());
+    }
+
+    let relevance = request.sort == SortKey::Relevance;
+    let scoring_terms = relevance_terms(&request.predicate);
+    // The WAND bounds only cover the merged terms. If the request scores
+    // extra terms (a second contains under an OR, say), a document's true
+    // score can exceed the merge's bound and pruning would be unsound —
+    // so the bound is only armed when the two term sets coincide.
+    let bounds_sound = relevance && request.limit.is_some() && {
+        let mut a: Vec<&String> = unique.clone();
+        let mut b: Vec<&String> = scoring_terms.iter().collect();
+        a.sort();
+        b.sort();
+        a == b
+    };
+
+    let mut topk = TopK::new(request.sort.clone(), request.limit);
+    let mut scanned = 0usize;
+    let mut blocks_skipped = 0usize;
+    let mut docs_pruned = 0usize;
+
+    // θ: the score a candidate must (weakly) beat — the worst retained
+    // top-k score once the heap is full. Bounds below θ are prunable;
+    // bounds equal to θ are not (an equal score can still win its file-id
+    // tie-break).
+    let theta = |topk: &TopK| -> Option<f64> {
+        if !bounds_sound {
+            return None;
+        }
+        topk.floor().and_then(|(key, _)| key.and_then(Value::as_f64))
+    };
+
+    // Evaluates one merged document: score (or attribute key), exact
+    // predicate, cursor, node bound, offer.
+    let eval = |file: FileId, topk: &mut TopK, scanned: &mut usize| {
+        *scanned += 1;
+        let Some(record) = group.record(file) else { return };
+        let key = if relevance {
+            Some(Value::F64(inv.score_doc(file, &scoring_terms)))
+        } else {
+            request.sort.key_of(record)
+        };
+        if !matches_record(record, &request.predicate) {
+            return;
+        }
+        if let Some(cursor) = &request.cursor {
+            if !cursor.admits(&request.sort, key.as_ref(), record.file) {
+                return;
+            }
+        }
+        if let Some(cutoff) = cutoff {
+            if !cutoff.try_admit(key.as_ref(), record.file) {
+                return;
+            }
+        }
+        topk.offer(key.as_ref(), record.file, || Hit {
+            file: record.file,
+            acg: Some(group.id()),
+            attrs: request.projection.project(record),
+            sort_key: key.clone(),
+        });
+    };
+
+    if conjunctive {
+        // Align every cursor on one candidate document (galloping).
+        'merge: while let Some(mut candidate) = cursors[0].cursor.current().map(|p| p.file) {
+            loop {
+                let mut aligned = true;
+                for tc in cursors.iter_mut() {
+                    match tc.cursor.seek(candidate) {
+                        None => break 'merge,
+                        Some(p) if p.file > candidate => {
+                            candidate = p.file;
+                            aligned = false;
+                            break;
+                        }
+                        Some(_) => {}
+                    }
+                }
+                if aligned {
+                    break;
+                }
+            }
+            // Block-max bound: within the current blocks (valid up to the
+            // earliest block boundary), no document can score above the
+            // summed per-block ceilings.
+            if let Some(theta) = theta(&topk) {
+                let bound: f64 =
+                    cursors.iter().map(|t| bm25_block_bound(t.idf, t.cursor.block_max_tf())).sum();
+                if bound < theta {
+                    let boundary = cursors
+                        .iter()
+                        .filter_map(|t| t.cursor.block_last_file())
+                        .min()
+                        .expect("aligned cursors are not exhausted");
+                    if boundary == FileId::MAX {
+                        break;
+                    }
+                    let lead = &mut cursors[0].cursor;
+                    let before = lead.position();
+                    lead.seek(FileId::new(boundary.raw() + 1));
+                    let after = lead.position();
+                    docs_pruned += after - before;
+                    blocks_skipped += after / BLOCK - before / BLOCK;
+                    continue;
+                }
+            }
+            eval(candidate, &mut topk, &mut scanned);
+            for tc in cursors.iter_mut() {
+                tc.cursor.advance();
+            }
+        }
+    } else {
+        loop {
+            cursors.retain(|t| !t.cursor.is_exhausted());
+            if cursors.is_empty() {
+                break;
+            }
+            cursors.sort_by_key(|t| t.cursor.current().expect("retained above").file);
+            match theta(&topk) {
+                Some(theta) => {
+                    // WAND pivot: the first document whose prefix of term
+                    // bounds could reach θ. Everything before it is
+                    // provably outranked.
+                    let mut acc = 0.0;
+                    let mut pivot = None;
+                    for (i, tc) in cursors.iter().enumerate() {
+                        acc += tc.bound;
+                        if acc >= theta {
+                            pivot = Some(i);
+                            break;
+                        }
+                    }
+                    let Some(pivot) = pivot else {
+                        // Even all remaining terms together cannot reach
+                        // θ: every unexamined posting is outranked.
+                        docs_pruned += cursors.iter().map(|t| t.cursor.remaining()).sum::<usize>();
+                        break;
+                    };
+                    let pivot_doc = cursors[pivot].cursor.current().expect("retained above").file;
+                    let first_doc = cursors[0].cursor.current().expect("retained above").file;
+                    if first_doc == pivot_doc {
+                        eval(pivot_doc, &mut topk, &mut scanned);
+                        for tc in cursors.iter_mut() {
+                            if tc.cursor.current().is_some_and(|p| p.file == pivot_doc) {
+                                tc.cursor.advance();
+                            }
+                        }
+                    } else {
+                        let lead = &mut cursors[0].cursor;
+                        let before = lead.position();
+                        lead.seek(pivot_doc);
+                        let after = lead.position();
+                        docs_pruned += after - before;
+                        blocks_skipped += after / BLOCK - before / BLOCK;
+                    }
+                }
+                None => {
+                    // Plain DAAT-OR: evaluate the smallest current
+                    // document, advancing every cursor sitting on it.
+                    let doc = cursors[0].cursor.current().expect("retained above").file;
+                    eval(doc, &mut topk, &mut scanned);
+                    for tc in cursors.iter_mut() {
+                        if tc.cursor.current().is_some_and(|p| p.file == doc) {
+                            tc.cursor.advance();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let peak = topk.peak_retained();
+    (topk.into_sorted(), stats_for(scanned, peak, blocks_skipped, docs_pruned))
 }
 
 /// A resumable, lazily-pulled per-ACG ordered hit stream: wraps the
@@ -557,6 +983,42 @@ pub fn execute_request_reference(
     group: &AcgIndexGroup,
     request: &SearchRequest,
 ) -> (Vec<Hit>, SearchStats) {
+    // Relevance ranking runs as a fully index-independent oracle: the
+    // corpus statistics come from a brute pass over the records, every
+    // record is scanned and scored, and the heap selects. The streaming
+    // postings merge must reproduce these hits byte for byte.
+    if request.sort == SortKey::Relevance {
+        let terms = relevance_terms(&request.predicate);
+        let scorer = RelevanceScorer::brute(group.records(), &terms);
+        let mut topk = TopK::new(request.sort.clone(), request.limit);
+        let mut scanned = 0usize;
+        for record in group.records() {
+            scanned += 1;
+            if !matches_record(record, &request.predicate) {
+                continue;
+            }
+            let key = Some(Value::F64(scorer.score(record, &terms)));
+            if let Some(cursor) = &request.cursor {
+                if !cursor.admits(&request.sort, key.as_ref(), record.file) {
+                    continue;
+                }
+            }
+            topk.push(Hit {
+                file: record.file,
+                acg: Some(group.id()),
+                attrs: request.projection.project(record),
+                sort_key: key,
+            });
+        }
+        let stats = SearchStats {
+            acgs_consulted: 1,
+            candidates_scanned: scanned,
+            retained_peak: topk.peak_retained(),
+            access_paths: vec![(group.id(), AccessPathKind::FullScan)],
+            ..SearchStats::default()
+        };
+        return (topk.into_sorted(), stats);
+    }
     let plan = plan(group, &request.predicate);
     let kind = AccessPathKind::from(&plan.path);
     let mut topk = TopK::new(request.sort.clone(), request.limit);
@@ -589,6 +1051,13 @@ pub fn execute_request_reference(
                 AccessPath::KdBox { attrs, lo, hi } => {
                     group.lookup_kd(&attrs, &lo, &hi).unwrap_or_else(|| group.scan(|_| true))
                 }
+                // The contains superset via brute record checks — no
+                // inverted-index involvement in the oracle.
+                AccessPath::Postings { terms, mode } => group.scan(|r| match mode {
+                    ContainsMode::All => record_contains_all(r, &terms),
+                    ContainsMode::Any => record_contains_any(r, &terms),
+                    ContainsMode::Phrase => record_contains_phrase(r, &terms),
+                }),
                 AccessPath::OrderedScan { .. } | AccessPath::FullScan => {
                     unreachable!("not emitted by the classic planner")
                 }
@@ -1115,5 +1584,215 @@ mod tests {
             .with_keyword("beta");
         assert!(matches_record(&rec, &Predicate::Keyword("beta".into())));
         assert!(!matches_record(&rec, &Predicate::Keyword("gamma".into())));
+    }
+
+    /// A deterministic content corpus: every file holds "the"; thirds hold
+    /// "quick brown" (adjacent), sevenths hold "fox", roughly 1% "zebra",
+    /// and doc lengths vary so BM25 normalization actually discriminates.
+    fn content_group(acg: u64, base: u64, n: u64) -> AcgIndexGroup {
+        let mut g = AcgIndexGroup::new(AcgId::new(acg), GroupConfig::default());
+        for i in 0..n {
+            let mut words = vec!["the"];
+            if i % 3 == 0 {
+                words.push("quick");
+                words.push("brown");
+            }
+            if i % 7 == 0 {
+                words.push("fox");
+                if i % 21 == 0 {
+                    words.push("fox"); // tf variation
+                }
+            }
+            if i % 101 == 0 {
+                words.push("zebra");
+            }
+            words.extend(std::iter::repeat_n("filler", (i % 5) as usize));
+            let rec =
+                FileRecord::new(FileId::new(base + i), InodeAttrs::builder().size(i << 10).build())
+                    .with_content(words.join(" "));
+            g.enqueue(IndexOp::Upsert(rec), now()).unwrap();
+        }
+        g.commit(now()).unwrap();
+        g
+    }
+
+    #[test]
+    fn contains_modes_match_reference_and_plan_postings() {
+        use crate::request::SearchRequest;
+        let g = content_group(1, 0, 400);
+        for text in [
+            "contains:\"quick fox\"",     // conjunctive merge
+            "contains-any:\"fox zebra\"", // disjunctive merge
+            "phrase:\"quick brown\"",     // adjacency post-filter
+            "phrase:\"brown quick\"",     // wrong order: superset pruned to empty
+            "contains:zebra & size>100k", // residual attribute conjunct
+            "contains:\"quick the fox\"", // three-way intersection
+        ] {
+            let q = Query::parse(text, now()).unwrap();
+            for limit in [None, Some(7), Some(1000)] {
+                let mut req = SearchRequest::new(q.predicate.clone());
+                if let Some(k) = limit {
+                    req = req.with_limit(k);
+                }
+                let (hits, stats) = execute_request(&g, &req);
+                let (ref_hits, _) = execute_request_reference(&g, &req);
+                assert_eq!(hits, ref_hits, "query {text:?} limit {limit:?}");
+                assert_eq!(
+                    stats.access_paths[0].1,
+                    AccessPathKind::Postings,
+                    "query {text:?} must ride the inverted index"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relevance_ranking_matches_the_brute_oracle_bit_for_bit() {
+        use crate::request::{SearchRequest, SortKey};
+        let g = content_group(1, 0, 400);
+        for text in ["contains:\"quick fox\"", "contains-any:\"fox zebra\"", "contains:zebra"] {
+            let q = Query::parse(text, now()).unwrap();
+            let req = SearchRequest::new(q.predicate.clone())
+                .with_limit(10)
+                .sorted_by(SortKey::Relevance);
+            let (hits, stats) = execute_request(&g, &req);
+            let (ref_hits, _) = execute_request_reference(&g, &req);
+            // Bit-identical scores: the postings path and the brute scorer
+            // must agree on N, df, avgdl and per-term summation order.
+            assert_eq!(hits, ref_hits, "query {text:?}");
+            assert_eq!(stats.access_paths[0].1, AccessPathKind::Postings);
+            let scores: Vec<f64> =
+                hits.iter().map(|h| h.sort_key.clone().unwrap().as_f64().unwrap()).collect();
+            assert!(scores.windows(2).all(|w| w[0] >= w[1]), "descending scores: {scores:?}");
+        }
+    }
+
+    #[test]
+    fn relevance_pagination_covers_the_full_ranking() {
+        use crate::request::{next_cursor, SearchRequest, SortKey};
+        let g = content_group(1, 0, 400);
+        let q = Query::parse("contains-any:\"quick fox\"", now()).unwrap();
+        let full_req = SearchRequest::new(q.predicate.clone()).sorted_by(SortKey::Relevance);
+        let (full, _) = execute_request(&g, &full_req);
+        let mut paged = Vec::new();
+        let mut cursor = None;
+        loop {
+            let mut req = SearchRequest::new(q.predicate.clone())
+                .with_limit(29)
+                .sorted_by(SortKey::Relevance);
+            if let Some(c) = cursor.take() {
+                req = req.after(c);
+            }
+            let (hits, _) = execute_request(&g, &req);
+            if hits.is_empty() {
+                break;
+            }
+            match next_cursor(&hits, Some(29)) {
+                Some(c) => cursor = Some(c),
+                None => {
+                    paged.extend(hits);
+                    break;
+                }
+            }
+            paged.extend(hits);
+        }
+        assert_eq!(paged, full);
+    }
+
+    #[test]
+    fn wand_block_max_pruning_skips_blocks_and_stays_exact() {
+        use crate::request::{SearchRequest, SortKey};
+        // 1024 docs all contain both terms; only the first 16 carry high
+        // term frequencies (and sit well under the average doc length, so
+        // their scores beat the length-agnostic tf=1 block bound). Once the
+        // heap fills on those, every later block's max-tf bound falls below
+        // θ and the conjunctive merge must jump block to block instead of
+        // scoring doc by doc.
+        let mut g = AcgIndexGroup::new(AcgId::new(9), GroupConfig::default());
+        for i in 0..1024u64 {
+            let text = if i < 16 {
+                format!("{}{}", "alpha ".repeat(10), "beta ".repeat(10))
+            } else {
+                format!("alpha beta {}", "filler ".repeat(40))
+            };
+            let rec = FileRecord::new(FileId::new(i), InodeAttrs::default()).with_content(text);
+            g.enqueue(IndexOp::Upsert(rec), now()).unwrap();
+        }
+        g.commit(now()).unwrap();
+        let q = Query::parse("contains:\"alpha beta\"", now()).unwrap();
+        let req = SearchRequest::new(q.predicate).with_limit(8).sorted_by(SortKey::Relevance);
+        let (hits, stats) = execute_request(&g, &req);
+        let (ref_hits, _) = execute_request_reference(&g, &req);
+        assert_eq!(hits, ref_hits, "pruning must not change the ranking");
+        assert_eq!(hits.len(), 8);
+        assert!(hits.iter().all(|h| h.file.raw() < 16), "high-tf docs win");
+        assert!(stats.wand_blocks_skipped > 0, "block skips witnessed: {stats:?}");
+        assert!(stats.wand_docs_pruned > 0, "doc-level pruning witnessed: {stats:?}");
+        assert!(stats.candidates_scanned < 1024, "WAND must not score the whole corpus: {stats:?}");
+    }
+
+    #[test]
+    fn wand_disjunctive_pivot_prunes_the_weak_tail() {
+        use crate::request::{SearchRequest, SortKey};
+        // "special" is rare (high idf, early files); "common" is everywhere
+        // (vanishing idf). After the rare postings exhaust, the sum of the
+        // remaining term bounds can never reach θ and the disjunctive merge
+        // must stop without walking the common tail.
+        let mut g = AcgIndexGroup::new(AcgId::new(10), GroupConfig::default());
+        for i in 0..1024u64 {
+            let text =
+                if i < 32 { "special common".to_string() } else { "common filler".to_string() };
+            let rec = FileRecord::new(FileId::new(i), InodeAttrs::default()).with_content(text);
+            g.enqueue(IndexOp::Upsert(rec), now()).unwrap();
+        }
+        g.commit(now()).unwrap();
+        let q = Query::parse("contains-any:\"special common\"", now()).unwrap();
+        let req = SearchRequest::new(q.predicate).with_limit(8).sorted_by(SortKey::Relevance);
+        let (hits, stats) = execute_request(&g, &req);
+        let (ref_hits, _) = execute_request_reference(&g, &req);
+        assert_eq!(hits, ref_hits);
+        assert!(hits.iter().all(|h| h.file.raw() < 32), "rare-term docs dominate");
+        assert!(stats.wand_docs_pruned > 500, "tail must be pruned: {stats:?}");
+    }
+
+    #[test]
+    fn relevance_without_inverted_degrades_to_the_brute_scan() {
+        use crate::request::{SearchRequest, SortKey};
+        let mut g = AcgIndexGroup::new(
+            AcgId::new(11),
+            GroupConfig { default_indices: false, ..GroupConfig::default() },
+        );
+        for i in 0..100u64 {
+            let text = if i % 9 == 0 { "needle haystack" } else { "haystack" };
+            let rec = FileRecord::new(FileId::new(i), InodeAttrs::default()).with_content(text);
+            g.enqueue(IndexOp::Upsert(rec), now()).unwrap();
+        }
+        g.commit(now()).unwrap();
+        let q = Query::parse("contains:needle", now()).unwrap();
+        let req = SearchRequest::new(q.predicate).with_limit(5).sorted_by(SortKey::Relevance);
+        let (hits, stats) = execute_request(&g, &req);
+        let (ref_hits, _) = execute_request_reference(&g, &req);
+        assert_eq!(hits, ref_hits, "no inverted index: scored full scan still ranks");
+        assert_eq!(hits.len(), 5);
+        assert_eq!(stats.access_paths[0].1, AccessPathKind::FullScan);
+        assert_eq!(stats.wand_blocks_skipped, 0, "nothing to prune without postings");
+    }
+
+    #[test]
+    fn node_merge_ranks_contains_across_groups() {
+        use crate::request::{merge_sorted_hits, SearchRequest, SortKey};
+        let g1 = content_group(1, 0, 300);
+        let g2 = content_group(2, 1000, 300);
+        let g3 = content_group(3, 2000, 300);
+        let refs: Vec<&AcgIndexGroup> = vec![&g1, &g2, &g3];
+        let q = Query::parse("contains-any:\"fox zebra\"", now()).unwrap();
+        let req = SearchRequest::new(q.predicate).with_limit(12).sorted_by(SortKey::Relevance);
+        let per_acg: Vec<Vec<Hit>> = refs.iter().map(|g| execute_request(g, &req).0).collect();
+        let reference = merge_sorted_hits(per_acg, &req.sort, req.limit);
+        let (hits, stats) = execute_node_request_sequential(&refs, &req);
+        assert_eq!(hits, reference, "node-global ranked merge must be byte-identical");
+        assert_eq!(hits.len(), 12);
+        assert_eq!(stats.acgs_consulted, 3);
+        assert!(stats.access_paths.iter().all(|(_, k)| *k == AccessPathKind::Postings));
     }
 }

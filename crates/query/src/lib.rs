@@ -53,7 +53,7 @@ mod plan;
 mod request;
 mod session;
 
-pub use ast::{CompareOp, Predicate, Query};
+pub use ast::{CompareOp, ContainsMode, Predicate, Query};
 pub use exec::{
     execute, execute_classic, execute_node_request, execute_node_request_sequential,
     execute_request, execute_request_reference, matches_record, search, search_request,

@@ -7,7 +7,9 @@
 //! or       := and ('|' and)*
 //! and      := unary ('&' unary)*
 //! unary    := '!' unary | '(' or ')' | '*' | term
-//! term     := 'keyword' ':' word | attr OP operand
+//! term     := 'keyword' ':' word
+//!           | ('contains' | 'contains-any' | 'phrase') ':' word
+//!           | attr OP operand
 //! OP       := '=' | '!=' | '<' | '<=' | '>' | '>='
 //! operand  := number unit? | quoted | word
 //! unit     := size (k|kb|m|mb|g|gb|t|tb) or time (s|sec|min|h|hour|day|week)
@@ -16,10 +18,16 @@
 //! `size>1m` means one mebibyte; `mtime<1day` means "modified within the
 //! last day" — the parser rewrites the age comparison onto the absolute
 //! `mtime` axis using the supplied `now` (`age < 1day` ⇔ `mtime > now−1day`).
+//!
+//! Full-text terms take a quoted (or bare) word whose content is tokenized
+//! with the same tokenizer the inverted index uses: `contains:"tax report"`
+//! requires every term, `contains-any:"jpg png"` any term, and
+//! `phrase:"quarterly sales report"` the exact adjacent sequence within
+//! one text field.
 
 use propeller_types::{AttrName, Duration, Error, Result, Timestamp, Value};
 
-use crate::ast::{CompareOp, Predicate, Query};
+use crate::ast::{CompareOp, ContainsMode, Predicate, Query};
 
 /// Parses a size literal with optional binary-unit suffix (`16m`, `1gb`,
 /// `512`), returning bytes.
@@ -265,6 +273,28 @@ impl Parser {
             let kw = self.expect_word()?;
             return Ok(Predicate::Keyword(kw));
         }
+        if self.peek() == Some(&Token::Colon) {
+            let mode = if word.eq_ignore_ascii_case("contains") {
+                Some(ContainsMode::All)
+            } else if word.eq_ignore_ascii_case("contains-any") {
+                Some(ContainsMode::Any)
+            } else if word.eq_ignore_ascii_case("phrase") {
+                Some(ContainsMode::Phrase)
+            } else {
+                None
+            };
+            if let Some(mode) = mode {
+                self.next();
+                let text = self.expect_word()?;
+                let terms = propeller_index::tokenize(&text);
+                if terms.is_empty() {
+                    return Err(Error::InvalidQuery(format!(
+                        "{word}: needs at least one searchable term, got {text:?}"
+                    )));
+                }
+                return Ok(Predicate::Contains { terms, mode });
+            }
+        }
         let attr = AttrName::parse(&word);
         let op = match self.next() {
             Some(Token::Op(op)) => op,
@@ -444,6 +474,31 @@ mod tests {
     fn mtime_absolute_number_stays_absolute() {
         let q = Query::parse("mtime>123456", now()).unwrap();
         assert_eq!(q.predicate, Predicate::cmp(AttrName::Mtime, CompareOp::Gt, 123_456u64));
+    }
+
+    #[test]
+    fn contains_phrase_and_any_parse_with_tokenized_terms() {
+        let q = Query::parse("contains:\"Tax-Report 2013\"", now()).unwrap();
+        assert_eq!(
+            q.predicate,
+            Predicate::contains(vec!["tax", "report", "2013"], ContainsMode::All)
+        );
+        let q = Query::parse("contains-any:\"jpg png\"", now()).unwrap();
+        assert_eq!(q.predicate, Predicate::contains(vec!["jpg", "png"], ContainsMode::Any));
+        let q = Query::parse("phrase:\"quarterly sales report\"", now()).unwrap();
+        assert_eq!(
+            q.predicate,
+            Predicate::contains(vec!["quarterly", "sales", "report"], ContainsMode::Phrase)
+        );
+        // Bare (unquoted) single-word operands work too, and compose.
+        let q = Query::parse("contains:report & size>1m", now()).unwrap();
+        assert_eq!(q.predicate.conjuncts().len(), 2);
+        // No searchable token in the operand is an error...
+        assert!(Query::parse("contains:\"--- ---\"", now()).is_err());
+        // ...and an attribute named `contains` is still reachable via
+        // comparison operators (the colon sugar is claimed by full text).
+        let q = Query::parse("contains=5", now()).unwrap();
+        assert_eq!(q.predicate, Predicate::cmp(AttrName::custom("contains"), CompareOp::Eq, 5u64));
     }
 
     #[test]

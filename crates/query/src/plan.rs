@@ -5,12 +5,14 @@
 //! files as cheaply as possible. The planner inspects the conjuncts of the
 //! predicate and the indices available in the target group:
 //!
-//! 1. equality on a hash-indexed attribute → hash probe,
-//! 2. two or more range-constrained attributes covered by one K-D index →
+//! 1. full-text `contains` conjuncts with an inverted index → postings
+//!    merge (the only path that can also score relevance),
+//! 2. equality on a hash-indexed attribute → hash probe,
+//! 3. two or more range-constrained attributes covered by one K-D index →
 //!    K-D box query,
-//! 3. a range-constrained attribute with a B+-tree → B+-tree range scan
+//! 4. a range-constrained attribute with a B+-tree → B+-tree range scan
 //!    (two-sided ranges preferred over one-sided),
-//! 4. otherwise → full scan.
+//! 5. otherwise → full scan.
 
 use std::collections::HashMap;
 use std::ops::Bound;
@@ -18,7 +20,7 @@ use std::ops::Bound;
 use propeller_index::{AcgIndexGroup, IndexKind};
 use propeller_types::{AttrName, Value};
 
-use crate::ast::{CompareOp, Predicate};
+use crate::ast::{CompareOp, ContainsMode, Predicate};
 use crate::request::SearchRequest;
 
 /// What the planner needs to know about a group's indices.
@@ -32,6 +34,8 @@ pub trait IndexCatalog {
     fn has_btree(&self, attr: &AttrName) -> bool;
     /// Attribute sets of the available K-D indices.
     fn kd_attr_sets(&self) -> Vec<Vec<AttrName>>;
+    /// Whether an inverted (full-text) index is available.
+    fn has_inverted(&self) -> bool;
 }
 
 impl IndexCatalog for AcgIndexGroup {
@@ -53,6 +57,10 @@ impl IndexCatalog for AcgIndexGroup {
             .filter(|s| s.kind == IndexKind::Kd)
             .map(|s| s.attrs.clone())
             .collect()
+    }
+
+    fn has_inverted(&self) -> bool {
+        self.inverted().is_some()
     }
 }
 
@@ -84,6 +92,17 @@ pub enum AccessPath {
         lo: Vec<f64>,
         /// Inclusive upper corner.
         hi: Vec<f64>,
+    },
+    /// Merge the inverted index's postings lists for the given terms —
+    /// document-at-a-time, conjunctive (`All`/`Phrase`, whose adjacency
+    /// check stays in the post-filter) or disjunctive (`Any`). Under a
+    /// relevance sort the executor scores each admitted document with
+    /// BM25 and prunes postings blocks with WAND-style max-score bounds.
+    Postings {
+        /// The tokenized query terms driving the merge.
+        terms: Vec<String>,
+        /// Conjunctive or disjunctive merge.
+        mode: ContainsMode,
     },
     /// Walk a B+-tree over the request's sort attribute *in result order*
     /// (bounded by any predicate interval on that attribute). Emitted only
@@ -195,6 +214,38 @@ fn bound_value(b: &Bound<Value>) -> Option<&Value> {
     }
 }
 
+/// The postings merge serving the predicate's `contains` conjuncts, when
+/// the catalog has an inverted index. Every conjunctive (`All`/`Phrase`)
+/// conjunct folds into one merged conjunctive term set — the intersection
+/// of their postings is still a superset of the full predicate (phrase
+/// adjacency stays in the post-filter). With only disjunctive conjuncts,
+/// the first one drives an `Any` merge (the others post-filter).
+fn postings_path<C: IndexCatalog + ?Sized>(catalog: &C, pred: &Predicate) -> Option<AccessPath> {
+    if !catalog.has_inverted() {
+        return None;
+    }
+    let mut conjunctive: Vec<String> = Vec::new();
+    let mut first_any: Option<&[String]> = None;
+    for conjunct in pred.conjuncts() {
+        if let Predicate::Contains { terms, mode } = conjunct {
+            match mode {
+                ContainsMode::All | ContainsMode::Phrase => {
+                    for term in terms {
+                        if !conjunctive.contains(term) {
+                            conjunctive.push(term.clone());
+                        }
+                    }
+                }
+                ContainsMode::Any => first_any = first_any.or(Some(terms)),
+            }
+        }
+    }
+    if !conjunctive.is_empty() {
+        return Some(AccessPath::Postings { terms: conjunctive, mode: ContainsMode::All });
+    }
+    first_any.map(|terms| AccessPath::Postings { terms: terms.to_vec(), mode: ContainsMode::Any })
+}
+
 /// Default interval map extraction from the predicate's conjuncts.
 fn intervals(pred: &Predicate) -> HashMap<AttrName, Interval> {
     let mut map: HashMap<AttrName, Interval> = HashMap::new();
@@ -238,13 +289,19 @@ pub fn plan_request<C: IndexCatalog + ?Sized>(catalog: &C, request: &SearchReque
             if attr.is_inode_attr() && catalog.has_btree(attr) {
                 let map = intervals(&request.predicate);
                 let kd_sets = catalog.kd_attr_sets();
-                let selective_elsewhere = map.iter().any(|(a, iv)| {
-                    a != attr
-                        && iv.is_constrained()
-                        && ((iv.eq.is_some() && catalog.has_hash(a))
-                            || catalog.has_btree(a)
-                            || kd_sets.iter().any(|set| set.contains(a)))
-                });
+                // A contains conjunct an inverted index can serve is the
+                // same kind of selectivity signal as another indexed
+                // attribute: prefer the postings merge to the sort-order
+                // walk.
+                let selective_contains = postings_path(catalog, &request.predicate).is_some();
+                let selective_elsewhere = selective_contains
+                    || map.iter().any(|(a, iv)| {
+                        a != attr
+                            && iv.is_constrained()
+                            && ((iv.eq.is_some() && catalog.has_hash(a))
+                                || catalog.has_btree(a)
+                                || kd_sets.iter().any(|set| set.contains(a)))
+                    });
                 if !selective_elsewhere {
                     let iv = map.get(attr).cloned().unwrap_or_default();
                     let (lo, hi) = match &iv.eq {
@@ -282,6 +339,13 @@ pub fn plan_request<C: IndexCatalog + ?Sized>(catalog: &C, request: &SearchReque
 /// ```
 pub fn plan<C: IndexCatalog + ?Sized>(catalog: &C, pred: &Predicate) -> Plan {
     let map = intervals(pred);
+
+    // 0. Postings merge for full-text conjuncts. A term's postings list is
+    //    typically far shorter than the group, and only this path can
+    //    score relevance.
+    if let Some(path) = postings_path(catalog, pred) {
+        return Plan { path };
+    }
 
     // 1. Equality probe on a hash index.
     for (attr, iv) in &map {
@@ -360,6 +424,7 @@ mod tests {
         hash: Vec<AttrName>,
         btree: Vec<AttrName>,
         kd: Vec<Vec<AttrName>>,
+        inverted: bool,
     }
 
     impl IndexCatalog for FakeCatalog {
@@ -372,6 +437,9 @@ mod tests {
         fn kd_attr_sets(&self) -> Vec<Vec<AttrName>> {
             self.kd.clone()
         }
+        fn has_inverted(&self) -> bool {
+            self.inverted
+        }
     }
 
     fn default_catalog() -> FakeCatalog {
@@ -379,6 +447,7 @@ mod tests {
             hash: vec![AttrName::Keyword],
             btree: vec![AttrName::Size, AttrName::Mtime],
             kd: vec![vec![AttrName::Size, AttrName::Mtime]],
+            inverted: true,
         }
     }
 
@@ -436,7 +505,8 @@ mod tests {
 
     #[test]
     fn equality_uses_btree_when_no_hash() {
-        let cat = FakeCatalog { hash: vec![], btree: vec![AttrName::Uid], kd: vec![] };
+        let cat =
+            FakeCatalog { hash: vec![], btree: vec![AttrName::Uid], kd: vec![], inverted: false };
         let p = plan(&cat, &parse("uid=1000"));
         match p.path {
             AccessPath::BTreeRange { attr, lo, hi } => {
@@ -450,7 +520,7 @@ mod tests {
 
     #[test]
     fn unindexed_predicate_scans() {
-        let cat = FakeCatalog { hash: vec![], btree: vec![], kd: vec![] };
+        let cat = FakeCatalog { hash: vec![], btree: vec![], kd: vec![], inverted: false };
         assert_eq!(plan(&cat, &parse("uid=5")).path, AccessPath::FullScan);
         assert_eq!(plan(&cat, &parse("*")).path, AccessPath::FullScan);
     }
@@ -542,5 +612,60 @@ mod tests {
         assert!(group.has_hash(&AttrName::Keyword));
         assert!(group.has_btree(&AttrName::Size));
         assert_eq!(group.kd_attr_sets(), vec![vec![AttrName::Size, AttrName::Mtime]]);
+        assert!(group.has_inverted());
+    }
+
+    #[test]
+    fn contains_conjunct_plans_a_postings_merge() {
+        let p = plan(&default_catalog(), &parse("contains:\"tax report\" & size>1m"));
+        match p.path {
+            AccessPath::Postings { terms, mode } => {
+                assert_eq!(terms, vec!["tax".to_owned(), "report".to_owned()]);
+                assert_eq!(mode, ContainsMode::All);
+            }
+            other => panic!("expected Postings, got {other:?}"),
+        }
+        // Phrase conjuncts merge into the conjunctive term set; adjacency
+        // is the post-filter's job.
+        let p = plan(&default_catalog(), &parse("phrase:\"sales report\" & contains:tax"));
+        match p.path {
+            AccessPath::Postings { terms, mode } => {
+                assert_eq!(terms, vec!["sales".to_owned(), "report".to_owned(), "tax".to_owned()]);
+                assert_eq!(mode, ContainsMode::All);
+            }
+            other => panic!("expected Postings, got {other:?}"),
+        }
+        // Disjunctive-only contains keeps its Any mode.
+        let p = plan(&default_catalog(), &parse("contains-any:\"jpg png\""));
+        assert!(
+            matches!(p.path, AccessPath::Postings { mode: ContainsMode::Any, .. }),
+            "{:?}",
+            p.path
+        );
+        // Without an inverted index, contains falls back to other paths.
+        let mut cat = default_catalog();
+        cat.inverted = false;
+        let p = plan(&cat, &parse("contains:tax"));
+        assert_eq!(p.path, AccessPath::FullScan);
+        // A contains inside an OR constrains nothing conjunctively.
+        let p = plan(&default_catalog(), &parse("contains:tax | size>1m"));
+        assert_eq!(p.path, AccessPath::FullScan);
+    }
+
+    #[test]
+    fn contains_beats_the_ordered_scan() {
+        use crate::request::{SearchRequest, SortKey};
+        let req = SearchRequest::new(parse("contains:tax"))
+            .with_limit(10)
+            .sorted_by(SortKey::Descending(AttrName::Size));
+        assert!(
+            matches!(plan_request(&default_catalog(), &req).path, AccessPath::Postings { .. }),
+            "postings selectivity must win over the sort-order walk"
+        );
+        // Relevance sort has no covering B+-tree; it always plans classic,
+        // which lands on the postings merge.
+        let req =
+            SearchRequest::new(parse("contains:tax")).with_limit(10).sorted_by(SortKey::Relevance);
+        assert!(matches!(plan_request(&default_catalog(), &req).path, AccessPath::Postings { .. }));
     }
 }

@@ -46,13 +46,20 @@ pub enum SortKey {
     Ascending(AttrName),
     /// Descending by a built-in inode attribute.
     Descending(AttrName),
+    /// Descending BM25 relevance score (best match first). The score is not
+    /// a record attribute — the executor computes it against the corpus
+    /// statistics of the serving ACG and carries it as the hit's sort key
+    /// ([`propeller_types::Value::F64`]) — so this sort is only valid for
+    /// requests whose predicate mentions a `contains` term (see
+    /// [`SearchRequest::validate`]).
+    Relevance,
 }
 
 impl SortKey {
     /// The attribute sorted by, if any.
     pub fn attr(&self) -> Option<&AttrName> {
         match self {
-            SortKey::FileId => None,
+            SortKey::FileId | SortKey::Relevance => None,
             SortKey::Ascending(a) | SortKey::Descending(a) => Some(a),
         }
     }
@@ -62,7 +69,9 @@ impl SortKey {
         matches!(self, SortKey::Descending(_))
     }
 
-    /// Extracts the sort key value of a record (`None` for file-id order).
+    /// Extracts the sort key value of a record (`None` for file-id order
+    /// and for relevance, whose score needs corpus statistics the record
+    /// alone does not carry — the executor fills it in).
     pub fn key_of(&self, record: &FileRecord) -> Option<Value> {
         self.attr().and_then(|a| record.attrs.get(a))
     }
@@ -79,7 +88,7 @@ impl SortKey {
         let by_key = match self {
             SortKey::FileId => Ordering::Equal,
             SortKey::Ascending(_) => a_key.cmp(&b_key),
-            SortKey::Descending(_) => b_key.cmp(&a_key),
+            SortKey::Descending(_) | SortKey::Relevance => b_key.cmp(&a_key),
         };
         by_key.then(a_file.cmp(&b_file))
     }
@@ -297,11 +306,13 @@ impl SearchRequest {
     }
 
     /// Validates option combinations: sorting is only defined over
-    /// built-in (single-valued, always-present) attributes.
+    /// built-in (single-valued, always-present) attributes, and relevance
+    /// order needs a `contains` term to score against.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::InvalidQuery`] for keyword/custom sort keys.
+    /// Returns [`Error::InvalidQuery`] for keyword/custom sort keys, and
+    /// for a relevance sort whose predicate mentions no `contains` term.
     pub fn validate(&self) -> Result<()> {
         if let Some(attr) = self.sort.attr() {
             if !attr.is_inode_attr() {
@@ -309,6 +320,11 @@ impl SearchRequest {
                     "cannot sort by multi-valued attribute {attr}"
                 )));
             }
+        }
+        if self.sort == SortKey::Relevance && !self.predicate.mentions_contains() {
+            return Err(Error::InvalidQuery(
+                "relevance sort needs a contains/phrase term to score against".into(),
+            ));
         }
         Ok(())
     }
@@ -356,6 +372,8 @@ pub enum AccessPathKind {
     BTreeRange,
     /// K-D tree box query.
     KdBox,
+    /// Inverted-index postings merge (document-at-a-time).
+    Postings,
     /// Sort-order B+-tree walk with early termination.
     OrderedScan,
     /// Full record scan.
@@ -368,6 +386,7 @@ impl From<&AccessPath> for AccessPathKind {
             AccessPath::HashEq { .. } => AccessPathKind::HashEq,
             AccessPath::BTreeRange { .. } => AccessPathKind::BTreeRange,
             AccessPath::KdBox { .. } => AccessPathKind::KdBox,
+            AccessPath::Postings { .. } => AccessPathKind::Postings,
             AccessPath::OrderedScan { .. } => AccessPathKind::OrderedScan,
             AccessPath::FullScan => AccessPathKind::FullScan,
         }
@@ -428,6 +447,16 @@ pub struct SearchStats {
     /// assuming the node could fill its `k`; the session's ordered streams
     /// were deliberately never advanced to find out.
     pub node_hits_unsent: usize,
+    /// Postings blocks a WAND-style relevance merge jumped over whole
+    /// because their max-score bound could not beat the worst retained
+    /// top-k score — the block-skip witness of the bound pruning.
+    pub wand_blocks_skipped: usize,
+    /// Postings entries those skipped blocks (and bound-driven seeks)
+    /// never examined — the document-level saving of the WAND bound. Like
+    /// [`SearchStats::bound_pruned`], a lower-bound witness: the threshold
+    /// tightens as the top-k heap fills, so the exact count depends on
+    /// candidate order.
+    pub wand_docs_pruned: usize,
     /// What the caller waited for. One-shot fan-outs run in parallel, so
     /// merged stats carry the slowest node's service time; a streamed
     /// search issues its pulls sequentially from the client merge, so the
@@ -450,6 +479,8 @@ impl SearchStats {
         self.pages_pulled += other.pages_pulled;
         self.hits_shipped += other.hits_shipped;
         self.node_hits_unsent += other.node_hits_unsent;
+        self.wand_blocks_skipped += other.wand_blocks_skipped;
+        self.wand_docs_pruned += other.wand_docs_pruned;
         self.elapsed = self.elapsed.max(other.elapsed);
     }
 }
@@ -574,6 +605,19 @@ impl TopK {
     /// The most hits retained at any point (the O(k) witness).
     pub fn peak_retained(&self) -> usize {
         self.peak
+    }
+
+    /// The worst retained hit's `(sort key, file)` once the accumulator is
+    /// at capacity — the rank a new candidate must strictly beat to be
+    /// retained. `None` while below capacity (or unlimited), when every
+    /// offer is retained anyway. This is the threshold a WAND-style
+    /// postings merge prunes against.
+    pub fn floor(&self) -> Option<(Option<&Value>, FileId)> {
+        let limit = self.limit?;
+        if self.heap.len() < limit {
+            return None;
+        }
+        self.heap.peek().map(|worst| (worst.hit.sort_key.as_ref(), worst.hit.file))
     }
 
     /// Finishes, returning the retained hits in result order.
@@ -972,6 +1016,45 @@ mod tests {
     }
 
     #[test]
+    fn relevance_sort_orders_by_descending_score_with_file_tiebreak() {
+        let sort = SortKey::Relevance;
+        let score = |file: u64, s: f64| Hit {
+            file: FileId::new(file),
+            acg: None,
+            attrs: Vec::new(),
+            sort_key: Some(Value::F64(s)),
+        };
+        let mut topk = TopK::new(sort.clone(), Some(3));
+        for hit in [score(5, 1.0), score(1, 2.5), score(9, 2.5), score(2, 0.1), score(3, 7.0)] {
+            topk.push(hit);
+        }
+        let files: Vec<u64> = topk.into_sorted().iter().map(|h| h.file.raw()).collect();
+        assert_eq!(files, vec![3, 1, 9], "best score first, ties break on ascending file id");
+    }
+
+    #[test]
+    fn relevance_sort_requires_a_contains_term() {
+        use crate::ast::ContainsMode;
+        let bad = SearchRequest::new(Predicate::True).sorted_by(SortKey::Relevance);
+        assert!(bad.validate().is_err());
+        let good = SearchRequest::new(Predicate::contains(vec!["tax"], ContainsMode::All))
+            .sorted_by(SortKey::Relevance);
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn topk_floor_appears_only_at_capacity() {
+        let mut topk = TopK::new(SortKey::Relevance, Some(2));
+        assert!(topk.floor().is_none(), "empty");
+        topk.push(hit(1, None));
+        assert!(topk.floor().is_none(), "below capacity");
+        topk.push(hit(2, None));
+        let (key, file) = topk.floor().expect("at capacity");
+        assert_eq!((key, file), (None, FileId::new(2)), "worst retained = highest file id");
+        assert!(TopK::new(SortKey::FileId, None).floor().is_none(), "unlimited has no floor");
+    }
+
+    #[test]
     fn stats_absorb_sums_and_maxes() {
         let mut a = SearchStats {
             acgs_consulted: 1,
@@ -985,6 +1068,8 @@ mod tests {
             pages_pulled: 1,
             hits_shipped: 5,
             node_hits_unsent: 2,
+            wand_blocks_skipped: 4,
+            wand_docs_pruned: 250,
             elapsed: Duration::from_micros(5),
         };
         a.absorb(SearchStats {
@@ -999,6 +1084,8 @@ mod tests {
             pages_pulled: 2,
             hits_shipped: 7,
             node_hits_unsent: 93,
+            wand_blocks_skipped: 6,
+            wand_docs_pruned: 50,
             elapsed: Duration::from_micros(3),
         });
         assert_eq!(a.acgs_consulted, 3);
@@ -1012,6 +1099,8 @@ mod tests {
         assert_eq!(a.pages_pulled, 3);
         assert_eq!(a.hits_shipped, 12);
         assert_eq!(a.node_hits_unsent, 95);
+        assert_eq!(a.wand_blocks_skipped, 10);
+        assert_eq!(a.wand_docs_pruned, 300);
         assert_eq!(a.elapsed, Duration::from_micros(5), "slowest node wins");
     }
 

@@ -19,6 +19,11 @@ macro_rules! id_type {
         pub struct $name($inner);
 
         impl $name {
+            /// The largest representable identifier — a convenient
+            /// "nothing beyond this" sentinel for exhausted scans and
+            /// merge boundaries.
+            pub const MAX: Self = Self(<$inner>::MAX);
+
             /// Creates an identifier from its raw integer representation.
             #[inline]
             pub const fn new(raw: $inner) -> Self {
@@ -180,5 +185,12 @@ mod tests {
     fn default_is_zero() {
         assert_eq!(FileId::default().raw(), 0);
         assert_eq!(NodeId::default().raw(), 0);
+    }
+
+    #[test]
+    fn max_outranks_every_identifier() {
+        assert_eq!(FileId::MAX.raw(), u64::MAX);
+        assert!(FileId::new(u64::MAX - 1) < FileId::MAX);
+        assert_eq!(NodeId::MAX.raw(), u32::MAX);
     }
 }

@@ -1,0 +1,140 @@
+//! Zipf-distributed term generation for the ranked content-search
+//! experiment.
+//!
+//! Real file-name and content keywords are heavily skewed: a handful of
+//! terms ("the", "lib", "readme") appear in most files while the long tail
+//! is nearly unique. The top-k postings experiment needs that shape — a
+//! uniform vocabulary would give every term the same selectivity and hide
+//! both the benefit of rare-term-first merging and the WAND pruning upside.
+
+use rand::{rngs::StdRng, Rng};
+
+/// A Zipf-ranked vocabulary: term rank `r` (0-based) is drawn with
+/// probability proportional to `1 / (r + 1)^exponent`.
+///
+/// # Examples
+///
+/// ```
+/// use propeller_workloads::ZipfTerms;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let vocab = ZipfTerms::new(1000, 1.1);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let doc = vocab.document(&mut rng, 8);
+/// assert_eq!(doc.split_whitespace().count(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfTerms {
+    /// Cumulative distribution over ranks; `cdf[r]` is `P(rank <= r)`.
+    cdf: Vec<f64>,
+}
+
+impl ZipfTerms {
+    /// A vocabulary of `vocabulary` ranked terms with Zipf exponent
+    /// `exponent` (1.0–1.2 matches observed natural-language skew).
+    pub fn new(vocabulary: usize, exponent: f64) -> Self {
+        let vocabulary = vocabulary.max(1);
+        let mut cdf = Vec::with_capacity(vocabulary);
+        let mut acc = 0.0;
+        for rank in 0..vocabulary {
+            acc += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        ZipfTerms { cdf }
+    }
+
+    /// Vocabulary size.
+    pub fn vocabulary(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The canonical spelling of the term at `rank`.
+    pub fn term(rank: usize) -> String {
+        format!("term{rank:05}")
+    }
+
+    /// Draws one term rank (0 = most frequent).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+
+    /// A document body of `len` Zipf-drawn terms joined by spaces.
+    /// Repetitions are kept — term frequency within a doc is part of the
+    /// distribution BM25 ranks on.
+    pub fn document(&self, rng: &mut StdRng, len: usize) -> String {
+        let mut words = Vec::with_capacity(len);
+        for _ in 0..len {
+            words.push(Self::term(self.sample(rng)));
+        }
+        words.join(" ")
+    }
+
+    /// `n` *distinct* query terms drawn from the same skew, so queries hit
+    /// common and rare terms in realistic proportion.
+    pub fn query_terms(&self, rng: &mut StdRng, n: usize) -> Vec<String> {
+        let n = n.min(self.vocabulary());
+        let mut ranks: Vec<usize> = Vec::with_capacity(n);
+        while ranks.len() < n {
+            let rank = self.sample(rng);
+            if !ranks.contains(&rank) {
+                ranks.push(rank);
+            }
+        }
+        ranks.into_iter().map(Self::term).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let vocab = ZipfTerms::new(500, 1.1);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| vocab.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4));
+    }
+
+    #[test]
+    fn head_ranks_dominate_the_tail() {
+        let vocab = ZipfTerms::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..50_000 {
+            counts[vocab.sample(&mut rng)] += 1;
+        }
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[500..].iter().sum();
+        assert!(head > tail * 2, "zipf skew: head {head} tail {tail}");
+        assert!(counts[0] > counts[100].max(1) * 5, "{} vs {}", counts[0], counts[100]);
+    }
+
+    #[test]
+    fn query_terms_are_distinct_and_capped_by_vocabulary() {
+        let vocab = ZipfTerms::new(4, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let terms = vocab.query_terms(&mut rng, 10);
+        assert_eq!(terms.len(), 4, "capped at vocabulary size");
+        let set: std::collections::HashSet<&String> = terms.iter().collect();
+        assert_eq!(set.len(), terms.len());
+    }
+
+    #[test]
+    fn documents_have_the_requested_length() {
+        let vocab = ZipfTerms::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        for len in [1usize, 7, 32] {
+            assert_eq!(vocab.document(&mut rng, len).split_whitespace().count(), len);
+        }
+    }
+}
