@@ -13,12 +13,14 @@ use std::sync::Arc;
 
 use propeller_index::{FileRecord, IndexOp, IndexSpec};
 use propeller_query::{
-    merge_hit_sources, merge_sorted_hits, next_cursor, Cursor, FanOutPolicy, Hit, Predicate, Query,
+    merge_sorted_hits, next_cursor, Cursor, FanOutPolicy, Hit, HitMerger, Predicate, Query,
     SearchRequest, SearchResponse, SearchStats,
 };
 use propeller_sim::Clock;
 use propeller_trace::CausalityTracker;
-use propeller_types::{AcgId, Error, FileId, NodeId, OpenMode, ProcessId, Result, TraceEvent};
+use propeller_types::{
+    AcgId, Error, FileId, NodeId, OpenMode, ProcessId, Result, Timestamp, TraceEvent,
+};
 
 use crate::messages::{Request, Response, RouteHints};
 use crate::rpc::Rpc;
@@ -142,8 +144,21 @@ pub struct FileQueryEngine {
     route_gen: u64,
     /// This client's identity for per-client session caps on Index Nodes.
     client_id: u64,
-    /// Hits per page for streamed cross-node searches.
+    /// Hits per page for streamed cross-node searches (the *initial* page
+    /// when adaptive sizing is on).
     search_page: usize,
+    /// Adaptive page growth cap: when set, a node's page size doubles on
+    /// every accepted page up to this bound — cold nodes ship one small
+    /// page, nodes that keep winning the merge amortize round trips.
+    /// `None` (the default) keeps every page at `search_page`.
+    adaptive_max_page: Option<usize>,
+    /// Latency budget for streamed session opens: past it a **hedged**
+    /// duplicate open goes to the next live replica and the first answer
+    /// wins. `None` (the default) never hedges.
+    hedge_budget: Option<std::time::Duration>,
+    /// Replica sets learned from `Resolved` responses (primary first) —
+    /// the write path's replication fan-out.
+    acg_replicas: HashMap<AcgId, Vec<NodeId>>,
 }
 
 impl std::fmt::Debug for FileQueryEngine {
@@ -172,6 +187,9 @@ impl FileQueryEngine {
             route_gen: 0,
             client_id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
             search_page: SEARCH_PAGE_SIZE,
+            adaptive_max_page: None,
+            hedge_budget: None,
+            acg_replicas: HashMap::new(),
         }
     }
 
@@ -190,6 +208,32 @@ impl FileQueryEngine {
     #[must_use]
     pub fn with_search_page_size(mut self, page: usize) -> Self {
         self.search_page = page.max(1);
+        self
+    }
+
+    /// Enables adaptive page sizing (builder style): streamed searches
+    /// start every node at `initial` hits per page and double a node's
+    /// page on each accepted page up to `max`. Nodes that stop winning
+    /// the merge are never pulled again, so the small first page bounds
+    /// what a cold node ships while hot nodes converge to `max`-sized
+    /// pulls (fewer round trips for the same hits).
+    #[must_use]
+    pub fn with_adaptive_paging(mut self, initial: usize, max: usize) -> Self {
+        self.search_page = initial.max(1);
+        self.adaptive_max_page = Some(max.max(initial.max(1)));
+        self
+    }
+
+    /// Sets the tail-tolerance hedge budget (builder style): a streamed
+    /// session open that has not answered within `budget` fires a
+    /// duplicate "tied request" open at the next live replica of the same
+    /// ACGs; the first answer wins and the loser's session is closed.
+    /// Replicas answer bit-identically, so correctness never depends on
+    /// who wins — only the tail latency does. No-op at replication 1
+    /// (there is no second replica to hedge to).
+    #[must_use]
+    pub fn with_hedge_budget(mut self, budget: propeller_types::Duration) -> Self {
+        self.hedge_budget = Some(budget.to_std());
         self
     }
 
@@ -245,10 +289,13 @@ impl FileQueryEngine {
             let since = if self.route_cache.len() == 0 { u64::MAX } else { self.route_gen };
             let req = Request::ResolveFiles { files: missing, hints_since: since };
             match self.rpc.call(self.master, req)? {
-                Response::Resolved { rows, hints } => {
+                Response::Resolved { rows, hints, replicas } => {
                     // Hints first: a `complete: false` hint clears the
                     // cache, and the fresh rows below must survive that.
                     self.apply_route_hints(hints);
+                    for (acg, set) in replicas {
+                        self.acg_replicas.insert(acg, set);
+                    }
                     for (file, acg, node) in rows {
                         self.route_cache.insert(file, (acg, node));
                         routes.insert(file, (acg, node));
@@ -339,6 +386,16 @@ impl FileQueryEngine {
     /// Sends the per-(node, ACG) batches in parallel, returning the failed
     /// batches and their errors. Batches flagged as cache-routed return
     /// their ops (kept for the stale-route retry); others return empty.
+    ///
+    /// Replication rides here: the primary acknowledges each batch with
+    /// the WAL LSN it logged ([`Response::BatchLogged`]), and the same
+    /// frame is then shipped to every follower replica as a
+    /// [`Request::ReplicateBatch`]. The fan-out stays client-driven —
+    /// nodes never call nodes, so the actor graph cannot deadlock on two
+    /// primaries replicating to each other. A follower that reports a log
+    /// gap is caught up from the primary (frames, or a full seed once the
+    /// primary's WAL truncated); an unreachable follower is tolerated —
+    /// it re-syncs on revival, and searches fail over around it.
     fn dispatch_batches(
         &self,
         by_target: HashMap<(NodeId, AcgId), (Vec<IndexOp>, bool)>,
@@ -349,9 +406,20 @@ impl FileQueryEngine {
                 .into_iter()
                 .map(|((node, acg), (ops, cached))| {
                     let rpc = self.rpc.clone();
+                    let followers: Vec<NodeId> = self
+                        .acg_replicas
+                        .get(&acg)
+                        .map(|set| set.iter().copied().filter(|&n| n != node).collect())
+                        .unwrap_or_default();
                     s.spawn(move || {
                         let keep = if cached { ops.clone() } else { Vec::new() };
+                        let replicate = if followers.is_empty() { Vec::new() } else { ops.clone() };
                         let result = rpc.call(node, Request::IndexBatch { acg, ops, now });
+                        if let Ok(Response::BatchLogged { lsn }) = &result {
+                            for &follower in &followers {
+                                replicate_frame(&rpc, node, follower, acg, *lsn, &replicate, now);
+                            }
+                        }
                         (keep, result)
                     })
                 })
@@ -366,17 +434,28 @@ impl FileQueryEngine {
         })
     }
 
-    /// The per-node ACG fan-out set, from the Master.
-    fn locate(&self) -> Result<HashMap<NodeId, Vec<AcgId>>> {
+    /// The search fan-out plan, from the Master: ACGs grouped by their
+    /// **full ordered replica set** (primary first). Grouping by set —
+    /// not by primary — matters because a node answers a search only for
+    /// the ACGs it actually hosts ([`Request::Search`] silently skips
+    /// unknown ones): every node in a group hosts *all* of the group's
+    /// ACGs, so a search for the group can be served, or failed over, to
+    /// any member wholesale. Groups are sorted for deterministic fan-out.
+    fn locate(&self) -> Result<Vec<(Vec<NodeId>, Vec<AcgId>)>> {
         let located = match self.rpc.call(self.master, Request::LocateAcgs)? {
             Response::Located(rows) => rows,
             other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
         };
-        let mut by_node: HashMap<NodeId, Vec<AcgId>> = HashMap::new();
-        for (acg, node) in located {
-            by_node.entry(node).or_default().push(acg);
+        let mut by_set: HashMap<Vec<NodeId>, Vec<AcgId>> = HashMap::new();
+        for (acg, replicas) in located {
+            by_set.entry(replicas).or_default().push(acg);
         }
-        Ok(by_node)
+        let mut groups: Vec<(Vec<NodeId>, Vec<AcgId>)> = by_set.into_iter().collect();
+        for (_, acgs) in &mut groups {
+            acgs.sort_unstable();
+        }
+        groups.sort();
+        Ok(groups)
     }
 
     /// Runs a full [`SearchRequest`] against the cluster — the canonical
@@ -400,13 +479,13 @@ impl FileQueryEngine {
     /// errors surface as [`Error::InvalidQuery`].
     pub fn search_with(&self, request: &SearchRequest) -> Result<SearchResponse> {
         request.validate()?;
-        let by_node = self.locate()?;
-        if by_node.is_empty() {
+        let groups = self.locate()?;
+        if groups.is_empty() {
             return Ok(SearchResponse::empty());
         }
         match request.limit {
-            Some(k) if k > 0 && by_node.len() > 1 => self.run_streamed(by_node, request),
-            _ => self.run_one_shot(by_node, request),
+            Some(k) if k > 0 && groups.len() > 1 => self.run_streamed(groups, request),
+            _ => self.run_one_shot(groups, request),
         }
     }
 
@@ -421,33 +500,53 @@ impl FileQueryEngine {
     /// [`FileQueryEngine::search_with`].
     pub fn search_one_shot(&self, request: &SearchRequest) -> Result<SearchResponse> {
         request.validate()?;
-        let by_node = self.locate()?;
-        if by_node.is_empty() {
+        let groups = self.locate()?;
+        if groups.is_empty() {
             return Ok(SearchResponse::empty());
         }
-        self.run_one_shot(by_node, request)
+        self.run_one_shot(groups, request)
     }
 
     fn run_one_shot(
         &self,
-        by_node: HashMap<NodeId, Vec<AcgId>>,
+        groups: Vec<(Vec<NodeId>, Vec<AcgId>)>,
         request: &SearchRequest,
     ) -> Result<SearchResponse> {
         let now = self.clock.now();
-        type NodeResult = (NodeId, Result<(Vec<Hit>, SearchStats)>);
-        let results: Vec<NodeResult> = std::thread::scope(|s| {
-            let handles: Vec<_> = by_node
+        // Each replica group tries its members in order (primary first):
+        // a dead primary costs one failed call before the follower — which
+        // holds a byte-identical committed view — answers in its stead.
+        type GroupResult = (Vec<AcgId>, usize, Result<(Vec<Hit>, SearchStats)>);
+        let results: Vec<GroupResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = groups
                 .into_iter()
-                .map(|(node, acgs)| {
+                .map(|(replicas, acgs)| {
                     let rpc = self.rpc.clone();
                     let request = request.clone();
                     s.spawn(move || {
-                        let result = match rpc.call(node, Request::Search { acgs, request, now }) {
-                            Ok(Response::SearchHits { hits, stats }) => Ok((hits, stats)),
-                            Ok(other) => Err(Error::Rpc(format!("unexpected response {other:?}"))),
-                            Err(e) => Err(e),
-                        };
-                        (node, result)
+                        let mut failovers = 0usize;
+                        let mut last_err = None;
+                        for &node in &replicas {
+                            let req = Request::Search {
+                                acgs: acgs.clone(),
+                                request: request.clone(),
+                                now,
+                            };
+                            match rpc.call(node, req) {
+                                Ok(Response::SearchHits { hits, stats }) => {
+                                    return (acgs, failovers, Ok((hits, stats)));
+                                }
+                                Ok(other) => {
+                                    last_err =
+                                        Some(Error::Rpc(format!("unexpected response {other:?}")));
+                                }
+                                Err(e) => last_err = Some(e),
+                            }
+                            failovers += 1;
+                        }
+                        let err =
+                            last_err.unwrap_or_else(|| Error::Rpc("empty replica set".to_string()));
+                        (acgs, failovers, Err(err))
                     })
                 })
                 .collect();
@@ -456,21 +555,27 @@ impl FileQueryEngine {
 
         let mut lists = Vec::new();
         let mut stats = SearchStats::default();
-        let mut failed: Vec<(NodeId, Error)> = Vec::new();
-        for (node, result) in results {
+        let mut failed: Vec<(Vec<AcgId>, Error)> = Vec::new();
+        for (acgs, failovers, result) in results {
             match result {
                 Ok((hits, node_stats)) => {
                     stats.absorb(node_stats);
+                    // Only count failovers that *worked* — a group where
+                    // every replica failed is unreachable, not failed-over.
+                    stats.replica_failovers += failovers;
                     lists.push(hits);
                 }
                 Err(e) => match request.fan_out {
                     FanOutPolicy::RequireAll => return Err(e),
-                    FanOutPolicy::AllowPartial { .. } => failed.push((node, e)),
+                    FanOutPolicy::AllowPartial { .. } => failed.push((acgs, e)),
                 },
             }
         }
         // A search with no failures is complete regardless of how few
-        // nodes held relevant ACGs; the quorum only gates degraded runs.
+        // groups held relevant ACGs; the quorum only gates degraded runs.
+        // A group counts as answering whichever replica served it, so with
+        // R > 1 the search stays complete as long as *some* replica of
+        // every ACG is alive.
         if let FanOutPolicy::AllowPartial { min_nodes } = request.fan_out {
             if !failed.is_empty() && lists.len() < min_nodes {
                 return Err(failed.into_iter().next().map(|(_, e)| e).unwrap_or_else(|| {
@@ -486,7 +591,7 @@ impl FileQueryEngine {
         // `stats.elapsed` is the max per-node service time (each node
         // measures against its own injected clock; nodes ran in parallel,
         // so the slowest one is what this client waited for).
-        let mut unreachable: Vec<NodeId> = failed.into_iter().map(|(n, _)| n).collect();
+        let mut unreachable: Vec<AcgId> = failed.into_iter().flat_map(|(acgs, _)| acgs).collect();
         unreachable.sort_unstable();
         // A continuation cursor is only honest on a *complete* page:
         // paginating past an incomplete one would resume strictly after
@@ -530,143 +635,124 @@ impl FileQueryEngine {
     /// [`FileQueryEngine::search_with`].
     pub fn search_streamed(&self, request: &SearchRequest) -> Result<SearchResponse> {
         request.validate()?;
-        let by_node = self.locate()?;
-        if by_node.is_empty() {
+        let groups = self.locate()?;
+        if groups.is_empty() {
             return Ok(SearchResponse::empty());
         }
-        self.run_streamed(by_node, request)
+        self.run_streamed(groups, request)
+    }
+
+    /// Opens a **persistent** cluster search stream: node sessions stay
+    /// open across the pages the caller draws, so paginating `p` pages
+    /// deep costs O(p) node pulls total instead of O(p) fresh cursor
+    /// searches each re-skipping everything before the cursor. The stream
+    /// carries the same replica failover and hedging machinery as
+    /// [`FileQueryEngine::search_streamed`]; call
+    /// [`ClusterSearchStream::next_page`] until it returns an empty page,
+    /// then [`ClusterSearchStream::finish`] for the stats and
+    /// completeness verdict.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid requests, an unreachable Master, or (under
+    /// [`FanOutPolicy::RequireAll`]) any replica group with no live
+    /// member.
+    pub fn open_search_stream(&self, request: &SearchRequest) -> Result<ClusterSearchStream> {
+        request.validate()?;
+        let groups = self.locate()?;
+        self.open_cluster_stream(groups, request)
     }
 
     fn run_streamed(
         &self,
-        by_node: HashMap<NodeId, Vec<AcgId>>,
+        groups: Vec<(Vec<NodeId>, Vec<AcgId>)>,
         request: &SearchRequest,
     ) -> Result<SearchResponse> {
-        let now = self.clock.now();
-        let page = self.search_page;
-        // Open one session per node in parallel; every open ships the
-        // first page, so cold nodes are already done after this round.
-        type Opened = (NodeId, Vec<AcgId>, Result<(u64, Vec<Hit>, SearchStats, bool)>);
-        let opened: Vec<Opened> = std::thread::scope(|s| {
-            let handles: Vec<_> = by_node
-                .into_iter()
-                .map(|(node, acgs)| {
-                    let rpc = self.rpc.clone();
-                    let request = request.clone();
-                    let client = self.client_id;
-                    s.spawn(move || {
-                        let req =
-                            Request::OpenSearch { acgs: acgs.clone(), request, client, page, now };
-                        let result = match rpc.call(node, req) {
-                            Ok(Response::SearchPage { session, hits, stats, exhausted }) => {
-                                Ok((session, hits, stats, exhausted))
-                            }
-                            Ok(other) => Err(Error::Rpc(format!("unexpected response {other:?}"))),
-                            Err(e) => Err(e),
-                        };
-                        (node, acgs, result)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("open thread")).collect()
-        });
-
-        let mut sources: Vec<NodePageStream<'_>> = Vec::new();
-        let mut failed: Vec<(NodeId, Error)> = Vec::new();
-        for (node, acgs, result) in opened {
-            match result {
-                Ok((session, hits, stats, exhausted)) => sources.push(NodePageStream {
-                    rpc: &self.rpc,
-                    node,
-                    acgs,
-                    request,
-                    client: self.client_id,
-                    page,
-                    now,
-                    session,
-                    buffer: hits.into_iter(),
-                    exhausted,
-                    resume: None,
-                    yielded: 0,
-                    reopens: 0,
-                    stats,
-                    error: None,
-                }),
-                Err(e) => failed.push((node, e)),
-            }
-        }
-        if !failed.is_empty() {
-            if let FanOutPolicy::RequireAll = request.fan_out {
-                // Be polite to *every* node that did open — including
-                // those after the failing one — before failing the
-                // search, so no suspended session is left to squat a
-                // table slot until LRU eviction.
-                for source in &sources {
-                    source.close_best_effort();
-                }
-                return Err(failed.swap_remove(0).1);
-            }
-        }
-
-        // The cluster-wide cutoff: the lazy k-way merge advances a source
-        // only after consuming its head, so a node whose page boundary
-        // already sorts past the running global top-k is never pulled
-        // again — and pulling stops entirely at `limit` merged hits.
-        let hits = merge_hit_sources(&mut sources, &request.sort, request.limit);
-
-        let mut stats = SearchStats::default();
-        let mut answered = 0usize;
-        let mut stream_errors: Vec<(NodeId, Error)> = Vec::new();
-        for mut source in sources {
-            stats.absorb(std::mem::take(&mut source.stats));
-            match source.error.take() {
-                Some(e) => {
-                    // The node may still hold the session (e.g. a
-                    // malformed response, not a death): best-effort
-                    // close, accounting discarded with the stream.
-                    source.close_best_effort();
-                    stream_errors.push((source.node, e));
-                }
-                None => {
-                    answered += 1;
-                    // Close the session where it stands; the node reports
-                    // what streaming saved it from shipping.
-                    if let Some(close_stats) = source.close_best_effort() {
-                        stats.absorb(close_stats);
-                    }
-                }
-            }
-        }
-        if !stream_errors.is_empty() {
-            if matches!(request.fan_out, FanOutPolicy::RequireAll) {
-                return Err(stream_errors.swap_remove(0).1);
-            }
-            failed.append(&mut stream_errors);
-        }
-        if let FanOutPolicy::AllowPartial { min_nodes } = request.fan_out {
-            if !failed.is_empty() && answered < min_nodes {
-                return Err(failed.into_iter().next().map(|(_, e)| e).unwrap_or_else(|| {
-                    Error::Rpc(format!(
-                        "partial search needs {min_nodes} answering nodes, got {answered}"
-                    ))
-                }));
-            }
-        }
-        let mut unreachable: Vec<NodeId> = failed.into_iter().map(|(n, _)| n).collect();
-        unreachable.sort_unstable();
-        // Pulls beyond the parallel opens are issued sequentially by the
-        // merge, so the max-of-round-trips the absorbs accumulated is NOT
-        // what the caller waited for — overwrite with the true wall time.
-        stats.elapsed = self.clock.now().since(now);
+        let mut stream = self.open_cluster_stream(groups, request)?;
+        // Drain the whole entitlement in one page: the merge stops at
+        // `limit` merged hits anyway, so this is the classic streamed
+        // search (the cluster-wide cutoff still prunes cold nodes).
+        let hits = stream.next_page(usize::MAX)?;
+        let mut response = stream.finish()?;
         // Same cursor honesty rule as the one-shot path: only a complete
         // page may carry a continuation — unless the request opted into
         // partial-resume (see `run_one_shot`).
-        let cursor = if unreachable.is_empty() || request.cursor_on_incomplete {
+        response.cursor = if response.complete || request.cursor_on_incomplete {
             next_cursor(&hits, request.limit)
         } else {
             None
         };
-        Ok(SearchResponse { complete: unreachable.is_empty(), unreachable, hits, stats, cursor })
+        response.hits = hits;
+        Ok(response)
+    }
+
+    /// Builds one [`NodePageStream`] per replica group, opens them all in
+    /// parallel and applies the open-time half of the fan-out policy.
+    fn open_cluster_stream(
+        &self,
+        groups: Vec<(Vec<NodeId>, Vec<AcgId>)>,
+        request: &SearchRequest,
+    ) -> Result<ClusterSearchStream> {
+        let now = self.clock.now();
+        let mut sources: Vec<NodePageStream> = groups
+            .into_iter()
+            .map(|(replicas, acgs)| NodePageStream {
+                rpc: self.rpc.clone(),
+                dead: vec![false; replicas.len()],
+                replicas,
+                current: 0,
+                acgs,
+                request: request.clone(),
+                client: self.client_id,
+                page: self.search_page,
+                adaptive_max: self.adaptive_max_page,
+                hedge: self.hedge_budget,
+                now,
+                opened: false,
+                session: 0,
+                buffer: Vec::new().into_iter(),
+                exhausted: false,
+                resume: None,
+                yielded: 0,
+                reopens: 0,
+                stats: SearchStats::default(),
+                error: None,
+            })
+            .collect();
+        // Open one session per group in parallel; every open ships the
+        // first page, so cold groups are already done after this round.
+        std::thread::scope(|s| {
+            for source in &mut sources {
+                s.spawn(move || source.ensure_open());
+            }
+        });
+        if matches!(request.fan_out, FanOutPolicy::RequireAll) {
+            if let Some(failed) = sources.iter_mut().find(|s| s.error.is_some()) {
+                let err = failed.error.take().expect("just matched");
+                // Be polite to *every* group that did open before failing
+                // the search, so no suspended session is left to squat a
+                // table slot until LRU eviction.
+                for source in &sources {
+                    source.close_best_effort();
+                }
+                return Err(err);
+            }
+        }
+        // Groups whose every replica refused the open stay in the stream
+        // (their ACGs are reported unreachable by `finish`), but yield no
+        // hits: their parked `error` keeps the iterator empty.
+        let failed: Vec<usize> =
+            sources.iter().enumerate().filter(|(_, s)| s.error.is_some()).map(|(i, _)| i).collect();
+        let merger = HitMerger::new(request.sort.clone(), request.limit);
+        Ok(ClusterSearchStream {
+            sources,
+            merger,
+            fan_out: request.fan_out,
+            failed,
+            clock: Arc::clone(&self.clock),
+            started: now,
+            finished: false,
+        })
     }
 
     /// Classic searches: the whole matching id set, sorted by file id
@@ -792,32 +878,117 @@ impl FileQueryEngine {
     }
 }
 
-/// One node's half of a streamed search, seen from the client: an
-/// iterator yielding that node's hits in request sort order, pulling the
-/// next page over the wire **lazily** — only when the merge has consumed
-/// everything the node shipped so far. Feeding these into
-/// [`merge_hit_sources`] *is* the cross-node cutoff: the merge holds one
-/// head per source and refills a source only after emitting its head, so
-/// a node whose page boundary sorts past the running global top-k is
+/// Ships one committed WAL frame to a follower replica, catching the
+/// follower up from the primary when it reports a log gap. Best-effort:
+/// an unreachable follower is tolerated (searches fail over around it;
+/// it re-syncs on revival), so nothing is returned.
+fn replicate_frame(
+    rpc: &Rpc,
+    primary: NodeId,
+    follower: NodeId,
+    acg: AcgId,
+    lsn: u64,
+    ops: &[IndexOp],
+    now: Timestamp,
+) {
+    let req = Request::ReplicateBatch { acg, lsn, ops: ops.to_vec(), now };
+    if let Ok(Response::ReplicaLagging { lsn: have }) = rpc.call(follower, req) {
+        let _ = sync_replica(rpc, primary, follower, acg, have, now);
+    }
+}
+
+/// Brings `target`'s copy of `acg` up to date with `source`'s, shipping
+/// WAL frames after `after_lsn` when the source still retains them and a
+/// full snapshot seed once the source's WAL has been truncated past the
+/// gap. Returns the LSN the target acknowledged.
+///
+/// The sync is **client/coordinator-driven** — the source and target
+/// never talk to each other — so the actor graph cannot deadlock on two
+/// nodes catching each other up.
+pub(crate) fn sync_replica(
+    rpc: &Rpc,
+    source: NodeId,
+    target: NodeId,
+    acg: AcgId,
+    after_lsn: u64,
+    now: Timestamp,
+) -> Result<u64> {
+    match rpc.call(source, Request::FetchAcgFrames { acg, after_lsn, now })? {
+        Response::AcgFrames(frames) => {
+            let mut applied = after_lsn;
+            for (lsn, frame) in frames {
+                let ops = IndexOp::decode_frame(&frame)?;
+                let req = Request::ReplicateBatch { acg, lsn, ops, now };
+                match rpc.call(target, req)? {
+                    Response::ReplicaApplied { lsn } => applied = lsn,
+                    Response::ReplicaLagging { lsn } => {
+                        return Err(Error::Rpc(format!(
+                            "replica {target:?} still lagging at lsn {lsn} during catch-up"
+                        )));
+                    }
+                    other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+                }
+            }
+            Ok(applied)
+        }
+        Response::AcgSeed { lsn, records } => {
+            match rpc.call(target, Request::SeedAcg { acg, lsn, records, now })? {
+                Response::ReplicaApplied { lsn } => Ok(lsn),
+                other => Err(Error::Rpc(format!("unexpected response {other:?}"))),
+            }
+        }
+        other => Err(Error::Rpc(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// One replica group's half of a streamed search, seen from the client:
+/// an iterator yielding the group's hits in request sort order, pulling
+/// the next page over the wire **lazily** — only when the merge has
+/// consumed everything the group shipped so far. Feeding these into a
+/// [`HitMerger`] *is* the cross-node cutoff: the merge holds one head
+/// per source and refills a source only after emitting its head, so a
+/// group whose page boundary sorts past the running global top-k is
 /// never pulled again.
 ///
-/// RPC failures cannot surface through `Iterator::next`, so they park in
-/// `error` (the stream ends) and the caller applies the fan-out policy
-/// afterwards. An expired session (evicted by the node) reopens
-/// transparently with a cursor resuming after the last hit yielded.
-struct NodePageStream<'a> {
-    rpc: &'a Rpc,
-    node: NodeId,
+/// The stream is **replica-aware**: the session lives on one member of
+/// the group at a time (the primary first). Opens past the hedge budget
+/// race a duplicate open on the next live replica and take the first
+/// answer; a member dying mid-stream fails the session over to the next
+/// live member, resuming after the last hit yielded — replicas hold
+/// byte-identical committed views, so the concatenation is exactly the
+/// uninterrupted stream, no hits skipped or duplicated.
+///
+/// RPC failures cannot surface through `Iterator::next`, so once every
+/// replica is dead the error parks in `error` (the stream ends) and the
+/// caller applies the fan-out policy afterwards. An expired session
+/// (evicted by the node) reopens transparently on the same node.
+struct NodePageStream {
+    rpc: Rpc,
+    /// The group's full ordered replica set (primary first).
+    replicas: Vec<NodeId>,
+    /// Members that failed an RPC; never retried within this search.
+    dead: Vec<bool>,
+    /// Index into `replicas` of the member currently serving the session.
+    current: usize,
     acgs: Vec<AcgId>,
-    request: &'a SearchRequest,
+    request: SearchRequest,
     client: u64,
+    /// Hits per page; doubles per accepted page when `adaptive_max` is
+    /// set (up to that bound).
     page: usize,
-    now: propeller_types::Timestamp,
-    /// The open session on the node (0 = none: exhausted or never stored).
+    adaptive_max: Option<usize>,
+    /// Latency budget for hedged opens; `None` never hedges.
+    hedge: Option<std::time::Duration>,
+    now: Timestamp,
+    /// Whether the initial open has been attempted (see `ensure_open`).
+    opened: bool,
+    /// The open session on `current` (0 = none: exhausted or never
+    /// stored).
     session: u64,
     buffer: std::vec::IntoIter<Hit>,
     exhausted: bool,
-    /// Resume point for transparent reopens: after the last yielded hit.
+    /// Resume point for transparent reopens and replica failovers: after
+    /// the last yielded hit.
     resume: Option<Cursor>,
     /// Hits yielded so far — a reopen asks only for the *remaining*
     /// entitlement (`limit - yielded`), so the resumed session's pages
@@ -830,13 +1001,250 @@ struct NodePageStream<'a> {
     error: Option<Error>,
 }
 
-impl NodePageStream<'_> {
-    /// Applies one `SearchPage`, whichever request produced it.
+/// A hedge loser still owed a reply: its receiver plus what's needed to
+/// close the session it may open.
+struct LoserSession {
+    rx: crossbeam::channel::Receiver<Response>,
+    rpc: Rpc,
+    node: NodeId,
+}
+
+/// The process-wide reaper that drains hedge losers and closes their
+/// sessions. One long-lived thread instead of a spawn per hedge: thread
+/// creation would land on the critical path of the winning open, and
+/// best-effort cleanup tolerates the queueing.
+fn loser_reaper() -> &'static crossbeam::channel::Sender<LoserSession> {
+    static REAPER: std::sync::OnceLock<crossbeam::channel::Sender<LoserSession>> =
+        std::sync::OnceLock::new();
+    REAPER.get_or_init(|| {
+        let (tx, rx) = crossbeam::channel::unbounded::<LoserSession>();
+        std::thread::spawn(move || {
+            while let Ok(loser) = rx.recv() {
+                if let Ok(Response::SearchPage { session, exhausted, .. }) =
+                    loser.rx.recv_timeout(std::time::Duration::from_secs(31))
+                {
+                    if !exhausted && session != 0 {
+                        let _ = loser.rpc.call(loser.node, Request::CloseSearch { session });
+                    }
+                }
+            }
+        });
+        tx
+    })
+}
+
+impl NodePageStream {
+    /// The open request resuming after the last yielded hit, asking only
+    /// for the remaining entitlement.
+    fn open_request(&self) -> Request {
+        let mut request = self.request.clone();
+        if let Some(resume) = &self.resume {
+            request.cursor = Some(resume.clone());
+        }
+        request.limit = request.limit.map(|k| k.saturating_sub(self.yielded));
+        Request::OpenSearch {
+            acgs: self.acgs.clone(),
+            request,
+            client: self.client,
+            page: self.page,
+            now: self.now,
+        }
+    }
+
+    /// Performs the initial open, once (idempotent). Parallel-friendly:
+    /// `open_cluster_stream` fans these out across a thread scope.
+    fn ensure_open(&mut self) {
+        if self.opened {
+            return;
+        }
+        self.opened = true;
+        self.open_session(false);
+    }
+
+    /// Opens (or re-opens) the session on the first live replica at or
+    /// after `current`, cycling through the set and marking members that
+    /// fail as dead. `counts_as_failover` distinguishes a mid-stream
+    /// failover (the previous session's node died) from the initial open.
+    fn open_session(&mut self, counts_as_failover: bool) {
+        // Each failed attempt marks at least `current` dead, so this
+        // terminates after at most `replicas.len()` opens.
+        while let Some(idx) = self.first_live_at_or_after(self.current) {
+            self.current = idx;
+            if self.try_open_hedged() {
+                if counts_as_failover {
+                    self.stats.replica_failovers += 1;
+                }
+                self.error = None;
+                return;
+            }
+        }
+        if self.error.is_none() {
+            self.error = Some(Error::Rpc("no live replica".to_string()));
+        }
+    }
+
+    /// The first live replica slot at or cyclically after `from`.
+    fn first_live_at_or_after(&self, from: usize) -> Option<usize> {
+        (0..self.replicas.len())
+            .map(|step| (from + step) % self.replicas.len())
+            .find(|&idx| !self.dead[idx])
+    }
+
+    /// One open attempt against `current`, hedged when a budget is set:
+    /// if the open misses the budget, a duplicate goes to the next live
+    /// replica and the first `SearchPage` wins (the loser's session is
+    /// closed by a detached cleanup thread). Returns whether a page was
+    /// accepted; on failure `current`'s slot is marked dead and `error`
+    /// holds the failure.
+    fn try_open_hedged(&mut self) -> bool {
+        let backup = self.next_live_after(self.current);
+        let (budget, backup) = match (self.hedge, backup) {
+            (Some(budget), Some(backup)) => (budget, backup),
+            _ => return self.try_open_sync(),
+        };
+        let primary_rx = match self.rpc.call_async(self.replicas[self.current], self.open_request())
+        {
+            Ok(rx) => rx,
+            Err(e) => {
+                self.dead[self.current] = true;
+                self.error = Some(e);
+                return false;
+            }
+        };
+        match primary_rx.recv_timeout(budget) {
+            Ok(response) => return self.accept_open_response(self.current, response),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                self.dead[self.current] = true;
+                self.error = Some(Error::NodeUnavailable(self.replicas[self.current]));
+                return false;
+            }
+        }
+        // Budget missed: fire the tied request. Both opens race into one
+        // merged channel; the first SearchPage wins and the loser is
+        // closed off-thread. Replicas hold byte-identical committed
+        // views, so correctness never depends on who wins.
+        self.stats.hedges_fired += 1;
+        let backup_rx = match self.rpc.call_async(self.replicas[backup], self.open_request()) {
+            Ok(rx) => rx,
+            Err(_) => {
+                // Backup unreachable: fall back to waiting out the
+                // original open alone.
+                return match primary_rx.recv() {
+                    Ok(response) => self.accept_open_response(self.current, response),
+                    Err(_) => {
+                        self.dead[self.current] = true;
+                        self.error = Some(Error::NodeUnavailable(self.replicas[self.current]));
+                        false
+                    }
+                };
+            }
+        };
+        // Race the two receivers by polling — the channel shim has no
+        // select, and relay threads would put thread-spawn latency on the
+        // critical path of exactly the opens hedging is meant to keep
+        // fast. The backup usually answers within a poll or two.
+        let mut slots = vec![(self.current, primary_rx), (backup, backup_rx)];
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while !slots.is_empty() && std::time::Instant::now() < deadline {
+            let mut i = 0;
+            while i < slots.len() {
+                match slots[i].1.try_recv() {
+                    Ok(Response::SearchPage { session, hits, stats, exhausted }) => {
+                        let idx = slots[i].0;
+                        if idx != self.current {
+                            self.stats.hedges_won += 1;
+                            self.current = idx;
+                        }
+                        self.accept_page(session, hits, stats, exhausted);
+                        slots.remove(i);
+                        // The loser may still answer with its own
+                        // session: hand it to the shared reaper so this
+                        // search isn't stalled by a slow loser and no
+                        // session leaks.
+                        if let Some((loser, loser_rx)) = slots.pop() {
+                            let _ = loser_reaper().send(LoserSession {
+                                rx: loser_rx,
+                                rpc: self.rpc.clone(),
+                                node: self.replicas[loser],
+                            });
+                        }
+                        return true;
+                    }
+                    Ok(other) => {
+                        // This replica failed its open; keep waiting for
+                        // the other one.
+                        let idx = slots[i].0;
+                        self.dead[idx] = true;
+                        self.error = Some(Error::Rpc(format!("unexpected response {other:?}")));
+                        slots.remove(i);
+                    }
+                    Err(std::sync::mpsc::TryRecvError::Empty) => i += 1,
+                    Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                        let idx = slots[i].0;
+                        self.dead[idx] = true;
+                        self.error = Some(Error::NodeUnavailable(self.replicas[idx]));
+                        slots.remove(i);
+                    }
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+        // Both opens died without a page.
+        self.dead[self.current] = true;
+        self.dead[backup] = true;
+        if self.error.is_none() {
+            self.error = Some(Error::NodeUnavailable(self.replicas[self.current]));
+        }
+        false
+    }
+
+    /// The plain unhedged open against `current`.
+    fn try_open_sync(&mut self) -> bool {
+        match self.rpc.call(self.replicas[self.current], self.open_request()) {
+            Ok(response) => self.accept_open_response(self.current, response),
+            Err(e) => {
+                self.dead[self.current] = true;
+                self.error = Some(e);
+                false
+            }
+        }
+    }
+
+    /// Applies an open's response from replica slot `idx`.
+    fn accept_open_response(&mut self, idx: usize, response: Response) -> bool {
+        match response {
+            Response::SearchPage { session, hits, stats, exhausted } => {
+                self.accept_page(session, hits, stats, exhausted);
+                true
+            }
+            other => {
+                self.dead[idx] = true;
+                self.error = Some(Error::Rpc(format!("unexpected response {other:?}")));
+                false
+            }
+        }
+    }
+
+    /// The first live replica slot strictly after `from` (cyclically),
+    /// excluding `from` itself.
+    fn next_live_after(&self, from: usize) -> Option<usize> {
+        (1..self.replicas.len())
+            .map(|step| (from + step) % self.replicas.len())
+            .find(|&idx| !self.dead[idx])
+    }
+
+    /// Applies one `SearchPage`, whichever request produced it, growing
+    /// the page size when adaptive sizing is on — a group that keeps
+    /// winning the merge amortizes its round trips.
     fn accept_page(&mut self, session: u64, hits: Vec<Hit>, stats: SearchStats, exhausted: bool) {
         self.stats.absorb(stats);
         self.session = if exhausted { 0 } else { session };
         self.exhausted = exhausted;
         self.buffer = hits.into_iter();
+        if let Some(max) = self.adaptive_max {
+            self.page = (self.page * 2).min(max);
+        }
     }
 
     /// Closes the node-side session if one is still open, returning the
@@ -847,14 +1255,15 @@ impl NodePageStream<'_> {
         if self.session == 0 || self.exhausted {
             return None;
         }
-        match self.rpc.call(self.node, Request::CloseSearch { session: self.session }) {
+        let close = Request::CloseSearch { session: self.session };
+        match self.rpc.call(self.replicas[self.current], close) {
             Ok(Response::SearchClosed { stats }) => Some(stats),
             _ => None,
         }
     }
 }
 
-impl Iterator for NodePageStream<'_> {
+impl Iterator for NodePageStream {
     type Item = Hit;
 
     fn next(&mut self) -> Option<Hit> {
@@ -868,49 +1277,168 @@ impl Iterator for NodePageStream<'_> {
                 return None;
             }
             let pull = Request::PullHits { session: self.session, page: self.page };
-            match self.rpc.call(self.node, pull) {
+            match self.rpc.call(self.replicas[self.current], pull) {
                 Ok(Response::SearchPage { session, hits, stats, exhausted }) => {
                     self.accept_page(session, hits, stats, exhausted);
                 }
                 Err(Error::SearchSessionExpired { .. }) if self.reopens < MAX_SESSION_REOPENS => {
-                    // The node evicted us (LRU or per-client cap): reopen,
-                    // resuming strictly after the last hit we saw. Every
-                    // reopen ships a page, so this always makes progress.
+                    // The node evicted us (LRU or per-client cap), but is
+                    // alive: reopen on the *same* node, resuming strictly
+                    // after the last hit we saw. Every reopen ships a
+                    // page, so this always makes progress.
                     self.reopens += 1;
-                    let mut request = self.request.clone();
-                    if let Some(resume) = &self.resume {
-                        request.cursor = Some(resume.clone());
-                    }
-                    request.limit = request.limit.map(|k| k.saturating_sub(self.yielded));
-                    let open = Request::OpenSearch {
-                        acgs: self.acgs.clone(),
-                        request,
-                        client: self.client,
-                        page: self.page,
-                        now: self.now,
-                    };
-                    match self.rpc.call(self.node, open) {
-                        Ok(Response::SearchPage { session, hits, stats, exhausted }) => {
-                            self.accept_page(session, hits, stats, exhausted);
-                        }
-                        Ok(other) => {
-                            self.error = Some(Error::Rpc(format!("unexpected response {other:?}")));
-                            return None;
-                        }
-                        Err(e) => {
-                            self.error = Some(e);
-                            return None;
-                        }
+                    if !self.try_open_sync() {
+                        return None;
                     }
                 }
                 Ok(other) => {
                     self.error = Some(Error::Rpc(format!("unexpected response {other:?}")));
                     return None;
                 }
-                Err(e) => {
-                    self.error = Some(e);
-                    return None;
+                Err(_) => {
+                    // The serving replica died mid-stream: fail the
+                    // session over to the next live member, resuming
+                    // after the last hit yielded. Byte-identical replicas
+                    // make the spliced stream exact — no skips, no dups.
+                    self.dead[self.current] = true;
+                    self.session = 0;
+                    self.open_session(true);
+                    if self.error.is_some() {
+                        return None;
+                    }
                 }
+            }
+        }
+    }
+}
+
+/// A **persistent** cluster-wide search stream: one open session per
+/// replica group, a running k-way merge, and the caller in control of
+/// page cadence. Produced by [`FileQueryEngine::open_search_stream`];
+/// [`FileQueryEngine::search_streamed`] is the one-page special case.
+///
+/// Sessions stay open between [`ClusterSearchStream::next_page`] calls,
+/// so paginating `p` pages deep costs O(p) node pulls in total — not the
+/// O(p) fresh cursor searches (each re-skipping everything before its
+/// cursor) that re-issuing `search_streamed` per page would cost.
+pub struct ClusterSearchStream {
+    sources: Vec<NodePageStream>,
+    merger: HitMerger,
+    fan_out: FanOutPolicy,
+    /// Source indices that failed (open- or stream-time).
+    failed: Vec<usize>,
+    clock: Arc<dyn Clock>,
+    started: Timestamp,
+    finished: bool,
+}
+
+impl ClusterSearchStream {
+    /// Draws up to `n` more hits from the cluster-wide merge, in request
+    /// sort order, continuing exactly where the previous page stopped.
+    /// An empty page means the merge is done (every source exhausted or
+    /// the request's `limit` reached).
+    ///
+    /// # Errors
+    ///
+    /// Under [`FanOutPolicy::RequireAll`], a replica group losing its
+    /// every member mid-stream fails the search (all sessions are closed
+    /// first). Under [`FanOutPolicy::AllowPartial`] the failure is
+    /// recorded and surfaces in [`ClusterSearchStream::finish`].
+    pub fn next_page(&mut self, n: usize) -> Result<Vec<Hit>> {
+        let mut hits = Vec::new();
+        while hits.len() < n {
+            match self.merger.next_hit(&mut self.sources) {
+                Some(hit) => hits.push(hit),
+                None => break,
+            }
+        }
+        // Sources that ran out of replicas park their error; apply the
+        // fan-out policy now so RequireAll callers fail fast.
+        for idx in 0..self.sources.len() {
+            if self.sources[idx].error.is_some() && !self.failed.contains(&idx) {
+                if matches!(self.fan_out, FanOutPolicy::RequireAll) {
+                    let err = self.sources[idx].error.take().expect("just checked");
+                    for source in &self.sources {
+                        source.close_best_effort();
+                    }
+                    self.finished = true;
+                    return Err(err);
+                }
+                self.failed.push(idx);
+            }
+        }
+        Ok(hits)
+    }
+
+    /// Closes every live session and renders the final verdict: absorbed
+    /// stats, the quorum check, and — with `R > 1` — `complete: false`
+    /// **only when every replica of some ACG was unreachable**; the
+    /// `unreachable` list names those ACGs (not nodes — with replication
+    /// a dead node is not information the caller can act on).
+    ///
+    /// The returned response carries no hits (`next_page` already
+    /// delivered them) and no cursor; [`FileQueryEngine::search_streamed`]
+    /// fills both for the classic one-call path.
+    ///
+    /// # Errors
+    ///
+    /// Under [`FanOutPolicy::AllowPartial { min_nodes }`], fewer than
+    /// `min_nodes` answering replica groups returns the first recorded
+    /// group error.
+    pub fn finish(mut self) -> Result<SearchResponse> {
+        self.finished = true;
+        let mut stats = SearchStats::default();
+        let mut answered = 0usize;
+        let mut unreachable: Vec<AcgId> = Vec::new();
+        let mut first_error: Option<Error> = None;
+        for (idx, source) in self.sources.iter_mut().enumerate() {
+            stats.absorb(std::mem::take(&mut source.stats));
+            if self.failed.contains(&idx) {
+                if let Some(e) = source.error.take() {
+                    first_error.get_or_insert(e);
+                }
+                unreachable.extend(source.acgs.iter().copied());
+            } else {
+                answered += 1;
+                // Close the session where it stands; the node reports
+                // what streaming saved it from shipping.
+                if let Some(close_stats) = source.close_best_effort() {
+                    stats.absorb(close_stats);
+                }
+            }
+        }
+        if let FanOutPolicy::AllowPartial { min_nodes } = self.fan_out {
+            if !self.failed.is_empty() && answered < min_nodes {
+                return Err(first_error.unwrap_or_else(|| {
+                    Error::Rpc(format!(
+                        "partial search needs {min_nodes} answering nodes, got {answered}"
+                    ))
+                }));
+            }
+        }
+        unreachable.sort_unstable();
+        // Pulls beyond the parallel opens are issued sequentially by the
+        // merge, so the max-of-round-trips the absorbs accumulated is NOT
+        // what the caller waited for — overwrite with the true wall time.
+        stats.elapsed = self.clock.now().since(self.started);
+        Ok(SearchResponse {
+            complete: unreachable.is_empty(),
+            unreachable,
+            hits: Vec::new(),
+            stats,
+            cursor: None,
+        })
+    }
+}
+
+impl Drop for ClusterSearchStream {
+    /// A stream abandoned without [`ClusterSearchStream::finish`] still
+    /// closes its node-side sessions, so no slot squats a session table
+    /// until LRU eviction.
+    fn drop(&mut self) {
+        if !self.finished {
+            for source in &self.sources {
+                source.close_best_effort();
             }
         }
     }

@@ -43,6 +43,18 @@ pub struct ClusterConfig {
     /// Per-group snapshot trigger: ops logged since the last snapshot (see
     /// [`IndexNodeConfig::snapshot_wal_ops`]).
     pub snapshot_wal_ops: u64,
+    /// Replication factor R: every ACG lives on R distinct Index Nodes
+    /// (clamped to the cluster size). The first replica is the primary —
+    /// clients write through it and ship the committed WAL frame to the
+    /// followers — and searches fail over across the set. `1` (the
+    /// default) reproduces the unreplicated cluster exactly.
+    pub replication: usize,
+    /// Client-side latency budget for streamed search opens: past it the
+    /// client **hedges** — fires a tied duplicate request at the next
+    /// live replica and takes the first answer (paper-adjacent tail
+    /// tolerance; needs `replication >= 2` to have anywhere to hedge).
+    /// `None` (the default) never hedges.
+    pub hedge_budget: Option<Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -58,6 +70,8 @@ impl Default for ClusterConfig {
             max_search_sessions: 1024,
             data_dir: None,
             snapshot_wal_ops: 10_000,
+            replication: 1,
+            hedge_budget: None,
         }
     }
 }
@@ -119,6 +133,7 @@ impl Cluster {
                 MasterConfig {
                     group_capacity: config.group_capacity,
                     split_threshold: config.split_threshold,
+                    replication: config.replication,
                     ..MasterConfig::default()
                 },
             )
@@ -165,14 +180,19 @@ impl Cluster {
         }
     }
 
-    /// A new client handle.
+    /// A new client handle. Inherits the cluster's hedge budget, if any
+    /// ([`ClusterConfig::hedge_budget`]).
     pub fn client(&self) -> FileQueryEngine {
-        FileQueryEngine::new(
+        let engine = FileQueryEngine::new(
             self.rpc.clone(),
             self.master,
             self.index_nodes.clone(),
             self.clock.clone(),
-        )
+        );
+        match self.config.hedge_budget {
+            Some(budget) => engine.with_hedge_budget(budget),
+            None => engine,
+        }
     }
 
     /// The fabric handle (tests and benches).
@@ -253,11 +273,25 @@ impl Cluster {
                 self.rpc.call(self.master, Request::Heartbeat { node, acgs, now })?;
             }
         }
-        // 3: splits.
+        // 3: splits. The split runs on the source primary; the moved half
+        // is installed on EVERY replica of the new ACG (identical frames
+        // in identical order, so the targets end bit-identical), and the
+        // source's followers are re-synced so the extraction's remove
+        // frame reaches them too — the replica sets stay aligned through
+        // the split.
         let work = match self.rpc.call(self.master, Request::TakeSplitWork)? {
             Response::SplitWork(work) => work,
             other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
         };
+        let replica_sets: std::collections::HashMap<propeller_types::AcgId, Vec<NodeId>> =
+            if work.is_empty() {
+                Default::default()
+            } else {
+                match self.rpc.call(self.master, Request::LocateAcgs)? {
+                    Response::Located(rows) => rows.into_iter().collect(),
+                    other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+                }
+            };
         let mut done = 0;
         for (acg, owner) in work {
             let (left, right) = match self.rpc.call(owner, Request::SplitAcg { acg })? {
@@ -268,7 +302,7 @@ impl Cluster {
             if left.is_empty() || right.is_empty() {
                 continue;
             }
-            let (new_acg, target) = match self.rpc.call(self.master, Request::AllocateAcg)? {
+            let (new_acg, targets) = match self.rpc.call(self.master, Request::AllocateAcg)? {
                 Response::AcgAllocated(a, n) => (a, n),
                 other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
             };
@@ -279,14 +313,99 @@ impl Cluster {
                 Response::AcgPart { records, edges } => (records, edges),
                 other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
             };
-            self.rpc.call(target, Request::InstallAcg { acg: new_acg, records, edges })?;
+            for &target in &targets {
+                let install = Request::InstallAcg {
+                    acg: new_acg,
+                    records: records.clone(),
+                    edges: edges.clone(),
+                };
+                self.rpc.call(target, install)?;
+            }
+            // Ship the extraction's remove frame to the source's
+            // followers (best-effort: a dead follower re-syncs on
+            // revival).
+            if let Some(set) = replica_sets.get(&acg) {
+                for &follower in set.iter().filter(|&&n| n != owner) {
+                    let _ = self.sync_follower(owner, follower, acg, now);
+                }
+            }
             self.rpc.call(
                 self.master,
-                Request::CommitSplit { acg, kept: left, new_acg, moved: right, target },
+                Request::CommitSplit { acg, kept: left, new_acg, moved: right, targets },
             )?;
             done += 1;
         }
         Ok(done)
+    }
+
+    /// Brings `follower`'s copy of `acg` up to date with `source`'s:
+    /// asks the follower where its log ends, then replays the source's
+    /// WAL tail (or a snapshot seed) through the coordinator.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either node is unreachable or answers out of protocol.
+    fn sync_follower(
+        &self,
+        source: NodeId,
+        follower: NodeId,
+        acg: propeller_types::AcgId,
+        now: propeller_types::Timestamp,
+    ) -> Result<u64> {
+        let have = match self.rpc.call(follower, Request::AcgLsns)? {
+            Response::AcgLsnReport(rows) => {
+                rows.into_iter().find(|(a, _)| *a == acg).map(|(_, lsn)| lsn).unwrap_or(0)
+            }
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        crate::client::sync_replica(&self.rpc, source, follower, acg, have, now)
+    }
+
+    /// Catches a node up with its replica peers: for every ACG the node
+    /// hosts, finds the peer holding the highest LSN and replays the tail
+    /// (or seeds a snapshot) into the node. Run after
+    /// [`Cluster::revive_index_node`] — a revived node rejoins with
+    /// whatever its durable state held (nothing, in memory mode) and this
+    /// closes the gap to the writes it missed while dead. Best-effort per
+    /// ACG: an unreachable peer just means that ACG stays stale until the
+    /// next catch-up.
+    ///
+    /// Returns the number of ACGs synced.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the Master is unreachable.
+    pub fn catch_up_node(&self, id: NodeId) -> Result<usize> {
+        let now = self.clock.now();
+        let rows = match self.rpc.call(self.master, Request::LocateAcgs)? {
+            Response::Located(rows) => rows,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        let mut synced = 0;
+        for (acg, replicas) in rows {
+            if !replicas.contains(&id) {
+                continue;
+            }
+            // Sync from the peer with the longest log — with one client
+            // writing through the primary all live peers agree, but after
+            // cascaded failures the longest log is the freshest.
+            let mut best: Option<(NodeId, u64)> = None;
+            for &peer in replicas.iter().filter(|&&n| n != id) {
+                if let Ok(Response::AcgLsnReport(rows)) = self.rpc.call(peer, Request::AcgLsns) {
+                    let lsn =
+                        rows.into_iter().find(|(a, _)| *a == acg).map(|(_, l)| l).unwrap_or(0);
+                    if best.map(|(_, b)| lsn > b).unwrap_or(true) {
+                        best = Some((peer, lsn));
+                    }
+                }
+            }
+            if let Some((peer, _)) = best {
+                if self.sync_follower(peer, id, acg, now).is_ok() {
+                    synced += 1;
+                }
+            }
+        }
+        Ok(synced)
     }
 
     /// Stops every node thread and waits for them.
@@ -335,8 +454,99 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert_eq!(located.len(), 10);
-        let nodes: std::collections::HashSet<NodeId> = located.iter().map(|(_, n)| *n).collect();
+        let nodes: std::collections::HashSet<NodeId> =
+            located.iter().map(|(_, replicas)| replicas[0]).collect();
         assert!(nodes.len() >= 3, "load should spread: {nodes:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn replicated_cluster_indexes_and_searches() {
+        let cluster =
+            Cluster::start(ClusterConfig { index_nodes: 4, replication: 2, ..Default::default() });
+        let mut client = cluster.client();
+        client.index_files((0..100).map(|i| record(i, i)).collect()).unwrap();
+        assert_eq!(client.search_text("size>16m").unwrap().len(), 83);
+        // Every ACG reports two distinct replicas.
+        let located = match cluster.rpc().call(cluster.master_id(), Request::LocateAcgs) {
+            Ok(Response::Located(rows)) => rows,
+            other => panic!("{other:?}"),
+        };
+        for (acg, replicas) in located {
+            assert_eq!(replicas.len(), 2, "{acg:?} should have 2 replicas: {replicas:?}");
+            assert_ne!(replicas[0], replicas[1]);
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn replicated_split_keeps_both_replicas_aligned() {
+        let cluster = Cluster::start(ClusterConfig {
+            index_nodes: 3,
+            replication: 2,
+            group_capacity: 1000,
+            split_threshold: 50,
+            ..Default::default()
+        });
+        let mut client = cluster.client();
+        client.index_files((0..120).map(|i| record(i, 1)).collect()).unwrap();
+        let splits = cluster.run_maintenance().unwrap();
+        assert!(splits >= 1, "expected at least one split, got {splits}");
+        // All files still searchable, through primaries or followers.
+        assert_eq!(client.search_text("size>0").unwrap().len(), 120);
+        // Every replica of every ACG — the split source that shed files
+        // and the new ACG installed on fresh targets — must serve the
+        // exact same hit list: the split may not desync the sets.
+        let located = match cluster.rpc().call(cluster.master_id(), Request::LocateAcgs) {
+            Ok(Response::Located(rows)) => rows,
+            other => panic!("{other:?}"),
+        };
+        let now = cluster.clock.now();
+        let request = propeller_query::SearchRequest::parse("size>0", now).unwrap();
+        for (acg, replicas) in located {
+            assert_eq!(replicas.len(), 2, "{acg:?}: {replicas:?}");
+            let answers: Vec<Vec<propeller_types::FileId>> = replicas
+                .iter()
+                .map(|&node| {
+                    let req = Request::Search { acgs: vec![acg], request: request.clone(), now };
+                    match cluster.rpc().call(node, req) {
+                        Ok(Response::SearchHits { hits, .. }) => {
+                            hits.into_iter().map(|h| h.file).collect()
+                        }
+                        other => panic!("{other:?}"),
+                    }
+                })
+                .collect();
+            assert_eq!(answers[0], answers[1], "{acg:?} replicas diverged after the split");
+            assert!(!answers[0].is_empty() || answers[1].is_empty());
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn catch_up_closes_the_gap_after_a_revival() {
+        let mut cluster =
+            Cluster::start(ClusterConfig { index_nodes: 2, replication: 2, ..Default::default() });
+        let mut client = cluster.client();
+        // group_capacity 1000 keeps all 100 files in one ACG, so there is
+        // exactly one primary and one follower.
+        client.index_files((0..50).map(|i| record(i, 10)).collect()).unwrap();
+        let located = match cluster.rpc().call(cluster.master_id(), Request::LocateAcgs) {
+            Ok(Response::Located(rows)) => rows,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(located.len(), 1, "one ACG expected: {located:?}");
+        let (primary, follower) = (located[0].1[0], located[0].1[1]);
+        // Kill the follower and keep writing through the live primary:
+        // the follower misses those frames.
+        cluster.rpc().deregister(follower);
+        client.index_files((50..100).map(|i| record(i, 10)).collect()).unwrap();
+        cluster.revive_index_node(follower);
+        let synced = cluster.catch_up_node(follower).unwrap();
+        assert_eq!(synced, 1, "the revived follower should sync its one ACG");
+        // Kill the primary: the caught-up follower must hold everything.
+        cluster.rpc().deregister(primary);
+        assert_eq!(client.search_text("size>1m").unwrap().len(), 100);
         cluster.shutdown();
     }
 

@@ -576,6 +576,7 @@ impl IndexNode {
                 if let Err(e) = group.enqueue_batch(ops, now) {
                     return Response::Err(e);
                 }
+                let lsn = group.last_lsn();
                 // Durability point: a durable node acknowledges a batch
                 // only once its frame is on stable storage.
                 if group.is_durable() {
@@ -584,7 +585,104 @@ impl IndexNode {
                     }
                     Self::maybe_snapshot(group, ops_thr, bytes_thr, now);
                 }
-                Response::Ok
+                Response::BatchLogged { lsn }
+            }
+            Request::ReplicateBatch { acg, lsn, ops, now } => {
+                // No stale-route check here: the primary already validated
+                // the batch's routes when it logged the frame; a replicated
+                // frame must apply verbatim or replicas diverge.
+                self.ops_received += ops.len() as u64;
+                let (ops_thr, bytes_thr) =
+                    (self.config.snapshot_wal_ops, self.config.snapshot_wal_bytes);
+                let group = match self.group_mut(acg) {
+                    Ok(group) => group,
+                    Err(e) => return Response::Err(e),
+                };
+                let have = group.last_lsn();
+                if lsn <= have {
+                    // Duplicate delivery (sender retry): already applied.
+                    return Response::ReplicaApplied { lsn: have };
+                }
+                if lsn > have + 1 {
+                    // Applying out of order would silently skip frames;
+                    // make the sender run catch-up first.
+                    return Response::ReplicaLagging { lsn: have };
+                }
+                if let Err(e) = group.enqueue_batch(ops, now) {
+                    return Response::Err(e);
+                }
+                if group.is_durable() {
+                    if let Err(e) = group.sync_wal() {
+                        return Response::Err(e);
+                    }
+                }
+                // Followers commit eagerly: a replica is only useful if a
+                // failover search finds the acknowledged frames in it, and
+                // the commit also keeps `applied == logged` so the ack LSN
+                // reflects searchable state.
+                if let Err(e) = group.commit(now) {
+                    return Response::Err(e);
+                }
+                if group.is_durable() {
+                    Self::maybe_snapshot(group, ops_thr, bytes_thr, now);
+                }
+                Response::ReplicaApplied { lsn: group.last_lsn() }
+            }
+            Request::FetchAcgFrames { acg, after_lsn, now } => {
+                let Some(group) = self.groups.get_mut(&acg) else {
+                    return Response::Err(Error::AcgNotFound(acg));
+                };
+                let group = Self::exclusive(group);
+                if group.can_ship_frames_after(after_lsn) {
+                    match group.wal_frames_after(after_lsn) {
+                        Ok(frames) => Response::AcgFrames(frames),
+                        Err(e) => Response::Err(e),
+                    }
+                } else {
+                    // The WAL no longer reaches back to `after_lsn`
+                    // (truncated by commit or snapshot): fall back to a
+                    // full seed. Commit first so the record set reflects
+                    // every logged frame and the seed LSN is exact.
+                    if let Err(e) = group.commit(now) {
+                        return Response::Err(e);
+                    }
+                    Response::AcgSeed {
+                        lsn: group.last_lsn(),
+                        records: group.records().cloned().collect(),
+                    }
+                }
+            }
+            Request::SeedAcg { acg, lsn, records, now } => {
+                // Seeded files live here now: clear their tombstones (same
+                // rule as InstallAcg) or a revival would reject valid
+                // batches forever.
+                if let Some(moved) = self.moved_away.get_mut(&acg) {
+                    let before = moved.len();
+                    for record in &records {
+                        moved.remove(&record.file);
+                    }
+                    let changed = moved.len() != before;
+                    if moved.is_empty() {
+                        self.moved_away.remove(&acg);
+                    }
+                    if changed {
+                        self.persist_tombstones();
+                    }
+                }
+                let group = match self.group_mut(acg) {
+                    Ok(group) => group,
+                    Err(e) => return Response::Err(e),
+                };
+                match group.install_seed(records, lsn, now) {
+                    Ok(()) => Response::ReplicaApplied { lsn },
+                    Err(e) => Response::Err(e),
+                }
+            }
+            Request::AcgLsns => {
+                let mut rows: Vec<(AcgId, u64)> =
+                    self.groups.iter().map(|(&acg, g)| (acg, g.last_lsn())).collect();
+                rows.sort();
+                Response::AcgLsnReport(rows)
             }
             Request::Search { acgs, request, now } => {
                 self.searches_served += 1;
@@ -1176,7 +1274,7 @@ mod tests {
             ops: vec![IndexOp::Upsert(rec(5, 1 << 20))],
             now: t(1),
         });
-        assert!(matches!(resp, Response::Ok), "{resp:?}");
+        assert!(matches!(resp, Response::BatchLogged { .. }), "{resp:?}");
     }
 
     #[test]
@@ -1230,7 +1328,7 @@ mod tests {
         // accepted again (degrades to pre-tombstone behaviour)...
         let resp =
             n.handle(Request::IndexBatch { acg, ops: vec![IndexOp::Upsert(rec(0, 1))], now: t(1) });
-        assert!(matches!(resp, Response::Ok), "{resp:?}");
+        assert!(matches!(resp, Response::BatchLogged { .. }), "{resp:?}");
         // ...while the newest are still rejected.
         let resp =
             n.handle(Request::IndexBatch { acg, ops: vec![IndexOp::Upsert(rec(9, 1))], now: t(1) });
@@ -1702,7 +1800,7 @@ mod tests {
             ops: vec![IndexOp::Upsert(rec(5, 1 << 20))],
             now: t(1),
         });
-        assert!(matches!(resp, Response::Ok), "{resp:?}");
+        assert!(matches!(resp, Response::BatchLogged { .. }), "{resp:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1737,7 +1835,10 @@ mod tests {
             ops: vec![IndexOp::Upsert(rec(7, 1))],
             now: t(1),
         });
-        assert!(matches!(resp, Response::Ok), "re-installed file must index: {resp:?}");
+        assert!(
+            matches!(resp, Response::BatchLogged { .. }),
+            "re-installed file must index: {resp:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1753,7 +1854,147 @@ mod tests {
             ops: vec![IndexOp::Upsert(rec(1, 1))],
             now: t(0),
         });
-        assert!(matches!(resp, Response::Ok), "corrupt image must not poison the node: {resp:?}");
+        assert!(
+            matches!(resp, Response::BatchLogged { .. }),
+            "corrupt image must not poison the node: {resp:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Replays every batch a primary acknowledged onto a follower node via
+    /// the replication protocol, asserting the LSNs align.
+    fn replicate_batch(
+        primary: &mut IndexNode,
+        follower: &mut IndexNode,
+        acg: AcgId,
+        ops: Vec<IndexOp>,
+        now: Timestamp,
+    ) {
+        let lsn = match primary.handle(Request::IndexBatch { acg, ops: ops.clone(), now }) {
+            Response::BatchLogged { lsn } => lsn,
+            other => panic!("{other:?}"),
+        };
+        match follower.handle(Request::ReplicateBatch { acg, lsn, ops, now }) {
+            Response::ReplicaApplied { lsn: applied } => assert_eq!(applied, lsn),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn replicated_batches_keep_follower_search_identical() {
+        let mut primary = node();
+        let mut follower = IndexNode::new(NodeId::new(2), IndexNodeConfig::default());
+        let acg = AcgId::new(1);
+        for round in 0..5u64 {
+            let ops: Vec<IndexOp> = (0..10)
+                .map(|i| IndexOp::Upsert(rec(round * 10 + i, (round * 10 + i) << 20)))
+                .collect();
+            replicate_batch(&mut primary, &mut follower, acg, ops, t(round));
+        }
+        let on_primary = search(&mut primary, vec![acg], "size>16m");
+        let on_follower = search(&mut follower, vec![acg], "size>16m");
+        assert_eq!(on_primary, on_follower, "replicas must answer bit-identically");
+        assert!(!on_primary.is_empty());
+    }
+
+    #[test]
+    fn duplicate_and_gapped_frames_are_handled() {
+        let mut follower = IndexNode::new(NodeId::new(2), IndexNodeConfig::default());
+        let acg = AcgId::new(1);
+        let ops = vec![IndexOp::Upsert(rec(1, 1))];
+        // First frame applies...
+        assert!(matches!(
+            follower.handle(Request::ReplicateBatch { acg, lsn: 1, ops: ops.clone(), now: t(0) }),
+            Response::ReplicaApplied { lsn: 1 }
+        ));
+        // ...a duplicate re-delivery acks without re-applying...
+        assert!(matches!(
+            follower.handle(Request::ReplicateBatch { acg, lsn: 1, ops: ops.clone(), now: t(0) }),
+            Response::ReplicaApplied { lsn: 1 }
+        ));
+        // ...and a gap is refused with the follower's actual position.
+        assert!(matches!(
+            follower.handle(Request::ReplicateBatch { acg, lsn: 5, ops, now: t(0) }),
+            Response::ReplicaLagging { lsn: 1 }
+        ));
+    }
+
+    #[test]
+    fn lagging_follower_catches_up_from_a_seed() {
+        let mut primary = node();
+        let mut follower = IndexNode::new(NodeId::new(2), IndexNodeConfig::default());
+        let acg = AcgId::new(1);
+        // The primary logs and commits three batches the follower missed
+        // entirely (in-memory WALs truncate on commit, so frames are gone).
+        for round in 0..3u64 {
+            primary.handle(Request::IndexBatch {
+                acg,
+                ops: (0..5).map(|i| IndexOp::Upsert(rec(round * 5 + i, (i + 1) << 20))).collect(),
+                now: t(round),
+            });
+        }
+        search(&mut primary, vec![acg], "size>0"); // force a commit
+        let (lsn, records) =
+            match primary.handle(Request::FetchAcgFrames { acg, after_lsn: 0, now: t(10) }) {
+                Response::AcgSeed { lsn, records } => (lsn, records),
+                other => panic!("expected seed from a truncated in-memory WAL: {other:?}"),
+            };
+        assert_eq!(lsn, 3, "three frames were logged");
+        assert_eq!(records.len(), 15);
+        assert!(matches!(
+            follower.handle(Request::SeedAcg { acg, lsn, records, now: t(10) }),
+            Response::ReplicaApplied { lsn: 3 }
+        ));
+        // The follower is aligned: the next frame chains directly.
+        replicate_batch(
+            &mut primary,
+            &mut follower,
+            acg,
+            vec![IndexOp::Upsert(rec(99, 1 << 30))],
+            t(11),
+        );
+        assert_eq!(
+            search(&mut primary, vec![acg], "size>0"),
+            search(&mut follower, vec![acg], "size>0")
+        );
+    }
+
+    #[test]
+    fn durable_primary_ships_frames_for_catch_up() {
+        let dir = temp_dir("repl-frames");
+        let config = IndexNodeConfig { data_dir: Some(dir.clone()), ..IndexNodeConfig::default() };
+        let mut primary = IndexNode::open(NodeId::new(1), config).unwrap();
+        let mut follower = IndexNode::new(NodeId::new(2), IndexNodeConfig::default());
+        let acg = AcgId::new(1);
+        for round in 0..3u64 {
+            primary.handle(Request::IndexBatch {
+                acg,
+                ops: vec![IndexOp::Upsert(rec(round, (round + 1) << 20))],
+                now: t(round),
+            });
+        }
+        let frames = match primary.handle(Request::FetchAcgFrames { acg, after_lsn: 0, now: t(5) })
+        {
+            Response::AcgFrames(frames) => frames,
+            other => panic!("durable WAL must ship frames: {other:?}"),
+        };
+        assert_eq!(frames.len(), 3);
+        for (lsn, payload) in frames {
+            let ops = propeller_index::IndexOp::decode_frame(&payload).unwrap();
+            assert!(matches!(
+                follower.handle(Request::ReplicateBatch { acg, lsn, ops, now: t(5) }),
+                Response::ReplicaApplied { .. }
+            ));
+        }
+        assert_eq!(
+            search(&mut primary, vec![acg], "size>0"),
+            search(&mut follower, vec![acg], "size>0")
+        );
+        let report = match follower.handle(Request::AcgLsns) {
+            Response::AcgLsnReport(rows) => rows,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(report, vec![(acg, 3)]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

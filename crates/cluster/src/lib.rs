@@ -70,7 +70,7 @@ mod messages;
 mod pool;
 mod rpc;
 
-pub use client::FileQueryEngine;
+pub use client::{ClusterSearchStream, FileQueryEngine};
 pub use cluster::{Cluster, ClusterConfig};
 pub use index_node::{IndexNode, IndexNodeConfig};
 pub use master::{MasterConfig, MasterNode, NodeStatus};

@@ -51,6 +51,12 @@ pub struct MasterConfig {
     /// A client further behind than this receives `complete: false` hints
     /// and drops its whole route cache (safe, just less surgical).
     pub split_log_capacity: usize,
+    /// Replicas per ACG (R). Every ACG is placed on R distinct nodes
+    /// (clamped to the cluster size): the first is the primary that
+    /// accepts writes, the rest are followers fed the primary's WAL
+    /// frames. R = 1 (the default) reproduces the unreplicated cluster
+    /// exactly.
+    pub replication: usize,
 }
 
 impl Default for MasterConfig {
@@ -60,6 +66,7 @@ impl Default for MasterConfig {
             split_threshold: 50_000,
             flush_every_heartbeats: 16,
             split_log_capacity: 64,
+            replication: 1,
         }
     }
 }
@@ -71,7 +78,10 @@ pub struct MasterNode {
     config: MasterConfig,
     index_nodes: Vec<NodeId>,
     file_to_acg: HashMap<FileId, AcgId>,
-    acg_to_node: HashMap<AcgId, NodeId>,
+    /// Each ACG's replica set, primary first. Splits and migrations
+    /// replace the whole set; individual nodes are never swapped out of
+    /// it silently, so clients can cache `(acg, replicas)` rows.
+    acg_replicas: HashMap<AcgId, Vec<NodeId>>,
     acg_files: HashMap<AcgId, usize>,
     node_status: HashMap<NodeId, NodeStatus>,
     next_acg: u64,
@@ -96,7 +106,7 @@ impl MasterNode {
             config,
             index_nodes,
             file_to_acg: HashMap::new(),
-            acg_to_node: HashMap::new(),
+            acg_replicas: HashMap::new(),
             acg_files: HashMap::new(),
             node_status: HashMap::new(),
             next_acg: 1,
@@ -117,29 +127,49 @@ impl MasterNode {
         self
     }
 
-    /// The node with the fewest assigned files (placement target).
-    fn least_loaded(&self) -> Option<NodeId> {
+    /// The `r` nodes with the fewest hosted files (replica-set placement
+    /// target), least-loaded first. Load counts every replica a node
+    /// hosts: an ACG's files weigh on all R of its nodes.
+    fn least_loaded(&self, r: usize) -> Vec<NodeId> {
         let mut load: HashMap<NodeId, usize> = self.index_nodes.iter().map(|&n| (n, 0)).collect();
         for (acg, files) in &self.acg_files {
-            if let Some(node) = self.acg_to_node.get(acg) {
+            for node in self.acg_replicas.get(acg).map(Vec::as_slice).unwrap_or(&[]) {
                 *load.entry(*node).or_insert(0) += files;
             }
         }
-        self.index_nodes
-            .iter()
-            .copied()
-            .min_by_key(|n| (load.get(n).copied().unwrap_or(0), n.raw()))
+        let mut ranked = self.index_nodes.clone();
+        ranked.sort_by_key(|n| (load.get(n).copied().unwrap_or(0), n.raw()));
+        ranked.truncate(r);
+        ranked
     }
 
-    fn allocate_acg(&mut self) -> Result<(AcgId, NodeId), Error> {
-        let node = self
-            .least_loaded()
-            .ok_or_else(|| Error::Config("cluster has no index nodes".into()))?;
+    /// The effective replication factor: the configured R, clamped to the
+    /// cluster size (a 2-node cluster cannot hold 3 distinct replicas).
+    fn effective_replication(&self) -> usize {
+        self.config.replication.max(1).min(self.index_nodes.len().max(1))
+    }
+
+    fn allocate_acg(&mut self) -> Result<(AcgId, Vec<NodeId>), Error> {
+        let nodes = self.least_loaded(self.effective_replication());
+        if nodes.is_empty() {
+            return Err(Error::Config("cluster has no index nodes".into()));
+        }
         let acg = AcgId::new(self.next_acg);
         self.next_acg += 1;
-        self.acg_to_node.insert(acg, node);
+        self.acg_replicas.insert(acg, nodes.clone());
         self.acg_files.insert(acg, 0);
-        Ok((acg, node))
+        Ok((acg, nodes))
+    }
+
+    /// The replica sets of every distinct ACG named in `rows`, for the
+    /// [`Response::Resolved`] payload.
+    fn replicas_of(&self, rows: &[(FileId, AcgId, NodeId)]) -> Vec<(AcgId, Vec<NodeId>)> {
+        let mut acgs: Vec<AcgId> = rows.iter().map(|(_, a, _)| *a).collect();
+        acgs.sort();
+        acgs.dedup();
+        acgs.into_iter()
+            .filter_map(|a| self.acg_replicas.get(&a).map(|nodes| (a, nodes.clone())))
+            .collect()
     }
 
     fn resolve(&mut self, files: Vec<FileId>) -> Result<Vec<(FileId, AcgId, NodeId)>, Error> {
@@ -166,7 +196,11 @@ impl MasterNode {
                     acg
                 }
             };
-            let node = *self.acg_to_node.get(&acg).ok_or(Error::AcgNotFound(acg))?;
+            let node = *self
+                .acg_replicas
+                .get(&acg)
+                .and_then(|r| r.first())
+                .ok_or(Error::AcgNotFound(acg))?;
             out.push((file, acg, node));
         }
         Ok(out)
@@ -186,17 +220,25 @@ impl MasterNode {
             // routing for *new* batches of pre-restart files is not
             // rebuilt here; that needs persisted Master metadata (a
             // recorded follow-on).
-            if let std::collections::hash_map::Entry::Vacant(slot) =
-                self.acg_to_node.entry(summary.acg)
-            {
-                slot.insert(node);
+            // With replication, each later replica's heartbeat re-joins
+            // the adopted set (first reporter becomes the primary; the
+            // order is arbitrary after a full restart, but replicas are
+            // bit-identical so any of them can lead).
+            let replicas = self.acg_replicas.entry(summary.acg).or_insert_with(|| {
                 self.next_acg = self.next_acg.max(summary.acg.raw() + 1);
+                Vec::new()
+            });
+            if !replicas.contains(&node) {
+                replicas.push(node);
             }
             self.acg_files.insert(summary.acg, summary.files);
             if summary.files > self.config.split_threshold && !self.splitting.contains(&summary.acg)
             {
+                // Split work always runs on the primary (it has the
+                // authoritative WAL the followers chain from).
+                let primary = self.acg_replicas[&summary.acg][0];
                 self.splitting.insert(summary.acg);
-                self.pending_splits.push((summary.acg, node));
+                self.pending_splits.push((summary.acg, primary));
             }
         }
         if self.heartbeats_seen.is_multiple_of(self.config.flush_every_heartbeats) {
@@ -269,19 +311,22 @@ impl MasterNode {
 
     /// Number of distinct ACGs allocated.
     pub fn acg_count(&self) -> usize {
-        self.acg_to_node.len()
+        self.acg_replicas.len()
     }
 
     /// Handles one request (the actor body).
     pub fn handle(&mut self, req: Request) -> Response {
         match req {
             Request::ResolveFiles { files, hints_since } => match self.resolve(files) {
-                Ok(rows) => Response::Resolved { rows, hints: self.route_hints(hints_since) },
+                Ok(rows) => {
+                    let replicas = self.replicas_of(&rows);
+                    Response::Resolved { rows, hints: self.route_hints(hints_since), replicas }
+                }
                 Err(e) => Response::Err(e),
             },
             Request::LocateAcgs => {
-                let mut rows: Vec<(AcgId, NodeId)> =
-                    self.acg_to_node.iter().map(|(&a, &n)| (a, n)).collect();
+                let mut rows: Vec<(AcgId, Vec<NodeId>)> =
+                    self.acg_replicas.iter().map(|(&a, n)| (a, n.clone())).collect();
                 rows.sort();
                 Response::Located(rows)
             }
@@ -307,11 +352,11 @@ impl MasterNode {
                 Response::SplitWork(work)
             }
             Request::AllocateAcg => match self.allocate_acg() {
-                Ok((acg, node)) => Response::AcgAllocated(acg, node),
+                Ok((acg, nodes)) => Response::AcgAllocated(acg, nodes),
                 Err(e) => Response::Err(e),
             },
             Request::BindFiles { acg, files } => {
-                if !self.acg_to_node.contains_key(&acg) {
+                if !self.acg_replicas.contains_key(&acg) {
                     return Response::Err(Error::AcgNotFound(acg));
                 }
                 let mut added = 0;
@@ -329,11 +374,11 @@ impl MasterNode {
                 *self.acg_files.entry(acg).or_insert(0) += added;
                 Response::Ok
             }
-            Request::CommitSplit { acg, kept, new_acg, moved, target } => {
+            Request::CommitSplit { acg, kept, new_acg, moved, targets } => {
                 for file in &moved {
                     self.file_to_acg.insert(*file, new_acg);
                 }
-                self.acg_to_node.insert(new_acg, target);
+                self.acg_replicas.insert(new_acg, targets);
                 self.acg_files.insert(new_acg, moved.len());
                 self.acg_files.insert(acg, kept.len());
                 self.splitting.remove(&acg);
@@ -407,8 +452,8 @@ mod tests {
             Response::Located(rows) => rows,
             other => panic!("{other:?}"),
         };
-        let on_n1 = located.iter().filter(|(_, n)| n.raw() == 1).count();
-        let on_n2 = located.iter().filter(|(_, n)| n.raw() == 2).count();
+        let on_n1 = located.iter().filter(|(_, n)| n[0].raw() == 1).count();
+        let on_n2 = located.iter().filter(|(_, n)| n[0].raw() == 2).count();
         assert_eq!(on_n1 + on_n2, 4);
         assert!(on_n1 >= 1 && on_n2 >= 1, "both nodes get ACGs");
     }
@@ -419,7 +464,7 @@ mod tests {
         m.config.split_threshold = 50;
         resolve(&mut m, 0..10);
         let acg = *m.file_to_acg.get(&FileId::new(0)).unwrap();
-        let node = *m.acg_to_node.get(&acg).unwrap();
+        let node = m.acg_replicas.get(&acg).unwrap()[0];
         m.handle(Request::Heartbeat {
             node,
             acgs: vec![AcgSummary { acg, files: 60, pending_ops: 0 }],
@@ -446,7 +491,7 @@ mod tests {
         let mut m = master(2, 1000);
         let rows = resolve(&mut m, 0..10);
         let acg = rows[0].1;
-        let (new_acg, target) = match m.handle(Request::AllocateAcg) {
+        let (new_acg, targets) = match m.handle(Request::AllocateAcg) {
             Response::AcgAllocated(a, n) => (a, n),
             other => panic!("{other:?}"),
         };
@@ -457,7 +502,7 @@ mod tests {
             kept: kept.clone(),
             new_acg,
             moved: moved.clone(),
-            target,
+            targets: targets.clone(),
         });
         let after = resolve(&mut m, 0..10);
         for (file, a, n) in after {
@@ -465,7 +510,7 @@ mod tests {
                 assert_eq!(a, acg);
             } else {
                 assert_eq!(a, new_acg);
-                assert_eq!(n, target);
+                assert_eq!(n, targets[0]);
             }
         }
     }
@@ -474,8 +519,8 @@ mod tests {
     fn bind_files_moves_mappings() {
         let mut m = master(1, 1000);
         resolve(&mut m, 0..4);
-        let (acg, _) = match m.handle(Request::AllocateAcg) {
-            Response::AcgAllocated(a, n) => (a, n),
+        let acg = match m.handle(Request::AllocateAcg) {
+            Response::AcgAllocated(a, _) => a,
             other => panic!("{other:?}"),
         };
         m.handle(Request::BindFiles { acg, files: vec![FileId::new(2), FileId::new(3)] });
@@ -485,11 +530,11 @@ mod tests {
 
     fn commit_a_split(m: &mut MasterNode, moved: Vec<FileId>) {
         let acg = *m.file_to_acg.get(&moved[0]).unwrap();
-        let (new_acg, target) = match m.handle(Request::AllocateAcg) {
+        let (new_acg, targets) = match m.handle(Request::AllocateAcg) {
             Response::AcgAllocated(a, n) => (a, n),
             other => panic!("{other:?}"),
         };
-        m.handle(Request::CommitSplit { acg, kept: Vec::new(), new_acg, moved, target });
+        m.handle(Request::CommitSplit { acg, kept: Vec::new(), new_acg, moved, targets });
     }
 
     #[test]
@@ -618,6 +663,89 @@ mod tests {
         let status = m.node_status().get(&NodeId::new(1)).unwrap();
         assert!(status.alive(Timestamp::from_secs(12), Duration::from_secs(5)));
         assert!(!status.alive(Timestamp::from_secs(30), Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn replicated_placement_uses_distinct_nodes() {
+        let mut m = MasterNode::new(
+            nodes(4),
+            MasterConfig { group_capacity: 5, replication: 2, ..MasterConfig::default() },
+        );
+        resolve(&mut m, 0..20);
+        let located = match m.handle(Request::LocateAcgs) {
+            Response::Located(rows) => rows,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(located.len(), 4);
+        for (acg, replicas) in &located {
+            assert_eq!(replicas.len(), 2, "{acg:?} must have 2 replicas");
+            assert_ne!(replicas[0], replicas[1], "{acg:?} replicas must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn replication_is_clamped_to_the_cluster_size() {
+        let mut m =
+            MasterNode::new(nodes(2), MasterConfig { replication: 3, ..MasterConfig::default() });
+        resolve(&mut m, 0..3);
+        match m.handle(Request::LocateAcgs) {
+            Response::Located(rows) => {
+                assert!(rows.iter().all(|(_, r)| r.len() == 2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolve_reports_the_full_replica_set() {
+        let mut m =
+            MasterNode::new(nodes(3), MasterConfig { replication: 2, ..MasterConfig::default() });
+        match m.handle(Request::ResolveFiles { files: vec![FileId::new(1)], hints_since: 0 }) {
+            Response::Resolved { rows, replicas, .. } => {
+                assert_eq!(rows.len(), 1);
+                let (_, acg, primary) = rows[0];
+                let set = &replicas.iter().find(|(a, _)| *a == acg).expect("replica row").1;
+                assert_eq!(set.len(), 2);
+                assert_eq!(set[0], primary, "the resolved node is the primary");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_commit_installs_the_whole_target_replica_set() {
+        let mut m =
+            MasterNode::new(nodes(3), MasterConfig { replication: 2, ..MasterConfig::default() });
+        resolve(&mut m, 0..10);
+        let acg = *m.file_to_acg.get(&FileId::new(0)).unwrap();
+        let (new_acg, targets) = match m.handle(Request::AllocateAcg) {
+            Response::AcgAllocated(a, n) => (a, n),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(targets.len(), 2);
+        m.handle(Request::CommitSplit {
+            acg,
+            kept: (0..5).map(FileId::new).collect(),
+            new_acg,
+            moved: (5..10).map(FileId::new).collect(),
+            targets: targets.clone(),
+        });
+        assert_eq!(m.acg_replicas.get(&new_acg), Some(&targets));
+    }
+
+    #[test]
+    fn heartbeats_rebuild_replica_sets_after_a_master_restart() {
+        let mut m = MasterNode::new(nodes(3), MasterConfig::default());
+        let acg = AcgId::new(7);
+        for node in [NodeId::new(2), NodeId::new(3)] {
+            m.handle(Request::Heartbeat {
+                node,
+                acgs: vec![AcgSummary { acg, files: 4, pending_ops: 0 }],
+                now: Timestamp::from_secs(1),
+            });
+        }
+        assert_eq!(m.acg_replicas.get(&acg), Some(&vec![NodeId::new(2), NodeId::new(3)]));
+        assert!(m.next_acg > 7);
     }
 
     #[test]

@@ -92,10 +92,11 @@ pub enum Request {
         new_acg: AcgId,
         /// Files that moved.
         moved: Vec<FileId>,
-        /// The node now hosting `new_acg`.
-        target: NodeId,
+        /// The replica set now hosting `new_acg`, primary first.
+        targets: Vec<NodeId>,
     },
-    /// Allocate a fresh ACG id on the least-loaded node (coordinator use).
+    /// Allocate a fresh ACG id on a least-loaded replica set of
+    /// `replication` nodes (coordinator use).
     AllocateAcg,
     /// Explicitly bind files to an ACG (used when ACG clustering has
     /// computed partitions out-of-band).
@@ -107,7 +108,13 @@ pub enum Request {
     },
 
     // ---- client → index node ---------------------------------------------
-    /// A batch of index operations for one ACG.
+    /// A batch of index operations for one ACG, addressed to the ACG's
+    /// **primary** replica. The primary logs the batch as exactly one WAL
+    /// frame and answers [`Response::BatchLogged`] with the frame's LSN;
+    /// the client then ships the same frame to each follower replica via
+    /// [`Request::ReplicateBatch`]. Replication is client-driven on
+    /// purpose: nodes never call each other synchronously, so the actor
+    /// graph cannot deadlock on two primaries replicating to one another.
     IndexBatch {
         /// Target ACG.
         acg: AcgId,
@@ -116,6 +123,55 @@ pub enum Request {
         /// Client-side send time.
         now: Timestamp,
     },
+    /// Apply one replicated WAL frame to a follower replica of `acg`.
+    /// Every [`Request::IndexBatch`] maps to exactly one frame, so a
+    /// follower applying the same frames in the same order assigns the
+    /// same LSNs as the primary — replicas stay bit-identical by
+    /// construction. The follower checks `lsn` against its own log:
+    /// duplicates (`lsn <= last`) are acked without re-applying, the next
+    /// frame (`lsn == last + 1`) is applied and committed eagerly, and a
+    /// gap (`lsn > last + 1`) is refused with
+    /// [`Response::ReplicaLagging`] so the sender runs catch-up.
+    ReplicateBatch {
+        /// Target ACG (a follower replica on this node).
+        acg: AcgId,
+        /// The primary's LSN for this frame.
+        lsn: u64,
+        /// The frame's operations.
+        ops: Vec<IndexOp>,
+        /// Client-side send time.
+        now: Timestamp,
+    },
+    /// Fetch the WAL frames of `acg` after `after_lsn` from a live
+    /// replica, for catching a lagging peer up. When the replica's WAL no
+    /// longer reaches back that far (committed in-memory WALs truncate,
+    /// durable WALs truncate at snapshots), it answers a full
+    /// [`Response::AcgSeed`] instead of frames.
+    FetchAcgFrames {
+        /// The ACG to read frames from.
+        acg: AcgId,
+        /// Ship frames with LSN strictly greater than this.
+        after_lsn: u64,
+        /// Client-side send time.
+        now: Timestamp,
+    },
+    /// Install a full-state seed on a lagging replica of `acg`: replaces
+    /// the replica's records wholesale and rebases its WAL so the next
+    /// frame continues at `lsn + 1`, re-aligned with the source.
+    SeedAcg {
+        /// The ACG to seed.
+        acg: AcgId,
+        /// The source's applied LSN at capture time.
+        lsn: u64,
+        /// The source's full record set.
+        records: Vec<FileRecord>,
+        /// Client-side send time.
+        now: Timestamp,
+    },
+    /// Report the last WAL LSN of every ACG hosted on this node (the
+    /// coordinator uses it to pick the freshest live replica as the
+    /// catch-up source when a node revives).
+    AcgLsns,
     /// Execute a search against the given ACGs (commit-then-search). The
     /// node evaluates the full request locally: predicate, per-ACG top-k,
     /// sort, cursor and projection.
@@ -212,13 +268,18 @@ pub enum Response {
     /// route-invalidation hints accumulated since the client's last
     /// resolve.
     Resolved {
-        /// One `(file, acg, node)` row per requested file.
+        /// One `(file, acg, node)` row per requested file; the node is the
+        /// ACG's **primary** replica (where writes go first).
         rows: Vec<(FileId, AcgId, NodeId)>,
         /// Split-driven route invalidations for the client's cache.
         hints: RouteHints,
+        /// The full replica set (primary first) of every ACG named in
+        /// `rows`, so the client can replicate logged batches to
+        /// followers without another Master round trip.
+        replicas: Vec<(AcgId, Vec<NodeId>)>,
     },
-    /// ACG placement listing.
-    Located(Vec<(AcgId, NodeId)>),
+    /// ACG placement listing: each ACG's replica set, primary first.
+    Located(Vec<(AcgId, Vec<NodeId>)>),
     /// One node's partial search response: hits in request sort order
     /// (at most `limit`, deduplicated per node) plus this node's share of
     /// the execution stats — including the service time measured against
@@ -261,8 +322,40 @@ pub enum Response {
     },
     /// Pending split work from the Master: `(acg, owner)` pairs.
     SplitWork(Vec<(AcgId, NodeId)>),
-    /// A freshly allocated ACG and its assigned node.
-    AcgAllocated(AcgId, NodeId),
+    /// A freshly allocated ACG and its assigned replica set, primary
+    /// first.
+    AcgAllocated(AcgId, Vec<NodeId>),
+    /// A primary logged an [`Request::IndexBatch`] as one WAL frame.
+    BatchLogged {
+        /// The frame's LSN (ship it with the follower
+        /// [`Request::ReplicateBatch`]s).
+        lsn: u64,
+    },
+    /// A follower applied (or already had) a replicated frame.
+    ReplicaApplied {
+        /// The follower's last WAL LSN after applying.
+        lsn: u64,
+    },
+    /// A follower refused a replicated frame because it would leave a gap
+    /// in its WAL; the sender must catch the follower up (frames or seed)
+    /// before retrying.
+    ReplicaLagging {
+        /// The follower's last WAL LSN (catch-up starts after it).
+        lsn: u64,
+    },
+    /// Raw WAL frames for replica catch-up, in LSN order.
+    AcgFrames(Vec<(u64, Vec<u8>)>),
+    /// A full-state seed for replica catch-up, captured post-commit so
+    /// the record set reflects every logged frame.
+    AcgSeed {
+        /// The source's applied LSN at capture time.
+        lsn: u64,
+        /// The source's full record set.
+        records: Vec<FileRecord>,
+    },
+    /// Per-ACG last WAL LSNs of one node (response to
+    /// [`Request::AcgLsns`]), sorted by ACG id.
+    AcgLsnReport(Vec<(AcgId, u64)>),
     /// Extracted migration payload.
     AcgPart {
         /// Extracted records.
@@ -302,7 +395,7 @@ mod tests {
     fn messages_are_cloneable_and_debuggable() {
         let req = Request::LocateAcgs;
         let _ = format!("{:?}", req.clone());
-        let resp = Response::Located(vec![(AcgId::new(1), NodeId::new(2))]);
+        let resp = Response::Located(vec![(AcgId::new(1), vec![NodeId::new(2), NodeId::new(3)])]);
         let _ = format!("{:?}", resp.clone());
     }
 }

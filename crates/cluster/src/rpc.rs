@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
-use propeller_sim::SimClock;
+use propeller_sim::{NodeSlowdowns, SimClock};
 use propeller_storage::Network;
 use propeller_types::{Error, NodeId, Result};
 
@@ -30,6 +30,24 @@ pub struct Rpc {
     registry: Arc<RwLock<Registry>>,
     /// Virtual network accounting: (model, clock, rng-state).
     charge: Option<Arc<(Network, SimClock, Mutex<rand::rngs::StdRng>)>>,
+    /// Injected per-node delivery delays (tail-latency experiments) and
+    /// the rng that samples them.
+    slowdowns: Arc<NodeSlowdowns>,
+    slow_rng: Arc<Mutex<rand::rngs::StdRng>>,
+    /// Lazily-started executor for delayed async sends: one long-lived
+    /// thread sleeps out each injected delay, keeping thread creation
+    /// off the caller's critical path (a per-send spawn would charge
+    /// spawn latency to exactly the hedged opens the delay simulates a
+    /// slow node for).
+    delayer: Arc<Mutex<Option<Sender<DelayedSend>>>>,
+}
+
+/// One async send waiting out its injected delivery delay.
+struct DelayedSend {
+    deadline: std::time::Instant,
+    mailbox: Sender<Envelope>,
+    req: Request,
+    reply_tx: Sender<Response>,
 }
 
 impl std::fmt::Debug for Rpc {
@@ -45,7 +63,15 @@ impl Rpc {
     /// A fabric with free (uncharged) message delivery — the right choice
     /// for wall-clock measured runs.
     pub fn new() -> Self {
-        Rpc { registry: Arc::new(RwLock::new(Registry::default())), charge: None }
+        Rpc {
+            registry: Arc::new(RwLock::new(Registry::default())),
+            charge: None,
+            slowdowns: Arc::new(NodeSlowdowns::new()),
+            slow_rng: Arc::new(Mutex::new(
+                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0x510),
+            )),
+            delayer: Arc::new(Mutex::new(None)),
+        }
     }
 
     /// A fabric that charges each message's cost to a virtual clock.
@@ -57,6 +83,33 @@ impl Rpc {
                 clock,
                 Mutex::new(<rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed)),
             ))),
+            slowdowns: Arc::new(NodeSlowdowns::new()),
+            slow_rng: Arc::new(Mutex::new(
+                <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0x510),
+            )),
+            delayer: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The fabric's injected-slowdown table. Setting a [`Latency`]
+    /// distribution for a node stalls every delivery to it (on the wall
+    /// clock) until cleared — the knob tail-tolerance tests and benches
+    /// turn to make one replica slow.
+    ///
+    /// [`Latency`]: propeller_sim::Latency
+    pub fn slowdowns(&self) -> &NodeSlowdowns {
+        &self.slowdowns
+    }
+
+    /// Stalls the calling thread for the sampled slowdown of `node`, if
+    /// one is injected. No-op (one cheap read-lock) otherwise.
+    fn maybe_stall(&self, node: NodeId) {
+        if self.slowdowns.is_empty() {
+            return;
+        }
+        let delay = self.slowdowns.sample(node, &mut *self.slow_rng.lock());
+        if let Some(delay) = delay {
+            std::thread::sleep(delay.to_std());
         }
     }
 
@@ -75,7 +128,11 @@ impl Rpc {
     /// Rough wire size of a request, for the network cost model.
     fn wire_size(req: &Request) -> u64 {
         match req {
-            Request::IndexBatch { ops, .. } => 64 + 128 * ops.len() as u64,
+            Request::IndexBatch { ops, .. } | Request::ReplicateBatch { ops, .. } => {
+                64 + 128 * ops.len() as u64
+            }
+            Request::SeedAcg { records, .. } => 64 + 160 * records.len() as u64,
+            Request::FetchAcgFrames { .. } | Request::AcgLsns => 64,
             Request::ResolveFiles { files, .. } => 64 + 12 * files.len() as u64,
             // Session control messages are tiny; the hits ride responses.
             Request::PullHits { .. } | Request::CloseSearch { .. } => 64,
@@ -113,6 +170,7 @@ impl Rpc {
             .cloned()
             .ok_or(Error::NodeUnavailable(node))?;
         self.charge_message(Self::wire_size(&req));
+        self.maybe_stall(node);
         let (reply_tx, reply_rx) = bounded(1);
         mailbox.send((req, reply_tx)).map_err(|_| Error::NodeUnavailable(node))?;
         let resp = reply_rx
@@ -120,6 +178,67 @@ impl Rpc {
             .map_err(|_| Error::Rpc(format!("timeout waiting for {node}")))?;
         self.charge_message(128);
         resp.into_result()
+    }
+
+    /// Sends `req` to `node` and returns the reply channel instead of
+    /// blocking on it — the building block for hedged requests, where the
+    /// caller waits on the first of several outstanding replies and
+    /// abandons the rest. If `node` has an injected slowdown, the stall
+    /// happens on a relay thread so the *caller* keeps running (that is
+    /// the whole point of hedging). A dropped channel (node died mid-call)
+    /// surfaces as a receive error on the returned receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NodeUnavailable`] for unknown nodes.
+    pub fn call_async(&self, node: NodeId, req: Request) -> Result<Receiver<Response>> {
+        let mailbox = self
+            .registry
+            .read()
+            .mailboxes
+            .get(&node)
+            .cloned()
+            .ok_or(Error::NodeUnavailable(node))?;
+        self.charge_message(Self::wire_size(&req));
+        let (reply_tx, reply_rx) = bounded(1);
+        let delay = if self.slowdowns.is_empty() {
+            None
+        } else {
+            self.slowdowns.sample(node, &mut *self.slow_rng.lock())
+        };
+        match delay {
+            None => mailbox.send((req, reply_tx)).map_err(|_| Error::NodeUnavailable(node))?,
+            // A delayed send goes to the long-lived delay executor. A
+            // send failure there drops `reply_tx`, which the caller
+            // observes as a dead-node receive error.
+            Some(delay) => {
+                let deadline = std::time::Instant::now() + delay.to_std();
+                let _ = self.delayer_tx().send(DelayedSend { deadline, mailbox, req, reply_tx });
+            }
+        }
+        Ok(reply_rx)
+    }
+
+    /// The delay-executor input, starting its thread on first use. FIFO
+    /// processing is safe: a later-queued send with an earlier deadline
+    /// only waits longer — injected delays are never shortened.
+    fn delayer_tx(&self) -> Sender<DelayedSend> {
+        let mut guard = self.delayer.lock();
+        if let Some(tx) = guard.as_ref() {
+            return tx.clone();
+        }
+        let (tx, rx) = unbounded::<DelayedSend>();
+        std::thread::spawn(move || {
+            while let Ok(send) = rx.recv() {
+                let now = std::time::Instant::now();
+                if send.deadline > now {
+                    std::thread::sleep(send.deadline - now);
+                }
+                let _ = send.mailbox.send((send.req, send.reply_tx));
+            }
+        });
+        *guard = Some(tx.clone());
+        tx
     }
 
     /// Sends `req` without waiting for the reply (fire-and-forget).
@@ -229,6 +348,37 @@ mod tests {
         let before = clock.now();
         rpc.call(NodeId::new(1), Request::LocateAcgs).unwrap();
         assert!(clock.now() > before, "message cost must be charged");
+        rpc.call(NodeId::new(1), Request::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn call_async_delivers_the_reply_on_the_channel() {
+        let rpc = Rpc::new();
+        let h = echo_node(&rpc, NodeId::new(1));
+        let rx = rpc.call_async(NodeId::new(1), Request::LocateAcgs).unwrap();
+        let resp = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert!(matches!(resp, Response::Located(_)));
+        rpc.call(NodeId::new(1), Request::Shutdown).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn injected_slowdown_stalls_delivery_but_not_the_async_caller() {
+        use propeller_sim::Latency;
+        let rpc = Rpc::new();
+        let h = echo_node(&rpc, NodeId::new(1));
+        rpc.slowdowns()
+            .set(NodeId::new(1), Latency::constant(propeller_types::Duration::from_millis(80)));
+        let started = std::time::Instant::now();
+        let rx = rpc.call_async(NodeId::new(1), Request::LocateAcgs).unwrap();
+        assert!(started.elapsed() < std::time::Duration::from_millis(60), "caller must not stall");
+        assert!(matches!(
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(),
+            Response::Located(_)
+        ));
+        assert!(started.elapsed() >= std::time::Duration::from_millis(80));
+        rpc.slowdowns().clear(NodeId::new(1));
         rpc.call(NodeId::new(1), Request::Shutdown).unwrap();
         h.join().unwrap();
     }

@@ -349,7 +349,7 @@ impl Propeller {
             if left.is_empty() || right.is_empty() {
                 continue;
             }
-            let (new_acg, target) = match self.master_call(Request::AllocateAcg)? {
+            let (new_acg, targets) = match self.master_call(Request::AllocateAcg)? {
                 Response::AcgAllocated(a, n) => (a, n),
                 other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
             };
@@ -364,7 +364,7 @@ impl Propeller {
                 kept: left,
                 new_acg,
                 moved: right,
-                target,
+                targets,
             })?;
             done += 1;
         }

@@ -718,6 +718,84 @@ impl AcgIndexGroup {
         self.cache.timed_out(now)
     }
 
+    /// LSN of the most recent frame this group has logged — the group's
+    /// **replication position**. A follower whose `last_lsn` equals its
+    /// primary's holds every acknowledged op; the difference bounds its
+    /// staleness in frames.
+    pub fn last_lsn(&self) -> u64 {
+        self.wal.last_lsn()
+    }
+
+    /// LSN of the oldest frame still retained in the WAL. Frames below it
+    /// were checkpoint-truncated (or committed, on the in-memory backend)
+    /// and can no longer be shipped to a trailing follower — catch-up past
+    /// this point needs a full snapshot seed instead.
+    pub fn first_retained_lsn(&self) -> u64 {
+        self.wal.first_lsn()
+    }
+
+    /// Whether every frame past `after_lsn` is still retained in the WAL,
+    /// i.e. whether [`AcgIndexGroup::wal_frames_after`] can bring a
+    /// follower at `after_lsn` fully current without a snapshot seed.
+    pub fn can_ship_frames_after(&self, after_lsn: u64) -> bool {
+        after_lsn + 1 >= self.wal.first_lsn()
+    }
+
+    /// The retained WAL frames with LSN strictly greater than `after_lsn`,
+    /// paired with their LSNs — what a primary ships to a trailing
+    /// follower. Callers should check
+    /// [`AcgIndexGroup::can_ship_frames_after`] first: when the log was
+    /// already truncated past `after_lsn` the returned suffix silently
+    /// starts later and replaying it alone would leave a gap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file backend cannot be read.
+    pub fn wal_frames_after(&mut self, after_lsn: u64) -> Result<Vec<(u64, Vec<u8>)>> {
+        self.wal.replay_from(after_lsn)
+    }
+
+    /// Replaces this group's contents wholesale with a snapshot shipped
+    /// from its primary, aligning the WAL so the next replicated frame is
+    /// assigned LSN `lsn + 1` — the seed path for a brand-new or
+    /// hopelessly trailing follower. Pending ops are discarded (they are
+    /// part of the history the seed supersedes), every stale checkpoint
+    /// file is deleted, and when snapshots are configured a fresh one is
+    /// written immediately so a crash right after the seed recovers to the
+    /// seeded state rather than anchoring to a checkpoint from the
+    /// pre-seed LSN sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on WAL-reset or snapshot-write failures.
+    pub fn install_seed(
+        &mut self,
+        records: Vec<FileRecord>,
+        lsn: u64,
+        now: Timestamp,
+    ) -> Result<()> {
+        let _ = self.cache.drain(now);
+        for file in self.records.keys().copied().collect::<Vec<_>>() {
+            self.apply(IndexOp::Remove(file));
+        }
+        for record in records {
+            self.apply(IndexOp::Upsert(record));
+        }
+        self.wal.reset_to(lsn)?;
+        self.applied_lsn = lsn;
+        self.wal_ops = 0;
+        self.wal_trigger_bytes = 0;
+        self.snapshot_lsn = None;
+        if let Some(dir) = self.snapshot_dir.clone() {
+            for (_, path) in snapshot::list_snapshots(&dir, self.id) {
+                let _ = std::fs::remove_file(path);
+            }
+            snapshot::write_snapshot(&dir, self.id, lsn, &self.specs, self.records.values())?;
+            self.snapshot_lsn = Some(lsn);
+        }
+        Ok(())
+    }
+
     fn apply(&mut self, op: IndexOp) {
         self.ops_applied += 1;
         match op {
@@ -1006,6 +1084,97 @@ mod tests {
 
     fn t(s: u64) -> Timestamp {
         Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn wal_frames_ship_to_an_aligned_follower() {
+        let mut primary = group();
+        let mut follower = group();
+        for i in 0..3u64 {
+            primary
+                .enqueue_batch(
+                    vec![
+                        IndexOp::Upsert(record(i, i * 10 + 1, 0)),
+                        IndexOp::Upsert(record(i + 10, i * 10 + 2, 0)),
+                    ],
+                    t(0),
+                )
+                .unwrap();
+        }
+        assert!(primary.can_ship_frames_after(0));
+        let frames = primary.wal_frames_after(0).unwrap();
+        assert_eq!(frames.len(), 3, "one frame per replicated batch");
+        for (lsn, payload) in frames {
+            assert_eq!(lsn, follower.last_lsn() + 1, "shipped frames stay contiguous");
+            let ops = IndexOp::decode_frame(&payload).unwrap();
+            follower.enqueue_batch(ops, t(0)).unwrap();
+            follower.commit(t(0)).unwrap();
+            assert_eq!(follower.last_lsn(), lsn, "follower assigns the primary's LSN");
+        }
+        primary.commit(t(0)).unwrap();
+        assert_eq!(follower.len(), primary.len());
+        assert_eq!(follower.last_lsn(), primary.last_lsn());
+    }
+
+    #[test]
+    fn committed_in_memory_frames_cannot_be_shipped() {
+        let mut g = group();
+        g.enqueue(IndexOp::Upsert(record(1, 1, 0)), t(0)).unwrap();
+        g.commit(t(0)).unwrap();
+        assert!(!g.can_ship_frames_after(0), "in-memory commits truncate the log");
+        assert!(g.can_ship_frames_after(g.last_lsn()), "a current follower needs nothing");
+    }
+
+    #[test]
+    fn install_seed_replaces_state_and_aligns_the_lsn() {
+        let mut primary = group();
+        for i in 0..5u64 {
+            primary.enqueue(IndexOp::Upsert(record(i, i * 10 + 1, 0)), t(0)).unwrap();
+        }
+        primary.commit(t(0)).unwrap();
+        let mut follower = group();
+        // Divergent junk: one committed record and one pending op, both of
+        // which the seed must supersede.
+        follower.enqueue(IndexOp::Upsert(record(99, 7, 0)), t(0)).unwrap();
+        follower.commit(t(0)).unwrap();
+        follower.enqueue(IndexOp::Upsert(record(98, 8, 0)), t(0)).unwrap();
+        let seed: Vec<FileRecord> = primary.records().cloned().collect();
+        follower.install_seed(seed, primary.last_lsn(), t(0)).unwrap();
+        assert_eq!(follower.len(), 5);
+        assert_eq!(follower.pending_ops(), 0);
+        assert!(follower.lookup_eq(&AttrName::Size, &Value::U64(7)).is_empty());
+        assert_eq!(follower.last_lsn(), primary.last_lsn());
+        // The next replicated frame continues the primary's sequence.
+        follower.enqueue(IndexOp::Upsert(record(50, 1, 0)), t(0)).unwrap();
+        assert_eq!(follower.last_lsn(), primary.last_lsn() + 1);
+    }
+
+    #[test]
+    fn seeded_follower_recovers_to_the_seed() {
+        let dir = std::env::temp_dir().join(format!("propeller-seed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = || GroupConfig {
+            wal: Wal::open(dir.join("seed.wal")).unwrap(),
+            snapshot_dir: Some(dir.clone()),
+            ..GroupConfig::default()
+        };
+        {
+            let mut f = AcgIndexGroup::new(AcgId::new(9), cfg());
+            f.enqueue(IndexOp::Upsert(record(1, 11, 0)), t(0)).unwrap();
+            f.commit(t(0)).unwrap();
+            f.install_seed(vec![record(2, 22, 0), record(3, 33, 0)], 40, t(0)).unwrap();
+            f.sync_wal().unwrap();
+        }
+        // A crash right after the seed must come back as the seed: the WAL
+        // was re-based to the primary's sequence and the stale pre-seed
+        // checkpoints are gone, so recovery anchors to the seed snapshot.
+        let (g, report) = AcgIndexGroup::recover_with_report(AcgId::new(9), cfg()).unwrap();
+        assert_eq!(report.snapshot_lsn, Some(40));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.last_lsn(), 40);
+        assert!(g.lookup_eq(&AttrName::Size, &Value::U64(11)).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

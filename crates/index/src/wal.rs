@@ -322,6 +322,31 @@ impl Wal {
         Ok(())
     }
 
+    /// Discards all log content and **re-bases** the sequence so the next
+    /// appended frame is assigned LSN `last_lsn + 1` — the entry point for
+    /// seeding a replica at its primary's replication position. Unlike
+    /// [`Wal::truncate`], which can only move the base past frames it
+    /// holds, this jumps the base to an arbitrary point so a freshly
+    /// seeded follower continues the primary's LSN sequence exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file backend cannot be truncated.
+    pub fn reset_to(&mut self, last_lsn: u64) -> Result<()> {
+        self.base_lsn = last_lsn + 1;
+        match &mut self.backend {
+            Backend::Memory(buf) => buf.clear(),
+            Backend::File { file, .. } => {
+                file.set_len(0)?;
+                file.seek(SeekFrom::End(0))?;
+                file.write_all(&encode_header(self.base_lsn))?;
+            }
+        }
+        self.entries = 0;
+        self.bytes = 0;
+        Ok(())
+    }
+
     /// Number of frames currently in the log.
     pub fn entry_count(&self) -> u64 {
         self.entries
@@ -467,6 +492,34 @@ mod tests {
         assert_eq!(wal.entry_count(), 4);
         // Appends continue the sequence.
         assert_eq!(wal.append(b"tail").unwrap(), 11);
+    }
+
+    #[test]
+    fn reset_to_rebases_the_sequence() {
+        let mut wal = Wal::in_memory();
+        wal.append(b"old-1").unwrap();
+        wal.append(b"old-2").unwrap();
+        wal.reset_to(41).unwrap();
+        assert!(wal.replay().unwrap().is_empty());
+        assert_eq!(wal.first_lsn(), 42);
+        assert_eq!(wal.append(b"seeded").unwrap(), 42);
+    }
+
+    #[test]
+    fn reset_to_survives_file_reopen() {
+        let path = temp_path("reset-to");
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"pre-seed").unwrap();
+            wal.reset_to(99).unwrap();
+            wal.sync().unwrap();
+        }
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            assert_eq!(wal.entry_count(), 0);
+            assert_eq!(wal.append(b"post-seed").unwrap(), 100);
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

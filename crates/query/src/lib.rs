@@ -63,7 +63,7 @@ pub use parser::parse_size;
 pub use plan::{plan, plan_request, AccessPath, IndexCatalog, Plan};
 pub use request::{
     merge_hit_sources, merge_sorted_hits, next_cursor, run_local_search, AccessPathKind, Cursor,
-    FanOutPolicy, GlobalCutoff, Hit, Projection, SearchRequest, SearchResponse, SearchStats,
-    SortKey, TopK,
+    FanOutPolicy, GlobalCutoff, Hit, HitMerger, Projection, SearchRequest, SearchResponse,
+    SearchStats, SortKey, TopK,
 };
 pub use session::{NodeSearchSession, SessionPage};

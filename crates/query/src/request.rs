@@ -24,7 +24,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 use propeller_index::FileRecord;
-use propeller_types::{AcgId, AttrName, Duration, Error, FileId, NodeId, Result, Timestamp, Value};
+use propeller_types::{AcgId, AttrName, Duration, Error, FileId, Result, Timestamp, Value};
 
 use crate::ast::{Predicate, Query};
 use crate::exec::matches_record;
@@ -148,18 +148,28 @@ fn attr_values(record: &FileRecord, attr: &AttrName) -> Vec<Value> {
     }
 }
 
-/// How a fan-out search treats unreachable Index Nodes.
+/// How a fan-out search treats unreachable replicas.
+///
+/// Both policies are **quorum-aware**: an ACG only counts as lost when
+/// *every* node of its replica set is unreachable — as long as one replica
+/// answers (possibly after a mid-stream failover), the ACG's hits are
+/// complete and no degradation is reported.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FanOutPolicy {
-    /// Every Index Node holding a relevant ACG must answer; any failure
-    /// fails the search (the consistency-first default).
+    /// Every relevant ACG must be answered by at least one of its
+    /// replicas; losing all replicas of any ACG fails the search (the
+    /// consistency-first default).
     #[default]
     RequireAll,
-    /// Tolerate node failures: return the hits from the nodes that
-    /// answered, with [`SearchResponse::complete`] `false` and the failed
-    /// nodes listed, as long as at least `min_nodes` answered.
+    /// Tolerate lost ACGs: return the hits from the replica-set groups
+    /// that answered, with [`SearchResponse::complete`] `false` and the
+    /// lost ACGs listed in [`SearchResponse::unreachable`], as long as at
+    /// least `min_nodes` groups answered.
     AllowPartial {
-        /// Minimum number of answering nodes for the search to succeed.
+        /// Minimum number of answering replica-set groups for the search
+        /// to succeed. (Named for the pre-replication protocol where one
+        /// group was exactly one node; with R = 1 that reading still
+        /// holds.)
         min_nodes: usize,
     },
 }
@@ -229,11 +239,11 @@ pub struct SearchRequest {
     /// Opt-in for availability-first pagination under
     /// [`FanOutPolicy::AllowPartial`]: incomplete responses normally
     /// suppress their continuation cursor (resuming past a page that is
-    /// missing unreachable nodes' hits would skip them permanently). With
-    /// this set, an incomplete response carries the cursor **and** the
-    /// unreachable-node set, so a caller can keep paginating the reachable
-    /// nodes now and separately backfill the gap (re-query the listed
-    /// nodes' range once they recover) instead of stalling the whole scan.
+    /// missing lost ACGs' hits would skip them permanently). With this
+    /// set, an incomplete response carries the cursor **and** the
+    /// unreachable-ACG set, so a caller can keep paginating the reachable
+    /// ACGs now and separately backfill the gap (re-query the listed ACGs'
+    /// range once a replica recovers) instead of stalling the whole scan.
     pub cursor_on_incomplete: bool,
 }
 
@@ -297,7 +307,7 @@ impl SearchRequest {
     }
 
     /// Opts incomplete (partial fan-out) responses into carrying a
-    /// continuation cursor alongside their unreachable-node set (see
+    /// continuation cursor alongside their unreachable-ACG set (see
     /// [`SearchRequest::cursor_on_incomplete`]).
     #[must_use]
     pub fn with_cursor_on_incomplete(mut self) -> Self {
@@ -457,6 +467,18 @@ pub struct SearchStats {
     /// tightens as the top-k heap fills, so the exact count depends on
     /// candidate order.
     pub wand_docs_pruned: usize,
+    /// Hedged "tied" session opens the client fired because a replica
+    /// missed the hedge latency budget — the tail-tolerance witness that
+    /// the second replica was actually asked.
+    pub hedges_fired: usize,
+    /// Hedged opens where the *hedge* (not the originally asked replica)
+    /// answered first and served the stream — the subset of
+    /// [`SearchStats::hedges_fired`] that actually cut the tail.
+    pub hedges_won: usize,
+    /// Mid-stream replica failovers: a serving replica died (or its
+    /// session erred) and the client resumed the same ACG stream on
+    /// another replica from its cursor, losing and duplicating nothing.
+    pub replica_failovers: usize,
     /// What the caller waited for. One-shot fan-outs run in parallel, so
     /// merged stats carry the slowest node's service time; a streamed
     /// search issues its pulls sequentially from the client merge, so the
@@ -481,6 +503,9 @@ impl SearchStats {
         self.node_hits_unsent += other.node_hits_unsent;
         self.wand_blocks_skipped += other.wand_blocks_skipped;
         self.wand_docs_pruned += other.wand_docs_pruned;
+        self.hedges_fired += other.hedges_fired;
+        self.hedges_won += other.hedges_won;
+        self.replica_failovers += other.replica_failovers;
         self.elapsed = self.elapsed.max(other.elapsed);
     }
 }
@@ -491,11 +516,16 @@ pub struct SearchResponse {
     /// Hits in request sort order, at most `limit` of them, de-duplicated
     /// by file id.
     pub hits: Vec<Hit>,
-    /// `true` when every relevant Index Node answered. Partial results
-    /// (under [`FanOutPolicy::AllowPartial`]) set this to `false`.
+    /// `true` when every relevant ACG was answered by at least one of its
+    /// replicas. Partial results (under [`FanOutPolicy::AllowPartial`])
+    /// set this to `false`.
     pub complete: bool,
-    /// Index Nodes that failed to answer (empty when `complete`).
-    pub unreachable: Vec<NodeId>,
+    /// ACGs whose **every** replica failed to answer (empty when
+    /// `complete`). Named by ACG rather than node: with replication a
+    /// dead node is not a hole in the result set — only a fully
+    /// unreachable replica set is, and this names exactly the data the
+    /// response is missing.
+    pub unreachable: Vec<AcgId>,
     /// Execution statistics.
     pub stats: SearchStats,
     /// Continuation token: present when the limit was reached, more
@@ -817,52 +847,126 @@ pub fn merge_hit_sources<I>(sources: &mut [I], sort: &SortKey, limit: Option<usi
 where
     I: Iterator<Item = Hit>,
 {
-    if limit == Some(0) {
-        return Vec::new();
+    let mut merger = HitMerger::new(sort.clone(), limit);
+    let mut out = Vec::new();
+    while let Some(hit) = merger.next_hit(sources) {
+        out.push(hit);
     }
-    struct Head {
-        hit: Hit,
-        source: usize,
-        sort: SortKey,
+    out
+}
+
+/// A primed head in a [`HitMerger`] heap: the next un-emitted hit of one
+/// source. Ordering is reversed so `BinaryHeap`'s max-heap pops the *best*
+/// next hit.
+struct MergeHead {
+    hit: Hit,
+    source: usize,
+    sort: SortKey,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
     }
-    impl PartialEq for Head {
-        fn eq(&self, other: &Self) -> bool {
-            self.cmp(other) == Ordering::Equal
-        }
+}
+impl Eq for MergeHead {}
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
-    impl Eq for Head {}
-    impl PartialOrd for Head {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
+}
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.sort.cmp_hits(&other.hit, &self.hit)
     }
-    impl Ord for Head {
-        fn cmp(&self, other: &Self) -> Ordering {
-            // Reversed: BinaryHeap is a max-heap, we pop the best next hit.
-            other.sort.cmp_hits(&other.hit, &self.hit)
+}
+
+/// A **stateful** k-way hit merge that survives across output pages.
+///
+/// [`merge_hit_sources`] builds a fresh heap per call and drops un-emitted
+/// source heads on return, so calling it once per page would silently lose
+/// every primed hit between pages. `HitMerger` owns the heap, the
+/// de-duplication set and the admitted count for the lifetime of a search,
+/// letting a paginating caller pull one page at a time while the
+/// underlying node sessions stay open — deep pagination advances each
+/// source exactly as far as the merged prefix needs, never re-reading.
+///
+/// Sources are passed to each call (they live beside the merger in the
+/// caller); the merger addresses them by slice index, so the caller must
+/// pass the same sources in the same order every time. A source that
+/// returns `None` is never polled again — transient exhaustion must be
+/// absorbed inside the source itself (the replica streams do exactly that
+/// for session-expiry reopens and replica failover).
+pub struct HitMerger {
+    sort: SortKey,
+    limit: Option<usize>,
+    heap: BinaryHeap<MergeHead>,
+    seen: std::collections::HashSet<FileId>,
+    admitted: usize,
+    primed: bool,
+    /// Source whose head was emitted but not yet re-primed. Refilling is
+    /// deferred to the next pop so a source is never advanced past the
+    /// last hit the merge actually needed — pulling eagerly here would
+    /// fetch one extra page from whichever node served the final hit.
+    pending_refill: Option<usize>,
+}
+
+impl HitMerger {
+    /// A merger emitting hits in `sort` order, at most `limit` of them
+    /// across all calls.
+    pub fn new(sort: SortKey, limit: Option<usize>) -> Self {
+        HitMerger {
+            sort,
+            limit,
+            heap: BinaryHeap::new(),
+            seen: std::collections::HashSet::new(),
+            admitted: 0,
+            primed: false,
+            pending_refill: None,
         }
     }
 
-    let mut heap = BinaryHeap::with_capacity(sources.len());
-    for (i, iter) in sources.iter_mut().enumerate() {
-        if let Some(hit) = iter.next() {
-            heap.push(Head { hit, source: i, sort: sort.clone() });
-        }
+    /// Distinct hits admitted so far across all calls.
+    pub fn admitted(&self) -> usize {
+        self.admitted
     }
-    let mut seen = std::collections::HashSet::new();
-    let mut out = Vec::new();
-    while let Some(Head { hit, source, .. }) = heap.pop() {
-        if seen.insert(hit.file) {
-            out.push(hit);
-            if limit.is_some_and(|k| out.len() >= k) {
-                break;
+
+    /// Whether the limit has been reached (no further hit will be emitted).
+    pub fn done(&self) -> bool {
+        self.limit.is_some_and(|k| self.admitted >= k)
+    }
+
+    /// Emits the next merged hit, advancing whichever source it came from.
+    /// `None` once the limit is reached or every source is exhausted.
+    pub fn next_hit<I>(&mut self, sources: &mut [I]) -> Option<Hit>
+    where
+        I: Iterator<Item = Hit>,
+    {
+        if self.done() {
+            return None;
+        }
+        if !self.primed {
+            self.primed = true;
+            for (i, iter) in sources.iter_mut().enumerate() {
+                if let Some(hit) = iter.next() {
+                    self.heap.push(MergeHead { hit, source: i, sort: self.sort.clone() });
+                }
             }
         }
-        if let Some(next) = sources[source].next() {
-            heap.push(Head { hit: next, source, sort: sort.clone() });
+        loop {
+            if let Some(source) = self.pending_refill.take() {
+                if let Some(next) = sources[source].next() {
+                    self.heap.push(MergeHead { hit: next, source, sort: self.sort.clone() });
+                }
+            }
+            let MergeHead { hit, source, .. } = self.heap.pop()?;
+            self.pending_refill = Some(source);
+            if self.seen.insert(hit.file) {
+                self.admitted += 1;
+                return Some(hit);
+            }
         }
     }
-    out
 }
 
 /// Runs a request against a plain record collection (no ACG partitioning,
@@ -952,6 +1056,55 @@ mod tests {
         let merged = merge_sorted_hits(vec![a, b], &SortKey::FileId, Some(4));
         let files: Vec<u64> = merged.iter().map(|h| h.file.raw()).collect();
         assert_eq!(files, vec![1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn hit_merger_pages_match_the_one_shot_merge() {
+        let a = vec![hit(1, None), hit(3, None), hit(5, None), hit(9, None)];
+        let b = vec![hit(2, None), hit(3, None), hit(6, None)];
+        let c = vec![hit(4, None), hit(7, None), hit(8, None)];
+        let one_shot =
+            merge_sorted_hits(vec![a.clone(), b.clone(), c.clone()], &SortKey::FileId, Some(7));
+
+        let mut sources: Vec<std::vec::IntoIter<Hit>> =
+            vec![a.into_iter(), b.into_iter(), c.into_iter()];
+        let mut merger = HitMerger::new(SortKey::FileId, Some(7));
+        let mut paged = Vec::new();
+        // Pull in pages of 2: the merger's heap and seen-set must carry
+        // primed heads across page boundaries.
+        loop {
+            let mut page = Vec::new();
+            while page.len() < 2 {
+                match merger.next_hit(&mut sources) {
+                    Some(h) => page.push(h),
+                    None => break,
+                }
+            }
+            if page.is_empty() {
+                break;
+            }
+            paged.extend(page);
+        }
+        assert_eq!(paged, one_shot);
+        assert_eq!(merger.admitted(), 7);
+        assert!(merger.done());
+        assert!(merger.next_hit(&mut sources).is_none());
+    }
+
+    #[test]
+    fn hit_merger_never_advances_a_source_past_the_limit() {
+        let a = vec![hit(1, None), hit(2, None), hit(3, None)];
+        let b = vec![hit(10, None), hit(11, None)];
+        let mut sources: Vec<std::vec::IntoIter<Hit>> = vec![a.into_iter(), b.into_iter()];
+        let mut merger = HitMerger::new(SortKey::FileId, Some(2));
+        assert_eq!(merger.next_hit(&mut sources).unwrap().file.raw(), 1);
+        assert_eq!(merger.next_hit(&mut sources).unwrap().file.raw(), 2);
+        assert!(merger.next_hit(&mut sources).is_none());
+        // The winning source's refill is deferred, so after the limit its
+        // third hit was never pulled — and source b never moved past the
+        // one hit priming took.
+        assert_eq!(sources[0].next().unwrap().file.raw(), 3);
+        assert_eq!(sources[1].next().unwrap().file.raw(), 11);
     }
 
     #[test]
@@ -1070,6 +1223,9 @@ mod tests {
             node_hits_unsent: 2,
             wand_blocks_skipped: 4,
             wand_docs_pruned: 250,
+            hedges_fired: 2,
+            hedges_won: 1,
+            replica_failovers: 1,
             elapsed: Duration::from_micros(5),
         };
         a.absorb(SearchStats {
@@ -1086,6 +1242,9 @@ mod tests {
             node_hits_unsent: 93,
             wand_blocks_skipped: 6,
             wand_docs_pruned: 50,
+            hedges_fired: 1,
+            hedges_won: 1,
+            replica_failovers: 2,
             elapsed: Duration::from_micros(3),
         });
         assert_eq!(a.acgs_consulted, 3);
@@ -1101,6 +1260,9 @@ mod tests {
         assert_eq!(a.node_hits_unsent, 95);
         assert_eq!(a.wand_blocks_skipped, 10);
         assert_eq!(a.wand_docs_pruned, 300);
+        assert_eq!(a.hedges_fired, 3);
+        assert_eq!(a.hedges_won, 2);
+        assert_eq!(a.replica_failovers, 3);
         assert_eq!(a.elapsed, Duration::from_micros(5), "slowest node wins");
     }
 

@@ -11,6 +11,8 @@
 //!   is agnostic to the execution mode,
 //! * [`EventQueue`] — a deterministic discrete-event scheduler,
 //! * [`Latency`] — latency distributions (constant/uniform/exponential),
+//! * [`NodeSlowdowns`] — injected per-node delivery delays for
+//!   tail-latency experiments,
 //! * [`SeedSplitter`] — deterministic seed derivation so every experiment is
 //!   reproducible from a single `u64`.
 //!
@@ -38,8 +40,10 @@ mod clock;
 mod events;
 mod latency;
 mod rng;
+mod slowdown;
 
 pub use clock::{Clock, SimClock, WallClock};
 pub use events::EventQueue;
 pub use latency::Latency;
 pub use rng::{seeded_rng, SeedSplitter};
+pub use slowdown::NodeSlowdowns;

@@ -7,7 +7,7 @@
 
 pub mod strategy;
 
-pub use strategy::{BoxedStrategy, Strategy};
+pub use strategy::{BoxedStrategy, Just, Strategy};
 
 /// Test-runner configuration.
 pub mod config {
@@ -140,7 +140,7 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::config::ProptestConfig;
     pub use crate::prop;
-    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 

@@ -81,6 +81,17 @@ impl<V> Strategy for Union<V> {
     }
 }
 
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _rng: &mut StdRng) -> V {
+        self.0.clone()
+    }
+}
+
 /// See [`Strategy::prop_map`].
 pub struct Map<S, F> {
     inner: S,

@@ -1,12 +1,26 @@
 //! Failure-injection tests for the cluster: dead Index Nodes, Master
-//! liveness bookkeeping, and graceful degradation rules.
+//! liveness bookkeeping, graceful degradation rules, and — with
+//! replication on — search correctness under randomized kill/slow/revive
+//! schedules, mid-pagination replica failover and hedged tail tolerance.
+
+use std::collections::{HashMap, HashSet};
 
 use propeller::cluster::{Cluster, ClusterConfig, Request, Response};
-use propeller::types::{Duration, Error, FileId, InodeAttrs, NodeId, Timestamp};
-use propeller::FileRecord;
+use propeller::query::{run_local_search, SearchRequest, SortKey};
+use propeller::types::{AcgId, AttrName, Duration, Error, FileId, InodeAttrs, NodeId, Timestamp};
+use propeller::{FanOutPolicy, FileRecord};
+use proptest::prelude::*;
 
 fn record(file: u64, size: u64) -> FileRecord {
     FileRecord::new(FileId::new(file), InodeAttrs::builder().size(size).build())
+}
+
+/// The Master's current placement map: ACG → ordered replica set.
+fn placements(cluster: &Cluster) -> Vec<(AcgId, Vec<NodeId>)> {
+    match cluster.rpc().call(cluster.master_id(), Request::LocateAcgs) {
+        Ok(Response::Located(rows)) => rows,
+        other => panic!("{other:?}"),
+    }
 }
 
 #[test]
@@ -163,5 +177,246 @@ fn partial_index_broadcast_rolls_back_and_reports_missed_nodes() {
     // is healthy again (here: minus the dead node), the same name works.
     let resp = cluster.rpc().call(cluster.master_id(), Request::CreateIndex { spec }).unwrap();
     assert!(matches!(resp, Response::Ok), "{resp:?}");
+    cluster.shutdown();
+}
+
+/// One step of a randomized failure schedule: `node` indexes into the
+/// cluster's Index Node list.
+#[derive(Debug, Clone, Copy)]
+enum FailureEvent {
+    Kill { node: usize },
+    Revive { node: usize },
+    Slow { node: usize, millis: u64 },
+}
+
+fn arb_schedule(nodes: usize) -> impl Strategy<Value = Vec<FailureEvent>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..nodes).prop_map(|node| FailureEvent::Kill { node }),
+            (0..nodes).prop_map(|node| FailureEvent::Revive { node }),
+            (0..nodes, 1u64..3).prop_map(|(node, millis)| FailureEvent::Slow { node, millis }),
+        ],
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The replicated-search contract under arbitrary kill/slow/revive
+    /// schedules at R ∈ {1, 2, 3}: the search answers exactly what the
+    /// surviving replicas hold (oracle: brute force over the files whose
+    /// serving replica is alive and caught up), and the response is
+    /// `incomplete` **only** when every replica of some ACG is down —
+    /// naming those ACGs, not nodes.
+    #[test]
+    fn replicated_search_matches_brute_force_under_failure_schedules(
+        replication in 1usize..4,
+        schedule in arb_schedule(4),
+        limit in prop_oneof![Just(None), (5usize..40).prop_map(Some)],
+    ) {
+        let mut cluster = Cluster::start(ClusterConfig {
+            index_nodes: 4,
+            group_capacity: 10,
+            replication,
+            ..Default::default()
+        });
+        let mut client = cluster.client();
+        let records: Vec<FileRecord> =
+            (0..80u64).map(|i| record(i, (i + 1) << 20)).collect();
+        client.index_files(records.clone()).unwrap();
+
+        // Ground-truth replica model. `fresh[acg]` = replicas that hold
+        // the ACG's data (all of them, right after indexing); a kill
+        // drops the node's copies, a revive + catch-up restores them iff
+        // a fresh live peer exists to sync from.
+        let placed = placements(&cluster);
+        let file_acg: HashMap<FileId, AcgId> = {
+            let files: Vec<FileId> = records.iter().map(|r| r.file).collect();
+            let req = Request::ResolveFiles { files, hints_since: u64::MAX };
+            match cluster.rpc().call(cluster.master_id(), req) {
+                Ok(Response::Resolved { rows, .. }) => {
+                    rows.into_iter().map(|(f, a, _)| (f, a)).collect()
+                }
+                other => panic!("{other:?}"),
+            }
+        };
+        let ids: Vec<NodeId> = cluster.index_node_ids().to_vec();
+        let mut alive: Vec<bool> = vec![true; ids.len()];
+        let mut fresh: HashMap<AcgId, HashSet<NodeId>> = placed
+            .iter()
+            .map(|(acg, replicas)| (*acg, replicas.iter().copied().collect()))
+            .collect();
+
+        for event in &schedule {
+            match *event {
+                FailureEvent::Kill { node } => {
+                    if alive[node] {
+                        alive[node] = false;
+                        cluster.rpc().deregister(ids[node]);
+                        for set in fresh.values_mut() {
+                            set.remove(&ids[node]);
+                        }
+                    }
+                }
+                FailureEvent::Revive { node } => {
+                    if !alive[node] {
+                        alive[node] = true;
+                        cluster.revive_index_node(ids[node]);
+                        let _ = cluster.catch_up_node(ids[node]);
+                        for (acg, replicas) in &placed {
+                            let has_fresh_live_peer = fresh[acg]
+                                .iter()
+                                .any(|n| *n != ids[node] && alive[ids.iter().position(|i| i == n).unwrap()]);
+                            if replicas.contains(&ids[node]) && has_fresh_live_peer {
+                                fresh.get_mut(acg).unwrap().insert(ids[node]);
+                            }
+                        }
+                    }
+                }
+                FailureEvent::Slow { node, millis } => {
+                    cluster.rpc().slowdowns().set(
+                        ids[node],
+                        propeller::sim::Latency::constant(Duration::from_millis(millis)),
+                    );
+                }
+            }
+        }
+
+        // Oracle: each ACG is served by its first *alive* replica (the
+        // client fails over in replica order); it yields the ACG's files
+        // iff that replica is fresh. No alive replica → unreachable.
+        let mut served: HashSet<FileId> = HashSet::new();
+        let mut expect_unreachable: Vec<AcgId> = Vec::new();
+        for (acg, replicas) in &placed {
+            let first_alive = replicas
+                .iter()
+                .find(|n| alive[ids.iter().position(|i| i == *n).unwrap()]);
+            match first_alive {
+                None => expect_unreachable.push(*acg),
+                Some(n) if fresh[acg].contains(n) => {
+                    served.extend(
+                        file_acg.iter().filter(|(_, a)| *a == acg).map(|(f, _)| *f),
+                    );
+                }
+                Some(_) => {} // alive but empty: answers, with no hits
+            }
+        }
+        expect_unreachable.sort_unstable();
+
+        let mut req = SearchRequest::parse("size>0", Timestamp::from_secs(1_000))
+            .unwrap()
+            .sorted_by(SortKey::Descending(AttrName::Size))
+            .with_fan_out(FanOutPolicy::AllowPartial { min_nodes: 0 });
+        if let Some(k) = limit {
+            req = req.with_limit(k);
+        }
+        let resp = client.search_with(&req).unwrap();
+
+        prop_assert_eq!(resp.complete, expect_unreachable.is_empty(),
+            "incomplete iff every replica of some ACG is down");
+        prop_assert_eq!(&resp.unreachable, &expect_unreachable);
+        let oracle_records: Vec<FileRecord> =
+            records.iter().filter(|r| served.contains(&r.file)).cloned().collect();
+        let brute = run_local_search(oracle_records, &req);
+        let got: Vec<FileId> = resp.hits.iter().map(|h| h.file).collect();
+        let want: Vec<FileId> = brute.hits.iter().map(|h| h.file).collect();
+        prop_assert_eq!(got, want, "replicated search must equal brute force over survivors");
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn killing_one_replica_of_every_acg_mid_pagination_loses_nothing() {
+    // The tentpole acceptance scenario: R = 2 on a 2-node cluster means
+    // every ACG lives on both nodes — killing one node kills one replica
+    // of EVERY ACG, in the middle of a paginated streamed search. The
+    // stream must fail over and the concatenated pages must be
+    // byte-identical to the healthy answer: complete, no hit skipped, no
+    // hit duplicated.
+    let cluster = Cluster::start(ClusterConfig {
+        index_nodes: 2,
+        group_capacity: 10,
+        replication: 2,
+        ..Default::default()
+    });
+    let mut client = cluster.client().with_search_page_size(7);
+    let records: Vec<FileRecord> = (0..100u64).map(|i| record(i, (i + 1) << 20)).collect();
+    client.index_files(records).unwrap();
+
+    let request = SearchRequest::parse("size>0", Timestamp::from_secs(1_000))
+        .unwrap()
+        .sorted_by(SortKey::Descending(AttrName::Size));
+    // Healthy baseline, before anything dies.
+    let baseline = client.search_one_shot(&request).unwrap();
+    assert_eq!(baseline.hits.len(), 100);
+
+    let mut stream = client.open_search_stream(&request).unwrap();
+    let mut paged = Vec::new();
+    for _ in 0..3 {
+        let page = stream.next_page(7).unwrap();
+        assert!(!page.is_empty());
+        paged.extend(page);
+    }
+    // Mid-pagination kill: one replica of every ACG.
+    cluster.rpc().deregister(cluster.index_node_ids()[0]);
+    loop {
+        let page = stream.next_page(7).unwrap();
+        if page.is_empty() {
+            break;
+        }
+        paged.extend(page);
+    }
+    let resp = stream.finish().unwrap();
+
+    assert!(resp.complete, "every ACG still had a live replica");
+    assert!(resp.unreachable.is_empty());
+    assert!(resp.stats.replica_failovers >= 1, "the kill must be witnessed as a failover");
+    assert_eq!(paged, baseline.hits, "failover must not skip or duplicate a single hit");
+    let mut files: Vec<FileId> = paged.iter().map(|h| h.file).collect();
+    files.sort_unstable();
+    files.dedup();
+    assert_eq!(files.len(), paged.len(), "no duplicates across the failover seam");
+    cluster.shutdown();
+}
+
+#[test]
+fn hedged_opens_beat_an_injected_straggler_and_are_witnessed_in_stats() {
+    // Tail tolerance: one node is artificially slowed far past the hedge
+    // budget, so every streamed open it serves as primary fires a tied
+    // request at its replica peer — and the peer wins. Margins are wide
+    // (200 ms straggle vs 10 ms budget) so the race is deterministic in
+    // practice; correctness never depends on who wins, since replicas
+    // serve byte-identical committed views.
+    let cluster = Cluster::start(ClusterConfig {
+        index_nodes: 2,
+        group_capacity: 10,
+        replication: 2,
+        hedge_budget: Some(Duration::from_millis(10)),
+        ..Default::default()
+    });
+    let mut client = cluster.client().with_search_page_size(8);
+    let records: Vec<FileRecord> = (0..100u64).map(|i| record(i, (i + 1) << 20)).collect();
+    client.index_files(records).unwrap();
+
+    let request = SearchRequest::parse("size>0", Timestamp::from_secs(1_000))
+        .unwrap()
+        .with_limit(40)
+        .sorted_by(SortKey::Descending(AttrName::Size));
+    let baseline = client.search_one_shot(&request).unwrap();
+
+    // Straggle a node that serves as primary for at least one ACG.
+    let straggler =
+        placements(&cluster).first().map(|(_, replicas)| replicas[0]).expect("cluster has ACGs");
+    cluster
+        .rpc()
+        .slowdowns()
+        .set(straggler, propeller::sim::Latency::constant(Duration::from_millis(200)));
+
+    let hedged = client.search_streamed(&request).unwrap();
+    assert_eq!(hedged.hits, baseline.hits, "hedging must not change the answer");
+    assert!(hedged.complete);
+    assert!(hedged.stats.hedges_fired > 0, "the straggler must trigger a hedge");
+    assert!(hedged.stats.hedges_won > 0, "the fast replica must win the race");
     cluster.shutdown();
 }

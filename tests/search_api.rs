@@ -14,6 +14,24 @@ use propeller::{
     SearchRequest, SortKey,
 };
 
+/// The sorted ACG set a node hosts — what `SearchResponse::unreachable`
+/// names once every replica of those ACGs is down (with R=1, exactly the
+/// node's ACGs).
+fn acgs_hosted_by(
+    cluster: &Cluster,
+    node: propeller::types::NodeId,
+) -> Vec<propeller::types::AcgId> {
+    let rows =
+        match cluster.rpc().call(cluster.master_id(), propeller::cluster::Request::LocateAcgs) {
+            Ok(propeller::cluster::Response::Located(rows)) => rows,
+            other => panic!("{other:?}"),
+        };
+    let mut acgs: Vec<_> =
+        rows.into_iter().filter(|(_, r)| r.contains(&node)).map(|(a, _)| a).collect();
+    acgs.sort_unstable();
+    acgs
+}
+
 fn record(file: u64, size: u64, mtime_s: u64, uid: u32) -> FileRecord {
     FileRecord::new(
         FileId::new(file),
@@ -182,6 +200,7 @@ fn allow_partial_tolerates_a_dead_node_but_require_all_errors() {
 
     // Kill one Index Node (the failure-injection harness).
     let victim = cluster.index_node_ids()[0];
+    let victim_acgs = acgs_hosted_by(&cluster, victim);
     cluster.rpc().call(victim, propeller::cluster::Request::Shutdown).unwrap();
     cluster.rpc().deregister(victim);
 
@@ -189,13 +208,13 @@ fn allow_partial_tolerates_a_dead_node_but_require_all_errors() {
     let err = client.search_with(&SearchRequest::parse("size>0", now).unwrap());
     assert!(matches!(err, Err(Error::NodeUnavailable(n)) if n == victim), "{err:?}");
 
-    // allow_partial: the survivors' hits come back, clearly labelled.
+    // allow_partial: the survivors' hits come back, the lost ACGs named.
     let req = SearchRequest::parse("size>0", now)
         .unwrap()
         .with_fan_out(FanOutPolicy::AllowPartial { min_nodes: 1 });
     let partial = client.search_with(&req).unwrap();
     assert!(!partial.complete);
-    assert_eq!(partial.unreachable, vec![victim]);
+    assert_eq!(partial.unreachable, victim_acgs);
     assert!(!partial.hits.is_empty());
     assert!(partial.hits.len() < 300, "the dead node's ACGs are missing");
 
@@ -233,6 +252,7 @@ fn cursor_on_incomplete_opt_in_resumes_over_survivors_and_names_the_gap() {
     };
 
     let victim = cluster.index_node_ids()[0];
+    let victim_acgs = acgs_hosted_by(&cluster, victim);
     cluster.rpc().call(victim, propeller::cluster::Request::Shutdown).unwrap();
     cluster.rpc().deregister(victim);
 
@@ -256,7 +276,7 @@ fn cursor_on_incomplete_opt_in_resumes_over_survivors_and_names_the_gap() {
     loop {
         let resp = client.search_with(&page_req(cursor.take())).unwrap();
         assert!(!resp.complete);
-        assert_eq!(resp.unreachable, vec![victim], "the gap is always named");
+        assert_eq!(resp.unreachable, victim_acgs, "the gap is always named");
         if resp.hits.is_empty() {
             break;
         }
@@ -304,11 +324,12 @@ fn incomplete_page_carries_no_cursor_and_recovery_restores_the_skipped_hits() {
     // hand out a cursor — paginating past it would permanently skip every
     // hit the dead node held that sorts before the page boundary.
     let victim = cluster.index_node_ids()[0];
+    let victim_acgs = acgs_hosted_by(&cluster, victim);
     cluster.rpc().call(victim, propeller::cluster::Request::Shutdown).unwrap();
     cluster.rpc().deregister(victim);
     let partial = client.search_with(&page_req(None)).unwrap();
     assert!(!partial.complete);
-    assert_eq!(partial.unreachable, vec![victim]);
+    assert_eq!(partial.unreachable, victim_acgs);
     assert!(!partial.hits.is_empty());
     assert!(
         partial.cursor.is_none(),
