@@ -159,6 +159,12 @@ pub struct FileQueryEngine {
     /// Replica sets learned from `Resolved` responses (primary first) —
     /// the write path's replication fan-out.
     acg_replicas: HashMap<AcgId, Vec<NodeId>>,
+    /// Spread streamed session opens round-robin across each replica set
+    /// (see [`crate::ClusterConfig::follower_reads`]). `false` always
+    /// opens at the primary.
+    follower_reads: bool,
+    /// Round-robin cursor for follower reads, advanced per opened group.
+    open_rr: AtomicU64,
 }
 
 impl std::fmt::Debug for FileQueryEngine {
@@ -190,7 +196,21 @@ impl FileQueryEngine {
             adaptive_max_page: None,
             hedge_budget: None,
             acg_replicas: HashMap::new(),
+            follower_reads: false,
+            open_rr: AtomicU64::new(0),
         }
+    }
+
+    /// Enables or disables follower reads (builder style): streamed
+    /// session opens rotate round-robin across each ACG group's replica
+    /// set instead of always landing on the primary. Replicas serve
+    /// byte-identical committed hits, so this spreads read load without
+    /// changing any result; the failover order still walks the remaining
+    /// replicas if the chosen one is down.
+    #[must_use]
+    pub fn with_follower_reads(mut self, enabled: bool) -> Self {
+        self.follower_reads = enabled;
+        self
     }
 
     /// Rebounds the route cache (builder style). Routes already cached are
@@ -696,27 +716,37 @@ impl FileQueryEngine {
         let now = self.clock.now();
         let mut sources: Vec<NodePageStream> = groups
             .into_iter()
-            .map(|(replicas, acgs)| NodePageStream {
-                rpc: self.rpc.clone(),
-                dead: vec![false; replicas.len()],
-                replicas,
-                current: 0,
-                acgs,
-                request: request.clone(),
-                client: self.client_id,
-                page: self.search_page,
-                adaptive_max: self.adaptive_max_page,
-                hedge: self.hedge_budget,
-                now,
-                opened: false,
-                session: 0,
-                buffer: Vec::new().into_iter(),
-                exhausted: false,
-                resume: None,
-                yielded: 0,
-                reopens: 0,
-                stats: SearchStats::default(),
-                error: None,
+            .map(|(replicas, acgs)| {
+                // Follower reads: rotate the opening replica per group so
+                // successive searches spread across the set; everything
+                // downstream (failover, hedging) walks on from `current`.
+                let current = if self.follower_reads && replicas.len() > 1 {
+                    (self.open_rr.fetch_add(1, Ordering::Relaxed) as usize) % replicas.len()
+                } else {
+                    0
+                };
+                NodePageStream {
+                    rpc: self.rpc.clone(),
+                    dead: vec![false; replicas.len()],
+                    replicas,
+                    current,
+                    acgs,
+                    request: request.clone(),
+                    client: self.client_id,
+                    page: self.search_page,
+                    adaptive_max: self.adaptive_max_page,
+                    hedge: self.hedge_budget,
+                    now,
+                    opened: false,
+                    session: 0,
+                    buffer: Vec::new().into_iter(),
+                    exhausted: false,
+                    resume: None,
+                    yielded: 0,
+                    reopens: 0,
+                    stats: SearchStats::default(),
+                    error: None,
+                }
             })
             .collect();
         // Open one session per group in parallel; every open ships the

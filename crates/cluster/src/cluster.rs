@@ -11,7 +11,7 @@ use crate::client::FileQueryEngine;
 use crate::index_node::{IndexNode, IndexNodeConfig};
 use crate::master::{MasterConfig, MasterNode};
 use crate::messages::{Request, Response};
-use crate::rpc::{run_actor, Rpc};
+use crate::rpc::{run_actor, run_actor_deferred, Rpc};
 
 /// Configuration for [`Cluster::start`].
 #[derive(Debug, Clone)]
@@ -55,6 +55,14 @@ pub struct ClusterConfig {
     /// tolerance; needs `replication >= 2` to have anywhere to hedge).
     /// `None` (the default) never hedges.
     pub hedge_budget: Option<Duration>,
+    /// Spread streamed session opens round-robin across each ACG's live
+    /// replica set instead of always asking the primary. Replicas apply
+    /// the same committed WAL frames, so any of them serves byte-identical
+    /// hits; follower reads turn that redundancy into read throughput.
+    /// Needs `replication >= 2` to change anything. Off by default: the
+    /// primary has the freshest un-replicated state, so single-replica
+    /// deployments and strict-freshness tests keep the old behaviour.
+    pub follower_reads: bool,
 }
 
 impl Default for ClusterConfig {
@@ -72,6 +80,7 @@ impl Default for ClusterConfig {
             snapshot_wal_ops: 10_000,
             replication: 1,
             hedge_budget: None,
+            follower_reads: false,
         }
     }
 }
@@ -155,7 +164,9 @@ impl Cluster {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("propeller-in-{}", id.raw()))
-                    .spawn(move || run_actor(rx, move |req| node.handle(req)))
+                    .spawn(move || {
+                        run_actor_deferred(rx, move |req, reply| node.handle_deferred(req, reply))
+                    })
                     .expect("spawn index node"),
             );
         }
@@ -189,10 +200,11 @@ impl Cluster {
             self.index_nodes.clone(),
             self.clock.clone(),
         );
-        match self.config.hedge_budget {
+        let engine = match self.config.hedge_budget {
             Some(budget) => engine.with_hedge_budget(budget),
             None => engine,
-        }
+        };
+        engine.with_follower_reads(self.config.follower_reads)
     }
 
     /// The fabric handle (tests and benches).
@@ -244,7 +256,11 @@ impl Cluster {
         self.handles.push(
             std::thread::Builder::new()
                 .name(format!("propeller-in-{}-revived", id.raw()))
-                .spawn(move || crate::rpc::run_actor(rx, move |req| node.handle(req)))
+                .spawn(move || {
+                    crate::rpc::run_actor_deferred(rx, move |req, reply| {
+                        node.handle_deferred(req, reply)
+                    })
+                })
                 .expect("spawn revived index node"),
         );
     }
@@ -520,6 +536,71 @@ mod tests {
             assert_eq!(answers[0], answers[1], "{acg:?} replicas diverged after the split");
             assert!(!answers[0].is_empty() || answers[1].is_empty());
         }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn follower_reads_spread_session_opens_across_replicas() {
+        let cluster = Cluster::start(ClusterConfig {
+            index_nodes: 2,
+            replication: 2,
+            follower_reads: true,
+            ..Default::default()
+        });
+        let mut client = cluster.client();
+        client.index_files((0..50).map(|i| record(i, 10)).collect()).unwrap();
+        let located = match cluster.rpc().call(cluster.master_id(), Request::LocateAcgs) {
+            Ok(Response::Located(rows)) => rows,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(located.len(), 1, "one ACG expected: {located:?}");
+        let replicas = located[0].1.clone();
+        assert_eq!(replicas.len(), 2);
+        let now = cluster.clock.now();
+        let request = propeller_query::SearchRequest::parse("size>1m", now).unwrap();
+        for _ in 0..6 {
+            assert_eq!(client.search_streamed(&request).unwrap().hits.len(), 50);
+        }
+        // Round-robin opens must land searches on BOTH replicas, not just
+        // the primary; replicas hold identical committed state so every
+        // answer above was still the full hit list.
+        let served: Vec<u64> = replicas
+            .iter()
+            .map(|&node| match cluster.rpc().call(node, Request::NodeStats) {
+                Ok(Response::NodeStatsReport { searches_served, .. }) => searches_served,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert!(
+            served.iter().all(|&n| n >= 2),
+            "6 round-robin opens over 2 replicas should give each at least 2: {served:?}"
+        );
+        assert_eq!(served.iter().sum::<u64>(), 6, "{served:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn without_follower_reads_the_primary_serves_every_open() {
+        let cluster =
+            Cluster::start(ClusterConfig { index_nodes: 2, replication: 2, ..Default::default() });
+        let mut client = cluster.client();
+        client.index_files((0..50).map(|i| record(i, 10)).collect()).unwrap();
+        let located = match cluster.rpc().call(cluster.master_id(), Request::LocateAcgs) {
+            Ok(Response::Located(rows)) => rows,
+            other => panic!("{other:?}"),
+        };
+        let (primary, follower) = (located[0].1[0], located[0].1[1]);
+        let now = cluster.clock.now();
+        let request = propeller_query::SearchRequest::parse("size>1m", now).unwrap();
+        for _ in 0..4 {
+            assert_eq!(client.search_streamed(&request).unwrap().hits.len(), 50);
+        }
+        let count = |node| match cluster.rpc().call(node, Request::NodeStats) {
+            Ok(Response::NodeStatsReport { searches_served, .. }) => searches_served,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(count(primary), 4);
+        assert_eq!(count(follower), 0, "follower must stay cold when follower_reads is off");
         cluster.shutdown();
     }
 

@@ -16,10 +16,13 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use propeller_acg::{bisect, AcgGraph, PartitionConfig};
-use propeller_index::{snapshot, AcgIndexGroup, FileRecord, GroupConfig, IndexSpec, Wal};
+use propeller_index::{
+    snapshot, AcgEpoch, AcgIndexGroup, EpochSnapshotJob, FileRecord, GroupConfig, IndexSpec, Wal,
+};
 use propeller_query::{
     execute_classic, execute_node_request, ClassicResults, ClassicTask, GlobalCutoff, Hit,
     NodeSearchSession, SearchRequest, SearchStats, SessionPage,
@@ -150,7 +153,7 @@ type SearchJob = Box<dyn FnOnce() -> (Vec<Hit>, SearchStats) + Send>;
 /// cutoff.
 fn run_classic_on_pool<'a>(
     pool: &'a WorkerPool,
-    arcs: &'a [Arc<AcgIndexGroup>],
+    arcs: &'a [Arc<AcgEpoch>],
     request: &'a Arc<SearchRequest>,
 ) -> impl FnOnce(Vec<ClassicTask>, Option<&Arc<GlobalCutoff>>) -> ClassicResults + 'a {
     move |tasks, cutoff| {
@@ -168,13 +171,144 @@ fn run_classic_on_pool<'a>(
     }
 }
 
-/// One suspended streamed search plus its eviction bookkeeping.
+/// One suspended streamed search plus its eviction bookkeeping. The
+/// session sits behind its own mutex so a pull job can page it off the
+/// actor thread; the table lock is only held for lookups and evictions,
+/// never across a pull.
 struct SessionEntry {
-    session: NodeSearchSession,
+    session: Arc<Mutex<NodeSearchSession>>,
     /// The opening client (per-client caps key off this).
     client: u64,
     /// Logical last-use stamp for LRU eviction.
     last_used: u64,
+}
+
+/// The node's suspended-session table, shared between the actor thread
+/// (close, eviction) and the pool jobs that open and pull sessions.
+struct SessionTable {
+    entries: Mutex<HashMap<u64, SessionEntry>>,
+    next_id: AtomicU64,
+    seq: AtomicU64,
+    max_sessions: usize,
+    max_per_client: usize,
+}
+
+impl SessionTable {
+    fn new(max_sessions: usize, max_per_client: usize) -> Self {
+        SessionTable {
+            entries: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            max_sessions,
+            max_per_client,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<u64, SessionEntry>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Stores a suspended session under a fresh id, evicting the opening
+    /// client's least-recently-pulled session past the per-client cap and
+    /// the node-wide LRU session past the table cap. Evicted clients
+    /// recover by reopening with a resume cursor, so eviction costs one
+    /// extra round trip, never correctness.
+    fn store(&self, client: u64, session: NodeSearchSession) -> u64 {
+        let mut entries = self.lock();
+        let per_client = self.max_per_client.max(1);
+        while entries.values().filter(|e| e.client == client).count() >= per_client {
+            let victim = entries
+                .iter()
+                .filter(|(_, e)| e.client == client)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&id, _)| id);
+            let Some(id) = victim else { break };
+            entries.remove(&id);
+        }
+        while entries.len() >= self.max_sessions.max(1) {
+            let victim = entries.iter().min_by_key(|(_, e)| e.last_used).map(|(&id, _)| id);
+            let Some(id) = victim else { break };
+            entries.remove(&id);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let last_used = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        entries
+            .insert(id, SessionEntry { session: Arc::new(Mutex::new(session)), client, last_used });
+        id
+    }
+
+    /// Checks a session out for a pull: bumps its LRU stamp and returns a
+    /// handle to its mutex. The table lock is released before the pull
+    /// runs, so pulls on different sessions never serialize on the table.
+    fn checkout(&self, id: u64) -> Option<Arc<Mutex<NodeSearchSession>>> {
+        let stamp = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.lock();
+        let entry = entries.get_mut(&id)?;
+        entry.last_used = stamp;
+        Some(Arc::clone(&entry.session))
+    }
+
+    fn remove(&self, id: u64) -> Option<Arc<Mutex<NodeSearchSession>>> {
+        self.lock().remove(&id).map(|e| e.session)
+    }
+}
+
+/// One unit of work for the background snapshot writer.
+enum SnapshotTask {
+    /// Serialize a pinned epoch to disk.
+    Write { acg: AcgId, job: EpochSnapshotJob },
+    /// Flush barrier: acknowledged once every earlier task finished.
+    Barrier(std::sync::mpsc::Sender<()>),
+}
+
+/// The node's background snapshot writer: one thread serializing pinned
+/// epochs to disk so snapshots stall neither the actor nor any search
+/// (searches read other pins of the same immutable epochs). The actor
+/// `begin`s a snapshot — pinning the epoch and marking the group
+/// in-flight — enqueues the write here, and applies the completion
+/// (`finish_snapshot`/`abort_snapshot`) when it next drains `done_rx`.
+struct SnapshotWriter {
+    tx: std::sync::mpsc::Sender<SnapshotTask>,
+    /// Completions: `(acg, snapshot lsn, write succeeded)`.
+    done_rx: std::sync::mpsc::Receiver<(AcgId, u64, bool)>,
+}
+
+impl SnapshotWriter {
+    fn spawn(gate: Arc<(Mutex<bool>, Condvar)>) -> Self {
+        let (tx, rx) = std::sync::mpsc::channel::<SnapshotTask>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::Builder::new()
+            .name("propeller-snap-writer".into())
+            .spawn(move || {
+                while let Ok(task) = rx.recv() {
+                    match task {
+                        SnapshotTask::Write { acg, job } => {
+                            // Test hook: a closed gate holds every write
+                            // (not the actor, not searches) until reopened.
+                            let (paused, cv) = &*gate;
+                            let mut held = paused.lock().unwrap_or_else(PoisonError::into_inner);
+                            while *held {
+                                held = cv.wait(held).unwrap_or_else(PoisonError::into_inner);
+                            }
+                            drop(held);
+                            let ok = job.write().is_ok();
+                            if done_tx.send((acg, job.lsn, ok)).is_err() {
+                                return;
+                            }
+                        }
+                        SnapshotTask::Barrier(ack) => {
+                            let _ = ack.send(());
+                        }
+                    }
+                }
+            })
+            .expect("spawn snapshot writer");
+        SnapshotWriter { tx, done_rx }
+    }
 }
 
 /// Index Node configuration.
@@ -245,14 +379,15 @@ pub struct IndexNode {
     /// Time source for measured search latency ([`SearchStats::elapsed`]);
     /// the cluster/service injects its own (wall or virtual) clock.
     clock: Arc<dyn Clock>,
-    /// Hosted groups. `Arc` so the persistent worker pool's jobs can hold
-    /// a group across threads during one search; outside a search the
-    /// actor thread is the only owner (the pool joins its batch before
-    /// `handle` returns), so mutation goes through [`Arc::get_mut`].
-    groups: HashMap<AcgId, Arc<AcgIndexGroup>>,
+    /// Hosted groups, owned by the actor thread. The mutable build side
+    /// (WAL, pending cache) lives here; searches never touch it — they
+    /// pin each group's published [`AcgEpoch`] and read that immutable
+    /// snapshot on the worker pool while the actor keeps committing.
+    groups: HashMap<AcgId, AcgIndexGroup>,
     /// The node's persistent search pool (see `search_parallelism`),
-    /// created once and reused by every multi-ACG search.
-    pool: WorkerPool,
+    /// created once and reused by every search; shared with the deferred
+    /// search jobs, which own their replies.
+    pool: Arc<WorkerPool>,
     graphs: HashMap<AcgId, AcgGraph>,
     /// Indices to create on every (current and future) group.
     extra_specs: Vec<IndexSpec>,
@@ -268,12 +403,21 @@ pub struct IndexNode {
     tombstone_order: std::collections::VecDeque<(AcgId, FileId, u64)>,
     tombstone_gen: u64,
     /// Suspended streamed searches, bounded by the session caps (see
-    /// [`IndexNodeConfig::max_search_sessions`]).
-    sessions: HashMap<u64, SessionEntry>,
-    next_session_id: u64,
-    session_seq: u64,
+    /// [`IndexNodeConfig::max_search_sessions`]); shared with the pool
+    /// jobs that open and pull them.
+    sessions: Arc<SessionTable>,
     searches_served: u64,
     ops_received: u64,
+    /// Epochs published by this node (non-empty commits). Shared with
+    /// running search jobs so they can witness commits that overlapped
+    /// their execution ([`SearchStats::commits_during_search`]).
+    commits: Arc<AtomicU64>,
+    /// Snapshot jobs handed to the background writer so far.
+    snapshots_offloaded: u64,
+    /// Lazily-spawned background snapshot writer (durable nodes only).
+    snapshot_writer: Option<SnapshotWriter>,
+    /// Pause gate the writer checks before each write (test hook).
+    snapshot_gate: Arc<(Mutex<bool>, Condvar)>,
 }
 
 impl std::fmt::Debug for IndexNode {
@@ -291,7 +435,11 @@ impl IndexNode {
     /// Creates an empty Index Node (wall clock; see
     /// [`IndexNode::with_clock`] to inject a virtual one).
     pub fn new(id: NodeId, config: IndexNodeConfig) -> Self {
-        let pool = WorkerPool::new(config.search_parallelism);
+        let pool = Arc::new(WorkerPool::new(config.search_parallelism));
+        let sessions = Arc::new(SessionTable::new(
+            config.max_search_sessions,
+            config.max_search_sessions_per_client,
+        ));
         IndexNode {
             id,
             config,
@@ -303,11 +451,13 @@ impl IndexNode {
             moved_away: HashMap::new(),
             tombstone_order: std::collections::VecDeque::new(),
             tombstone_gen: 0,
-            sessions: HashMap::new(),
-            next_session_id: 0,
-            session_seq: 0,
+            sessions,
             searches_served: 0,
             ops_received: 0,
+            commits: Arc::new(AtomicU64::new(0)),
+            snapshots_offloaded: 0,
+            snapshot_writer: None,
+            snapshot_gate: Arc::new((Mutex::new(false), Condvar::new())),
         }
     }
 
@@ -340,7 +490,7 @@ impl IndexNode {
         for acg in acgs {
             let cfg = Self::group_config(&node.config, acg)?;
             let (group, _report) = AcgIndexGroup::recover_with_report(acg, cfg)?;
-            node.groups.insert(acg, Arc::new(group));
+            node.groups.insert(acg, group);
         }
         // Stale-route tombstones are part of the node's durable identity:
         // a revived node must keep rejecting batches routed to files it
@@ -418,14 +568,6 @@ impl IndexNode {
         (self.searches_served, self.ops_received)
     }
 
-    /// Exclusive access to a hosted group. Search executions borrow the
-    /// `Arc`s only while one `Search` request is being served (the pool
-    /// joins its batch before `handle` returns), so outside that window
-    /// the actor thread is the sole owner.
-    fn exclusive(group: &mut Arc<AcgIndexGroup>) -> &mut AcgIndexGroup {
-        Arc::get_mut(group).expect("no search job outlives its request")
-    }
-
     fn group_mut(&mut self, acg: AcgId) -> Result<&mut AcgIndexGroup, Error> {
         if !self.groups.contains_key(&acg) {
             let mut group = AcgIndexGroup::new(acg, Self::group_config(&self.config, acg)?);
@@ -433,23 +575,114 @@ impl IndexNode {
                 // Name collisions with defaults are rejected upstream.
                 let _ = group.create_index(spec.clone());
             }
-            self.groups.insert(acg, Arc::new(group));
+            self.groups.insert(acg, group);
         }
-        Ok(Self::exclusive(self.groups.get_mut(&acg).expect("just inserted")))
+        Ok(self.groups.get_mut(&acg).expect("just inserted"))
     }
 
-    /// Commits and snapshots a durable group once its WAL outgrows the
-    /// thresholds. Best-effort by design: the batch that tripped the
-    /// threshold is already durable in the WAL, so a failing snapshot must
-    /// not fail it — the next trigger simply retries.
-    fn maybe_snapshot(group: &mut AcgIndexGroup, ops_thr: u64, bytes_thr: u64, now: Timestamp) {
+    /// Commits the group, counting a published epoch when ops applied.
+    fn commit_group(
+        commits: &AtomicU64,
+        group: &mut AcgIndexGroup,
+        now: Timestamp,
+    ) -> Result<usize, Error> {
+        let n = group.commit(now)?;
+        if n > 0 {
+            commits.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(n)
+    }
+
+    /// The background snapshot writer, spawned on first use (memory-only
+    /// nodes never pay for the thread).
+    fn writer(&mut self) -> &SnapshotWriter {
+        if self.snapshot_writer.is_none() {
+            self.snapshot_writer = Some(SnapshotWriter::spawn(Arc::clone(&self.snapshot_gate)));
+        }
+        self.snapshot_writer.as_ref().expect("just spawned")
+    }
+
+    /// Applies finished background snapshots: a successful write truncates
+    /// the WAL and prunes old checkpoints (`finish_snapshot`); a failure
+    /// just clears the in-flight flag so the next trigger retries.
+    fn drain_snapshot_completions(&mut self) {
+        let Some(writer) = &self.snapshot_writer else { return };
+        let mut done = Vec::new();
+        while let Ok(completion) = writer.done_rx.try_recv() {
+            done.push(completion);
+        }
+        for (acg, lsn, ok) in done {
+            let Some(group) = self.groups.get_mut(&acg) else { continue };
+            if ok {
+                let _ = group.finish_snapshot(lsn);
+            } else {
+                group.abort_snapshot();
+            }
+        }
+    }
+
+    /// Blocks until every enqueued background snapshot has been written
+    /// *and applied*. Tests and benches use this to assert on durable
+    /// state; migrations use it to quiesce the writer before rewriting a
+    /// group's on-disk identity; the serving path never calls it.
+    pub fn flush_snapshots(&mut self) {
+        let Some(writer) = &self.snapshot_writer else { return };
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+        if writer.tx.send(SnapshotTask::Barrier(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+        self.drain_snapshot_completions();
+    }
+
+    /// Test hook: holds the background snapshot writer before its next
+    /// write until [`IndexNode::resume_snapshot_writer`]. The actor and
+    /// every search keep running — that is the property under test.
+    #[doc(hidden)]
+    pub fn pause_snapshot_writer(&mut self) {
+        let (paused, _) = &*self.snapshot_gate;
+        *paused.lock().unwrap_or_else(PoisonError::into_inner) = true;
+    }
+
+    /// Reopens the gate closed by [`IndexNode::pause_snapshot_writer`].
+    #[doc(hidden)]
+    pub fn resume_snapshot_writer(&mut self) {
+        let (paused, cv) = &*self.snapshot_gate;
+        *paused.lock().unwrap_or_else(PoisonError::into_inner) = false;
+        cv.notify_all();
+    }
+
+    /// Background snapshot jobs handed to the writer thread so far.
+    pub fn snapshots_offloaded(&self) -> u64 {
+        self.snapshots_offloaded
+    }
+
+    /// Epochs published (non-empty commits) by this node so far.
+    pub fn commits_published(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Commits a durable group and offloads a snapshot to the background
+    /// writer once its WAL outgrows the thresholds. Best-effort by
+    /// design: the batch that tripped the threshold is already durable in
+    /// the WAL, so a failing snapshot must not fail it — the next trigger
+    /// simply retries. The actor only pins the epoch and marks the group
+    /// in-flight here; serialization happens off-thread, blocking neither
+    /// ingest nor searches.
+    fn maybe_snapshot(&mut self, acg: AcgId, now: Timestamp) {
+        self.drain_snapshot_completions();
+        let (ops_thr, bytes_thr) = (self.config.snapshot_wal_ops, self.config.snapshot_wal_bytes);
+        let commits = Arc::clone(&self.commits);
+        let Some(group) = self.groups.get_mut(&acg) else { return };
         if !group.is_durable() {
             return;
         }
         if (group.wal_ops() >= ops_thr || group.wal_bytes_since_snapshot() >= bytes_thr)
-            && group.commit(now).is_ok()
+            && Self::commit_group(&commits, group, now).is_ok()
         {
-            let _ = group.snapshot();
+            if let Some(job) = group.begin_snapshot() {
+                self.snapshots_offloaded += 1;
+                let _ = self.writer().tx.send(SnapshotTask::Write { acg, job });
+            }
         }
     }
 
@@ -458,51 +691,24 @@ impl IndexNode {
         self.sessions.len()
     }
 
-    /// Stores a suspended session under a fresh id, evicting the opening
-    /// client's least-recently-pulled session past the per-client cap and
-    /// the node-wide LRU session past the table cap. Evicted clients
-    /// recover by reopening with a resume cursor, so eviction costs one
-    /// extra round trip, never correctness.
-    fn store_session(&mut self, client: u64, session: NodeSearchSession) -> u64 {
-        let per_client = self.config.max_search_sessions_per_client.max(1);
-        while self.sessions.values().filter(|e| e.client == client).count() >= per_client {
-            let victim = self
-                .sessions
-                .iter()
-                .filter(|(_, e)| e.client == client)
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&id, _)| id);
-            let Some(id) = victim else { break };
-            self.sessions.remove(&id);
-        }
-        while self.sessions.len() >= self.config.max_search_sessions.max(1) {
-            let victim = self.sessions.iter().min_by_key(|(_, e)| e.last_used).map(|(&id, _)| id);
-            let Some(id) = victim else { break };
-            self.sessions.remove(&id);
-        }
-        self.session_seq += 1;
-        self.next_session_id += 1;
-        let id = self.next_session_id;
-        self.sessions.insert(id, SessionEntry { session, client, last_used: self.session_seq });
-        id
-    }
-
     /// The commit phase shared by one-shot `Search` and `OpenSearch` —
     /// the paper's consistency rule (commit before search) mutates each
-    /// group and stays on the actor thread. The returned committed groups
-    /// are then immutable for the rest of the request, which is what lets
-    /// execution fan out.
+    /// group and stays on the actor thread. The returned pinned epochs
+    /// are immutable forever, which is what lets execution leave the
+    /// actor entirely: the next `IndexBatch` commits into *new* epochs
+    /// while the search still reads its pins.
     fn commit_for_search(
         &mut self,
         acgs: &[AcgId],
         now: Timestamp,
-    ) -> Result<Vec<Arc<AcgIndexGroup>>, Error> {
+    ) -> Result<Vec<Arc<AcgEpoch>>, Error> {
+        let commits = Arc::clone(&self.commits);
         for acg in acgs {
             if let Some(group) = self.groups.get_mut(acg) {
-                Self::exclusive(group).commit(now)?;
+                Self::commit_group(&commits, group, now)?;
             }
         }
-        Ok(acgs.iter().filter_map(|acg| self.groups.get(acg)).cloned().collect())
+        Ok(acgs.iter().filter_map(|acg| self.groups.get(acg)).map(AcgIndexGroup::pin).collect())
     }
 
     /// Records stale-route tombstones for files migrated out of `acg`,
@@ -551,8 +757,141 @@ impl IndexNode {
         v
     }
 
-    /// Handles one request (the actor body).
+    /// Handles one request synchronously. Unit tests, benches and inline
+    /// embeddings drive this; it routes through
+    /// [`IndexNode::handle_deferred`] and waits for the reply, so sync
+    /// callers observe exactly the deferred semantics.
     pub fn handle(&mut self, req: Request) -> Response {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.handle_deferred(req, move |resp| {
+            let _ = tx.send(resp);
+        });
+        match rx.recv() {
+            Ok(resp) => resp,
+            // The deferred job died (panicked) before replying.
+            Err(_) => Response::Err(Error::Rpc("search job aborted".into())),
+        }
+    }
+
+    /// Handles one request, delivering the response through `reply` (the
+    /// actor body). Ingest, replication and maintenance requests mutate
+    /// node state and reply inline from the actor thread. The search
+    /// family — `Search`, `OpenSearch`, `PullHits` — does its mutating
+    /// prefix here (the paper's commit-before-search, session checkout)
+    /// and then executes on the worker pool against **pinned epochs**,
+    /// replying from the pool job: the actor returns immediately and
+    /// commits the next `IndexBatch` while the search still runs. A
+    /// commit publishes a *new* epoch; running searches keep their pins,
+    /// so ingest never blocks reads and reads never block ingest.
+    pub fn handle_deferred(&mut self, req: Request, reply: impl FnOnce(Response) + Send + 'static) {
+        match req {
+            Request::Search { acgs, request, now } => {
+                self.searches_served += 1;
+                let started = self.clock.now();
+                let epochs = match self.commit_for_search(&acgs, now) {
+                    Ok(epochs) => epochs,
+                    Err(e) => return reply(Response::Err(e)),
+                };
+                let pool = Arc::clone(&self.pool);
+                let clock = Arc::clone(&self.clock);
+                let commits = Arc::clone(&self.commits);
+                let commits_before = commits.load(Ordering::Relaxed);
+                self.pool.submit(move || {
+                    // Execution phase, under the node-global k cutoff:
+                    // ordered-planned groups become lazy candidate streams
+                    // pulled through one k-way merge (stop at k total
+                    // admitted hits across all ACGs); the remaining groups
+                    // run their bounded scans as pool subjobs, pruning
+                    // against the shared merged bound. Everything reads
+                    // the pinned epochs.
+                    let refs: Vec<&AcgEpoch> = epochs.iter().map(Arc::as_ref).collect();
+                    let request = Arc::new(request);
+                    let (hits, mut stats) = execute_node_request(
+                        &refs,
+                        request.as_ref(),
+                        run_classic_on_pool(&pool, &epochs, &request),
+                    );
+                    // The whole answer ships in this one exchange — the
+                    // baseline the streamed session path is measured
+                    // against.
+                    stats.pages_pulled = 1;
+                    stats.hits_shipped = hits.len();
+                    stats.epoch_pins = epochs.len();
+                    stats.commits_during_search =
+                        (commits.load(Ordering::Relaxed) - commits_before) as usize;
+                    stats.elapsed = clock.now().since(started);
+                    reply(Response::SearchHits { hits, stats });
+                });
+            }
+            Request::OpenSearch { acgs, request, client, page, now } => {
+                self.searches_served += 1;
+                let started = self.clock.now();
+                // Commit-then-search, exactly as for a one-shot Search;
+                // later pulls do NOT re-commit — the session pages the
+                // epochs pinned here for its whole lifetime, so every
+                // page reflects one consistent committed view.
+                let epochs = match self.commit_for_search(&acgs, now) {
+                    Ok(epochs) => epochs,
+                    Err(e) => return reply(Response::Err(e)),
+                };
+                let pool = Arc::clone(&self.pool);
+                let clock = Arc::clone(&self.clock);
+                let commits = Arc::clone(&self.commits);
+                let commits_before = commits.load(Ordering::Relaxed);
+                let sessions = Arc::clone(&self.sessions);
+                self.pool.submit(move || {
+                    let request = Arc::new(request);
+                    let (mut session, mut stats) = NodeSearchSession::open(
+                        &epochs,
+                        request.as_ref(),
+                        run_classic_on_pool(&pool, &epochs, &request),
+                    );
+                    let SessionPage { hits, stats: page_stats, exhausted } =
+                        session.pull_pinned(page);
+                    stats.absorb(page_stats);
+                    stats.epoch_pins = epochs.len();
+                    stats.commits_during_search =
+                        (commits.load(Ordering::Relaxed) - commits_before) as usize;
+                    let session_id = if exhausted {
+                        // Nothing left: report the final accounting now and
+                        // never store the session (0 = do not pull or
+                        // close).
+                        stats.absorb(session.close());
+                        0
+                    } else {
+                        sessions.store(client, session)
+                    };
+                    stats.elapsed = clock.now().since(started);
+                    reply(Response::SearchPage { session: session_id, hits, stats, exhausted });
+                });
+            }
+            Request::PullHits { session, page } => {
+                let started = self.clock.now();
+                let clock = Arc::clone(&self.clock);
+                let sessions = Arc::clone(&self.sessions);
+                self.pool.submit(move || {
+                    let Some(slot) = sessions.checkout(session) else {
+                        return reply(Response::Err(Error::SearchSessionExpired { session }));
+                    };
+                    // Concurrent pulls on one session serialize on its own
+                    // mutex, never on the table or the actor.
+                    let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                    let SessionPage { hits, mut stats, exhausted } = guard.pull_pinned(page);
+                    if exhausted {
+                        stats.absorb(guard.close());
+                        drop(guard);
+                        sessions.remove(session);
+                    }
+                    stats.elapsed = clock.now().since(started);
+                    reply(Response::SearchPage { session, hits, stats, exhausted });
+                });
+            }
+            other => reply(self.handle_sync(other)),
+        }
+    }
+
+    /// The inline (actor-thread) arms of the request match.
+    fn handle_sync(&mut self, req: Request) -> Response {
         match req {
             Request::IndexBatch { acg, ops, now } => {
                 // Reject ops for files migrated out of this ACG: the client
@@ -564,8 +903,6 @@ impl IndexNode {
                     }
                 }
                 self.ops_received += ops.len() as u64;
-                let (ops_thr, bytes_thr) =
-                    (self.config.snapshot_wal_ops, self.config.snapshot_wal_bytes);
                 let group = match self.group_mut(acg) {
                     Ok(group) => group,
                     Err(e) => return Response::Err(e),
@@ -579,11 +916,12 @@ impl IndexNode {
                 let lsn = group.last_lsn();
                 // Durability point: a durable node acknowledges a batch
                 // only once its frame is on stable storage.
-                if group.is_durable() {
+                let durable = group.is_durable();
+                if durable {
                     if let Err(e) = group.sync_wal() {
                         return Response::Err(e);
                     }
-                    Self::maybe_snapshot(group, ops_thr, bytes_thr, now);
+                    self.maybe_snapshot(acg, now);
                 }
                 Response::BatchLogged { lsn }
             }
@@ -592,8 +930,7 @@ impl IndexNode {
                 // the batch's routes when it logged the frame; a replicated
                 // frame must apply verbatim or replicas diverge.
                 self.ops_received += ops.len() as u64;
-                let (ops_thr, bytes_thr) =
-                    (self.config.snapshot_wal_ops, self.config.snapshot_wal_bytes);
+                let commits = Arc::clone(&self.commits);
                 let group = match self.group_mut(acg) {
                     Ok(group) => group,
                     Err(e) => return Response::Err(e),
@@ -620,19 +957,20 @@ impl IndexNode {
                 // failover search finds the acknowledged frames in it, and
                 // the commit also keeps `applied == logged` so the ack LSN
                 // reflects searchable state.
-                if let Err(e) = group.commit(now) {
+                if let Err(e) = Self::commit_group(&commits, group, now) {
                     return Response::Err(e);
                 }
+                let lsn = group.last_lsn();
                 if group.is_durable() {
-                    Self::maybe_snapshot(group, ops_thr, bytes_thr, now);
+                    self.maybe_snapshot(acg, now);
                 }
-                Response::ReplicaApplied { lsn: group.last_lsn() }
+                Response::ReplicaApplied { lsn }
             }
             Request::FetchAcgFrames { acg, after_lsn, now } => {
+                let commits = Arc::clone(&self.commits);
                 let Some(group) = self.groups.get_mut(&acg) else {
                     return Response::Err(Error::AcgNotFound(acg));
                 };
-                let group = Self::exclusive(group);
                 if group.can_ship_frames_after(after_lsn) {
                     match group.wal_frames_after(after_lsn) {
                         Ok(frames) => Response::AcgFrames(frames),
@@ -643,7 +981,7 @@ impl IndexNode {
                     // (truncated by commit or snapshot): fall back to a
                     // full seed. Commit first so the record set reflects
                     // every logged frame and the seed LSN is exact.
-                    if let Err(e) = group.commit(now) {
+                    if let Err(e) = Self::commit_group(&commits, group, now) {
                         return Response::Err(e);
                     }
                     Response::AcgSeed {
@@ -653,6 +991,11 @@ impl IndexNode {
                 }
             }
             Request::SeedAcg { acg, lsn, records, now } => {
+                // Quiesce the background snapshot writer first: a seed
+                // resets the WAL and rewrites the durable checkpoint, and
+                // an in-flight write of the pre-seed epoch must not land
+                // after (and contradict) the seed's on-disk image.
+                self.flush_snapshots();
                 // Seeded files live here now: clear their tombstones (same
                 // rule as InstallAcg) or a revival would reject valid
                 // batches forever.
@@ -684,86 +1027,11 @@ impl IndexNode {
                 rows.sort();
                 Response::AcgLsnReport(rows)
             }
-            Request::Search { acgs, request, now } => {
-                self.searches_served += 1;
-                let started = self.clock.now();
-                let arcs = match self.commit_for_search(&acgs, now) {
-                    Ok(arcs) => arcs,
-                    Err(e) => return Response::Err(e),
-                };
-                // Execution phase, under the node-global k cutoff:
-                // ordered-planned groups become lazy candidate streams
-                // pulled through one k-way merge (stop at k total admitted
-                // hits across all ACGs); the remaining groups run their
-                // bounded scans on the persistent worker pool, pruning
-                // against the shared merged bound.
-                let refs: Vec<&AcgIndexGroup> = arcs.iter().map(Arc::as_ref).collect();
-                let request = Arc::new(request);
-                let (hits, mut stats) = execute_node_request(
-                    &refs,
-                    request.as_ref(),
-                    run_classic_on_pool(&self.pool, &arcs, &request),
-                );
-                // The whole answer ships in this one exchange — the
-                // baseline the streamed session path is measured against.
-                stats.pages_pulled = 1;
-                stats.hits_shipped = hits.len();
-                stats.elapsed = self.clock.now().since(started);
-                Response::SearchHits { hits, stats }
-            }
-            Request::OpenSearch { acgs, request, client, page, now } => {
-                self.searches_served += 1;
-                let started = self.clock.now();
-                // Commit-then-search, exactly as for a one-shot Search;
-                // later pulls do NOT re-commit — a session pages the same
-                // read-committed view cursor pagination would see.
-                let arcs = match self.commit_for_search(&acgs, now) {
-                    Ok(arcs) => arcs,
-                    Err(e) => return Response::Err(e),
-                };
-                let refs: Vec<&AcgIndexGroup> = arcs.iter().map(Arc::as_ref).collect();
-                let request = Arc::new(request);
-                let (mut session, mut stats) = NodeSearchSession::open(
-                    &refs,
-                    request.as_ref(),
-                    run_classic_on_pool(&self.pool, &arcs, &request),
-                );
-                drop(refs);
-                let groups = &self.groups;
-                let SessionPage { hits, stats: page_stats, exhausted } =
-                    session.pull(|acg| groups.get(&acg).map(Arc::as_ref), page);
-                stats.absorb(page_stats);
-                let session_id = if exhausted {
-                    // Nothing left: report the final accounting now and
-                    // never store the session (0 = do not pull or close).
-                    stats.absorb(session.close());
-                    0
-                } else {
-                    self.store_session(client, session)
-                };
-                stats.elapsed = self.clock.now().since(started);
-                Response::SearchPage { session: session_id, hits, stats, exhausted }
-            }
-            Request::PullHits { session, page } => {
-                let started = self.clock.now();
-                self.session_seq += 1;
-                let seq = self.session_seq;
-                let groups = &self.groups;
-                let Some(entry) = self.sessions.get_mut(&session) else {
-                    return Response::Err(Error::SearchSessionExpired { session });
-                };
-                entry.last_used = seq;
-                let SessionPage { hits, mut stats, exhausted } =
-                    entry.session.pull(|acg| groups.get(&acg).map(Arc::as_ref), page);
-                if exhausted {
-                    stats.absorb(entry.session.close());
-                    self.sessions.remove(&session);
+            Request::CloseSearch { session } => match self.sessions.remove(session) {
+                Some(slot) => {
+                    let mut guard = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                    Response::SearchClosed { stats: guard.close() }
                 }
-                stats.elapsed = self.clock.now().since(started);
-                Response::SearchPage { session, hits, stats, exhausted }
-            }
-            Request::CloseSearch { session } => match self.sessions.remove(&session) {
-                Some(mut entry) => Response::SearchClosed { stats: entry.session.close() },
                 // Idempotent: the session was evicted or already closed.
                 None => Response::SearchClosed { stats: SearchStats::default() },
             },
@@ -780,12 +1048,12 @@ impl IndexNode {
                 let mut applied: Vec<AcgId> = Vec::new();
                 for acg in acgs {
                     let group = self.groups.get_mut(&acg).expect("key just listed");
-                    match Self::exclusive(group).create_index(spec.clone()) {
+                    match group.create_index(spec.clone()) {
                         Ok(()) => applied.push(acg),
                         Err(e) => {
                             for acg in applied {
                                 if let Some(group) = self.groups.get_mut(&acg) {
-                                    let _ = Self::exclusive(group).drop_index(&spec.name);
+                                    let _ = group.drop_index(&spec.name);
                                 }
                             }
                             return Response::Err(e);
@@ -800,17 +1068,17 @@ impl IndexNode {
                 for group in self.groups.values_mut() {
                     // Idempotent rollback: groups that never got the spec
                     // are fine.
-                    let _ = Self::exclusive(group).drop_index(&name);
+                    let _ = group.drop_index(&name);
                 }
                 Response::Ok
             }
             Request::SplitAcg { acg } => {
+                let commits = Arc::clone(&self.commits);
                 let Some(group) = self.groups.get_mut(&acg) else {
                     return Response::Err(Error::AcgNotFound(acg));
                 };
-                let group = Self::exclusive(group);
                 // Commit so the split sees every acknowledged file.
-                if let Err(e) = group.commit(Timestamp::EPOCH) {
+                if let Err(e) = Self::commit_group(&commits, group, Timestamp::EPOCH) {
                     return Response::Err(e);
                 }
                 let files = group.files();
@@ -826,12 +1094,16 @@ impl IndexNode {
                 Response::SplitHalves { left: bisection.left, right: bisection.right }
             }
             Request::ExtractAcgPart { acg, files } => {
+                // Quiesce the background writer: the sync post-extraction
+                // snapshot below must not race an in-flight write of the
+                // pre-extraction epoch.
+                self.flush_snapshots();
+                let commits = Arc::clone(&self.commits);
                 let Some(group) = self.groups.get_mut(&acg) else {
                     return Response::Err(Error::AcgNotFound(acg));
                 };
-                let group = Self::exclusive(group);
                 // Commit so extracted records reflect every acknowledged op.
-                if let Err(e) = group.commit(Timestamp::EPOCH) {
+                if let Err(e) = Self::commit_group(&commits, group, Timestamp::EPOCH) {
                     return Response::Err(e);
                 }
                 let wanted: std::collections::HashSet<FileId> = files.iter().copied().collect();
@@ -884,6 +1156,10 @@ impl IndexNode {
                 Response::AcgPart { records, edges }
             }
             Request::InstallAcg { acg, records, edges } => {
+                // Quiesce the background writer (same reasoning as
+                // ExtractAcgPart: the sync snapshot below must win).
+                self.flush_snapshots();
+                let commits = Arc::clone(&self.commits);
                 // A file migrating (back) into an ACG hosted here is no
                 // longer moved-away from it — durably, or a revival would
                 // resurrect the tombstone and reject valid batches forever.
@@ -916,7 +1192,7 @@ impl IndexNode {
                         return Response::Err(e);
                     }
                 }
-                if let Err(e) = group.commit(Timestamp::EPOCH) {
+                if let Err(e) = Self::commit_group(&commits, group, Timestamp::EPOCH) {
                     return Response::Err(e);
                 }
                 // Migrated-in state is snapshot-covered right away
@@ -927,20 +1203,32 @@ impl IndexNode {
                 Response::Ok
             }
             Request::Tick { now } => {
-                let (ops_thr, bytes_thr) =
-                    (self.config.snapshot_wal_ops, self.config.snapshot_wal_bytes);
-                for group in self.groups.values_mut() {
-                    let group = Self::exclusive(group);
+                let commits = Arc::clone(&self.commits);
+                let acgs: Vec<AcgId> = self.groups.keys().copied().collect();
+                for acg in acgs {
+                    let group = self.groups.get_mut(&acg).expect("key just listed");
                     if group.commit_due(now) {
-                        if let Err(e) = group.commit(now) {
+                        if let Err(e) = Self::commit_group(&commits, group, now) {
                             return Response::Err(e);
                         }
                     }
                     // Background snapshotting rides the maintenance tick,
                     // so update-quiet groups still bound their logs.
-                    Self::maybe_snapshot(group, ops_thr, bytes_thr, now);
+                    self.maybe_snapshot(acg, now);
                 }
                 Response::Status(self.summaries())
+            }
+            Request::NodeStats => {
+                self.drain_snapshot_completions();
+                Response::NodeStatsReport {
+                    node: self.id,
+                    acgs: self.groups.len(),
+                    open_sessions: self.sessions.len(),
+                    searches_served: self.searches_served,
+                    ops_received: self.ops_received,
+                    commits_published: self.commits.load(Ordering::Relaxed),
+                    snapshots_offloaded: self.snapshots_offloaded,
+                }
             }
             Request::Heartbeat { .. } => {
                 // The runtime turns our summaries into the heartbeat; an
@@ -1346,7 +1634,9 @@ mod tests {
             });
         }
         // Pre-seed one group with the name so the broadcast fails there.
-        IndexNode::exclusive(n.groups.get_mut(&AcgId::new(2)).unwrap())
+        n.groups
+            .get_mut(&AcgId::new(2))
+            .unwrap()
             .create_index(IndexSpec::btree("clash", propeller_types::AttrName::Uid))
             .unwrap();
         let resp = n.handle(Request::CreateIndex {
@@ -1723,6 +2013,9 @@ mod tests {
                 ops: (0..80).map(|i| IndexOp::Upsert(rec(i, (80 - i) << 10))).collect(),
                 now: t(0),
             });
+            // The snapshot is written off-thread; the barrier makes its
+            // durable effect observable before we assert on the dir.
+            n.flush_snapshots();
             assert!(
                 std::fs::read_dir(&dir)
                     .unwrap()
@@ -1730,6 +2023,7 @@ mod tests {
                     .any(|e| e.file_name().to_string_lossy().ends_with(".snap")),
                 "ops threshold must have triggered a snapshot"
             );
+            assert!(n.snapshots_offloaded() >= 1, "snapshot must have gone through the writer");
             // A post-snapshot tail rides the WAL only.
             n.handle(Request::IndexBatch {
                 acg,
@@ -1745,6 +2039,55 @@ mod tests {
         let mut revived = IndexNode::open(NodeId::new(1), config()).unwrap();
         assert_eq!(revived.acg_count(), 1);
         assert_eq!(search(&mut revived, vec![acg], "size>0"), baseline);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_in_progress_blocks_zero_searches() {
+        // The witness for the epoch split's headline claim: a snapshot
+        // being written never stalls a search. The writer is paused at its
+        // gate *holding an in-flight snapshot task*, and every search —
+        // plus further ingest — completes while it sits there.
+        let dir = temp_dir("snap-nonblocking");
+        let config = IndexNodeConfig {
+            data_dir: Some(dir.clone()),
+            snapshot_wal_ops: 50,
+            ..IndexNodeConfig::default()
+        };
+        let acg = AcgId::new(1);
+        let mut n = IndexNode::open(NodeId::new(1), config).unwrap();
+        n.pause_snapshot_writer();
+        // 80 ops > the 50-op threshold: a snapshot job is enqueued to the
+        // (stalled) writer inside this handler.
+        n.handle(Request::IndexBatch {
+            acg,
+            ops: (0..80).map(|i| IndexOp::Upsert(rec(i, (80 - i) << 10))).collect(),
+            now: t(0),
+        });
+        assert_eq!(n.snapshots_offloaded(), 1, "the threshold snapshot must be in flight");
+        let snap_on_disk = |dir: &PathBuf| {
+            std::fs::read_dir(dir)
+                .map(|rd| rd.flatten().any(|e| e.file_name().to_string_lossy().ends_with(".snap")))
+                .unwrap_or(false)
+        };
+        assert!(!snap_on_disk(&dir), "paused writer must not have written yet");
+        // Searches run to completion while the snapshot write is stalled.
+        for _ in 0..5 {
+            assert_eq!(search(&mut n, vec![acg], "size>0").len(), 80);
+        }
+        // So does further ingest: the build side never waits either.
+        n.handle(Request::IndexBatch {
+            acg,
+            ops: (100..110).map(|i| IndexOp::Upsert(rec(i, 5 << 10))).collect(),
+            now: t(1),
+        });
+        assert_eq!(search(&mut n, vec![acg], "size>0").len(), 90);
+        assert!(!snap_on_disk(&dir), "still stalled: the searches above beat the snapshot");
+        // Unblock the writer; the barrier makes the write observable.
+        n.resume_snapshot_writer();
+        n.flush_snapshots();
+        assert!(snap_on_disk(&dir), "released writer lands the snapshot");
+        drop(n);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -2178,7 +2521,9 @@ mod tests {
         }
         // Partial-broadcast rollback: pre-seed one group with a clashing
         // inverted name, then broadcast it — no group may keep the spec.
-        IndexNode::exclusive(n.groups.get_mut(&AcgId::new(2)).unwrap())
+        n.groups
+            .get_mut(&AcgId::new(2))
+            .unwrap()
             .create_index(IndexSpec::inverted("inv_clash"))
             .unwrap();
         let resp = n.handle(Request::CreateIndex { spec: IndexSpec::inverted("inv_clash") });

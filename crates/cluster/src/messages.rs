@@ -255,6 +255,8 @@ pub enum Request {
         /// Current time.
         now: Timestamp,
     },
+    /// Fetch an Index Node's counters (observability; tests and benches).
+    NodeStats,
     /// Orderly shutdown.
     Shutdown,
 }
@@ -366,6 +368,23 @@ pub enum Response {
     /// An Index Node's per-ACG status (returned by `Tick`; the coordinator
     /// forwards it to the Master as a heartbeat).
     Status(Vec<AcgSummary>),
+    /// An Index Node's counters (response to [`Request::NodeStats`]).
+    NodeStatsReport {
+        /// The reporting node.
+        node: NodeId,
+        /// Hosted ACGs.
+        acgs: usize,
+        /// Suspended streamed search sessions.
+        open_sessions: usize,
+        /// Searches served (one-shot plus session opens).
+        searches_served: u64,
+        /// Index ops received (primary plus replicated).
+        ops_received: u64,
+        /// Epochs published (non-empty commits).
+        commits_published: u64,
+        /// Snapshot jobs offloaded to the background writer.
+        snapshots_offloaded: u64,
+    },
     /// Failure.
     Err(Error),
 }

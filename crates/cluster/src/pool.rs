@@ -32,16 +32,29 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 /// A queued unit of work: type-erased, result delivery captured inside.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// The queue shared between the submitting thread and the workers.
+/// The two job lanes shared between submitting threads and the workers.
+///
+/// `batch` holds the subjobs of a [`WorkerPool::run`] call; `detached`
+/// holds fire-and-forget [`WorkerPool::submit`] jobs (whole searches with
+/// the reply captured inside). They are separate lanes on purpose: a
+/// detached search job may itself call `run` for its per-ACG scans, and
+/// the helping loop inside `run` must only ever execute *batch* subjobs —
+/// picking up another whole search there would nest searches and inflate
+/// the outer one's latency unboundedly.
+struct Queues {
+    batch: VecDeque<Job>,
+    detached: VecDeque<Job>,
+}
+
 struct Shared {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<Queues>,
     /// Signalled when jobs arrive or shutdown begins.
     available: Condvar,
     shutdown: AtomicBool,
 }
 
 impl Shared {
-    fn lock(&self) -> MutexGuard<'_, VecDeque<Job>> {
+    fn lock(&self) -> MutexGuard<'_, Queues> {
         // Jobs run under `catch_unwind`, so a poisoned queue can only come
         // from a panic in the pool's own bookkeeping; recover rather than
         // cascade.
@@ -58,7 +71,7 @@ struct PoolInner {
 impl PoolInner {
     fn spawn(workers: usize) -> Self {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(Queues { batch: VecDeque::new(), detached: VecDeque::new() }),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
         });
@@ -78,15 +91,19 @@ impl PoolInner {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.lock();
+            let mut queues = shared.lock();
             loop {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                if let Some(job) = queue.pop_front() {
+                // Batch subjobs first: they are the inner stages of
+                // already-running searches, so finishing them unblocks a
+                // waiting `run` caller; detached jobs are brand-new work.
+                if let Some(job) = queues.batch.pop_front().or_else(|| queues.detached.pop_front())
+                {
                     break job;
                 }
-                queue = shared.available.wait(queue).unwrap_or_else(PoisonError::into_inner);
+                queues = shared.available.wait(queues).unwrap_or_else(PoisonError::into_inner);
             }
         };
         job();
@@ -125,6 +142,27 @@ impl WorkerPool {
         self.width
     }
 
+    /// Spawns the worker threads on first use. `run` on a width-1 pool
+    /// never calls this (it stays inline); `submit` always needs at least
+    /// one worker, so even a width-1 pool spawns one for its detached
+    /// lane.
+    fn spawned(&self) -> &PoolInner {
+        self.inner.get_or_init(|| PoolInner::spawn(self.width.max(2) - 1))
+    }
+
+    /// Enqueues a fire-and-forget job (result delivery captured inside)
+    /// and returns immediately — the submitting thread never blocks. Jobs
+    /// run on the pool's workers in submission order as they free up; a
+    /// panicking job is swallowed by the worker (the job owns its reply
+    /// channel, so its caller observes a dropped reply, not a crash).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let inner = self.spawned();
+        inner.shared.lock().detached.push_back(Box::new(move || {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }));
+        inner.shared.available.notify_one();
+    }
+
     /// Runs `jobs` across the pool, returning their results **in job
     /// order**. Blocks until every job finished. With a single job or a
     /// width of 1 the jobs run inline on the caller; otherwise the caller
@@ -141,14 +179,14 @@ impl WorkerPool {
         if self.width <= 1 || jobs.len() <= 1 {
             return jobs.into_iter().map(|job| job()).collect();
         }
-        let inner = self.inner.get_or_init(|| PoolInner::spawn(self.width - 1));
+        let inner = self.spawned();
         let total = jobs.len();
         let (tx, rx) = std::sync::mpsc::channel::<(usize, std::thread::Result<T>)>();
         {
-            let mut queue = inner.shared.lock();
+            let mut queues = inner.shared.lock();
             for (i, job) in jobs.into_iter().enumerate() {
                 let tx: Sender<(usize, std::thread::Result<T>)> = tx.clone();
-                queue.push_back(Box::new(move || {
+                queues.batch.push_back(Box::new(move || {
                     let result = catch_unwind(AssertUnwindSafe(job));
                     // The receiver only disappears if the caller panicked
                     // out of the collection loop; nothing left to report.
@@ -158,11 +196,13 @@ impl WorkerPool {
         }
         drop(tx);
         inner.shared.available.notify_all();
-        // The caller is one of the execution streams: drain jobs from the
-        // shared queue until it runs dry (other batches' jobs included —
-        // helping is always sound, the closures are self-contained).
+        // The caller is one of the execution streams: drain *batch*
+        // subjobs from the shared queue until it runs dry (other batches'
+        // subjobs included — helping is always sound, the closures are
+        // self-contained; detached whole-search jobs are never picked up
+        // here, see `Queues`).
         loop {
-            let job = inner.shared.lock().pop_front();
+            let job = inner.shared.lock().batch.pop_front();
             match job {
                 Some(job) => job(),
                 None => break,
@@ -185,8 +225,19 @@ impl Drop for WorkerPool {
         if let Some(inner) = self.inner.take() {
             inner.shared.shutdown.store(true, Ordering::Release);
             inner.shared.available.notify_all();
+            // The pool is shared with detached jobs (`submit` closures own
+            // an `Arc<WorkerPool>`), so the last drop can happen *on a
+            // worker thread* — when the owning node shuts down while a
+            // search job is still in flight. Joining our own handle would
+            // deadlock (EDEADLK); detach it instead — the shutdown flag is
+            // set, so it exits right after this drop returns.
+            let me = std::thread::current().id();
             for handle in inner.handles {
-                let _ = handle.join();
+                if handle.thread().id() == me {
+                    drop(handle);
+                } else {
+                    let _ = handle.join();
+                }
             }
         }
     }

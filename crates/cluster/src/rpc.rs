@@ -291,6 +291,30 @@ where
     }
 }
 
+/// Runs a node actor whose handler may defer replies to worker threads:
+/// each request comes with a `reply` closure owning the envelope's
+/// response channel, so the handler can return before the response exists
+/// and keep draining the mailbox (searches execute off-actor; ingest
+/// proceeds meanwhile). `Shutdown` is acknowledged inline before the loop
+/// exits.
+pub(crate) fn run_actor_deferred<H>(rx: Receiver<Envelope>, mut handler: H)
+where
+    H: FnMut(Request, Box<dyn FnOnce(Response) + Send>),
+{
+    while let Ok((req, reply)) = rx.recv() {
+        if matches!(req, Request::Shutdown) {
+            let _ = reply.send(Response::Ok);
+            break;
+        }
+        handler(
+            req,
+            Box::new(move |resp| {
+                let _ = reply.send(resp);
+            }),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

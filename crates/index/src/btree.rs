@@ -8,16 +8,28 @@
 //! which preserves search correctness while keeping the code free of
 //! rebalancing corner cases — the paper's workload is overwhelmingly
 //! insert/update heavy.
+//!
+//! ## Persistence (structural sharing)
+//!
+//! Nodes are held in [`Arc`]s and every mutation path-copies: a mutator
+//! walks root-to-leaf calling [`Arc::make_mut`], which clones a node only
+//! when it is shared. [`BPlusTree::clone`] is therefore O(1) — it bumps
+//! the root's refcount — and a clone plus a mutation costs
+//! O(depth × ORDER) clones of the touched spine, with every untouched
+//! subtree shared between the old and new tree. This is what lets an
+//! epoch snapshot of an index group be published by cloning handles while
+//! readers keep iterating the previous version untouched.
 
 use std::fmt;
 use std::ops::Bound;
+use std::sync::Arc;
 
 const ORDER: usize = 32; // max keys per leaf; max children per internal node
 
 #[derive(Debug, Clone)]
 enum Node<K, V> {
     Leaf { keys: Vec<K>, vals: Vec<V> },
-    Internal { seps: Vec<K>, children: Vec<Node<K, V>> },
+    Internal { seps: Vec<K>, children: Vec<Arc<Node<K, V>>> },
 }
 
 impl<K: Ord + Clone, V> Node<K, V> {
@@ -51,10 +63,16 @@ impl<K: Ord + Clone, V> Node<K, V> {
 /// let in_range: Vec<u64> = tree.range(10..13).map(|(k, _)| *k).collect();
 /// assert_eq!(in_range, vec![10, 11, 12]);
 /// ```
-#[derive(Clone)]
 pub struct BPlusTree<K, V> {
-    root: Node<K, V>,
+    root: Arc<Node<K, V>>,
     len: usize,
+}
+
+/// O(1): clones share every node until one side mutates (path-copy).
+impl<K, V> Clone for BPlusTree<K, V> {
+    fn clone(&self) -> Self {
+        BPlusTree { root: Arc::clone(&self.root), len: self.len }
+    }
 }
 
 impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
@@ -66,7 +84,7 @@ impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
 impl<K: Ord + Clone, V> BPlusTree<K, V> {
     /// Creates an empty tree.
     pub fn new() -> Self {
-        BPlusTree { root: Node::new_leaf(), len: 0 }
+        BPlusTree { root: Arc::new(Node::new_leaf()), len: 0 }
     }
 
     /// Number of key–value entries.
@@ -83,136 +101,42 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     /// cost model charges one page read per level.
     pub fn depth(&self) -> usize {
         let mut d = 1;
-        let mut node = &self.root;
+        let mut node = self.root.as_ref();
         while let Node::Internal { children, .. } = node {
-            node = &children[0];
+            node = children[0].as_ref();
             d += 1;
         }
         d
     }
 
-    /// Inserts `key → value`, returning the previous value if the key was
-    /// already present.
-    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
-        if self.root.is_full() {
-            // Split the root: lift a new internal node above it.
-            let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
-            let mut children = vec![old_root];
-            let mut seps = Vec::new();
-            Self::split_child(&mut seps, &mut children, 0);
-            self.root = Node::Internal { seps, children };
-        }
-        let replaced = Self::insert_nonfull(&mut self.root, key, value);
-        if replaced.is_none() {
-            self.len += 1;
-        }
-        replaced
-    }
-
-    fn split_child(seps: &mut Vec<K>, children: &mut Vec<Node<K, V>>, i: usize) {
-        let mid = ORDER / 2;
-        let (sep, right) = match &mut children[i] {
-            Node::Leaf { keys, vals } => {
-                let rk = keys.split_off(mid);
-                let rv = vals.split_off(mid);
-                let sep = rk[0].clone();
-                (sep, Node::Leaf { keys: rk, vals: rv })
-            }
-            Node::Internal { seps: ck, children: cc } => {
-                // Promote the middle separator; it no longer lives below.
-                let rk = ck.split_off(mid + 1);
-                let sep = ck.pop().expect("internal node has separators");
-                let rc = cc.split_off(mid + 1);
-                (sep, Node::Internal { seps: rk, children: rc })
-            }
-        };
-        seps.insert(i, sep);
-        children.insert(i + 1, right);
-    }
-
-    fn insert_nonfull(node: &mut Node<K, V>, key: K, value: V) -> Option<V> {
-        match node {
-            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
-                Ok(i) => Some(std::mem::replace(&mut vals[i], value)),
-                Err(i) => {
-                    keys.insert(i, key);
-                    vals.insert(i, value);
-                    None
-                }
-            },
-            Node::Internal { seps, children } => {
-                let mut i = seps.partition_point(|sep| *sep <= key);
-                if children[i].is_full() {
-                    Self::split_child(seps, children, i);
-                    if seps[i] <= key {
-                        i += 1;
-                    }
-                }
-                Self::insert_nonfull(&mut children[i], key, value)
-            }
-        }
-    }
-
-    /// Looks up `key`.
-    pub fn get(&self, key: &K) -> Option<&V> {
-        let mut node = &self.root;
+    /// Looks up `key`. Accepts any borrowed form of the key type (e.g.
+    /// `&str` against `String` keys), like `std::collections::BTreeMap`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = self.root.as_ref();
         loop {
             match node {
                 Node::Leaf { keys, vals } => {
-                    return keys.binary_search(key).ok().map(|i| &vals[i]);
+                    return keys.binary_search_by(|x| x.borrow().cmp(key)).ok().map(|i| &vals[i]);
                 }
                 Node::Internal { seps, children } => {
-                    let i = seps.partition_point(|sep| sep <= key);
-                    node = &children[i];
-                }
-            }
-        }
-    }
-
-    /// Mutable lookup.
-    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
-        let mut node = &mut self.root;
-        loop {
-            match node {
-                Node::Leaf { keys, vals } => {
-                    return keys.binary_search(key).ok().map(|i| &mut vals[i]);
-                }
-                Node::Internal { seps, children } => {
-                    let i = seps.partition_point(|sep| sep <= key);
-                    node = &mut children[i];
+                    let i = seps.partition_point(|sep| sep.borrow() <= key);
+                    node = children[i].as_ref();
                 }
             }
         }
     }
 
     /// Returns `true` when `key` is present.
-    pub fn contains_key(&self, key: &K) -> bool {
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
         self.get(key).is_some()
-    }
-
-    /// Removes `key`, returning its value. Lazy: leaves may become
-    /// underfull, but lookups and scans stay correct.
-    pub fn remove(&mut self, key: &K) -> Option<V> {
-        fn rec<K: Ord + Clone, V>(node: &mut Node<K, V>, key: &K) -> Option<V> {
-            match node {
-                Node::Leaf { keys, vals } => match keys.binary_search(key) {
-                    Ok(i) => {
-                        keys.remove(i);
-                        Some(vals.remove(i))
-                    }
-                    Err(_) => None,
-                },
-                Node::Internal { seps, children } => {
-                    let i = seps.partition_point(|sep| sep <= key);
-                    rec(&mut children[i], key)
-                }
-            }
-        }
-        let removed = rec(&mut self.root, key);
-        if removed.is_some() {
-            self.len -= 1;
-        }
-        removed
     }
 
     /// Iterates over entries with keys in `range`, in ascending key order.
@@ -251,6 +175,129 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     /// deletion.
     pub fn first_key(&self) -> Option<&K> {
         self.iter().next().map(|(k, _)| k)
+    }
+}
+
+// Mutators path-copy shared nodes, so they need `V: Clone` (a spine clone
+// clones the values sitting in the touched leaf).
+impl<K: Ord + Clone, V: Clone> BPlusTree<K, V> {
+    /// Inserts `key → value`, returning the previous value if the key was
+    /// already present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        if self.root.is_full() {
+            // Split the root: lift a new internal node above it.
+            let old_root = std::mem::replace(&mut self.root, Arc::new(Node::new_leaf()));
+            let mut children = vec![old_root];
+            let mut seps = Vec::new();
+            Self::split_child(&mut seps, &mut children, 0);
+            self.root = Arc::new(Node::Internal { seps, children });
+        }
+        let replaced = Self::insert_nonfull(Arc::make_mut(&mut self.root), key, value);
+        if replaced.is_none() {
+            self.len += 1;
+        }
+        replaced
+    }
+
+    fn split_child(seps: &mut Vec<K>, children: &mut Vec<Arc<Node<K, V>>>, i: usize) {
+        let mid = ORDER / 2;
+        let (sep, right) = match Arc::make_mut(&mut children[i]) {
+            Node::Leaf { keys, vals } => {
+                let rk = keys.split_off(mid);
+                let rv = vals.split_off(mid);
+                let sep = rk[0].clone();
+                (sep, Node::Leaf { keys: rk, vals: rv })
+            }
+            Node::Internal { seps: ck, children: cc } => {
+                // Promote the middle separator; it no longer lives below.
+                let rk = ck.split_off(mid + 1);
+                let sep = ck.pop().expect("internal node has separators");
+                let rc = cc.split_off(mid + 1);
+                (sep, Node::Internal { seps: rk, children: rc })
+            }
+        };
+        seps.insert(i, sep);
+        children.insert(i + 1, Arc::new(right));
+    }
+
+    fn insert_nonfull(node: &mut Node<K, V>, key: K, value: V) -> Option<V> {
+        match node {
+            Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+                Ok(i) => Some(std::mem::replace(&mut vals[i], value)),
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, value);
+                    None
+                }
+            },
+            Node::Internal { seps, children } => {
+                let mut i = seps.partition_point(|sep| *sep <= key);
+                if children[i].is_full() {
+                    Self::split_child(seps, children, i);
+                    if seps[i] <= key {
+                        i += 1;
+                    }
+                }
+                Self::insert_nonfull(Arc::make_mut(&mut children[i]), key, value)
+            }
+        }
+    }
+
+    /// Mutable lookup. Path-copies the spine down to the entry even when
+    /// the tree is shared, so the returned reference is exclusively owned.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = Arc::make_mut(&mut self.root);
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys
+                        .binary_search_by(|x| x.borrow().cmp(key))
+                        .ok()
+                        .map(|i| &mut vals[i]);
+                }
+                Node::Internal { seps, children } => {
+                    let i = seps.partition_point(|sep| sep.borrow() <= key);
+                    node = Arc::make_mut(&mut children[i]);
+                }
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value. Lazy: leaves may become
+    /// underfull, but lookups and scans stay correct.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        fn rec<K, V: Clone, Q>(node: &mut Node<K, V>, key: &Q) -> Option<V>
+        where
+            K: Ord + Clone + std::borrow::Borrow<Q>,
+            Q: Ord + ?Sized,
+        {
+            match node {
+                Node::Leaf { keys, vals } => match keys.binary_search_by(|x| x.borrow().cmp(key)) {
+                    Ok(i) => {
+                        keys.remove(i);
+                        Some(vals.remove(i))
+                    }
+                    Err(_) => None,
+                },
+                Node::Internal { seps, children } => {
+                    let i = seps.partition_point(|sep| sep.borrow() <= key);
+                    rec(Arc::make_mut(&mut children[i]), key)
+                }
+            }
+        }
+        let removed = rec(Arc::make_mut(&mut self.root), key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
     }
 }
 
@@ -334,7 +381,7 @@ impl<'a, K: Ord + Clone, V> Iterator for Range<'a, K, V> {
                             self.stack.clear();
                             return None;
                         }
-                        self.push_node(&children[i]);
+                        self.push_node(children[i].as_ref());
                     } else {
                         self.stack.pop();
                     }
@@ -421,7 +468,7 @@ impl<'a, K: Ord + Clone, V> Iterator for RangeRev<'a, K, V> {
                         self.stack.clear();
                         return None;
                     }
-                    self.push_node(&children[i]);
+                    self.push_node(children[i].as_ref());
                 }
             }
         }
@@ -434,7 +481,7 @@ impl<K: Ord + Clone + fmt::Debug, V: fmt::Debug> fmt::Debug for BPlusTree<K, V> 
     }
 }
 
-impl<K: Ord + Clone, V> FromIterator<(K, V)> for BPlusTree<K, V> {
+impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for BPlusTree<K, V> {
     fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
         let mut tree = BPlusTree::new();
         for (k, v) in iter {
@@ -444,7 +491,7 @@ impl<K: Ord + Clone, V> FromIterator<(K, V)> for BPlusTree<K, V> {
     }
 }
 
-impl<K: Ord + Clone, V> Extend<(K, V)> for BPlusTree<K, V> {
+impl<K: Ord + Clone, V: Clone> Extend<(K, V)> for BPlusTree<K, V> {
     fn extend<T: IntoIterator<Item = (K, V)>>(&mut self, iter: T) {
         for (k, v) in iter {
             self.insert(k, v);
@@ -688,6 +735,37 @@ mod tests {
             t.insert(i, ());
         }
         assert_eq!(t.first_key(), Some(&5));
+    }
+
+    #[test]
+    fn clones_are_snapshots_under_further_mutation() {
+        let mut t = BPlusTree::new();
+        for i in 0..5000u32 {
+            t.insert(i, i);
+        }
+        let snap = t.clone();
+        for i in 0..5000u32 {
+            if i % 3 == 0 {
+                t.remove(&i);
+            } else {
+                t.insert(i, i + 1);
+            }
+        }
+        for i in 5000..6000u32 {
+            t.insert(i, i);
+        }
+        // The clone still reads exactly the pre-mutation state.
+        assert_eq!(snap.len(), 5000);
+        for i in 0..5000u32 {
+            assert_eq!(snap.get(&i), Some(&i), "snapshot entry {i} changed under mutation");
+        }
+        assert_eq!(snap.get(&5500), None);
+        let all: Vec<u32> = snap.iter().map(|(k, _)| *k).collect();
+        assert_eq!(all, (0..5000).collect::<Vec<_>>());
+        // And the mutated side sees its own writes.
+        assert_eq!(t.get(&0), None);
+        assert_eq!(t.get(&1), Some(&2));
+        assert_eq!(t.get(&5500), Some(&5500));
     }
 
     #[test]

@@ -23,15 +23,15 @@
 //! snapshots and ultimately to a full replay when files fail validation.
 
 use std::collections::HashMap;
-use std::ops::Bound;
+use std::ops::{Bound, Deref};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use propeller_types::{AcgId, AttrName, Duration, Error, FileId, Result, Timestamp, Value};
 use serde::{Deserialize, Serialize};
 
 use crate::btree::BPlusTree;
 use crate::cache::IndexCache;
-use crate::hash::HashIndex;
 use crate::inverted::InvertedIndex;
 use crate::kdtree::KdTree;
 use crate::ops::{FileRecord, IndexOp};
@@ -144,8 +144,500 @@ fn posting_remove(list: &mut PostingList, file: FileId) {
     }
 }
 
-/// The index group of one ACG: record store + named indices + WAL + lazy
-/// cache.
+/// The immutable, published read side of an ACG's index group: the
+/// committed record store plus every index root as of one commit.
+///
+/// An epoch is a *persistent* (structurally shared) value: its B+-trees,
+/// K-D tree and inverted indices all path-copy on mutation, so cloning an
+/// epoch is O(#indices) refcount bumps and two epochs share all untouched
+/// nodes. [`AcgIndexGroup::commit`] publishes a new epoch with a single
+/// `Arc` swap; readers that pinned the previous epoch (via
+/// [`AcgIndexGroup::pin`]) keep reading it unperturbed until their last
+/// pin drops, at which point its unshared nodes are freed.
+///
+/// All search-side accessors live here; [`AcgIndexGroup`] derefs to its
+/// current epoch so existing read call sites keep working.
+#[derive(Debug, Clone)]
+pub struct AcgEpoch {
+    id: AcgId,
+    /// Publish counter: bumped once per epoch swap (commit with a
+    /// non-empty batch, index create/drop, seed install).
+    generation: u64,
+    records: BPlusTree<FileId, Arc<FileRecord>>,
+    specs: Vec<IndexSpec>,
+    btrees: HashMap<AttrName, BPlusTree<Value, Arc<PostingList>>>,
+    /// Hash-kind indices. They keep the hash index's planner role (point
+    /// probes only, preferred over B+-trees for equality) but are
+    /// tree-backed: a real bucket table would cost O(buckets) per
+    /// copy-on-write clone, while the tree path-copies in O(log n).
+    hashes: HashMap<AttrName, BPlusTree<Value, Arc<PostingList>>>,
+    kds: HashMap<String, (Vec<AttrName>, KdTree)>,
+    inverteds: HashMap<String, InvertedIndex>,
+    /// WAL LSN through which ops have been applied into the indices: the
+    /// commit watermark a snapshot of this epoch is stamped with.
+    applied_lsn: u64,
+    ops_applied: u64,
+}
+
+impl AcgEpoch {
+    fn empty(id: AcgId) -> Self {
+        AcgEpoch {
+            id,
+            generation: 0,
+            records: BPlusTree::new(),
+            specs: Vec::new(),
+            btrees: HashMap::new(),
+            hashes: HashMap::new(),
+            kds: HashMap::new(),
+            inverteds: HashMap::new(),
+            applied_lsn: 0,
+            ops_applied: 0,
+        }
+    }
+
+    /// This epoch's ACG id.
+    pub fn id(&self) -> AcgId {
+        self.id
+    }
+
+    /// Publish counter of this epoch (how many swaps preceded it).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The WAL LSN through which ops were committed into this epoch.
+    pub fn applied_lsn(&self) -> u64 {
+        self.applied_lsn
+    }
+
+    /// Number of operations applied to the indices over the group's life
+    /// up to this epoch.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// Number of indexed files.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when no file is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The named index table (paper: each ACG has a table mapping index
+    /// names to structures).
+    pub fn index_specs(&self) -> &[IndexSpec] {
+        &self.specs
+    }
+
+    fn create_index(&mut self, spec: IndexSpec) -> Result<()> {
+        if self.specs.iter().any(|s| s.name == spec.name) {
+            return Err(Error::IndexExists(spec.name));
+        }
+        match spec.kind {
+            IndexKind::BTree | IndexKind::Hash => {
+                if spec.attrs.len() != 1 {
+                    return Err(Error::Config(format!(
+                        "index {:?} needs exactly one attribute",
+                        spec.name
+                    )));
+                }
+            }
+            IndexKind::Kd => {
+                if spec.attrs.is_empty() {
+                    return Err(Error::Config(format!(
+                        "k-d index {:?} needs at least one attribute",
+                        spec.name
+                    )));
+                }
+            }
+            IndexKind::Inverted => {
+                if !spec.attrs.is_empty() {
+                    return Err(Error::Config(format!(
+                        "inverted index {:?} covers all text implicitly; it takes no attributes",
+                        spec.name
+                    )));
+                }
+            }
+        }
+        match spec.kind {
+            IndexKind::BTree | IndexKind::Hash => {
+                let attr = spec.attrs[0].clone();
+                let mut tree = BPlusTree::new();
+                for (_, record) in self.records.iter() {
+                    for value in Self::record_values(record, &attr) {
+                        match tree.get_mut(&value) {
+                            Some(list) => posting_insert(Arc::make_mut(list), record.file),
+                            None => {
+                                tree.insert(value, Arc::new(vec![record.file]));
+                            }
+                        }
+                    }
+                }
+                if spec.kind == IndexKind::BTree {
+                    self.btrees.insert(attr, tree);
+                } else {
+                    self.hashes.insert(attr, tree);
+                }
+            }
+            IndexKind::Kd => {
+                let attrs = spec.attrs.clone();
+                let points: Vec<(Vec<f64>, FileId)> = self
+                    .records
+                    .iter()
+                    .filter_map(|(_, r)| Self::kd_point(r, &attrs).map(|p| (p, r.file)))
+                    .collect();
+                let tree = KdTree::bulk_load(attrs.len(), points);
+                self.kds.insert(spec.name.clone(), (attrs, tree));
+            }
+            IndexKind::Inverted => {
+                let mut inv = InvertedIndex::new();
+                for (_, record) in self.records.iter() {
+                    inv.insert(record);
+                }
+                self.inverteds.insert(spec.name.clone(), inv);
+            }
+        }
+        self.specs.push(spec);
+        Ok(())
+    }
+
+    fn drop_index(&mut self, name: &str) -> Result<()> {
+        let pos = self
+            .specs
+            .iter()
+            .position(|s| s.name == name)
+            .ok_or_else(|| Error::IndexNotFound(name.to_owned()))?;
+        let spec = self.specs.remove(pos);
+        match spec.kind {
+            IndexKind::BTree => {
+                let attr = &spec.attrs[0];
+                if !self
+                    .specs
+                    .iter()
+                    .any(|s| s.kind == IndexKind::BTree && s.attrs.first() == Some(attr))
+                {
+                    self.btrees.remove(attr);
+                }
+            }
+            IndexKind::Hash => {
+                let attr = &spec.attrs[0];
+                if !self
+                    .specs
+                    .iter()
+                    .any(|s| s.kind == IndexKind::Hash && s.attrs.first() == Some(attr))
+                {
+                    self.hashes.remove(attr);
+                }
+            }
+            IndexKind::Kd => {
+                self.kds.remove(&spec.name);
+            }
+            IndexKind::Inverted => {
+                self.inverteds.remove(&spec.name);
+            }
+        }
+        Ok(())
+    }
+
+    fn apply(&mut self, op: IndexOp) {
+        self.ops_applied += 1;
+        match op {
+            IndexOp::Upsert(record) => {
+                if let Some(old) = self.records.remove(&record.file) {
+                    self.unindex(&old);
+                }
+                self.index(&record);
+                self.records.insert(record.file, Arc::new(record));
+            }
+            IndexOp::Remove(file) => {
+                if let Some(old) = self.records.remove(&file) {
+                    self.unindex(&old);
+                }
+            }
+        }
+    }
+
+    fn index(&mut self, record: &FileRecord) {
+        for (attr, tree) in self.btrees.iter_mut().chain(self.hashes.iter_mut()) {
+            for value in Self::record_values(record, attr) {
+                match tree.get_mut(&value) {
+                    Some(list) => posting_insert(Arc::make_mut(list), record.file),
+                    None => {
+                        tree.insert(value, Arc::new(vec![record.file]));
+                    }
+                }
+            }
+        }
+        for (attrs, tree) in self.kds.values_mut() {
+            if let Some(point) = Self::kd_point(record, attrs) {
+                tree.insert(&point, record.file);
+            }
+        }
+        for inv in self.inverteds.values_mut() {
+            inv.insert(record);
+        }
+    }
+
+    fn unindex(&mut self, record: &FileRecord) {
+        for (attr, tree) in self.btrees.iter_mut().chain(self.hashes.iter_mut()) {
+            for value in Self::record_values(record, attr) {
+                if let Some(list) = tree.get_mut(&value) {
+                    posting_remove(Arc::make_mut(list), record.file);
+                }
+            }
+        }
+        for (attrs, tree) in self.kds.values_mut() {
+            if let Some(point) = Self::kd_point(record, attrs) {
+                tree.remove(&point, record.file);
+            }
+        }
+        for inv in self.inverteds.values_mut() {
+            inv.remove(record);
+        }
+    }
+
+    /// The values a record contributes to an attribute's index.
+    fn record_values(record: &FileRecord, attr: &AttrName) -> Vec<Value> {
+        match attr {
+            AttrName::Keyword => record.keywords.iter().map(|k| Value::from(k.as_str())).collect(),
+            AttrName::Custom(name) => {
+                record.custom.iter().filter(|(n, _)| n == name).map(|(_, v)| v.clone()).collect()
+            }
+            builtin => record.attrs.get(builtin).into_iter().collect(),
+        }
+    }
+
+    /// The K-D point of a record over `attrs`, or `None` when any attribute
+    /// is missing or multi-valued.
+    fn kd_point(record: &FileRecord, attrs: &[AttrName]) -> Option<Vec<f64>> {
+        let mut point = Vec::with_capacity(attrs.len());
+        for attr in attrs {
+            let values = Self::record_values(record, attr);
+            if values.len() != 1 {
+                return None;
+            }
+            point.push(values[0].axis_projection());
+        }
+        Some(point)
+    }
+
+    // --- Search-side accessors (the owning node commits before opening a
+    // search, then executes against a pinned epoch) ----------------------
+
+    /// Files with `attr == value`, using a hash-kind index when available,
+    /// a B+-tree otherwise, and a full record scan as last resort.
+    pub fn lookup_eq(&self, attr: &AttrName, value: &Value) -> Vec<FileId> {
+        if let Some(table) = self.hashes.get(attr) {
+            return table.get(value).map(|l| (**l).clone()).unwrap_or_default();
+        }
+        if let Some(tree) = self.btrees.get(attr) {
+            return tree.get(value).map(|l| (**l).clone()).unwrap_or_default();
+        }
+        self.scan(|record| Self::record_values(record, attr).iter().any(|v| v == value))
+    }
+
+    /// Files with `attr` in the given bounds, using a B+-tree when
+    /// available, a full scan otherwise.
+    pub fn lookup_range(&self, attr: &AttrName, lo: Bound<Value>, hi: Bound<Value>) -> Vec<FileId> {
+        if let Some(tree) = self.btrees.get(attr) {
+            let mut out: Vec<FileId> =
+                tree.range((lo, hi)).flat_map(|(_, list)| list.iter().copied()).collect();
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        }
+        let in_lo = |v: &Value| match &lo {
+            Bound::Included(b) => v >= b,
+            Bound::Excluded(b) => v > b,
+            Bound::Unbounded => true,
+        };
+        let in_hi = |v: &Value| match &hi {
+            Bound::Included(b) => v <= b,
+            Bound::Excluded(b) => v < b,
+            Bound::Unbounded => true,
+        };
+        self.scan(|record| Self::record_values(record, attr).iter().any(|v| in_lo(v) && in_hi(v)))
+    }
+
+    /// Multi-attribute inclusive box query via a covering K-D index.
+    /// Returns `None` when no K-D index covers exactly these attributes
+    /// (the planner then falls back to per-attribute lookups).
+    pub fn lookup_kd(&self, attrs: &[AttrName], lo: &[f64], hi: &[f64]) -> Option<Vec<FileId>> {
+        self.kds.values().find_map(
+            |(kd_attrs, tree)| {
+                if kd_attrs == attrs {
+                    Some(tree.range(lo, hi))
+                } else {
+                    None
+                }
+            },
+        )
+    }
+
+    // --- Streaming candidate accessors -----------------------------------
+    //
+    // The iterator-returning variants of the lookups above: they yield
+    // `&FileRecord` directly (candidate ids resolve against the record
+    // store as the consumer pulls), so the executor never materializes a
+    // `Vec<FileId>` superset nor re-hashes candidates through the store.
+
+    /// Streams the records with `attr == value` through a hash-kind index
+    /// (or a B+-tree point probe as fallback). Returns `None` when no
+    /// index covers `attr` — the caller falls back to a full scan. Records
+    /// are unique: a posting list holds each file at most once.
+    pub fn candidates_eq<'a>(
+        &'a self,
+        attr: &AttrName,
+        value: &Value,
+    ) -> Option<impl Iterator<Item = &'a FileRecord> + 'a> {
+        let list: &[FileId] = if let Some(table) = self.hashes.get(attr) {
+            table.get(value).map_or(&[], |l| l.as_slice())
+        } else if let Some(tree) = self.btrees.get(attr) {
+            tree.get(value).map_or(&[], |l| l.as_slice())
+        } else {
+            return None;
+        };
+        Some(list.iter().filter_map(move |f| self.records.get(f).map(|r| &**r)))
+    }
+
+    /// Streams the records with `attr` in the given bounds off a B+-tree.
+    /// Returns `None` when no B+-tree covers `attr`. A record holding
+    /// several values for a multi-valued attribute may be yielded once per
+    /// in-range value; single-valued (builtin) attributes yield each
+    /// record at most once.
+    pub fn candidates_range<'a>(
+        &'a self,
+        attr: &AttrName,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+    ) -> Option<impl Iterator<Item = &'a FileRecord> + 'a> {
+        let tree = self.btrees.get(attr)?;
+        Some(
+            tree.range((lo, hi))
+                .flat_map(|(_, list)| list.iter())
+                .filter_map(move |f| self.records.get(f).map(|r| &**r)),
+        )
+    }
+
+    /// Streams the records inside a K-D box query. Returns `None` when no
+    /// K-D index covers exactly these attributes. Records are unique (one
+    /// point per file per index).
+    pub fn candidates_kd<'a>(
+        &'a self,
+        attrs: &[AttrName],
+        lo: &'a [f64],
+        hi: &'a [f64],
+    ) -> Option<impl Iterator<Item = &'a FileRecord> + 'a> {
+        let (_, tree) = self.kds.values().find(|(kd_attrs, _)| kd_attrs == attrs)?;
+        Some(tree.range_iter(lo, hi).filter_map(move |f| self.records.get(&f).map(|r| &**r)))
+    }
+
+    /// Streams *every* record holding `attr` within the bounds, in `attr`
+    /// order (ascending or descending), tie-broken by ascending file id
+    /// within equal values. Returns `None` when no B+-tree covers `attr`.
+    ///
+    /// For single-valued builtin attributes this walks the group in exact
+    /// result order for a sort over `attr`, which is what lets the
+    /// executor terminate after `k` admitted hits (posting lists are
+    /// file-id sorted, matching the sort's tie-break).
+    pub fn candidates_ordered<'a>(
+        &'a self,
+        attr: &AttrName,
+        lo: Bound<Value>,
+        hi: Bound<Value>,
+        descending: bool,
+    ) -> Option<Box<dyn Iterator<Item = &'a FileRecord> + 'a>> {
+        let tree = self.btrees.get(attr)?;
+        let resolve = move |f: &FileId| self.records.get(f).map(|r| &**r);
+        if descending {
+            Some(Box::new(
+                tree.range_rev((lo, hi)).flat_map(|(_, list)| list.iter()).filter_map(resolve),
+            ))
+        } else {
+            Some(Box::new(
+                tree.range((lo, hi)).flat_map(|(_, list)| list.iter()).filter_map(resolve),
+            ))
+        }
+    }
+
+    /// Full scan with a predicate (the executor's fallback path). Results
+    /// come out sorted (the record store iterates in file-id order).
+    pub fn scan<F: Fn(&FileRecord) -> bool>(&self, pred: F) -> Vec<FileId> {
+        self.records.iter().filter(|(_, r)| pred(r)).map(|(f, _)| *f).collect()
+    }
+
+    /// The indexed record for `file`, if any.
+    pub fn record(&self, file: FileId) -> Option<&FileRecord> {
+        self.records.get(&file).map(|r| &**r)
+    }
+
+    /// Iterates over all indexed records (in file-id order).
+    pub fn records(&self) -> impl Iterator<Item = &FileRecord> {
+        self.records.iter().map(|(_, r)| &**r)
+    }
+
+    /// Files currently indexed (sorted).
+    pub fn files(&self) -> Vec<FileId> {
+        self.records.iter().map(|(f, _)| *f).collect()
+    }
+
+    /// Depth of the B+-tree over `attr` (for analytic disk-cost models).
+    pub fn btree_depth(&self, attr: &AttrName) -> Option<usize> {
+        self.btrees.get(attr).map(|t| t.depth())
+    }
+
+    /// The epoch's inverted text index, if one exists (several specs would
+    /// hold identical structures, so the executor takes any).
+    pub fn inverted(&self) -> Option<&InvertedIndex> {
+        self.inverteds.values().next()
+    }
+}
+
+/// A snapshot write prepared by [`AcgIndexGroup::begin_snapshot`]: the
+/// pinned epoch plus everything needed to serialize it. The write runs on
+/// any thread — the group (and its actor) keeps committing while the
+/// pinned epoch is streamed to disk.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshotJob {
+    dir: PathBuf,
+    /// The LSN the snapshot will be stamped with (the pinned epoch's
+    /// applied LSN).
+    pub lsn: u64,
+    /// The pinned epoch being serialized.
+    pub epoch: Arc<AcgEpoch>,
+}
+
+impl EpochSnapshotJob {
+    /// Serializes the pinned epoch to the snapshot directory. Safe to call
+    /// off the owning thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on write failures.
+    pub fn write(&self) -> Result<PathBuf> {
+        snapshot::write_snapshot(
+            &self.dir,
+            self.epoch.id(),
+            self.lsn,
+            self.epoch.index_specs(),
+            self.epoch.records(),
+        )
+    }
+}
+
+/// The index group of one ACG: the mutable *build side* (WAL + lazy
+/// cache + snapshot bookkeeping) wrapped around the currently published
+/// [`AcgEpoch`].
+///
+/// The group derefs to its current epoch, so all search-side accessors
+/// ([`AcgEpoch::lookup_eq`], [`AcgEpoch::candidates_range`], …) are
+/// callable directly on the group. Concurrent readers call
+/// [`AcgIndexGroup::pin`] to hold the epoch across a whole search or
+/// paginated session; [`AcgIndexGroup::commit`] publishes the next epoch
+/// without disturbing them.
 ///
 /// # Examples
 ///
@@ -171,20 +663,16 @@ fn posting_remove(list: &mut PostingList, file: FileId) {
 /// ```
 #[derive(Debug)]
 pub struct AcgIndexGroup {
-    id: AcgId,
-    records: HashMap<FileId, FileRecord>,
-    specs: Vec<IndexSpec>,
-    btrees: HashMap<AttrName, BPlusTree<Value, PostingList>>,
-    hashes: HashMap<AttrName, HashIndex<Value, PostingList>>,
-    kds: HashMap<String, (Vec<AttrName>, KdTree)>,
-    inverteds: HashMap<String, InvertedIndex>,
+    /// The published epoch. Mutations go through `Arc::make_mut`: while
+    /// nothing else pins the epoch this is an in-place edit; once a reader
+    /// pins it, the first mutation clones the epoch head (cheap — all
+    /// index roots are structurally shared) and edits the copy, which the
+    /// next publish swaps in.
+    epoch: Arc<AcgEpoch>,
     wal: Wal,
     cache: IndexCache,
     /// Where snapshots live (`None` = snapshots disabled).
     snapshot_dir: Option<PathBuf>,
-    /// WAL LSN through which ops have been applied into the indices: the
-    /// commit watermark a snapshot is stamped with.
-    applied_lsn: u64,
     /// LSN of the newest snapshot written or recovered from (`None` before
     /// the first).
     snapshot_lsn: Option<u64>,
@@ -197,28 +685,31 @@ pub struct AcgIndexGroup {
     /// bytes threshold, because two-checkpoint retention deliberately
     /// keeps the previous inter-checkpoint window in the log).
     wal_trigger_bytes: u64,
-    ops_applied: u64,
+    /// Whether a [`begin_snapshot`](AcgIndexGroup::begin_snapshot) job is
+    /// outstanding (at most one at a time).
+    snapshot_in_flight: bool,
+}
+
+impl Deref for AcgIndexGroup {
+    type Target = AcgEpoch;
+
+    fn deref(&self) -> &AcgEpoch {
+        &self.epoch
+    }
 }
 
 impl AcgIndexGroup {
     /// Creates an empty group.
     pub fn new(id: AcgId, config: GroupConfig) -> Self {
         let mut group = AcgIndexGroup {
-            id,
-            records: HashMap::new(),
-            specs: Vec::new(),
-            btrees: HashMap::new(),
-            hashes: HashMap::new(),
-            kds: HashMap::new(),
-            inverteds: HashMap::new(),
+            epoch: Arc::new(AcgEpoch::empty(id)),
             wal: config.wal,
             cache: IndexCache::new(config.commit_timeout),
             snapshot_dir: config.snapshot_dir,
-            applied_lsn: 0,
             snapshot_lsn: None,
             wal_ops: 0,
             wal_trigger_bytes: 0,
-            ops_applied: 0,
+            snapshot_in_flight: false,
         };
         if config.default_indices {
             for spec in [
@@ -238,30 +729,25 @@ impl AcgIndexGroup {
     /// directly and every index from the snapshot's named-index table is
     /// re-created and backfilled (the K-D trees bulk-load balanced).
     fn from_snapshot(data: SnapshotData, config: GroupConfig) -> Result<Self> {
-        let mut group = AcgIndexGroup {
-            id: data.acg,
-            records: HashMap::with_capacity(data.records.len()),
-            specs: Vec::new(),
-            btrees: HashMap::new(),
-            hashes: HashMap::new(),
-            kds: HashMap::new(),
-            inverteds: HashMap::new(),
+        let mut epoch = AcgEpoch::empty(data.acg);
+        epoch.applied_lsn = data.lsn;
+        epoch.ops_applied = data.records.len() as u64;
+        for record in data.records {
+            epoch.records.insert(record.file, Arc::new(record));
+        }
+        for spec in data.specs {
+            epoch.create_index(spec)?;
+        }
+        Ok(AcgIndexGroup {
+            epoch: Arc::new(epoch),
             wal: config.wal,
             cache: IndexCache::new(config.commit_timeout),
             snapshot_dir: config.snapshot_dir,
-            applied_lsn: data.lsn,
             snapshot_lsn: Some(data.lsn),
             wal_ops: 0,
             wal_trigger_bytes: 0,
-            ops_applied: data.records.len() as u64,
-        };
-        for record in data.records {
-            group.records.insert(record.file, record);
-        }
-        for spec in data.specs {
-            group.create_index(spec)?;
-        }
-        Ok(group)
+            snapshot_in_flight: false,
+        })
     }
 
     /// Recovers a group from its durable state: the newest **valid**
@@ -340,17 +826,20 @@ impl AcgIndexGroup {
         };
         let mut last_lsn = snap_lsn;
         let mut suffix_bytes = 0u64;
-        for (lsn, frame) in frames {
-            // A frame is either one classic single-op record or a
-            // group-committed batch; recovery replays both.
-            for op in IndexOp::decode_frame(&frame)? {
-                group.apply(op);
-                report.replayed_ops += 1;
+        {
+            let epoch = Arc::make_mut(&mut group.epoch);
+            for (lsn, frame) in frames {
+                // A frame is either one classic single-op record or a
+                // group-committed batch; recovery replays both.
+                for op in IndexOp::decode_frame(&frame)? {
+                    epoch.apply(op);
+                    report.replayed_ops += 1;
+                }
+                suffix_bytes += frame.len() as u64 + 8;
+                last_lsn = lsn;
             }
-            suffix_bytes += frame.len() as u64 + 8;
-            last_lsn = lsn;
+            epoch.applied_lsn = last_lsn;
         }
-        group.applied_lsn = last_lsn;
         group.wal_ops = report.replayed_ops as u64;
         group.wal_trigger_bytes = suffix_bytes;
         if !group.wal.is_durable() {
@@ -359,11 +848,83 @@ impl AcgIndexGroup {
         Ok((group, report))
     }
 
+    /// Pins the currently published epoch: the returned handle keeps
+    /// reading a consistent committed state no matter how many commits,
+    /// index changes or snapshots happen afterwards. Memory is reclaimed
+    /// when the last pin of an epoch drops (unshared index nodes free with
+    /// it).
+    pub fn pin(&self) -> Arc<AcgEpoch> {
+        Arc::clone(&self.epoch)
+    }
+
+    /// Starts an off-thread snapshot: pins the current epoch and returns a
+    /// job that serializes it on **any** thread while this group keeps
+    /// committing. Returns `None` when snapshots are disabled, when the
+    /// applied state is already covered by the newest snapshot, or while a
+    /// previous job is still outstanding (at most one at a time).
+    ///
+    /// The caller must complete the job with
+    /// [`AcgIndexGroup::finish_snapshot`] on success or
+    /// [`AcgIndexGroup::abort_snapshot`] on failure.
+    pub fn begin_snapshot(&mut self) -> Option<EpochSnapshotJob> {
+        let dir = self.snapshot_dir.clone()?;
+        if self.snapshot_in_flight {
+            return None;
+        }
+        let lsn = self.epoch.applied_lsn;
+        if self.snapshot_lsn == Some(lsn) {
+            return None; // nothing committed since the last one
+        }
+        self.snapshot_in_flight = true;
+        Some(EpochSnapshotJob { dir, lsn, epoch: self.pin() })
+    }
+
+    /// Installs a snapshot completed off-thread (written by
+    /// [`EpochSnapshotJob::write`]): truncates the WAL up to the previous
+    /// retained snapshot's LSN, prunes files older than that
+    /// (two-checkpoint retention) and resets the snapshot trigger metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the WAL truncation fails; the snapshot
+    /// file itself is already safely on disk in that case.
+    pub fn finish_snapshot(&mut self, lsn: u64) -> Result<()> {
+        self.snapshot_in_flight = false;
+        // Two-checkpoint retention: the log keeps everything the *older*
+        // retained snapshot still needs; before the first snapshot there
+        // is nothing safe to drop.
+        let keep_from = self.snapshot_lsn.unwrap_or(0);
+        self.wal.truncate_upto(keep_from)?;
+        if let Some(dir) = &self.snapshot_dir {
+            snapshot::prune_snapshots(dir, self.epoch.id, keep_from);
+        }
+        self.snapshot_lsn = Some(lsn);
+        self.wal_ops = self.cache.len() as u64;
+        self.wal_trigger_bytes = 0;
+        Ok(())
+    }
+
+    /// Clears the in-flight marker after a failed off-thread snapshot
+    /// write; the previous snapshot set stays intact and the triggers stay
+    /// armed, so the next maintenance pass retries.
+    pub fn abort_snapshot(&mut self) {
+        self.snapshot_in_flight = false;
+    }
+
+    /// Whether an off-thread snapshot job is outstanding.
+    pub fn snapshot_in_flight(&self) -> bool {
+        self.snapshot_in_flight
+    }
+
     /// Writes a snapshot of the **committed** state (stamped with the
-    /// current applied LSN), truncates the WAL up to the previous retained
-    /// snapshot's LSN and prunes snapshot files older than that. Pending
-    /// (logged but uncommitted) ops have LSNs past the stamp, so they
-    /// survive in the log — snapshotting never requires a commit.
+    /// current applied LSN) synchronously on the calling thread, then
+    /// truncates the WAL up to the previous retained snapshot's LSN and
+    /// prunes snapshot files older than that. Pending (logged but
+    /// uncommitted) ops have LSNs past the stamp, so they survive in the
+    /// log — snapshotting never requires a commit. This is
+    /// [`AcgIndexGroup::begin_snapshot`] + [`EpochSnapshotJob::write`] +
+    /// [`AcgIndexGroup::finish_snapshot`] in one call; Index Nodes use the
+    /// split form to keep the write off their actor thread.
     ///
     /// Two checkpoints are retained: should the newest file be torn or
     /// corrupted on disk, recovery still reassembles the full state from
@@ -377,42 +938,25 @@ impl AcgIndexGroup {
     /// Returns [`Error::Io`] on snapshot-write or WAL-truncation failures;
     /// the previous snapshot set stays intact in that case.
     pub fn snapshot(&mut self) -> Result<Option<u64>> {
-        let Some(dir) = self.snapshot_dir.clone() else { return Ok(None) };
-        let lsn = self.applied_lsn;
-        if self.snapshot_lsn == Some(lsn) {
-            return Ok(Some(lsn)); // nothing committed since the last one
+        if self.snapshot_dir.is_none() {
+            return Ok(None);
         }
-        snapshot::write_snapshot(&dir, self.id, lsn, &self.specs, self.records.values())?;
-        // Two-checkpoint retention: the log keeps everything the *older*
-        // retained snapshot still needs; before the first snapshot there
-        // is nothing safe to drop.
-        let keep_from = self.snapshot_lsn.unwrap_or(0);
-        self.wal.truncate_upto(keep_from)?;
-        snapshot::prune_snapshots(&dir, self.id, keep_from);
-        self.snapshot_lsn = Some(lsn);
-        self.wal_ops = self.cache.len() as u64;
-        self.wal_trigger_bytes = 0;
-        Ok(Some(lsn))
-    }
-
-    /// This group's ACG id.
-    pub fn id(&self) -> AcgId {
-        self.id
-    }
-
-    /// Number of indexed files.
-    pub fn len(&self) -> usize {
-        self.records.len()
-    }
-
-    /// Returns `true` when no file is indexed.
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
-    }
-
-    /// Number of operations applied to the indices over this group's life.
-    pub fn ops_applied(&self) -> u64 {
-        self.ops_applied
+        let Some(job) = self.begin_snapshot() else {
+            // Already covered (or a background job holds the slot): the
+            // applied state is what the newest stamp reflects.
+            return Ok(Some(self.epoch.applied_lsn));
+        };
+        let lsn = job.lsn;
+        match job.write() {
+            Ok(_) => {
+                self.finish_snapshot(lsn)?;
+                Ok(Some(lsn))
+            }
+            Err(e) => {
+                self.abort_snapshot();
+                Err(e)
+            }
+        }
     }
 
     /// Number of currently buffered (uncommitted) operations.
@@ -421,7 +965,7 @@ impl AcgIndexGroup {
     }
 
     /// The file count this group will hold once its buffered ops commit:
-    /// [`AcgIndexGroup::len`] plus the *net* effect of the pending batch.
+    /// [`AcgEpoch::len`] plus the *net* effect of the pending batch.
     /// A pending upsert only counts when the file is not already indexed
     /// (re-upserts replace in place), a pending remove only when it is;
     /// several pending ops on one file collapse to the last one. This is
@@ -435,8 +979,10 @@ impl AcgIndexGroup {
         let mut projected: HashMap<FileId, bool> = HashMap::new();
         for op in self.cache.pending() {
             let file = op.file();
-            let before =
-                projected.get(&file).copied().unwrap_or_else(|| self.records.contains_key(&file));
+            let before = projected
+                .get(&file)
+                .copied()
+                .unwrap_or_else(|| self.epoch.records.contains_key(&file));
             let after = matches!(op, IndexOp::Upsert(_));
             match (before, after) {
                 (false, true) => delta += 1,
@@ -445,7 +991,7 @@ impl AcgIndexGroup {
             }
             projected.insert(file, after);
         }
-        (self.records.len() as i64 + delta).max(0) as usize
+        (self.epoch.len() as i64 + delta).max(0) as usize
     }
 
     /// Commit statistics: `(commits, drained_ops)`.
@@ -453,139 +999,31 @@ impl AcgIndexGroup {
         (self.cache.commit_count(), self.cache.drained_ops())
     }
 
-    /// The named index table (paper: each ACG has a table mapping index
-    /// names to structures).
-    pub fn index_specs(&self) -> &[IndexSpec] {
-        &self.specs
-    }
-
-    /// Creates a user-defined index and backfills it from existing records.
+    /// Creates a user-defined index, backfills it from existing records
+    /// and publishes the resulting epoch.
     ///
     /// # Errors
     ///
     /// Returns [`Error::IndexExists`] for duplicate names and
     /// [`Error::Config`] for invalid attribute arity.
     pub fn create_index(&mut self, spec: IndexSpec) -> Result<()> {
-        if self.specs.iter().any(|s| s.name == spec.name) {
-            return Err(Error::IndexExists(spec.name));
-        }
-        match spec.kind {
-            IndexKind::BTree | IndexKind::Hash => {
-                if spec.attrs.len() != 1 {
-                    return Err(Error::Config(format!(
-                        "index {:?} needs exactly one attribute",
-                        spec.name
-                    )));
-                }
-            }
-            IndexKind::Kd => {
-                if spec.attrs.is_empty() {
-                    return Err(Error::Config(format!(
-                        "k-d index {:?} needs at least one attribute",
-                        spec.name
-                    )));
-                }
-            }
-            IndexKind::Inverted => {
-                if !spec.attrs.is_empty() {
-                    return Err(Error::Config(format!(
-                        "inverted index {:?} covers all text implicitly; it takes no attributes",
-                        spec.name
-                    )));
-                }
-            }
-        }
-        match spec.kind {
-            IndexKind::BTree => {
-                let attr = spec.attrs[0].clone();
-                let mut tree = BPlusTree::new();
-                for record in self.records.values() {
-                    for value in Self::record_values(record, &attr) {
-                        let list = tree.get_mut(&value);
-                        match list {
-                            Some(list) => posting_insert(list, record.file),
-                            None => {
-                                tree.insert(value, vec![record.file]);
-                            }
-                        }
-                    }
-                }
-                self.btrees.insert(attr, tree);
-            }
-            IndexKind::Hash => {
-                let attr = spec.attrs[0].clone();
-                let mut table = HashIndex::new();
-                for record in self.records.values() {
-                    for value in Self::record_values(record, &attr) {
-                        posting_insert(table.get_or_insert_with(value, Vec::new), record.file);
-                    }
-                }
-                self.hashes.insert(attr, table);
-            }
-            IndexKind::Kd => {
-                let attrs = spec.attrs.clone();
-                let points: Vec<(Vec<f64>, FileId)> = self
-                    .records
-                    .values()
-                    .filter_map(|r| Self::kd_point(r, &attrs).map(|p| (p, r.file)))
-                    .collect();
-                let tree = KdTree::bulk_load(attrs.len(), points);
-                self.kds.insert(spec.name.clone(), (attrs, tree));
-            }
-            IndexKind::Inverted => {
-                let mut inv = InvertedIndex::new();
-                for record in self.records.values() {
-                    inv.insert(record);
-                }
-                self.inverteds.insert(spec.name.clone(), inv);
-            }
-        }
-        self.specs.push(spec);
+        let epoch = Arc::make_mut(&mut self.epoch);
+        epoch.create_index(spec)?;
+        epoch.generation += 1;
         Ok(())
     }
 
-    /// Drops a user-defined index by name. The backing structure is freed
-    /// unless another spec still uses it (B+-tree/hash structures are
-    /// shared per attribute).
+    /// Drops a user-defined index by name and publishes the resulting
+    /// epoch. The backing structure is freed unless another spec still
+    /// uses it (B+-tree/hash structures are shared per attribute).
     ///
     /// # Errors
     ///
     /// Returns [`Error::IndexNotFound`] for unknown names.
     pub fn drop_index(&mut self, name: &str) -> Result<()> {
-        let pos = self
-            .specs
-            .iter()
-            .position(|s| s.name == name)
-            .ok_or_else(|| Error::IndexNotFound(name.to_owned()))?;
-        let spec = self.specs.remove(pos);
-        match spec.kind {
-            IndexKind::BTree => {
-                let attr = &spec.attrs[0];
-                if !self
-                    .specs
-                    .iter()
-                    .any(|s| s.kind == IndexKind::BTree && s.attrs.first() == Some(attr))
-                {
-                    self.btrees.remove(attr);
-                }
-            }
-            IndexKind::Hash => {
-                let attr = &spec.attrs[0];
-                if !self
-                    .specs
-                    .iter()
-                    .any(|s| s.kind == IndexKind::Hash && s.attrs.first() == Some(attr))
-                {
-                    self.hashes.remove(attr);
-                }
-            }
-            IndexKind::Kd => {
-                self.kds.remove(&spec.name);
-            }
-            IndexKind::Inverted => {
-                self.inverteds.remove(&spec.name);
-            }
-        }
+        let epoch = Arc::make_mut(&mut self.epoch);
+        epoch.drop_index(name)?;
+        epoch.generation += 1;
         Ok(())
     }
 
@@ -642,12 +1080,18 @@ impl AcgIndexGroup {
         }
     }
 
-    /// Commits all buffered ops to the indices, advancing the applied-LSN
-    /// watermark. An in-memory WAL is truncated here (its log buys no
-    /// durability, so there is no reason to retain it); a file-backed WAL
-    /// keeps the committed frames until a snapshot covers them — that log
-    /// suffix is what lets a crashed node restore its committed state.
-    /// Returns the number of ops applied.
+    /// Commits all buffered ops and **publishes a new epoch**: the batch
+    /// is applied to a (structurally shared) successor of the current
+    /// epoch, the applied-LSN watermark advances, the generation bumps and
+    /// the `Arc` swaps — readers pinned on the previous epoch are never
+    /// disturbed. While nothing pins the current epoch the "copy" is an
+    /// in-place edit (`Arc::make_mut` sees a unique reference).
+    ///
+    /// An in-memory WAL is truncated here (its log buys no durability, so
+    /// there is no reason to retain it); a file-backed WAL keeps the
+    /// committed frames until a snapshot covers them — that log suffix is
+    /// what lets a crashed node restore its committed state. Returns the
+    /// number of ops applied.
     ///
     /// # Errors
     ///
@@ -655,11 +1099,14 @@ impl AcgIndexGroup {
     pub fn commit(&mut self, now: Timestamp) -> Result<usize> {
         let batch = self.cache.drain(now);
         let n = batch.len();
-        for op in batch {
-            self.apply(op);
-        }
         if n > 0 {
-            self.applied_lsn = self.wal.last_lsn();
+            let last_lsn = self.wal.last_lsn();
+            let epoch = Arc::make_mut(&mut self.epoch);
+            for op in batch {
+                epoch.apply(op);
+            }
+            epoch.applied_lsn = last_lsn;
+            epoch.generation += 1;
             if !self.wal.is_durable() {
                 self.wal.truncate()?;
             }
@@ -680,12 +1127,6 @@ impl AcgIndexGroup {
     /// Whether this group's WAL survives a process crash (file backend).
     pub fn is_durable(&self) -> bool {
         self.wal.is_durable()
-    }
-
-    /// The WAL LSN through which ops have been committed into the indices
-    /// (what the next snapshot will be stamped with).
-    pub fn applied_lsn(&self) -> u64 {
-        self.applied_lsn
     }
 
     /// LSN of the newest snapshot written or recovered from, if any.
@@ -763,7 +1204,7 @@ impl AcgIndexGroup {
     /// file is deleted, and when snapshots are configured a fresh one is
     /// written immediately so a crash right after the seed recovers to the
     /// seeded state rather than anchoring to a checkpoint from the
-    /// pre-seed LSN sequence.
+    /// pre-seed LSN sequence. The seeded state publishes as a new epoch.
     ///
     /// # Errors
     ///
@@ -775,294 +1216,35 @@ impl AcgIndexGroup {
         now: Timestamp,
     ) -> Result<()> {
         let _ = self.cache.drain(now);
-        for file in self.records.keys().copied().collect::<Vec<_>>() {
-            self.apply(IndexOp::Remove(file));
-        }
-        for record in records {
-            self.apply(IndexOp::Upsert(record));
+        {
+            let epoch = Arc::make_mut(&mut self.epoch);
+            for file in epoch.files() {
+                epoch.apply(IndexOp::Remove(file));
+            }
+            for record in records {
+                epoch.apply(IndexOp::Upsert(record));
+            }
+            epoch.applied_lsn = lsn;
+            epoch.generation += 1;
         }
         self.wal.reset_to(lsn)?;
-        self.applied_lsn = lsn;
         self.wal_ops = 0;
         self.wal_trigger_bytes = 0;
         self.snapshot_lsn = None;
         if let Some(dir) = self.snapshot_dir.clone() {
-            for (_, path) in snapshot::list_snapshots(&dir, self.id) {
+            for (_, path) in snapshot::list_snapshots(&dir, self.epoch.id) {
                 let _ = std::fs::remove_file(path);
             }
-            snapshot::write_snapshot(&dir, self.id, lsn, &self.specs, self.records.values())?;
+            snapshot::write_snapshot(
+                &dir,
+                self.epoch.id,
+                lsn,
+                &self.epoch.specs,
+                self.epoch.records(),
+            )?;
             self.snapshot_lsn = Some(lsn);
         }
         Ok(())
-    }
-
-    fn apply(&mut self, op: IndexOp) {
-        self.ops_applied += 1;
-        match op {
-            IndexOp::Upsert(record) => {
-                if let Some(old) = self.records.remove(&record.file) {
-                    self.unindex(&old);
-                }
-                self.index(&record);
-                self.records.insert(record.file, record);
-            }
-            IndexOp::Remove(file) => {
-                if let Some(old) = self.records.remove(&file) {
-                    self.unindex(&old);
-                }
-            }
-        }
-    }
-
-    fn index(&mut self, record: &FileRecord) {
-        for (attr, tree) in self.btrees.iter_mut() {
-            for value in Self::record_values(record, attr) {
-                match tree.get_mut(&value) {
-                    Some(list) => posting_insert(list, record.file),
-                    None => {
-                        tree.insert(value, vec![record.file]);
-                    }
-                }
-            }
-        }
-        for (attr, table) in self.hashes.iter_mut() {
-            for value in Self::record_values(record, attr) {
-                posting_insert(table.get_or_insert_with(value, Vec::new), record.file);
-            }
-        }
-        for (attrs, tree) in self.kds.values_mut() {
-            if let Some(point) = Self::kd_point(record, attrs) {
-                tree.insert(&point, record.file);
-            }
-        }
-        for inv in self.inverteds.values_mut() {
-            inv.insert(record);
-        }
-    }
-
-    fn unindex(&mut self, record: &FileRecord) {
-        for (attr, tree) in self.btrees.iter_mut() {
-            for value in Self::record_values(record, attr) {
-                if let Some(list) = tree.get_mut(&value) {
-                    posting_remove(list, record.file);
-                }
-            }
-        }
-        for (attr, table) in self.hashes.iter_mut() {
-            for value in Self::record_values(record, attr) {
-                if let Some(list) = table.get_mut(&value) {
-                    posting_remove(list, record.file);
-                }
-            }
-        }
-        for (attrs, tree) in self.kds.values_mut() {
-            if let Some(point) = Self::kd_point(record, attrs) {
-                tree.remove(&point, record.file);
-            }
-        }
-        for inv in self.inverteds.values_mut() {
-            inv.remove(record);
-        }
-    }
-
-    /// The values a record contributes to an attribute's index.
-    fn record_values(record: &FileRecord, attr: &AttrName) -> Vec<Value> {
-        match attr {
-            AttrName::Keyword => record.keywords.iter().map(|k| Value::from(k.as_str())).collect(),
-            AttrName::Custom(name) => {
-                record.custom.iter().filter(|(n, _)| n == name).map(|(_, v)| v.clone()).collect()
-            }
-            builtin => record.attrs.get(builtin).into_iter().collect(),
-        }
-    }
-
-    /// The K-D point of a record over `attrs`, or `None` when any attribute
-    /// is missing or multi-valued.
-    fn kd_point(record: &FileRecord, attrs: &[AttrName]) -> Option<Vec<f64>> {
-        let mut point = Vec::with_capacity(attrs.len());
-        for attr in attrs {
-            let values = Self::record_values(record, attr);
-            if values.len() != 1 {
-                return None;
-            }
-            point.push(values[0].axis_projection());
-        }
-        Some(point)
-    }
-
-    // --- Search-side accessors (call `commit` first; the Index Node does
-    // this on every search request) ------------------------------------
-
-    /// Files with `attr == value`, using a hash index when available, a
-    /// B+-tree otherwise, and a full record scan as last resort.
-    pub fn lookup_eq(&self, attr: &AttrName, value: &Value) -> Vec<FileId> {
-        if let Some(table) = self.hashes.get(attr) {
-            return table.get(value).cloned().unwrap_or_default();
-        }
-        if let Some(tree) = self.btrees.get(attr) {
-            return tree.get(value).cloned().unwrap_or_default();
-        }
-        self.scan(|record| Self::record_values(record, attr).iter().any(|v| v == value))
-    }
-
-    /// Files with `attr` in the given bounds, using a B+-tree when
-    /// available, a full scan otherwise.
-    pub fn lookup_range(&self, attr: &AttrName, lo: Bound<Value>, hi: Bound<Value>) -> Vec<FileId> {
-        if let Some(tree) = self.btrees.get(attr) {
-            let mut out: Vec<FileId> =
-                tree.range((lo, hi)).flat_map(|(_, list)| list.iter().copied()).collect();
-            out.sort_unstable();
-            out.dedup();
-            return out;
-        }
-        let in_lo = |v: &Value| match &lo {
-            Bound::Included(b) => v >= b,
-            Bound::Excluded(b) => v > b,
-            Bound::Unbounded => true,
-        };
-        let in_hi = |v: &Value| match &hi {
-            Bound::Included(b) => v <= b,
-            Bound::Excluded(b) => v < b,
-            Bound::Unbounded => true,
-        };
-        self.scan(|record| Self::record_values(record, attr).iter().any(|v| in_lo(v) && in_hi(v)))
-    }
-
-    /// Multi-attribute inclusive box query via a covering K-D index.
-    /// Returns `None` when no K-D index covers exactly these attributes
-    /// (the planner then falls back to per-attribute lookups).
-    pub fn lookup_kd(&self, attrs: &[AttrName], lo: &[f64], hi: &[f64]) -> Option<Vec<FileId>> {
-        self.kds.values().find_map(
-            |(kd_attrs, tree)| {
-                if kd_attrs == attrs {
-                    Some(tree.range(lo, hi))
-                } else {
-                    None
-                }
-            },
-        )
-    }
-
-    // --- Streaming candidate accessors -----------------------------------
-    //
-    // The iterator-returning variants of the lookups above: they yield
-    // `&FileRecord` directly (candidate ids resolve against the record
-    // store as the consumer pulls), so the executor never materializes a
-    // `Vec<FileId>` superset nor re-hashes candidates through the store.
-
-    /// Streams the records with `attr == value` through a hash index (or a
-    /// B+-tree point probe as fallback). Returns `None` when no index
-    /// covers `attr` — the caller falls back to a full scan. Records are
-    /// unique: a posting list holds each file at most once.
-    pub fn candidates_eq<'a>(
-        &'a self,
-        attr: &AttrName,
-        value: &Value,
-    ) -> Option<impl Iterator<Item = &'a FileRecord> + 'a> {
-        let list: &[FileId] = if let Some(table) = self.hashes.get(attr) {
-            table.get(value).map_or(&[], Vec::as_slice)
-        } else if let Some(tree) = self.btrees.get(attr) {
-            tree.get(value).map_or(&[], Vec::as_slice)
-        } else {
-            return None;
-        };
-        Some(list.iter().filter_map(move |f| self.records.get(f)))
-    }
-
-    /// Streams the records with `attr` in the given bounds off a B+-tree.
-    /// Returns `None` when no B+-tree covers `attr`. A record holding
-    /// several values for a multi-valued attribute may be yielded once per
-    /// in-range value; single-valued (builtin) attributes yield each
-    /// record at most once.
-    pub fn candidates_range<'a>(
-        &'a self,
-        attr: &AttrName,
-        lo: Bound<Value>,
-        hi: Bound<Value>,
-    ) -> Option<impl Iterator<Item = &'a FileRecord> + 'a> {
-        let tree = self.btrees.get(attr)?;
-        Some(
-            tree.range((lo, hi))
-                .flat_map(|(_, list)| list.iter())
-                .filter_map(move |f| self.records.get(f)),
-        )
-    }
-
-    /// Streams the records inside a K-D box query. Returns `None` when no
-    /// K-D index covers exactly these attributes. Records are unique (one
-    /// point per file per index).
-    pub fn candidates_kd<'a>(
-        &'a self,
-        attrs: &[AttrName],
-        lo: &'a [f64],
-        hi: &'a [f64],
-    ) -> Option<impl Iterator<Item = &'a FileRecord> + 'a> {
-        let (_, tree) = self.kds.values().find(|(kd_attrs, _)| kd_attrs == attrs)?;
-        Some(tree.range_iter(lo, hi).filter_map(move |f| self.records.get(&f)))
-    }
-
-    /// Streams *every* record holding `attr` within the bounds, in `attr`
-    /// order (ascending or descending), tie-broken by ascending file id
-    /// within equal values. Returns `None` when no B+-tree covers `attr`.
-    ///
-    /// For single-valued builtin attributes this walks the group in exact
-    /// result order for a sort over `attr`, which is what lets the
-    /// executor terminate after `k` admitted hits (posting lists are
-    /// file-id sorted, matching the sort's tie-break).
-    pub fn candidates_ordered<'a>(
-        &'a self,
-        attr: &AttrName,
-        lo: Bound<Value>,
-        hi: Bound<Value>,
-        descending: bool,
-    ) -> Option<Box<dyn Iterator<Item = &'a FileRecord> + 'a>> {
-        let tree = self.btrees.get(attr)?;
-        let resolve = move |f: &FileId| self.records.get(f);
-        if descending {
-            Some(Box::new(
-                tree.range_rev((lo, hi)).flat_map(|(_, list)| list.iter()).filter_map(resolve),
-            ))
-        } else {
-            Some(Box::new(
-                tree.range((lo, hi)).flat_map(|(_, list)| list.iter()).filter_map(resolve),
-            ))
-        }
-    }
-
-    /// Full scan with a predicate (the executor's fallback path).
-    pub fn scan<F: Fn(&FileRecord) -> bool>(&self, pred: F) -> Vec<FileId> {
-        let mut out: Vec<FileId> =
-            self.records.values().filter(|r| pred(r)).map(|r| r.file).collect();
-        out.sort_unstable();
-        out
-    }
-
-    /// The indexed record for `file`, if any.
-    pub fn record(&self, file: FileId) -> Option<&FileRecord> {
-        self.records.get(&file)
-    }
-
-    /// Iterates over all indexed records.
-    pub fn records(&self) -> impl Iterator<Item = &FileRecord> {
-        self.records.values()
-    }
-
-    /// Files currently indexed (sorted).
-    pub fn files(&self) -> Vec<FileId> {
-        let mut v: Vec<FileId> = self.records.keys().copied().collect();
-        v.sort_unstable();
-        v
-    }
-
-    /// Depth of the B+-tree over `attr` (for analytic disk-cost models).
-    pub fn btree_depth(&self, attr: &AttrName) -> Option<usize> {
-        self.btrees.get(attr).map(|t| t.depth())
-    }
-
-    /// The group's inverted text index, if one exists (several specs would
-    /// hold identical structures, so the executor takes any).
-    pub fn inverted(&self) -> Option<&InvertedIndex> {
-        self.inverteds.values().next()
     }
 }
 
@@ -1084,6 +1266,75 @@ mod tests {
 
     fn t(s: u64) -> Timestamp {
         Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn pinned_epochs_are_isolated_from_later_commits() {
+        let mut g = group();
+        for i in 0..100u64 {
+            g.enqueue(IndexOp::Upsert(record(i, i * 10, i)), t(0)).unwrap();
+        }
+        g.commit(t(0)).unwrap();
+        let pinned = g.pin();
+        let gen_before = pinned.generation();
+
+        // Churn heavily after the pin: removals, re-upserts, new files.
+        for i in 0..50u64 {
+            g.enqueue(IndexOp::Remove(FileId::new(i)), t(1)).unwrap();
+        }
+        for i in 100..200u64 {
+            g.enqueue(IndexOp::Upsert(record(i, i * 10, i)), t(1)).unwrap();
+        }
+        g.commit(t(1)).unwrap();
+
+        // The pinned epoch still reads the first commit, exactly.
+        assert_eq!(pinned.len(), 100);
+        assert_eq!(pinned.generation(), gen_before);
+        assert_eq!(
+            pinned.lookup_range(&AttrName::Size, Bound::Unbounded, Bound::Unbounded),
+            (0..100).map(FileId::new).collect::<Vec<_>>(),
+        );
+        assert!(pinned.record(FileId::new(0)).is_some());
+        assert!(pinned.record(FileId::new(150)).is_none());
+
+        // The live group reads the second commit and a higher generation.
+        assert_eq!(g.len(), 150);
+        assert!(g.generation() > gen_before);
+        assert!(g.record(FileId::new(0)).is_none());
+        assert!(g.record(FileId::new(150)).is_some());
+    }
+
+    #[test]
+    fn snapshot_job_serializes_the_pinned_epoch_despite_later_commits() {
+        let dir = std::env::temp_dir().join(format!("propeller-epoch-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut g = AcgIndexGroup::new(
+            AcgId::new(9),
+            GroupConfig { snapshot_dir: Some(dir.clone()), ..Default::default() },
+        );
+        for i in 0..20u64 {
+            g.enqueue(IndexOp::Upsert(record(i, i, 0)), t(0)).unwrap();
+        }
+        g.commit(t(0)).unwrap();
+
+        let job = g.begin_snapshot().expect("dirty group with a snapshot dir");
+        assert!(g.snapshot_in_flight());
+        assert!(g.begin_snapshot().is_none(), "one job at a time");
+
+        // Commit *between* begin and write: the job still serializes the
+        // pinned 20-record epoch, not the live 21-record one.
+        g.enqueue(IndexOp::Upsert(record(99, 99, 0)), t(1)).unwrap();
+        g.commit(t(1)).unwrap();
+        let lsn = job.lsn;
+        let path = job.write().unwrap();
+        g.finish_snapshot(lsn).unwrap();
+        assert!(!g.snapshot_in_flight());
+        assert_eq!(g.snapshot_lsn(), Some(lsn));
+
+        let data = snapshot::read_snapshot(&path).unwrap();
+        assert_eq!(data.lsn, lsn);
+        assert_eq!(data.records.len(), 20, "snapshot reflects the pinned epoch");
     }
 
     #[test]

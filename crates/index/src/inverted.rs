@@ -27,9 +27,11 @@
 //! the query executor witnesses with its `wand_*` stats counters.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use propeller_types::{FileId, Value};
 
+use crate::btree::BPlusTree;
 use crate::ops::FileRecord;
 
 /// BM25 `k1`: term-frequency saturation.
@@ -360,11 +362,33 @@ impl<'a> PostingsCursor<'a> {
 /// assert_eq!(inv.df("report"), 1);
 /// assert_eq!(inv.doc_len(FileId::new(1)), 5);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+/// Internally both maps are persistent B+-trees holding [`Arc`]-wrapped
+/// values, so cloning the index is O(1) and a mutation path-copies only
+/// the touched spine plus the touched term's postings — what lets an
+/// epoch publish share every untouched posting list with its predecessor.
+#[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
-    terms: HashMap<String, TermPostings>,
-    doc_len: HashMap<FileId, u32>,
+    terms: BPlusTree<String, Arc<TermPostings>>,
+    doc_len: BPlusTree<FileId, u32>,
     total_tokens: u64,
+}
+
+/// Content equality (what the tests' "empty again" style assertions
+/// need): the underlying trees may differ structurally after a lazy
+/// removal even when they hold identical entries, so equality walks the
+/// sorted entry streams instead of deriving off the tree shape.
+impl PartialEq for InvertedIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_tokens == other.total_tokens
+            && self.terms.len() == other.terms.len()
+            && self.doc_len.len() == other.doc_len.len()
+            && self.doc_len.iter().eq(other.doc_len.iter())
+            && self
+                .terms
+                .iter()
+                .zip(other.terms.iter())
+                .all(|((ka, va), (kb, vb))| ka == kb && va == vb)
+    }
 }
 
 impl InvertedIndex {
@@ -385,7 +409,14 @@ impl InvertedIndex {
             *counts.entry(token.as_str()).or_insert(0) += 1;
         }
         for (token, tf) in counts {
-            self.terms.entry(token.to_owned()).or_default().insert(record.file, tf);
+            match self.terms.get_mut(token) {
+                Some(postings) => Arc::make_mut(postings).insert(record.file, tf),
+                None => {
+                    let mut postings = TermPostings::default();
+                    postings.insert(record.file, tf);
+                    self.terms.insert(token.to_owned(), Arc::new(postings));
+                }
+            }
         }
         if let Some(old) = self.doc_len.insert(record.file, tokens.len() as u32) {
             self.total_tokens -= old as u64;
@@ -404,6 +435,7 @@ impl InvertedIndex {
         seen.dedup();
         for token in seen {
             if let Some(postings) = self.terms.get_mut(token) {
+                let postings = Arc::make_mut(postings);
                 postings.remove(record.file);
                 if postings.df() == 0 {
                     self.terms.remove(token);
@@ -417,12 +449,12 @@ impl InvertedIndex {
 
     /// The postings of a term, if any document contains it.
     pub fn term(&self, term: &str) -> Option<&TermPostings> {
-        self.terms.get(term)
+        self.terms.get(term).map(Arc::as_ref)
     }
 
     /// Document frequency of a term (0 when absent).
     pub fn df(&self, term: &str) -> usize {
-        self.terms.get(term).map_or(0, TermPostings::df)
+        self.terms.get(term).map_or(0, |p| p.df())
     }
 
     /// Number of documents with at least one token — BM25's `N`.
@@ -435,9 +467,14 @@ impl InvertedIndex {
         self.doc_len.get(&file).copied().unwrap_or(0)
     }
 
+    /// Returns `true` when no document is indexed.
+    fn no_docs(&self) -> bool {
+        self.doc_len.is_empty()
+    }
+
     /// Mean document token count (0 for an empty index).
     pub fn avg_doc_len(&self) -> f64 {
-        if self.doc_len.is_empty() {
+        if self.no_docs() {
             0.0
         } else {
             self.total_tokens as f64 / self.doc_len.len() as f64
@@ -475,13 +512,11 @@ impl InvertedIndex {
     /// crash-recovery tests compare across a rebuild: every term with its
     /// df and full `(file, tf)` posting list, sorted by term.
     pub fn fingerprint(&self) -> Vec<(String, Vec<(FileId, u32)>)> {
-        let mut out: Vec<(String, Vec<(FileId, u32)>)> = self
-            .terms
+        // The term tree iterates in sorted order already.
+        self.terms
             .iter()
             .map(|(t, p)| (t.clone(), p.postings.iter().map(|p| (p.file, p.tf)).collect()))
-            .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        out
+            .collect()
     }
 }
 

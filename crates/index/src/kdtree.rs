@@ -25,6 +25,8 @@
 //! even a run of byte-equal points (thousands of empty files sharing one
 //! mtime) balances instead of chaining beyond what any rebuild can fix.
 
+use std::sync::Arc;
+
 use propeller_types::FileId;
 use serde::{Deserialize, Serialize};
 
@@ -42,11 +44,11 @@ struct KdNode {
     /// Nodes in this subtree, tombstones included (they still cost a
     /// visit, so balance is kept over physical nodes).
     size: usize,
-    left: Option<Box<KdNode>>,
-    right: Option<Box<KdNode>>,
+    left: Option<Arc<KdNode>>,
+    right: Option<Arc<KdNode>>,
 }
 
-fn subtree_size(node: &Option<Box<KdNode>>) -> usize {
+fn subtree_size(node: &Option<Arc<KdNode>>) -> usize {
     node.as_ref().map_or(0, |n| n.size)
 }
 
@@ -94,7 +96,7 @@ enum Ins {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KdTree {
     dims: usize,
-    root: Option<Box<KdNode>>,
+    root: Option<Arc<KdNode>>,
     live: usize,
     tombstones: usize,
 }
@@ -128,7 +130,7 @@ impl KdTree {
     /// Height of the tree, counting tombstoned nodes (they still cost a
     /// visit). Zero for an empty tree.
     pub fn depth(&self) -> usize {
-        fn rec(node: &Option<Box<KdNode>>) -> usize {
+        fn rec(node: &Option<Arc<KdNode>>) -> usize {
             match node {
                 None => 0,
                 Some(n) => 1 + rec(&n.left).max(rec(&n.right)),
@@ -187,7 +189,7 @@ impl KdTree {
     /// detection on unwind. `dropped_tombs` accumulates tombstones shed by
     /// a subtree rebuild so the caller can fix the tree-level counter.
     fn insert_rec(
-        slot: &mut Option<Box<KdNode>>,
+        slot: &mut Option<Arc<KdNode>>,
         point: &[f64],
         payload: FileId,
         depth: usize,
@@ -196,7 +198,7 @@ impl KdTree {
         dropped_tombs: &mut usize,
     ) -> Ins {
         let Some(n) = slot else {
-            *slot = Some(Box::new(KdNode {
+            *slot = Some(Arc::new(KdNode {
                 point: point.to_vec(),
                 payload,
                 deleted: false,
@@ -206,6 +208,9 @@ impl KdTree {
             }));
             return if depth > max_depth { Ins::Deep } else { Ins::Done };
         };
+        // Copy-on-write: shared nodes on the insertion path are cloned so
+        // pinned snapshots of the tree never observe the mutation.
+        let n = Arc::make_mut(n);
         // Resurrect an identical tombstoned entry in place.
         if n.deleted && n.payload == payload && n.point == point {
             n.deleted = false;
@@ -257,6 +262,7 @@ impl KdTree {
             match node {
                 None => return false,
                 Some(n) => {
+                    let n = Arc::make_mut(n);
                     if !n.deleted && n.payload == payload && n.point == point {
                         n.deleted = true;
                         self.live -= 1;
@@ -340,7 +346,7 @@ impl KdTree {
         KdTree { dims, root, live, tombstones: 0 }
     }
 
-    fn collect_live(node: &Option<Box<KdNode>>, out: &mut Vec<(Vec<f64>, FileId)>) {
+    fn collect_live(node: &Option<Arc<KdNode>>, out: &mut Vec<(Vec<f64>, FileId)>) {
         if let Some(n) = node {
             if !n.deleted {
                 out.push((n.point.clone(), n.payload));
@@ -354,7 +360,7 @@ impl KdTree {
         points: &mut [(Vec<f64>, FileId)],
         depth: usize,
         dims: usize,
-    ) -> Option<Box<KdNode>> {
+    ) -> Option<Arc<KdNode>> {
         if points.is_empty() {
             return None;
         }
@@ -372,7 +378,7 @@ impl KdTree {
         let size = points.len();
         let (left_half, rest) = points.split_at_mut(mid);
         let right_half = &mut rest[1..];
-        Some(Box::new(KdNode {
+        Some(Arc::new(KdNode {
             point,
             payload,
             deleted: false,
@@ -448,6 +454,28 @@ mod tests {
 
     fn f(i: u64) -> FileId {
         FileId::new(i)
+    }
+
+    #[test]
+    fn clones_are_snapshots_under_further_mutation() {
+        let mut t = KdTree::new(2);
+        for i in 0..2000u64 {
+            t.insert(&[(i % 50) as f64, (i / 50) as f64], f(i));
+        }
+        let snap = t.clone();
+        for i in 0..2000u64 {
+            if i % 2 == 0 {
+                t.remove(&[(i % 50) as f64, (i / 50) as f64], f(i));
+            }
+        }
+        for i in 2000..2500u64 {
+            t.insert(&[(i % 50) as f64, (i / 50) as f64], f(i));
+        }
+        // The clone still answers exactly the pre-mutation box query.
+        assert_eq!(snap.len(), 2000);
+        let all = snap.range(&[0.0, 0.0], &[1e9, 1e9]);
+        assert_eq!(all, (0..2000).map(f).collect::<Vec<_>>());
+        assert_eq!(t.len(), 1000 + 500);
     }
 
     #[test]
@@ -597,7 +625,7 @@ mod tests {
 
     #[test]
     fn subtree_sizes_stay_consistent_under_churn() {
-        fn check(node: &Option<Box<KdNode>>) -> usize {
+        fn check(node: &Option<Arc<KdNode>>) -> usize {
             match node {
                 None => 0,
                 Some(n) => {

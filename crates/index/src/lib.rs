@@ -51,7 +51,9 @@ mod wal;
 
 pub use btree::{BPlusTree, Range, RangeRev};
 pub use cache::IndexCache;
-pub use group::{AcgIndexGroup, GroupConfig, IndexKind, IndexSpec, RecoveryReport};
+pub use group::{
+    AcgEpoch, AcgIndexGroup, EpochSnapshotJob, GroupConfig, IndexKind, IndexSpec, RecoveryReport,
+};
 pub use hash::HashIndex;
 pub use inverted::{
     bm25_block_bound, bm25_idf, bm25_score, bm25_term_bound, record_contains_all,

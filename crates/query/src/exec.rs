@@ -28,8 +28,8 @@ use std::sync::Arc;
 
 use propeller_index::{
     bm25_block_bound, bm25_idf, bm25_score, bm25_term_bound, record_contains_all,
-    record_contains_any, record_contains_phrase, record_tokens, AcgIndexGroup, FileRecord,
-    InvertedIndex, PostingsCursor, BLOCK,
+    record_contains_any, record_contains_phrase, record_tokens, AcgEpoch, AcgIndexGroup,
+    FileRecord, InvertedIndex, PostingsCursor, BLOCK,
 };
 use propeller_types::{AcgId, AttrName, FileId, Result, Timestamp, Value};
 
@@ -95,7 +95,7 @@ fn compare_attr(record: &FileRecord, attr: &AttrName, op: CompareOp, rhs: &Value
 ///
 /// Callers are responsible for committing the group first; use [`search`]
 /// for the paper-faithful commit-then-search entry point.
-pub fn execute(group: &AcgIndexGroup, pred: &Predicate) -> Vec<FileId> {
+pub fn execute(group: &AcgEpoch, pred: &Predicate) -> Vec<FileId> {
     let request = SearchRequest::new(pred.clone());
     let (hits, _) = execute_request(group, &request);
     hits.into_iter().map(|h| h.file).collect()
@@ -123,7 +123,7 @@ pub fn execute(group: &AcgIndexGroup, pred: &Predicate) -> Vec<FileId> {
 /// Hits come back in the request's sort order. Callers are responsible
 /// for committing the group first (the owning Index Node commits before
 /// serving a search).
-pub fn execute_request(group: &AcgIndexGroup, request: &SearchRequest) -> (Vec<Hit>, SearchStats) {
+pub fn execute_request(group: &AcgEpoch, request: &SearchRequest) -> (Vec<Hit>, SearchStats) {
     let plan = plan_request(group, request);
     if let AccessPath::OrderedScan { attr, lo, hi, descending } = plan.path {
         let (lo, hi) = cursor_scan_bounds(request.cursor.as_ref(), lo, hi, descending);
@@ -170,7 +170,7 @@ pub fn execute_request(group: &AcgIndexGroup, request: &SearchRequest) -> (Vec<H
 /// candidates that provably fell out of the merged node-wide top-k are
 /// dropped before hit materialization.
 pub fn execute_classic(
-    group: &AcgIndexGroup,
+    group: &AcgEpoch,
     request: &SearchRequest,
     plan: Plan,
     cutoff: Option<&GlobalCutoff>,
@@ -229,7 +229,7 @@ pub fn execute_classic(
 /// record more than once.
 fn stream_topk<'a, I>(
     records: I,
-    group: &AcgIndexGroup,
+    group: &AcgEpoch,
     request: &SearchRequest,
     scanned: &mut usize,
     dedup: bool,
@@ -307,7 +307,7 @@ enum RelevanceScorer<'a> {
 impl<'a> RelevanceScorer<'a> {
     /// The cheapest accurate scorer for `group`: its inverted index when
     /// one exists, otherwise a brute statistics pass over the records.
-    fn of_group(group: &'a AcgIndexGroup, terms: &[String]) -> Self {
+    fn of_group(group: &'a AcgEpoch, terms: &[String]) -> Self {
         match group.inverted() {
             Some(inv) => RelevanceScorer::Indexed(inv),
             None => Self::brute(group.records(), terms),
@@ -372,7 +372,7 @@ impl<'a> RelevanceScorer<'a> {
 /// any predicate (plans are candidate supersets; the full scan is the
 /// widest one) — just never as fast as the postings merge.
 fn execute_relevance_scan(
-    group: &AcgIndexGroup,
+    group: &AcgEpoch,
     request: &SearchRequest,
     cutoff: Option<&GlobalCutoff>,
 ) -> (Vec<Hit>, SearchStats) {
@@ -442,7 +442,7 @@ struct TermCursor<'a> {
 /// Pruning never changes results: a pruned document's best possible score
 /// ranks strictly below `limit` already-retained hits.
 fn execute_postings(
-    group: &AcgIndexGroup,
+    group: &AcgEpoch,
     request: &SearchRequest,
     terms: &[String],
     mode: ContainsMode,
@@ -696,7 +696,7 @@ pub struct OrderedHitStream<'a> {
 impl<'a> OrderedHitStream<'a> {
     pub(crate) fn new(
         records: Box<dyn Iterator<Item = &'a FileRecord> + 'a>,
-        group: &'a AcgIndexGroup,
+        group: &'a AcgEpoch,
         request: &'a SearchRequest,
     ) -> Self {
         OrderedHitStream {
@@ -795,7 +795,7 @@ pub type ClassicResults = Vec<(Vec<Hit>, SearchStats)>;
 /// do, never the returned hits, so pooled execution stays byte-identical
 /// to sequential.
 pub fn execute_node_request<'a, F>(
-    groups: &[&'a AcgIndexGroup],
+    groups: &[&'a AcgEpoch],
     request: &'a SearchRequest,
     run_classic: F,
 ) -> (Vec<Hit>, SearchStats)
@@ -928,7 +928,7 @@ where
 /// byte-for-byte, and the single-threaded entry point for callers without
 /// a worker pool.
 pub fn execute_node_request_sequential(
-    groups: &[&AcgIndexGroup],
+    groups: &[&AcgEpoch],
     request: &SearchRequest,
 ) -> (Vec<Hit>, SearchStats) {
     execute_node_request(groups, request, |tasks, cutoff| {
@@ -980,7 +980,7 @@ pub(crate) fn cursor_scan_bounds(
 /// for tests and as the baseline the `topk_search` bench measures the
 /// streaming pipeline against.
 pub fn execute_request_reference(
-    group: &AcgIndexGroup,
+    group: &AcgEpoch,
     request: &SearchRequest,
 ) -> (Vec<Hit>, SearchStats) {
     // Relevance ranking runs as a fully index-independent oracle: the
@@ -1426,7 +1426,7 @@ mod tests {
                 group
             })
             .collect();
-        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let refs: Vec<&AcgEpoch> = groups.iter().map(|g| &**g).collect();
         let q = Query::parse("size>0", now()).unwrap();
         let req = SearchRequest::new(q.predicate)
             .with_limit(10)
@@ -1479,7 +1479,7 @@ mod tests {
             ),
             2000,
         );
-        let refs: Vec<&AcgIndexGroup> = vec![&g1, &g2, &g3];
+        let refs: Vec<&AcgEpoch> = vec![&g1, &g2, &g3];
         let q = Query::parse("size>0", now()).unwrap();
         let req = SearchRequest::new(q.predicate)
             .with_limit(8)
@@ -1540,7 +1540,7 @@ mod tests {
             .unwrap();
         }
         g2.commit(now()).unwrap();
-        let refs: Vec<&AcgIndexGroup> = vec![&g1, &g2];
+        let refs: Vec<&AcgEpoch> = vec![&g1, &g2];
         let q = Query::parse("size>0", now()).unwrap();
         let req = SearchRequest::new(q.predicate)
             .with_limit(2)
@@ -1560,7 +1560,7 @@ mod tests {
     fn node_request_unlimited_and_zero_limit_edges() {
         use crate::request::{SearchRequest, SortKey};
         let g = seeded_group();
-        let refs = vec![&g];
+        let refs: Vec<&AcgEpoch> = vec![&g];
         let q = Query::parse("size>16m", now()).unwrap();
         // Unlimited: no cutoff, plain merged full result.
         let req = SearchRequest::new(q.predicate.clone())
@@ -1784,7 +1784,7 @@ mod tests {
         let g1 = content_group(1, 0, 300);
         let g2 = content_group(2, 1000, 300);
         let g3 = content_group(3, 2000, 300);
-        let refs: Vec<&AcgIndexGroup> = vec![&g1, &g2, &g3];
+        let refs: Vec<&AcgEpoch> = vec![&g1, &g2, &g3];
         let q = Query::parse("contains-any:\"fox zebra\"", now()).unwrap();
         let req = SearchRequest::new(q.predicate).with_limit(12).sorted_by(SortKey::Relevance);
         let per_acg: Vec<Vec<Hit>> = refs.iter().map(|g| execute_request(g, &req).0).collect();

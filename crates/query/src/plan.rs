@@ -17,7 +17,7 @@
 use std::collections::HashMap;
 use std::ops::Bound;
 
-use propeller_index::{AcgIndexGroup, IndexKind};
+use propeller_index::{AcgEpoch, IndexKind};
 use propeller_types::{AttrName, Value};
 
 use crate::ast::{CompareOp, ContainsMode, Predicate};
@@ -25,8 +25,9 @@ use crate::request::SearchRequest;
 
 /// What the planner needs to know about a group's indices.
 ///
-/// Implemented for [`AcgIndexGroup`]; test doubles can implement it to
-/// exercise planning without a real group.
+/// Implemented for [`AcgEpoch`] (and therefore usable through a deref'd
+/// `AcgIndexGroup`); test doubles can implement it to exercise planning
+/// without a real group.
 pub trait IndexCatalog {
     /// Whether a hash index covers `attr`.
     fn has_hash(&self, attr: &AttrName) -> bool;
@@ -38,7 +39,7 @@ pub trait IndexCatalog {
     fn has_inverted(&self) -> bool;
 }
 
-impl IndexCatalog for AcgIndexGroup {
+impl IndexCatalog for AcgEpoch {
     fn has_hash(&self, attr: &AttrName) -> bool {
         self.index_specs()
             .iter()
@@ -334,7 +335,7 @@ pub fn plan_request<C: IndexCatalog + ?Sized>(catalog: &C, request: &SearchReque
 ///
 /// let group = AcgIndexGroup::new(AcgId::new(1), GroupConfig::default());
 /// let q = Query::parse("keyword:firefox", Timestamp::from_secs(0)).unwrap();
-/// let plan = plan(&group, &q.predicate);
+/// let plan = plan(&*group, &q.predicate); // a group derefs to its epoch
 /// assert!(matches!(plan.path, AccessPath::HashEq { .. }));
 /// ```
 pub fn plan<C: IndexCatalog + ?Sized>(catalog: &C, pred: &Predicate) -> Plan {

@@ -479,6 +479,16 @@ pub struct SearchStats {
     /// session erred) and the client resumed the same ACG stream on
     /// another replica from its cursor, losing and duplicating nothing.
     pub replica_failovers: usize,
+    /// Epochs pinned for this search: one per ACG consulted, each an
+    /// `Arc` clone of whatever epoch that ACG had published when the
+    /// search opened. The search reads those pinned epochs for its whole
+    /// lifetime, so later commits are invisible to it by construction.
+    pub epoch_pins: usize,
+    /// Commits the serving node published while this search was
+    /// executing. Non-zero values witness that ingest proceeded
+    /// concurrently with the read — the epoch-pinning counterpart to a
+    /// lock the search never took.
+    pub commits_during_search: usize,
     /// What the caller waited for. One-shot fan-outs run in parallel, so
     /// merged stats carry the slowest node's service time; a streamed
     /// search issues its pulls sequentially from the client merge, so the
@@ -506,6 +516,8 @@ impl SearchStats {
         self.hedges_fired += other.hedges_fired;
         self.hedges_won += other.hedges_won;
         self.replica_failovers += other.replica_failovers;
+        self.epoch_pins += other.epoch_pins;
+        self.commits_during_search += other.commits_during_search;
         self.elapsed = self.elapsed.max(other.elapsed);
     }
 }
@@ -1226,6 +1238,8 @@ mod tests {
             hedges_fired: 2,
             hedges_won: 1,
             replica_failovers: 1,
+            epoch_pins: 1,
+            commits_during_search: 3,
             elapsed: Duration::from_micros(5),
         };
         a.absorb(SearchStats {
@@ -1245,6 +1259,8 @@ mod tests {
             hedges_fired: 1,
             hedges_won: 1,
             replica_failovers: 2,
+            epoch_pins: 2,
+            commits_during_search: 4,
             elapsed: Duration::from_micros(3),
         });
         assert_eq!(a.acgs_consulted, 3);
@@ -1263,6 +1279,8 @@ mod tests {
         assert_eq!(a.hedges_fired, 3);
         assert_eq!(a.hedges_won, 2);
         assert_eq!(a.replica_failovers, 3);
+        assert_eq!(a.epoch_pins, 3);
+        assert_eq!(a.commits_during_search, 7);
         assert_eq!(a.elapsed, Duration::from_micros(5), "slowest node wins");
     }
 

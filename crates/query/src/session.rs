@@ -12,9 +12,8 @@
 //!
 //! ## How suspension works
 //!
-//! The session owns **no borrows into the index groups** (the owning Index
-//! Node must stay free to mutate them between pulls), so it suspends by
-//! *position*, not by live iterator:
+//! The session owns pinned epochs but **no borrows into them across
+//! pulls**, so it suspends by *position*, not by live iterator:
 //!
 //! * the classic (non-ordered) share of the search cannot early-terminate
 //!   anyway, so it runs **once** at open — on the node's worker pool,
@@ -36,17 +35,23 @@
 //!
 //! ## Consistency
 //!
-//! A session observes the data committed at open plus whatever commits
-//! land between pulls — the same read-committed-per-page semantics as
-//! cursor pagination (which is what a pull *is*, node-side). An ACG that
-//! migrates away mid-session, or whose covering index is dropped, simply
-//! stops contributing (the cluster degrades per the request's fan-out
-//! policy); nothing panics and the remaining sources stay exact.
+//! A session **pins** each group's published [`AcgEpoch`] at open and, on
+//! the default [`NodeSearchSession::pull_pinned`] path, serves every page
+//! from those pinned epochs: all pages of one session read the same
+//! committed state no matter how many commits land in between
+//! (cross-page consistent pagination). Pinning is just an `Arc` clone —
+//! the owning Index Node keeps committing new epochs concurrently; the
+//! pinned ones are reclaimed when the session closes. The lower-level
+//! [`NodeSearchSession::pull`] takes an explicit epoch lookup instead,
+//! for callers that *want* read-committed-per-page semantics or need to
+//! drop an ACG mid-session (e.g. after a migration): an ACG that no
+//! longer resolves, or whose covering index is dropped, simply stops
+//! contributing; nothing panics and the remaining sources stay exact.
 
 use std::ops::Bound;
 use std::sync::Arc;
 
-use propeller_index::AcgIndexGroup;
+use propeller_index::AcgEpoch;
 use propeller_types::{AcgId, AttrName, Value};
 
 use crate::exec::{cursor_scan_bounds, ClassicTask, OrderedHitStream};
@@ -99,6 +104,9 @@ pub struct SessionPage {
 /// (see the module docs for the design).
 pub struct NodeSearchSession {
     request: SearchRequest,
+    /// The epochs pinned at open, one per group consulted —
+    /// [`NodeSearchSession::pull_pinned`] pages against exactly these.
+    pinned: Vec<Arc<AcgEpoch>>,
     /// The merged, sorted, `k`-bounded result of the classic-planned ACGs
     /// (computed once at open) — paged out via `classic_ix`.
     classic: Vec<Hit>,
@@ -139,7 +147,7 @@ impl NodeSearchSession {
     /// Returns the session plus the open-phase stats (the classic scans;
     /// `acgs_consulted` and `access_paths` cover every group once).
     pub fn open<F>(
-        groups: &[&AcgIndexGroup],
+        groups: &[Arc<AcgEpoch>],
         request: &SearchRequest,
         run_classic: F,
     ) -> (NodeSearchSession, SearchStats)
@@ -150,7 +158,7 @@ impl NodeSearchSession {
         let mut ordered: Vec<OrderedState> = Vec::new();
         let mut stats = SearchStats::default();
         for (i, group) in groups.iter().enumerate() {
-            let plan = plan_request(*group, request);
+            let plan = plan_request(&**group, request);
             match plan.path {
                 AccessPath::OrderedScan { attr, lo, hi, descending }
                     if group
@@ -208,6 +216,7 @@ impl NodeSearchSession {
                 if let Some(iter) = group.candidates_ordered(&state.attr, lo, hi, state.descending)
                 {
                     let mut stream = OrderedHitStream::new(iter, group, request);
+
                     let first = stream.next();
                     state.scanned += stream.scanned();
                     stats.candidates_scanned += stream.scanned();
@@ -240,6 +249,7 @@ impl NodeSearchSession {
         let remaining = request.limit.unwrap_or(usize::MAX);
         let session = NodeSearchSession {
             request: request.clone(),
+            pinned: groups.to_vec(),
             classic,
             classic_ix: 0,
             ordered,
@@ -267,9 +277,19 @@ impl NodeSearchSession {
         self.exhausted
     }
 
-    /// Pulls the next page of at most `page` hits. `lookup` resolves an
-    /// ACG to its (committed) group; an ACG that no longer resolves — it
-    /// migrated away mid-session — simply stops contributing.
+    /// Pulls the next page of at most `page` hits **from the epochs
+    /// pinned at open**: every page of the session reads the same
+    /// committed state regardless of commits, index changes or snapshots
+    /// in between. This is the Index Node's serving path.
+    pub fn pull_pinned(&mut self, page: usize) -> SessionPage {
+        let pinned = self.pinned.clone();
+        self.pull(|acg| pinned.iter().find(|e| e.id() == acg).map(|e| &**e), page)
+    }
+
+    /// Pulls the next page of at most `page` hits against an explicit
+    /// epoch `lookup` (read-committed-per-page when the caller resolves
+    /// live groups); an ACG that no longer resolves — it migrated away
+    /// mid-session — simply stops contributing.
     ///
     /// Each pull re-creates the ordered B+-tree walks positioned after the
     /// session's resume cursor (one tree descent each), pulls everything
@@ -282,7 +302,7 @@ impl NodeSearchSession {
     /// re-stamping the session against LRU eviction.
     pub fn pull<'g>(
         &mut self,
-        lookup: impl Fn(AcgId) -> Option<&'g AcgIndexGroup>,
+        lookup: impl Fn(AcgId) -> Option<&'g AcgEpoch>,
         page: usize,
     ) -> SessionPage {
         self.pages += 1;
@@ -456,7 +476,7 @@ mod tests {
     use super::*;
     use crate::exec::{execute_classic, execute_node_request_sequential};
     use crate::request::{next_cursor, SortKey};
-    use propeller_index::{FileRecord, GroupConfig, IndexOp};
+    use propeller_index::{AcgIndexGroup, FileRecord, GroupConfig, IndexOp};
     use propeller_types::{FileId, InodeAttrs, Timestamp};
 
     fn now() -> Timestamp {
@@ -484,23 +504,26 @@ mod tests {
             .collect()
     }
 
-    fn run_inline<'a>(
-        groups: &[&'a AcgIndexGroup],
+    fn pins(groups: &[AcgIndexGroup]) -> Vec<Arc<AcgEpoch>> {
+        groups.iter().map(|g| g.pin()).collect()
+    }
+
+    fn run_inline(
+        groups: &[Arc<AcgEpoch>],
         request: &SearchRequest,
-    ) -> impl FnOnce(Vec<ClassicTask>, Option<&Arc<GlobalCutoff>>) -> crate::ClassicResults + 'a
-    {
+    ) -> impl FnOnce(Vec<ClassicTask>, Option<&Arc<GlobalCutoff>>) -> crate::ClassicResults {
         let request = request.clone();
-        let groups: Vec<&AcgIndexGroup> = groups.to_vec();
+        let groups: Vec<Arc<AcgEpoch>> = groups.to_vec();
         move |tasks, cutoff| {
             tasks
                 .into_iter()
-                .map(|t| execute_classic(groups[t.group], &request, t.plan, cutoff.map(|c| &**c)))
+                .map(|t| execute_classic(&groups[t.group], &request, t.plan, cutoff.map(|c| &**c)))
                 .collect()
         }
     }
 
     fn drain(
-        groups: &[&AcgIndexGroup],
+        groups: &[Arc<AcgEpoch>],
         request: &SearchRequest,
         page: usize,
     ) -> (Vec<Hit>, NodeSearchSession) {
@@ -508,7 +531,7 @@ mod tests {
             NodeSearchSession::open(groups, request, run_inline(groups, request));
         let mut all = Vec::new();
         loop {
-            let p = session.pull(|acg| groups.iter().copied().find(|g| g.id() == acg), page);
+            let p = session.pull_pinned(page);
             all.extend(p.hits);
             if p.exhausted {
                 break;
@@ -520,7 +543,8 @@ mod tests {
     #[test]
     fn paged_session_concatenates_to_the_one_shot_result() {
         let groups = seeded_groups(4, 100, true);
-        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let refs = pins(&groups);
+        let epochs: Vec<&AcgEpoch> = refs.iter().map(|e| &**e).collect();
         let q = crate::Query::parse("size>0", now()).unwrap();
         for (limit, sort) in [
             (Some(25), SortKey::Descending(propeller_types::AttrName::Size)),
@@ -532,7 +556,7 @@ mod tests {
             if let Some(k) = limit {
                 req = req.with_limit(k);
             }
-            let (one_shot, _) = execute_node_request_sequential(&refs, &req);
+            let (one_shot, _) = execute_node_request_sequential(&epochs, &req);
             for page in [1usize, 3, 16, 1000] {
                 let (paged, _) = drain(&refs, &req, page);
                 assert_eq!(paged, one_shot, "limit {limit:?} page {page}");
@@ -545,7 +569,7 @@ mod tests {
         // 16 ordered ACGs, top-100 pulled as one page of 10: the session
         // must scan ~one page's worth of candidates, not k per ACG.
         let groups = seeded_groups(16, 200, true);
-        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let refs = pins(&groups);
         let q = crate::Query::parse("size>0", now()).unwrap();
         let req = SearchRequest::new(q.predicate)
             .with_limit(100)
@@ -553,7 +577,7 @@ mod tests {
         let (mut session, open_stats) =
             NodeSearchSession::open(&refs, &req, run_inline(&refs, &req));
         assert_eq!(open_stats.acgs_consulted, 16);
-        let page = session.pull(|acg| refs.iter().copied().find(|g| g.id() == acg), 10);
+        let page = session.pull_pinned(10);
         assert_eq!(page.hits.len(), 10);
         assert!(!page.exhausted);
         assert!(
@@ -577,7 +601,7 @@ mod tests {
         // stream it actually refills — `pull ≤ hits`, where the old path
         // cost `hits + streams`.
         let groups = seeded_groups(4, 100, true);
-        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let refs = pins(&groups);
         let q = crate::Query::parse("size>0", now()).unwrap();
         let req = SearchRequest::new(q.predicate)
             .with_limit(20)
@@ -585,7 +609,7 @@ mod tests {
         let (mut session, open_stats) =
             NodeSearchSession::open(&refs, &req, run_inline(&refs, &req));
         assert_eq!(open_stats.candidates_scanned, 4, "open pulls exactly one seed per stream");
-        let page = session.pull(|acg| refs.iter().copied().find(|g| g.id() == acg), 20);
+        let page = session.pull_pinned(20);
         assert_eq!(page.hits.len(), 20);
         assert!(
             page.stats.candidates_scanned <= page.hits.len() + refs.len(),
@@ -600,7 +624,7 @@ mod tests {
         // (page + streams = 20 scans); primed heads prime it for free, so
         // only the few refilled streams scan at all.
         let groups = seeded_groups(16, 100, true);
-        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let refs = pins(&groups);
         let q = crate::Query::parse("size>0", now()).unwrap();
         let req = SearchRequest::new(q.predicate)
             .with_limit(100)
@@ -608,7 +632,7 @@ mod tests {
         let (mut session, open_stats) =
             NodeSearchSession::open(&refs, &req, run_inline(&refs, &req));
         assert_eq!(open_stats.candidates_scanned, 16);
-        let page = session.pull(|acg| refs.iter().copied().find(|g| g.id() == acg), 4);
+        let page = session.pull_pinned(4);
         assert_eq!(page.hits.len(), 4);
         assert!(
             page.stats.candidates_scanned <= 2 * page.hits.len(),
@@ -616,10 +640,11 @@ mod tests {
             page.stats.candidates_scanned
         );
         // Draining the rest still concatenates to the one-shot result.
-        let (one_shot, _) = execute_node_request_sequential(&refs, &req);
+        let epochs: Vec<&AcgEpoch> = refs.iter().map(|e| &**e).collect();
+        let (one_shot, _) = execute_node_request_sequential(&epochs, &req);
         let mut all = page.hits.clone();
         loop {
-            let p = session.pull(|acg| refs.iter().copied().find(|g| g.id() == acg), 16);
+            let p = session.pull_pinned(16);
             all.extend(p.hits);
             if p.exhausted {
                 break;
@@ -631,7 +656,8 @@ mod tests {
     #[test]
     fn session_pages_match_cursor_pagination_of_the_one_shot_path() {
         let groups = seeded_groups(3, 120, true);
-        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let refs = pins(&groups);
+        let epochs: Vec<&AcgEpoch> = refs.iter().map(|e| &**e).collect();
         let q = crate::Query::parse("size>100k", now()).unwrap();
         let sort = SortKey::Descending(propeller_types::AttrName::Size);
         let req = SearchRequest::new(q.predicate.clone()).with_limit(50).sorted_by(sort.clone());
@@ -646,7 +672,7 @@ mod tests {
             if let Some(c) = cursor.take() {
                 page_req = page_req.after(c);
             }
-            let (hits, _) = execute_node_request_sequential(&refs, &page_req);
+            let (hits, _) = execute_node_request_sequential(&epochs, &page_req);
             if hits.is_empty() {
                 break;
             }
@@ -678,12 +704,13 @@ mod tests {
         }
         indexless.commit(now()).unwrap();
         groups.push(indexless);
-        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let refs = pins(&groups);
+        let epochs: Vec<&AcgEpoch> = refs.iter().map(|e| &**e).collect();
         let q = crate::Query::parse("size>0", now()).unwrap();
         let req = SearchRequest::new(q.predicate)
             .with_limit(60)
             .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
-        let (one_shot, _) = execute_node_request_sequential(&refs, &req);
+        let (one_shot, _) = execute_node_request_sequential(&epochs, &req);
         let (paged, _) = drain(&refs, &req, 7);
         assert_eq!(paged, one_shot);
     }
@@ -691,16 +718,17 @@ mod tests {
     #[test]
     fn vanished_acg_mid_session_degrades_without_panic() {
         let groups = seeded_groups(3, 80, true);
-        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let refs = pins(&groups);
         let q = crate::Query::parse("size>0", now()).unwrap();
         let req = SearchRequest::new(q.predicate)
             .with_limit(100)
             .sorted_by(SortKey::Descending(propeller_types::AttrName::Size));
         let (mut session, _) = NodeSearchSession::open(&refs, &req, run_inline(&refs, &req));
-        let first = session.pull(|acg| refs.iter().copied().find(|g| g.id() == acg), 10);
-        // ACG 2 "migrates away": later pulls no longer resolve it.
-        let remaining: Vec<&AcgIndexGroup> =
-            groups.iter().filter(|g| g.id() != AcgId::new(2)).collect();
+        let first = session.pull_pinned(10);
+        // ACG 2 "migrates away": later lookup-based pulls no longer
+        // resolve it (a caller opting out of pinned serving).
+        let remaining: Vec<&AcgEpoch> =
+            refs.iter().filter(|e| e.id() != AcgId::new(2)).map(|e| &**e).collect();
         let mut rest = first.hits.clone();
         loop {
             let p = session.pull(|acg| remaining.iter().copied().find(|g| g.id() == acg), 10);
@@ -723,11 +751,11 @@ mod tests {
     #[test]
     fn zero_limit_session_is_immediately_exhausted() {
         let groups = seeded_groups(1, 10, true);
-        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let refs = pins(&groups);
         let q = crate::Query::parse("size>0", now()).unwrap();
         let req = SearchRequest::new(q.predicate).with_limit(0);
         let (mut session, _) = NodeSearchSession::open(&refs, &req, run_inline(&refs, &req));
-        let page = session.pull(|acg| refs.iter().copied().find(|g| g.id() == acg), 16);
+        let page = session.pull_pinned(16);
         assert!(page.hits.is_empty());
         assert!(page.exhausted);
         assert_eq!(session.close().node_hits_unsent, 0);

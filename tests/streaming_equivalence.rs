@@ -282,7 +282,7 @@ proptest! {
                 g
             })
             .collect();
-        let refs: Vec<&AcgIndexGroup> = groups.iter().collect();
+        let refs: Vec<&propeller::index::AcgEpoch> = groups.iter().map(|g| &**g).collect();
         let (direct_hits, direct_stats) = execute_node_request_sequential(&refs, &req);
         prop_assert_eq!(&direct_hits, &seq_hits, "node actor vs query-level executor");
 
