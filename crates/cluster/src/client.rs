@@ -159,11 +159,12 @@ pub struct FileQueryEngine {
     /// Replica sets learned from `Resolved` responses (primary first) —
     /// the write path's replication fan-out.
     acg_replicas: HashMap<AcgId, Vec<NodeId>>,
-    /// Spread streamed session opens round-robin across each replica set
-    /// (see [`crate::ClusterConfig::follower_reads`]). `false` always
-    /// opens at the primary.
+    /// Spread streamed session opens across each replica set, preferring
+    /// the least-loaded replica (see
+    /// [`crate::ClusterConfig::follower_reads`]). `false` always opens at
+    /// the primary.
     follower_reads: bool,
-    /// Round-robin cursor for follower reads, advanced per opened group.
+    /// Tie-break cursor for follower reads, advanced per opened group.
     open_rr: AtomicU64,
 }
 
@@ -202,11 +203,14 @@ impl FileQueryEngine {
     }
 
     /// Enables or disables follower reads (builder style): streamed
-    /// session opens rotate round-robin across each ACG group's replica
-    /// set instead of always landing on the primary. Replicas serve
-    /// byte-identical committed hits, so this spreads read load without
-    /// changing any result; the failover order still walks the remaining
-    /// replicas if the chosen one is down.
+    /// session opens go to the **least-loaded** live replica of each ACG
+    /// group — load being each node's suspended-session count, reported
+    /// on heartbeats and aggregated at the Master — with round-robin
+    /// rotation between equally loaded replicas, instead of always
+    /// landing on the primary. Replicas serve byte-identical committed
+    /// hits, so this spreads read load without changing any result; the
+    /// failover order still walks the remaining replicas if the chosen
+    /// one is down.
     #[must_use]
     pub fn with_follower_reads(mut self, enabled: bool) -> Self {
         self.follower_reads = enabled;
@@ -714,14 +718,37 @@ impl FileQueryEngine {
         request: &SearchRequest,
     ) -> Result<ClusterSearchStream> {
         let now = self.clock.now();
+        // Follower reads are load-aware: the Master aggregates each node's
+        // reported search load from heartbeats, and opens go to the
+        // lightest replica of each group. A fresh cluster (or a dead
+        // Master) reports no load, which degrades to plain round-robin.
+        let loads: HashMap<NodeId, u64> =
+            if self.follower_reads && groups.iter().any(|(r, _)| r.len() > 1) {
+                match self.rpc.call(self.master, Request::NodeLoads) {
+                    Ok(Response::NodeLoadReport(rows)) => rows.into_iter().collect(),
+                    _ => HashMap::new(),
+                }
+            } else {
+                HashMap::new()
+            };
         let mut sources: Vec<NodePageStream> = groups
             .into_iter()
             .map(|(replicas, acgs)| {
-                // Follower reads: rotate the opening replica per group so
-                // successive searches spread across the set; everything
-                // downstream (failover, hedging) walks on from `current`.
+                // Follower reads: open each group at its least-loaded
+                // replica; ties rotate round-robin so equal replicas
+                // still share the opens. Everything downstream (failover,
+                // hedging) walks on from `current`.
                 let current = if self.follower_reads && replicas.len() > 1 {
-                    (self.open_rr.fetch_add(1, Ordering::Relaxed) as usize) % replicas.len()
+                    let load = |n: &NodeId| loads.get(n).copied().unwrap_or(0);
+                    let min = replicas.iter().map(load).min().unwrap_or(0);
+                    let lightest: Vec<usize> = replicas
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, n)| load(n) == min)
+                        .map(|(i, _)| i)
+                        .collect();
+                    let r = self.open_rr.fetch_add(1, Ordering::Relaxed) as usize;
+                    lightest[r % lightest.len()]
                 } else {
                     0
                 };

@@ -10,7 +10,7 @@ use propeller_types::{Duration, Error, NodeId, Result};
 use crate::client::FileQueryEngine;
 use crate::index_node::{IndexNode, IndexNodeConfig};
 use crate::master::{MasterConfig, MasterNode};
-use crate::messages::{Request, Response};
+use crate::messages::{MigrationJob, Request, Response};
 use crate::rpc::{run_actor, run_actor_deferred, Rpc};
 
 /// Configuration for [`Cluster::start`].
@@ -35,10 +35,12 @@ pub struct ClusterConfig {
     /// [`IndexNodeConfig::max_search_sessions`]).
     pub max_search_sessions: usize,
     /// Durable storage root: each Index Node gets a `node-<id>`
-    /// subdirectory holding its groups' WALs and snapshots, and
-    /// [`Cluster::revive_index_node`] restores a killed node's committed
-    /// state from there. `None` (the default) keeps nodes in memory — a
-    /// revived node then starts empty, as before.
+    /// subdirectory holding its groups' WALs and snapshots, the Master
+    /// gets a `master` subdirectory holding its metadata WAL and
+    /// checkpoints, and [`Cluster::revive_index_node`] /
+    /// [`Cluster::restart`] restore killed actors' committed state from
+    /// there. `None` (the default) keeps everything in memory — a revived
+    /// node then starts empty, as before.
     pub data_dir: Option<std::path::PathBuf>,
     /// Per-group snapshot trigger: ops logged since the last snapshot (see
     /// [`IndexNodeConfig::snapshot_wal_ops`]).
@@ -55,10 +57,13 @@ pub struct ClusterConfig {
     /// tolerance; needs `replication >= 2` to have anywhere to hedge).
     /// `None` (the default) never hedges.
     pub hedge_budget: Option<Duration>,
-    /// Spread streamed session opens round-robin across each ACG's live
-    /// replica set instead of always asking the primary. Replicas apply
-    /// the same committed WAL frames, so any of them serves byte-identical
-    /// hits; follower reads turn that redundancy into read throughput.
+    /// Spread streamed session opens across each ACG's live replica set
+    /// instead of always asking the primary, preferring the
+    /// least-loaded replica (suspended-session counts ride the
+    /// heartbeats; ties rotate round-robin). Replicas apply the same
+    /// committed WAL frames, so any of them serves byte-identical hits;
+    /// follower reads turn that redundancy into read throughput and
+    /// drain opens away from a degraded replica.
     /// Needs `replication >= 2` to change anything. Off by default: the
     /// primary has the freshest un-replicated state, so single-replica
     /// deployments and strict-freshness tests keep the old behaviour.
@@ -133,45 +138,67 @@ impl Cluster {
         let master_id = NodeId::new(0);
         let index_ids: Vec<NodeId> = (1..=config.index_nodes as u32).map(NodeId::new).collect();
 
-        let mut handles = Vec::new();
-        // Master actor.
-        {
-            let rx = rpc.register(master_id);
-            let mut master = MasterNode::new(
-                index_ids.clone(),
-                MasterConfig {
-                    group_capacity: config.group_capacity,
-                    split_threshold: config.split_threshold,
-                    replication: config.replication,
-                    ..MasterConfig::default()
-                },
-            )
-            .with_shared_storage(shared.clone());
-            handles.push(
-                std::thread::Builder::new()
-                    .name("propeller-master".into())
-                    .spawn(move || run_actor(rx, move |req| master.handle(req)))
-                    .expect("spawn master"),
-            );
+        let mut cluster = Cluster {
+            rpc,
+            master: master_id,
+            index_nodes: index_ids,
+            clock,
+            shared,
+            config,
+            handles: Vec::new(),
+        };
+        cluster.spawn_master();
+        for i in 0..cluster.index_nodes.len() {
+            cluster.spawn_index_node(i);
         }
-        // Index Node actors. `open` restores any durable state a previous
-        // run of this cluster left under the data dir.
-        for (i, &id) in index_ids.iter().enumerate() {
-            let rx = rpc.register(id);
-            let mut node = IndexNode::open(id, Self::index_node_config(&config, id, i))
-                .expect("recover index node state")
-                .with_clock(clock.clone());
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("propeller-in-{}", id.raw()))
-                    .spawn(move || {
-                        run_actor_deferred(rx, move |req, reply| node.handle_deferred(req, reply))
-                    })
-                    .expect("spawn index node"),
-            );
-        }
+        cluster
+    }
 
-        Cluster { rpc, master: master_id, index_nodes: index_ids, clock, shared, config, handles }
+    /// Spawns (or respawns) the Master actor. On a durable cluster the
+    /// Master recovers its full metadata state machine — placements, ACG
+    /// allocation, index specs, routing generation, in-flight migrations —
+    /// from the `master` subdirectory's checkpoint + WAL suffix before
+    /// serving its first request.
+    fn spawn_master(&mut self) {
+        let rx = self.rpc.register(self.master);
+        let master_cfg = MasterConfig {
+            group_capacity: self.config.group_capacity,
+            split_threshold: self.config.split_threshold,
+            replication: self.config.replication,
+            data_dir: self.config.data_dir.as_ref().map(|d| d.join("master")),
+            ..MasterConfig::default()
+        };
+        let durable = master_cfg.data_dir.is_some();
+        let mut master = if durable {
+            MasterNode::open(self.index_nodes.clone(), master_cfg).expect("recover master metadata")
+        } else {
+            MasterNode::new(self.index_nodes.clone(), master_cfg)
+        }
+        .with_shared_storage(self.shared.clone());
+        self.handles.push(
+            std::thread::Builder::new()
+                .name("propeller-master".into())
+                .spawn(move || run_actor(rx, move |req| master.handle(req)))
+                .expect("spawn master"),
+        );
+    }
+
+    /// Spawns (or respawns) the `i`-th Index Node actor. `open` restores
+    /// any durable state a previous run left under the node's data dir.
+    fn spawn_index_node(&mut self, i: usize) {
+        let id = self.index_nodes[i];
+        let rx = self.rpc.register(id);
+        let mut node = IndexNode::open(id, Self::index_node_config(&self.config, id, i))
+            .expect("recover index node state")
+            .with_clock(self.clock.clone());
+        self.handles.push(
+            std::thread::Builder::new()
+                .name(format!("propeller-in-{}", id.raw()))
+                .spawn(move || {
+                    run_actor_deferred(rx, move |req, reply| node.handle_deferred(req, reply))
+                })
+                .expect("spawn index node"),
+        );
     }
 
     /// The per-node config the `i`-th Index Node was started with (shared
@@ -249,66 +276,107 @@ impl Cluster {
             .iter()
             .position(|&n| n == id)
             .unwrap_or_else(|| panic!("{id} is not an index node of this cluster"));
-        let rx = self.rpc.register(id);
-        let mut node = IndexNode::open(id, Self::index_node_config(&self.config, id, i))
-            .expect("recover revived index node state")
-            .with_clock(self.clock.clone());
-        self.handles.push(
-            std::thread::Builder::new()
-                .name(format!("propeller-in-{}-revived", id.raw()))
-                .spawn(move || {
-                    crate::rpc::run_actor_deferred(rx, move |req, reply| {
-                        node.handle_deferred(req, reply)
-                    })
-                })
-                .expect("spawn revived index node"),
-        );
+        self.spawn_index_node(i);
+        // The Master is the durable home of the index-spec catalogue:
+        // replay it onto the revived node so indices created while the
+        // node was dead exist there too. Best-effort — a dead Master just
+        // means the next revival or restart closes the gap.
+        let _ = self.rebroadcast_index_specs_to(&[id]);
+    }
+
+    /// Stops every actor thread, waits for them, and boots the whole
+    /// cluster again from its durable state on the **same** RPC fabric,
+    /// clock and shared storage — existing clients keep working across the
+    /// restart. The Master replays its metadata WAL (on top of its newest
+    /// valid checkpoint), each Index Node restores its groups from disk,
+    /// and the Master's index-spec catalogue is re-broadcast to every
+    /// node. In-flight two-phase migrations stay parked until the next
+    /// [`Cluster::run_maintenance`] (or [`Cluster::resume_migrations`])
+    /// call resumes them from their logged phase; searches are already
+    /// correct before that because an uncommitted migration's new ACG is
+    /// never routable.
+    ///
+    /// On a non-durable cluster (`data_dir: None`) this degrades to a
+    /// whole-cluster power loss: everything comes back empty.
+    pub fn restart(mut self) -> Cluster {
+        for &node in std::iter::once(&self.master).chain(&self.index_nodes) {
+            self.rpc.deregister(node);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        let mut cluster = Cluster {
+            rpc: self.rpc.clone(),
+            master: self.master,
+            index_nodes: self.index_nodes.clone(),
+            clock: self.clock.clone(),
+            shared: self.shared.clone(),
+            config: self.config.clone(),
+            handles: Vec::new(),
+        };
+        cluster.spawn_master();
+        for i in 0..cluster.index_nodes.len() {
+            cluster.spawn_index_node(i);
+        }
+        let _ = cluster.rebroadcast_index_specs_to(&cluster.index_nodes.clone());
+        cluster
+    }
+
+    /// Replays the Master's durable index-spec catalogue onto `nodes`.
+    /// `CreateIndex` is idempotent on Index Nodes, so re-sending a spec a
+    /// node already built is a no-op.
+    fn rebroadcast_index_specs_to(&self, nodes: &[NodeId]) -> Result<()> {
+        let specs = match self.rpc.call(self.master, Request::ListIndexSpecs)? {
+            Response::IndexSpecs(specs) => specs,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        for spec in specs {
+            for &node in nodes {
+                match self.rpc.call(node, Request::CreateIndex { spec: spec.clone() })? {
+                    Response::Ok => {}
+                    Response::Err(e) => return Err(e),
+                    other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+                }
+            }
+        }
+        Ok(())
     }
 
     /// One maintenance round, played by the external coordinator (the
     /// paper's "background" tasks):
     ///
     /// 1. `Tick` every Index Node — commits timed-out caches and collects
-    ///    ACG summaries,
+    ///    ACG summaries plus the node's current search load,
     /// 2. forward each summary to the Master as that node's heartbeat,
-    /// 3. drain the Master's split queue and orchestrate each split:
-    ///    bisect on the owner, allocate the new ACG, migrate the moved
-    ///    half, commit the remap at the Master.
+    /// 3. resume any two-phase migration an earlier coordinator (or
+    ///    crash) left in flight,
+    /// 4. drain the Master's split queue and run each split as a fresh
+    ///    two-phase migration: bisect on the owner, `BeginMigration` at
+    ///    the Master (durably logged intent), then drive the phases.
     ///
-    /// Returns the number of splits completed.
+    /// Returns the number of migrations completed (resumed + fresh).
     ///
     /// # Errors
     ///
-    /// Fails if any node is unreachable mid-round.
+    /// Fails if any node is unreachable mid-round. Safe to re-run: every
+    /// migration phase is idempotent and the Master re-hands unfinished
+    /// work via `TakeMigrationWork`.
     pub fn run_maintenance(&self) -> Result<usize> {
         let now = self.clock.now();
         // 1 + 2: tick, gather, heartbeat.
         for &node in &self.index_nodes {
             let status = self.rpc.call(node, Request::Tick { now })?;
-            if let Response::Status(acgs) = status {
-                self.rpc.call(self.master, Request::Heartbeat { node, acgs, now })?;
+            if let Response::Status { acgs, load } = status {
+                self.rpc.call(self.master, Request::Heartbeat { node, acgs, load, now })?;
             }
         }
-        // 3: splits. The split runs on the source primary; the moved half
-        // is installed on EVERY replica of the new ACG (identical frames
-        // in identical order, so the targets end bit-identical), and the
-        // source's followers are re-synced so the extraction's remove
-        // frame reaches them too — the replica sets stay aligned through
-        // the split.
+        // 3: finish what a predecessor started before opening new work.
+        let mut done = self.resume_migrations()?;
+        // 4: fresh splits, each as a two-phase migration.
         let work = match self.rpc.call(self.master, Request::TakeSplitWork)? {
             Response::SplitWork(work) => work,
             other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
         };
-        let replica_sets: std::collections::HashMap<propeller_types::AcgId, Vec<NodeId>> =
-            if work.is_empty() {
-                Default::default()
-            } else {
-                match self.rpc.call(self.master, Request::LocateAcgs)? {
-                    Response::Located(rows) => rows.into_iter().collect(),
-                    other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
-                }
-            };
-        let mut done = 0;
         for (acg, owner) in work {
             let (left, right) = match self.rpc.call(owner, Request::SplitAcg { acg })? {
                 Response::SplitHalves { left, right } => (left, right),
@@ -318,40 +386,110 @@ impl Cluster {
             if left.is_empty() || right.is_empty() {
                 continue;
             }
-            let (new_acg, targets) = match self.rpc.call(self.master, Request::AllocateAcg)? {
-                Response::AcgAllocated(a, n) => (a, n),
-                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
-            };
-            let (records, edges) = match self
+            let (new_acg, targets) = match self
                 .rpc
-                .call(owner, Request::ExtractAcgPart { acg, files: right.clone() })?
+                .call(self.master, Request::BeginMigration { acg, moved: right.clone() })?
             {
-                Response::AcgPart { records, edges } => (records, edges),
+                Response::MigrationBegun { new_acg, targets } => (new_acg, targets),
+                Response::Err(e) => return Err(e),
                 other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
             };
-            for &target in &targets {
+            let job = MigrationJob {
+                source: acg,
+                source_node: owner,
+                new_acg,
+                moved: right,
+                targets,
+                installed: false,
+            };
+            self.execute_migration(&job, now)?;
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    /// Resumes every two-phase migration the Master still holds open —
+    /// the recovery path after a coordinator or whole-cluster crash. Each
+    /// job restarts from its durably logged phase: an un-acked install
+    /// re-runs extract + install (both idempotent — the source *retains*
+    /// extracted records until told to remove, and installs are upserts),
+    /// an acked one skips straight to the remove + commit tail.
+    ///
+    /// Returns the number of migrations driven to commit.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a participant is unreachable; re-run once it is back.
+    pub fn resume_migrations(&self) -> Result<usize> {
+        let now = self.clock.now();
+        let jobs = match self.rpc.call(self.master, Request::TakeMigrationWork)? {
+            Response::MigrationWork(jobs) => jobs,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
+        let mut done = 0;
+        for job in jobs {
+            self.execute_migration(&job, now)?;
+            done += 1;
+        }
+        Ok(done)
+    }
+
+    /// Drives one two-phase migration from whatever phase the Master has
+    /// durably recorded through to commit:
+    ///
+    /// 1. **Extract** the moved half on the source primary — it fences
+    ///    the files behind tombstones but **retains** the records,
+    /// 2. **Install** the part on every target replica (idempotent
+    ///    upserts; identical frames in identical order keep the targets
+    ///    bit-identical),
+    /// 3. **InstallAcked** at the Master — the durable point of no
+    ///    return; from here recovery never re-extracts,
+    /// 4. **Remove** the moved half from the source, with a strict WAL
+    ///    sync — only now does the source give the records up,
+    /// 5. re-sync the source's followers so the remove frame reaches them
+    ///    (best-effort: a dead follower re-syncs on revival),
+    /// 6. **CommitMigration** at the Master — remaps the files, registers
+    ///    the new ACG's replicas and bumps the routing generation in one
+    ///    logged step.
+    ///
+    /// A crash between any two steps leaves exactly one routable home for
+    /// every moved file: before step 6 the new ACG is not in the routing
+    /// table, and the source keeps (fenced) custody until step 4.
+    fn execute_migration(&self, job: &MigrationJob, now: propeller_types::Timestamp) -> Result<()> {
+        if !job.installed {
+            let extract = Request::ExtractAcgPart { acg: job.source, files: job.moved.clone() };
+            let (records, edges) = match self.rpc.call(job.source_node, extract)? {
+                Response::AcgPart { records, edges } => (records, edges),
+                Response::Err(e) => return Err(e),
+                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+            };
+            for &target in &job.targets {
                 let install = Request::InstallAcg {
-                    acg: new_acg,
+                    acg: job.new_acg,
                     records: records.clone(),
                     edges: edges.clone(),
                 };
                 self.rpc.call(target, install)?;
             }
-            // Ship the extraction's remove frame to the source's
-            // followers (best-effort: a dead follower re-syncs on
-            // revival).
-            if let Some(set) = replica_sets.get(&acg) {
-                for &follower in set.iter().filter(|&&n| n != owner) {
-                    let _ = self.sync_follower(owner, follower, acg, now);
+            self.rpc.call(self.master, Request::InstallAcked { new_acg: job.new_acg })?;
+        }
+        match self.rpc.call(
+            job.source_node,
+            Request::RemoveAcgPart { acg: job.source, files: job.moved.clone() },
+        )? {
+            Response::Ok => {}
+            Response::Err(e) => return Err(e),
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        }
+        if let Ok(Response::Located(rows)) = self.rpc.call(self.master, Request::LocateAcgs) {
+            if let Some((_, set)) = rows.into_iter().find(|(a, _)| *a == job.source) {
+                for &follower in set.iter().filter(|&&n| n != job.source_node) {
+                    let _ = self.sync_follower(job.source_node, follower, job.source, now);
                 }
             }
-            self.rpc.call(
-                self.master,
-                Request::CommitSplit { acg, kept: left, new_acg, moved: right, targets },
-            )?;
-            done += 1;
         }
-        Ok(done)
+        self.rpc.call(self.master, Request::CommitMigration { new_acg: job.new_acg })?;
+        Ok(())
     }
 
     /// Brings `follower`'s copy of `acg` up to date with `source`'s:
@@ -576,6 +714,66 @@ mod tests {
             "6 round-robin opens over 2 replicas should give each at least 2: {served:?}"
         );
         assert_eq!(served.iter().sum::<u64>(), 6, "{served:?}");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn follower_reads_drain_opens_from_a_degraded_replica() {
+        let cluster = Cluster::start(ClusterConfig {
+            index_nodes: 2,
+            replication: 2,
+            follower_reads: true,
+            ..Default::default()
+        });
+        let mut client = cluster.client();
+        client.index_files((0..50).map(|i| record(i, 10)).collect()).unwrap();
+        let located = match cluster.rpc().call(cluster.master_id(), Request::LocateAcgs) {
+            Ok(Response::Located(rows)) => rows,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(located.len(), 1, "one ACG expected: {located:?}");
+        let (acg, replicas) = (located[0].0, located[0].1.clone());
+        let (primary, follower) = (replicas[0], replicas[1]);
+        // Degrade the primary: every delivery to it crawls, and suspended
+        // search sessions pile up on it (small page, never pulled) — the
+        // symptom of a node falling behind.
+        cluster
+            .rpc()
+            .slowdowns()
+            .set(primary, propeller_sim::Latency::constant(Duration::from_millis(2)));
+        let now = cluster.clock.now();
+        let request = propeller_query::SearchRequest::parse("size>1m", now).unwrap();
+        for s in 0..4u64 {
+            match cluster.rpc().call(
+                primary,
+                Request::OpenSearch {
+                    acgs: vec![acg],
+                    request: request.clone(),
+                    client: 1000 + s,
+                    page: 5,
+                    now,
+                },
+            ) {
+                Ok(Response::SearchPage { session, .. }) => {
+                    assert_ne!(session, 0, "a 5-hit page of 50 hits must suspend")
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // Heartbeats carry the asymmetric load to the Master...
+        cluster.run_maintenance().unwrap();
+        let count = |node| match cluster.rpc().call(node, Request::NodeStats) {
+            Ok(Response::NodeStatsReport { searches_served, .. }) => searches_served,
+            other => panic!("{other:?}"),
+        };
+        let before = count(follower);
+        // ...so every subsequent open drains to the healthy follower —
+        // with byte-identical answers, since replicas hold the same
+        // committed state.
+        for _ in 0..6 {
+            assert_eq!(client.search_streamed(&request).unwrap().hits.len(), 50);
+        }
+        assert_eq!(count(follower) - before, 6, "all opens should land on the unloaded follower");
         cluster.shutdown();
     }
 

@@ -1041,6 +1041,17 @@ impl IndexNode {
                 Response::Ok
             }
             Request::CreateIndex { spec } => {
+                // Idempotent re-broadcast: a revived node may be handed a
+                // spec it already carries (registered pre-crash, or
+                // recovered from group snapshots). An identical spec acks
+                // without touching the groups; only a *conflicting* spec
+                // under the same name is an error.
+                if self.extra_specs.contains(&spec) {
+                    return Response::Ok;
+                }
+                if self.extra_specs.iter().any(|s| s.name == spec.name) {
+                    return Response::Err(Error::IndexExists(spec.name));
+                }
                 // Apply to every group, rolling the spec back out of the
                 // groups that already accepted it if one fails — a node
                 // never ends up with the index on only some of its groups.
@@ -1048,6 +1059,11 @@ impl IndexNode {
                 let mut applied: Vec<AcgId> = Vec::new();
                 for acg in acgs {
                     let group = self.groups.get_mut(&acg).expect("key just listed");
+                    // A group whose recovered snapshot already holds the
+                    // identical spec is already done.
+                    if group.index_specs().contains(&spec) {
+                        continue;
+                    }
                     match group.create_index(spec.clone()) {
                         Ok(()) => applied.push(acg),
                         Err(e) => {
@@ -1094,10 +1110,13 @@ impl IndexNode {
                 Response::SplitHalves { left: bisection.left, right: bisection.right }
             }
             Request::ExtractAcgPart { acg, files } => {
-                // Quiesce the background writer: the sync post-extraction
-                // snapshot below must not race an in-flight write of the
-                // pre-extraction epoch.
-                self.flush_snapshots();
+                // Phase one of the two-phase migration: hand the part to
+                // the coordinator but **tombstone and retain** it. The
+                // retained records keep this node the part's one durable
+                // home until the Master logs the targets' install ack and
+                // the coordinator issues the explicit RemoveAcgPart — a
+                // crash anywhere in between loses nothing, and re-running
+                // the extraction returns the identical payload.
                 let commits = Arc::clone(&self.commits);
                 let Some(group) = self.groups.get_mut(&acg) else {
                     return Response::Err(Error::AcgNotFound(acg));
@@ -1109,36 +1128,11 @@ impl IndexNode {
                 let wanted: std::collections::HashSet<FileId> = files.iter().copied().collect();
                 let records: Vec<FileRecord> =
                     group.records().filter(|r| wanted.contains(&r.file)).cloned().collect();
-                // Remove the moved records as ONE all-or-nothing batch
-                // frame, and abort the whole extraction if logging it
-                // fails: nothing has mutated at that point (enqueue_batch
-                // buffers nothing on error), so the split aborts with both
-                // sides intact. Swallowing the failure here would hand the
-                // records to the target while this node's durable state
-                // still owns them — a revival would resurrect the moved
-                // files and searches would return them twice.
-                let removes: Vec<propeller_index::IndexOp> =
-                    records.iter().map(|r| propeller_index::IndexOp::Remove(r.file)).collect();
-                if let Err(e) = group.enqueue_batch(removes, Timestamp::EPOCH) {
-                    return Response::Err(e);
-                }
-                // Past this point the removes are logged and will commit;
-                // sync/commit/snapshot are best-effort (commit does no I/O
-                // on the durable backend, and an unsynced frame only risks
-                // re-serving the moved files until the next sync — the
-                // same stale window any unsynced batch has).
-                if group.is_durable() {
-                    let _ = group.sync_wal();
-                }
-                let _ = group.commit(Timestamp::EPOCH);
-                // Snapshot the post-extraction state (best-effort): the
-                // durable image of this ACG must stop covering the moved
-                // files — they now belong to the target node — and the
-                // removes just logged should not sit in the WAL until the
-                // next size-triggered snapshot.
-                let _ = group.snapshot();
-                // Tombstone the moved files: batches still routing them
-                // here are stale and must re-resolve (see IndexBatch).
+                // Tombstone the moved files (durably): batches still
+                // routing them here are stale and must re-resolve (see
+                // IndexBatch) — the fence goes up before the part ever
+                // leaves this node, so the extracted payload cannot be
+                // diluted by late writes.
                 self.add_tombstones(acg, &files);
                 // Carve the matching subgraph out of the ACG graph.
                 let edges: Vec<EdgeUpdate> = match self.graphs.get_mut(&acg) {
@@ -1154,6 +1148,57 @@ impl IndexNode {
                     None => Vec::new(),
                 };
                 Response::AcgPart { records, edges }
+            }
+            Request::RemoveAcgPart { acg, files } => {
+                // Phase two of the two-phase migration, issued only after
+                // the Master durably logged the install ack: drop the
+                // retained copies. Idempotent — files already removed (a
+                // re-run after a coordinator crash) are skipped, and the
+                // batch is all-or-nothing, so this node either still owns
+                // the whole part durably or none of it.
+                //
+                // Quiesce the background writer first: the sync
+                // post-removal snapshot below must not race an in-flight
+                // write of the pre-removal epoch.
+                self.flush_snapshots();
+                let commits = Arc::clone(&self.commits);
+                let Some(group) = self.groups.get_mut(&acg) else {
+                    // The group itself is gone (already migrated away
+                    // wholesale); nothing retained, nothing to remove.
+                    return Response::Ok;
+                };
+                if let Err(e) = Self::commit_group(&commits, group, Timestamp::EPOCH) {
+                    return Response::Err(e);
+                }
+                let present: std::collections::HashSet<FileId> =
+                    group.files().into_iter().collect();
+                let removes: Vec<propeller_index::IndexOp> = files
+                    .iter()
+                    .filter(|f| present.contains(f))
+                    .map(|&f| propeller_index::IndexOp::Remove(f))
+                    .collect();
+                if !removes.is_empty() {
+                    if let Err(e) = group.enqueue_batch(removes, Timestamp::EPOCH) {
+                        return Response::Err(e);
+                    }
+                    // Unlike the extract, the remove is fsynced and
+                    // snapshot-covered *strictly* — an un-durable remove
+                    // acked to the coordinator would let a later revival
+                    // resurrect files the cluster has already rerouted.
+                    if group.is_durable() {
+                        if let Err(e) = group.sync_wal() {
+                            return Response::Err(e);
+                        }
+                    }
+                    if let Err(e) = Self::commit_group(&commits, group, Timestamp::EPOCH) {
+                        return Response::Err(e);
+                    }
+                    let _ = group.snapshot();
+                }
+                // Re-assert the fence: a re-run after a crash must leave
+                // the tombstones in place either way.
+                self.add_tombstones(acg, &files);
+                Response::Ok
             }
             Request::InstallAcg { acg, records, edges } => {
                 // Quiesce the background writer (same reasoning as
@@ -1216,7 +1261,7 @@ impl IndexNode {
                     // so update-quiet groups still bound their logs.
                     self.maybe_snapshot(acg, now);
                 }
-                Response::Status(self.summaries())
+                Response::Status { acgs: self.summaries(), load: self.sessions.len() as u64 }
             }
             Request::NodeStats => {
                 self.drain_snapshot_completions();
@@ -1241,7 +1286,12 @@ impl IndexNode {
 
     /// Produces this node's heartbeat payload.
     pub fn heartbeat(&self, now: Timestamp) -> Request {
-        Request::Heartbeat { node: self.id, acgs: self.summaries(), now }
+        Request::Heartbeat {
+            node: self.id,
+            acgs: self.summaries(),
+            load: self.sessions.len() as u64,
+            now,
+        }
     }
 }
 
@@ -1393,6 +1443,12 @@ mod tests {
         assert_eq!(records.len(), 10);
         assert_eq!(edges.len(), 1, "the 15->16 edge moves with its files");
         dst.handle(Request::InstallAcg { acg: new_acg, records, edges });
+        // The extract retained the part; the explicit post-install remove
+        // completes the hand-off.
+        assert!(matches!(
+            src.handle(Request::RemoveAcgPart { acg, files: moved.clone() }),
+            Response::Ok
+        ));
 
         // Source no longer finds the moved files; target does.
         let src_hits = search(&mut src, vec![acg], "size>=10m");
@@ -2519,12 +2575,14 @@ mod tests {
                 .iter()
                 .any(|s| s.name == "aux_inverted"));
         }
-        // Partial-broadcast rollback: pre-seed one group with a clashing
-        // inverted name, then broadcast it — no group may keep the spec.
+        // Partial-broadcast rollback: pre-seed one group with a
+        // *different* index under the clashing name (an identical spec
+        // would be absorbed idempotently), then broadcast — no group may
+        // keep the half-applied spec.
         n.groups
             .get_mut(&AcgId::new(2))
             .unwrap()
-            .create_index(IndexSpec::inverted("inv_clash"))
+            .create_index(IndexSpec::btree("inv_clash", propeller_types::AttrName::Uid))
             .unwrap();
         let resp = n.handle(Request::CreateIndex { spec: IndexSpec::inverted("inv_clash") });
         assert!(matches!(resp, Response::Err(Error::IndexExists(_))), "{resp:?}");

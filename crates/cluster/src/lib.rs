@@ -67,6 +67,7 @@ mod cluster;
 mod index_node;
 mod master;
 mod messages;
+mod meta;
 mod pool;
 mod rpc;
 
@@ -74,6 +75,6 @@ pub use client::{ClusterSearchStream, FileQueryEngine};
 pub use cluster::{Cluster, ClusterConfig};
 pub use index_node::{IndexNode, IndexNodeConfig};
 pub use master::{MasterConfig, MasterNode, NodeStatus};
-pub use messages::{AcgSummary, Request, Response};
+pub use messages::{AcgSummary, MigrationJob, Request, Response};
 pub use pool::WorkerPool;
 pub use rpc::Rpc;

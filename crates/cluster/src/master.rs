@@ -3,10 +3,21 @@
 //! "The central index metadata and coordination server": it owns the
 //! `file → ACG` mapping and ACG placement, routes client requests, tracks
 //! Index Node liveness through heartbeats, decides when an ACG must be
-//! split, and periodically flushes its metadata to shared storage so a
-//! crash loses at most one flush interval of mappings. It never touches
-//! file data or indices itself, which is why a single Master scales to
+//! split, and coordinates two-phase migrations. It never touches file
+//! data or indices itself, which is why a single Master scales to
 //! hundreds of Index Nodes.
+//!
+//! ## Durability: the Master as a logged state machine
+//!
+//! The Master's **hard state** — file placement, ACG creation, split
+//! commits, replica adoption, the index-spec registry, in-flight
+//! migrations, the next-ACG counter and the routing generation — is a
+//! state machine over [`crate::meta::MetaOp`] transitions. Every
+//! transition is appended to a control-plane WAL and fsynced *before* the
+//! request is acked ([`MasterNode::open`] + `log_ops`); periodic
+//! checksummed checkpoints bound recovery to O(delta) suffix replay.
+//! **Soft state** — node liveness, heartbeat-refreshed file counts, split
+//! *pressure* — is never logged: one heartbeat round rebuilds it.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -16,7 +27,8 @@ use propeller_index::IndexSpec;
 use propeller_storage::SharedStorage;
 use propeller_types::{AcgId, Duration, Error, FileId, NodeId, Timestamp};
 
-use crate::messages::{AcgSummary, Request, Response, RouteHints};
+use crate::messages::{AcgSummary, MigrationJob, Request, Response, RouteHints};
+use crate::meta::{sorted_pairs, MetaImage, MetaOp, MetaStore, Migration};
 
 /// Liveness/load record for one Index Node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +39,9 @@ pub struct NodeStatus {
     pub files: usize,
     /// Number of hosted ACGs.
     pub acgs: usize,
+    /// The node's last self-reported instantaneous load (suspended
+    /// streamed sessions) — what load-feedback follower reads rank by.
+    pub load: u64,
 }
 
 impl NodeStatus {
@@ -57,6 +72,12 @@ pub struct MasterConfig {
     /// frames. R = 1 (the default) reproduces the unreplicated cluster
     /// exactly.
     pub replication: usize,
+    /// Where the Master persists its control-plane WAL and metadata
+    /// checkpoints ([`MasterNode::open`]); `None` runs memory-only
+    /// (`MasterNode::new`), losing hard state on restart.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Cut a metadata checkpoint after this many logged transitions.
+    pub meta_snapshot_every: usize,
 }
 
 impl Default for MasterConfig {
@@ -67,6 +88,8 @@ impl Default for MasterConfig {
             flush_every_heartbeats: 16,
             split_log_capacity: 64,
             replication: 1,
+            data_dir: None,
+            meta_snapshot_every: 64,
         }
     }
 }
@@ -97,10 +120,19 @@ pub struct MasterNode {
     /// The last `split_log_capacity` splits: `(generation, moved files)`,
     /// oldest first. Served as [`RouteHints`] on every resolve.
     split_log: std::collections::VecDeque<(u64, Vec<FileId>)>,
+    /// In-flight two-phase migrations, keyed by the reserved new-ACG id.
+    /// A migration's new group is **not routable** (absent from
+    /// `acg_replicas`, shielded from heartbeat adoption) until commit.
+    migrations: HashMap<AcgId, Migration>,
+    /// The control-plane WAL + checkpoint store (in-memory for
+    /// [`MasterNode::new`] Masters).
+    meta: MetaStore,
 }
 
 impl MasterNode {
-    /// Creates a Master managing the given Index Nodes.
+    /// Creates a memory-only Master managing the given Index Nodes: hard
+    /// state is kept but not persisted. Use [`MasterNode::open`] for a
+    /// durable Master.
     pub fn new(index_nodes: Vec<NodeId>, config: MasterConfig) -> Self {
         MasterNode {
             config,
@@ -118,13 +150,182 @@ impl MasterNode {
             heartbeats_seen: 0,
             routing_gen: 0,
             split_log: std::collections::VecDeque::new(),
+            migrations: HashMap::new(),
+            meta: MetaStore::in_memory(),
         }
+    }
+
+    /// Opens a **durable** Master under `config.data_dir`: recovers the
+    /// newest valid metadata checkpoint, replays the control-plane WAL
+    /// suffix, and from then on logs every hard-state transition before
+    /// acking it. A fresh directory starts an empty Master.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] when `data_dir` is unset, [`Error::Io`]
+    /// when the directory or WAL cannot be opened and [`Error::Corrupt`]
+    /// when a WAL suffix frame fails to decode.
+    pub fn open(index_nodes: Vec<NodeId>, config: MasterConfig) -> Result<Self, Error> {
+        let dir = config
+            .data_dir
+            .clone()
+            .ok_or_else(|| Error::Config("MasterNode::open requires data_dir".into()))?;
+        let snapshot_every = config.meta_snapshot_every.max(1);
+        let (meta, recovery) = MetaStore::open(&dir, snapshot_every)?;
+        let mut master = MasterNode::new(index_nodes, config);
+        master.meta = meta;
+        if let Some(image) = recovery.image {
+            master.load_image(image);
+        }
+        for op in &recovery.suffix {
+            master.apply_op(op);
+        }
+        Ok(master)
     }
 
     /// Attaches shared storage for periodic metadata flushes.
     pub fn with_shared_storage(mut self, shared: Arc<SharedStorage>) -> Self {
         self.shared = Some(shared);
         self
+    }
+
+    /// Installs a recovered checkpoint image as the current hard state.
+    fn load_image(&mut self, image: MetaImage) {
+        self.next_acg = image.next_acg.max(1);
+        self.routing_gen = image.routing_gen;
+        self.open_acg = image.open_acg;
+        self.file_to_acg = image.file_to_acg.into_iter().collect();
+        self.acg_replicas = image.acg_replicas.into_iter().collect();
+        // File counts are heartbeat-refreshed soft state; seed them from
+        // the authoritative placement map so capacity/split decisions are
+        // sane before the first heartbeat round.
+        let mut counts: HashMap<AcgId, usize> = HashMap::new();
+        for acg in self.file_to_acg.values() {
+            *counts.entry(*acg).or_insert(0) += 1;
+        }
+        for acg in self.acg_replicas.keys() {
+            counts.entry(*acg).or_insert(0);
+        }
+        self.acg_files = counts;
+        self.index_specs = image.specs;
+        self.split_log = image.split_log.into_iter().collect();
+        for migration in image.migrations {
+            self.splitting.insert(migration.source);
+            self.migrations.insert(migration.new_acg, migration);
+        }
+    }
+
+    /// The full hard-state image (checkpoint payload), deterministic for
+    /// a given state.
+    fn image(&self) -> MetaImage {
+        let mut migrations: Vec<Migration> = self.migrations.values().cloned().collect();
+        migrations.sort_by_key(|m| m.new_acg);
+        MetaImage {
+            next_acg: self.next_acg,
+            routing_gen: self.routing_gen,
+            open_acg: self.open_acg,
+            file_to_acg: sorted_pairs(&self.file_to_acg),
+            acg_replicas: sorted_pairs(&self.acg_replicas),
+            specs: self.index_specs.clone(),
+            split_log: self.split_log.iter().cloned().collect(),
+            migrations,
+        }
+    }
+
+    /// Applies one logged transition to the in-memory state. Recovery
+    /// replay and the live mutating arms share this, so a replayed Master
+    /// is the live Master by construction.
+    fn apply_op(&mut self, op: &MetaOp) {
+        match op {
+            MetaOp::PlaceFiles { placements } => {
+                for (file, acg) in placements {
+                    let old = self.file_to_acg.insert(*file, *acg);
+                    if old != Some(*acg) {
+                        *self.acg_files.entry(*acg).or_insert(0) += 1;
+                        if let Some(old_acg) = old {
+                            if let Some(c) = self.acg_files.get_mut(&old_acg) {
+                                *c = c.saturating_sub(1);
+                            }
+                        }
+                    }
+                }
+            }
+            MetaOp::CreateAcg { acg, replicas, open } => {
+                self.acg_replicas.insert(*acg, replicas.clone());
+                self.acg_files.entry(*acg).or_insert(0);
+                self.next_acg = self.next_acg.max(acg.raw() + 1);
+                if *open {
+                    self.open_acg = Some(*acg);
+                }
+            }
+            MetaOp::CommitSplit { acg, new_acg, moved, targets } => {
+                for file in moved {
+                    self.file_to_acg.insert(*file, *new_acg);
+                }
+                self.acg_replicas.insert(*new_acg, targets.clone());
+                self.acg_files.insert(*new_acg, moved.len());
+                if let Some(c) = self.acg_files.get_mut(acg) {
+                    *c = c.saturating_sub(moved.len());
+                }
+                self.next_acg = self.next_acg.max(new_acg.raw() + 1);
+                self.splitting.remove(acg);
+                self.migrations.remove(new_acg);
+                self.routing_gen += 1;
+                self.split_log.push_back((self.routing_gen, moved.clone()));
+                while self.split_log.len() > self.config.split_log_capacity.max(1) {
+                    self.split_log.pop_front();
+                }
+            }
+            MetaOp::AdoptReplica { acg, node } => {
+                let replicas = self.acg_replicas.entry(*acg).or_default();
+                if !replicas.contains(node) {
+                    replicas.push(*node);
+                }
+                self.acg_files.entry(*acg).or_insert(0);
+                self.next_acg = self.next_acg.max(acg.raw() + 1);
+            }
+            MetaOp::CreateIndexSpec { spec } => {
+                if !self.index_specs.iter().any(|s| s.name == spec.name) {
+                    self.index_specs.push(spec.clone());
+                }
+            }
+            MetaOp::DropIndexSpec { name } => {
+                self.index_specs.retain(|s| s.name != *name);
+            }
+            MetaOp::BeginMigration { source, new_acg, moved, targets } => {
+                self.next_acg = self.next_acg.max(new_acg.raw() + 1);
+                self.splitting.insert(*source);
+                self.migrations.insert(
+                    *new_acg,
+                    Migration {
+                        source: *source,
+                        new_acg: *new_acg,
+                        moved: moved.clone(),
+                        targets: targets.clone(),
+                        installed: false,
+                    },
+                );
+            }
+            MetaOp::InstallAcked { new_acg } => {
+                if let Some(m) = self.migrations.get_mut(new_acg) {
+                    m.installed = true;
+                }
+            }
+        }
+    }
+
+    /// Durably logs `ops` (fsync before returning) and cuts a checkpoint
+    /// when one is due. The caller must not have mutated state it cannot
+    /// roll back if this errors.
+    fn log_ops(&mut self, ops: &[MetaOp]) -> Result<(), Error> {
+        self.meta.log(ops)?;
+        if self.meta.checkpoint_due() {
+            let image = self.image();
+            // Checkpoint failure is not fatal: the WAL still holds every
+            // transition, recovery just replays a longer suffix.
+            let _ = self.meta.checkpoint(&image);
+        }
+        Ok(())
     }
 
     /// The `r` nodes with the fewest hosted files (replica-set placement
@@ -161,6 +362,14 @@ impl MasterNode {
         Ok((acg, nodes))
     }
 
+    /// Undoes an [`MasterNode::allocate_acg`] whose transition failed to
+    /// log: the id is un-minted, so the next allocation re-uses it.
+    fn unallocate_acg(&mut self, acg: AcgId) {
+        self.acg_replicas.remove(&acg);
+        self.acg_files.remove(&acg);
+        self.next_acg = acg.raw();
+    }
+
     /// The replica sets of every distinct ACG named in `rows`, for the
     /// [`Response::Resolved`] payload.
     fn replicas_of(&self, rows: &[(FileId, AcgId, NodeId)]) -> Vec<(AcgId, Vec<NodeId>)> {
@@ -173,63 +382,108 @@ impl MasterNode {
     }
 
     fn resolve(&mut self, files: Vec<FileId>) -> Result<Vec<(FileId, AcgId, NodeId)>, Error> {
+        // Mutate optimistically while recording enough to (a) log the
+        // transition and (b) undo everything if the log write fails — an
+        // unlogged placement must never be acked.
+        let prev_open = self.open_acg;
+        let prev_next = self.next_acg;
+        let mut created: Vec<(AcgId, Vec<NodeId>)> = Vec::new();
+        let mut placed: Vec<(FileId, AcgId)> = Vec::new();
         let mut out = Vec::with_capacity(files.len());
-        for file in files {
-            let acg = match self.file_to_acg.get(&file) {
-                Some(&acg) => acg,
-                None => {
-                    // Fill the open ACG; roll over at capacity.
-                    let need_new = match self.open_acg {
-                        Some(acg) => {
-                            self.acg_files.get(&acg).copied().unwrap_or(0)
-                                >= self.config.group_capacity
+        let result = (|| -> Result<(), Error> {
+            for file in files {
+                let acg = match self.file_to_acg.get(&file) {
+                    Some(&acg) => acg,
+                    None => {
+                        // Fill the open ACG; roll over at capacity.
+                        let need_new = match self.open_acg {
+                            Some(acg) => {
+                                self.acg_files.get(&acg).copied().unwrap_or(0)
+                                    >= self.config.group_capacity
+                            }
+                            None => true,
+                        };
+                        if need_new {
+                            let (acg, nodes) = self.allocate_acg()?;
+                            self.open_acg = Some(acg);
+                            created.push((acg, nodes));
                         }
-                        None => true,
-                    };
-                    if need_new {
-                        let (acg, _) = self.allocate_acg()?;
-                        self.open_acg = Some(acg);
+                        let acg = self.open_acg.expect("just ensured");
+                        self.file_to_acg.insert(file, acg);
+                        *self.acg_files.entry(acg).or_insert(0) += 1;
+                        placed.push((file, acg));
+                        acg
                     }
-                    let acg = self.open_acg.expect("just ensured");
-                    self.file_to_acg.insert(file, acg);
-                    *self.acg_files.entry(acg).or_insert(0) += 1;
-                    acg
+                };
+                let node = *self
+                    .acg_replicas
+                    .get(&acg)
+                    .and_then(|r| r.first())
+                    .ok_or(Error::AcgNotFound(acg))?;
+                out.push((file, acg, node));
+            }
+            let mut ops: Vec<MetaOp> = created
+                .iter()
+                .map(|(acg, replicas)| MetaOp::CreateAcg {
+                    acg: *acg,
+                    replicas: replicas.clone(),
+                    open: true,
+                })
+                .collect();
+            if !placed.is_empty() {
+                ops.push(MetaOp::PlaceFiles { placements: placed.clone() });
+            }
+            if !ops.is_empty() {
+                self.log_ops(&ops)?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            for (file, acg) in placed {
+                self.file_to_acg.remove(&file);
+                if let Some(c) = self.acg_files.get_mut(&acg) {
+                    *c = c.saturating_sub(1);
                 }
-            };
-            let node = *self
-                .acg_replicas
-                .get(&acg)
-                .and_then(|r| r.first())
-                .ok_or(Error::AcgNotFound(acg))?;
-            out.push((file, acg, node));
+            }
+            for (acg, _) in created {
+                self.acg_replicas.remove(&acg);
+                self.acg_files.remove(&acg);
+            }
+            self.open_acg = prev_open;
+            self.next_acg = prev_next;
+            return Err(e);
         }
         Ok(out)
     }
 
-    fn on_heartbeat(&mut self, node: NodeId, acgs: Vec<AcgSummary>, now: Timestamp) {
+    fn on_heartbeat(&mut self, node: NodeId, acgs: Vec<AcgSummary>, load: u64, now: Timestamp) {
         self.heartbeats_seen += 1;
         let (files, count) = (acgs.iter().map(|a| a.files).sum(), acgs.len());
-        self.node_status.insert(node, NodeStatus { last_heartbeat: now, files, acgs: count });
+        self.node_status.insert(node, NodeStatus { last_heartbeat: now, files, acgs: count, load });
         for summary in acgs {
-            // Adopt ACGs this Master has never seen: after a full-cluster
-            // restart the (in-memory) Master comes up empty while durable
-            // Index Nodes recover their groups from disk — their first
-            // heartbeats re-register the placements, so the search
-            // fan-out reaches the recovered data again. In steady state
-            // this never fires (every ACG is Master-allocated). File→ACG
-            // routing for *new* batches of pre-restart files is not
-            // rebuilt here; that needs persisted Master metadata (a
-            // recorded follow-on).
-            // With replication, each later replica's heartbeat re-joins
-            // the adopted set (first reporter becomes the primary; the
-            // order is arbitrary after a full restart, but replicas are
-            // bit-identical so any of them can lead).
-            let replicas = self.acg_replicas.entry(summary.acg).or_insert_with(|| {
-                self.next_acg = self.next_acg.max(summary.acg.raw() + 1);
-                Vec::new()
-            });
-            if !replicas.contains(&node) {
-                replicas.push(node);
+            // Adopt ACGs this Master has never seen on this node: a node
+            // that recovered its groups from disk (a memory-only Master
+            // restart, or a revived node with placements the Master lost)
+            // re-registers through its first heartbeats, so the search
+            // fan-out reaches the recovered data again. Adoption is a
+            // hard-state change — it extends a replica set — so it is
+            // logged like any other transition; if the log write fails
+            // the adoption is skipped and the next heartbeat retries.
+            //
+            // The guard: a mid-migration new group is *installed* on its
+            // targets (it heartbeats!) but must not become routable until
+            // the migration commits, or its files would briefly be served
+            // from two homes. Its summaries are ignored wholesale here.
+            if self.migrations.contains_key(&summary.acg) {
+                continue;
+            }
+            let known = self.acg_replicas.get(&summary.acg).is_some_and(|r| r.contains(&node));
+            if !known {
+                let op = MetaOp::AdoptReplica { acg: summary.acg, node };
+                if self.log_ops(std::slice::from_ref(&op)).is_err() {
+                    continue;
+                }
+                self.apply_op(&op);
             }
             self.acg_files.insert(summary.acg, summary.files);
             if summary.files > self.config.split_threshold && !self.splitting.contains(&summary.acg)
@@ -334,63 +588,165 @@ impl MasterNode {
                 if self.index_specs.iter().any(|s| s.name == spec.name) {
                     return Response::Err(Error::IndexExists(spec.name));
                 }
-                self.index_specs.push(spec);
+                let op = MetaOp::CreateIndexSpec { spec };
+                if let Err(e) = self.log_ops(std::slice::from_ref(&op)) {
+                    return Response::Err(e);
+                }
+                self.apply_op(&op);
                 Response::Ok
             }
             Request::DropIndex { name } => {
                 // Idempotent: rolling back a registration that partially
-                // propagated must always succeed.
-                self.index_specs.retain(|s| s.name != name);
+                // propagated must always succeed. Only an actual removal
+                // is a transition worth logging.
+                if self.index_specs.iter().any(|s| s.name == name) {
+                    let op = MetaOp::DropIndexSpec { name };
+                    if let Err(e) = self.log_ops(std::slice::from_ref(&op)) {
+                        return Response::Err(e);
+                    }
+                    self.apply_op(&op);
+                }
                 Response::Ok
             }
-            Request::Heartbeat { node, acgs, now } => {
-                self.on_heartbeat(node, acgs, now);
+            Request::ListIndexSpecs => Response::IndexSpecs(self.index_specs.clone()),
+            Request::Heartbeat { node, acgs, load, now } => {
+                self.on_heartbeat(node, acgs, load, now);
                 Response::Ok
+            }
+            Request::NodeLoads => {
+                let mut rows: Vec<(NodeId, u64)> =
+                    self.node_status.iter().map(|(&n, s)| (n, s.load)).collect();
+                rows.sort();
+                Response::NodeLoadReport(rows)
             }
             Request::TakeSplitWork => {
                 let work = std::mem::take(&mut self.pending_splits);
                 Response::SplitWork(work)
             }
+            Request::TakeMigrationWork => {
+                let mut jobs: Vec<MigrationJob> = self
+                    .migrations
+                    .values()
+                    .filter_map(|m| {
+                        let source_node =
+                            *self.acg_replicas.get(&m.source).and_then(|r| r.first())?;
+                        Some(MigrationJob {
+                            source: m.source,
+                            source_node,
+                            new_acg: m.new_acg,
+                            moved: m.moved.clone(),
+                            targets: m.targets.clone(),
+                            installed: m.installed,
+                        })
+                    })
+                    .collect();
+                jobs.sort_by_key(|j| j.new_acg);
+                Response::MigrationWork(jobs)
+            }
             Request::AllocateAcg => match self.allocate_acg() {
-                Ok((acg, nodes)) => Response::AcgAllocated(acg, nodes),
+                Ok((acg, nodes)) => {
+                    let op = MetaOp::CreateAcg { acg, replicas: nodes.clone(), open: false };
+                    if let Err(e) = self.log_ops(std::slice::from_ref(&op)) {
+                        self.unallocate_acg(acg);
+                        return Response::Err(e);
+                    }
+                    Response::AcgAllocated(acg, nodes)
+                }
                 Err(e) => Response::Err(e),
             },
             Request::BindFiles { acg, files } => {
                 if !self.acg_replicas.contains_key(&acg) {
                     return Response::Err(Error::AcgNotFound(acg));
                 }
-                let mut added = 0;
-                for file in files {
-                    let old = self.file_to_acg.insert(file, acg);
-                    if old != Some(acg) {
-                        added += 1;
-                        if let Some(old_acg) = old {
-                            if let Some(c) = self.acg_files.get_mut(&old_acg) {
-                                *c = c.saturating_sub(1);
-                            }
-                        }
-                    }
+                let placements: Vec<(FileId, AcgId)> = files
+                    .iter()
+                    .filter(|f| self.file_to_acg.get(f) != Some(&acg))
+                    .map(|&f| (f, acg))
+                    .collect();
+                if placements.is_empty() {
+                    return Response::Ok;
                 }
-                *self.acg_files.entry(acg).or_insert(0) += added;
+                let op = MetaOp::PlaceFiles { placements };
+                if let Err(e) = self.log_ops(std::slice::from_ref(&op)) {
+                    return Response::Err(e);
+                }
+                self.apply_op(&op);
                 Response::Ok
             }
-            Request::CommitSplit { acg, kept, new_acg, moved, targets } => {
-                for file in &moved {
-                    self.file_to_acg.insert(*file, new_acg);
+            Request::BeginMigration { acg, moved } => {
+                if !self.acg_replicas.contains_key(&acg) {
+                    return Response::Err(Error::AcgNotFound(acg));
                 }
-                self.acg_replicas.insert(new_acg, targets);
-                self.acg_files.insert(new_acg, moved.len());
-                self.acg_files.insert(acg, kept.len());
-                self.splitting.remove(&acg);
-                // Record the move for eager client-side route
-                // invalidation: the next resolve from each client carries
-                // these files as hints, so the client drops the stale
-                // routes before they can earn a StaleRoute rejection.
-                self.routing_gen += 1;
-                self.split_log.push_back((self.routing_gen, moved));
-                while self.split_log.len() > self.config.split_log_capacity.max(1) {
-                    self.split_log.pop_front();
+                if self.migrations.values().any(|m| m.source == acg) {
+                    return Response::Err(Error::Rpc(format!(
+                        "a migration out of {acg} is already in flight"
+                    )));
                 }
+                let targets = self.least_loaded(self.effective_replication());
+                if targets.is_empty() {
+                    return Response::Err(Error::Config("cluster has no index nodes".into()));
+                }
+                let new_acg = AcgId::new(self.next_acg);
+                let op = MetaOp::BeginMigration {
+                    source: acg,
+                    new_acg,
+                    moved,
+                    targets: targets.clone(),
+                };
+                if let Err(e) = self.log_ops(std::slice::from_ref(&op)) {
+                    return Response::Err(e);
+                }
+                self.apply_op(&op);
+                Response::MigrationBegun { new_acg, targets }
+            }
+            Request::InstallAcked { new_acg } => {
+                let Some(m) = self.migrations.get(&new_acg) else {
+                    return Response::Err(Error::AcgNotFound(new_acg));
+                };
+                if !m.installed {
+                    let op = MetaOp::InstallAcked { new_acg };
+                    if let Err(e) = self.log_ops(std::slice::from_ref(&op)) {
+                        return Response::Err(e);
+                    }
+                    self.apply_op(&op);
+                }
+                Response::Ok
+            }
+            Request::CommitMigration { new_acg } => {
+                let Some(m) = self.migrations.get(&new_acg) else {
+                    return Response::Err(Error::AcgNotFound(new_acg));
+                };
+                if !m.installed {
+                    return Response::Err(Error::Rpc(format!(
+                        "migration into {new_acg} committed before its install was acked"
+                    )));
+                }
+                let op = MetaOp::CommitSplit {
+                    acg: m.source,
+                    new_acg,
+                    moved: m.moved.clone(),
+                    targets: m.targets.clone(),
+                };
+                if let Err(e) = self.log_ops(std::slice::from_ref(&op)) {
+                    return Response::Err(e);
+                }
+                // Applying remaps the moved files, makes the new group
+                // routable, advances the routing generation and retires
+                // the migration — atomically from any observer's view,
+                // because it all happens inside this one request.
+                self.apply_op(&op);
+                self.flush_metadata();
+                Response::Ok
+            }
+            Request::CommitSplit { acg, kept: _, new_acg, moved, targets } => {
+                // Legacy single-shot commit (coordinator-computed splits
+                // whose extract/install already happened). Same logged
+                // transition as a two-phase commit.
+                let op = MetaOp::CommitSplit { acg, new_acg, moved, targets };
+                if let Err(e) = self.log_ops(std::slice::from_ref(&op)) {
+                    return Response::Err(e);
+                }
+                self.apply_op(&op);
                 self.flush_metadata();
                 Response::Ok
             }
@@ -468,6 +824,7 @@ mod tests {
         m.handle(Request::Heartbeat {
             node,
             acgs: vec![AcgSummary { acg, files: 60, pending_ops: 0 }],
+            load: 0,
             now: Timestamp::from_secs(1),
         });
         match m.handle(Request::TakeSplitWork) {
@@ -478,6 +835,7 @@ mod tests {
         m.handle(Request::Heartbeat {
             node,
             acgs: vec![AcgSummary { acg, files: 60, pending_ops: 0 }],
+            load: 0,
             now: Timestamp::from_secs(2),
         });
         match m.handle(Request::TakeSplitWork) {
@@ -634,6 +992,7 @@ mod tests {
         m.handle(Request::Heartbeat {
             node: NodeId::new(1),
             acgs: vec![],
+            load: 0,
             now: Timestamp::from_secs(1),
         });
         let blob = shared.get_blob("master/file_to_acg").expect("flushed");
@@ -658,6 +1017,7 @@ mod tests {
         m.handle(Request::Heartbeat {
             node: NodeId::new(1),
             acgs: vec![],
+            load: 0,
             now: Timestamp::from_secs(10),
         });
         let status = m.node_status().get(&NodeId::new(1)).unwrap();
@@ -741,6 +1101,7 @@ mod tests {
             m.handle(Request::Heartbeat {
                 node,
                 acgs: vec![AcgSummary { acg, files: 4, pending_ops: 0 }],
+                load: 0,
                 now: Timestamp::from_secs(1),
             });
         }
@@ -757,5 +1118,153 @@ mod tests {
             m.handle(Request::CreateIndex { spec }),
             Response::Err(Error::IndexExists(_))
         ));
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("propeller-master-{}-{}", std::process::id(), tag));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_config(dir: &std::path::Path) -> MasterConfig {
+        MasterConfig {
+            group_capacity: 1000,
+            data_dir: Some(dir.to_path_buf()),
+            ..MasterConfig::default()
+        }
+    }
+
+    #[test]
+    fn durable_master_recovers_its_state_machine_from_disk() {
+        let dir = durable_dir("recover");
+        let mut m = MasterNode::open(nodes(2), durable_config(&dir)).unwrap();
+        let before = resolve(&mut m, 0..20);
+        let spec = IndexSpec::btree("uid_idx", propeller_types::AttrName::Uid);
+        assert!(matches!(m.handle(Request::CreateIndex { spec: spec.clone() }), Response::Ok));
+        drop(m); // Crash.
+        let mut m = MasterNode::open(nodes(2), durable_config(&dir)).unwrap();
+        assert_eq!(resolve(&mut m, 0..20), before, "recovered placements must match");
+        // The allocation cursor continued: a fresh ACG id never collides
+        // with a recovered one.
+        let taken: std::collections::HashSet<AcgId> = before.iter().map(|(_, a, _)| *a).collect();
+        match m.handle(Request::AllocateAcg) {
+            Response::AcgAllocated(a, _) => assert!(!taken.contains(&a), "{a:?} reused"),
+            other => panic!("{other:?}"),
+        }
+        // The spec catalogue survived, duplicates still rejected.
+        match m.handle(Request::ListIndexSpecs) {
+            Response::IndexSpecs(specs) => assert_eq!(specs, vec![spec.clone()]),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            m.handle(Request::CreateIndex { spec }),
+            Response::Err(Error::IndexExists(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn routing_generation_survives_a_master_restart() {
+        let dir = durable_dir("gen");
+        let mut m = MasterNode::open(nodes(2), durable_config(&dir)).unwrap();
+        resolve(&mut m, 0..10);
+        commit_a_split(&mut m, (5..10).map(FileId::new).collect());
+        drop(m); // Crash at generation 1.
+        let mut m = MasterNode::open(nodes(2), durable_config(&dir)).unwrap();
+        commit_a_split(&mut m, (0..3).map(FileId::new).collect());
+        // A client that saw generation 1 before the crash asks for the
+        // delta. A generation counter that reset to 0 on restart would
+        // re-issue gen 1 and the stale client would silently keep routing
+        // the second split's files to the wrong ACG.
+        match m.handle(Request::ResolveFiles { files: vec![FileId::new(4)], hints_since: 1 }) {
+            Response::Resolved { hints, .. } => {
+                assert_eq!(hints.upto, 2, "generation must continue past the restart, not reset");
+                assert!(hints.complete, "the recovered split log must cover gen 2");
+                assert!(
+                    hints.moved.contains(&FileId::new(0)),
+                    "the post-restart split's moved files must ride the hints: {:?}",
+                    hints.moved
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_flight_migration_survives_restart_and_resumes_from_its_phase() {
+        let dir = durable_dir("mig");
+        let mut m = MasterNode::open(nodes(2), durable_config(&dir)).unwrap();
+        let rows = resolve(&mut m, 0..10);
+        let source = rows[0].1;
+        let moved: Vec<FileId> = (5..10).map(FileId::new).collect();
+        let (new_acg, targets) =
+            match m.handle(Request::BeginMigration { acg: source, moved: moved.clone() }) {
+                Response::MigrationBegun { new_acg, targets } => (new_acg, targets),
+                other => panic!("{other:?}"),
+            };
+        // The reserved group is not routable before commit.
+        match m.handle(Request::LocateAcgs) {
+            Response::Located(rows) => assert!(rows.iter().all(|(a, _)| *a != new_acg)),
+            other => panic!("{other:?}"),
+        }
+        drop(m); // Crash before the install ack.
+        let mut m = MasterNode::open(nodes(2), durable_config(&dir)).unwrap();
+        match m.handle(Request::TakeMigrationWork) {
+            Response::MigrationWork(jobs) => {
+                assert_eq!(jobs.len(), 1);
+                assert_eq!(jobs[0].new_acg, new_acg);
+                assert!(!jobs[0].installed, "crash pre-ack: recovery must re-extract");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(m.handle(Request::InstallAcked { new_acg }), Response::Ok));
+        drop(m); // Crash after the install ack.
+        let mut m = MasterNode::open(nodes(2), durable_config(&dir)).unwrap();
+        match m.handle(Request::TakeMigrationWork) {
+            Response::MigrationWork(jobs) => {
+                assert_eq!(jobs.len(), 1);
+                assert!(jobs[0].installed, "the logged ack must survive the crash");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(m.handle(Request::CommitMigration { new_acg }), Response::Ok));
+        // Committed: files remapped, the group routable, the job retired.
+        let after = resolve(&mut m, 5..10);
+        assert!(after.iter().all(|(_, a, _)| *a == new_acg), "{after:?}");
+        assert_eq!(m.acg_replicas.get(&new_acg), Some(&targets));
+        match m.handle(Request::TakeMigrationWork) {
+            Response::MigrationWork(jobs) => assert!(jobs.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn master_checkpoints_bound_recovery_replay() {
+        let dir = durable_dir("ckpt");
+        let config = || MasterConfig { meta_snapshot_every: 4, ..durable_config(&dir) };
+        let mut m = MasterNode::open(nodes(2), config()).unwrap();
+        // Dozens of logged ops: placements plus spec churn force several
+        // checkpoint cycles (every 4 ops).
+        for round in 0..6u64 {
+            resolve(&mut m, round * 10..round * 10 + 10);
+            let name = format!("idx_{round}");
+            let spec = IndexSpec::btree(&name, propeller_types::AttrName::Uid);
+            assert!(matches!(m.handle(Request::CreateIndex { spec }), Response::Ok));
+        }
+        let before = resolve(&mut m, 0..60);
+        drop(m);
+        // The WAL was truncated behind the checkpoints — recovery replays
+        // a short suffix, not the whole history — and still lands on the
+        // exact same state.
+        let mut m = MasterNode::open(nodes(2), config()).unwrap();
+        assert_eq!(resolve(&mut m, 0..60), before);
+        match m.handle(Request::ListIndexSpecs) {
+            Response::IndexSpecs(specs) => assert_eq!(specs.len(), 6),
+            other => panic!("{other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -44,6 +44,28 @@ impl Default for RouteHints {
     }
 }
 
+/// One in-flight two-phase migration, as handed to the coordinator by
+/// [`Request::TakeMigrationWork`]. The job is **restartable from any
+/// phase**: every step (extract, install, install-ack, remove, commit) is
+/// idempotent, so a coordinator that crashed mid-migration simply re-runs
+/// the job from the top after recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationJob {
+    /// The ACG the part is being carved out of.
+    pub source: AcgId,
+    /// The source ACG's primary replica.
+    pub source_node: NodeId,
+    /// The reserved id of the new ACG (not routable until commit).
+    pub new_acg: AcgId,
+    /// The files being moved.
+    pub moved: Vec<FileId>,
+    /// The replica set the part is installed on, primary first.
+    pub targets: Vec<NodeId>,
+    /// Whether the Master already durably logged the install ack — when
+    /// true the coordinator may skip straight to the durable remove.
+    pub installed: bool,
+}
+
 /// A request flowing through the cluster fabric.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -76,6 +98,11 @@ pub enum Request {
         node: NodeId,
         /// Status of each hosted ACG.
         acgs: Vec<AcgSummary>,
+        /// The node's instantaneous load: suspended streamed search
+        /// sessions (queue depth). The Master folds it into
+        /// [`Response::NodeLoadReport`] so `follower_reads` clients route
+        /// opens to the least-loaded live replica.
+        load: u64,
         /// Report time.
         now: Timestamp,
     },
@@ -98,6 +125,43 @@ pub enum Request {
     /// Allocate a fresh ACG id on a least-loaded replica set of
     /// `replication` nodes (coordinator use).
     AllocateAcg,
+    /// Phase one of a two-phase migration: durably reserve a new ACG id
+    /// and a target replica set for `moved` files of `acg`, **without**
+    /// making the new group routable. The Master logs the intent before
+    /// answering [`Response::MigrationBegun`], so a crash at any later
+    /// point recovers the migration instead of stranding the part.
+    BeginMigration {
+        /// The source ACG being carved.
+        acg: AcgId,
+        /// The files being carved out.
+        moved: Vec<FileId>,
+    },
+    /// Every target durably installed the part: the Master logs the ack,
+    /// after which (and only after which) the coordinator may issue the
+    /// durable remove on the source.
+    InstallAcked {
+        /// The migration's new-group id.
+        new_acg: AcgId,
+    },
+    /// Phase two of a two-phase migration: atomically remap the moved
+    /// files, make the new group routable and advance the routing
+    /// generation. Requires a prior [`Request::InstallAcked`].
+    CommitMigration {
+        /// The migration's new-group id.
+        new_acg: AcgId,
+    },
+    /// Fetch the Master's in-flight migrations (restart/recovery path:
+    /// the coordinator re-runs each job from the top; every phase is
+    /// idempotent). Non-destructive — jobs leave the list only via
+    /// [`Request::CommitMigration`].
+    TakeMigrationWork,
+    /// Fetch the Master's cluster-wide index-spec registry (used to
+    /// re-broadcast specs to revived nodes whose local state predates
+    /// their creation).
+    ListIndexSpecs,
+    /// Fetch the latest heartbeat-reported load of every node the Master
+    /// considers live.
+    NodeLoads,
     /// Explicitly bind files to an ACG (used when ACG clustering has
     /// computed partitions out-of-band).
     BindFiles {
@@ -234,11 +298,26 @@ pub enum Request {
         acg: AcgId,
     },
     /// Extract the records and subgraph of `files` from `acg` (migration
-    /// source side).
+    /// source side). The source **tombstones and retains** the extracted
+    /// records: stale writes are fenced immediately, but the data is not
+    /// removed until the Master durably acks the install and the
+    /// coordinator issues [`Request::RemoveAcgPart`] — so a crash between
+    /// extract and install loses nothing. Idempotent: re-extracting the
+    /// same files returns the same payload.
     ExtractAcgPart {
         /// Source ACG.
         acg: AcgId,
         /// Files to extract.
+        files: Vec<FileId>,
+    },
+    /// Durably remove a previously extracted (tombstoned-and-retained)
+    /// part from the migration source — issued only after the Master
+    /// logged the targets' install ack. Idempotent: removing
+    /// already-removed files is a no-op.
+    RemoveAcgPart {
+        /// Source ACG.
+        acg: AcgId,
+        /// The files whose retained copies to drop.
         files: Vec<FileId>,
     },
     /// Install a migrated ACG part (migration target side).
@@ -367,7 +446,30 @@ pub enum Response {
     },
     /// An Index Node's per-ACG status (returned by `Tick`; the coordinator
     /// forwards it to the Master as a heartbeat).
-    Status(Vec<AcgSummary>),
+    Status {
+        /// Status of each hosted ACG.
+        acgs: Vec<AcgSummary>,
+        /// The node's instantaneous load (suspended streamed sessions),
+        /// piggybacked onto the heartbeat for load-feedback routing.
+        load: u64,
+    },
+    /// Phase one of a migration was durably logged
+    /// (response to [`Request::BeginMigration`]).
+    MigrationBegun {
+        /// The reserved new-group id.
+        new_acg: AcgId,
+        /// The replica set to install the part on, primary first.
+        targets: Vec<NodeId>,
+    },
+    /// The Master's in-flight migrations
+    /// (response to [`Request::TakeMigrationWork`]).
+    MigrationWork(Vec<MigrationJob>),
+    /// The Master's cluster-wide index-spec registry
+    /// (response to [`Request::ListIndexSpecs`]).
+    IndexSpecs(Vec<IndexSpec>),
+    /// Latest heartbeat-reported load per live node
+    /// (response to [`Request::NodeLoads`]).
+    NodeLoadReport(Vec<(NodeId, u64)>),
     /// An Index Node's counters (response to [`Request::NodeStats`]).
     NodeStatsReport {
         /// The reporting node.

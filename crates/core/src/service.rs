@@ -333,8 +333,8 @@ impl Propeller {
     pub fn maintenance(&mut self) -> Result<usize> {
         let now = self.clock.now();
         let status = self.node_call(Request::Tick { now })?;
-        if let Response::Status(acgs) = status {
-            self.master_call(Request::Heartbeat { node: self.node_id, acgs, now })?;
+        if let Response::Status { acgs, load } = status {
+            self.master_call(Request::Heartbeat { node: self.node_id, acgs, load, now })?;
         }
         let work = match self.master_call(Request::TakeSplitWork)? {
             Response::SplitWork(w) => w,
@@ -359,6 +359,10 @@ impl Propeller {
                     other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
                 };
             self.node_call(Request::InstallAcg { acg: new_acg, records, edges })?;
+            // Two-phase hand-off: the extract retained (and tombstoned)
+            // the part on the source; drop it only now that the install
+            // landed, then commit the remap.
+            self.node_call(Request::RemoveAcgPart { acg, files: right.clone() })?;
             self.master_call(Request::CommitSplit {
                 acg,
                 kept: left,

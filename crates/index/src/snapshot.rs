@@ -189,6 +189,23 @@ fn decode_spec(data: &mut &[u8]) -> Result<IndexSpec> {
     Ok(IndexSpec { name, kind, attrs })
 }
 
+/// Encodes a named-index spec with the snapshot codec. Public so the
+/// cluster control plane can persist its index-spec registry with the
+/// exact bytes the data-plane snapshot files use.
+pub fn encode_spec_into(buf: &mut BytesMut, spec: &IndexSpec) {
+    encode_spec(buf, spec);
+}
+
+/// Decodes a spec written by [`encode_spec_into`] (or found inside a
+/// snapshot payload), advancing the cursor past it.
+///
+/// # Errors
+///
+/// Returns [`Error::Corrupt`] on a truncated or mistagged spec.
+pub fn decode_spec_from(data: &mut &[u8]) -> Result<IndexSpec> {
+    decode_spec(data)
+}
+
 /// Writes a snapshot of `acg` covering `lsn` to `dir`, returning the final
 /// path. The payload is staged in a `.tmp` file, fsynced, and atomically
 /// renamed into the canonical name; the directory is fsynced best-effort

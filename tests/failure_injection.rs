@@ -56,7 +56,7 @@ fn surviving_nodes_keep_serving_their_acgs() {
     let survivor = cluster.index_node_ids()[0];
     let resp =
         cluster.rpc().call(survivor, Request::Tick { now: Timestamp::from_secs(1) }).unwrap();
-    assert!(matches!(resp, Response::Status(_)));
+    assert!(matches!(resp, Response::Status { .. }));
     cluster.shutdown();
 }
 
@@ -69,6 +69,7 @@ fn master_heartbeat_tracking_flags_stale_nodes() {
         master.handle(Request::Heartbeat {
             node: n,
             acgs: vec![],
+            load: 0,
             now: Timestamp::from_secs(10 * (i as u64 + 1)),
         });
     }
