@@ -12,6 +12,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use propeller_index::{FileRecord, IndexOp, IndexSpec};
+use propeller_obs::{
+    names, Counter, Histogram, Lane, MetricsRegistry, NodeObs, OpenSpan, SpanKind, TraceContext,
+    TraceTree,
+};
 use propeller_query::{
     merge_sorted_hits, next_cursor, Cursor, FanOutPolicy, Hit, HitMerger, Predicate, Query,
     SearchRequest, SearchResponse, SearchStats,
@@ -61,11 +65,24 @@ struct RouteCache {
     order: std::collections::VecDeque<(FileId, u64)>,
     gen: u64,
     capacity: usize,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    invalidations: Arc<Counter>,
 }
 
 impl RouteCache {
     fn with_capacity(capacity: usize) -> Self {
         RouteCache { capacity: capacity.max(1), ..RouteCache::default() }
+    }
+
+    /// Points the cache's counters at `registry`'s `route_cache_*` series,
+    /// so cache behaviour is visible in the client's metrics snapshot.
+    fn register_metrics(&mut self, registry: &MetricsRegistry) {
+        self.hits = registry.counter(names::ROUTE_CACHE_HITS);
+        self.misses = registry.counter(names::ROUTE_CACHE_MISSES);
+        self.evictions = registry.counter(names::ROUTE_CACHE_EVICTIONS);
+        self.invalidations = registry.counter(names::ROUTE_CACHE_INVALIDATIONS);
     }
 
     fn len(&self) -> usize {
@@ -78,7 +95,11 @@ impl RouteCache {
 
     /// Looks a route up, re-stamping it as most-recently-used on hit.
     fn get(&mut self, file: &FileId) -> Option<(AcgId, NodeId)> {
-        let (route, gen) = self.map.get_mut(file)?;
+        let Some((route, gen)) = self.map.get_mut(file) else {
+            self.misses.inc();
+            return None;
+        };
+        self.hits.inc();
         let route = *route;
         self.gen += 1;
         *gen = self.gen;
@@ -97,6 +118,7 @@ impl RouteCache {
             // pop as no-ops; only the live generation evicts.
             if self.map.get(&file).is_some_and(|(_, g)| *g == gen) {
                 self.map.remove(&file);
+                self.evictions.inc();
             }
         }
         self.compact();
@@ -107,10 +129,18 @@ impl RouteCache {
         self.map.remove(file);
     }
 
+    /// Drops one route because a Master hint said it moved.
+    fn invalidate(&mut self, file: &FileId) {
+        if self.map.remove(file).is_some() {
+            self.invalidations.inc();
+        }
+    }
+
     /// Drops every route (the `complete: false` hint path: the Master's
     /// split log no longer covers this client's generation, so any cached
     /// route may be stale).
     fn clear(&mut self) {
+        self.invalidations.add(self.map.len() as u64);
         self.map.clear();
         self.order.clear();
     }
@@ -166,6 +196,20 @@ pub struct FileQueryEngine {
     follower_reads: bool,
     /// Tie-break cursor for follower reads, advanced per opened group.
     open_rr: AtomicU64,
+    /// This client's observability bundle ([`Lane::Client`]).
+    obs: Arc<NodeObs>,
+    /// Trace one request in every `trace_every` (0 = never sample).
+    trace_every: u64,
+    /// Requests seen by the sampler.
+    trace_seq: AtomicU64,
+    /// The most recently allocated trace id (0 = none yet).
+    last_trace: AtomicU64,
+    /// End-to-end search latency histogram (cached registry handle).
+    h_client_search: Arc<Histogram>,
+    /// Hedge / failover outcome counters (cached registry handles).
+    c_hedges_fired: Arc<Counter>,
+    c_hedges_won: Arc<Counter>,
+    c_replica_failovers: Arc<Counter>,
 }
 
 impl std::fmt::Debug for FileQueryEngine {
@@ -184,21 +228,37 @@ impl FileQueryEngine {
         index_nodes: Vec<NodeId>,
         clock: Arc<dyn Clock>,
     ) -> Self {
+        let client_id = NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed);
+        let obs = Arc::new(NodeObs::new(Lane::Client(client_id)));
+        let mut route_cache = RouteCache::with_capacity(ROUTE_CACHE_CAPACITY);
+        route_cache.register_metrics(&obs.metrics);
+        let h_client_search = obs.metrics.histogram(names::CLIENT_SEARCH_LATENCY);
+        let c_hedges_fired = obs.metrics.counter(names::HEDGES_FIRED);
+        let c_hedges_won = obs.metrics.counter(names::HEDGES_WON);
+        let c_replica_failovers = obs.metrics.counter(names::REPLICA_FAILOVERS);
         FileQueryEngine {
             rpc,
             master,
             index_nodes,
             clock,
             tracker: CausalityTracker::new(),
-            route_cache: RouteCache::with_capacity(ROUTE_CACHE_CAPACITY),
+            route_cache,
             route_gen: 0,
-            client_id: NEXT_CLIENT_ID.fetch_add(1, Ordering::Relaxed),
+            client_id,
             search_page: SEARCH_PAGE_SIZE,
             adaptive_max_page: None,
             hedge_budget: None,
             acg_replicas: HashMap::new(),
             follower_reads: false,
             open_rr: AtomicU64::new(0),
+            obs,
+            trace_every: 0,
+            trace_seq: AtomicU64::new(0),
+            last_trace: AtomicU64::new(0),
+            h_client_search,
+            c_hedges_fired,
+            c_hedges_won,
+            c_replica_failovers,
         }
     }
 
@@ -222,6 +282,18 @@ impl FileQueryEngine {
     #[must_use]
     pub fn with_route_cache_capacity(mut self, capacity: usize) -> Self {
         self.route_cache = RouteCache::with_capacity(capacity);
+        self.route_cache.register_metrics(&self.obs.metrics);
+        self
+    }
+
+    /// Enables trace sampling (builder style): one request in every
+    /// `every` gets a [`TraceContext`] and records spans on every lane it
+    /// crosses, harvestable with [`FileQueryEngine::dump_trace`]. `0`
+    /// (the default) never samples, and every recording site stays a
+    /// no-op branch.
+    #[must_use]
+    pub fn with_trace_sampling(mut self, every: u64) -> Self {
+        self.trace_every = every;
         self
     }
 
@@ -273,6 +345,61 @@ impl FileQueryEngine {
         self.route_cache.contains_key(&file)
     }
 
+    /// This client's observability bundle: its metrics registry (route
+    /// cache, hedging, end-to-end latency) and its span buffer.
+    pub fn obs(&self) -> &Arc<NodeObs> {
+        &self.obs
+    }
+
+    /// The trace id allocated to the most recently sampled request, if
+    /// any — pass it to [`FileQueryEngine::dump_trace`].
+    pub fn last_trace_id(&self) -> Option<u64> {
+        match self.last_trace.load(Ordering::Relaxed) {
+            0 => None,
+            t => Some(t),
+        }
+    }
+
+    /// Decides whether the next request is traced. Counter-based (one in
+    /// every `trace_every`), so tests sampling at 1 are deterministic;
+    /// trace ids are `client_id << 32 | seq`, unique across clients.
+    fn sample(&self) -> TraceContext {
+        if self.trace_every == 0 {
+            return TraceContext::NONE;
+        }
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        if !seq.is_multiple_of(self.trace_every) {
+            return TraceContext::NONE;
+        }
+        let trace = (self.client_id << 32) | ((seq + 1) & 0xFFFF_FFFF).max(1);
+        self.last_trace.store(trace, Ordering::Relaxed);
+        TraceContext::root(trace)
+    }
+
+    /// Harvests every span of `trace` — this client's own buffer, the
+    /// Master's and every Index Node's (dead nodes are skipped; their
+    /// spans are simply absent) — and assembles the single trace tree
+    /// with per-span wall times.
+    ///
+    /// Harvesting is destructive: a trace can be dumped once.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no spans were recorded for `trace` or the harvested
+    /// spans do not form a single-rooted tree (e.g. a bounded span buffer
+    /// wrapped past the root).
+    pub fn dump_trace(&self, trace: u64) -> Result<TraceTree> {
+        let mut spans = self.obs.spans.harvest(trace);
+        for node in std::iter::once(self.master).chain(self.index_nodes.iter().copied()) {
+            if let Ok(Response::TraceSpans(remote)) =
+                self.rpc.call(node, Request::DumpTrace { trace })
+            {
+                spans.extend(remote);
+            }
+        }
+        TraceTree::assemble(spans).map_err(Error::Rpc)
+    }
+
     /// Applies split-driven route invalidations from the Master: moved
     /// files drop out of the cache *before* their stale routes can earn a
     /// `StaleRoute` rejection and a retry round trip. Incomplete hints
@@ -283,7 +410,7 @@ impl FileQueryEngine {
             self.route_cache.clear();
         } else {
             for file in &hints.moved {
-                self.route_cache.remove(file);
+                self.route_cache.invalidate(file);
             }
         }
         self.route_gen = self.route_gen.max(hints.upto);
@@ -293,7 +420,12 @@ impl FileQueryEngine {
     /// Master for the rest (in one batch). Freshly resolved rows are kept
     /// aside for the answer: a batch larger than the cache's capacity may
     /// evict its own earliest rows while being cached.
-    fn resolve(&mut self, files: &[FileId]) -> Result<Vec<(FileId, AcgId, NodeId)>> {
+    fn resolve(
+        &mut self,
+        files: &[FileId],
+        ctx: TraceContext,
+    ) -> Result<Vec<(FileId, AcgId, NodeId)>> {
+        let span = self.obs.spans.begin(ctx, SpanKind::Resolve, self.clock.now());
         // Snapshot the batch's cache hits up front: caching the freshly
         // resolved rows below may FIFO-evict this very batch's hits.
         let mut routes: HashMap<FileId, (AcgId, NodeId)> = HashMap::with_capacity(files.len());
@@ -304,6 +436,7 @@ impl FileQueryEngine {
         }
         let missing: Vec<FileId> =
             files.iter().copied().filter(|f| !routes.contains_key(f)).collect();
+        let misses = missing.len();
         if !missing.is_empty() {
             // An empty cache has nothing to invalidate: ask for no hints
             // (`u64::MAX` sorts past any generation) and let the response
@@ -311,7 +444,7 @@ impl FileQueryEngine {
             // fresh client never makes the Master rebuild its whole
             // split-log history.
             let since = if self.route_cache.len() == 0 { u64::MAX } else { self.route_gen };
-            let req = Request::ResolveFiles { files: missing, hints_since: since };
+            let req = Request::ResolveFiles { files: missing, hints_since: since, ctx: span.ctx() };
             match self.rpc.call(self.master, req)? {
                 Response::Resolved { rows, hints, replicas } => {
                     // Hints first: a `complete: false` hint clears the
@@ -327,6 +460,10 @@ impl FileQueryEngine {
                 }
                 other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
             }
+        }
+        if span.enabled() {
+            let detail = format!("files={} cache_misses={misses}", files.len());
+            self.obs.spans.finish_with(span, self.clock.now(), detail);
         }
         files
             .iter()
@@ -369,17 +506,29 @@ impl FileQueryEngine {
     /// that narrow case surfaces as [`Error::StaleRoute`] and the caller
     /// may simply retry the batch.
     fn apply_ops(&mut self, ops: Vec<IndexOp>) -> Result<()> {
+        let ctx = self.sample();
+        let n_ops = ops.len();
+        let root = self.obs.spans.begin(ctx, SpanKind::Request, self.clock.now());
+        let out = self.apply_ops_traced(ops, root.ctx());
+        if root.enabled() {
+            let detail = format!("index ops={n_ops} ok={}", out.is_ok());
+            self.obs.spans.finish_with(root, self.clock.now(), detail);
+        }
+        out
+    }
+
+    fn apply_ops_traced(&mut self, ops: Vec<IndexOp>, ctx: TraceContext) -> Result<()> {
         let files: Vec<FileId> = ops.iter().map(IndexOp::file).collect();
         let cached: std::collections::HashSet<FileId> =
             files.iter().copied().filter(|f| self.route_cache.contains_key(f)).collect();
-        let routes = self.resolve(&files)?;
+        let routes = self.resolve(&files, ctx)?;
         let mut by_target: HashMap<(NodeId, AcgId), (Vec<IndexOp>, bool)> = HashMap::new();
         for (op, (file, acg, node)) in ops.into_iter().zip(routes) {
             let entry = by_target.entry((node, acg)).or_default();
             entry.1 |= cached.contains(&file);
             entry.0.push(op);
         }
-        let failures = self.dispatch_batches(by_target);
+        let failures = self.dispatch_batches(by_target, ctx);
         if failures.is_empty() {
             return Ok(());
         }
@@ -392,19 +541,27 @@ impl FileQueryEngine {
                 other => return Err(other),
             }
         }
+        let retry = self.obs.spans.begin(ctx, SpanKind::RouteRetry, self.clock.now());
         let retry_files: Vec<FileId> = retry_ops.iter().map(IndexOp::file).collect();
         for file in &retry_files {
             self.route_cache.remove(file);
         }
-        let routes = self.resolve(&retry_files)?;
-        let mut by_target: HashMap<(NodeId, AcgId), (Vec<IndexOp>, bool)> = HashMap::new();
-        for (op, (_, acg, node)) in retry_ops.into_iter().zip(routes) {
-            by_target.entry((node, acg)).or_default().0.push(op);
+        let out = (|| {
+            let routes = self.resolve(&retry_files, retry.ctx())?;
+            let mut by_target: HashMap<(NodeId, AcgId), (Vec<IndexOp>, bool)> = HashMap::new();
+            for (op, (_, acg, node)) in retry_ops.into_iter().zip(routes) {
+                by_target.entry((node, acg)).or_default().0.push(op);
+            }
+            match self.dispatch_batches(by_target, retry.ctx()).pop() {
+                None => Ok(()),
+                Some((_, err)) => Err(err),
+            }
+        })();
+        if retry.enabled() {
+            let detail = format!("stale routes dropped={}", retry_files.len());
+            self.obs.spans.finish_with(retry, self.clock.now(), detail);
         }
-        match self.dispatch_batches(by_target).pop() {
-            None => Ok(()),
-            Some((_, err)) => Err(err),
-        }
+        out
     }
 
     /// Sends the per-(node, ACG) batches in parallel, returning the failed
@@ -423,6 +580,7 @@ impl FileQueryEngine {
     fn dispatch_batches(
         &self,
         by_target: HashMap<(NodeId, AcgId), (Vec<IndexOp>, bool)>,
+        ctx: TraceContext,
     ) -> Vec<(Vec<IndexOp>, Error)> {
         let now = self.clock.now();
         std::thread::scope(|s| {
@@ -438,10 +596,12 @@ impl FileQueryEngine {
                     s.spawn(move || {
                         let keep = if cached { ops.clone() } else { Vec::new() };
                         let replicate = if followers.is_empty() { Vec::new() } else { ops.clone() };
-                        let result = rpc.call(node, Request::IndexBatch { acg, ops, now });
+                        let result = rpc.call(node, Request::IndexBatch { acg, ops, now, ctx });
                         if let Ok(Response::BatchLogged { lsn }) = &result {
                             for &follower in &followers {
-                                replicate_frame(&rpc, node, follower, acg, *lsn, &replicate, now);
+                                replicate_frame(
+                                    &rpc, node, follower, acg, *lsn, &replicate, now, ctx,
+                                );
                             }
                         }
                         (keep, result)
@@ -507,9 +667,10 @@ impl FileQueryEngine {
         if groups.is_empty() {
             return Ok(SearchResponse::empty());
         }
+        let ctx = self.sample();
         match request.limit {
-            Some(k) if k > 0 && groups.len() > 1 => self.run_streamed(groups, request),
-            _ => self.run_one_shot(groups, request),
+            Some(k) if k > 0 && groups.len() > 1 => self.run_streamed(groups, request, ctx),
+            _ => self.run_one_shot(groups, request, ctx),
         }
     }
 
@@ -528,13 +689,41 @@ impl FileQueryEngine {
         if groups.is_empty() {
             return Ok(SearchResponse::empty());
         }
-        self.run_one_shot(groups, request)
+        let ctx = self.sample();
+        self.run_one_shot(groups, request, ctx)
     }
 
+    /// Wraps the one-shot exchange in the client-side root span and the
+    /// end-to-end latency / hedge-outcome metrics.
     fn run_one_shot(
         &self,
         groups: Vec<(Vec<NodeId>, Vec<AcgId>)>,
         request: &SearchRequest,
+        ctx: TraceContext,
+    ) -> Result<SearchResponse> {
+        let started = self.clock.now();
+        let root = self.obs.spans.begin(ctx, SpanKind::Request, started);
+        let out = self.run_one_shot_inner(groups, request, root.ctx());
+        let finished = self.clock.now();
+        self.h_client_search.record(finished.since(started).as_micros());
+        if let Ok(response) = &out {
+            self.c_replica_failovers.add(response.stats.replica_failovers as u64);
+        }
+        if root.enabled() {
+            let detail = match &out {
+                Ok(r) => format!("one-shot hits={} complete={}", r.hits.len(), r.complete),
+                Err(e) => format!("one-shot failed: {e}"),
+            };
+            self.obs.spans.finish_with(root, finished, detail);
+        }
+        out
+    }
+
+    fn run_one_shot_inner(
+        &self,
+        groups: Vec<(Vec<NodeId>, Vec<AcgId>)>,
+        request: &SearchRequest,
+        ctx: TraceContext,
     ) -> Result<SearchResponse> {
         let now = self.clock.now();
         // Each replica group tries its members in order (primary first):
@@ -547,24 +736,42 @@ impl FileQueryEngine {
                 .map(|(replicas, acgs)| {
                     let rpc = self.rpc.clone();
                     let request = request.clone();
+                    let obs = Arc::clone(&self.obs);
+                    let clock = Arc::clone(&self.clock);
                     s.spawn(move || {
                         let mut failovers = 0usize;
                         let mut last_err = None;
                         for &node in &replicas {
+                            let open = obs.spans.begin(ctx, SpanKind::Open, clock.now());
                             let req = Request::Search {
                                 acgs: acgs.clone(),
                                 request: request.clone(),
                                 now,
+                                ctx: open.ctx(),
                             };
                             match rpc.call(node, req) {
                                 Ok(Response::SearchHits { hits, stats }) => {
+                                    if open.enabled() {
+                                        let detail = format!("{node} hits={}", hits.len());
+                                        obs.spans.finish_with(open, clock.now(), detail);
+                                    }
                                     return (acgs, failovers, Ok((hits, stats)));
                                 }
                                 Ok(other) => {
+                                    if open.enabled() {
+                                        let detail = format!("{node} unexpected response");
+                                        obs.spans.finish_with(open, clock.now(), detail);
+                                    }
                                     last_err =
                                         Some(Error::Rpc(format!("unexpected response {other:?}")));
                                 }
-                                Err(e) => last_err = Some(e),
+                                Err(e) => {
+                                    if open.enabled() {
+                                        let detail = format!("{node} unreachable: {e}");
+                                        obs.spans.finish_with(open, clock.now(), detail);
+                                    }
+                                    last_err = Some(e);
+                                }
                             }
                             failovers += 1;
                         }
@@ -611,7 +818,13 @@ impl FileQueryEngine {
             }
         }
 
+        let merge = self.obs.spans.begin(ctx, SpanKind::Merge, self.clock.now());
+        let lists_merged = lists.len();
         let hits = merge_sorted_hits(lists, &request.sort, request.limit);
+        if merge.enabled() {
+            let detail = format!("lists={lists_merged} hits={}", hits.len());
+            self.obs.spans.finish_with(merge, self.clock.now(), detail);
+        }
         // `stats.elapsed` is the max per-node service time (each node
         // measures against its own injected clock; nodes ran in parallel,
         // so the slowest one is what this client waited for).
@@ -663,7 +876,8 @@ impl FileQueryEngine {
         if groups.is_empty() {
             return Ok(SearchResponse::empty());
         }
-        self.run_streamed(groups, request)
+        let ctx = self.sample();
+        self.run_streamed(groups, request, ctx)
     }
 
     /// Opens a **persistent** cluster search stream: node sessions stay
@@ -684,15 +898,17 @@ impl FileQueryEngine {
     pub fn open_search_stream(&self, request: &SearchRequest) -> Result<ClusterSearchStream> {
         request.validate()?;
         let groups = self.locate()?;
-        self.open_cluster_stream(groups, request)
+        let ctx = self.sample();
+        self.open_cluster_stream(groups, request, ctx)
     }
 
     fn run_streamed(
         &self,
         groups: Vec<(Vec<NodeId>, Vec<AcgId>)>,
         request: &SearchRequest,
+        ctx: TraceContext,
     ) -> Result<SearchResponse> {
-        let mut stream = self.open_cluster_stream(groups, request)?;
+        let mut stream = self.open_cluster_stream(groups, request, ctx)?;
         // Drain the whole entitlement in one page: the merge stops at
         // `limit` merged hits anyway, so this is the classic streamed
         // search (the cluster-wide cutoff still prunes cold nodes).
@@ -716,8 +932,10 @@ impl FileQueryEngine {
         &self,
         groups: Vec<(Vec<NodeId>, Vec<AcgId>)>,
         request: &SearchRequest,
+        ctx: TraceContext,
     ) -> Result<ClusterSearchStream> {
         let now = self.clock.now();
+        let root = self.obs.spans.begin(ctx, SpanKind::Request, now);
         // Follower reads are load-aware: the Master aggregates each node's
         // reported search load from heartbeats, and opens go to the
         // lightest replica of each group. A fresh cluster (or a dead
@@ -773,6 +991,9 @@ impl FileQueryEngine {
                     reopens: 0,
                     stats: SearchStats::default(),
                     error: None,
+                    ctx: root.ctx(),
+                    obs: Arc::clone(&self.obs),
+                    clock: Arc::clone(&self.clock),
                 }
             })
             .collect();
@@ -792,6 +1013,10 @@ impl FileQueryEngine {
                 for source in &sources {
                     source.close_best_effort();
                 }
+                if root.enabled() {
+                    let detail = format!("streamed open failed: {err}");
+                    self.obs.spans.finish_with(root, self.clock.now(), detail);
+                }
                 return Err(err);
             }
         }
@@ -809,6 +1034,12 @@ impl FileQueryEngine {
             clock: Arc::clone(&self.clock),
             started: now,
             finished: false,
+            obs: Arc::clone(&self.obs),
+            root: Some(root),
+            h_latency: Arc::clone(&self.h_client_search),
+            c_hedges_fired: Arc::clone(&self.c_hedges_fired),
+            c_hedges_won: Arc::clone(&self.c_hedges_won),
+            c_replica_failovers: Arc::clone(&self.c_replica_failovers),
         })
     }
 
@@ -912,7 +1143,7 @@ impl FileQueryEngine {
             return Ok(0);
         }
         let dst_files: Vec<FileId> = updates.iter().map(|u| u.dst).collect();
-        let routes = self.resolve(&dst_files)?;
+        let routes = self.resolve(&dst_files, TraceContext::NONE)?;
         let route_of: HashMap<FileId, (AcgId, NodeId)> =
             routes.into_iter().map(|(f, a, n)| (f, (a, n))).collect();
         let mut by_target: HashMap<(NodeId, AcgId), Vec<propeller_trace::EdgeUpdate>> =
@@ -939,6 +1170,7 @@ impl FileQueryEngine {
 /// follower up from the primary when it reports a log gap. Best-effort:
 /// an unreachable follower is tolerated (searches fail over around it;
 /// it re-syncs on revival), so nothing is returned.
+#[allow(clippy::too_many_arguments)]
 fn replicate_frame(
     rpc: &Rpc,
     primary: NodeId,
@@ -947,8 +1179,9 @@ fn replicate_frame(
     lsn: u64,
     ops: &[IndexOp],
     now: Timestamp,
+    ctx: TraceContext,
 ) {
-    let req = Request::ReplicateBatch { acg, lsn, ops: ops.to_vec(), now };
+    let req = Request::ReplicateBatch { acg, lsn, ops: ops.to_vec(), now, ctx };
     if let Ok(Response::ReplicaLagging { lsn: have }) = rpc.call(follower, req) {
         let _ = sync_replica(rpc, primary, follower, acg, have, now);
     }
@@ -975,7 +1208,9 @@ pub(crate) fn sync_replica(
             let mut applied = after_lsn;
             for (lsn, frame) in frames {
                 let ops = IndexOp::decode_frame(&frame)?;
-                let req = Request::ReplicateBatch { acg, lsn, ops, now };
+                // Catch-up traffic is never sampled: it runs outside any
+                // client request.
+                let req = Request::ReplicateBatch { acg, lsn, ops, now, ctx: TraceContext::NONE };
                 match rpc.call(target, req)? {
                     Response::ReplicaApplied { lsn } => applied = lsn,
                     Response::ReplicaLagging { lsn } => {
@@ -1056,6 +1291,11 @@ struct NodePageStream {
     /// Stats accumulated across the open and every pull.
     stats: SearchStats,
     error: Option<Error>,
+    /// The stream's trace context (the client root span's child context;
+    /// [`TraceContext::NONE`] when the request is unsampled).
+    ctx: TraceContext,
+    obs: Arc<NodeObs>,
+    clock: Arc<dyn Clock>,
 }
 
 /// A hedge loser still owed a reply: its receiver plus what's needed to
@@ -1092,8 +1332,9 @@ fn loser_reaper() -> &'static crossbeam::channel::Sender<LoserSession> {
 
 impl NodePageStream {
     /// The open request resuming after the last yielded hit, asking only
-    /// for the remaining entitlement.
-    fn open_request(&self) -> Request {
+    /// for the remaining entitlement. `ctx` is the span the node's
+    /// service spans should hang under (the Open or Hedge attempt).
+    fn open_request(&self, ctx: TraceContext) -> Request {
         let mut request = self.request.clone();
         if let Some(resume) = &self.resume {
             request.cursor = Some(resume.clone());
@@ -1105,6 +1346,7 @@ impl NodePageStream {
             client: self.client,
             page: self.page,
             now: self.now,
+            ctx,
         }
     }
 
@@ -1159,20 +1401,29 @@ impl NodePageStream {
             (Some(budget), Some(backup)) => (budget, backup),
             _ => return self.try_open_sync(),
         };
-        let primary_rx = match self.rpc.call_async(self.replicas[self.current], self.open_request())
-        {
+        let open = self.obs.spans.begin(self.ctx, SpanKind::Open, self.clock.now());
+        let open_ctx = open.ctx();
+        let mut open = Some(open);
+        let primary_node = self.replicas[self.current];
+        let primary_rx = match self.rpc.call_async(primary_node, self.open_request(open_ctx)) {
             Ok(rx) => rx,
             Err(e) => {
                 self.dead[self.current] = true;
+                self.finish_span(open.take(), || format!("{primary_node} unreachable"));
                 self.error = Some(e);
                 return false;
             }
         };
         match primary_rx.recv_timeout(budget) {
-            Ok(response) => return self.accept_open_response(self.current, response),
+            Ok(response) => {
+                let ok = self.accept_open_response(self.current, response);
+                self.finish_span(open.take(), || format!("{primary_node} within budget ok={ok}"));
+                return ok;
+            }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                 self.dead[self.current] = true;
+                self.finish_span(open.take(), || format!("{primary_node} disconnected"));
                 self.error = Some(Error::NodeUnavailable(self.replicas[self.current]));
                 return false;
             }
@@ -1182,12 +1433,17 @@ impl NodePageStream {
         // closed off-thread. Replicas hold byte-identical committed
         // views, so correctness never depends on who wins.
         self.stats.hedges_fired += 1;
-        let backup_rx = match self.rpc.call_async(self.replicas[backup], self.open_request()) {
+        let backup_node = self.replicas[backup];
+        let hedge = self.obs.spans.begin(open_ctx, SpanKind::Hedge, self.clock.now());
+        let hedge_ctx = hedge.ctx();
+        let mut hedge = Some(hedge);
+        let backup_rx = match self.rpc.call_async(backup_node, self.open_request(hedge_ctx)) {
             Ok(rx) => rx,
             Err(_) => {
                 // Backup unreachable: fall back to waiting out the
                 // original open alone.
-                return match primary_rx.recv() {
+                self.finish_span(hedge.take(), || format!("{backup_node} unreachable"));
+                let out = match primary_rx.recv() {
                     Ok(response) => self.accept_open_response(self.current, response),
                     Err(_) => {
                         self.dead[self.current] = true;
@@ -1195,6 +1451,8 @@ impl NodePageStream {
                         false
                     }
                 };
+                self.finish_span(open.take(), || format!("{primary_node} after hedge ok={out}"));
+                return out;
             }
         };
         // Race the two receivers by polling — the channel shim has no
@@ -1226,6 +1484,14 @@ impl NodePageStream {
                                 node: self.replicas[loser],
                             });
                         }
+                        let winner = self.replicas[idx];
+                        self.finish_span(hedge.take(), || {
+                            format!(
+                                "winner {winner} ({})",
+                                if idx == backup { "hedge replica" } else { "primary" }
+                            )
+                        });
+                        self.finish_span(open.take(), || format!("winner {winner}"));
                         return true;
                     }
                     Ok(other) => {
@@ -1253,15 +1519,35 @@ impl NodePageStream {
         if self.error.is_none() {
             self.error = Some(Error::NodeUnavailable(self.replicas[self.current]));
         }
+        self.finish_span(hedge.take(), || "no winner".to_string());
+        self.finish_span(open.take(), || format!("{primary_node} and {backup_node} dead"));
         false
+    }
+
+    /// Finishes a client-side span now, if it records anything. The
+    /// detail closure only runs for sampled requests.
+    fn finish_span(&self, span: Option<OpenSpan>, detail: impl FnOnce() -> String) {
+        if let Some(span) = span {
+            if span.enabled() {
+                let detail = detail();
+                self.obs.spans.finish_with(span, self.clock.now(), detail);
+            }
+        }
     }
 
     /// The plain unhedged open against `current`.
     fn try_open_sync(&mut self) -> bool {
-        match self.rpc.call(self.replicas[self.current], self.open_request()) {
-            Ok(response) => self.accept_open_response(self.current, response),
+        let open = self.obs.spans.begin(self.ctx, SpanKind::Open, self.clock.now());
+        let node = self.replicas[self.current];
+        match self.rpc.call(node, self.open_request(open.ctx())) {
+            Ok(response) => {
+                let ok = self.accept_open_response(self.current, response);
+                self.finish_span(Some(open), || format!("{node} ok={ok}"));
+                ok
+            }
             Err(e) => {
                 self.dead[self.current] = true;
+                self.finish_span(Some(open), || format!("{node} unreachable: {e}"));
                 self.error = Some(e);
                 false
             }
@@ -1333,22 +1619,29 @@ impl Iterator for NodePageStream {
             if self.exhausted || self.error.is_some() {
                 return None;
             }
-            let pull = Request::PullHits { session: self.session, page: self.page };
-            match self.rpc.call(self.replicas[self.current], pull) {
+            let node = self.replicas[self.current];
+            let span = self.obs.spans.begin(self.ctx, SpanKind::Pull, self.clock.now());
+            let pull =
+                Request::PullHits { session: self.session, page: self.page, ctx: span.ctx() };
+            match self.rpc.call(node, pull) {
                 Ok(Response::SearchPage { session, hits, stats, exhausted }) => {
+                    let shipped = hits.len();
                     self.accept_page(session, hits, stats, exhausted);
+                    self.finish_span(Some(span), || format!("{node} hits={shipped}"));
                 }
                 Err(Error::SearchSessionExpired { .. }) if self.reopens < MAX_SESSION_REOPENS => {
                     // The node evicted us (LRU or per-client cap), but is
                     // alive: reopen on the *same* node, resuming strictly
                     // after the last hit we saw. Every reopen ships a
                     // page, so this always makes progress.
+                    self.finish_span(Some(span), || format!("{node} session expired, reopening"));
                     self.reopens += 1;
                     if !self.try_open_sync() {
                         return None;
                     }
                 }
                 Ok(other) => {
+                    self.finish_span(Some(span), || format!("{node} unexpected response"));
                     self.error = Some(Error::Rpc(format!("unexpected response {other:?}")));
                     return None;
                 }
@@ -1357,6 +1650,9 @@ impl Iterator for NodePageStream {
                     // session over to the next live member, resuming
                     // after the last hit yielded. Byte-identical replicas
                     // make the spliced stream exact — no skips, no dups.
+                    self.finish_span(Some(span), || {
+                        format!("{node} died mid-stream, failing over")
+                    });
                     self.dead[self.current] = true;
                     self.session = 0;
                     self.open_session(true);
@@ -1387,6 +1683,13 @@ pub struct ClusterSearchStream {
     clock: Arc<dyn Clock>,
     started: Timestamp,
     finished: bool,
+    obs: Arc<NodeObs>,
+    /// The client-side root span, finished when the stream ends.
+    root: Option<OpenSpan>,
+    h_latency: Arc<Histogram>,
+    c_hedges_fired: Arc<Counter>,
+    c_hedges_won: Arc<Counter>,
+    c_replica_failovers: Arc<Counter>,
 }
 
 impl ClusterSearchStream {
@@ -1477,7 +1780,19 @@ impl ClusterSearchStream {
         // Pulls beyond the parallel opens are issued sequentially by the
         // merge, so the max-of-round-trips the absorbs accumulated is NOT
         // what the caller waited for — overwrite with the true wall time.
-        stats.elapsed = self.clock.now().since(self.started);
+        let now = self.clock.now();
+        stats.elapsed = now.since(self.started);
+        self.h_latency.record(stats.elapsed.as_micros());
+        self.c_hedges_fired.add(stats.hedges_fired as u64);
+        self.c_hedges_won.add(stats.hedges_won as u64);
+        self.c_replica_failovers.add(stats.replica_failovers as u64);
+        if let Some(root) = self.root.take() {
+            if root.enabled() {
+                let detail =
+                    format!("streamed groups={} complete={}", answered, unreachable.is_empty());
+                self.obs.spans.finish_with(root, now, detail);
+            }
+        }
         Ok(SearchResponse {
             complete: unreachable.is_empty(),
             unreachable,
@@ -1496,6 +1811,13 @@ impl Drop for ClusterSearchStream {
         if !self.finished {
             for source in &self.sources {
                 source.close_best_effort();
+            }
+        }
+        // A stream abandoned mid-flight still closes its root span, so a
+        // later `dump_trace` assembles a single-rooted tree.
+        if let Some(root) = self.root.take() {
+            if root.enabled() {
+                self.obs.spans.finish_with(root, self.clock.now(), "abandoned".to_string());
             }
         }
     }
@@ -1580,5 +1902,46 @@ mod tests {
         assert!(!cache.contains_key(&FileId::new(1)), "oldest live entry evicted");
         assert!(cache.contains_key(&FileId::new(2)));
         assert!(cache.contains_key(&FileId::new(3)));
+    }
+
+    #[test]
+    fn route_cache_counters_track_every_transition() {
+        let registry = MetricsRegistry::new();
+        let mut cache = RouteCache::with_capacity(2);
+        cache.register_metrics(&registry);
+        let count = |name: &str| registry.counter(name).get();
+
+        assert_eq!(cache.get(&FileId::new(1)), None);
+        assert_eq!(count(names::ROUTE_CACHE_MISSES), 1);
+        cache.insert(FileId::new(1), route(1));
+        assert_eq!(cache.get(&FileId::new(1)), Some(route(1)));
+        assert_eq!(count(names::ROUTE_CACHE_HITS), 1);
+
+        // Filling past capacity evicts exactly one live route.
+        cache.insert(FileId::new(2), route(2));
+        cache.insert(FileId::new(3), route(3));
+        assert_eq!(count(names::ROUTE_CACHE_EVICTIONS), 1);
+        // A superseded order entry popping is NOT an eviction: re-touch
+        // file 3 (new generation), then evict — still one live removal.
+        assert_eq!(cache.get(&FileId::new(3)), Some(route(3)));
+        cache.insert(FileId::new(4), route(4));
+        assert_eq!(count(names::ROUTE_CACHE_EVICTIONS), 2);
+
+        // A Master hint invalidates only resident routes.
+        cache.invalidate(&FileId::new(3));
+        cache.invalidate(&FileId::new(999));
+        assert_eq!(count(names::ROUTE_CACHE_INVALIDATIONS), 1);
+        // A stale-route drop is a plain remove — the batch retry path
+        // discards routes the node rejected, which is not a Master hint.
+        cache.insert(FileId::new(5), route(5));
+        let invalidations_before = count(names::ROUTE_CACHE_INVALIDATIONS);
+        cache.remove(&FileId::new(5));
+        assert_eq!(count(names::ROUTE_CACHE_INVALIDATIONS), invalidations_before);
+        // The `complete: false` hint path clears — every resident route
+        // counts as invalidated.
+        let resident = cache.len() as u64;
+        assert!(resident > 0);
+        cache.clear();
+        assert_eq!(count(names::ROUTE_CACHE_INVALIDATIONS), invalidations_before + resident);
     }
 }

@@ -68,6 +68,20 @@ pub struct ClusterConfig {
     /// primary has the freshest un-replicated state, so single-replica
     /// deployments and strict-freshness tests keep the old behaviour.
     pub follower_reads: bool,
+    /// Trace sampling rate for clients built by [`Cluster::client`]: one
+    /// request in every `trace_sample_every` records a propagated trace
+    /// (see [`FileQueryEngine::with_trace_sampling`]). `0` (the default)
+    /// never samples.
+    pub trace_sample_every: u64,
+    /// Node-side slow-query threshold: a search whose measured service
+    /// time reaches it is captured (plan, stats, spans) in the node's
+    /// bounded slow-query ring, dumpable via [`Cluster::slow_queries`].
+    /// `None` (the default) disables capture.
+    pub slow_query_threshold: Option<Duration>,
+    /// Master switch for node-side metrics recording on the hot paths
+    /// (histograms; counters always run — they feed `NodeStats`). On by
+    /// default; benchmarks flip it off to measure the overhead.
+    pub obs_enabled: bool,
 }
 
 impl Default for ClusterConfig {
@@ -86,6 +100,9 @@ impl Default for ClusterConfig {
             replication: 1,
             hedge_budget: None,
             follower_reads: false,
+            trace_sample_every: 0,
+            slow_query_threshold: None,
+            obs_enabled: true,
         }
     }
 }
@@ -174,7 +191,8 @@ impl Cluster {
         } else {
             MasterNode::new(self.index_nodes.clone(), master_cfg)
         }
-        .with_shared_storage(self.shared.clone());
+        .with_shared_storage(self.shared.clone())
+        .with_clock(self.clock.clone());
         self.handles.push(
             std::thread::Builder::new()
                 .name("propeller-master".into())
@@ -214,6 +232,8 @@ impl Cluster {
             max_search_sessions: config.max_search_sessions,
             data_dir: config.data_dir.as_ref().map(|d| d.join(format!("node-{}", id.raw()))),
             snapshot_wal_ops: config.snapshot_wal_ops,
+            slow_query_threshold: config.slow_query_threshold,
+            obs_enabled: config.obs_enabled,
             ..IndexNodeConfig::default()
         }
     }
@@ -231,7 +251,47 @@ impl Cluster {
             Some(budget) => engine.with_hedge_budget(budget),
             None => engine,
         };
-        engine.with_follower_reads(self.config.follower_reads)
+        engine
+            .with_follower_reads(self.config.follower_reads)
+            .with_trace_sampling(self.config.trace_sample_every)
+    }
+
+    /// Snapshots every reachable lane's metrics registry (the Master and
+    /// every Index Node; dead nodes are skipped) and merges them into one
+    /// cluster-wide view: counters and gauges sum, histograms merge
+    /// bucket-wise — so a p99 read off the merged snapshot is the p99 of
+    /// the **combined** latency population, not an average of per-node
+    /// quantiles.
+    pub fn metrics_snapshot(&self) -> propeller_obs::MetricsSnapshot {
+        let mut merged = propeller_obs::MetricsSnapshot::default();
+        for node in std::iter::once(self.master).chain(self.index_nodes.iter().copied()) {
+            if let Ok(Response::Metrics(snap)) = self.rpc.call(node, Request::Metrics) {
+                merged.merge(&snap);
+            }
+        }
+        merged
+    }
+
+    /// Human-readable cluster-wide metrics exposition: the merged
+    /// [`Cluster::metrics_snapshot`], rendered (counters, gauges, then
+    /// histograms with count / mean / p50 / p95 / p99 / p999 / max).
+    pub fn metrics_report(&self) -> String {
+        self.metrics_snapshot().render()
+    }
+
+    /// Dumps every node's slow-query ring (oldest first per node; dead
+    /// nodes are skipped). Captures only happen when
+    /// [`ClusterConfig::slow_query_threshold`] is set.
+    pub fn slow_queries(&self) -> Vec<propeller_obs::SlowQuery> {
+        let mut out = Vec::new();
+        for node in std::iter::once(self.master).chain(self.index_nodes.iter().copied()) {
+            if let Ok(Response::SlowQueries(mut rows)) =
+                self.rpc.call(node, Request::DumpSlowQueries)
+            {
+                out.append(&mut rows);
+            }
+        }
+        out
     }
 
     /// The fabric handle (tests and benches).
@@ -662,7 +722,12 @@ mod tests {
             let answers: Vec<Vec<propeller_types::FileId>> = replicas
                 .iter()
                 .map(|&node| {
-                    let req = Request::Search { acgs: vec![acg], request: request.clone(), now };
+                    let req = Request::Search {
+                        acgs: vec![acg],
+                        request: request.clone(),
+                        now,
+                        ctx: propeller_obs::TraceContext::NONE,
+                    };
                     match cluster.rpc().call(node, req) {
                         Ok(Response::SearchHits { hits, .. }) => {
                             hits.into_iter().map(|h| h.file).collect()
@@ -752,6 +817,7 @@ mod tests {
                     client: 1000 + s,
                     page: 5,
                     now,
+                    ctx: propeller_obs::TraceContext::NONE,
                 },
             ) {
                 Ok(Response::SearchPage { session, .. }) => {

@@ -23,6 +23,7 @@ use propeller_acg::{bisect, AcgGraph, PartitionConfig};
 use propeller_index::{
     snapshot, AcgEpoch, AcgIndexGroup, EpochSnapshotJob, FileRecord, GroupConfig, IndexSpec, Wal,
 };
+use propeller_obs::{names, Counter, Histogram, Lane, NodeObs, SlowQuery, SpanKind, TraceContext};
 use propeller_query::{
     execute_classic, execute_node_request, ClassicResults, ClassicTask, GlobalCutoff, Hit,
     NodeSearchSession, SearchRequest, SearchStats, SessionPage,
@@ -147,6 +148,12 @@ fn decode_tombstones(bytes: &[u8]) -> Option<TombstoneState> {
 /// One pooled per-ACG search execution and its result.
 type SearchJob = Box<dyn FnOnce() -> (Vec<Hit>, SearchStats) + Send>;
 
+/// Everything a pooled per-ACG scan needs to record its own `AcgExec`
+/// span: the node's span buffer, the parent (node `Search`) span context
+/// and the injected clock. `None` when the request is unsampled — the
+/// scan closures then carry zero tracing overhead.
+type AcgTrace = Option<(Arc<NodeObs>, TraceContext, Arc<dyn Clock>)>;
+
 /// The classic-task executor both the one-shot and the streamed search
 /// paths hand to the query layer: every non-ordered per-ACG scan becomes a
 /// job on the node's persistent worker pool, sharing the node-global
@@ -155,6 +162,7 @@ fn run_classic_on_pool<'a>(
     pool: &'a WorkerPool,
     arcs: &'a [Arc<AcgEpoch>],
     request: &'a Arc<SearchRequest>,
+    trace: AcgTrace,
 ) -> impl FnOnce(Vec<ClassicTask>, Option<&Arc<GlobalCutoff>>) -> ClassicResults + 'a {
     move |tasks, cutoff| {
         let jobs: Vec<SearchJob> = tasks
@@ -163,12 +171,54 @@ fn run_classic_on_pool<'a>(
                 let group = Arc::clone(&arcs[task.group]);
                 let request = Arc::clone(request);
                 let cutoff = cutoff.cloned();
-                Box::new(move || execute_classic(&group, &request, task.plan, cutoff.as_deref()))
-                    as SearchJob
+                let trace = trace.clone();
+                Box::new(move || match trace {
+                    Some((obs, parent, clock)) => {
+                        let open = obs.spans.begin(parent, SpanKind::AcgExec, clock.now());
+                        let out = execute_classic(&group, &request, task.plan, cutoff.as_deref());
+                        obs.spans.finish_with(open, clock.now(), group.id().to_string());
+                        out
+                    }
+                    None => execute_classic(&group, &request, task.plan, cutoff.as_deref()),
+                }) as SearchJob
             })
             .collect();
         pool.run(jobs)
     }
+}
+
+/// Captures a finished search exchange into the node's slow-query ring
+/// when its measured service time reaches the configured threshold: the
+/// rendered request, the per-ACG plan (access paths), the full stats and
+/// a copy of the spans this lane recorded for the trace (left in place
+/// for later `DumpTrace` assembly).
+fn note_if_slow(
+    obs: &NodeObs,
+    slow_after: Option<Duration>,
+    ctx: TraceContext,
+    finished: Timestamp,
+    request: &SearchRequest,
+    stats: &SearchStats,
+) {
+    let Some(threshold) = slow_after else { return };
+    if stats.elapsed < threshold {
+        return;
+    }
+    obs.metrics.counter(names::SLOW_QUERIES).inc();
+    obs.slow.note(SlowQuery {
+        trace: ctx.trace,
+        lane: obs.spans.lane(),
+        at: finished,
+        elapsed: stats.elapsed,
+        query: format!("{request:?}"),
+        plan: stats
+            .access_paths
+            .iter()
+            .map(|&(acg, kind)| (acg.raw(), format!("{kind:?}")))
+            .collect(),
+        stats: format!("{stats:?}"),
+        spans: obs.spans.collect(ctx.trace),
+    });
 }
 
 /// One suspended streamed search plus its eviction bookkeeping. The
@@ -278,7 +328,11 @@ struct SnapshotWriter {
 }
 
 impl SnapshotWriter {
-    fn spawn(gate: Arc<(Mutex<bool>, Condvar)>) -> Self {
+    fn spawn(
+        gate: Arc<(Mutex<bool>, Condvar)>,
+        clock: Arc<dyn Clock>,
+        durations: Arc<Histogram>,
+    ) -> Self {
         let (tx, rx) = std::sync::mpsc::channel::<SnapshotTask>();
         let (done_tx, done_rx) = std::sync::mpsc::channel();
         std::thread::Builder::new()
@@ -295,7 +349,9 @@ impl SnapshotWriter {
                                 held = cv.wait(held).unwrap_or_else(PoisonError::into_inner);
                             }
                             drop(held);
+                            let t0 = clock.now();
                             let ok = job.write().is_ok();
+                            durations.record(clock.now().since(t0).as_micros());
                             if done_tx.send((acg, job.lsn, ok)).is_err() {
                                 return;
                             }
@@ -351,6 +407,13 @@ pub struct IndexNodeConfig {
     /// Snapshot a durable group once this many ops have been logged since
     /// its last snapshot (recovery replay stays O(delta)).
     pub snapshot_wal_ops: u64,
+    /// Capture any search whose node-side service time reaches this
+    /// threshold into the slow-query ring (plan, stats, spans; see
+    /// `Request::DumpSlowQueries`). `None` (the default) disables capture.
+    pub slow_query_threshold: Option<Duration>,
+    /// Record per-request metrics (latency histograms) on the hot paths.
+    /// On by default; benches turn it off to measure the baseline.
+    pub obs_enabled: bool,
 }
 
 impl Default for IndexNodeConfig {
@@ -367,6 +430,8 @@ impl Default for IndexNodeConfig {
             data_dir: None,
             snapshot_wal_bytes: 4 << 20,
             snapshot_wal_ops: 10_000,
+            slow_query_threshold: None,
+            obs_enabled: true,
         }
     }
 }
@@ -406,14 +471,26 @@ pub struct IndexNode {
     /// [`IndexNodeConfig::max_search_sessions`]); shared with the pool
     /// jobs that open and pull them.
     sessions: Arc<SessionTable>,
-    searches_served: u64,
-    ops_received: u64,
+    /// This node's observability bundle (metrics registry, span buffer,
+    /// slow-query ring), shared with pool jobs and the snapshot writer.
+    obs: Arc<NodeObs>,
+    /// Registry-backed counters, cached as handles so hot paths never
+    /// take the registry's name-lookup lock. [`Request::NodeStats`] and
+    /// [`Request::Metrics`] read the same cells.
+    searches_served: Arc<Counter>,
+    ops_received: Arc<Counter>,
     /// Epochs published by this node (non-empty commits). Shared with
     /// running search jobs so they can witness commits that overlapped
     /// their execution ([`SearchStats::commits_during_search`]).
-    commits: Arc<AtomicU64>,
+    commits: Arc<Counter>,
     /// Snapshot jobs handed to the background writer so far.
-    snapshots_offloaded: u64,
+    snapshots_offloaded: Arc<Counter>,
+    /// Cached latency histograms (same no-lock rationale).
+    h_search: Arc<Histogram>,
+    h_pull: Arc<Histogram>,
+    h_ingest: Arc<Histogram>,
+    h_fsync: Arc<Histogram>,
+    h_epoch_pin: Arc<Histogram>,
     /// Lazily-spawned background snapshot writer (durable nodes only).
     snapshot_writer: Option<SnapshotWriter>,
     /// Pause gate the writer checks before each write (test hook).
@@ -425,8 +502,8 @@ impl std::fmt::Debug for IndexNode {
         f.debug_struct("IndexNode")
             .field("id", &self.id)
             .field("acgs", &self.groups.len())
-            .field("searches_served", &self.searches_served)
-            .field("ops_received", &self.ops_received)
+            .field("searches_served", &self.searches_served.get())
+            .field("ops_received", &self.ops_received.get())
             .finish()
     }
 }
@@ -440,6 +517,7 @@ impl IndexNode {
             config.max_search_sessions,
             config.max_search_sessions_per_client,
         ));
+        let obs = Arc::new(NodeObs::new(Lane::Node(id.raw() as u64)));
         IndexNode {
             id,
             config,
@@ -452,13 +530,25 @@ impl IndexNode {
             tombstone_order: std::collections::VecDeque::new(),
             tombstone_gen: 0,
             sessions,
-            searches_served: 0,
-            ops_received: 0,
-            commits: Arc::new(AtomicU64::new(0)),
-            snapshots_offloaded: 0,
+            searches_served: obs.metrics.counter(names::SEARCHES_SERVED),
+            ops_received: obs.metrics.counter(names::OPS_RECEIVED),
+            commits: obs.metrics.counter(names::COMMITS_PUBLISHED),
+            snapshots_offloaded: obs.metrics.counter(names::SNAPSHOTS_OFFLOADED),
+            h_search: obs.metrics.histogram(names::SEARCH_LATENCY),
+            h_pull: obs.metrics.histogram(names::PULL_LATENCY),
+            h_ingest: obs.metrics.histogram(names::INGEST_LATENCY),
+            h_fsync: obs.metrics.histogram(names::WAL_FSYNC),
+            h_epoch_pin: obs.metrics.histogram(names::EPOCH_PIN_WAIT),
+            obs,
             snapshot_writer: None,
             snapshot_gate: Arc::new((Mutex::new(false), Condvar::new())),
         }
+    }
+
+    /// This node's observability bundle (tests and embeddings; the RPC
+    /// surface is `DumpTrace` / `Metrics` / `DumpSlowQueries`).
+    pub fn obs(&self) -> &Arc<NodeObs> {
+        &self.obs
     }
 
     /// Opens a node, restoring every durable group from disk when a
@@ -565,7 +655,7 @@ impl IndexNode {
 
     /// `(searches served, ops received)` counters.
     pub fn stats(&self) -> (u64, u64) {
-        (self.searches_served, self.ops_received)
+        (self.searches_served.get(), self.ops_received.get())
     }
 
     fn group_mut(&mut self, acg: AcgId) -> Result<&mut AcgIndexGroup, Error> {
@@ -582,13 +672,13 @@ impl IndexNode {
 
     /// Commits the group, counting a published epoch when ops applied.
     fn commit_group(
-        commits: &AtomicU64,
+        commits: &Counter,
         group: &mut AcgIndexGroup,
         now: Timestamp,
     ) -> Result<usize, Error> {
         let n = group.commit(now)?;
         if n > 0 {
-            commits.fetch_add(1, Ordering::Relaxed);
+            commits.inc();
         }
         Ok(n)
     }
@@ -597,7 +687,11 @@ impl IndexNode {
     /// nodes never pay for the thread).
     fn writer(&mut self) -> &SnapshotWriter {
         if self.snapshot_writer.is_none() {
-            self.snapshot_writer = Some(SnapshotWriter::spawn(Arc::clone(&self.snapshot_gate)));
+            self.snapshot_writer = Some(SnapshotWriter::spawn(
+                Arc::clone(&self.snapshot_gate),
+                Arc::clone(&self.clock),
+                self.obs.metrics.histogram(names::SNAPSHOT_DURATION),
+            ));
         }
         self.snapshot_writer.as_ref().expect("just spawned")
     }
@@ -653,12 +747,12 @@ impl IndexNode {
 
     /// Background snapshot jobs handed to the writer thread so far.
     pub fn snapshots_offloaded(&self) -> u64 {
-        self.snapshots_offloaded
+        self.snapshots_offloaded.get()
     }
 
     /// Epochs published (non-empty commits) by this node so far.
     pub fn commits_published(&self) -> u64 {
-        self.commits.load(Ordering::Relaxed)
+        self.commits.get()
     }
 
     /// Commits a durable group and offloads a snapshot to the background
@@ -680,7 +774,7 @@ impl IndexNode {
             && Self::commit_group(&commits, group, now).is_ok()
         {
             if let Some(job) = group.begin_snapshot() {
-                self.snapshots_offloaded += 1;
+                self.snapshots_offloaded.inc();
                 let _ = self.writer().tx.send(SnapshotTask::Write { acg, job });
             }
         }
@@ -785,17 +879,33 @@ impl IndexNode {
     /// so ingest never blocks reads and reads never block ingest.
     pub fn handle_deferred(&mut self, req: Request, reply: impl FnOnce(Response) + Send + 'static) {
         match req {
-            Request::Search { acgs, request, now } => {
-                self.searches_served += 1;
+            Request::Search { acgs, request, now, ctx } => {
+                self.searches_served.inc();
                 let started = self.clock.now();
+                let span = self.obs.spans.begin(ctx, SpanKind::Search, started);
                 let epochs = match self.commit_for_search(&acgs, now) {
                     Ok(epochs) => epochs,
                     Err(e) => return reply(Response::Err(e)),
                 };
+                // The commit-before-search prefix is the epoch-pin wait:
+                // everything after it reads immutable pins.
+                let pinned = self.clock.now();
+                if self.config.obs_enabled {
+                    self.h_epoch_pin.record(pinned.since(started).as_micros());
+                }
+                if span.enabled() {
+                    let pin = self.obs.spans.begin(span.ctx(), SpanKind::EpochPin, started);
+                    self.obs.spans.finish(pin, pinned);
+                }
                 let pool = Arc::clone(&self.pool);
                 let clock = Arc::clone(&self.clock);
                 let commits = Arc::clone(&self.commits);
-                let commits_before = commits.load(Ordering::Relaxed);
+                let commits_before = commits.get();
+                let obs = Arc::clone(&self.obs);
+                let obs_enabled = self.config.obs_enabled;
+                let slow_after = self.config.slow_query_threshold;
+                let h_search = Arc::clone(&self.h_search);
+                let node_id = self.id;
                 self.pool.submit(move || {
                     // Execution phase, under the node-global k cutoff:
                     // ordered-planned groups become lazy candidate streams
@@ -806,10 +916,12 @@ impl IndexNode {
                     // the pinned epochs.
                     let refs: Vec<&AcgEpoch> = epochs.iter().map(Arc::as_ref).collect();
                     let request = Arc::new(request);
+                    let acg_trace: AcgTrace =
+                        span.enabled().then(|| (Arc::clone(&obs), span.ctx(), Arc::clone(&clock)));
                     let (hits, mut stats) = execute_node_request(
                         &refs,
                         request.as_ref(),
-                        run_classic_on_pool(&pool, &epochs, &request),
+                        run_classic_on_pool(&pool, &epochs, &request, acg_trace),
                     );
                     // The whole answer ships in this one exchange — the
                     // baseline the streamed session path is measured
@@ -817,15 +929,28 @@ impl IndexNode {
                     stats.pages_pulled = 1;
                     stats.hits_shipped = hits.len();
                     stats.epoch_pins = epochs.len();
-                    stats.commits_during_search =
-                        (commits.load(Ordering::Relaxed) - commits_before) as usize;
-                    stats.elapsed = clock.now().since(started);
+                    stats.commits_during_search = (commits.get() - commits_before) as usize;
+                    let finished = clock.now();
+                    stats.elapsed = finished.since(started);
+                    stats.node_elapsed = vec![(node_id, stats.elapsed)];
+                    if obs_enabled {
+                        h_search.record(stats.elapsed.as_micros());
+                    }
+                    if span.enabled() {
+                        obs.spans.finish_with(
+                            span,
+                            finished,
+                            format!("acgs={} hits={}", stats.epoch_pins, hits.len()),
+                        );
+                    }
+                    note_if_slow(&obs, slow_after, ctx, finished, &request, &stats);
                     reply(Response::SearchHits { hits, stats });
                 });
             }
-            Request::OpenSearch { acgs, request, client, page, now } => {
-                self.searches_served += 1;
+            Request::OpenSearch { acgs, request, client, page, now, ctx } => {
+                self.searches_served.inc();
                 let started = self.clock.now();
+                let span = self.obs.spans.begin(ctx, SpanKind::Search, started);
                 // Commit-then-search, exactly as for a one-shot Search;
                 // later pulls do NOT re-commit — the session pages the
                 // epochs pinned here for its whole lifetime, so every
@@ -834,24 +959,38 @@ impl IndexNode {
                     Ok(epochs) => epochs,
                     Err(e) => return reply(Response::Err(e)),
                 };
+                let pinned = self.clock.now();
+                if self.config.obs_enabled {
+                    self.h_epoch_pin.record(pinned.since(started).as_micros());
+                }
+                if span.enabled() {
+                    let pin = self.obs.spans.begin(span.ctx(), SpanKind::EpochPin, started);
+                    self.obs.spans.finish(pin, pinned);
+                }
                 let pool = Arc::clone(&self.pool);
                 let clock = Arc::clone(&self.clock);
                 let commits = Arc::clone(&self.commits);
-                let commits_before = commits.load(Ordering::Relaxed);
+                let commits_before = commits.get();
                 let sessions = Arc::clone(&self.sessions);
+                let obs = Arc::clone(&self.obs);
+                let obs_enabled = self.config.obs_enabled;
+                let slow_after = self.config.slow_query_threshold;
+                let h_search = Arc::clone(&self.h_search);
+                let node_id = self.id;
                 self.pool.submit(move || {
                     let request = Arc::new(request);
+                    let acg_trace: AcgTrace =
+                        span.enabled().then(|| (Arc::clone(&obs), span.ctx(), Arc::clone(&clock)));
                     let (mut session, mut stats) = NodeSearchSession::open(
                         &epochs,
                         request.as_ref(),
-                        run_classic_on_pool(&pool, &epochs, &request),
+                        run_classic_on_pool(&pool, &epochs, &request, acg_trace),
                     );
                     let SessionPage { hits, stats: page_stats, exhausted } =
                         session.pull_pinned(page);
                     stats.absorb(page_stats);
                     stats.epoch_pins = epochs.len();
-                    stats.commits_during_search =
-                        (commits.load(Ordering::Relaxed) - commits_before) as usize;
+                    stats.commits_during_search = (commits.get() - commits_before) as usize;
                     let session_id = if exhausted {
                         // Nothing left: report the final accounting now and
                         // never store the session (0 = do not pull or
@@ -861,14 +1000,32 @@ impl IndexNode {
                     } else {
                         sessions.store(client, session)
                     };
-                    stats.elapsed = clock.now().since(started);
+                    let finished = clock.now();
+                    stats.elapsed = finished.since(started);
+                    stats.node_elapsed = vec![(node_id, stats.elapsed)];
+                    if obs_enabled {
+                        h_search.record(stats.elapsed.as_micros());
+                    }
+                    if span.enabled() {
+                        obs.spans.finish_with(
+                            span,
+                            finished,
+                            format!("open session={session_id} hits={}", hits.len()),
+                        );
+                    }
+                    note_if_slow(&obs, slow_after, ctx, finished, &request, &stats);
                     reply(Response::SearchPage { session: session_id, hits, stats, exhausted });
                 });
             }
-            Request::PullHits { session, page } => {
+            Request::PullHits { session, page, ctx } => {
                 let started = self.clock.now();
+                let span = self.obs.spans.begin(ctx, SpanKind::Pull, started);
                 let clock = Arc::clone(&self.clock);
                 let sessions = Arc::clone(&self.sessions);
+                let obs = Arc::clone(&self.obs);
+                let obs_enabled = self.config.obs_enabled;
+                let h_pull = Arc::clone(&self.h_pull);
+                let node_id = self.id;
                 self.pool.submit(move || {
                     let Some(slot) = sessions.checkout(session) else {
                         return reply(Response::Err(Error::SearchSessionExpired { session }));
@@ -882,7 +1039,19 @@ impl IndexNode {
                         drop(guard);
                         sessions.remove(session);
                     }
-                    stats.elapsed = clock.now().since(started);
+                    let finished = clock.now();
+                    stats.elapsed = finished.since(started);
+                    stats.node_elapsed = vec![(node_id, stats.elapsed)];
+                    if obs_enabled {
+                        h_pull.record(stats.elapsed.as_micros());
+                    }
+                    if span.enabled() {
+                        obs.spans.finish_with(
+                            span,
+                            finished,
+                            format!("session={session} hits={}", hits.len()),
+                        );
+                    }
                     reply(Response::SearchPage { session, hits, stats, exhausted });
                 });
             }
@@ -893,7 +1062,7 @@ impl IndexNode {
     /// The inline (actor-thread) arms of the request match.
     fn handle_sync(&mut self, req: Request) -> Response {
         match req {
-            Request::IndexBatch { acg, ops, now } => {
+            Request::IndexBatch { acg, ops, now, ctx } => {
                 // Reject ops for files migrated out of this ACG: the client
                 // is using a route that moved. It drops its cache entry,
                 // re-resolves through the Master and retries.
@@ -902,7 +1071,15 @@ impl IndexNode {
                         return Response::Err(Error::StaleRoute { acg, file: op.file() });
                     }
                 }
-                self.ops_received += ops.len() as u64;
+                let started = self.clock.now();
+                let span = self.obs.spans.begin(ctx, SpanKind::Ingest, started);
+                let obs = Arc::clone(&self.obs);
+                let clock = Arc::clone(&self.clock);
+                let obs_enabled = self.config.obs_enabled;
+                let h_ingest = Arc::clone(&self.h_ingest);
+                let h_fsync = Arc::clone(&self.h_fsync);
+                let n_ops = ops.len();
+                self.ops_received.add(n_ops as u64);
                 let group = match self.group_mut(acg) {
                     Ok(group) => group,
                     Err(e) => return Response::Err(e),
@@ -918,18 +1095,41 @@ impl IndexNode {
                 // only once its frame is on stable storage.
                 let durable = group.is_durable();
                 if durable {
+                    let f0 = clock.now();
                     if let Err(e) = group.sync_wal() {
                         return Response::Err(e);
                     }
+                    let f1 = clock.now();
+                    if obs_enabled {
+                        h_fsync.record(f1.since(f0).as_micros());
+                    }
+                    if span.enabled() {
+                        let fsync = obs.spans.begin(span.ctx(), SpanKind::WalFsync, f0);
+                        obs.spans.finish(fsync, f1);
+                    }
                     self.maybe_snapshot(acg, now);
+                }
+                let finished = clock.now();
+                if obs_enabled {
+                    h_ingest.record(finished.since(started).as_micros());
+                }
+                if span.enabled() {
+                    obs.spans.finish_with(span, finished, format!("{acg} ops={n_ops} lsn={lsn}"));
                 }
                 Response::BatchLogged { lsn }
             }
-            Request::ReplicateBatch { acg, lsn, ops, now } => {
+            Request::ReplicateBatch { acg, lsn, ops, now, ctx } => {
                 // No stale-route check here: the primary already validated
                 // the batch's routes when it logged the frame; a replicated
                 // frame must apply verbatim or replicas diverge.
-                self.ops_received += ops.len() as u64;
+                let started = self.clock.now();
+                let span = self.obs.spans.begin(ctx, SpanKind::Replicate, started);
+                let obs = Arc::clone(&self.obs);
+                let clock = Arc::clone(&self.clock);
+                let obs_enabled = self.config.obs_enabled;
+                let h_fsync = Arc::clone(&self.h_fsync);
+                let n_ops = ops.len();
+                self.ops_received.add(n_ops as u64);
                 let commits = Arc::clone(&self.commits);
                 let group = match self.group_mut(acg) {
                     Ok(group) => group,
@@ -949,8 +1149,17 @@ impl IndexNode {
                     return Response::Err(e);
                 }
                 if group.is_durable() {
+                    let f0 = clock.now();
                     if let Err(e) = group.sync_wal() {
                         return Response::Err(e);
+                    }
+                    let f1 = clock.now();
+                    if obs_enabled {
+                        h_fsync.record(f1.since(f0).as_micros());
+                    }
+                    if span.enabled() {
+                        let fsync = obs.spans.begin(span.ctx(), SpanKind::WalFsync, f0);
+                        obs.spans.finish(fsync, f1);
                     }
                 }
                 // Followers commit eagerly: a replica is only useful if a
@@ -963,6 +1172,10 @@ impl IndexNode {
                 let lsn = group.last_lsn();
                 if group.is_durable() {
                     self.maybe_snapshot(acg, now);
+                }
+                if span.enabled() {
+                    let finished = clock.now();
+                    obs.spans.finish_with(span, finished, format!("{acg} ops={n_ops} lsn={lsn}"));
                 }
                 Response::ReplicaApplied { lsn }
             }
@@ -1269,12 +1482,22 @@ impl IndexNode {
                     node: self.id,
                     acgs: self.groups.len(),
                     open_sessions: self.sessions.len(),
-                    searches_served: self.searches_served,
-                    ops_received: self.ops_received,
-                    commits_published: self.commits.load(Ordering::Relaxed),
-                    snapshots_offloaded: self.snapshots_offloaded,
+                    searches_served: self.searches_served.get(),
+                    ops_received: self.ops_received.get(),
+                    commits_published: self.commits.get(),
+                    snapshots_offloaded: self.snapshots_offloaded.get(),
                 }
             }
+            Request::DumpTrace { trace } => Response::TraceSpans(self.obs.spans.harvest(trace)),
+            Request::Metrics => {
+                self.drain_snapshot_completions();
+                // Occupancy gauges are sampled at snapshot time — they are
+                // instantaneous facts, not monotone counts.
+                self.obs.metrics.gauge(names::OPEN_SESSIONS).set(self.sessions.len() as u64);
+                self.obs.metrics.gauge(names::ACGS_HOSTED).set(self.groups.len() as u64);
+                Response::Metrics(Box::new(self.obs.metrics.snapshot()))
+            }
+            Request::DumpSlowQueries => Response::SlowQueries(self.obs.slow.dump()),
             Request::Heartbeat { .. } => {
                 // The runtime turns our summaries into the heartbeat; an
                 // inbound Heartbeat is a protocol error.
@@ -1317,7 +1540,12 @@ mod tests {
     fn search(n: &mut IndexNode, acgs: Vec<AcgId>, text: &str) -> Vec<FileId> {
         let q = Query::parse(text, t(0)).unwrap();
         let request = propeller_query::SearchRequest::new(q.predicate);
-        match n.handle(Request::Search { acgs, request, now: t(100) }) {
+        match n.handle(Request::Search {
+            acgs,
+            request,
+            now: t(100),
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::SearchHits { hits, .. } => hits.into_iter().map(|h| h.file).collect(),
             other => panic!("{other:?}"),
         }
@@ -1331,6 +1559,7 @@ mod tests {
             acg,
             ops: (0..50).map(|i| IndexOp::Upsert(rec(i, i << 20))).collect(),
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         let hits = search(&mut n, vec![acg], "size>16m");
         assert_eq!(hits.len(), 33, "sizes 17..49 MiB");
@@ -1344,6 +1573,7 @@ mod tests {
             acg,
             ops: vec![IndexOp::Upsert(rec(1, 1 << 30))],
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         // No tick, no timeout elapsed — search must still see the file.
         let hits = search(&mut n, vec![acg], "size>512m");
@@ -1358,6 +1588,7 @@ mod tests {
                 acg: AcgId::new(acg),
                 ops: vec![IndexOp::Upsert(rec(acg * 10, 1 << 25))],
                 now: t(0),
+                ctx: propeller_obs::TraceContext::NONE,
             });
         }
         let hits = search(&mut n, (1..=3).map(AcgId::new).collect(), "size>16m");
@@ -1374,7 +1605,12 @@ mod tests {
     fn tick_commits_timed_out_caches() {
         let mut n = node();
         let acg = AcgId::new(1);
-        n.handle(Request::IndexBatch { acg, ops: vec![IndexOp::Upsert(rec(1, 100))], now: t(0) });
+        n.handle(Request::IndexBatch {
+            acg,
+            ops: vec![IndexOp::Upsert(rec(1, 100))],
+            now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
+        });
         assert_eq!(n.groups[&acg].pending_ops(), 1);
         n.handle(Request::Tick { now: t(1) }); // before timeout
         assert_eq!(n.groups[&acg].pending_ops(), 1);
@@ -1405,6 +1641,7 @@ mod tests {
             acg,
             ops: (0..10).chain(100..110).map(|i| IndexOp::Upsert(rec(i, i))).collect(),
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         match n.handle(Request::SplitAcg { acg }) {
             Response::SplitHalves { left, right } => {
@@ -1429,6 +1666,7 @@ mod tests {
             acg,
             ops: (0..20).map(|i| IndexOp::Upsert(rec(i, i << 20))).collect(),
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         src.handle(Request::FlushAcgDelta {
             acg,
@@ -1464,6 +1702,7 @@ mod tests {
             acg: AcgId::new(1),
             ops: vec![IndexOp::Upsert(rec(1, 5))],
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         let spec = IndexSpec::btree("uid_idx", propeller_types::AttrName::Uid);
         assert!(matches!(n.handle(Request::CreateIndex { spec }), Response::Ok));
@@ -1473,6 +1712,7 @@ mod tests {
             acg: AcgId::new(2),
             ops: vec![IndexOp::Upsert(rec(2, 5))],
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         assert!(n.groups[&AcgId::new(2)].index_specs().iter().any(|s| s.name == "uid_idx"));
     }
@@ -1484,6 +1724,7 @@ mod tests {
             acg: AcgId::new(3),
             ops: vec![IndexOp::Upsert(rec(1, 5)), IndexOp::Upsert(rec(2, 6))],
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         match n.heartbeat(t(1)) {
             Request::Heartbeat { node, acgs, .. } => {
@@ -1506,6 +1747,7 @@ mod tests {
             acg,
             ops: (0..20).map(|i| IndexOp::Upsert(rec(i, i))).collect(),
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         // Commit via a search so the 20 files are indexed.
         search(&mut n, vec![acg], "size>=0");
@@ -1517,7 +1759,12 @@ mod tests {
         ops.push(IndexOp::Remove(FileId::new(2)));
         ops.push(IndexOp::Upsert(rec(100, 1)));
         ops.push(IndexOp::Upsert(rec(101, 1)));
-        n.handle(Request::IndexBatch { acg, ops, now: t(1) });
+        n.handle(Request::IndexBatch {
+            acg,
+            ops,
+            now: t(1),
+            ctx: propeller_obs::TraceContext::NONE,
+        });
         match n.heartbeat(t(2)) {
             Request::Heartbeat { acgs, .. } => {
                 assert_eq!(acgs[0].pending_ops, 25, "the raw backlog is still visible");
@@ -1551,6 +1798,7 @@ mod tests {
                         })
                         .collect(),
                     now: t(0),
+                    ctx: propeller_obs::TraceContext::NONE,
                 });
             }
             n
@@ -1563,6 +1811,7 @@ mod tests {
             acgs: (1..=ACGS).map(AcgId::new).collect(),
             request: request.clone(),
             now: t(100),
+            ctx: propeller_obs::TraceContext::NONE,
         }) {
             Response::SearchHits { hits, stats } => (hits, stats),
             other => panic!("{other:?}"),
@@ -1598,6 +1847,7 @@ mod tests {
             acg,
             ops: (0..20).map(|i| IndexOp::Upsert(rec(i, i))).collect(),
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         let moved: Vec<FileId> = (10..20).map(FileId::new).collect();
         n.handle(Request::ExtractAcgPart { acg, files: moved });
@@ -1607,6 +1857,7 @@ mod tests {
             acg,
             ops: vec![IndexOp::Upsert(rec(15, 1 << 20))],
             now: t(1),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         assert!(
             matches!(resp, Response::Err(Error::StaleRoute { file, .. }) if file == FileId::new(15)),
@@ -1617,6 +1868,7 @@ mod tests {
             acg,
             ops: vec![IndexOp::Upsert(rec(5, 1 << 20))],
             now: t(1),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         assert!(matches!(resp, Response::BatchLogged { .. }), "{resp:?}");
     }
@@ -1632,6 +1884,7 @@ mod tests {
                     .map(|i| IndexOp::Upsert(rec(acg * 100 + i, (acg * 100 + i) << 20)))
                     .collect(),
                 now: t(0),
+                ctx: propeller_obs::TraceContext::NONE,
             });
         }
         let q = Query::parse("size>0", t(0)).unwrap();
@@ -1642,6 +1895,7 @@ mod tests {
             acgs: (1..=3).map(AcgId::new).collect(),
             request,
             now: t(100),
+            ctx: propeller_obs::TraceContext::NONE,
         }) {
             Response::SearchHits { hits, stats } => (hits, stats),
             other => panic!("{other:?}"),
@@ -1665,17 +1919,26 @@ mod tests {
             acg,
             ops: (0..10).map(|i| IndexOp::Upsert(rec(i, i))).collect(),
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         n.handle(Request::ExtractAcgPart { acg, files: (0..10).map(FileId::new).collect() });
         assert_eq!(n.tombstone_order.len(), 5, "cap enforced");
         // The oldest tombstones were evicted: a stale batch for file 0 is
         // accepted again (degrades to pre-tombstone behaviour)...
-        let resp =
-            n.handle(Request::IndexBatch { acg, ops: vec![IndexOp::Upsert(rec(0, 1))], now: t(1) });
+        let resp = n.handle(Request::IndexBatch {
+            acg,
+            ops: vec![IndexOp::Upsert(rec(0, 1))],
+            now: t(1),
+            ctx: propeller_obs::TraceContext::NONE,
+        });
         assert!(matches!(resp, Response::BatchLogged { .. }), "{resp:?}");
         // ...while the newest are still rejected.
-        let resp =
-            n.handle(Request::IndexBatch { acg, ops: vec![IndexOp::Upsert(rec(9, 1))], now: t(1) });
+        let resp = n.handle(Request::IndexBatch {
+            acg,
+            ops: vec![IndexOp::Upsert(rec(9, 1))],
+            now: t(1),
+            ctx: propeller_obs::TraceContext::NONE,
+        });
         assert!(matches!(resp, Response::Err(Error::StaleRoute { .. })), "{resp:?}");
     }
 
@@ -1687,6 +1950,7 @@ mod tests {
                 acg: AcgId::new(acg),
                 ops: vec![IndexOp::Upsert(rec(acg, 5))],
                 now: t(0),
+                ctx: propeller_obs::TraceContext::NONE,
             });
         }
         // Pre-seed one group with the name so the broadcast fails there.
@@ -1716,6 +1980,7 @@ mod tests {
             acg: AcgId::new(1),
             ops: vec![IndexOp::Upsert(rec(1, 5))],
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         let spec = IndexSpec::btree("uid_idx", propeller_types::AttrName::Uid);
         n.handle(Request::CreateIndex { spec });
@@ -1725,6 +1990,7 @@ mod tests {
             acg: AcgId::new(2),
             ops: vec![IndexOp::Upsert(rec(2, 5))],
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         assert!(!n.groups[&AcgId::new(2)].index_specs().iter().any(|s| s.name == "uid_idx"));
     }
@@ -1744,6 +2010,7 @@ mod tests {
                         .map(|i| IndexOp::Upsert(rec(acg * 1000 + i, ((acg * 7 + i) % 500) << 10)))
                         .collect(),
                     now: t(0),
+                    ctx: propeller_obs::TraceContext::NONE,
                 });
             }
             n
@@ -1764,6 +2031,7 @@ mod tests {
                 acgs: (1..=16).map(AcgId::new).collect(),
                 request: request.clone(),
                 now: t(100),
+                ctx: propeller_obs::TraceContext::NONE,
             }) {
                 Response::SearchHits { hits, stats } => (hits, stats),
                 other => panic!("{other:?}"),
@@ -1799,10 +2067,16 @@ mod tests {
             acg,
             ops: vec![IndexOp::Upsert(rec(1, 1 << 20))],
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         let q = Query::parse("size>0", t(0)).unwrap();
         let request = propeller_query::SearchRequest::new(q.predicate);
-        match n.handle(Request::Search { acgs: vec![acg], request, now: t(100) }) {
+        match n.handle(Request::Search {
+            acgs: vec![acg],
+            request,
+            now: t(100),
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::SearchHits { stats, .. } => {
                 assert!(
                     stats.elapsed >= Duration::from_millis(1),
@@ -1832,6 +2106,7 @@ mod tests {
                     })
                     .collect(),
                 now: t(0),
+                ctx: propeller_obs::TraceContext::NONE,
             });
         }
     }
@@ -1849,6 +2124,7 @@ mod tests {
             client,
             page,
             now: t(100),
+            ctx: propeller_obs::TraceContext::NONE,
         }) {
             Response::SearchPage { session, hits, stats, exhausted } => {
                 (session, hits, stats, exhausted)
@@ -1866,6 +2142,7 @@ mod tests {
             acgs: (1..=4).map(AcgId::new).collect(),
             request: request.clone(),
             now: t(100),
+            ctx: propeller_obs::TraceContext::NONE,
         }) {
             Response::SearchHits { hits, stats } => {
                 assert_eq!(stats.hits_shipped, hits.len(), "one-shot ships everything at once");
@@ -1879,7 +2156,11 @@ mod tests {
         let mut pulls = 0;
         while !exhausted {
             pulls += 1;
-            match n.handle(Request::PullHits { session, page: 8 }) {
+            match n.handle(Request::PullHits {
+                session,
+                page: 8,
+                ctx: propeller_obs::TraceContext::NONE,
+            }) {
                 Response::SearchPage { hits, exhausted: done, stats, .. } => {
                     assert!(stats.hits_shipped <= 8);
                     all.extend(hits);
@@ -1905,18 +2186,26 @@ mod tests {
         let (s2, ..) = open(&mut n, 2, &request, 2, 4);
         // Touch s1 so s2 becomes the LRU victim.
         assert!(matches!(
-            n.handle(Request::PullHits { session: s1, page: 4 }),
+            n.handle(Request::PullHits {
+                session: s1,
+                page: 4,
+                ctx: propeller_obs::TraceContext::NONE
+            }),
             Response::SearchPage { .. }
         ));
         let (s3, ..) = open(&mut n, 2, &request, 3, 4);
         assert_eq!(n.open_sessions(), 2);
         assert!(matches!(
-            n.handle(Request::PullHits { session: s2, page: 4 }),
+            n.handle(Request::PullHits { session: s2, page: 4 , ctx: propeller_obs::TraceContext::NONE }),
             Response::Err(Error::SearchSessionExpired { session }) if session == s2
         ));
         for live in [s1, s3] {
             assert!(matches!(
-                n.handle(Request::PullHits { session: live, page: 4 }),
+                n.handle(Request::PullHits {
+                    session: live,
+                    page: 4,
+                    ctx: propeller_obs::TraceContext::NONE
+                }),
                 Response::SearchPage { .. }
             ));
         }
@@ -1934,12 +2223,20 @@ mod tests {
         let (s2, ..) = open(&mut n, 2, &request, 1, 4); // same client: evicts s1
         let (s3, ..) = open(&mut n, 2, &request, 2, 4); // other client: fine
         assert!(matches!(
-            n.handle(Request::PullHits { session: s1, page: 4 }),
+            n.handle(Request::PullHits {
+                session: s1,
+                page: 4,
+                ctx: propeller_obs::TraceContext::NONE
+            }),
             Response::Err(Error::SearchSessionExpired { .. })
         ));
         for live in [s2, s3] {
             assert!(matches!(
-                n.handle(Request::PullHits { session: live, page: 4 }),
+                n.handle(Request::PullHits {
+                    session: live,
+                    page: 4,
+                    ctx: propeller_obs::TraceContext::NONE
+                }),
                 Response::SearchPage { .. }
             ));
         }
@@ -1960,6 +2257,7 @@ mod tests {
             acgs: (1..=3).map(AcgId::new).collect(),
             request: request.clone(),
             now: t(100),
+            ctx: propeller_obs::TraceContext::NONE,
         }) {
             Response::SearchHits { hits, .. } => hits,
             other => panic!("{other:?}"),
@@ -1969,7 +2267,11 @@ mod tests {
         // A second client's open evicts s1 (cap 1).
         let (_s2, ..) = open(&mut n, 3, &request, 2, 10);
         assert!(matches!(
-            n.handle(Request::PullHits { session: s1, page: 10 }),
+            n.handle(Request::PullHits {
+                session: s1,
+                page: 10,
+                ctx: propeller_obs::TraceContext::NONE
+            }),
             Response::Err(Error::SearchSessionExpired { .. })
         ));
         // Reopen resuming after the last received hit, asking only for
@@ -1983,7 +2285,11 @@ mod tests {
         let (s3, hits, _, mut exhausted) = open(&mut n, 3, &resume, 1, 10);
         all.extend(hits);
         while !exhausted {
-            match n.handle(Request::PullHits { session: s3, page: 10 }) {
+            match n.handle(Request::PullHits {
+                session: s3,
+                page: 10,
+                ctx: propeller_obs::TraceContext::NONE,
+            }) {
                 Response::SearchPage { hits, exhausted: done, .. } => {
                     all.extend(hits);
                     exhausted = done;
@@ -2033,7 +2339,11 @@ mod tests {
         let mut all = first;
         let mut exhausted = false;
         while !exhausted {
-            match n.handle(Request::PullHits { session, page: 20 }) {
+            match n.handle(Request::PullHits {
+                session,
+                page: 20,
+                ctx: propeller_obs::TraceContext::NONE,
+            }) {
                 Response::SearchPage { hits, exhausted: done, .. } => {
                     all.extend(hits);
                     exhausted = done;
@@ -2068,6 +2378,7 @@ mod tests {
                 acg,
                 ops: (0..80).map(|i| IndexOp::Upsert(rec(i, (80 - i) << 10))).collect(),
                 now: t(0),
+                ctx: propeller_obs::TraceContext::NONE,
             });
             // The snapshot is written off-thread; the barrier makes its
             // durable effect observable before we assert on the dir.
@@ -2085,6 +2396,7 @@ mod tests {
                 acg,
                 ops: (100..110).map(|i| IndexOp::Upsert(rec(i, 5 << 10))).collect(),
                 now: t(1),
+                ctx: propeller_obs::TraceContext::NONE,
             });
             search(&mut n, vec![acg], "size>0")
             // Crash: the node is dropped without further ceremony.
@@ -2119,6 +2431,7 @@ mod tests {
             acg,
             ops: (0..80).map(|i| IndexOp::Upsert(rec(i, (80 - i) << 10))).collect(),
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         assert_eq!(n.snapshots_offloaded(), 1, "the threshold snapshot must be in flight");
         let snap_on_disk = |dir: &PathBuf| {
@@ -2136,6 +2449,7 @@ mod tests {
             acg,
             ops: (100..110).map(|i| IndexOp::Upsert(rec(i, 5 << 10))).collect(),
             now: t(1),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         assert_eq!(search(&mut n, vec![acg], "size>0").len(), 90);
         assert!(!snap_on_disk(&dir), "still stalled: the searches above beat the snapshot");
@@ -2174,6 +2488,7 @@ mod tests {
                 acg,
                 ops: (0..20).map(|i| IndexOp::Upsert(rec(i, i))).collect(),
                 now: t(0),
+                ctx: propeller_obs::TraceContext::NONE,
             });
             let moved: Vec<FileId> = (10..20).map(FileId::new).collect();
             assert!(matches!(
@@ -2188,6 +2503,7 @@ mod tests {
             acg,
             ops: vec![IndexOp::Upsert(rec(15, 1 << 20))],
             now: t(1),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         assert!(
             matches!(resp, Response::Err(Error::StaleRoute { file, .. }) if file == FileId::new(15)),
@@ -2198,6 +2514,7 @@ mod tests {
             acg,
             ops: vec![IndexOp::Upsert(rec(5, 1 << 20))],
             now: t(1),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         assert!(matches!(resp, Response::BatchLogged { .. }), "{resp:?}");
         let _ = std::fs::remove_dir_all(&dir);
@@ -2215,6 +2532,7 @@ mod tests {
                 acg,
                 ops: (0..10).map(|i| IndexOp::Upsert(rec(i, i))).collect(),
                 now: t(0),
+                ctx: propeller_obs::TraceContext::NONE,
             });
             let files: Vec<FileId> = (5..10).map(FileId::new).collect();
             let records = match n.handle(Request::ExtractAcgPart { acg, files }) {
@@ -2233,6 +2551,7 @@ mod tests {
             acg,
             ops: vec![IndexOp::Upsert(rec(7, 1))],
             now: t(1),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         assert!(
             matches!(resp, Response::BatchLogged { .. }),
@@ -2252,6 +2571,7 @@ mod tests {
             acg: AcgId::new(1),
             ops: vec![IndexOp::Upsert(rec(1, 1))],
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         assert!(
             matches!(resp, Response::BatchLogged { .. }),
@@ -2269,11 +2589,22 @@ mod tests {
         ops: Vec<IndexOp>,
         now: Timestamp,
     ) {
-        let lsn = match primary.handle(Request::IndexBatch { acg, ops: ops.clone(), now }) {
+        let lsn = match primary.handle(Request::IndexBatch {
+            acg,
+            ops: ops.clone(),
+            now,
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::BatchLogged { lsn } => lsn,
             other => panic!("{other:?}"),
         };
-        match follower.handle(Request::ReplicateBatch { acg, lsn, ops, now }) {
+        match follower.handle(Request::ReplicateBatch {
+            acg,
+            lsn,
+            ops,
+            now,
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::ReplicaApplied { lsn: applied } => assert_eq!(applied, lsn),
             other => panic!("{other:?}"),
         }
@@ -2303,17 +2634,35 @@ mod tests {
         let ops = vec![IndexOp::Upsert(rec(1, 1))];
         // First frame applies...
         assert!(matches!(
-            follower.handle(Request::ReplicateBatch { acg, lsn: 1, ops: ops.clone(), now: t(0) }),
+            follower.handle(Request::ReplicateBatch {
+                acg,
+                lsn: 1,
+                ops: ops.clone(),
+                now: t(0),
+                ctx: propeller_obs::TraceContext::NONE
+            }),
             Response::ReplicaApplied { lsn: 1 }
         ));
         // ...a duplicate re-delivery acks without re-applying...
         assert!(matches!(
-            follower.handle(Request::ReplicateBatch { acg, lsn: 1, ops: ops.clone(), now: t(0) }),
+            follower.handle(Request::ReplicateBatch {
+                acg,
+                lsn: 1,
+                ops: ops.clone(),
+                now: t(0),
+                ctx: propeller_obs::TraceContext::NONE
+            }),
             Response::ReplicaApplied { lsn: 1 }
         ));
         // ...and a gap is refused with the follower's actual position.
         assert!(matches!(
-            follower.handle(Request::ReplicateBatch { acg, lsn: 5, ops, now: t(0) }),
+            follower.handle(Request::ReplicateBatch {
+                acg,
+                lsn: 5,
+                ops,
+                now: t(0),
+                ctx: propeller_obs::TraceContext::NONE
+            }),
             Response::ReplicaLagging { lsn: 1 }
         ));
     }
@@ -2330,6 +2679,7 @@ mod tests {
                 acg,
                 ops: (0..5).map(|i| IndexOp::Upsert(rec(round * 5 + i, (i + 1) << 20))).collect(),
                 now: t(round),
+                ctx: propeller_obs::TraceContext::NONE,
             });
         }
         search(&mut primary, vec![acg], "size>0"); // force a commit
@@ -2370,6 +2720,7 @@ mod tests {
                 acg,
                 ops: vec![IndexOp::Upsert(rec(round, (round + 1) << 20))],
                 now: t(round),
+                ctx: propeller_obs::TraceContext::NONE,
             });
         }
         let frames = match primary.handle(Request::FetchAcgFrames { acg, after_lsn: 0, now: t(5) })
@@ -2381,7 +2732,13 @@ mod tests {
         for (lsn, payload) in frames {
             let ops = propeller_index::IndexOp::decode_frame(&payload).unwrap();
             assert!(matches!(
-                follower.handle(Request::ReplicateBatch { acg, lsn, ops, now: t(5) }),
+                follower.handle(Request::ReplicateBatch {
+                    acg,
+                    lsn,
+                    ops,
+                    now: t(5),
+                    ctx: propeller_obs::TraceContext::NONE
+                }),
                 Response::ReplicaApplied { .. }
             ));
         }
@@ -2454,6 +2811,7 @@ mod tests {
                     })
                     .collect(),
                 now: t(0),
+                ctx: propeller_obs::TraceContext::NONE,
             });
         }
     }
@@ -2467,6 +2825,7 @@ mod tests {
             acgs: (1..=3).map(AcgId::new).collect(),
             request,
             now: t(100),
+            ctx: propeller_obs::TraceContext::NONE,
         }) {
             Response::SearchHits { hits, stats } => (hits, stats),
             other => panic!("{other:?}"),
@@ -2497,6 +2856,7 @@ mod tests {
             acgs: (1..=3).map(AcgId::new).collect(),
             request: request.clone(),
             now: t(100),
+            ctx: propeller_obs::TraceContext::NONE,
         }) {
             Response::SearchHits { hits, .. } => hits,
             other => panic!("{other:?}"),
@@ -2509,6 +2869,7 @@ mod tests {
             client: 1,
             page: 7,
             now: t(100),
+            ctx: propeller_obs::TraceContext::NONE,
         }) {
             Response::SearchPage { session, hits, stats, exhausted } => {
                 (session, hits, stats, exhausted)
@@ -2516,7 +2877,11 @@ mod tests {
             other => panic!("{other:?}"),
         };
         while !exhausted {
-            match n.handle(Request::PullHits { session, page: 7 }) {
+            match n.handle(Request::PullHits {
+                session,
+                page: 7,
+                ctx: propeller_obs::TraceContext::NONE,
+            }) {
                 Response::SearchPage { hits, exhausted: done, .. } => {
                     all.extend(hits);
                     exhausted = done;
@@ -2537,6 +2902,7 @@ mod tests {
             acgs: (1..=2).map(AcgId::new).collect(),
             request: request.clone(),
             now: t(100),
+            ctx: propeller_obs::TraceContext::NONE,
         }) {
             Response::SearchHits { hits, .. } => hits,
             other => panic!("{other:?}"),
@@ -2564,6 +2930,7 @@ mod tests {
                 acg: AcgId::new(acg),
                 ops: vec![IndexOp::Upsert(crec(acg, "alpha beta"))],
                 now: t(0),
+                ctx: propeller_obs::TraceContext::NONE,
             });
         }
         // A second inverted family broadcasts like any other index kind.
@@ -2602,6 +2969,7 @@ mod tests {
             acg: AcgId::new(4),
             ops: vec![IndexOp::Upsert(crec(40, "alpha"))],
             now: t(0),
+            ctx: propeller_obs::TraceContext::NONE,
         });
         for acg in 1..=4u64 {
             assert!(!n.groups[&AcgId::new(acg)]
@@ -2620,6 +2988,7 @@ mod tests {
             acgs: vec![AcgId::new(1)],
             request: request.clone(),
             now: t(100),
+            ctx: propeller_obs::TraceContext::NONE,
         }) {
             Response::SearchHits { hits, stats } => (hits, stats),
             other => panic!("{other:?}"),

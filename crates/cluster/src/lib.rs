@@ -77,4 +77,5 @@ pub use index_node::{IndexNode, IndexNodeConfig};
 pub use master::{MasterConfig, MasterNode, NodeStatus};
 pub use messages::{AcgSummary, MigrationJob, Request, Response};
 pub use pool::WorkerPool;
+pub use propeller_obs::{MetricsSnapshot, SlowQuery, TraceContext, TraceTree};
 pub use rpc::Rpc;

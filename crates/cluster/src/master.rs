@@ -24,6 +24,8 @@ use std::sync::Arc;
 
 use bytes::{Buf, BufMut, BytesMut};
 use propeller_index::IndexSpec;
+use propeller_obs::{names, Lane, NodeObs, SpanKind};
+use propeller_sim::{Clock, WallClock};
 use propeller_storage::SharedStorage;
 use propeller_types::{AcgId, Duration, Error, FileId, NodeId, Timestamp};
 
@@ -96,7 +98,6 @@ impl Default for MasterConfig {
 
 /// The Master Node state machine. Driven as an actor by the cluster
 /// runtime; unit tests can drive [`MasterNode::handle`] directly.
-#[derive(Debug)]
 pub struct MasterNode {
     config: MasterConfig,
     index_nodes: Vec<NodeId>,
@@ -127,6 +128,21 @@ pub struct MasterNode {
     /// The control-plane WAL + checkpoint store (in-memory for
     /// [`MasterNode::new`] Masters).
     meta: MetaStore,
+    /// Time source for resolve spans (the cluster injects its own).
+    clock: Arc<dyn Clock>,
+    /// The Master lane's metrics registry + span buffer.
+    obs: Arc<NodeObs>,
+}
+
+impl std::fmt::Debug for MasterNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MasterNode")
+            .field("index_nodes", &self.index_nodes)
+            .field("acgs", &self.acg_replicas.len())
+            .field("files", &self.file_to_acg.len())
+            .field("routing_gen", &self.routing_gen)
+            .finish()
+    }
 }
 
 impl MasterNode {
@@ -152,7 +168,17 @@ impl MasterNode {
             split_log: std::collections::VecDeque::new(),
             migrations: HashMap::new(),
             meta: MetaStore::in_memory(),
+            clock: Arc::new(WallClock::new()),
+            obs: Arc::new(NodeObs::new(Lane::Master)),
         }
+    }
+
+    /// Replaces the Master's time source (builder style). Resolve spans
+    /// are stamped against this clock.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// Opens a **durable** Master under `config.data_dir`: recovers the
@@ -571,13 +597,25 @@ impl MasterNode {
     /// Handles one request (the actor body).
     pub fn handle(&mut self, req: Request) -> Response {
         match req {
-            Request::ResolveFiles { files, hints_since } => match self.resolve(files) {
-                Ok(rows) => {
-                    let replicas = self.replicas_of(&rows);
-                    Response::Resolved { rows, hints: self.route_hints(hints_since), replicas }
+            Request::ResolveFiles { files, hints_since, ctx } => {
+                let span = self.obs.spans.begin(ctx, SpanKind::Resolve, self.clock.now());
+                self.obs.metrics.counter(names::RESOLVES_SERVED).inc();
+                let wanted = files.len();
+                match self.resolve(files) {
+                    Ok(rows) => {
+                        let replicas = self.replicas_of(&rows);
+                        if span.enabled() {
+                            self.obs.spans.finish_with(
+                                span,
+                                self.clock.now(),
+                                format!("files={wanted} rows={}", rows.len()),
+                            );
+                        }
+                        Response::Resolved { rows, hints: self.route_hints(hints_since), replicas }
+                    }
+                    Err(e) => Response::Err(e),
                 }
-                Err(e) => Response::Err(e),
-            },
+            }
             Request::LocateAcgs => {
                 let mut rows: Vec<(AcgId, Vec<NodeId>)> =
                     self.acg_replicas.iter().map(|(&a, n)| (a, n.clone())).collect();
@@ -750,6 +788,12 @@ impl MasterNode {
                 self.flush_metadata();
                 Response::Ok
             }
+            Request::DumpTrace { trace } => Response::TraceSpans(self.obs.spans.harvest(trace)),
+            Request::Metrics => {
+                self.obs.metrics.gauge("routing_gen").set(self.routing_gen);
+                Response::Metrics(Box::new(self.obs.metrics.snapshot()))
+            }
+            Request::DumpSlowQueries => Response::SlowQueries(self.obs.slow.dump()),
             other => Response::Err(Error::Rpc(format!("master cannot handle {other:?}"))),
         }
     }
@@ -777,6 +821,7 @@ mod tests {
         match m.handle(Request::ResolveFiles {
             files: ids.into_iter().map(FileId::new).collect(),
             hints_since: 0,
+            ctx: propeller_obs::TraceContext::NONE,
         }) {
             Response::Resolved { rows, .. } => rows,
             other => panic!("unexpected {other:?}"),
@@ -900,7 +945,11 @@ mod tests {
         let mut m = master(2, 1000);
         resolve(&mut m, 0..10);
         // A client at generation 0 resolving before any split: no hints.
-        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: 0 }) {
+        match m.handle(Request::ResolveFiles {
+            files: vec![FileId::new(0)],
+            hints_since: 0,
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::Resolved { hints, .. } => {
                 assert_eq!(hints, RouteHints { upto: 0, moved: vec![], complete: true });
             }
@@ -909,7 +958,11 @@ mod tests {
         commit_a_split(&mut m, vec![FileId::new(5), FileId::new(6)]);
         commit_a_split(&mut m, vec![FileId::new(7)]);
         // A client still at generation 0 hears about both splits...
-        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: 0 }) {
+        match m.handle(Request::ResolveFiles {
+            files: vec![FileId::new(0)],
+            hints_since: 0,
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::Resolved { hints, .. } => {
                 assert!(hints.complete);
                 assert_eq!(hints.upto, 2);
@@ -918,14 +971,22 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // ...a client that already applied generation 1 only the second...
-        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: 1 }) {
+        match m.handle(Request::ResolveFiles {
+            files: vec![FileId::new(0)],
+            hints_since: 1,
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::Resolved { hints, .. } => {
                 assert_eq!(hints.moved, vec![FileId::new(7)]);
             }
             other => panic!("{other:?}"),
         }
         // ...and an up-to-date client nothing.
-        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: 2 }) {
+        match m.handle(Request::ResolveFiles {
+            files: vec![FileId::new(0)],
+            hints_since: 2,
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::Resolved { hints, .. } => assert!(hints.moved.is_empty() && hints.complete),
             other => panic!("{other:?}"),
         }
@@ -943,7 +1004,11 @@ mod tests {
         }
         // Generation 1 fell off the 2-deep log: the client can't know
         // which routes it missed and must clear its cache.
-        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: 0 }) {
+        match m.handle(Request::ResolveFiles {
+            files: vec![FileId::new(0)],
+            hints_since: 0,
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::Resolved { hints, .. } => {
                 assert!(!hints.complete);
                 assert_eq!(hints.upto, 3);
@@ -952,7 +1017,11 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // A client only one generation behind is still covered.
-        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: 2 }) {
+        match m.handle(Request::ResolveFiles {
+            files: vec![FileId::new(0)],
+            hints_since: 2,
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::Resolved { hints, .. } => {
                 assert!(hints.complete);
                 assert_eq!(hints.moved, vec![FileId::new(3)]);
@@ -962,8 +1031,11 @@ mod tests {
         // A hintless caller (`u64::MAX` — empty cache, nothing to
         // invalidate) costs no log walk and still learns the current
         // generation to sync to.
-        match m.handle(Request::ResolveFiles { files: vec![FileId::new(0)], hints_since: u64::MAX })
-        {
+        match m.handle(Request::ResolveFiles {
+            files: vec![FileId::new(0)],
+            hints_since: u64::MAX,
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::Resolved { hints, .. } => {
                 assert_eq!(hints, RouteHints { upto: 3, moved: vec![], complete: true });
             }
@@ -974,7 +1046,11 @@ mod tests {
     #[test]
     fn no_index_nodes_is_a_config_error() {
         let mut m = MasterNode::new(vec![], MasterConfig::default());
-        match m.handle(Request::ResolveFiles { files: vec![FileId::new(1)], hints_since: 0 }) {
+        match m.handle(Request::ResolveFiles {
+            files: vec![FileId::new(1)],
+            hints_since: 0,
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::Err(Error::Config(_)) => {}
             other => panic!("{other:?}"),
         }
@@ -1060,7 +1136,11 @@ mod tests {
     fn resolve_reports_the_full_replica_set() {
         let mut m =
             MasterNode::new(nodes(3), MasterConfig { replication: 2, ..MasterConfig::default() });
-        match m.handle(Request::ResolveFiles { files: vec![FileId::new(1)], hints_since: 0 }) {
+        match m.handle(Request::ResolveFiles {
+            files: vec![FileId::new(1)],
+            hints_since: 0,
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::Resolved { rows, replicas, .. } => {
                 assert_eq!(rows.len(), 1);
                 let (_, acg, primary) = rows[0];
@@ -1177,7 +1257,11 @@ mod tests {
         // delta. A generation counter that reset to 0 on restart would
         // re-issue gen 1 and the stale client would silently keep routing
         // the second split's files to the wrong ACG.
-        match m.handle(Request::ResolveFiles { files: vec![FileId::new(4)], hints_since: 1 }) {
+        match m.handle(Request::ResolveFiles {
+            files: vec![FileId::new(4)],
+            hints_since: 1,
+            ctx: propeller_obs::TraceContext::NONE,
+        }) {
             Response::Resolved { hints, .. } => {
                 assert_eq!(hints.upto, 2, "generation must continue past the restart, not reset");
                 assert!(hints.complete, "the recovered split log must cover gen 2");

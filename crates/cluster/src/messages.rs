@@ -1,6 +1,7 @@
 //! Cluster message types.
 
 use propeller_index::{FileRecord, IndexOp, IndexSpec};
+use propeller_obs::{MetricsSnapshot, SlowQuery, Span, TraceContext};
 use propeller_query::{Hit, SearchRequest, SearchStats};
 use propeller_trace::EdgeUpdate;
 use propeller_types::{AcgId, Error, FileId, NodeId, Timestamp};
@@ -78,6 +79,9 @@ pub enum Request {
         /// applied (0 for a fresh client); the response's hints cover
         /// everything since.
         hints_since: u64,
+        /// Trace context of the sampled request this resolve serves
+        /// ([`TraceContext::NONE`] when unsampled).
+        ctx: TraceContext,
     },
     /// List every ACG and its owning Index Node (search fan-out set).
     LocateAcgs,
@@ -186,6 +190,8 @@ pub enum Request {
         ops: Vec<IndexOp>,
         /// Client-side send time.
         now: Timestamp,
+        /// Trace context ([`TraceContext::NONE`] when unsampled).
+        ctx: TraceContext,
     },
     /// Apply one replicated WAL frame to a follower replica of `acg`.
     /// Every [`Request::IndexBatch`] maps to exactly one frame, so a
@@ -205,6 +211,8 @@ pub enum Request {
         ops: Vec<IndexOp>,
         /// Client-side send time.
         now: Timestamp,
+        /// Trace context ([`TraceContext::NONE`] when unsampled).
+        ctx: TraceContext,
     },
     /// Fetch the WAL frames of `acg` after `after_lsn` from a live
     /// replica, for catching a lagging peer up. When the replica's WAL no
@@ -246,6 +254,8 @@ pub enum Request {
         request: SearchRequest,
         /// Client-side send time.
         now: Timestamp,
+        /// Trace context ([`TraceContext::NONE`] when unsampled).
+        ctx: TraceContext,
     },
     /// Open a **streamed search session** against the given ACGs
     /// (commit-then-search, like [`Request::Search`]) and return its first
@@ -265,6 +275,8 @@ pub enum Request {
         page: usize,
         /// Client-side send time.
         now: Timestamp,
+        /// Trace context ([`TraceContext::NONE`] when unsampled).
+        ctx: TraceContext,
     },
     /// Pull the next page of a streamed search session. Expired sessions
     /// (evicted, closed, node restarted) are rejected with
@@ -275,6 +287,8 @@ pub enum Request {
         session: u64,
         /// Hits per page.
         page: usize,
+        /// Trace context ([`TraceContext::NONE`] when unsampled).
+        ctx: TraceContext,
     },
     /// Close a streamed search session, reporting what streaming saved
     /// (see [`propeller_query::SearchStats::node_hits_unsent`]). Closing
@@ -336,6 +350,19 @@ pub enum Request {
     },
     /// Fetch an Index Node's counters (observability; tests and benches).
     NodeStats,
+    /// Harvest (and remove) every span this lane recorded for one trace.
+    /// The client fans this out after a sampled request and assembles the
+    /// shards into a single [`propeller_obs::TraceTree`].
+    DumpTrace {
+        /// The trace to harvest.
+        trace: u64,
+    },
+    /// Snapshot this lane's metrics registry. Snapshots merge exactly
+    /// (histograms sum bucket-wise), so `Cluster::metrics_report` computes
+    /// true cross-node quantiles.
+    Metrics,
+    /// Dump this node's slow-query ring (postmortems).
+    DumpSlowQueries,
     /// Orderly shutdown.
     Shutdown,
 }
@@ -487,6 +514,14 @@ pub enum Response {
         /// Snapshot jobs offloaded to the background writer.
         snapshots_offloaded: u64,
     },
+    /// One lane's harvested spans for a trace
+    /// (response to [`Request::DumpTrace`]).
+    TraceSpans(Vec<Span>),
+    /// One lane's metrics snapshot (response to [`Request::Metrics`]).
+    Metrics(Box<MetricsSnapshot>),
+    /// One node's slow-query ring, oldest first
+    /// (response to [`Request::DumpSlowQueries`]).
+    SlowQueries(Vec<SlowQuery>),
     /// Failure.
     Err(Error),
 }

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use propeller_cluster::{IndexNode, MasterNode, Request, Response};
 use propeller_index::{FileRecord, IndexOp, IndexSpec};
+use propeller_obs::TraceContext;
 use propeller_query::{next_cursor, Predicate, Query, SearchRequest, SearchResponse};
 use propeller_sim::{Clock, SimClock, WallClock};
 use propeller_trace::CausalityTracker;
@@ -163,11 +164,14 @@ impl Propeller {
     /// Propagates routing and WAL failures.
     pub fn index_batch(&mut self, records: Vec<FileRecord>) -> Result<()> {
         let files: Vec<FileId> = records.iter().map(|r| r.file).collect();
-        let routes =
-            match self.master_call(Request::ResolveFiles { files, hints_since: u64::MAX })? {
-                Response::Resolved { rows, .. } => rows,
-                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
-            };
+        let routes = match self.master_call(Request::ResolveFiles {
+            files,
+            hints_since: u64::MAX,
+            ctx: TraceContext::NONE,
+        })? {
+            Response::Resolved { rows, .. } => rows,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
         let now = self.clock.now();
         let mut by_acg: std::collections::HashMap<AcgId, Vec<IndexOp>> =
             std::collections::HashMap::new();
@@ -176,7 +180,7 @@ impl Propeller {
         }
         for (acg, ops) in by_acg {
             self.stats.ops += ops.len() as u64;
-            self.node_call(Request::IndexBatch { acg, ops, now })?;
+            self.node_call(Request::IndexBatch { acg, ops, now, ctx: TraceContext::NONE })?;
         }
         Ok(())
     }
@@ -187,16 +191,23 @@ impl Propeller {
     ///
     /// Propagates routing and WAL failures.
     pub fn remove_file(&mut self, file: FileId) -> Result<()> {
-        let routes = match self
-            .master_call(Request::ResolveFiles { files: vec![file], hints_since: u64::MAX })?
-        {
+        let routes = match self.master_call(Request::ResolveFiles {
+            files: vec![file],
+            hints_since: u64::MAX,
+            ctx: TraceContext::NONE,
+        })? {
             Response::Resolved { rows, .. } => rows,
             other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
         };
         let now = self.clock.now();
         let (_, acg, _) = routes[0];
         self.stats.ops += 1;
-        self.node_call(Request::IndexBatch { acg, ops: vec![IndexOp::Remove(file)], now })?;
+        self.node_call(Request::IndexBatch {
+            acg,
+            ops: vec![IndexOp::Remove(file)],
+            now,
+            ctx: TraceContext::NONE,
+        })?;
         Ok(())
     }
 
@@ -218,7 +229,7 @@ impl Propeller {
         };
         let acgs: Vec<AcgId> = located.into_iter().map(|(a, _)| a).collect();
         let now = self.clock.now();
-        let req = Request::Search { acgs, request: request.clone(), now };
+        let req = Request::Search { acgs, request: request.clone(), now, ctx: TraceContext::NONE };
         // `stats.elapsed` comes measured from the (single) Index Node.
         let (hits, stats) = match self.node_call(req)? {
             Response::SearchHits { hits, stats } => (hits, stats),
@@ -288,11 +299,14 @@ impl Propeller {
             return Ok(0);
         }
         let dst: Vec<FileId> = updates.iter().map(|u| u.dst).collect();
-        let routes =
-            match self.master_call(Request::ResolveFiles { files: dst, hints_since: u64::MAX })? {
-                Response::Resolved { rows, .. } => rows,
-                other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
-            };
+        let routes = match self.master_call(Request::ResolveFiles {
+            files: dst,
+            hints_since: u64::MAX,
+            ctx: TraceContext::NONE,
+        })? {
+            Response::Resolved { rows, .. } => rows,
+            other => return Err(Error::Rpc(format!("unexpected response {other:?}"))),
+        };
         let mut by_acg: std::collections::HashMap<AcgId, Vec<propeller_trace::EdgeUpdate>> =
             std::collections::HashMap::new();
         for (update, (_, acg, _)) in updates.into_iter().zip(routes) {

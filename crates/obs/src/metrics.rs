@@ -1,0 +1,433 @@
+//! The metrics registry: counters, gauges and log-linear histograms whose
+//! snapshots merge exactly across nodes (sum the bucket arrays), so a
+//! cluster-wide p99 is computed from the merged distribution rather than
+//! averaged per-node quantiles.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that is *set* (occupancy, sizes). Merging sums gauges,
+/// so cluster reports show totals (e.g. open sessions across all nodes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// Log-linear layout: values below 16 map to exact unit buckets; each
+// power-of-two range [2^m, 2^(m+1)) is split into 16 linear sub-buckets,
+// so the relative quantization error is bounded by 1/16 everywhere.
+const SUB_BUCKETS: u64 = 16;
+/// Number of buckets in a histogram (and in every snapshot's array).
+pub const HISTOGRAM_BUCKETS: usize = (SUB_BUCKETS + 60 * SUB_BUCKETS) as usize;
+
+/// Bucket index for a recorded value.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - u64::from(v.leading_zeros());
+    let group = msb - 3;
+    let sub = (v >> (msb - 4)) & (SUB_BUCKETS - 1);
+    (group * SUB_BUCKETS + sub) as usize
+}
+
+/// The inclusive `[low, high]` value range of bucket `idx`.
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        return (idx, idx);
+    }
+    let group = idx / SUB_BUCKETS;
+    let sub = idx % SUB_BUCKETS;
+    let msb = group + 3;
+    let width = 1u64 << (msb - 4);
+    let low = (1u64 << msb) + sub * width;
+    (low, low + (width - 1))
+}
+
+/// A concurrent log-linear histogram. Recording is one atomic add into the
+/// value's bucket; quantiles come from [`Histogram::snapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable, mergeable copy of the current distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time histogram copy: what travels in `Response::Metrics` and
+/// merges across nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`bucket_bounds`]).
+    pub buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self`: the result is the distribution of both
+    /// nodes' recordings together, so quantiles of the merge are quantiles
+    /// of the combined population — not an average of per-node quantiles.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HISTOGRAM_BUCKETS];
+        }
+        for (into, from) in self.buckets.iter_mut().zip(&other.buckets) {
+            *into += from;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0): the upper bound of the bucket
+    /// holding the rank-`ceil(q·count)` value. Values below 16 are exact;
+    /// larger ones overshoot by at most 1/16 of the value. Returns 0 for
+    /// an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(idx).1;
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded values (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A named bag of counters, gauges and histograms. Handles are `Arc`s, so
+/// hot paths look a metric up once and record through the handle.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(self.counters.lock().entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(self.gauges.lock().entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(self.histograms.lock().entry(name.to_string()).or_default())
+    }
+
+    /// A mergeable snapshot of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: self.gauges.lock().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// The wire/merge form of a registry: what `Request::Metrics` returns and
+/// what `Cluster::metrics_report` folds together.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Folds `other` in: counters and gauges sum, histograms merge
+    /// bucket-wise (cross-node quantiles stay exact to bucket resolution).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Human-readable exposition: counters, gauges, then histograms with
+    /// count / mean / p50 / p95 / p99 / p999 / max (µs for `*_us` series).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "# counters");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "{k} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "# gauges");
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "{k} {v}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "# histograms");
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{k} count={} mean={:.1} p50={} p95={} p99={} p999={} max={}",
+                    h.count,
+                    h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.quantile(0.999),
+                    h.max,
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact oracle the log-linear quantile is checked against: sort
+    /// the recorded values, take the rank-`ceil(q·count)` element.
+    fn oracle(values: &mut [u64], q: f64) -> u64 {
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        values[rank - 1]
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_agree_everywhere() {
+        for idx in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert_eq!(bucket_index(lo), idx, "low bound of bucket {idx}");
+            assert_eq!(bucket_index(hi), idx, "high bound of bucket {idx}");
+            if idx + 1 < HISTOGRAM_BUCKETS {
+                assert_eq!(bucket_bounds(idx + 1).0, hi.wrapping_add(1), "buckets contiguous");
+            } else {
+                assert_eq!(hi, u64::MAX, "last bucket reaches u64::MAX");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_exact_at_every_bucket_boundary() {
+        // Record the upper bound of every bucket once; every quantile the
+        // histogram reports must then equal the exact rank-based oracle,
+        // at every probed q — boundary values suffer zero quantization.
+        let h = Histogram::default();
+        let mut values = Vec::new();
+        for idx in 0..HISTOGRAM_BUCKETS {
+            let (_, hi) = bucket_bounds(idx);
+            h.record(hi);
+            values.push(hi);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, HISTOGRAM_BUCKETS as u64);
+        for q in [0.0, 0.001, 0.01, 0.25, 0.50, 0.75, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(snap.quantile(q), oracle(&mut values.clone(), q), "q={q}");
+        }
+        assert_eq!(snap.max, u64::MAX);
+    }
+
+    #[test]
+    fn small_values_are_always_exact() {
+        let h = Histogram::default();
+        let mut values = Vec::new();
+        for v in 0..16u64 {
+            for _ in 0..=v {
+                h.record(v);
+                values.push(v);
+            }
+        }
+        let snap = h.snapshot();
+        for q in [0.01, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), oracle(&mut values.clone(), q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_one_sixteenth() {
+        let h = Histogram::default();
+        let mut v = 1u64;
+        let mut values = Vec::new();
+        while v < u64::MAX / 3 {
+            h.record(v);
+            values.push(v);
+            v = v.wrapping_mul(31).wrapping_add(17);
+        }
+        let snap = h.snapshot();
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = oracle(&mut values.clone(), q);
+            let got = snap.quantile(q);
+            assert!(got >= exact, "quantile never undershoots: {got} < {exact}");
+            assert!(got - exact <= exact / 16 + 1, "q={q}: {got} overshoots {exact} beyond 1/16");
+        }
+    }
+
+    #[test]
+    fn merged_snapshots_equal_the_combined_population() {
+        // Two nodes record disjoint halves; the merged snapshot's
+        // quantiles must equal the oracle over the union — the property
+        // that makes cross-node p99s meaningful.
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let mut values = Vec::new();
+        for idx in (0..HISTOGRAM_BUCKETS).step_by(3) {
+            let (_, hi) = bucket_bounds(idx);
+            if idx % 2 == 0 {
+                a.record(hi);
+            } else {
+                b.record(hi);
+            }
+            values.push(hi);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, values.len() as u64);
+        for q in [0.05, 0.5, 0.95, 0.99, 0.999] {
+            assert_eq!(merged.quantile(q), oracle(&mut values.clone(), q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn registry_snapshot_roundtrip_and_merge() {
+        let reg = MetricsRegistry::new();
+        reg.counter("searches").add(5);
+        reg.gauge("sessions").set(3);
+        reg.histogram("lat_us").record(100);
+        let mut snap = reg.snapshot();
+
+        let other = MetricsRegistry::new();
+        other.counter("searches").add(2);
+        other.gauge("sessions").set(4);
+        other.histogram("lat_us").record(200);
+        snap.merge(&other.snapshot());
+
+        assert_eq!(snap.counters["searches"], 7);
+        assert_eq!(snap.gauges["sessions"], 7);
+        assert_eq!(snap.histograms["lat_us"].count, 2);
+        let text = snap.render();
+        assert!(text.contains("searches 7"), "{text}");
+        assert!(text.contains("lat_us count=2"), "{text}");
+    }
+
+    #[test]
+    fn empty_histogram_is_harmless() {
+        let snap = HistogramSnapshot::default();
+        assert_eq!(snap.quantile(0.99), 0);
+        assert_eq!(snap.mean(), 0.0);
+        let mut merged = HistogramSnapshot::default();
+        merged.merge(&Histogram::default().snapshot());
+        assert_eq!(merged.count, 0);
+    }
+}

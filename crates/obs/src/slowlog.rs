@@ -1,0 +1,101 @@
+//! The slow-query log: a bounded per-node ring of postmortem records for
+//! requests that exceeded the configured service-time threshold.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+use propeller_types::{Duration, Timestamp};
+
+use crate::trace::{Lane, Span};
+
+/// One captured slow query: enough to reconstruct *why* it was slow
+/// without re-running it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// Trace id if the request was sampled (0 otherwise).
+    pub trace: u64,
+    /// The lane that captured it.
+    pub lane: Lane,
+    /// When it finished (injected clock).
+    pub at: Timestamp,
+    /// Measured service time.
+    pub elapsed: Duration,
+    /// The request, rendered (`Debug` of the `SearchRequest`).
+    pub query: String,
+    /// The plan: the access path chosen per consulted ACG.
+    pub plan: Vec<(u64, String)>,
+    /// The full `SearchStats`, rendered.
+    pub stats: String,
+    /// The spans this lane recorded for the request (its share of the
+    /// trace tree), if sampled.
+    pub spans: Vec<Span>,
+}
+
+/// A bounded ring of [`SlowQuery`] records; the newest `capacity` are
+/// retained, dumpable via `Request::DumpSlowQueries`.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    capacity: usize,
+    ring: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl SlowQueryLog {
+    /// A ring retaining at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        SlowQueryLog { capacity: capacity.max(1), ring: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Captures one slow query, evicting the oldest if full.
+    pub fn note(&self, q: SlowQuery) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(q);
+    }
+
+    /// Every retained record, oldest first.
+    pub fn dump(&self) -> Vec<SlowQuery> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u64) -> SlowQuery {
+        SlowQuery {
+            trace: i,
+            lane: Lane::Node(1),
+            at: Timestamp::from_micros(i),
+            elapsed: Duration::from_millis(i),
+            query: format!("q{i}"),
+            plan: vec![(i, "OrderedScan".into())],
+            stats: String::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let log = SlowQueryLog::new(3);
+        for i in 0..7 {
+            log.note(q(i));
+        }
+        let dump = log.dump();
+        assert_eq!(dump.len(), 3);
+        assert_eq!(dump.iter().map(|s| s.trace).collect::<Vec<_>>(), vec![4, 5, 6]);
+        assert_eq!(dump[0].plan[0].1, "OrderedScan");
+    }
+}

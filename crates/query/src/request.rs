@@ -24,7 +24,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
 use propeller_index::FileRecord;
-use propeller_types::{AcgId, AttrName, Duration, Error, FileId, Result, Timestamp, Value};
+use propeller_types::{AcgId, AttrName, Duration, Error, FileId, NodeId, Result, Timestamp, Value};
 
 use crate::ast::{Predicate, Query};
 use crate::exec::matches_record;
@@ -495,6 +495,13 @@ pub struct SearchStats {
     /// client overwrites the merged value with its measured wall time
     /// across opens, pulls and closes.
     pub elapsed: Duration,
+    /// Per-node service-time breakdown: each serving node appends its
+    /// `(id, measured service time)` rows and [`SearchStats::absorb`]
+    /// concatenates them, so the merged record still attributes latency to
+    /// individual nodes after `elapsed` collapsed to the max. A node
+    /// appears once per exchange it served (opens, pulls), which is what
+    /// lets a slow-node witness pick out the straggler by summing per id.
+    pub node_elapsed: Vec<(NodeId, Duration)>,
 }
 
 impl SearchStats {
@@ -519,6 +526,21 @@ impl SearchStats {
         self.epoch_pins += other.epoch_pins;
         self.commits_during_search += other.commits_during_search;
         self.elapsed = self.elapsed.max(other.elapsed);
+        self.node_elapsed.extend(other.node_elapsed);
+    }
+
+    /// The slowest node in the [`SearchStats::node_elapsed`] breakdown by
+    /// *summed* service time across its exchanges, or `None` when no node
+    /// reported one. This is the per-node attribution `elapsed`'s max-fold
+    /// loses: ties break toward the lower node id for determinism.
+    pub fn slowest_node(&self) -> Option<(NodeId, Duration)> {
+        let mut totals: std::collections::BTreeMap<NodeId, Duration> =
+            std::collections::BTreeMap::new();
+        for &(node, d) in &self.node_elapsed {
+            let t = totals.entry(node).or_default();
+            *t = Duration::from_micros(t.as_micros() + d.as_micros());
+        }
+        totals.into_iter().max_by_key(|&(node, d)| (d, std::cmp::Reverse(node)))
     }
 }
 
@@ -1241,6 +1263,7 @@ mod tests {
             epoch_pins: 1,
             commits_during_search: 3,
             elapsed: Duration::from_micros(5),
+            node_elapsed: vec![(NodeId::new(1), Duration::from_micros(5))],
         };
         a.absorb(SearchStats {
             acgs_consulted: 2,
@@ -1262,6 +1285,7 @@ mod tests {
             epoch_pins: 2,
             commits_during_search: 4,
             elapsed: Duration::from_micros(3),
+            node_elapsed: vec![(NodeId::new(2), Duration::from_micros(3))],
         });
         assert_eq!(a.acgs_consulted, 3);
         assert_eq!(a.candidates_scanned, 17);
@@ -1282,6 +1306,30 @@ mod tests {
         assert_eq!(a.epoch_pins, 3);
         assert_eq!(a.commits_during_search, 7);
         assert_eq!(a.elapsed, Duration::from_micros(5), "slowest node wins");
+        assert_eq!(
+            a.node_elapsed,
+            vec![
+                (NodeId::new(1), Duration::from_micros(5)),
+                (NodeId::new(2), Duration::from_micros(3)),
+            ],
+            "per-node attribution survives the max-fold"
+        );
+        assert_eq!(a.slowest_node(), Some((NodeId::new(1), Duration::from_micros(5))));
+    }
+
+    #[test]
+    fn slowest_node_sums_per_node_exchanges() {
+        let mut s = SearchStats::default();
+        assert_eq!(s.slowest_node(), None);
+        // Node 2 served two fast exchanges that *sum* past node 1's single
+        // slow one — attribution must rank by total service time, not by
+        // any single exchange.
+        s.node_elapsed = vec![
+            (NodeId::new(1), Duration::from_micros(50)),
+            (NodeId::new(2), Duration::from_micros(30)),
+            (NodeId::new(2), Duration::from_micros(30)),
+        ];
+        assert_eq!(s.slowest_node(), Some((NodeId::new(2), Duration::from_micros(60))));
     }
 
     #[test]

@@ -367,10 +367,15 @@ fn resumed_search_session_survives_node_revival_without_losing_hits() {
         .sorted_by(SortKey::Descending(AttrName::Size));
 
     // Uncrashed baseline: the node's one-shot answer for its ACGs.
-    let baseline = match cluster
-        .rpc()
-        .call(victim, Request::Search { acgs: acgs.clone(), request: request.clone(), now })
-    {
+    let baseline = match cluster.rpc().call(
+        victim,
+        Request::Search {
+            acgs: acgs.clone(),
+            request: request.clone(),
+            now,
+            ctx: propeller_obs::TraceContext::NONE,
+        },
+    ) {
         Ok(Response::SearchHits { hits, .. }) => hits,
         other => panic!("{other:?}"),
     };
@@ -382,6 +387,7 @@ fn resumed_search_session_survives_node_revival_without_losing_hits() {
         client: 1,
         page: 15,
         now,
+        ctx: propeller_obs::TraceContext::NONE,
     };
     let (_session, first) = match cluster.rpc().call(victim, open) {
         Ok(Response::SearchPage { session, hits, exhausted, .. }) => {
@@ -394,7 +400,10 @@ fn resumed_search_session_survives_node_revival_without_losing_hits() {
     cluster.revive_index_node(victim);
 
     // The revived node no longer knows the session...
-    let expired = cluster.rpc().call(victim, Request::PullHits { session: _session, page: 15 });
+    let expired = cluster.rpc().call(
+        victim,
+        Request::PullHits { session: _session, page: 15, ctx: propeller_obs::TraceContext::NONE },
+    );
     assert!(
         matches!(expired, Err(Error::SearchSessionExpired { .. })),
         "revived node must report the session expired, got {expired:?}"
@@ -408,15 +417,24 @@ fn resumed_search_session_survives_node_revival_without_losing_hits() {
         .with_limit(60 - first.len())
         .after(Cursor::after(first.last().expect("first page non-empty")));
     let mut all: Vec<Hit> = first;
-    let reopen =
-        Request::OpenSearch { acgs: acgs.clone(), request: resume, client: 1, page: 15, now };
+    let reopen = Request::OpenSearch {
+        acgs: acgs.clone(),
+        request: resume,
+        client: 1,
+        page: 15,
+        now,
+        ctx: propeller_obs::TraceContext::NONE,
+    };
     let (session, hits, mut exhausted) = match cluster.rpc().call(victim, reopen) {
         Ok(Response::SearchPage { session, hits, exhausted, .. }) => (session, hits, exhausted),
         other => panic!("{other:?}"),
     };
     all.extend(hits);
     while !exhausted {
-        match cluster.rpc().call(victim, Request::PullHits { session, page: 15 }) {
+        match cluster.rpc().call(
+            victim,
+            Request::PullHits { session, page: 15, ctx: propeller_obs::TraceContext::NONE },
+        ) {
             Ok(Response::SearchPage { hits, exhausted: done, .. }) => {
                 all.extend(hits);
                 exhausted = done;

@@ -283,6 +283,7 @@ fn session_eviction_thrash_is_transparent_to_the_client() {
                     client: 999,
                     page: 3,
                     now: now(),
+                    ctx: propeller_obs::TraceContext::NONE,
                 };
                 let _ = rpc.call(node, open);
             }
@@ -337,6 +338,7 @@ fn split_during_pull_keeps_pages_sorted_and_duplicate_free() {
         client: 1,
         page: 10,
         now: now(),
+        ctx: propeller_obs::TraceContext::NONE,
     };
     let (session, mut all, exhausted) = match cluster.rpc().call(owner, open).unwrap() {
         Response::SearchPage { session, hits, exhausted, .. } => (session, hits, exhausted),
@@ -352,7 +354,14 @@ fn split_during_pull_keeps_pages_sorted_and_duplicate_free() {
 
     let mut exhausted = false;
     while !exhausted {
-        match cluster.rpc().call(owner, Request::PullHits { session, page: 10 }).unwrap() {
+        match cluster
+            .rpc()
+            .call(
+                owner,
+                Request::PullHits { session, page: 10, ctx: propeller_obs::TraceContext::NONE },
+            )
+            .unwrap()
+        {
             Response::SearchPage { hits, exhausted: done, .. } => {
                 all.extend(hits);
                 exhausted = done;
@@ -395,7 +404,14 @@ fn commit_split_hints_evict_stale_routes_eagerly() {
     let master = cluster.master_id();
     let acg = match cluster
         .rpc()
-        .call(master, Request::ResolveFiles { files: vec![FileId::new(3)], hints_since: 0 })
+        .call(
+            master,
+            Request::ResolveFiles {
+                files: vec![FileId::new(3)],
+                hints_since: 0,
+                ctx: propeller_obs::TraceContext::NONE,
+            },
+        )
         .unwrap()
     {
         Response::Resolved { rows, .. } => rows[0].1,

@@ -130,6 +130,7 @@ fn commit_and_search_hammers_race_without_torn_reads() {
                 })
                 .collect(),
             now: Timestamp::from_secs(1),
+            ctx: propeller_obs::TraceContext::NONE,
         });
     }
     let (tx, actor) = spawn_actor(node);
@@ -159,7 +160,15 @@ fn commit_and_search_hammers_race_without_torn_reads() {
                     })
                     .collect();
                 let now = Timestamp::from_secs(100 + round * 10);
-                match call(&tx, Request::IndexBatch { acg: AcgId::new(acg + 1), ops, now }) {
+                match call(
+                    &tx,
+                    Request::IndexBatch {
+                        acg: AcgId::new(acg + 1),
+                        ops,
+                        now,
+                        ctx: propeller_obs::TraceContext::NONE,
+                    },
+                ) {
                     Response::BatchLogged { .. } => {}
                     other => panic!("writer: {other:?}"),
                 }
@@ -188,6 +197,7 @@ fn commit_and_search_hammers_race_without_torn_reads() {
                                 client: s,
                                 page: 64,
                                 now,
+                                ctx: propeller_obs::TraceContext::NONE,
                             },
                         ) {
                             Response::SearchPage { session, hits, exhausted, .. } => {
@@ -196,7 +206,14 @@ fn commit_and_search_hammers_race_without_torn_reads() {
                             other => panic!("open: {other:?}"),
                         };
                         while !exhausted {
-                            match call(&tx, Request::PullHits { session, page: 64 }) {
+                            match call(
+                                &tx,
+                                Request::PullHits {
+                                    session,
+                                    page: 64,
+                                    ctx: propeller_obs::TraceContext::NONE,
+                                },
+                            ) {
                                 Response::SearchPage {
                                     session: sid,
                                     hits,
@@ -225,6 +242,7 @@ fn commit_and_search_hammers_race_without_torn_reads() {
                                 acgs: all_acgs.clone(),
                                 request: request.clone(),
                                 now,
+                                ctx: propeller_obs::TraceContext::NONE,
                             },
                         ) {
                             Response::SearchHits { hits, stats } => {
@@ -285,7 +303,7 @@ proptest! {
                         acg,
                         ops: to_ops(batch),
                         now: Timestamp::from_secs(10 + i as u64),
-                    });
+                    ctx: propeller_obs::TraceContext::NONE, });
                     assert!(matches!(resp, Response::BatchLogged { .. }), "{resp:?}");
                     std::thread::yield_now();
                 }
@@ -298,7 +316,7 @@ proptest! {
                 acgs: vec![acg],
                 request: request.clone(),
                 now: Timestamp::from_secs(100 + i),
-            }) {
+            ctx: propeller_obs::TraceContext::NONE, }) {
                 Response::SearchHits { hits, .. } => {
                     let got = hit_files(&hits);
                     prop_assert!(
@@ -316,7 +334,7 @@ proptest! {
             acgs: vec![acg],
             request: request.clone(),
             now: Timestamp::from_secs(200),
-        }) {
+        ctx: propeller_obs::TraceContext::NONE, }) {
             Response::SearchHits { hits, .. } => {
                 prop_assert_eq!(&hit_files(&hits), oracle.last().unwrap());
             }
@@ -349,7 +367,7 @@ proptest! {
                 acg,
                 ops: to_ops(batch),
                 now: Timestamp::from_secs(10 + i as u64),
-            });
+            ctx: propeller_obs::TraceContext::NONE, });
         }
         let pinned = prefix_hit_sets(&before, threshold).pop().unwrap();
 
@@ -359,7 +377,7 @@ proptest! {
             client: 7,
             page: 3,
             now: Timestamp::from_secs(100),
-        }) {
+        ctx: propeller_obs::TraceContext::NONE, }) {
             Response::SearchPage { session, hits, exhausted, .. } => (session, hits, exhausted),
             other => panic!("{other:?}"),
         };
@@ -373,8 +391,8 @@ proptest! {
                 acg,
                 ops: to_ops(batch),
                 now: Timestamp::from_secs(200 + i as u64),
-            });
-            match call(&tx, Request::PullHits { session, page: 3 }) {
+            ctx: propeller_obs::TraceContext::NONE, });
+            match call(&tx, Request::PullHits { session, page: 3 , ctx: propeller_obs::TraceContext::NONE }) {
                 Response::SearchPage { session: s, hits, exhausted: done, .. } => {
                     pages.extend(hits);
                     session = s;

@@ -234,7 +234,7 @@ proptest! {
         let placed = placements(&cluster);
         let file_acg: HashMap<FileId, AcgId> = {
             let files: Vec<FileId> = records.iter().map(|r| r.file).collect();
-            let req = Request::ResolveFiles { files, hints_since: u64::MAX };
+            let req = Request::ResolveFiles { files, hints_since: u64::MAX , ctx: propeller_obs::TraceContext::NONE };
             match cluster.rpc().call(cluster.master_id(), req) {
                 Ok(Response::Resolved { rows, .. }) => {
                     rows.into_iter().map(|(f, a, _)| (f, a)).collect()

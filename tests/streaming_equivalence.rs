@@ -140,7 +140,12 @@ fn seeded_node(records: &[FileRecord], acg_count: usize, parallelism: usize) -> 
             .filter(|(i, _)| i % acg_count == acg)
             .map(|(_, r)| IndexOp::Upsert(r.clone()))
             .collect();
-        node.handle(Request::IndexBatch { acg: AcgId::new(acg as u64 + 1), ops, now: now() });
+        node.handle(Request::IndexBatch {
+            acg: AcgId::new(acg as u64 + 1),
+            ops,
+            now: now(),
+            ctx: propeller_obs::TraceContext::NONE,
+        });
     }
     node
 }
@@ -154,6 +159,7 @@ fn node_search(
         acgs: (1..=acg_count as u64).map(AcgId::new).collect(),
         request: req.clone(),
         now: now(),
+        ctx: propeller_obs::TraceContext::NONE,
     }) {
         Response::SearchHits { hits, stats } => (hits, stats),
         other => panic!("{other:?}"),
